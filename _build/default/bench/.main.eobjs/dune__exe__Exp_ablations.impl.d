@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Array Format Fun Harness List Mqdp Printf Sat Workload Workloads

@@ -1,0 +1,1 @@
+bench/exp_effectiveness.ml: Harness List Mqdp Printf Workloads

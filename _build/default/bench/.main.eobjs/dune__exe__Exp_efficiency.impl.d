@@ -1,0 +1,1 @@
+bench/exp_efficiency.ml: Harness List Mqdp Printf Workloads

@@ -1,0 +1,1 @@
+bench/exp_streaming.ml: Harness List Mqdp Printf Workloads

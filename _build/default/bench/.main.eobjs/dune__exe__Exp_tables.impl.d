@@ -1,0 +1,1 @@
+bench/exp_tables.ml: Array Harness List Printf String Topics Util Workload

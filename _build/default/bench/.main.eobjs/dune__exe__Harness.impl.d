@@ -1,0 +1,1 @@
+bench/harness.ml: List Mqdp Printf String Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablations Exp_effectiveness Exp_efficiency Exp_streaming Exp_tables List Micro Printf String Sys Util

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Harness Hashtbl Instance Lazy List Measure Mqdp Printf Staged Test Time Toolkit Workloads

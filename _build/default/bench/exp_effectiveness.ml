@@ -1,0 +1,100 @@
+(* Figures 6-8: offline effectiveness. *)
+
+let fixed l = Mqdp.Coverage.Fixed l
+
+let approx_size algo inst lambda =
+  (Mqdp.Solver.solve algo inst lambda).Mqdp.Solver.size
+
+(* Mean relative error vs OPT over seeds; skips seeds where OPT blows up
+   and reports how many were kept. *)
+let mean_error ~seeds ~make_instance ~lambda algo =
+  let total = ref 0. and kept = ref 0 in
+  for seed = 1 to seeds do
+    let inst = make_instance seed in
+    match Harness.opt_size_opt inst lambda with
+    | None -> ()
+    | Some optimal when optimal > 0 ->
+      incr kept;
+      total :=
+        !total
+        +. Harness.relative_error ~approx:(approx_size algo inst lambda) ~optimal
+    | Some _ -> ()
+  done;
+  if !kept = 0 then None else Some (!total /. float_of_int !kept)
+
+let cell = function
+  | None -> "skip"
+  | Some x -> Harness.f3 x
+
+let fig6 () =
+  Harness.section ~id:"fig6"
+    ~paper:"Figure 6: relative error vs post overlap rate (|L|=3, lambda=5s, 10min)"
+    ~expect:
+      "GreedySC error below Scan/Scan+ except near overlap 1 where Scan is \
+       optimal; absolute sizes drop as overlap grows";
+  Printf.printf "scale: 10-min slices at 18 posts/min, 6 seeds per point\n\n";
+  let overlaps = [ 1.0; 1.2; 1.4; 1.6; 1.8; 2.0; 2.2 ] in
+  let lambda = fixed 5. in
+  let rows =
+    List.map
+      (fun overlap ->
+        let make_instance seed =
+          Workloads.ten_minute ~overlap ~labels:3 ~seed ()
+        in
+        let err algo = cell (mean_error ~seeds:6 ~make_instance ~lambda algo) in
+        let size =
+          Harness.mean_over_seeds ~seeds:6 (fun seed ->
+              float_of_int (approx_size Mqdp.Solver.Greedy_sc (make_instance seed) lambda))
+        in
+        [ Harness.f2 overlap; err Mqdp.Solver.Scan; err Mqdp.Solver.Scan_plus;
+          err Mqdp.Solver.Greedy_sc; Harness.f2 size ])
+      overlaps
+  in
+  Harness.table
+    [ "overlap"; "scan err"; "scan+ err"; "greedy err"; "greedy |Z| (6d)" ]
+    rows
+
+let fig7 () =
+  Harness.section ~id:"fig7"
+    ~paper:"Figure 7: relative error vs lambda (|L|=2, 10min)"
+    ~expect:"all approximation errors grow with lambda (more choices, harder problem)";
+  Printf.printf "scale: 10-min slices at 18 posts/min, 6 seeds per point\n\n";
+  let lambdas = [ 5.; 10.; 15.; 20.; 25.; 30. ] in
+  let rows =
+    List.map
+      (fun l ->
+        let lambda = fixed l in
+        let make_instance seed = Workloads.ten_minute ~labels:2 ~seed () in
+        let err algo = cell (mean_error ~seeds:6 ~make_instance ~lambda algo) in
+        [ Harness.f2 l; err Mqdp.Solver.Scan; err Mqdp.Solver.Scan_plus;
+          err Mqdp.Solver.Greedy_sc ])
+      lambdas
+  in
+  Harness.table [ "lambda(s)"; "scan err"; "scan+ err"; "greedy err" ] rows
+
+let fig8 () =
+  Harness.section ~id:"fig8"
+    ~paper:"Figure 8: solution sizes on one day vs |L| (lambda = 10min / 30min)"
+    ~expect:
+      "Scan roughly linear in |L| (independent per-label passes); GreedySC \
+       smallest, and its margin grows with |L|";
+  let label_sizes = [ 2; 5; 10; 20 ] in
+  List.iter
+    (fun lambda_minutes ->
+      let lambda = fixed (lambda_minutes *. 60.) in
+      Printf.printf "\nlambda = %.0f minutes (1%% of the paper's volume):\n"
+        lambda_minutes;
+      let rows =
+        List.map
+          (fun labels ->
+            let inst = Workloads.one_day ~labels ~seed:42 in
+            let size algo = approx_size algo inst lambda in
+            [ string_of_int labels;
+              string_of_int (Mqdp.Instance.size inst);
+              string_of_int (size Mqdp.Solver.Greedy_sc);
+              string_of_int (size Mqdp.Solver.Scan);
+              string_of_int (size Mqdp.Solver.Scan_plus) ])
+          label_sizes
+      in
+      Harness.table [ "|L|"; "posts"; "greedy |Z|"; "scan |Z|"; "scan+ |Z|" ] rows)
+    [ 10.; 30. ]

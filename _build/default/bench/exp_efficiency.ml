@@ -1,0 +1,99 @@
+(* Figures 13-15: execution time per post. *)
+
+let fixed l = Mqdp.Coverage.Fixed l
+
+let offline_algos =
+  [ ("greedy", Mqdp.Solver.Greedy_sc); ("scan", Mqdp.Solver.Scan);
+    ("scan+", Mqdp.Solver.Scan_plus) ]
+
+let streaming_algos =
+  [ ("sscan", Mqdp.Solver.Stream_scan); ("sscan+", Mqdp.Solver.Stream_scan_plus);
+    ("sgreedy", Mqdp.Solver.Stream_greedy);
+    ("sgreedy+", Mqdp.Solver.Stream_greedy_plus) ]
+
+let per_post_us solve inst =
+  Harness.us (Harness.time_per_post solve inst)
+
+let fig13 () =
+  Harness.section ~id:"fig13"
+    ~paper:"Figure 13: MQDP execution time per post vs lambda (|L| = 2/5/20)"
+    ~expect:
+      "Scan/Scan+ flat in lambda and 1-3 orders faster than GreedySC; \
+       GreedySC gets faster as lambda grows (fewer rounds) and slower as |L| grows";
+  List.iter
+    (fun labels ->
+      let inst = Workloads.one_day ~labels ~seed:42 in
+      Printf.printf "\n|L| = %d (%d posts over one day):\n" labels
+        (Mqdp.Instance.size inst);
+      let rows =
+        List.map
+          (fun lambda_s ->
+            let lambda = fixed lambda_s in
+            Printf.sprintf "%.0f" lambda_s
+            :: List.map
+                 (fun (_, algo) ->
+                   per_post_us
+                     (fun inst ->
+                       (Mqdp.Solver.solve algo inst lambda).Mqdp.Solver.cover)
+                     inst)
+                 offline_algos)
+          [ 60.; 300.; 900.; 1800. ]
+      in
+      Harness.table
+        ("lambda(s)" :: List.map (fun (n, _) -> n ^ " us/post") offline_algos)
+        rows)
+    [ 2; 5; 20 ]
+
+let streaming_time_table inst rows_spec x_header =
+  let rows =
+    List.map
+      (fun (x_label, lambda, tau) ->
+        x_label
+        :: List.map
+             (fun (_, algo) ->
+               per_post_us
+                 (fun inst ->
+                   (Mqdp.Solver.solve_stream algo ~tau inst lambda)
+                     .Mqdp.Solver.stream
+                     .Mqdp.Stream.cover)
+                 inst)
+             streaming_algos)
+      rows_spec
+  in
+  Harness.table
+    (x_header :: List.map (fun (n, _) -> n ^ " us/post") streaming_algos)
+    rows
+
+let fig14 () =
+  Harness.section ~id:"fig14"
+    ~paper:"Figure 14: StreamMQDP time per post vs lambda (tau = 300s, |L| = 2/5/20)"
+    ~expect:
+      "StreamScan variants flat; StreamGreedySC cost drops with larger \
+       lambda (fewer set-cover rounds per window)";
+  List.iter
+    (fun labels ->
+      let inst = Workloads.one_day ~labels ~seed:42 in
+      Printf.printf "\n|L| = %d (%d posts):\n" labels (Mqdp.Instance.size inst);
+      streaming_time_table inst
+        (List.map
+           (fun l -> (Printf.sprintf "%.0f" l, fixed l, 300.))
+           [ 60.; 300.; 900.; 1800. ])
+        "lambda(s)")
+    [ 2; 5; 20 ]
+
+let fig15 () =
+  Harness.section ~id:"fig15"
+    ~paper:"Figure 15: StreamMQDP time per post vs tau (lambda = 300s, |L| = 2/5/20)"
+    ~expect:
+      "StreamScan variants flat in tau; StreamGreedySC slows slightly with \
+       tau (bigger windows per greedy run)";
+  List.iter
+    (fun labels ->
+      let inst = Workloads.one_day ~labels ~seed:42 in
+      Printf.printf "\n|L| = %d (%d posts):\n" labels (Mqdp.Instance.size inst);
+      streaming_time_table inst
+        (List.map
+           (fun tau -> (Printf.sprintf "%.0f" tau, fixed 300., tau))
+           [ 30.; 120.; 300.; 600. ])
+        "tau(s)")
+    [ 2; 5; 20 ]

@@ -1,0 +1,122 @@
+(* Figures 9-12: streaming effectiveness. *)
+
+let fixed l = Mqdp.Coverage.Fixed l
+
+let stream_size algo ~tau inst lambda =
+  (Mqdp.Solver.solve_stream algo ~tau inst lambda).Mqdp.Solver.stream_size
+
+let algos =
+  [ ("sscan", Mqdp.Solver.Stream_scan); ("sscan+", Mqdp.Solver.Stream_scan_plus);
+    ("sgreedy", Mqdp.Solver.Stream_greedy);
+    ("sgreedy+", Mqdp.Solver.Stream_greedy_plus) ]
+
+(* Mean relative error of a streaming algorithm vs the clairvoyant optimum
+   (offline OPT on the same interval), as the paper defines it. *)
+let mean_error ~seeds ~make_instance ~lambda ~tau algo =
+  let total = ref 0. and kept = ref 0 in
+  for seed = 1 to seeds do
+    let inst = make_instance seed in
+    match Harness.opt_size_opt inst lambda with
+    | None -> ()
+    | Some optimal when optimal > 0 ->
+      incr kept;
+      total :=
+        !total
+        +. Harness.relative_error ~approx:(stream_size algo ~tau inst lambda) ~optimal
+    | Some _ -> ()
+  done;
+  if !kept = 0 then None else Some (!total /. float_of_int !kept)
+
+let cell = function
+  | None -> "skip"
+  | Some x -> Harness.f3 x
+
+let error_table ~seeds ~make_instance ~x_header rows_spec =
+  let rows =
+    List.map
+      (fun (x_label, lambda, tau) ->
+        x_label
+        :: List.map
+             (fun (_, algo) -> cell (mean_error ~seeds ~make_instance ~lambda ~tau algo))
+             algos)
+      rows_spec
+  in
+  Harness.table (x_header :: List.map fst algos) rows
+
+let fig9 () =
+  Harness.section ~id:"fig9"
+    ~paper:"Figure 9: streaming relative error vs lambda, for tau = 5/10/15s (|L|=2)"
+    ~expect:"errors grow with lambda; StreamGreedySC+ slightly better than StreamGreedySC";
+  Printf.printf "scale: 10-min slices at 18 posts/min, 6 seeds per point\n";
+  let make_instance seed = Workloads.ten_minute ~labels:2 ~seed () in
+  List.iter
+    (fun tau ->
+      Printf.printf "\ntau = %gs:\n" tau;
+      error_table ~seeds:6 ~make_instance ~x_header:"lambda(s)"
+        (List.map (fun l -> (Harness.f2 l, fixed l, tau)) [ 5.; 10.; 15.; 20.; 25.; 30. ]))
+    [ 5.; 10.; 15. ]
+
+let fig10 () =
+  Harness.section ~id:"fig10"
+    ~paper:"Figure 10: streaming relative error vs tau, for lambda = 10/15/20s (|L|=2)"
+    ~expect:
+      "scan-based errors stabilize once tau >= lambda; greedy errors dip near \
+       tau = lambda and bump around tau slightly above 2*lambda (the \
+       'in-between posts' effect)";
+  Printf.printf "scale: 10-min slices at 18 posts/min, 10 seeds per point\n";
+  let make_instance seed = Workloads.ten_minute ~labels:2 ~seed () in
+  List.iter
+    (fun lambda_s ->
+      Printf.printf "\nlambda = %gs:\n" lambda_s;
+      let taus =
+        [ 1.; 0.25 *. lambda_s; 0.5 *. lambda_s; lambda_s; 1.5 *. lambda_s;
+          2. *. lambda_s; 2.2 *. lambda_s; 2.5 *. lambda_s; 3. *. lambda_s;
+          4. *. lambda_s ]
+      in
+      error_table ~seeds:10 ~make_instance ~x_header:"tau(s)"
+        (List.map (fun tau -> (Harness.f2 tau, fixed lambda_s, tau)) taus))
+    [ 10.; 15.; 20. ]
+
+let fig11 () =
+  Harness.section ~id:"fig11"
+    ~paper:"Figure 11: streaming absolute sizes vs overlap (|L|=2, lambda=10s, tau=5s)"
+    ~expect:
+      "greedy variants win at high overlap, scan variants competitive near \
+       overlap 1 (Scan optimal per label)";
+  Printf.printf "scale: 10-min slices at 18 posts/min, 6 seeds per bucket\n\n";
+  let lambda = fixed 10. and tau = 5. in
+  let rows =
+    List.map
+      (fun overlap ->
+        let size (_, algo) =
+          Harness.mean_over_seeds ~seeds:6 (fun seed ->
+              let inst = Workloads.ten_minute ~overlap ~labels:2 ~seed () in
+              float_of_int (stream_size algo ~tau inst lambda))
+        in
+        Harness.f2 overlap :: List.map (fun a -> Harness.f2 (size a)) algos)
+      [ 1.1; 1.4; 1.7; 2.0 ]
+  in
+  Harness.table ("overlap" :: List.map fst algos) rows
+
+let fig12 () =
+  Harness.section ~id:"fig12"
+    ~paper:"Figure 12: streaming sizes on one day vs |L| (tau=30s, lambda=10/30min)"
+    ~expect:"same ordering as offline Figure 8; StreamGreedySC beats StreamGreedySC+ at large lambda";
+  let tau = 30. in
+  List.iter
+    (fun lambda_minutes ->
+      let lambda = fixed (lambda_minutes *. 60.) in
+      Printf.printf "\nlambda = %.0f minutes:\n" lambda_minutes;
+      let rows =
+        List.map
+          (fun labels ->
+            let inst = Workloads.one_day ~labels ~seed:42 in
+            string_of_int labels
+            :: string_of_int (Mqdp.Instance.size inst)
+            :: List.map
+                 (fun (_, algo) -> string_of_int (stream_size algo ~tau inst lambda))
+                 algos)
+          [ 2; 5; 10; 20 ]
+      in
+      Harness.table ("|L|" :: "posts" :: List.map fst algos) rows)
+    [ 10.; 30. ]

@@ -1,0 +1,83 @@
+(* Table 1 and Table 2 of the paper. *)
+
+let table1 () =
+  Harness.section ~id:"table1" ~paper:"Table 1: example topics with top keywords"
+    ~expect:
+      "LDA on the news-corpus stand-in recovers the planted subtopics; each \
+       extracted topic's top keywords name one subtopic's entity + theme words";
+  let planted = Workload.Catalog.subtopics ~per_broad:2 ~seed:2014 in
+  let articles = Workload.News_gen.articles ~seed:7 ~topics:planted ~count:400 in
+  let vocabulary = Topics.Vocabulary.create () in
+  let docs = Workload.News_gen.encode vocabulary articles in
+  let num_topics = Array.length planted in
+  let model, secs =
+    Util.Timer.time_it (fun () ->
+        Topics.Lda.train ~num_topics ~iterations:150 ~seed:3
+          ~vocab_size:(Topics.Vocabulary.size vocabulary) docs)
+  in
+  Printf.printf
+    "scale: %d articles, %d planted topics, 150 Gibbs sweeps (%.1fs)\n\
+     paper: 1M RSS articles, 300 Mallet topics grouped into 10 broad themes\n\n"
+    (List.length articles) num_topics secs;
+  (* Mimic the paper's layout: a broad theme and topic keyword rows. *)
+  let rows = ref [] in
+  for k = 0 to num_topics - 1 do
+    let words =
+      Topics.Lda.top_words model ~topic:k ~k:8
+      |> List.map (fun (w, _) -> Topics.Vocabulary.word vocabulary w)
+    in
+    (* Attribute the extracted topic to the planted subtopic whose entity
+       ranks highest among its keywords. *)
+    let owner =
+      Array.to_list planted
+      |> List.filter_map (fun t ->
+             let entity = t.Workload.Catalog.keywords.(0) in
+             match List.find_index (fun w -> w = entity) words with
+             | Some rank -> Some (rank, t.Workload.Catalog.broad)
+             | None -> None)
+      |> List.sort compare
+    in
+    let broad = match owner with (_, b) :: _ -> b | [] -> "(mixed)" in
+    rows := [ broad; string_of_int k; String.concat " " words ] :: !rows
+  done;
+  let sorted = List.sort compare !rows in
+  Harness.table [ "broad theme"; "topic"; "top keywords" ] sorted;
+  let recovered =
+    List.length (List.filter (fun row -> List.hd row <> "(mixed)") sorted)
+  in
+  Printf.printf "\nattributable topics: %d/%d\n" recovered num_topics
+
+let table2 () =
+  Harness.section ~id:"table2"
+    ~paper:"Table 2: matching posts per minute vs label-set size"
+    ~expect:
+      "more subscribed topics match more posts, sub-linearly (shared broad \
+       keywords overlap); paper at 100x our volume: 136 / 308 / 1180 per min";
+  let topics = Workload.Catalog.subtopics ~per_broad:24 ~seed:11 in
+  let stream =
+    Workload.Stream_gen.generate
+      { (Workload.Stream_gen.default_config ~topics ~seed:5) with
+        Workload.Stream_gen.duration = 600.;
+        topic_rate = 0.012 }
+  in
+  Printf.printf "scale: %d tweets over 10 min, %d candidate topics (paper: 4.3M over a day)\n\n"
+    (List.length stream) (Array.length topics);
+  let paper_reference = [ (2, 136.); (5, 308.); (20, 1180.) ] in
+  let rows =
+    List.map
+      (fun (size, paper_rate) ->
+        let per_minute =
+          Harness.mean_over_seeds ~seeds:10 (fun seed ->
+              let rng = Util.Rng.create (100 + seed) in
+              let labels = Workload.Catalog.pick_label_set rng topics ~size in
+              let queries =
+                Array.of_list
+                  (List.map (fun i -> topics.(i).Workload.Catalog.keywords) labels)
+              in
+              let matched = Workload.Matching.match_tweets ~queries stream in
+              float_of_int (List.length matched) /. 10.)
+        in
+        [ string_of_int size; Harness.f2 per_minute; Harness.f2 paper_rate ])
+      paper_reference
+  in
+  Harness.table [ "|L|"; "posts/min (ours)"; "posts/min (paper)" ] rows

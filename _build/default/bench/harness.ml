@@ -1,0 +1,57 @@
+(* Shared plumbing for the experiment harness: aligned-column tables,
+   multi-seed averaging, and a guarded OPT call. *)
+
+let section ~id ~paper ~expect =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "%s  —  %s\n" id paper;
+  Printf.printf "expected shape: %s\n" expect;
+  Printf.printf "%s\n" (String.make 78 '-')
+
+(* Print rows under right-aligned headers; every cell is a string. *)
+let table headers rows =
+  let columns = List.length headers in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row i)))
+      (String.length (List.nth headers i))
+      rows
+  in
+  let widths = List.init columns width in
+  let print_row row =
+    List.iteri
+      (fun i cell -> Printf.printf "%*s  " (List.nth widths i) cell)
+      row;
+    print_newline ()
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+
+(* Microseconds with 3 significant-ish digits. *)
+let us x = Printf.sprintf "%.2f" (x *. 1e6)
+
+(* Average [f seed] over [seeds] runs; f returns a float. *)
+let mean_over_seeds ~seeds f =
+  let total = ref 0. in
+  for seed = 1 to seeds do
+    total := !total +. f seed
+  done;
+  !total /. float_of_int seeds
+
+(* OPT can blow up; return None when the state limit is hit so a sweep
+   can report the point as skipped instead of dying. *)
+let opt_size_opt ?max_states instance lambda =
+  match Mqdp.Opt.min_size ?max_states instance lambda with
+  | size -> Some size
+  | exception Mqdp.Opt.Too_large _ -> None
+
+let relative_error ~approx ~optimal =
+  Mqdp.Metrics.relative_error ~approx ~optimal
+
+(* Wall-clock per post for one solver run on one instance. *)
+let time_per_post solve instance =
+  let _, elapsed = Util.Timer.time_it (fun () -> solve instance) in
+  Mqdp.Metrics.time_per_post ~elapsed instance

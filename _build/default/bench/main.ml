@@ -1,0 +1,56 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Section 7) plus the DESIGN.md ablations, at ~1% of the
+   paper's data volume.
+
+   Usage:
+     dune exec bench/main.exe                 # run everything
+     dune exec bench/main.exe -- --exp fig6   # run one experiment
+     dune exec bench/main.exe -- --list       # list experiment ids *)
+
+let experiments =
+  [
+    ("table1", Exp_tables.table1);
+    ("table2", Exp_tables.table2);
+    ("fig6", Exp_effectiveness.fig6);
+    ("fig7", Exp_effectiveness.fig7);
+    ("fig8", Exp_effectiveness.fig8);
+    ("fig9", Exp_streaming.fig9);
+    ("fig10", Exp_streaming.fig10);
+    ("fig11", Exp_streaming.fig11);
+    ("fig12", Exp_streaming.fig12);
+    ("fig13", Exp_efficiency.fig13);
+    ("fig14", Exp_efficiency.fig14);
+    ("fig15", Exp_efficiency.fig15);
+    ("ablA", Exp_ablations.abl_proportional);
+    ("ablB", Exp_ablations.abl_scan_order);
+    ("ablC", Exp_ablations.abl_hardness);
+    ("ablD", Exp_ablations.abl_spatial);
+    ("ablE", Exp_ablations.abl_baselines);
+    ("ablF", Exp_ablations.abl_greedy_selection);
+    ("micro", Micro.run);
+  ]
+
+let list_experiments () =
+  List.iter (fun (id, _) -> print_endline id) experiments
+
+let run_one id =
+  match List.assoc_opt id experiments with
+  | Some f ->
+    let (), elapsed = Util.Timer.time_it f in
+    Printf.printf "\n[%s done in %.1fs]\n" id elapsed
+  | None ->
+    Printf.eprintf "unknown experiment %S; use --list\n" id;
+    exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--list" :: _ -> list_experiments ()
+  | _ :: "--exp" :: ids -> List.iter run_one ids
+  | _ :: [] ->
+    let (), total = Util.Timer.time_it (fun () ->
+        List.iter (fun (id, _) -> run_one id) experiments)
+    in
+    Printf.printf "\n%s\nall experiments done in %.1fs\n" (String.make 78 '=') total
+  | _ ->
+    prerr_endline "usage: main.exe [--list | --exp <id> ...]";
+    exit 1

@@ -1,0 +1,69 @@
+(* Bechamel micro-benchmarks: one Test.make per algorithm family on a
+   fixed 10-minute slice, analyzed with OLS against the monotonic clock.
+   These complement the wall-clock figures 13-15 with statistically
+   grounded per-run estimates. *)
+
+open Bechamel
+open Toolkit
+
+let slice = lazy (Workloads.ten_minute ~rate:30. ~overlap:1.5 ~labels:5 ~seed:7 ())
+let lambda = Mqdp.Coverage.Fixed 30.
+
+let tests () =
+  let inst = Lazy.force slice in
+  let offline name algo =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore ((Mqdp.Solver.solve algo inst lambda).Mqdp.Solver.cover)))
+  in
+  let streaming name algo =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore
+             ((Mqdp.Solver.solve_stream algo ~tau:10. inst lambda)
+                .Mqdp.Solver.stream_size)))
+  in
+  Test.make_grouped ~name:"mqdp"
+    [
+      offline "scan" Mqdp.Solver.Scan;
+      offline "scan+" Mqdp.Solver.Scan_plus;
+      offline "greedy-sc" Mqdp.Solver.Greedy_sc;
+      offline "greedy-sc-heap" Mqdp.Solver.Greedy_sc_heap;
+      streaming "stream-scan" Mqdp.Solver.Stream_scan;
+      streaming "stream-scan+" Mqdp.Solver.Stream_scan_plus;
+      streaming "stream-greedy-sc" Mqdp.Solver.Stream_greedy;
+      streaming "stream-greedy-sc+" Mqdp.Solver.Stream_greedy_plus;
+      streaming "instant" Mqdp.Solver.Instant;
+    ]
+
+let run () =
+  Harness.section ~id:"micro"
+    ~paper:"Bechamel micro-benchmarks (supplement to Figures 13-15)"
+    ~expect:"scan-family runs 1-3 orders of magnitude faster than greedy-family";
+  let inst = Lazy.force slice in
+  Printf.printf "workload: %d posts, |L| = 5, overlap %.2f, lambda = 30s, tau = 10s\n\n"
+    (Mqdp.Instance.size inst) (Mqdp.Instance.overlap_rate inst);
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.6) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> Printf.sprintf "%.1f" (e /. 1000.)
+        | Some [] | None -> "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "n/a"
+      in
+      rows := [ name; estimate; r2 ] :: !rows)
+    results;
+  Harness.table
+    [ "benchmark"; "us/run (OLS)"; "r²" ]
+    (List.sort compare !rows)

@@ -1,0 +1,42 @@
+(* Benchmark workloads.
+
+   Everything is scaled to ~1% of the paper's Twitter volume (their Table 2
+   reports 136 / 308 / 1180 matching posts per minute for |L| = 2 / 5 / 20
+   on a 1%-sample day of Twitter) so the whole suite reruns in minutes on
+   one core. Each experiment prints its scale next to the paper's. *)
+
+(* Matching posts per minute for a label-set size, at our 1% scale. *)
+let rate_for_labels = function
+  | n when n <= 2 -> 1.4
+  | n when n <= 5 -> 3.1
+  | n when n <= 10 -> 6.
+  | _ -> 11.8
+
+(* A 10-minute evaluation slice, the paper's unit whenever OPT is needed. *)
+let ten_minute ?(rate = 18.) ?(overlap = 1.25) ~labels ~seed () =
+  let base =
+    { (Workload.Direct_gen.default_config ~num_labels:labels ~seed) with
+      Workload.Direct_gen.duration = 600.;
+      rate_per_min = rate }
+  in
+  (* A post cannot carry more labels than exist: with |L| = 2 the overlap
+     distribution is the two-point one on {1, 2}. *)
+  let config =
+    if labels >= 3 then Workload.Direct_gen.overlap_config ~base ~overlap
+    else if labels = 2 then
+      { base with Workload.Direct_gen.overlap_probs = [| 2. -. overlap; overlap -. 1. |] }
+    else { base with Workload.Direct_gen.overlap_probs = [| 1. |] }
+  in
+  Workload.Direct_gen.instance config
+
+(* One simulated day at the scaled per-|L| rate. *)
+let one_day ~labels ~seed =
+  let overlap_probs =
+    if labels >= 3 then [| 0.8; 0.15; 0.05 |] else [| 0.85; 0.15 |]
+  in
+  Workload.Direct_gen.instance
+    { (Workload.Direct_gen.default_config ~num_labels:labels ~seed) with
+      Workload.Direct_gen.duration = 86_400.;
+      rate_per_min = rate_for_labels labels;
+      overlap_probs;
+      bursts_per_hour = 0.5 }

@@ -1,0 +1,268 @@
+(* mqdp — command-line front-end for the multi-query diversification
+   library: generate synthetic workloads, solve offline or streaming
+   instances, and demo the NP-hardness reductions. *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 600.
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Stream duration in seconds.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "rate" ] ~docv:"N" ~doc:"Matching posts per minute.")
+
+let labels_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "labels"; "L" ] ~docv:"N" ~doc:"Number of labels (queries).")
+
+let lambda_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "lambda" ] ~docv:"SECONDS" ~doc:"Diversity threshold λ.")
+
+let tau_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "tau" ] ~docv:"SECONDS" ~doc:"Streaming reporting delay budget τ.")
+
+let overlap_arg =
+  Arg.(
+    value & opt float 1.25
+    & info [ "overlap" ] ~docv:"RATE"
+        ~doc:"Target post overlap rate (mean labels per post), in [1, 3].")
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Save the generated posts as TSV.")
+
+let in_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "in"; "i" ] ~docv:"FILE"
+        ~doc:"Load posts from a TSV file instead of generating them.")
+
+let config ~seed ~duration ~rate ~labels ~overlap =
+  let base =
+    { (Workload.Direct_gen.default_config ~num_labels:labels ~seed) with
+      duration;
+      rate_per_min = rate }
+  in
+  Workload.Direct_gen.overlap_config ~base ~overlap
+
+let print_instance_stats inst =
+  Printf.printf "instance: %d posts, %d labels, overlap rate %.3f, s=%d\n"
+    (Mqdp.Instance.size inst) (Mqdp.Instance.num_labels inst)
+    (Mqdp.Instance.overlap_rate inst)
+    (Mqdp.Instance.max_labels_per_post inst)
+
+(* generate *)
+
+let generate_cmd =
+  let run seed duration rate labels overlap verbose out =
+    let posts =
+      Workload.Direct_gen.generate (config ~seed ~duration ~rate ~labels ~overlap)
+    in
+    let inst = Mqdp.Instance.create posts in
+    print_instance_stats inst;
+    (match out with
+    | Some path ->
+      Workload.Post_io.save path posts;
+      Printf.printf "saved %d posts to %s\n" (List.length posts) path
+    | None -> ());
+    if verbose then
+      Array.iter
+        (fun p -> print_endline (Workload.Post_io.post_to_line p))
+        (Mqdp.Instance.posts inst)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every post as TSV.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic labeled post stream.")
+    Term.(
+      const run $ seed_arg $ duration_arg $ rate_arg $ labels_arg $ overlap_arg
+      $ verbose $ out_arg)
+
+(* solve *)
+
+let algorithm_arg =
+  let parse s =
+    match Mqdp.Solver.algorithm_of_string s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown algorithm %S (expected one of: %s)" s
+              (String.concat ", "
+                 (List.map Mqdp.Solver.algorithm_name Mqdp.Solver.all_algorithms))))
+  in
+  let print fmt a = Format.pp_print_string fmt (Mqdp.Solver.algorithm_name a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Mqdp.Solver.Greedy_sc
+    & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"Algorithm to run.")
+
+let load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap =
+  match input with
+  | Some path -> Mqdp.Instance.create (Workload.Post_io.load path)
+  | None -> Workload.Direct_gen.instance (config ~seed ~duration ~rate ~labels ~overlap)
+
+let solve_cmd =
+  let run seed duration rate labels overlap lambda algorithm input out =
+    let inst = load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap in
+    print_instance_stats inst;
+    let result = Mqdp.Solver.solve algorithm inst (Mqdp.Coverage.Fixed lambda) in
+    Printf.printf "%s: cover size %d (%.2f%% of stream), %.2f ms, valid=%b\n"
+      (Mqdp.Solver.algorithm_name algorithm)
+      result.Mqdp.Solver.size
+      (100. *. float_of_int result.Mqdp.Solver.size
+       /. float_of_int (max 1 (Mqdp.Instance.size inst)))
+      (result.Mqdp.Solver.elapsed *. 1000.)
+      (Mqdp.Coverage.is_cover inst (Mqdp.Coverage.Fixed lambda) result.Mqdp.Solver.cover);
+    match out with
+    | Some path ->
+      Workload.Post_io.save_cover path inst result.Mqdp.Solver.cover;
+      Printf.printf "saved the cover to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve MQDP on a generated or loaded workload.")
+    Term.(
+      const run $ seed_arg $ duration_arg $ rate_arg $ labels_arg $ overlap_arg
+      $ lambda_arg $ algorithm_arg $ in_arg $ out_arg)
+
+(* stream *)
+
+let streaming_algorithm_arg =
+  let parse s =
+    match Mqdp.Solver.streaming_algorithm_of_string s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown streaming algorithm %S (expected one of: %s)" s
+              (String.concat ", "
+                 (List.map Mqdp.Solver.streaming_algorithm_name
+                    Mqdp.Solver.all_streaming_algorithms))))
+  in
+  let print fmt a =
+    Format.pp_print_string fmt (Mqdp.Solver.streaming_algorithm_name a)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Mqdp.Solver.Stream_scan
+    & info [ "algorithm"; "a" ] ~docv:"ALGO" ~doc:"Streaming algorithm to run.")
+
+let stream_cmd =
+  let run seed duration rate labels overlap lambda tau algorithm input =
+    let inst = load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap in
+    print_instance_stats inst;
+    let result =
+      Mqdp.Solver.solve_stream algorithm ~tau inst (Mqdp.Coverage.Fixed lambda)
+    in
+    let delays = Mqdp.Stream.delays inst result.Mqdp.Solver.stream in
+    Printf.printf "%s (λ=%gs τ=%gs): emitted %d posts, mean delay %.2fs, max %.2fs\n"
+      (Mqdp.Solver.streaming_algorithm_name algorithm)
+      lambda tau result.Mqdp.Solver.stream_size (Util.Stats.mean delays)
+      (Array.fold_left max 0. delays)
+  in
+  Cmd.v
+    (Cmd.info "stream" ~doc:"Run a streaming diversifier over a generated stream.")
+    Term.(
+      const run $ seed_arg $ duration_arg $ rate_arg $ labels_arg $ overlap_arg
+      $ lambda_arg $ tau_arg $ streaming_algorithm_arg $ in_arg)
+
+(* reduce *)
+
+let reduce_cmd =
+  let run num_vars num_clauses clause_size seed sound =
+    let cnf =
+      Sat.Cnf.random ~seed ~num_vars ~num_clauses ~clause_size
+    in
+    Format.printf "formula: %a@." Sat.Cnf.pp cnf;
+    let reduction =
+      if sound then Mqdp.Hardness.of_cnf_set_cover cnf else Mqdp.Hardness.of_cnf cnf
+    in
+    Printf.printf "reduction (%s): %d posts, %d labels, budget %d\n"
+      (if sound then "set-cover" else "lemma-1")
+      (Mqdp.Instance.size reduction.Mqdp.Hardness.instance)
+      (Mqdp.Instance.num_labels reduction.Mqdp.Hardness.instance)
+      reduction.Mqdp.Hardness.budget;
+    let sat = Sat.Dpll.satisfiable cnf in
+    let via = Mqdp.Hardness.satisfiable_via_cover reduction in
+    Printf.printf "DPLL: %s; exact cover within budget: %s%s\n"
+      (if sat then "satisfiable" else "unsatisfiable")
+      (if via then "exists" else "does not exist")
+      (if sat = via then " — reduction agrees"
+       else " — reduction DISAGREES (the published Lemma 1 gap; see DESIGN.md)")
+  in
+  let num_vars =
+    Arg.(value & opt int 3 & info [ "vars" ] ~docv:"N" ~doc:"Number of variables.")
+  in
+  let num_clauses =
+    Arg.(value & opt int 4 & info [ "clauses" ] ~docv:"M" ~doc:"Number of clauses.")
+  in
+  let clause_size =
+    Arg.(value & opt int 2 & info [ "clause-size" ] ~docv:"K" ~doc:"Literals per clause.")
+  in
+  let sound =
+    Arg.(
+      value & flag
+      & info [ "sound" ]
+          ~doc:"Use the sound set-cover reduction instead of the published Lemma 1.")
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Reduce a random CNF formula to MQDP and compare with DPLL.")
+    Term.(const run $ num_vars $ num_clauses $ clause_size $ seed_arg $ sound)
+
+(* spatial *)
+
+let spatial_cmd =
+  let run seed duration rate labels lambda radius =
+    let config =
+      { (Workload.Geo_gen.default_config ~num_labels:labels ~seed) with
+        Workload.Geo_gen.duration;
+        rate_per_min = rate }
+    in
+    let geo = Workload.Geo_gen.instance config in
+    Printf.printf "instance: %d geotagged posts, %d labels\n"
+      (Mqdp.Spatial.size geo) labels;
+    let thresholds = { Mqdp.Spatial.lambda_time = lambda; radius_km = radius } in
+    let cover, elapsed = Util.Timer.time_it (fun () -> Mqdp.Spatial.greedy geo thresholds) in
+    Printf.printf
+      "spatiotemporal greedy (λ=%gs, r=%gkm): %d posts (%.2f%%), %.2f ms, valid=%b\n"
+      lambda radius (List.length cover)
+      (100. *. float_of_int (List.length cover)
+       /. float_of_int (max 1 (Mqdp.Spatial.size geo)))
+      (elapsed *. 1000.)
+      (Mqdp.Spatial.is_cover geo thresholds cover)
+  in
+  let radius =
+    Arg.(
+      value & opt float 50.
+      & info [ "radius" ] ~docv:"KM" ~doc:"Geographic coverage radius in km.")
+  in
+  Cmd.v
+    (Cmd.info "spatial"
+       ~doc:"Solve spatiotemporal MQDP on a generated geotagged stream.")
+    Term.(
+      const run $ seed_arg $ duration_arg $ rate_arg $ labels_arg $ lambda_arg
+      $ radius)
+
+let main_cmd =
+  let info =
+    Cmd.info "mqdp" ~version:"1.0.0"
+      ~doc:"Multi-query diversification of microblogging posts (EDBT 2014 reproduction)."
+  in
+  Cmd.group info [ generate_cmd; solve_cmd; stream_cmd; spatial_cmd; reduce_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

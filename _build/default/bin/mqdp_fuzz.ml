@@ -1,0 +1,99 @@
+(* Differential fuzzer: cross-checks every solver against the exact ones
+   on randomized instances until a time budget expires. Exits non-zero and
+   prints the reproducing seed on the first discrepancy — the tool to run
+   after touching any algorithm.
+
+   usage: mqdp_fuzz [seconds (default 10)] [start-seed (default 1)] *)
+
+let random_instance rng =
+  let n = 2 + Util.Rng.int rng 12 in
+  let num_labels = 1 + Util.Rng.int rng 3 in
+  let span = 4 + Util.Rng.int rng 10 in
+  let integral = Util.Rng.bool rng in
+  let posts =
+    List.init n (fun id ->
+        let value =
+          if integral then float_of_int (Util.Rng.int rng span)
+          else Util.Rng.float rng (float_of_int span)
+        in
+        let k = 1 + Util.Rng.int rng (min 3 num_labels) in
+        let labels =
+          List.init k (fun _ -> Util.Rng.int rng num_labels)
+        in
+        Mqdp.Post.make ~id ~value ~labels:(Mqdp.Label_set.of_list labels))
+  in
+  Mqdp.Instance.create posts
+
+exception Discrepancy of string
+
+let check ~seed cond message =
+  if not cond then
+    raise (Discrepancy (Printf.sprintf "seed %d: %s" seed message))
+
+let one_round seed =
+  let rng = Util.Rng.create seed in
+  let inst = random_instance rng in
+  let l = 0.5 +. Util.Rng.float rng 3.5 in
+  let lambda = Mqdp.Coverage.Fixed l in
+  let tau = Util.Rng.float rng 6. in
+  let optimal = List.length (Mqdp.Brute_force.solve inst lambda) in
+  check ~seed
+    (List.length (Mqdp.Opt.solve inst lambda) = optimal)
+    "OPT disagrees with brute force";
+  let s = Mqdp.Instance.max_labels_per_post inst in
+  List.iter
+    (fun algo ->
+      let result = Mqdp.Solver.solve algo inst lambda in
+      check ~seed
+        (Mqdp.Coverage.is_cover inst lambda result.Mqdp.Solver.cover)
+        (Mqdp.Solver.algorithm_name algo ^ " returned a non-cover");
+      check ~seed
+        (result.Mqdp.Solver.size >= optimal)
+        (Mqdp.Solver.algorithm_name algo ^ " beat the optimum"))
+    [ Mqdp.Solver.Greedy_sc; Mqdp.Solver.Greedy_sc_heap; Mqdp.Solver.Scan;
+      Mqdp.Solver.Scan_plus ];
+  check ~seed
+    (List.length (Mqdp.Scan.solve inst lambda) <= s * optimal)
+    "Scan exceeded its s-approximation bound";
+  List.iter
+    (fun algo ->
+      let result = Mqdp.Solver.solve_stream algo ~tau inst lambda in
+      let effective_tau = match algo with Mqdp.Solver.Instant -> 0. | _ -> tau in
+      check ~seed
+        (Mqdp.Coverage.is_cover inst lambda result.Mqdp.Solver.stream.Mqdp.Stream.cover)
+        (Mqdp.Solver.streaming_algorithm_name algo ^ " returned a non-cover");
+      check ~seed
+        (Mqdp.Stream.check_deadline ~tau:effective_tau inst result.Mqdp.Solver.stream)
+        (Mqdp.Solver.streaming_algorithm_name algo ^ " violated its deadline"))
+    Mqdp.Solver.all_streaming_algorithms;
+  let offline_scan = Mqdp.Scan.solve inst lambda in
+  let streaming_scan =
+    Mqdp.Stream_scan.solve ~plus:false ~tau:(l +. 0.25) inst lambda
+  in
+  check ~seed
+    (streaming_scan.Mqdp.Stream.cover = offline_scan)
+    "StreamScan with tau > lambda diverged from offline Scan";
+  (* The instant bound of Section 5.1. *)
+  let instant =
+    List.length (Mqdp.Stream_scan.solve_instant inst lambda).Mqdp.Stream.cover
+  in
+  check ~seed (instant <= 2 * s * optimal) "instant output exceeded 2s bound"
+
+let () =
+  let seconds =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.
+  in
+  let seed0 = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let start = Unix.gettimeofday () in
+  let rounds = ref 0 and seed = ref seed0 in
+  (try
+     while Unix.gettimeofday () -. start < seconds do
+       one_round !seed;
+       incr rounds;
+       incr seed
+     done;
+     Printf.printf "fuzz: %d rounds clean in %.1fs (seeds %d..%d)\n" !rounds seconds
+       seed0 (!seed - 1)
+   with Discrepancy message ->
+     Printf.eprintf "fuzz: DISCREPANCY after %d rounds — %s\n" !rounds message;
+     exit 1)

@@ -1,0 +1,1 @@
+examples/geo_monitor.ml: List Mqdp Printf String Workload

@@ -1,0 +1,1 @@
+examples/live_feed.ml: Array Hashtbl List Mqdp Printf Util Workload

@@ -1,0 +1,1 @@
+examples/news_monitor.ml: Array Hashtbl List Mqdp Printf String Util Workload

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Hashtbl Index List Mqdp Printf String Topics Workload

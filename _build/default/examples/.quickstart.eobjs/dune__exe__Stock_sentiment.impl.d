@@ -1,0 +1,1 @@
+examples/stock_sentiment.ml: Array Fun Hashtbl List Mqdp Printf Text Workload

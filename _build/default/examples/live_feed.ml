@@ -1,0 +1,63 @@
+(* Live feed: the incremental push API.
+
+   The other examples solve batches; a real subscription service receives
+   posts one at a time and must decide, within tau, what reaches the user.
+   Mqdp.Online is exactly that: push each arrival, forward whatever comes
+   back. Here the "network" is a synthetic stream replayed in order; the
+   deliveries interleave with the arrivals just as they would in
+   production.
+
+   Run with: dune exec examples/live_feed.exe *)
+
+let () =
+  let topics = Workload.Catalog.subtopics ~per_broad:6 ~seed:77 in
+  let rng = Util.Rng.create 5 in
+  let profile = Workload.Catalog.pick_label_set rng topics ~size:4 in
+  let queries =
+    Array.of_list (List.map (fun i -> topics.(i).Workload.Catalog.keywords) profile)
+  in
+  let tweets =
+    Workload.Stream_gen.generate
+      { (Workload.Stream_gen.default_config ~topics ~seed:3) with
+        Workload.Stream_gen.duration = 900.;
+        topic_rate = 0.02 }
+  in
+  let matched = Workload.Matching.match_tweets ~queries tweets in
+  Printf.printf "subscription: %d topics; %d of %d tweets match\n\n"
+    (Array.length queries) (List.length matched) (List.length tweets);
+
+  let lambda = 120. and tau = 15. in
+  let engine =
+    Mqdp.Online.create ~lambda (Mqdp.Online.Delayed { tau; plus = true })
+  in
+  let text_of = Hashtbl.create 256 in
+  let deliver e =
+    let tweet : Workload.Tweet.t = Hashtbl.find text_of e.Mqdp.Online.post.Mqdp.Post.id in
+    Printf.printf "  -> deliver at %6.1fs (posted %6.1fs): %s\n"
+      e.Mqdp.Online.emit_time tweet.Workload.Tweet.time tweet.Workload.Tweet.text
+  in
+  let arrivals = ref 0 and deliveries = ref 0 in
+  List.iter
+    (fun m ->
+      let tweet = m.Workload.Matching.tweet in
+      Hashtbl.replace text_of tweet.Workload.Tweet.id tweet;
+      let post =
+        Mqdp.Post.make ~id:tweet.Workload.Tweet.id ~value:tweet.Workload.Tweet.time
+          ~labels:(Mqdp.Label_set.of_list m.Workload.Matching.labels)
+      in
+      incr arrivals;
+      let due = Mqdp.Online.push engine post in
+      deliveries := !deliveries + List.length due;
+      (* Print a sample of the interleaving: the first few deliveries. *)
+      if !deliveries <= 8 then List.iter deliver due)
+    matched;
+  let tail = Mqdp.Online.finish engine in
+  deliveries := !deliveries + List.length tail;
+
+  Printf.printf
+    "\n%d arrivals -> %d deliveries (%.1f%% of the matching stream), λ=%gs τ=%gs\n"
+    !arrivals
+    (Mqdp.Online.emitted_count engine)
+    (100. *. float_of_int (Mqdp.Online.emitted_count engine)
+     /. float_of_int (max 1 !arrivals))
+    lambda tau

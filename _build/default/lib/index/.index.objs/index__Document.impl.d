@@ -1,0 +1,1 @@
+lib/index/document.ml: Text

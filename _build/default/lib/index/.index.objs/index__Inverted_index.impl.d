@@ -1,0 +1,1 @@
+lib/index/inverted_index.ml: Array Document Fun Hashtbl List Printf Query String

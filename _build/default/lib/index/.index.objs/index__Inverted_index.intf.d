@@ -1,0 +1,1 @@
+lib/index/inverted_index.mli: Document Query

@@ -1,0 +1,1 @@
+lib/index/ranked.ml: Document Float Int Inverted_index List Query String

@@ -1,0 +1,1 @@
+lib/index/ranked.mli: Document Inverted_index

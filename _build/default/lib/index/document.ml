@@ -1,0 +1,11 @@
+type t = {
+  id : int;
+  timestamp : float;
+  text : string;
+  tokens : string list;
+}
+
+let make ~id ~timestamp ~text =
+  { id; timestamp; text; tokens = Text.Tokenizer.tokenize_clean text }
+
+let make_raw ~id ~timestamp ~text ~tokens = { id; timestamp; text; tokens }

@@ -1,0 +1,16 @@
+(** An indexed document: a microblog post with its timestamp and the token
+    stream the index sees. *)
+
+type t = {
+  id : int;  (** caller-assigned, unique within an index *)
+  timestamp : float;
+  text : string;
+  tokens : string list;  (** the indexed terms *)
+}
+
+(** [make ~id ~timestamp ~text] tokenizes with
+    [Text.Tokenizer.tokenize_clean]. *)
+val make : id:int -> timestamp:float -> text:string -> t
+
+(** [make_raw] skips tokenization and indexes the given tokens as-is. *)
+val make_raw : id:int -> timestamp:float -> text:string -> tokens:string list -> t

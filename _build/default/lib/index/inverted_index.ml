@@ -1,0 +1,149 @@
+(* Postings accumulate as reversed ordinal lists and are frozen to sorted
+   arrays lazily (invalidated on every add). Ordinals increase with
+   insertion, so the reversed list is descending and freezing is a
+   List.rev + Array.of_list, no sort. *)
+
+type postings = {
+  mutable ordinals_rev : int list;
+  mutable frozen : int array option;
+  mutable last_ordinal : int;  (* to dedup repeated terms within a doc *)
+}
+
+type t = {
+  terms : (string, postings) Hashtbl.t;
+  mutable docs : Document.t array;
+  mutable count : int;
+  by_id : (int, int) Hashtbl.t;  (* external id -> ordinal *)
+}
+
+let create () =
+  { terms = Hashtbl.create 1024; docs = [||]; count = 0; by_id = Hashtbl.create 1024 }
+
+let doc_count t = t.count
+let term_count t = Hashtbl.length t.terms
+
+let add t doc =
+  if Hashtbl.mem t.by_id doc.Document.id then
+    invalid_arg (Printf.sprintf "Inverted_index.add: duplicate id %d" doc.Document.id);
+  let ordinal = t.count in
+  if ordinal >= Array.length t.docs then begin
+    let capacity = max 16 (2 * Array.length t.docs) in
+    let docs = Array.make capacity doc in
+    Array.blit t.docs 0 docs 0 t.count;
+    t.docs <- docs
+  end;
+  t.docs.(ordinal) <- doc;
+  t.count <- t.count + 1;
+  Hashtbl.replace t.by_id doc.Document.id ordinal;
+  List.iter
+    (fun term ->
+      match Hashtbl.find_opt t.terms term with
+      | Some p ->
+        if p.last_ordinal <> ordinal then begin
+          p.ordinals_rev <- ordinal :: p.ordinals_rev;
+          p.frozen <- None;
+          p.last_ordinal <- ordinal
+        end
+      | None ->
+        Hashtbl.add t.terms term
+          { ordinals_rev = [ ordinal ]; frozen = None; last_ordinal = ordinal })
+    doc.Document.tokens
+
+let postings_array t term =
+  match Hashtbl.find_opt t.terms term with
+  | None -> [||]
+  | Some p -> begin
+    match p.frozen with
+    | Some arr -> arr
+    | None ->
+      let arr = Array.of_list (List.rev p.ordinals_rev) in
+      p.frozen <- Some arr;
+      arr
+  end
+
+let union a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let rec merge i j k =
+    if i >= la && j >= lb then k
+    else if i >= la then begin
+      out.(k) <- b.(j);
+      merge i (j + 1) (k + 1)
+    end
+    else if j >= lb then begin
+      out.(k) <- a.(i);
+      merge (i + 1) j (k + 1)
+    end
+    else if a.(i) = b.(j) then begin
+      out.(k) <- a.(i);
+      merge (i + 1) (j + 1) (k + 1)
+    end
+    else if a.(i) < b.(j) then begin
+      out.(k) <- a.(i);
+      merge (i + 1) j (k + 1)
+    end
+    else begin
+      out.(k) <- b.(j);
+      merge i (j + 1) (k + 1)
+    end
+  in
+  Array.sub out 0 (merge 0 0 0)
+
+let intersect a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (min la lb) 0 in
+  let rec merge i j k =
+    if i >= la || j >= lb then k
+    else if a.(i) = b.(j) then begin
+      out.(k) <- a.(i);
+      merge (i + 1) (j + 1) (k + 1)
+    end
+    else if a.(i) < b.(j) then merge (i + 1) j k
+    else merge i (j + 1) k
+  in
+  Array.sub out 0 (merge 0 0 0)
+
+let complement t a =
+  let out = Array.make t.count 0 in
+  let la = Array.length a in
+  let rec fill ordinal i k =
+    if ordinal >= t.count then k
+    else if i < la && a.(i) = ordinal then fill (ordinal + 1) (i + 1) k
+    else begin
+      out.(k) <- ordinal;
+      fill (ordinal + 1) i (k + 1)
+    end
+  in
+  Array.sub out 0 (fill 0 0 0)
+
+let rec eval t = function
+  | Query.Term w -> postings_array t (String.lowercase_ascii w)
+  | Query.Or qs ->
+    List.fold_left (fun acc q -> union acc (eval t q)) [||] qs
+  | Query.And [] -> Array.init t.count Fun.id
+  | Query.And (q :: qs) ->
+    List.fold_left (fun acc q -> intersect acc (eval t q)) (eval t q) qs
+  | Query.Not q -> complement t (eval t q)
+
+let search t q =
+  eval t q |> Array.to_list |> List.map (fun ordinal -> t.docs.(ordinal).Document.id)
+
+let search_range t q ~lo ~hi =
+  eval t q
+  |> Array.to_list
+  |> List.filter_map (fun ordinal ->
+         let doc = t.docs.(ordinal) in
+         if doc.Document.timestamp >= lo && doc.Document.timestamp <= hi then
+           Some doc.Document.id
+         else None)
+
+let document t id =
+  match Hashtbl.find_opt t.by_id id with
+  | None -> raise Not_found
+  | Some ordinal -> t.docs.(ordinal)
+
+let postings_size t term =
+  Array.length (postings_array t (String.lowercase_ascii term))
+
+let terms t =
+  Hashtbl.fold (fun term _ acc -> term :: acc) t.terms [] |> List.sort String.compare

@@ -1,0 +1,35 @@
+(** An in-memory inverted index with boolean retrieval — the stand-in for
+    the Apache Lucene index of the paper's architecture (its Figure 1).
+
+    Documents get dense internal ordinals in insertion order; postings
+    are sorted ordinal arrays, and boolean operators are evaluated by
+    sorted-array merges. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t doc] indexes a document. Raises [Invalid_argument] on a
+    duplicate document id. *)
+val add : t -> Document.t -> unit
+
+val doc_count : t -> int
+val term_count : t -> int
+
+(** [document t id] — the document added with external id [id].
+    Raises [Not_found] for unknown ids. *)
+val document : t -> int -> Document.t
+
+(** [search t q] — ids of matching documents, ascending by insertion
+    order. *)
+val search : t -> Query.t -> int list
+
+(** [search_range t q ~lo ~hi] — matches whose timestamp lies in
+    [lo, hi]. *)
+val search_range : t -> Query.t -> lo:float -> hi:float -> int list
+
+(** [postings_size t term] — document frequency of [term] (0 if absent). *)
+val postings_size : t -> string -> int
+
+(** All indexed terms, sorted. *)
+val terms : t -> string list

@@ -1,0 +1,27 @@
+type t =
+  | Term of string
+  | And of t list
+  | Or of t list
+  | Not of t
+
+let of_keywords ws = Or (List.map (fun w -> Term (String.lowercase_ascii w)) ws)
+
+let terms q =
+  let rec collect acc = function
+    | Term w -> w :: acc
+    | And qs | Or qs -> List.fold_left collect acc qs
+    | Not q -> collect acc q
+  in
+  List.sort_uniq String.compare (collect [] q)
+
+let rec pp fmt = function
+  | Term w -> Format.pp_print_string fmt w
+  | And qs ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " AND ") pp)
+      qs
+  | Or qs ->
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " OR ") pp)
+      qs
+  | Not q -> Format.fprintf fmt "NOT %a" pp q

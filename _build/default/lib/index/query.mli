@@ -1,0 +1,20 @@
+(** Boolean queries over indexed terms.
+
+    [Not] is interpreted against the whole corpus (complement), so a pure
+    negation is legal but usually wrapped in [And]. *)
+
+type t =
+  | Term of string
+  | And of t list
+  | Or of t list
+  | Not of t
+
+(** [of_keywords ws] is [Or (List.map Term ws)] — the paper's topic
+    matching rule: a post matches a topic if it contains at least one of
+    the topic's keywords. Terms are lowercased. *)
+val of_keywords : string list -> t
+
+(** [terms q] — every term mentioned, deduplicated. *)
+val terms : t -> string list
+
+val pp : Format.formatter -> t -> unit

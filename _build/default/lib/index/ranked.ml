@@ -1,0 +1,42 @@
+let idf index term =
+  let n = float_of_int (Inverted_index.doc_count index) in
+  let df = float_of_int (Inverted_index.postings_size index term) in
+  log ((1. +. n) /. (1. +. df)) +. 1.
+
+let term_count doc term =
+  List.fold_left
+    (fun acc token -> if token = term then acc + 1 else acc)
+    0 doc.Document.tokens
+
+let tf_idf index ~term ~doc =
+  let len = List.length doc.Document.tokens in
+  if len = 0 then 0.
+  else begin
+    let tf = float_of_int (term_count doc term) /. float_of_int len in
+    tf *. idf index term
+  end
+
+let score index ~keywords doc =
+  List.fold_left
+    (fun acc keyword ->
+      acc +. tf_idf index ~term:(String.lowercase_ascii keyword) ~doc)
+    0. keywords
+
+let top_k index ~keywords ~k =
+  if k < 0 then invalid_arg "Ranked.top_k: negative k";
+  let candidates = Inverted_index.search index (Query.of_keywords keywords) in
+  let scored =
+    List.map
+      (fun id ->
+        let doc = Inverted_index.document index id in
+        (doc, score index ~keywords doc))
+      candidates
+  in
+  let sorted =
+    List.sort
+      (fun (da, sa) (db, sb) ->
+        let c = Float.compare sb sa in
+        if c <> 0 then c else Int.compare da.Document.id db.Document.id)
+      scored
+  in
+  List.filteri (fun i _ -> i < k) sorted

@@ -1,0 +1,22 @@
+(** TF–IDF ranked retrieval on top of the boolean index — the "relevance"
+    half of a Lucene-style search stack. The diversification pipeline uses
+    boolean matching (the paper's rule), but the ranked entry point lets
+    applications show best-first results and lets tests pin the scoring
+    maths. *)
+
+(** [idf index term] = ln((1 + N) / (1 + df)) + 1 (the smoothed variant);
+    terms absent from the index get the maximum idf. *)
+val idf : Inverted_index.t -> string -> float
+
+(** [tf_idf index ~term ~doc] = (term count in doc / doc length) · idf.
+    0 for an empty document. *)
+val tf_idf : Inverted_index.t -> term:string -> doc:Document.t -> float
+
+(** [score index ~keywords doc] — the sum of {!tf_idf} over query
+    keywords, lowercased. *)
+val score : Inverted_index.t -> keywords:string list -> Document.t -> float
+
+(** [top_k index ~keywords ~k] — the [k] best-scoring documents matching
+    at least one keyword, ties broken by ascending id; descending score.
+    Raises [Invalid_argument] on negative [k]. *)
+val top_k : Inverted_index.t -> keywords:string list -> k:int -> (Document.t * float) list

@@ -1,0 +1,1 @@
+lib/mqdp/baselines.ml: Array Coverage Float Fun Instance Int List Util

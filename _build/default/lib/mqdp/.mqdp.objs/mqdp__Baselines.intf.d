@@ -1,0 +1,1 @@
+lib/mqdp/baselines.mli: Coverage Instance

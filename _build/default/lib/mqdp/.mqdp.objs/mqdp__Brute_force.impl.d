@@ -1,0 +1,1 @@
+lib/mqdp/brute_force.ml: Array Coverage Hashtbl Instance Label_set List Post Printf Set_cover

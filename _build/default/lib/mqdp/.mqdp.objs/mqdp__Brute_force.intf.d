@@ -1,0 +1,1 @@
+lib/mqdp/brute_force.mli: Coverage Instance

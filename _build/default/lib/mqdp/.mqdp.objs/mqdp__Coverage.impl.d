@@ -1,0 +1,1 @@
+lib/mqdp/coverage.ml: Array Instance Label Label_set List Post

@@ -1,0 +1,1 @@
+lib/mqdp/coverage.mli: Instance Label Post

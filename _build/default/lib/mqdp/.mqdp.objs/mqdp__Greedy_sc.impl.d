@@ -1,0 +1,1 @@
+lib/mqdp/greedy_sc.ml: Array Bytes Coverage Instance Int Label_set List Post Util

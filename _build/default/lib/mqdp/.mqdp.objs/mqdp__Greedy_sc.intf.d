@@ -1,0 +1,1 @@
+lib/mqdp/greedy_sc.mli: Coverage Instance

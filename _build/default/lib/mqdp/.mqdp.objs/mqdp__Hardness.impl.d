@@ -1,0 +1,1 @@
+lib/mqdp/hardness.ml: Array Brute_force Coverage Hashtbl Instance Int Label Label_set List Option Post Printf Sat

@@ -1,0 +1,1 @@
+lib/mqdp/hardness.mli: Coverage Instance Label Sat

@@ -1,0 +1,1 @@
+lib/mqdp/instance.ml: Array Fun Hashtbl Label Label_set List Post Printf Util

@@ -1,0 +1,1 @@
+lib/mqdp/instance.mli: Label Label_set Post

@@ -1,0 +1,1 @@
+lib/mqdp/label.ml: Array Format Hashtbl

@@ -1,0 +1,1 @@
+lib/mqdp/label.mli: Format

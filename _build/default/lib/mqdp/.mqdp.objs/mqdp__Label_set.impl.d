@@ -1,0 +1,1 @@
+lib/mqdp/label_set.ml: Array Format Label List Stdlib

@@ -1,0 +1,1 @@
+lib/mqdp/label_set.mli: Format Label

@@ -1,0 +1,1 @@
+lib/mqdp/metrics.ml: Array Instance Label_set List

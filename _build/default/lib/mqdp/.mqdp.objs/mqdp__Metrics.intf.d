@@ -1,0 +1,1 @@
+lib/mqdp/metrics.mli: Instance Label

@@ -1,0 +1,1 @@
+lib/mqdp/online.ml: Float Hashtbl Int Label Label_set List Post Printf Util

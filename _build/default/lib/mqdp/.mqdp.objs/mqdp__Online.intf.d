@@ -1,0 +1,1 @@
+lib/mqdp/online.mli: Post

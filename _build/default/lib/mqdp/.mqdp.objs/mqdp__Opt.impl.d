@@ -1,0 +1,1 @@
+lib/mqdp/opt.ml: Array Coverage Hashtbl Instance Int Label Label_set List Post Printf Util

@@ -1,0 +1,1 @@
+lib/mqdp/opt.mli: Coverage Instance

@@ -1,0 +1,1 @@
+lib/mqdp/post.ml: Float Format Int Label_set

@@ -1,0 +1,1 @@
+lib/mqdp/post.mli: Format Label_set

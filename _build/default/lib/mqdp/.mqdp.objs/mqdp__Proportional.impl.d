@@ -1,0 +1,1 @@
+lib/mqdp/proportional.ml: Array Coverage Float Hashtbl Instance List Post

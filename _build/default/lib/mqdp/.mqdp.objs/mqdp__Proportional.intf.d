@@ -1,0 +1,1 @@
+lib/mqdp/proportional.mli: Coverage Instance Label

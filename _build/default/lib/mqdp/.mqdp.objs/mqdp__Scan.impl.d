@@ -1,0 +1,1 @@
+lib/mqdp/scan.ml: Array Bytes Coverage Float Instance Int Label_set List Post Util

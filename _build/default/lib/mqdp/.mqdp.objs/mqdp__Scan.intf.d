@@ -1,0 +1,1 @@
+lib/mqdp/scan.mli: Coverage Instance Label

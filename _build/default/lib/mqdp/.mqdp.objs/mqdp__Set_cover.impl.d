@@ -1,0 +1,1 @@
+lib/mqdp/set_cover.ml: Array Bytes Int Label_set List Printf

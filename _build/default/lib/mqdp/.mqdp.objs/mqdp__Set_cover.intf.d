@@ -1,0 +1,1 @@
+lib/mqdp/set_cover.mli:

@@ -1,0 +1,1 @@
+lib/mqdp/solver.ml: Brute_force Greedy_sc List Opt Scan Stream Stream_greedy Stream_scan Util

@@ -1,0 +1,1 @@
+lib/mqdp/solver.mli: Coverage Instance Stream

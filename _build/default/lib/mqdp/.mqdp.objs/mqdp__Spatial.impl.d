@@ -1,0 +1,1 @@
+lib/mqdp/spatial.ml: Array Brute_force Float Hashtbl Int Label_set List Printf Set_cover Util

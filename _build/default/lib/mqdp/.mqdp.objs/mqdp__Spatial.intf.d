@@ -1,0 +1,1 @@
+lib/mqdp/spatial.mli: Label Label_set

@@ -1,0 +1,1 @@
+lib/mqdp/stream.ml: Array Coverage Float Hashtbl Instance Int List

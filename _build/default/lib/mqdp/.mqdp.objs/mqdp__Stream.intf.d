@@ -1,0 +1,1 @@
+lib/mqdp/stream.mli: Coverage Instance

@@ -1,0 +1,1 @@
+lib/mqdp/stream_greedy.ml: Array Bytes Instance Label_set List Post Stream Util

@@ -1,0 +1,1 @@
+lib/mqdp/stream_greedy.mli: Coverage Instance Stream

@@ -1,0 +1,1 @@
+lib/mqdp/stream_scan.ml: Hashtbl Instance List Online Post Stream

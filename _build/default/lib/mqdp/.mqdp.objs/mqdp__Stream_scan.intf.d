@@ -1,0 +1,1 @@
+lib/mqdp/stream_scan.mli: Coverage Instance Stream

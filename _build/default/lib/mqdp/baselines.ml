@@ -1,0 +1,67 @@
+let clamp_k instance k =
+  if k < 0 then invalid_arg "Baselines: negative k";
+  min k (Instance.size instance)
+
+let uniform instance ~k =
+  let n = Instance.size instance in
+  let k = clamp_k instance k in
+  if k = 0 then []
+  else if k = 1 then [ 0 ]
+  else
+    List.init k (fun i ->
+        let frac = float_of_int i /. float_of_int (k - 1) in
+        int_of_float (Float.round (frac *. float_of_int (n - 1))))
+    |> List.sort_uniq Int.compare
+
+let random_sample ~seed instance ~k =
+  let n = Instance.size instance in
+  let k = clamp_k instance k in
+  let rng = Util.Rng.create seed in
+  let positions = Array.init n Fun.id in
+  Util.Rng.shuffle rng positions;
+  List.sort Int.compare (Array.to_list (Array.sub positions 0 k))
+
+let max_min_dispersion instance ~k =
+  let n = Instance.size instance in
+  let k = clamp_k instance k in
+  if k = 0 then []
+  else if k = 1 then [ 0 ]
+  else if n <= k then List.init n Fun.id
+  else begin
+    (* Posts are value-sorted, so the extremes are positions 0 and n-1;
+       min_dist.(i) tracks the distance to the current selection. *)
+    let selected = ref [ n - 1; 0 ] in
+    let min_dist =
+      Array.init n (fun i ->
+          let v = Instance.value instance i in
+          Float.min
+            (Float.abs (v -. Instance.value instance 0))
+            (Float.abs (v -. Instance.value instance (n - 1))))
+    in
+    for _ = 3 to k do
+      let best = ref (-1) and best_dist = ref neg_infinity in
+      Array.iteri
+        (fun i d ->
+          if d > !best_dist && not (List.mem i !selected) then begin
+            best := i;
+            best_dist := d
+          end)
+        min_dist;
+      let v = Instance.value instance !best in
+      selected := !best :: !selected;
+      Array.iteri
+        (fun i d ->
+          let d' = Float.abs (Instance.value instance i -. v) in
+          if d' < d then min_dist.(i) <- d')
+        min_dist
+    done;
+    List.sort_uniq Int.compare !selected
+  end
+
+let coverage_fraction instance lambda cover =
+  let total = Instance.total_pairs instance in
+  if total = 0 then 1.
+  else begin
+    let bad = List.length (Coverage.uncovered instance lambda cover) in
+    float_of_int (total - bad) /. float_of_int total
+  end

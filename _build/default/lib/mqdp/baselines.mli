@@ -1,0 +1,29 @@
+(** Diversification baselines from the related work (paper §8), used to
+    show what coverage-based multi-query diversification buys.
+
+    These selectors answer "pick k representative posts" without the
+    coverage guarantee: classic top-k diversification maximizes pairwise
+    dissimilarity, uniform sampling spreads picks evenly, random sampling
+    is the null model. {!coverage_fraction} then measures how much of the
+    (post, label) universe each selection λ-covers — MQDP algorithms
+    reach 1.0 by construction; the baselines fall short at equal budget,
+    which is the paper's core argument for the coverage objective. *)
+
+(** [uniform instance ~k] — the k value-quantile posts (first, last, and
+    evenly spaced in between). Returns fewer when the instance is small.
+    Positions ascending. *)
+val uniform : Instance.t -> k:int -> int list
+
+(** [random_sample ~seed instance ~k] — k distinct uniform positions. *)
+val random_sample : seed:int -> Instance.t -> k:int -> int list
+
+(** [max_min_dispersion instance ~k] — the classic greedy max-min
+    diversification (Gonzalez-style): seed with the two extreme posts,
+    then repeatedly add the post maximizing its minimum distance (on the
+    diversity dimension) to the selection. Label-blind, like the
+    single-query models the paper contrasts with. *)
+val max_min_dispersion : Instance.t -> k:int -> int list
+
+(** [coverage_fraction instance lambda cover] — covered (post, label)
+    pairs / total pairs; 1.0 for a λ-cover, 1.0 on an empty instance. *)
+val coverage_fraction : Instance.t -> Coverage.lambda -> int list -> float

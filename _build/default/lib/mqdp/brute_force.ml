@@ -1,0 +1,66 @@
+exception Too_large of string
+
+(* Map MQDP onto the generic engine: elements are (label, LP-index) pairs
+   with dense ids; set k is everything post k λ-covers. *)
+let build_sets ?(max_pairs = 4096) instance lambda =
+  let pair_id = Hashtbl.create 256 in
+  let next = ref 0 in
+  List.iter
+    (fun a ->
+      Array.iteri
+        (fun ia _ ->
+          Hashtbl.add pair_id (a, ia) !next;
+          incr next)
+        (Instance.label_posts instance a))
+    (Instance.label_universe instance);
+  let pair_count = !next in
+  if pair_count > max_pairs then
+    raise
+      (Too_large
+         (Printf.sprintf "Brute_force: %d (post,label) pairs exceeds limit %d"
+            pair_count max_pairs));
+  let n = Instance.size instance in
+  let sets =
+    Array.init n (fun k ->
+        let p = Instance.post instance k in
+        let pairs = ref [] in
+        Label_set.iter
+          (fun a ->
+            let r = Coverage.radius lambda p a in
+            match
+              Instance.posts_in_range instance a ~lo:(p.Post.value -. r)
+                ~hi:(p.Post.value +. r)
+            with
+            | None -> ()
+            | Some (first, last) ->
+              for ia = first to last do
+                pairs := Hashtbl.find pair_id (a, ia) :: !pairs
+              done)
+          p.Post.labels;
+        Array.of_list !pairs)
+  in
+  (pair_count, sets)
+
+let wrap_engine f =
+  match f () with
+  | result -> result
+  | exception Set_cover.Too_large msg ->
+    raise (Too_large ("Brute_force: " ^ msg))
+
+let solve ?max_pairs ?max_nodes instance lambda =
+  if Instance.size instance = 0 then []
+  else begin
+    let num_elements, sets = build_sets ?max_pairs instance lambda in
+    wrap_engine (fun () -> Set_cover.minimum ?max_nodes ~num_elements sets)
+  end
+
+let solve_bounded ?max_pairs ?max_nodes ~bound instance lambda =
+  if bound < 0 then None
+  else if Instance.size instance = 0 then Some []
+  else begin
+    let num_elements, sets = build_sets ?max_pairs instance lambda in
+    wrap_engine (fun () -> Set_cover.bounded ?max_nodes ~bound ~num_elements sets)
+  end
+
+let min_size ?max_pairs ?max_nodes instance lambda =
+  List.length (solve ?max_pairs ?max_nodes instance lambda)

@@ -1,0 +1,28 @@
+(** Exact minimum λ-cover by branch-and-bound over the set-cover
+    formulation.
+
+    Only usable on small instances; it is the ground truth against which
+    {!Opt} and the approximation algorithms are validated in tests, and it
+    powers the NP-hardness reduction checks. The search branches on the
+    uncovered (post, label) pair with the fewest candidate coverers and
+    prunes with the bound |chosen| + ⌈uncovered / max-set-size⌉. *)
+
+exception Too_large of string
+
+(** [solve instance lambda] is an optimal cover (positions, ascending).
+
+    @param max_pairs refuse instances with more (post, label) pairs
+      (default 4096).
+    @param max_nodes abort after this many search nodes (default 20M).
+    @raise Too_large when a limit is hit. *)
+val solve : ?max_pairs:int -> ?max_nodes:int -> Instance.t -> Coverage.lambda -> int list
+
+(** [solve_bounded ~bound instance lambda] is [Some cover] with
+    [List.length cover <= bound] when such a cover exists, else [None].
+    Faster than [solve] when only a budget question is asked. *)
+val solve_bounded :
+  ?max_pairs:int -> ?max_nodes:int -> bound:int -> Instance.t -> Coverage.lambda ->
+  int list option
+
+(** [min_size instance lambda] is [List.length (solve instance lambda)]. *)
+val min_size : ?max_pairs:int -> ?max_nodes:int -> Instance.t -> Coverage.lambda -> int

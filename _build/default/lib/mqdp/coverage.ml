@@ -1,0 +1,50 @@
+type lambda =
+  | Fixed of float
+  | Per_post_label of (Post.t -> Label.t -> float)
+
+let radius lambda p a =
+  match lambda with
+  | Fixed l -> l
+  | Per_post_label f -> f p a
+
+let covers_label lambda ~by a p =
+  Label_set.mem a by.Post.labels
+  && Label_set.mem a p.Post.labels
+  && Post.distance by p <= radius lambda by a
+
+let post_covered lambda ~by p =
+  Label_set.for_all
+    (fun a -> List.exists (fun z -> covers_label lambda ~by:z a p) by)
+    p.Post.labels
+
+(* For each label, collect the chosen posts containing it once, then check
+   every (post, label) pair against that short list. *)
+let uncovered instance lambda cover =
+  let n = Instance.size instance in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Coverage: cover position out of range")
+    cover;
+  let num_buckets =
+    1 + List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
+  in
+  let chosen_by_label = Array.make num_buckets [] in
+  List.iter
+    (fun i ->
+      let p = Instance.post instance i in
+      Label_set.iter (fun a -> chosen_by_label.(a) <- p :: chosen_by_label.(a)) p.Post.labels)
+    cover;
+  let bad = ref [] in
+  for i = n - 1 downto 0 do
+    let p = Instance.post instance i in
+    Label_set.iter
+      (fun a ->
+        let ok =
+          List.exists (fun z -> Post.distance z p <= radius lambda z a) chosen_by_label.(a)
+        in
+        if not ok then bad := (i, a) :: !bad)
+      p.Post.labels
+  done;
+  !bad
+
+let is_cover instance lambda cover = uncovered instance lambda cover = []

@@ -1,0 +1,33 @@
+(** λ-coverage: the paper's Definitions 1 and 2, plus the directional
+    variant of Section 6 where λ is specific to the covering post and
+    label.
+
+    With [Fixed lambda], post [Pi] λ-covers label [a] of post [Pj] iff
+    [a ∈ label(Pi) ∩ label(Pj)] and [|F(Pi) − F(Pj)| ≤ lambda]. With
+    [Per_post_label radius], the threshold is [radius pi a] — the radius of
+    the *covering* post — which makes coverage directional. *)
+
+type lambda =
+  | Fixed of float
+  | Per_post_label of (Post.t -> Label.t -> float)
+
+(** [radius lambda p a] is the covering radius of post [p] for label [a]. *)
+val radius : lambda -> Post.t -> Label.t -> float
+
+(** [covers_label lambda ~by a p] — does [by] λ-cover label [a] of [p]?
+    False when [a] is missing from either label set. *)
+val covers_label : lambda -> by:Post.t -> Label.t -> Post.t -> bool
+
+(** [post_covered lambda ~by p] — Definition 1: is every label of [p]
+    λ-covered by some post in [by]? *)
+val post_covered : lambda -> by:Post.t list -> Post.t -> bool
+
+(** [is_cover instance lambda cover] — Definition 2: do the posts at
+    positions [cover] λ-cover the whole instance? Positions outside
+    [0, size) raise [Invalid_argument]. *)
+val is_cover : Instance.t -> lambda -> int list -> bool
+
+(** [uncovered instance lambda cover] lists every (position, label) pair not
+    λ-covered — empty exactly when [is_cover] holds. Useful in tests for
+    diagnosing a bad cover. *)
+val uncovered : Instance.t -> lambda -> int list -> (int * Label.t) list

@@ -1,0 +1,155 @@
+type selection = [ `Linear_scan | `Lazy_heap ]
+
+(* Pairs are addressed as (label a, index ia into LP(a)). For a fixed
+   lambda the coverers of a pair form a contiguous range of LP(a) found by
+   binary search; for a per-post lambda the radius depends on the covering
+   post, so coverer lists are materialized up front. *)
+type state = {
+  instance : Instance.t;
+  lambda : Coverage.lambda;
+  covered : Bytes.t array;  (* per label, per LP index *)
+  gain : int array;  (* per position: # uncovered pairs this post covers *)
+  coverer_lists : int list array array option;  (* per label, per LP index *)
+}
+
+let iter_pairs_covered_by state k f =
+  let p = Instance.post state.instance k in
+  Label_set.iter
+    (fun a ->
+      let r = Coverage.radius state.lambda p a in
+      match
+        Instance.posts_in_range state.instance a ~lo:(p.Post.value -. r)
+          ~hi:(p.Post.value +. r)
+      with
+      | None -> ()
+      | Some (first, last) ->
+        for ia = first to last do
+          f a ia
+        done)
+    p.Post.labels
+
+let iter_coverers state a ia f =
+  match state.coverer_lists with
+  | Some lists -> List.iter f lists.(a).(ia)
+  | None ->
+    let l =
+      match state.lambda with
+      | Coverage.Fixed l -> l
+      | Coverage.Per_post_label _ -> assert false
+    in
+    let lp = Instance.label_posts state.instance a in
+    let x = Instance.value state.instance lp.(ia) in
+    (match Instance.posts_in_range state.instance a ~lo:(x -. l) ~hi:(x +. l) with
+    | None -> ()
+    | Some (first, last) ->
+      for j = first to last do
+        f lp.(j)
+      done)
+
+let build_coverer_lists instance lambda =
+  let max_label =
+    List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
+  in
+  let lists =
+    Array.init (max_label + 1) (fun a ->
+        Array.make (Array.length (Instance.label_posts instance a)) [])
+  in
+  List.iter
+    (fun a ->
+      let lp = Instance.label_posts instance a in
+      Array.iter
+        (fun k ->
+          let p = Instance.post instance k in
+          let r = Coverage.radius lambda p a in
+          match
+            Instance.posts_in_range instance a ~lo:(p.Post.value -. r)
+              ~hi:(p.Post.value +. r)
+          with
+          | None -> ()
+          | Some (first, last) ->
+            for ia = first to last do
+              lists.(a).(ia) <- k :: lists.(a).(ia)
+            done)
+        lp)
+    (Instance.label_universe instance);
+  lists
+
+let create_state instance lambda =
+  let max_label =
+    List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
+  in
+  let covered =
+    Array.init (max_label + 1) (fun a ->
+        Bytes.make (Array.length (Instance.label_posts instance a)) '\000')
+  in
+  let coverer_lists =
+    match lambda with
+    | Coverage.Fixed _ -> None
+    | Coverage.Per_post_label _ -> Some (build_coverer_lists instance lambda)
+  in
+  let state =
+    { instance; lambda; covered; gain = Array.make (Instance.size instance) 0;
+      coverer_lists }
+  in
+  for k = 0 to Instance.size instance - 1 do
+    iter_pairs_covered_by state k (fun _ _ -> state.gain.(k) <- state.gain.(k) + 1)
+  done;
+  state
+
+let select state k =
+  iter_pairs_covered_by state k (fun a ia ->
+      if Bytes.get state.covered.(a) ia = '\000' then begin
+        Bytes.set state.covered.(a) ia '\001';
+        iter_coverers state a ia (fun k' -> state.gain.(k') <- state.gain.(k') - 1)
+      end)
+
+let argmax_gain state =
+  let best = ref (-1) and best_gain = ref 0 in
+  Array.iteri
+    (fun k g ->
+      if g > !best_gain then begin
+        best := k;
+        best_gain := g
+      end)
+    state.gain;
+  if !best_gain = 0 then None else Some !best
+
+let solve_linear state =
+  let rec loop acc =
+    match argmax_gain state with
+    | None -> acc
+    | Some k ->
+      select state k;
+      loop (k :: acc)
+  in
+  loop []
+
+let solve_heap state =
+  (* Max-heap of (gain snapshot, position); stale entries are refreshed. *)
+  let cmp (ga, _) (gb, _) = Int.compare gb ga in
+  let heap = Util.Heap.create cmp in
+  Array.iteri (fun k g -> if g > 0 then Util.Heap.push heap (g, k)) state.gain;
+  let rec loop acc =
+    match Util.Heap.pop heap with
+    | None -> acc
+    | Some (g, k) ->
+      if g <> state.gain.(k) then begin
+        if state.gain.(k) > 0 then Util.Heap.push heap (state.gain.(k), k);
+        loop acc
+      end
+      else if g = 0 then acc
+      else begin
+        select state k;
+        loop (k :: acc)
+      end
+  in
+  loop []
+
+let solve ?(selection = `Linear_scan) instance lambda =
+  let state = create_state instance lambda in
+  let cover =
+    match selection with
+    | `Linear_scan -> solve_linear state
+    | `Lazy_heap -> solve_heap state
+  in
+  List.sort_uniq Int.compare cover

@@ -1,0 +1,20 @@
+(** Algorithm GreedySC (paper §4.2): reduce MQDP to set cover and run the
+    greedy set-cover algorithm.
+
+    The universe is the set of (post, label) pairs; the set contributed by
+    post [Pk] is every pair [Pk] λ-covers. Approximation ratio
+    ln(|P|·|L|). At every round the set with the most still-uncovered
+    elements is selected.
+
+    Two selection strategies are provided. [`Linear_scan] re-scans all
+    gains each round — what the paper's implementation does, after finding
+    heap maintenance too expensive on their data. [`Lazy_heap] keeps a
+    max-heap of possibly-stale gains and re-pushes on mismatch. Both
+    produce the same cover when gains never tie; with ties the covers can
+    differ in composition but obey the same greedy invariant. *)
+
+type selection = [ `Linear_scan | `Lazy_heap ]
+
+(** [solve ?selection instance lambda] returns cover positions, ascending.
+    Default selection is [`Linear_scan]. *)
+val solve : ?selection:selection -> Instance.t -> Coverage.lambda -> int list

@@ -1,0 +1,174 @@
+type kind =
+  | Lemma1
+  | Set_cover
+
+type t = {
+  kind : kind;
+  cnf : Sat.Cnf.t;
+  instance : Instance.t;
+  lambda : Coverage.lambda;
+  budget : int;
+  labels : Label.Table.t;
+}
+
+let check_no_empty_clause ~who cnf =
+  List.iter
+    (fun clause -> if clause = [] then invalid_arg (who ^ ": empty clause"))
+    cnf.Sat.Cnf.clauses
+
+(* Post ids are allocated deterministically so covers can be decoded:
+
+   Lemma1 — id i-1 (for i in 1..n) is the anchor (1, {u_i, w_i}); the
+   remaining gadget posts follow in construction order.
+
+   Set_cover — id 2(i-1) is the positive-literal post of variable i,
+   id 2(i-1)+1 the negative one. *)
+
+let of_cnf cnf =
+  check_no_empty_clause ~who:"Hardness.of_cnf" cnf;
+  let n = cnf.Sat.Cnf.num_vars in
+  let clauses = Array.of_list cnf.Sat.Cnf.clauses in
+  let m = Array.length clauses in
+  let table = Label.Table.create () in
+  let w i = Label.Table.intern table (Printf.sprintf "w%d" i) in
+  let u i = Label.Table.intern table (Printf.sprintf "u%d" i) in
+  let nu i = Label.Table.intern table (Printf.sprintf "nu%d" i) in
+  let c j = Label.Table.intern table (Printf.sprintf "c%d" j) in
+  let posts = ref [] and next_id = ref 0 in
+  let add value labels =
+    let id = !next_id in
+    incr next_id;
+    posts := Post.make ~id ~value ~labels:(Label_set.of_list labels) :: !posts;
+    id
+  in
+  for i = 1 to n do
+    ignore (add 1. [ u i; w i ])
+  done;
+  let clause_mem lit j = List.mem lit clauses.(j - 1) in
+  for i = 1 to n do
+    ignore (add 1. [ nu i; w i ]);
+    ignore (add (float_of_int ((2 * m) + 3)) [ u i; w i ]);
+    ignore (add (float_of_int ((2 * m) + 3)) [ nu i; w i ]);
+    for j = 1 to m + 1 do
+      ignore (add (float_of_int (2 * j)) [ u i ]);
+      ignore (add (float_of_int (2 * j)) [ nu i ])
+    done;
+    for j = 1 to m do
+      let uij = if clause_mem i j then [ u i; c j ] else [ u i ] in
+      let nuij = if clause_mem (-i) j then [ nu i; c j ] else [ nu i ] in
+      ignore (add (float_of_int ((2 * j) + 1)) uij);
+      ignore (add (float_of_int ((2 * j) + 1)) nuij)
+    done
+  done;
+  {
+    kind = Lemma1;
+    cnf;
+    instance = Instance.create !posts;
+    lambda = Coverage.Fixed 1.;
+    budget = n * ((2 * m) + 3);
+    labels = table;
+  }
+
+let of_cnf_set_cover cnf =
+  check_no_empty_clause ~who:"Hardness.of_cnf_set_cover" cnf;
+  let n = cnf.Sat.Cnf.num_vars in
+  let clauses = Array.of_list cnf.Sat.Cnf.clauses in
+  let m = Array.length clauses in
+  let table = Label.Table.create () in
+  let v i = Label.Table.intern table (Printf.sprintf "v%d" i) in
+  let c j = Label.Table.intern table (Printf.sprintf "c%d" j) in
+  let satisfied_clauses lit =
+    List.filter_map
+      (fun j -> if List.mem lit clauses.(j - 1) then Some (c j) else None)
+      (List.init m (fun j -> j + 1))
+  in
+  let posts = ref [] in
+  for i = 1 to n do
+    let positive =
+      Post.make ~id:(2 * (i - 1)) ~value:0.
+        ~labels:(Label_set.of_list (v i :: satisfied_clauses i))
+    in
+    let negative =
+      Post.make
+        ~id:((2 * (i - 1)) + 1)
+        ~value:0.
+        ~labels:(Label_set.of_list (v i :: satisfied_clauses (-i)))
+    in
+    posts := positive :: negative :: !posts
+  done;
+  {
+    kind = Set_cover;
+    cnf;
+    instance = Instance.create !posts;
+    lambda = Coverage.Fixed 1.;
+    budget = n;
+    labels = table;
+  }
+
+let budget_cover ?max_nodes t =
+  if Instance.size t.instance = 0 then Some []
+  else Brute_force.solve_bounded ?max_nodes ~bound:t.budget t.instance t.lambda
+
+let satisfiable_via_cover ?max_nodes t = Option.is_some (budget_cover ?max_nodes t)
+
+let assignment_of_cover t cover =
+  let n = t.cnf.Sat.Cnf.num_vars in
+  let assignment = Array.make (n + 1) false in
+  List.iter
+    (fun pos ->
+      let id = (Instance.post t.instance pos).Post.id in
+      match t.kind with
+      | Lemma1 -> if id < n then assignment.(id + 1) <- true
+      | Set_cover -> if id mod 2 = 0 then assignment.((id / 2) + 1) <- true)
+    cover;
+  assignment
+
+let positions_of_ids t ids =
+  let by_id = Hashtbl.create (Instance.size t.instance) in
+  for pos = 0 to Instance.size t.instance - 1 do
+    Hashtbl.replace by_id (Instance.post t.instance pos).Post.id pos
+  done;
+  List.sort_uniq Int.compare (List.map (Hashtbl.find by_id) ids)
+
+(* The Lemma 1 gadget for variable i occupies ids
+   [n + (i-1)·(4m+5), n + i·(4m+5)) in construction order:
+   nu-anchor@1, u-anchor@2m+3, nu-anchor@2m+3, then (u, nu) pairs at even
+   times 2..2m+2, then (U_ij, nU_ij) pairs at odd times 3..2m+1. *)
+let cover_of_assignment t assignment =
+  let n = t.cnf.Sat.Cnf.num_vars in
+  let m = List.length t.cnf.Sat.Cnf.clauses in
+  match t.kind with
+  | Set_cover ->
+    positions_of_ids t
+      (List.init n (fun i ->
+           if assignment.(i + 1) then 2 * i else (2 * i) + 1))
+  | Lemma1 ->
+    let ids = ref [] in
+    for i = 1 to n do
+      let base = n + ((i - 1) * ((4 * m) + 5)) in
+      let u_anchor_start = i - 1 and nu_anchor_start = base in
+      let u_anchor_end = base + 1 and nu_anchor_end = base + 2 in
+      let even_u j = base + 3 + (2 * (j - 1)) in
+      let even_nu j = even_u j + 1 in
+      let odd_u j = base + 3 + (2 * (m + 1)) + (2 * (j - 1)) in
+      let odd_nu j = odd_u j + 1 in
+      if assignment.(i) then begin
+        ids := u_anchor_start :: u_anchor_end :: !ids;
+        for j = 1 to m do
+          ids := odd_u j :: !ids
+        done;
+        for j = 1 to m + 1 do
+          ids := even_nu j :: !ids
+        done
+      end
+      else begin
+        ids := nu_anchor_start :: nu_anchor_end :: !ids;
+        for j = 1 to m do
+          ids := odd_nu j :: !ids
+        done;
+        for j = 1 to m + 1 do
+          ids := even_u j :: !ids
+        done
+      end
+    done;
+    positions_of_ids t !ids

@@ -1,0 +1,73 @@
+(** Executable NP-hardness reductions for MQDP (paper §3).
+
+    Two constructions are provided:
+
+    {b Lemma 1, as published} ([of_cnf]): λ = 1, labels
+    {w_i, u_i, ū_i} ∪ {c_j}, posts at integral times 1..2m+3, budget
+    n·(2m+3), at most two labels per post. Reproducing it surfaced a gap
+    in the published proof: its counting argument claims the only way to
+    cover the 2m+3 unit-spaced u_i-posts with m+1 radius-1 posts is the
+    even positions 2, 4, ..., 2m+2, but e.g. positions {1, 3, 6} also
+    cover 1..7 for m = 2 — radius-1 intervals over 2m+3 unit-spaced
+    points have m points of slack. Concretely, the unsatisfiable formula
+    (x₁)∧(¬x₁) reduces to an instance with budget 7 that admits a valid
+    6-post cover mixing both literal chains, so satisfiability does {i not}
+    coincide with "cover ≤ budget" under this construction. The (⇒)
+    direction — satisfiable implies a cover of exactly n·(2m+3) — does
+    hold (with the ū-chain reading of the proof's (⇐) case analysis,
+    which fixes an obvious typo in its (⇒) text). Tests pin both facts.
+
+    {b Set-cover route} ([of_cnf_set_cover]): the paper's opening
+    observation that MQDP with all posts at one timestamp {i is} set
+    cover, composed with the classic CNF→set-cover reduction: one post
+    per literal ℓ carrying the label of its variable plus the labels of
+    the clauses ℓ satisfies; budget n. This one is sound in both
+    directions (validated against DPLL in tests) at the cost of an
+    unbounded number of labels per post. *)
+
+type kind =
+  | Lemma1  (** the published construction; only (⇒) holds *)
+  | Set_cover  (** sound both ways; labels per post unbounded *)
+
+type t = {
+  kind : kind;
+  cnf : Sat.Cnf.t;
+  instance : Instance.t;
+  lambda : Coverage.lambda;
+  budget : int;
+  labels : Label.Table.t;
+      (** names: ["w<i>"], ["u<i>"], ["nu<i>"] (ū_i), ["v<i>"] (set-cover
+          variable labels), ["c<j>"] *)
+}
+
+(** [of_cnf cnf] builds the published Lemma 1 instance.
+    Raises [Invalid_argument] on an empty clause (the reduction needs
+    every clause label to occur in some post). *)
+val of_cnf : Sat.Cnf.t -> t
+
+(** [of_cnf_set_cover cnf] builds the sound all-same-timestamp instance.
+    Raises [Invalid_argument] on an empty clause. *)
+val of_cnf_set_cover : Sat.Cnf.t -> t
+
+(** [budget_cover ?max_nodes t] asks the exact solver for a cover of size
+    at most [t.budget]. For [Set_cover] reductions the answer is [Some _]
+    iff [t.cnf] is satisfiable; for [Lemma1] only satisfiability implies
+    [Some _]. Exponential — tiny formulas only. *)
+val budget_cover : ?max_nodes:int -> t -> int list option
+
+(** [satisfiable_via_cover ?max_nodes t] is
+    [Option.is_some (budget_cover t)]. *)
+val satisfiable_via_cover : ?max_nodes:int -> t -> bool
+
+(** [assignment_of_cover t cover] decodes a within-budget cover into a
+    truth assignment: for [Lemma1], x_i is true iff the (1, {u_i, w_i})
+    post was selected; for [Set_cover], x_i takes the sign of the selected
+    literal post. Guaranteed to satisfy the formula only for [Set_cover]
+    within-budget covers. *)
+val assignment_of_cover : t -> int list -> bool array
+
+(** The paper's (⇒) witness: [cover_of_assignment t assignment] is the
+    canonical cover of cardinality exactly [t.budget] built from a
+    satisfying assignment (both kinds). The result only λ-covers the
+    instance when [assignment] satisfies [t.cnf]. *)
+val cover_of_assignment : t -> bool array -> int list

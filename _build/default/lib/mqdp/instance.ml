@@ -1,0 +1,79 @@
+type t = {
+  posts : Post.t array;  (* sorted by (value, id) *)
+  label_posts : int array array;  (* LP(a), indexed by label id *)
+  universe : Label.t list;
+  total_pairs : int;
+  max_labels : int;
+}
+
+let create post_list =
+  let relevant = List.filter (fun p -> not (Label_set.is_empty p.Post.labels)) post_list in
+  let posts = Array.of_list relevant in
+  Array.sort Post.compare_by_value posts;
+  let seen = Hashtbl.create (Array.length posts) in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p.Post.id then
+        invalid_arg (Printf.sprintf "Instance.create: duplicate post id %d" p.Post.id);
+      Hashtbl.add seen p.Post.id ())
+    posts;
+  let max_label =
+    Array.fold_left
+      (fun acc p -> max acc (try Label_set.max_label p.Post.labels with Not_found -> -1))
+      (-1) posts
+  in
+  let buckets = Array.make (max_label + 1) [] in
+  let total_pairs = ref 0 and max_labels = ref 0 in
+  (* Iterate positions in reverse so each bucket ends up ascending. *)
+  for i = Array.length posts - 1 downto 0 do
+    let labels = posts.(i).Post.labels in
+    let card = Label_set.cardinal labels in
+    total_pairs := !total_pairs + card;
+    if card > !max_labels then max_labels := card;
+    Label_set.iter (fun a -> buckets.(a) <- i :: buckets.(a)) labels
+  done;
+  let label_posts = Array.map Array.of_list buckets in
+  let universe =
+    List.filter
+      (fun a -> Array.length label_posts.(a) > 0)
+      (List.init (max_label + 1) Fun.id)
+  in
+  { posts; label_posts; universe; total_pairs = !total_pairs; max_labels = !max_labels }
+
+let size t = Array.length t.posts
+
+let post t i = t.posts.(i)
+let value t i = t.posts.(i).Post.value
+let labels t i = t.posts.(i).Post.labels
+let posts t = t.posts
+let label_universe t = t.universe
+let num_labels t = List.length t.universe
+
+let label_posts t a =
+  if a < 0 then invalid_arg "Instance.label_posts: negative label";
+  if a >= Array.length t.label_posts then [||] else t.label_posts.(a)
+
+let posts_in_range t a ~lo ~hi =
+  let lp = label_posts t a in
+  let key i = t.posts.(i).Post.value in
+  let first = Util.Array_util.lower_bound ~key lp lo in
+  let last = Util.Array_util.upper_bound ~key lp hi - 1 in
+  if first > last then None else Some (first, last)
+
+let overlap_rate t =
+  let n = size t in
+  if n = 0 then 0. else float_of_int t.total_pairs /. float_of_int n
+
+let max_labels_per_post t = t.max_labels
+let total_pairs t = t.total_pairs
+
+let sub t ~lo ~hi =
+  let selected =
+    Array.to_list t.posts
+    |> List.filter (fun p -> p.Post.value >= lo && p.Post.value <= hi)
+  in
+  create selected
+
+let span t =
+  let n = size t in
+  if n = 0 then None else Some (t.posts.(0).Post.value, t.posts.(n - 1).Post.value)

@@ -1,0 +1,64 @@
+(** An MQDP problem instance: a collection of posts sorted by their value on
+    the diversity dimension, with per-label posting lists.
+
+    All algorithms address posts by their *position* in the sorted order
+    (0-based); use {!post} to recover the post and its external id. Posts
+    whose label set is empty are dropped at construction: they match no
+    query, so they neither need covering nor can cover anything. *)
+
+type t
+
+(** [create posts] sorts [posts] by value (ties broken by id) and builds the
+    per-label posting lists. Raises [Invalid_argument] if two posts share an
+    id. *)
+val create : Post.t list -> t
+
+(** Number of posts. *)
+val size : t -> int
+
+(** [post t i] is the i-th post in value order, [0 <= i < size t]. *)
+val post : t -> int -> Post.t
+
+(** [value t i] is [(post t i).value]. *)
+val value : t -> int -> float
+
+(** [labels t i] is [(post t i).labels]. *)
+val labels : t -> int -> Label_set.t
+
+(** All posts in value order. The returned array is owned by the instance
+    and must not be mutated. *)
+val posts : t -> Post.t array
+
+(** Labels that occur in at least one post, ascending. *)
+val label_universe : t -> Label.t list
+
+(** Number of distinct labels occurring in the instance. *)
+val num_labels : t -> int
+
+(** [label_posts t a] is LP(a): positions of the posts matching label [a],
+    ascending (hence sorted by value). Empty for labels that never occur.
+    The returned array must not be mutated. *)
+val label_posts : t -> Label.t -> int array
+
+(** [posts_in_range t a ~lo ~hi] is the sub-range of LP(a) whose values lie
+    in [lo, hi], as a pair [(first, last)] of inclusive indices *into
+    [label_posts t a]*, or [None] when the range is empty. *)
+val posts_in_range : t -> Label.t -> lo:float -> hi:float -> (int * int) option
+
+(** Average number of labels per post — the paper's "post overlap rate". 0
+    for an empty instance. *)
+val overlap_rate : t -> float
+
+(** Maximum number of labels on any single post (the paper's [s]).
+    0 for an empty instance. *)
+val max_labels_per_post : t -> int
+
+(** Total number of (post, label) pairs, i.e. the set-cover universe size. *)
+val total_pairs : t -> int
+
+(** [sub t ~lo ~hi] is a new instance restricted to posts with value in
+    [lo, hi]. *)
+val sub : t -> lo:float -> hi:float -> t
+
+(** Minimum and maximum post value, or [None] when empty. *)
+val span : t -> (float * float) option

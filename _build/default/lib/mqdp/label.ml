@@ -1,0 +1,40 @@
+type t = int
+
+module Table = struct
+  type label = t
+
+  type t = {
+    by_name : (string, label) Hashtbl.t;
+    mutable by_id : string array;
+    mutable count : int;
+  }
+
+  let create () = { by_name = Hashtbl.create 64; by_id = [||]; count = 0 }
+
+  let intern tbl name =
+    match Hashtbl.find_opt tbl.by_name name with
+    | Some id -> id
+    | None ->
+      let id = tbl.count in
+      Hashtbl.add tbl.by_name name id;
+      if id >= Array.length tbl.by_id then begin
+        let capacity = max 8 (2 * Array.length tbl.by_id) in
+        let by_id = Array.make capacity "" in
+        Array.blit tbl.by_id 0 by_id 0 tbl.count;
+        tbl.by_id <- by_id
+      end;
+      tbl.by_id.(id) <- name;
+      tbl.count <- tbl.count + 1;
+      id
+
+  let find tbl name = Hashtbl.find_opt tbl.by_name name
+
+  let name tbl id =
+    if id < 0 || id >= tbl.count then invalid_arg "Label.Table.name: unknown id";
+    tbl.by_id.(id)
+
+  let count tbl = tbl.count
+  let names tbl = Array.sub tbl.by_id 0 tbl.count
+end
+
+let pp fmt id = Format.fprintf fmt "#%d" id

@@ -1,0 +1,34 @@
+(** Interned query labels.
+
+    A label identifies one user query (a topic, hashtag, or keyword set in
+    the paper's terminology). Labels are interned to small integers so that
+    label sets can be represented as bitsets and used as array indices. *)
+
+type t = int
+
+(** A mutable intern table mapping label names to dense ids [0..count-1]. *)
+module Table : sig
+  type label = t
+  type t
+
+  val create : unit -> t
+
+  (** [intern tbl name] returns the id for [name], allocating a fresh id on
+      first sight. *)
+  val intern : t -> string -> label
+
+  (** [find tbl name] is the id for [name] if already interned. *)
+  val find : t -> string -> label option
+
+  (** [name tbl id] is the name interned as [id].
+      Raises [Invalid_argument] for unknown ids. *)
+  val name : t -> label -> string
+
+  (** Number of interned labels. *)
+  val count : t -> int
+
+  (** All interned names, in id order. *)
+  val names : t -> string array
+end
+
+val pp : Format.formatter -> t -> unit

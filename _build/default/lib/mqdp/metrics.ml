@@ -1,0 +1,40 @@
+let relative_error ~approx ~optimal =
+  if optimal <= 0 then invalid_arg "Metrics.relative_error: optimal <= 0";
+  float_of_int (approx - optimal) /. float_of_int optimal
+
+let compression ~cover_size ~total =
+  if total = 0 then 0.
+  else 1. -. (float_of_int cover_size /. float_of_int total)
+
+let per_label_counts instance cover =
+  let universe = Instance.label_universe instance in
+  let max_label = List.fold_left (fun acc a -> max acc a) (-1) universe in
+  let counts = Array.make (max_label + 1) 0 in
+  List.iter
+    (fun pos ->
+      Label_set.iter
+        (fun a -> counts.(a) <- counts.(a) + 1)
+        (Instance.labels instance pos))
+    cover;
+  List.map (fun a -> (a, counts.(a))) universe
+
+let label_representation instance cover =
+  let counts = per_label_counts instance cover in
+  let cover_pairs =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 counts
+  in
+  let total_pairs = Instance.total_pairs instance in
+  List.map
+    (fun (a, count) ->
+      let input_share =
+        float_of_int (Array.length (Instance.label_posts instance a))
+        /. float_of_int (max 1 total_pairs)
+      in
+      let cover_share = float_of_int count /. float_of_int (max 1 cover_pairs) in
+      let ratio = if input_share = 0. then 0. else cover_share /. input_share in
+      (a, ratio))
+    counts
+
+let time_per_post ~elapsed instance =
+  let n = Instance.size instance in
+  if n = 0 then 0. else elapsed /. float_of_int n

@@ -1,0 +1,25 @@
+(** Quality and performance metrics used throughout the evaluation. *)
+
+(** [relative_error ~approx ~optimal] is (approx − optimal)/optimal, the
+    paper's "relative solution size error". Raises [Invalid_argument]
+    when [optimal <= 0]. *)
+val relative_error : approx:int -> optimal:int -> float
+
+(** [compression ~cover_size ~total] is 1 − cover/total: the fraction of
+    the stream filtered out. 0 for an empty instance. *)
+val compression : cover_size:int -> total:int -> float
+
+(** [per_label_counts instance cover] — how many selected posts carry each
+    label, as (label, count) rows ascending by label. Drives the
+    proportionality ablation. *)
+val per_label_counts : Instance.t -> int list -> (Label.t * int) list
+
+(** [label_representation instance cover] — per label, the ratio between
+    its share of the cover and its share of the input pairs: 1 means the
+    cover represents the label proportionally. *)
+val label_representation : Instance.t -> int list -> (Label.t * float) list
+
+(** [time_per_post ~elapsed instance] — seconds per input post, the
+    paper's efficiency measure (Figures 13–15). 0 for an empty
+    instance. *)
+val time_per_post : elapsed:float -> Instance.t -> float

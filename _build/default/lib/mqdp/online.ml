@@ -1,0 +1,183 @@
+type mode =
+  | Delayed of { tau : float; plus : bool }
+  | Instant
+
+type emission = {
+  post : Post.t;
+  emit_time : float;
+}
+
+type label_state = {
+  mutable pending : Post.t list;  (* uncovered arrivals, newest first *)
+  mutable oldest : Post.t option;
+  mutable last_out : Post.t option;  (* latest post output for this label *)
+  mutable deadline : float;  (* infinity when nothing pending *)
+}
+
+type t = {
+  lambda : float;
+  mode : mode;
+  states : (Label.t, label_state) Hashtbl.t;
+  heap : (float * Label.t) Util.Heap.t;
+  emitted : (int, unit) Hashtbl.t;  (* distinct emitted post ids *)
+  mutable last_time : float option;
+}
+
+let create ~lambda mode =
+  if lambda < 0. then invalid_arg "Online.create: negative lambda";
+  (match mode with
+  | Delayed { tau; _ } when tau < 0. -> invalid_arg "Online.create: negative tau"
+  | Delayed _ | Instant -> ());
+  {
+    lambda;
+    mode;
+    states = Hashtbl.create 16;
+    heap = Util.Heap.create (fun (da, _) (db, _) -> Float.compare da db);
+    emitted = Hashtbl.create 64;
+    last_time = None;
+  }
+
+let state t a =
+  match Hashtbl.find_opt t.states a with
+  | Some st -> st
+  | None ->
+    let st = { pending = []; oldest = None; last_out = None; deadline = infinity } in
+    Hashtbl.add t.states a st;
+    st
+
+let tau_of t =
+  match t.mode with
+  | Delayed { tau; _ } -> tau
+  | Instant -> 0.
+
+let plus_of t =
+  match t.mode with
+  | Delayed { plus; _ } -> plus
+  | Instant -> false
+
+let refresh_deadline t a =
+  let st = state t a in
+  match (st.pending, st.oldest) with
+  | [], _ | _, None -> st.deadline <- infinity
+  | latest :: _, Some oldest ->
+    st.deadline <-
+      Float.min (latest.Post.value +. tau_of t) (oldest.Post.value +. t.lambda);
+    Util.Heap.push t.heap (st.deadline, a)
+
+let record_emission t out post emit_time =
+  Hashtbl.replace t.emitted post.Post.id ();
+  out := { post; emit_time } :: !out
+
+(* StreamScan+: an emitted post covers the pending pairs of all its labels
+   and becomes their latest output. *)
+let credit_emission t post =
+  Label_set.iter
+    (fun b ->
+      let st = state t b in
+      (match st.last_out with
+      | Some current when current.Post.value >= post.Post.value -> ()
+      | Some _ | None -> st.last_out <- Some post);
+      let remaining =
+        List.filter
+          (fun p -> Post.distance p post > t.lambda)
+          st.pending
+      in
+      if List.compare_lengths remaining st.pending <> 0 then begin
+        st.pending <- remaining;
+        (match List.rev remaining with
+        | [] -> st.oldest <- None
+        | oldest :: _ -> st.oldest <- Some oldest);
+        refresh_deadline t b
+      end)
+    post.Post.labels
+
+let fire t out (d, a) =
+  let st = state t a in
+  if st.pending <> [] && st.deadline = d then begin
+    match st.pending with
+    | [] -> assert false
+    | latest :: _ ->
+      record_emission t out latest d;
+      st.last_out <- Some latest;
+      st.pending <- [];
+      st.oldest <- None;
+      st.deadline <- infinity;
+      if plus_of t then credit_emission t latest
+  end
+
+let fire_due t out ~until =
+  let rec loop () =
+    match Util.Heap.peek t.heap with
+    | Some (d, _) when d <= until -> begin
+      match Util.Heap.pop t.heap with
+      | Some entry ->
+        fire t out entry;
+        loop ()
+      | None -> ()
+    end
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let sort_emissions emissions =
+  List.sort
+    (fun a b ->
+      let c = Float.compare a.emit_time b.emit_time in
+      if c <> 0 then c else Int.compare a.post.Post.id b.post.Post.id)
+    emissions
+
+let arrival_delayed t out post =
+  Label_set.iter
+    (fun a ->
+      let st = state t a in
+      let covered =
+        match st.last_out with
+        | Some z -> post.Post.value -. z.Post.value <= t.lambda
+        | None -> false
+      in
+      if not covered then begin
+        if st.pending = [] then st.oldest <- Some post;
+        st.pending <- post :: st.pending;
+        refresh_deadline t a
+      end)
+    post.Post.labels;
+  ignore out
+
+let arrival_instant t out post =
+  let covered =
+    Label_set.for_all
+      (fun a ->
+        match (state t a).last_out with
+        | Some z -> post.Post.value -. z.Post.value <= t.lambda
+        | None -> false)
+      post.Post.labels
+  in
+  if not covered then begin
+    record_emission t out post post.Post.value;
+    Label_set.iter (fun a -> (state t a).last_out <- Some post) post.Post.labels
+  end
+
+let push t post =
+  (match t.last_time with
+  | Some previous when post.Post.value < previous ->
+    invalid_arg
+      (Printf.sprintf "Online.push: post %d at %g arrives before %g" post.Post.id
+         post.Post.value previous)
+  | Some _ | None -> ());
+  t.last_time <- Some post.Post.value;
+  let out = ref [] in
+  (match t.mode with
+  | Delayed _ ->
+    fire_due t out ~until:post.Post.value;
+    arrival_delayed t out post
+  | Instant -> arrival_instant t out post);
+  sort_emissions (List.rev !out)
+
+let finish t =
+  let out = ref [] in
+  fire_due t out ~until:infinity;
+  sort_emissions (List.rev !out)
+
+let emitted_count t = Hashtbl.length t.emitted
+
+let last_arrival t = t.last_time

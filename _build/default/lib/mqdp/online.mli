@@ -1,0 +1,46 @@
+(** An incremental, push-based streaming diversifier — the paper's
+    StreamScan family (§5.1) as a long-lived service rather than a batch
+    simulation.
+
+    Feed posts one at a time in non-decreasing value (time) order; each
+    [push] returns the emissions that became due strictly before the new
+    arrival (their deadlines passed), plus — in [Instant] mode — possibly
+    the arriving post itself. Call [finish] at end-of-stream to drain the
+    pending deadlines. {!Stream_scan} is an adapter over this engine, so
+    the batch and incremental APIs cannot drift apart.
+
+    Delayed mode keeps, per label, the pending uncovered posts and emits
+    the latest of them at min(t_latest + τ, t_oldest + λ); emissions are
+    credited to every label of the emitted post when [plus] is set.
+    Instant mode emits an arriving post immediately unless the per-label
+    cache of recent selections already covers it (2s bound). *)
+
+type mode =
+  | Delayed of { tau : float; plus : bool }
+  | Instant
+
+type emission = {
+  post : Post.t;
+  emit_time : float;
+}
+
+type t
+
+(** [create ~lambda mode] — a fresh diversifier.
+    Raises [Invalid_argument] when [lambda < 0] or the mode's [tau < 0]. *)
+val create : lambda:float -> mode -> t
+
+(** [push t post] — register an arrival; returns due emissions in emit-time
+    order. Raises [Invalid_argument] when [post.value] precedes the
+    previous arrival. *)
+val push : t -> Post.t -> emission list
+
+(** [finish t] — drain every pending deadline; the diversifier can keep
+    receiving posts afterwards (the stream simply continues). *)
+val finish : t -> emission list
+
+(** Number of distinct posts emitted so far. *)
+val emitted_count : t -> int
+
+(** Value of the latest arrival, or [None] before the first push. *)
+val last_arrival : t -> float option

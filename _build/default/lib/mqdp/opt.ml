@@ -1,0 +1,245 @@
+exception Too_large of string
+exception Unsupported of string
+
+(* Internally posts are 1-based: j in 1..n is instance position j-1, and 0
+   is the virtual sentinel carrying every label, placed lambda+1 before the
+   first post so that it belongs to every cover and covers nothing else.
+   An end-pattern is an int array over dense label indices whose entries
+   are 1-based post indices (0 = sentinel). *)
+
+type ctx = {
+  instance : Instance.t;
+  lambda : float;
+  n : int;
+  dlabels : Label.t array;  (* dense index -> label id *)
+  dl : int;
+  lp : int array array;  (* per dense label: 1-based posts, ascending *)
+  time : int -> float;  (* 1-based; time 0 = sentinel *)
+  f : int array;  (* f.(j) = max j' with time j' <= time j + lambda; f.(0)=0 *)
+  has_label : int -> int -> bool;  (* 1-based post, dense label *)
+  last_at_or_before : int -> int -> int;
+      (* [last_at_or_before d j] = largest element of lp.(d) that is <= j,
+         or 0 when none *)
+}
+
+let make_ctx instance lambda =
+  let n = Instance.size instance in
+  let dlabels = Array.of_list (Instance.label_universe instance) in
+  let dl = Array.length dlabels in
+  let lp =
+    Array.map
+      (fun a -> Array.map (fun pos -> pos + 1) (Instance.label_posts instance a))
+      dlabels
+  in
+  let sentinel_time = if n = 0 then 0. else Instance.value instance 0 -. lambda -. 1. in
+  let time j = if j = 0 then sentinel_time else Instance.value instance (j - 1) in
+  let f = Array.make (n + 1) 0 in
+  let posts = Instance.posts instance in
+  let post_value (p : Post.t) = p.Post.value in
+  for j = 1 to n do
+    (* f.(j) = number of posts with value <= time j + lambda; posts are
+       sorted, so that count is also the largest 1-based index among them. *)
+    f.(j) <- Util.Array_util.upper_bound ~key:post_value posts (time j +. lambda)
+  done;
+  let has_label j d =
+    if j = 0 then true else Label_set.mem dlabels.(d) (Instance.labels instance (j - 1))
+  in
+  let last_at_or_before d j =
+    let arr = lp.(d) in
+    let rec loop lo hi =
+      (* last index with arr.(i) <= j *)
+      if lo >= hi then lo - 1
+      else begin
+        let mid = (lo + hi) / 2 in
+        if arr.(mid) <= j then loop (mid + 1) hi else loop lo mid
+      end
+    in
+    let i = loop 0 (Array.length arr) in
+    if i < 0 then 0 else arr.(i)
+  in
+  { instance; lambda; n; dlabels; dl; lp; time; f; has_label; last_at_or_before }
+
+(* Candidate entries for label d at step j: relevant posts within lambda of
+   time j, plus 0 (to be resolved from the previous pattern) when post j
+   does not carry d. *)
+let candidates ctx j d =
+  let arr = ctx.lp.(d) in
+  let tj = ctx.time j in
+  let key i = ctx.time i in
+  let first = Util.Array_util.lower_bound ~key arr (tj -. ctx.lambda) in
+  let last = Util.Array_util.upper_bound ~key arr (tj +. ctx.lambda) - 1 in
+  let nearby = ref [] in
+  for i = last downto first do
+    nearby := arr.(i) :: !nearby
+  done;
+  if ctx.has_label j d then !nearby else 0 :: !nearby
+
+(* Validity conditions of a fully resolved j-end-pattern (paper §4.1):
+   (i) no chosen post later than xi(d) carries label d;
+   (ii) every relevant post of d at or before j lies within lambda of the
+        latest chosen d-post. *)
+let valid_pattern ctx j xi =
+  let ok = ref true in
+  for d = 0 to ctx.dl - 1 do
+    if !ok then begin
+      for e = 0 to ctx.dl - 1 do
+        if !ok && xi.(e) > xi.(d) && ctx.has_label xi.(e) d then ok := false
+      done;
+      if !ok then begin
+        let last = ctx.last_at_or_before d j in
+        if last > 0 && ctx.time last > ctx.time xi.(d) +. ctx.lambda then ok := false
+      end
+    end
+  done;
+  !ok
+
+(* Partial validity for a prefix of raw entries (0 = unresolved): prunes the
+   cross-product enumeration early. *)
+let valid_prefix ctx j xi upto =
+  let ok = ref true in
+  for d = 0 to upto do
+    if !ok && xi.(d) > 0 then begin
+      for e = 0 to upto do
+        if !ok && xi.(e) > 0 then begin
+          if xi.(e) > xi.(d) && ctx.has_label xi.(e) d then ok := false
+        end
+      done;
+      if !ok then begin
+        let last = ctx.last_at_or_before d j in
+        if last > 0 && ctx.time last > ctx.time xi.(d) +. ctx.lambda then ok := false
+      end
+    end
+  done;
+  !ok
+
+let raw_patterns ctx j max_states =
+  let per_label = Array.init ctx.dl (fun d -> candidates ctx j d) in
+  let acc = ref [] and count = ref 0 in
+  let xi = Array.make ctx.dl 0 in
+  let rec fill d =
+    if d = ctx.dl then begin
+      incr count;
+      if !count > max_states then
+        raise
+          (Too_large
+             (Printf.sprintf "Opt: more than %d candidate end-patterns at step %d"
+                max_states j));
+      acc := Array.copy xi :: !acc
+    end
+    else
+      List.iter
+        (fun i ->
+          xi.(d) <- i;
+          if valid_prefix ctx j xi d then fill (d + 1))
+        per_label.(d)
+  in
+  if ctx.dl = 0 then []
+  else begin
+    fill 0;
+    !acc
+  end
+
+(* Distinct new posts a resolved pattern commits beyond f(j-1). *)
+let delta_posts ~f_prev xi =
+  let news = ref [] in
+  Array.iter
+    (fun i -> if i > f_prev && not (List.mem i !news) then news := i :: !news)
+    xi;
+  !news
+
+let consistent ~f_prev raw eta =
+  let ok = ref true in
+  Array.iteri
+    (fun d i -> if i > 0 && i <= f_prev && eta.(d) <> i then ok := false)
+    raw;
+  !ok
+
+let resolve raw eta =
+  Array.mapi (fun d i -> if i = 0 then eta.(d) else i) raw
+
+type layer = (int array, int) Hashtbl.t
+
+let run ?(max_states = 500_000) ~keep_parents instance lambda =
+  let lambda =
+    match lambda with
+    | Coverage.Fixed l -> l
+    | Coverage.Per_post_label _ ->
+      raise (Unsupported "Opt.solve requires a fixed lambda")
+  in
+  let ctx = make_ctx instance lambda in
+  if ctx.n = 0 then (0, [||], [||])
+  else begin
+    let initial : layer = Hashtbl.create 16 in
+    Hashtbl.replace initial (Array.make ctx.dl 0) 1;
+    let parents =
+      if keep_parents then
+        Array.init (ctx.n + 1) (fun _ -> Hashtbl.create 16)
+      else [||]
+    in
+    let prev = ref initial in
+    for j = 1 to ctx.n do
+      let f_prev = ctx.f.(j - 1) in
+      let current : layer = Hashtbl.create 64 in
+      let raws = raw_patterns ctx j max_states in
+      List.iter
+        (fun raw ->
+          Hashtbl.iter
+            (fun eta card_eta ->
+              if consistent ~f_prev raw eta then begin
+                let xi = resolve raw eta in
+                if valid_pattern ctx j xi then begin
+                  let added = delta_posts ~f_prev xi in
+                  let card = card_eta + List.length added in
+                  let better =
+                    match Hashtbl.find_opt current xi with
+                    | Some existing -> card < existing
+                    | None -> true
+                  in
+                  if better then begin
+                    Hashtbl.replace current xi card;
+                    if keep_parents then Hashtbl.replace parents.(j) xi (eta, added)
+                  end
+                end
+              end)
+            !prev)
+        raws;
+      if Hashtbl.length current > max_states then
+        raise
+          (Too_large
+             (Printf.sprintf "Opt: more than %d end-patterns retained at step %d"
+                max_states j));
+      if Hashtbl.length current = 0 then
+        invalid_arg "Opt: no feasible end-pattern (internal error)";
+      prev := current
+    done;
+    let best_card = ref max_int and best_pattern = ref [||] in
+    Hashtbl.iter
+      (fun xi card ->
+        if card < !best_card then begin
+          best_card := card;
+          best_pattern := xi
+        end)
+      !prev;
+    ((!best_card - 1), !best_pattern, parents)
+  end
+
+let min_size ?max_states instance lambda =
+  let size, _, _ = run ?max_states ~keep_parents:false instance lambda in
+  size
+
+let solve ?max_states instance lambda =
+  let _, best_pattern, parents = run ?max_states ~keep_parents:true instance lambda in
+  let n = Instance.size instance in
+  if n = 0 then []
+  else begin
+    let chosen = ref [] in
+    let xi = ref best_pattern in
+    for j = n downto 1 do
+      match Hashtbl.find_opt parents.(j) !xi with
+      | None -> invalid_arg "Opt: broken parent chain (internal error)"
+      | Some (eta, added) ->
+        List.iter (fun i -> if i > 0 then chosen := (i - 1) :: !chosen) added;
+        xi := eta
+    done;
+    List.sort_uniq Int.compare !chosen
+  end

@@ -1,0 +1,37 @@
+(** Algorithm OPT (paper §4.1): exact dynamic programming over
+    end-patterns.
+
+    Posts are processed in value order. The DP state after post [j] is an
+    *end-pattern* ξ mapping each label [a] to the index of the latest
+    selected post containing [a] (0 denotes the virtual sentinel post
+    placed λ+ε before the first post, which carries every label). The
+    table keeps, for each reachable pattern, the minimum cardinality of a
+    (λ, j)-cover realizing it; transitions extend a (j−1)-pattern with the
+    new posts a j-pattern commits. Time O(|P|^(2|L|+1)) in the worst case,
+    so this is only feasible for small instances — exactly the paper's
+    claim — and the implementation guards itself with a state limit.
+
+    Only [Coverage.Fixed] is supported. The paper claims (§6) the per-post
+    λ adaptation is possible "with care"; in fact directional radii break
+    the end-pattern invariant this DP rests on — the latest selected post
+    of a label no longer dominates its coverage reach, so a single index
+    per label is not a sufficient DP state. For exact solutions under
+    [Per_post_label], use {!Brute_force}, which is coverage-relation
+    agnostic. *)
+
+exception Too_large of string
+
+(** Raised (with an explanatory message) when given a
+    [Coverage.Per_post_label] lambda. *)
+exception Unsupported of string
+
+(** [solve instance lambda] is an optimal cover, positions ascending.
+
+    @param max_states abort when a DP layer holds more end-patterns
+      (default 500_000).
+    @raise Too_large when the state limit is hit. *)
+val solve : ?max_states:int -> Instance.t -> Coverage.lambda -> int list
+
+(** [min_size instance lambda] is the optimal cover cardinality, computed
+    with O(|P|^|L|) memory (only two DP layers retained). *)
+val min_size : ?max_states:int -> Instance.t -> Coverage.lambda -> int

@@ -1,0 +1,13 @@
+type t = { id : int; value : float; labels : Label_set.t }
+
+let make ~id ~value ~labels =
+  if Float.is_nan value then invalid_arg "Post.make: NaN value";
+  { id; value; labels }
+
+let compare_by_value p q =
+  let c = Float.compare p.value q.value in
+  if c <> 0 then c else Int.compare p.id q.id
+
+let distance p q = Float.abs (p.value -. q.value)
+
+let pp fmt p = Format.fprintf fmt "P%d(%g, %a)" p.id p.value Label_set.pp p.labels

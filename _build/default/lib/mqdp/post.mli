@@ -1,0 +1,22 @@
+(** A microblogging post as seen by the diversification algorithms.
+
+    Following the paper, a post is reduced to a pair of its value on the
+    chosen diversity dimension (timestamp, sentiment polarity, ...) and the
+    set of query labels it matches. [id] carries the external identity so a
+    caller can map selected posts back to full documents. *)
+
+type t = {
+  id : int;  (** caller-assigned identity, preserved through solving *)
+  value : float;  (** position on the diversity dimension F *)
+  labels : Label_set.t;  (** labels (queries) the post is relevant to *)
+}
+
+val make : id:int -> value:float -> labels:Label_set.t -> t
+
+(** Orders by [value], breaking ties by [id] so sorting is deterministic. *)
+val compare_by_value : t -> t -> int
+
+(** [distance p q] is [|p.value - q.value|]. *)
+val distance : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

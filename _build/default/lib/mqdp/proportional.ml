@@ -1,0 +1,48 @@
+let window_count instance a ~center ~lambda0 =
+  match Instance.posts_in_range instance a ~lo:(center -. lambda0) ~hi:(center +. lambda0) with
+  | None -> 0
+  | Some (first, last) -> last - first + 1
+
+(* Effective span used to normalize the global density; instances shorter
+   than a single ±lambda0 window are treated as one window wide. *)
+let effective_span ~lambda0 instance =
+  match Instance.span instance with
+  | None -> 2. *. lambda0
+  | Some (lo, hi) -> Float.max (hi -. lo) (2. *. lambda0)
+
+let base_density ~lambda0 instance =
+  if lambda0 <= 0. then invalid_arg "Proportional: lambda0 <= 0";
+  if Instance.size instance = 0 then invalid_arg "Proportional: empty instance";
+  let span = effective_span ~lambda0 instance in
+  let labels = float_of_int (Instance.num_labels instance) in
+  float_of_int (Instance.total_pairs instance) /. span /. labels
+
+let densities ~lambda0 instance =
+  let density0 = base_density ~lambda0 instance in
+  let rows = ref [] in
+  List.iter
+    (fun a ->
+      let lp = Instance.label_posts instance a in
+      Array.iter
+        (fun pos ->
+          let center = Instance.value instance pos in
+          let count = window_count instance a ~center ~lambda0 in
+          let density = float_of_int count /. (2. *. lambda0) in
+          let lambda = lambda0 *. exp (1. -. (density /. density0)) in
+          rows := (pos, a, density, lambda) :: !rows)
+        lp)
+    (Instance.label_universe instance);
+  List.rev !rows
+
+let make ~lambda0 instance =
+  let table = Hashtbl.create (Instance.total_pairs instance) in
+  List.iter
+    (fun (pos, a, _, lambda) ->
+      let id = (Instance.post instance pos).Post.id in
+      Hashtbl.replace table (id, a) lambda)
+    (densities ~lambda0 instance);
+  Coverage.Per_post_label
+    (fun p a ->
+      match Hashtbl.find_opt table (p.Post.id, a) with
+      | Some lambda -> lambda
+      | None -> lambda0)

@@ -1,0 +1,29 @@
+(** Proportional diversity through a variable λ (paper §6, Equation 2).
+
+    Each (post, label) pair gets its own threshold
+
+    {v λ_a(Pi) = λ0 · exp(1 − density_a(ti − λ0, ti + λ0) / density0) v}
+
+    where [density_a] is the number of posts matching [a] in the ±λ0
+    window around [Pi] (normalized per unit of the diversity dimension)
+    and [density0] is the average such density over all labels and the
+    whole instance span. Dense regions get a smaller λ (more
+    representatives kept), sparse regions a larger one — but smoothly, so
+    rare perspectives still surface. Coverage becomes directional; all
+    offline algorithms except OPT accept the resulting
+    [Coverage.Per_post_label]. *)
+
+(** [make ?lambda0 instance] builds the per-post, per-label λ of Eq. 2.
+    Thresholds are precomputed for every (post, label) pair of the
+    instance; querying a pair outside the instance falls back to [lambda0].
+    Raises [Invalid_argument] when [lambda0 <= 0] or the instance is
+    empty. *)
+val make : lambda0:float -> Instance.t -> Coverage.lambda
+
+(** [densities ~lambda0 instance] — the per-pair window densities used by
+    {!make}, as [(position, label, density, lambda)] rows; exposed for the
+    proportionality ablation bench and for tests. *)
+val densities : lambda0:float -> Instance.t -> (int * Label.t * float * float) list
+
+(** The global normalizing density [density0] of Eq. 2. *)
+val base_density : lambda0:float -> Instance.t -> float

@@ -1,0 +1,120 @@
+type order =
+  | Given
+  | Most_frequent_first
+  | Least_frequent_first
+
+(* The coverage interval of post [p] for label [a] is
+   [p.value - r, p.value + r] with r = Coverage.radius lambda p a. *)
+let reach instance lambda a pos =
+  let p = Instance.post instance pos in
+  p.Post.value +. Coverage.radius lambda (Instance.post instance pos) a
+
+(* Index into LP(a) of the best post to cover the point [x]: among posts
+   whose interval contains [x], the one reaching furthest right. With a
+   fixed lambda this is the last post with value <= x + lambda (the paper's
+   choice); with a per-post lambda we scan the whole list, which is only
+   used at small scale. Raises if no candidate exists — impossible when [x]
+   is the value of a post in LP(a), which covers itself. *)
+let best_pick instance lambda a lp x =
+  match lambda with
+  | Coverage.Fixed l ->
+    let key pos = Instance.value instance pos in
+    let j = Util.Array_util.upper_bound ~key lp (x +. l) - 1 in
+    if j < 0 || Instance.value instance lp.(j) < x -. l then
+      invalid_arg "Scan.best_pick: no candidate interval contains x";
+    j
+  | Coverage.Per_post_label _ ->
+    let best = ref (-1) and best_reach = ref neg_infinity in
+    Array.iteri
+      (fun j pos ->
+        let p = Instance.post instance pos in
+        let r = Coverage.radius lambda p a in
+        if Float.abs (p.Post.value -. x) <= r then begin
+          let right = p.Post.value +. r in
+          if right > !best_reach then begin
+            best := j;
+            best_reach := right
+          end
+        end)
+      lp;
+    if !best < 0 then invalid_arg "Scan.best_pick: no candidate interval contains x";
+    !best
+
+let solve_label instance lambda a =
+  let lp = Instance.label_posts instance a in
+  let n = Array.length lp in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else begin
+      let x = Instance.value instance lp.(i) in
+      let j = best_pick instance lambda a lp x in
+      let picked = lp.(j) in
+      let right = reach instance lambda a picked in
+      (* Skip every post covered by the pick. *)
+      let key pos = Instance.value instance pos in
+      let next = Util.Array_util.upper_bound ~key lp right in
+      loop (max next (i + 1)) (picked :: acc)
+    end
+  in
+  loop 0 []
+
+let sorted_unique positions =
+  List.sort_uniq Int.compare positions
+
+let solve instance lambda =
+  Instance.label_universe instance
+  |> List.concat_map (fun a -> solve_label instance lambda a)
+  |> sorted_unique
+
+let label_order instance order =
+  let universe = Instance.label_universe instance in
+  let frequency a = Array.length (Instance.label_posts instance a) in
+  match order with
+  | Given -> universe
+  | Most_frequent_first ->
+    List.sort (fun a b -> Int.compare (frequency b) (frequency a)) universe
+  | Least_frequent_first ->
+    List.sort (fun a b -> Int.compare (frequency a) (frequency b)) universe
+
+let solve_plus ?(order = Given) instance lambda =
+  let max_label =
+    List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
+  in
+  let covered =
+    Array.init (max_label + 1) (fun a ->
+        Bytes.make (Array.length (Instance.label_posts instance a)) '\000')
+  in
+  let mark_covered_by picked =
+    let p = Instance.post instance picked in
+    Label_set.iter
+      (fun b ->
+        let r = Coverage.radius lambda p b in
+        match
+          Instance.posts_in_range instance b ~lo:(p.Post.value -. r) ~hi:(p.Post.value +. r)
+        with
+        | None -> ()
+        | Some (first, last) ->
+          Bytes.fill covered.(b) first (last - first + 1) '\001')
+      p.Post.labels
+  in
+  let picks = ref [] in
+  let process_label a =
+    let lp = Instance.label_posts instance a in
+    let n = Array.length lp in
+    let rec loop i =
+      if i < n then begin
+        if Bytes.get covered.(a) i <> '\000' then loop (i + 1)
+        else begin
+          let x = Instance.value instance lp.(i) in
+          let j = best_pick instance lambda a lp x in
+          picks := lp.(j) :: !picks;
+          mark_covered_by lp.(j);
+          (* lp.(j) covers pair (i, a), so the flag at i is now set. *)
+          loop (i + 1)
+        end
+      end
+    in
+    loop 0
+  in
+  List.iter process_label (label_order instance order);
+  sorted_unique !picks

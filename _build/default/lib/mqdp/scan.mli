@@ -1,0 +1,29 @@
+(** Algorithm Scan (paper §4.3) and its Scan+ optimization.
+
+    Scan solves each label independently: one left-to-right pass over LP(a)
+    picks, for the first uncovered post, the relevant post whose coverage
+    interval reaches furthest right — the classic optimal greedy for
+    covering points with intervals. The per-label solution is optimal, so
+    the union is an s-approximation where s is the maximum number of labels
+    per post. Running time O(s·|P|) for a fixed λ.
+
+    Scan+ additionally marks, whenever a post [z] is selected, every
+    (post, label) pair that [z] covers — for all labels of [z] — so later
+    labels skip already-covered pairs. The processing order of labels then
+    matters; it is exposed for the ablation study. *)
+
+type order =
+  | Given  (** ascending label id *)
+  | Most_frequent_first
+  | Least_frequent_first
+
+(** [solve instance lambda] — plain Scan. Returns positions, ascending. *)
+val solve : Instance.t -> Coverage.lambda -> int list
+
+(** [solve_plus ?order instance lambda] — Scan+ (default order [Given]). *)
+val solve_plus : ?order:order -> Instance.t -> Coverage.lambda -> int list
+
+(** [solve_label instance lambda a] — the optimal cover of LP(a) with
+    respect to label [a] alone (positions, ascending). Exposed for tests
+    and for the streaming variants. *)
+val solve_label : Instance.t -> Coverage.lambda -> Label.t -> int list

@@ -1,0 +1,142 @@
+exception Too_large of string
+
+(* Label_set is a general int bitset; here its elements are set-cover
+   element ids. *)
+module Bitset = Label_set
+
+type universe = {
+  num_elements : int;
+  covers : Bitset.t array;  (* per set *)
+  coverers : int array array;  (* per element: sets containing it *)
+  all : Bitset.t;
+}
+
+let build ~num_elements sets =
+  let covers = Array.map (fun s -> Bitset.of_list (Array.to_list s)) sets in
+  let buckets = Array.make num_elements [] in
+  Array.iteri
+    (fun k s ->
+      Bitset.iter
+        (fun e ->
+          if e >= num_elements then
+            invalid_arg (Printf.sprintf "Set_cover: element %d out of range" e);
+          buckets.(e) <- k :: buckets.(e))
+        s;
+      ignore s)
+    covers;
+  Array.iteri
+    (fun e bucket ->
+      if bucket = [] then
+        invalid_arg (Printf.sprintf "Set_cover: element %d covered by no set" e))
+    buckets;
+  let all = ref Bitset.empty in
+  for e = num_elements - 1 downto 0 do
+    all := Bitset.add e !all
+  done;
+  {
+    num_elements;
+    covers;
+    coverers = Array.map (fun b -> Array.of_list (List.rev b)) buckets;
+    all = !all;
+  }
+
+let greedy_universe universe =
+  let covered = Bytes.make universe.num_elements '\000' in
+  let gain = Array.map Bitset.cardinal universe.covers in
+  let remaining = ref universe.num_elements in
+  let chosen = ref [] in
+  while !remaining > 0 do
+    let best = ref (-1) and best_gain = ref 0 in
+    Array.iteri
+      (fun k g ->
+        if g > !best_gain then begin
+          best := k;
+          best_gain := g
+        end)
+      gain;
+    (* An uncovered element always gives its coverers positive gain. *)
+    assert (!best >= 0);
+    chosen := !best :: !chosen;
+    Bitset.iter
+      (fun e ->
+        if Bytes.get covered e = '\000' then begin
+          Bytes.set covered e '\001';
+          decr remaining;
+          Array.iter (fun k -> gain.(k) <- gain.(k) - 1) universe.coverers.(e)
+        end)
+      universe.covers.(!best)
+  done;
+  List.sort_uniq Int.compare !chosen
+
+let greedy ~num_elements sets =
+  if num_elements = 0 then []
+  else greedy_universe (build ~num_elements sets)
+
+let search ?(max_nodes = 20_000_000) universe ~initial_bound =
+  let best_size = ref initial_bound and best_cover = ref None in
+  let nodes = ref 0 in
+  let max_set_size =
+    Array.fold_left (fun acc s -> max acc (Bitset.cardinal s)) 1 universe.covers
+  in
+  let rec go depth chosen uncovered =
+    incr nodes;
+    if !nodes > max_nodes then
+      raise (Too_large (Printf.sprintf "Set_cover: exceeded %d search nodes" max_nodes));
+    if Bitset.is_empty uncovered then begin
+      if depth < !best_size then begin
+        best_size := depth;
+        best_cover := Some chosen
+      end
+    end
+    else begin
+      let remaining = Bitset.cardinal uncovered in
+      let lower = depth + ((remaining + max_set_size - 1) / max_set_size) in
+      if lower < !best_size then begin
+        let pick = ref (-1) and pick_arity = ref max_int in
+        Bitset.iter
+          (fun e ->
+            let arity = Array.length universe.coverers.(e) in
+            if arity < !pick_arity then begin
+              pick := e;
+              pick_arity := arity
+            end)
+          uncovered;
+        let scored =
+          Array.to_list universe.coverers.(!pick)
+          |> List.map (fun k ->
+                 (Bitset.cardinal (Bitset.inter universe.covers.(k) uncovered), k))
+          |> List.sort (fun (ga, _) (gb, _) -> Int.compare gb ga)
+        in
+        List.iter
+          (fun (_, k) ->
+            go (depth + 1) (k :: chosen) (Bitset.diff uncovered universe.covers.(k)))
+          scored
+      end
+    end
+  in
+  go 0 [] universe.all;
+  !best_cover
+
+let minimum ?max_nodes ~num_elements sets =
+  if num_elements = 0 then []
+  else begin
+    let universe = build ~num_elements sets in
+    let incumbent = greedy_universe universe in
+    match search ?max_nodes universe ~initial_bound:(List.length incumbent) with
+    | Some cover -> List.sort_uniq Int.compare cover
+    | None -> incumbent
+  end
+
+let bounded ?max_nodes ~bound ~num_elements sets =
+  if bound < 0 then None
+  else if num_elements = 0 then Some []
+  else begin
+    let universe = build ~num_elements sets in
+    let incumbent = greedy_universe universe in
+    if List.length incumbent <= bound then Some incumbent
+    else begin
+      match search ?max_nodes universe ~initial_bound:(bound + 1) with
+      | Some cover -> Some (List.sort_uniq Int.compare cover)
+      | None -> None
+    end
+  end

@@ -1,0 +1,28 @@
+(** A generic set-cover engine.
+
+    Elements are the integers [0 .. num_elements-1]; [sets.(k)] lists the
+    elements set [k] covers (duplicates allowed, ignored). Shared by
+    {!Brute_force} (exact MQDP over (post, label) pairs) and {!Spatial}
+    (whose coverage relation has no 1-D structure to exploit). *)
+
+exception Too_large of string
+
+(** [greedy ~num_elements sets] — the classic ln(n)-approximate greedy:
+    repeatedly take the set covering the most uncovered elements. Returns
+    chosen set indices, ascending. Raises [Invalid_argument] when some
+    element is covered by no set. *)
+val greedy : num_elements:int -> int array array -> int list
+
+(** [minimum ?max_nodes ~num_elements sets] — an exact minimum cover by
+    branch-and-bound (branch on the uncovered element with fewest
+    covering sets; prune with |chosen| + ⌈uncovered / max-set⌉ against
+    the greedy incumbent).
+    @raise Too_large after [max_nodes] search nodes (default 20M).
+    @raise Invalid_argument when some element is uncoverable. *)
+val minimum : ?max_nodes:int -> num_elements:int -> int array array -> int list
+
+(** [bounded ?max_nodes ~bound ~num_elements sets] — [Some cover] of size
+    at most [bound] when one exists, else [None]. *)
+val bounded :
+  ?max_nodes:int -> bound:int -> num_elements:int -> int array array ->
+  int list option

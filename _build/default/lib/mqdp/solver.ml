@@ -1,0 +1,77 @@
+type algorithm =
+  | Opt
+  | Brute_force
+  | Greedy_sc
+  | Greedy_sc_heap
+  | Scan
+  | Scan_plus
+
+type streaming_algorithm =
+  | Stream_scan
+  | Stream_scan_plus
+  | Stream_greedy
+  | Stream_greedy_plus
+  | Instant
+
+type result = {
+  cover : int list;
+  size : int;
+  elapsed : float;
+}
+
+type streaming_result = {
+  stream : Stream.result;
+  stream_size : int;
+  stream_elapsed : float;
+}
+
+let algorithm_name = function
+  | Opt -> "opt"
+  | Brute_force -> "brute-force"
+  | Greedy_sc -> "greedy-sc"
+  | Greedy_sc_heap -> "greedy-sc-heap"
+  | Scan -> "scan"
+  | Scan_plus -> "scan+"
+
+let streaming_algorithm_name = function
+  | Stream_scan -> "stream-scan"
+  | Stream_scan_plus -> "stream-scan+"
+  | Stream_greedy -> "stream-greedy-sc"
+  | Stream_greedy_plus -> "stream-greedy-sc+"
+  | Instant -> "instant"
+
+let all_algorithms = [ Opt; Brute_force; Greedy_sc; Greedy_sc_heap; Scan; Scan_plus ]
+
+let all_streaming_algorithms =
+  [ Stream_scan; Stream_scan_plus; Stream_greedy; Stream_greedy_plus; Instant ]
+
+let algorithm_of_string s =
+  List.find_opt (fun a -> algorithm_name a = s) all_algorithms
+
+let streaming_algorithm_of_string s =
+  List.find_opt (fun a -> streaming_algorithm_name a = s) all_streaming_algorithms
+
+let solve algorithm instance lambda =
+  let run () =
+    match algorithm with
+    | Opt -> Opt.solve instance lambda
+    | Brute_force -> Brute_force.solve instance lambda
+    | Greedy_sc -> Greedy_sc.solve ~selection:`Linear_scan instance lambda
+    | Greedy_sc_heap -> Greedy_sc.solve ~selection:`Lazy_heap instance lambda
+    | Scan -> Scan.solve instance lambda
+    | Scan_plus -> Scan.solve_plus instance lambda
+  in
+  let cover, elapsed = Util.Timer.time_it run in
+  { cover; size = List.length cover; elapsed }
+
+let solve_stream algorithm ~tau instance lambda =
+  let run () =
+    match algorithm with
+    | Stream_scan -> Stream_scan.solve ~plus:false ~tau instance lambda
+    | Stream_scan_plus -> Stream_scan.solve ~plus:true ~tau instance lambda
+    | Stream_greedy -> Stream_greedy.solve ~plus:false ~tau instance lambda
+    | Stream_greedy_plus -> Stream_greedy.solve ~plus:true ~tau instance lambda
+    | Instant -> Stream_scan.solve_instant instance lambda
+  in
+  let stream, stream_elapsed = Util.Timer.time_it run in
+  { stream; stream_size = List.length stream.Stream.cover; stream_elapsed }

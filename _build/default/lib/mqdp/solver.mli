@@ -1,0 +1,47 @@
+(** Uniform front-end over all MQDP algorithms.
+
+    Dispatches by name, times the run, and verifies nothing — verification
+    stays an explicit {!Coverage.is_cover} call so benchmarks measure only
+    the algorithm. *)
+
+type algorithm =
+  | Opt  (** exact DP; fixed λ, small instances only *)
+  | Brute_force  (** exact branch-and-bound; small instances only *)
+  | Greedy_sc
+  | Greedy_sc_heap  (** GreedySC with lazy-heap selection *)
+  | Scan
+  | Scan_plus
+
+type streaming_algorithm =
+  | Stream_scan
+  | Stream_scan_plus
+  | Stream_greedy
+  | Stream_greedy_plus
+  | Instant  (** τ = 0 cache-based output; the [tau] argument is ignored *)
+
+type result = {
+  cover : int list;  (** positions, ascending *)
+  size : int;
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+type streaming_result = {
+  stream : Stream.result;
+  stream_size : int;
+  stream_elapsed : float;
+}
+
+val algorithm_name : algorithm -> string
+val streaming_algorithm_name : streaming_algorithm -> string
+
+(** [algorithm_of_string s] inverts {!algorithm_name}. *)
+val algorithm_of_string : string -> algorithm option
+
+val streaming_algorithm_of_string : string -> streaming_algorithm option
+
+val all_algorithms : algorithm list
+val all_streaming_algorithms : streaming_algorithm list
+
+val solve : algorithm -> Instance.t -> Coverage.lambda -> result
+val solve_stream :
+  streaming_algorithm -> tau:float -> Instance.t -> Coverage.lambda -> streaming_result

@@ -1,0 +1,140 @@
+type post = {
+  id : int;
+  time : float;
+  lat : float;
+  lon : float;
+  labels : Label_set.t;
+}
+
+let make_post ~id ~time ~lat ~lon ~labels =
+  if Float.abs lat > 90. then invalid_arg "Spatial.make_post: latitude out of range";
+  if Float.abs lon > 180. then invalid_arg "Spatial.make_post: longitude out of range";
+  { id; time; lat; lon; labels }
+
+type thresholds = {
+  lambda_time : float;
+  radius_km : float;
+}
+
+let earth_radius_km = 6371.
+
+let haversine_km (lat1, lon1) (lat2, lon2) =
+  let rad d = d *. Float.pi /. 180. in
+  let dlat = rad (lat2 -. lat1) and dlon = rad (lon2 -. lon1) in
+  let a =
+    (sin (dlat /. 2.) ** 2.)
+    +. (cos (rad lat1) *. cos (rad lat2) *. (sin (dlon /. 2.) ** 2.))
+  in
+  2. *. earth_radius_km *. atan2 (sqrt a) (sqrt (1. -. a))
+
+let covers_label thresholds ~by a p =
+  Label_set.mem a by.labels
+  && Label_set.mem a p.labels
+  && Float.abs (by.time -. p.time) <= thresholds.lambda_time
+  && haversine_km (by.lat, by.lon) (p.lat, p.lon) <= thresholds.radius_km
+
+type t = { posts : post array (* sorted by (time, id) *) }
+
+let create post_list =
+  let relevant = List.filter (fun p -> not (Label_set.is_empty p.labels)) post_list in
+  let posts = Array.of_list relevant in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare a.time b.time in
+      if c <> 0 then c else Int.compare a.id b.id)
+    posts;
+  let seen = Hashtbl.create (Array.length posts) in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p.id then
+        invalid_arg (Printf.sprintf "Spatial.create: duplicate post id %d" p.id);
+      Hashtbl.add seen p.id ())
+    posts;
+  { posts }
+
+let size t = Array.length t.posts
+let post t i = t.posts.(i)
+
+(* Positions within the time window of post k — geography still needs
+   checking per candidate, but time-sorting bounds the scan. *)
+let time_window t thresholds k =
+  let key (p : post) = p.time in
+  let center = t.posts.(k).time in
+  let first = Util.Array_util.lower_bound ~key t.posts (center -. thresholds.lambda_time) in
+  let last = Util.Array_util.upper_bound ~key t.posts (center +. thresholds.lambda_time) - 1 in
+  (first, last)
+
+(* Dense (position, label) pair ids plus the coverage sets, for the
+   generic engine. *)
+let build_sets t thresholds =
+  let pair_id = Hashtbl.create 256 in
+  let next = ref 0 in
+  Array.iteri
+    (fun i p ->
+      Label_set.iter
+        (fun a ->
+          Hashtbl.add pair_id (i, a) !next;
+          incr next)
+        p.labels)
+    t.posts;
+  let sets =
+    Array.init (size t) (fun k ->
+        let pk = t.posts.(k) in
+        let first, last = time_window t thresholds k in
+        let pairs = ref [] in
+        for i = first to last do
+          let p = t.posts.(i) in
+          if
+            haversine_km (pk.lat, pk.lon) (p.lat, p.lon) <= thresholds.radius_km
+            && not (Label_set.disjoint pk.labels p.labels)
+          then
+            Label_set.iter
+              (fun a ->
+                if Label_set.mem a pk.labels then
+                  pairs := Hashtbl.find pair_id (i, a) :: !pairs)
+              p.labels
+        done;
+        Array.of_list !pairs)
+  in
+  (!next, sets, pair_id)
+
+let uncovered t thresholds cover =
+  let n = size t in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Spatial: cover position out of range")
+    cover;
+  let chosen = List.map (fun i -> t.posts.(i)) cover in
+  let bad = ref [] in
+  for i = n - 1 downto 0 do
+    let p = t.posts.(i) in
+    Label_set.iter
+      (fun a ->
+        let ok = List.exists (fun z -> covers_label thresholds ~by:z a p) chosen in
+        if not ok then bad := (i, a) :: !bad)
+      p.labels
+  done;
+  !bad
+
+let is_cover t thresholds cover = uncovered t thresholds cover = []
+
+let greedy t thresholds =
+  if size t = 0 then []
+  else begin
+    let num_elements, sets, _ = build_sets t thresholds in
+    Set_cover.greedy ~num_elements sets
+  end
+
+let brute_force ?(max_pairs = 4096) ?max_nodes t thresholds =
+  if size t = 0 then []
+  else begin
+    let num_elements, sets, _ = build_sets t thresholds in
+    if num_elements > max_pairs then
+      raise
+        (Brute_force.Too_large
+           (Printf.sprintf "Spatial: %d pairs exceeds limit %d" num_elements max_pairs));
+    match Set_cover.minimum ?max_nodes ~num_elements sets with
+    | cover -> cover
+    | exception Set_cover.Too_large msg ->
+      raise (Brute_force.Too_large ("Spatial: " ^ msg))
+  end

@@ -1,0 +1,61 @@
+(** Spatiotemporal multi-query diversification — the paper's §9 future
+    work, implemented.
+
+    Posts live on time × geography; a post λ-covers a label of another
+    post only when they are close in {i both} dimensions: within
+    [lambda_time] seconds {i and} within [radius_km] kilometres (great-
+    circle distance). Scan's left-to-right pass needs a total order and
+    does not generalize, but the set-cover formulation does, so the
+    solver here is the greedy set-cover algorithm plus an exact
+    branch-and-bound for small instances — mirroring the GreedySC /
+    BruteForce pair of the 1-D problem. *)
+
+type post = {
+  id : int;
+  time : float;  (** seconds *)
+  lat : float;  (** degrees, [-90, 90] *)
+  lon : float;  (** degrees, [-180, 180] *)
+  labels : Label_set.t;
+}
+
+val make_post :
+  id:int -> time:float -> lat:float -> lon:float -> labels:Label_set.t -> post
+
+type thresholds = {
+  lambda_time : float;  (** seconds *)
+  radius_km : float;
+}
+
+(** [haversine_km (lat1, lon1) (lat2, lon2)] — great-circle distance on a
+    6371 km sphere. *)
+val haversine_km : float * float -> float * float -> float
+
+(** [covers_label thresholds ~by a p] — both-dimension coverage; false
+    when [a] is missing from either post. *)
+val covers_label : thresholds -> by:post -> Label.t -> post -> bool
+
+(** An instance: posts sorted by time. Duplicate ids are rejected, posts
+    without labels dropped, as in {!Instance}. *)
+type t
+
+val create : post list -> t
+val size : t -> int
+val post : t -> int -> post
+
+(** [is_cover t thresholds cover] — every (post, label) pair covered by
+    the posts at positions [cover]? *)
+val is_cover : t -> thresholds -> int list -> bool
+
+(** [uncovered t thresholds cover] — the uncovered (position, label)
+    pairs. *)
+val uncovered : t -> thresholds -> int list -> (int * Label.t) list
+
+(** [greedy t thresholds] — greedy set cover over the spatiotemporal
+    coverage sets; positions ascending. Same ln(|P||L|) guarantee as
+    GreedySC. *)
+val greedy : t -> thresholds -> int list
+
+(** [brute_force t thresholds] — exact minimum cover; small instances
+    only (same limits as {!Brute_force}).
+    @raise Brute_force.Too_large on oversized instances. *)
+val brute_force : ?max_pairs:int -> ?max_nodes:int -> t -> thresholds -> int list

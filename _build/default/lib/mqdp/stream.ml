@@ -1,0 +1,47 @@
+type emission = { position : int; emit_time : float }
+
+type result = {
+  emissions : emission list;
+  cover : int list;
+}
+
+exception Unsupported of string
+
+let make_result emissions =
+  let earliest = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt earliest e.position with
+      | Some t when t <= e.emit_time -> ()
+      | _ -> Hashtbl.replace earliest e.position e.emit_time)
+    emissions;
+  let deduped =
+    Hashtbl.fold (fun position emit_time acc -> { position; emit_time } :: acc) earliest []
+  in
+  let in_order =
+    List.sort
+      (fun a b ->
+        let c = Float.compare a.emit_time b.emit_time in
+        if c <> 0 then c else Int.compare a.position b.position)
+      deduped
+  in
+  let cover = List.sort_uniq Int.compare (List.map (fun e -> e.position) in_order) in
+  { emissions = in_order; cover }
+
+let delays instance result =
+  result.emissions
+  |> List.map (fun e -> e.emit_time -. Instance.value instance e.position)
+  |> Array.of_list
+
+let max_delay instance result =
+  Array.fold_left max 0. (delays instance result)
+
+let check_deadline ~tau instance result =
+  let eps = 1e-9 in
+  Array.for_all (fun d -> d <= tau +. eps) (delays instance result)
+
+let fixed_lambda_exn ~who lambda =
+  match lambda with
+  | Coverage.Fixed l -> l
+  | Coverage.Per_post_label _ ->
+    raise (Unsupported (who ^ " requires a fixed lambda"))

@@ -1,0 +1,39 @@
+(** Shared types for the streaming algorithms (paper §5).
+
+    A streaming run is simulated over an {!Instance} whose diversity
+    dimension is time: posts "arrive" in value order and the algorithm
+    decides, within its delay budget τ, which posts to emit. The outcome
+    records *when* each selected post was emitted so the delay guarantee
+    can be checked.
+
+    Streaming algorithms require a [Coverage.Fixed] lambda: the reporting
+    deadline min(t_lu+τ, t_ou+λ) is only meaningful for a uniform λ. *)
+
+type emission = { position : int; emit_time : float }
+
+type result = {
+  emissions : emission list;
+      (** in emission order, deduplicated (earliest emission kept) *)
+  cover : int list;  (** emitted positions, ascending *)
+}
+
+(** [make_result emissions] deduplicates by position (keeping the earliest
+    emission) and orders the record fields canonically. *)
+val make_result : emission list -> result
+
+(** Per-emission delay [emit_time - value], in emission order. *)
+val delays : Instance.t -> result -> float array
+
+(** Largest delay, 0 for an empty result. *)
+val max_delay : Instance.t -> result -> float
+
+(** [check_deadline ~tau instance result] — every emission within τ of its
+    post's timestamp (up to float tolerance)? *)
+val check_deadline : tau:float -> Instance.t -> result -> bool
+
+(** Raised by streaming algorithms when given a per-post lambda. *)
+exception Unsupported of string
+
+(** [fixed_lambda_exn ~who lambda] extracts the fixed threshold or raises
+    {!Unsupported}. *)
+val fixed_lambda_exn : who:string -> Coverage.lambda -> float

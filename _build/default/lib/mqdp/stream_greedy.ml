@@ -1,0 +1,107 @@
+type state = {
+  instance : Instance.t;
+  lambda : float;
+  covered : Bytes.t array;  (* per label, per LP(a) index *)
+  pairs_of_post : (int * int) list array;  (* position -> (label, LP index) *)
+}
+
+let make_state instance lambda =
+  let max_label =
+    List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
+  in
+  let covered =
+    Array.init (max_label + 1) (fun a ->
+        Bytes.make (Array.length (Instance.label_posts instance a)) '\000')
+  in
+  let pairs_of_post = Array.make (Instance.size instance) [] in
+  List.iter
+    (fun a ->
+      let lp = Instance.label_posts instance a in
+      Array.iteri (fun ia pos -> pairs_of_post.(pos) <- (a, ia) :: pairs_of_post.(pos)) lp)
+    (Instance.label_universe instance);
+  { instance; lambda; covered; pairs_of_post }
+
+let fully_covered st pos =
+  List.for_all (fun (a, ia) -> Bytes.get st.covered.(a) ia <> '\000') st.pairs_of_post.(pos)
+
+let mark_covered_by st k =
+  let p = Instance.post st.instance k in
+  Label_set.iter
+    (fun a ->
+      match
+        Instance.posts_in_range st.instance a ~lo:(p.Post.value -. st.lambda)
+          ~hi:(p.Post.value +. st.lambda)
+      with
+      | None -> ()
+      | Some (first, last) -> Bytes.fill st.covered.(a) first (last - first + 1) '\001')
+    p.Post.labels
+
+(* Uncovered window pairs the candidate k would cover. *)
+let window_gain st ~z_lo ~z_hi k =
+  let p = Instance.post st.instance k in
+  let gain = ref 0 in
+  Label_set.iter
+    (fun a ->
+      match
+        Instance.posts_in_range st.instance a ~lo:(p.Post.value -. st.lambda)
+          ~hi:(p.Post.value +. st.lambda)
+      with
+      | None -> ()
+      | Some (first, last) ->
+        let lp = Instance.label_posts st.instance a in
+        for ia = first to last do
+          let pos = lp.(ia) in
+          if pos >= z_lo && pos <= z_hi && Bytes.get st.covered.(a) ia = '\000' then
+            incr gain
+        done)
+    p.Post.labels;
+  !gain
+
+let window_all_covered st ~z_lo ~z_hi =
+  let rec loop pos = pos > z_hi || (fully_covered st pos && loop (pos + 1)) in
+  loop z_lo
+
+let solve ?(plus = false) ~tau instance lambda =
+  if tau < 0. then invalid_arg "Stream_greedy.solve: negative tau";
+  let l = Stream.fixed_lambda_exn ~who:"Stream_greedy.solve" lambda in
+  let st = make_state instance l in
+  let n = Instance.size instance in
+  let posts = Instance.posts instance in
+  let post_value (p : Post.t) = p.Post.value in
+  let emissions = ref [] in
+  let rec advance cursor =
+    if cursor < n && fully_covered st cursor then advance (cursor + 1) else cursor
+  in
+  let rec process cursor =
+    let cursor = advance cursor in
+    if cursor < n then begin
+      let t' = Instance.value instance cursor in
+      let deadline = t' +. tau in
+      let z_lo = cursor in
+      let z_hi = Util.Array_util.upper_bound ~key:post_value posts deadline - 1 in
+      let stop () =
+        if plus then fully_covered st cursor else window_all_covered st ~z_lo ~z_hi
+      in
+      let rec greedy_rounds () =
+        if not (stop ()) then begin
+          let best = ref (-1) and best_gain = ref 0 in
+          for k = z_lo to z_hi do
+            let g = window_gain st ~z_lo ~z_hi k in
+            if g > !best_gain then begin
+              best := k;
+              best_gain := g
+            end
+          done;
+          (* An uncovered window pair is always coverable by its own post. *)
+          assert (!best >= 0);
+          emissions := { Stream.position = !best; emit_time = deadline } :: !emissions;
+          mark_covered_by st !best;
+          greedy_rounds ()
+        end
+      in
+      greedy_rounds ();
+      process cursor
+    end
+  in
+  process 0;
+  Stream.make_result (List.rev !emissions)

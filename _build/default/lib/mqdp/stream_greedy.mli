@@ -1,0 +1,17 @@
+(** StreamGreedySC and StreamGreedySC+ (paper §5.2).
+
+    Let P' be the oldest post not yet λ-covered by the emitted posts. The
+    algorithm waits until time(P') + τ, takes the window Z of posts with
+    timestamps in [time(P'), time(P') + τ], and runs greedy set cover
+    restricted to Z — counting coverage already provided by previously
+    emitted posts — emitting the selected posts at the window deadline.
+    Posts selected from Z were published inside the window, so their
+    reporting delay is at most τ.
+
+    The [+] variation stops the greedy as soon as P' itself is covered,
+    then recomputes the oldest uncovered post (possibly still inside Z)
+    and opens a fresh window for it. *)
+
+(** [solve ?plus ~tau instance lambda]. Raises {!Stream.Unsupported} on a
+    per-post lambda, [Invalid_argument] on negative [tau]. *)
+val solve : ?plus:bool -> tau:float -> Instance.t -> Coverage.lambda -> Stream.result

@@ -1,0 +1,37 @@
+(* Both entry points are thin adapters over the incremental {!Online}
+   engine: feed the instance's posts in order, map emitted posts back to
+   instance positions. *)
+
+let run mode instance =
+  let n = Instance.size instance in
+  let position_of_id = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    Hashtbl.replace position_of_id (Instance.post instance i).Post.id i
+  done;
+  let engine = mode in
+  let emissions = ref [] in
+  let record es =
+    List.iter
+      (fun e ->
+        emissions :=
+          {
+            Stream.position = Hashtbl.find position_of_id e.Online.post.Post.id;
+            emit_time = e.Online.emit_time;
+          }
+          :: !emissions)
+      es
+  in
+  for i = 0 to n - 1 do
+    record (Online.push engine (Instance.post instance i))
+  done;
+  record (Online.finish engine);
+  Stream.make_result (List.rev !emissions)
+
+let solve ?(plus = false) ~tau instance lambda =
+  if tau < 0. then invalid_arg "Stream_scan.solve: negative tau";
+  let l = Stream.fixed_lambda_exn ~who:"Stream_scan.solve" lambda in
+  run (Online.create ~lambda:l (Online.Delayed { tau; plus })) instance
+
+let solve_instant instance lambda =
+  let l = Stream.fixed_lambda_exn ~who:"Stream_scan.solve_instant" lambda in
+  run (Online.create ~lambda:l Online.Instant) instance

@@ -1,0 +1,25 @@
+(** StreamScan, StreamScan+ and the instant-output variant (paper §5.1).
+
+    StreamScan keeps, per label [a], the oldest and latest uncovered
+    relevant posts P_ou(a), P_lu(a) and the latest post output *for* [a],
+    P_lc(a). It emits P_lu(a) at time min(t(P_lu)+τ, t(P_ou)+λ), which
+    respects the reporting deadline τ and guarantees the emitted post
+    covers everything pending for [a]. With τ ≥ λ it reproduces offline
+    Scan exactly (approximation s); with 0 ≤ τ < λ the bound degrades
+    to 2s.
+
+    StreamScan+ additionally credits an emission to every label the
+    emitted post carries: pending posts of other labels it covers are
+    dropped and their deadlines recomputed.
+
+    The instant variant (τ = 0) emits an arriving post immediately iff the
+    per-label cache of most recently selected posts does not already cover
+    it — approximation 2s. *)
+
+(** [solve ?plus ~tau instance lambda] simulates the delayed algorithm.
+    Raises {!Stream.Unsupported} on a per-post lambda, [Invalid_argument]
+    on negative [tau]. *)
+val solve : ?plus:bool -> tau:float -> Instance.t -> Coverage.lambda -> Stream.result
+
+(** [solve_instant instance lambda] — the τ = 0 cache-based variant. *)
+val solve_instant : Instance.t -> Coverage.lambda -> Stream.result

@@ -1,0 +1,60 @@
+type literal = int
+type clause = literal list
+
+type t = {
+  num_vars : int;
+  clauses : clause list;
+}
+
+let var lit = abs lit
+let positive lit = lit > 0
+
+let make ~num_vars clauses =
+  if num_vars < 0 then invalid_arg "Cnf.make: negative num_vars";
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun lit ->
+          if lit = 0 || abs lit > num_vars then
+            invalid_arg (Printf.sprintf "Cnf.make: bad literal %d" lit))
+        clause)
+    clauses;
+  { num_vars; clauses }
+
+let eval t assignment =
+  if Array.length assignment < t.num_vars + 1 then
+    invalid_arg "Cnf.eval: assignment too short";
+  List.for_all
+    (fun clause ->
+      List.exists (fun lit -> assignment.(var lit) = positive lit) clause)
+    t.clauses
+
+let random ~seed ~num_vars ~num_clauses ~clause_size =
+  if clause_size > num_vars then invalid_arg "Cnf.random: clause_size > num_vars";
+  let state = Random.State.make [| seed |] in
+  let clause () =
+    let rec pick chosen k =
+      if k = 0 then chosen
+      else begin
+        let v = 1 + Random.State.int state num_vars in
+        if List.mem v chosen then pick chosen k else pick (v :: chosen) (k - 1)
+      end
+    in
+    List.map
+      (fun v -> if Random.State.bool state then v else -v)
+      (pick [] clause_size)
+  in
+  make ~num_vars (List.init num_clauses (fun _ -> clause ()))
+
+let pp fmt t =
+  let pp_lit fmt lit =
+    if lit > 0 then Format.fprintf fmt "x%d" lit else Format.fprintf fmt "~x%d" (-lit)
+  in
+  let pp_clause fmt clause =
+    Format.fprintf fmt "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ") pp_lit)
+      clause
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ")
+    pp_clause fmt t.clauses

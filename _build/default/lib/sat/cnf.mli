@@ -1,0 +1,36 @@
+(** CNF formulas over variables [1..num_vars].
+
+    A literal is a nonzero integer: [v] for the variable, [-v] for its
+    negation — the DIMACS convention. This little solver substrate exists
+    to validate the paper's NP-hardness reduction (Lemma 1) end-to-end. *)
+
+type literal = int
+type clause = literal list
+
+type t = private {
+  num_vars : int;
+  clauses : clause list;
+}
+
+(** [make ~num_vars clauses] validates that every literal references a
+    variable in [1..num_vars] and is nonzero.
+    Raises [Invalid_argument] otherwise. Empty clauses are allowed (they
+    make the formula unsatisfiable). *)
+val make : num_vars:int -> clause list -> t
+
+(** [var lit] is the variable of a literal; [positive lit] its sign. *)
+val var : literal -> int
+
+val positive : literal -> bool
+
+(** [eval t assignment] — [assignment.(v)] is the value of variable [v]
+    (index 0 unused). Raises [Invalid_argument] when the array is shorter
+    than [num_vars + 1]. *)
+val eval : t -> bool array -> bool
+
+(** [random ~seed ~num_vars ~num_clauses ~clause_size] draws a uniform
+    random k-CNF: each clause picks [clause_size] distinct variables and
+    signs them independently. Deterministic in [seed]. *)
+val random : seed:int -> num_vars:int -> num_clauses:int -> clause_size:int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+(* Clauses are simplified functionally: assigning literal [lit] drops the
+   clauses containing [lit] and removes [-lit] from the rest. An empty
+   clause signals a conflict. *)
+
+exception Conflict
+
+let assign lit clauses =
+  List.filter_map
+    (fun clause ->
+      if List.mem lit clause then None
+      else begin
+        match List.filter (fun l -> l <> -lit) clause with
+        | [] -> raise Conflict
+        | reduced -> Some reduced
+      end)
+    clauses
+
+let find_unit clauses =
+  List.find_map (function [ lit ] -> Some lit | _ -> None) clauses
+
+let find_pure clauses =
+  let seen = Hashtbl.create 16 in
+  List.iter (fun clause -> List.iter (fun l -> Hashtbl.replace seen l ()) clause) clauses;
+  Hashtbl.fold
+    (fun lit () acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if Hashtbl.mem seen (-lit) then None else Some lit)
+    seen None
+
+let rec search clauses trail =
+  match clauses with
+  | [] -> Some trail
+  | _ -> begin
+    match find_unit clauses with
+    | Some lit -> branch_on lit clauses trail ~flip:false
+    | None -> begin
+      match find_pure clauses with
+      | Some lit -> branch_on lit clauses trail ~flip:false
+      | None -> begin
+        match clauses with
+        | (lit :: _) :: _ -> branch_on lit clauses trail ~flip:true
+        | _ -> assert false (* empty clauses raise Conflict at assign time *)
+      end
+    end
+  end
+
+and branch_on lit clauses trail ~flip =
+  let try_lit lit =
+    match assign lit clauses with
+    | reduced -> search reduced (lit :: trail)
+    | exception Conflict -> None
+  in
+  match try_lit lit with
+  | Some _ as result -> result
+  | None -> if flip then try_lit (-lit) else None
+
+let solve cnf =
+  let clauses = cnf.Cnf.clauses in
+  if List.exists (fun c -> c = []) clauses then None
+  else begin
+    match search clauses [] with
+    | None -> None
+    | Some trail ->
+      let assignment = Array.make (cnf.Cnf.num_vars + 1) false in
+      List.iter (fun lit -> if lit > 0 then assignment.(lit) <- true) trail;
+      Some assignment
+  end
+
+let satisfiable cnf = Option.is_some (solve cnf)
+
+let count_models cnf =
+  let n = cnf.Cnf.num_vars in
+  let assignment = Array.make (n + 1) false in
+  let rec go v =
+    if v > n then if Cnf.eval cnf assignment then 1 else 0
+    else begin
+      assignment.(v) <- false;
+      let without = go (v + 1) in
+      assignment.(v) <- true;
+      let with_ = go (v + 1) in
+      without + with_
+    end
+  in
+  go 1

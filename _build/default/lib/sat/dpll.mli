@@ -1,0 +1,17 @@
+(** A DPLL satisfiability solver: unit propagation, pure-literal
+    elimination, and branching on the first unassigned variable.
+
+    Intended for the small formulas used to validate the MQDP hardness
+    reduction, not as a competitive SAT solver. *)
+
+(** [solve cnf] is [Some assignment] (indexed by variable, slot 0 unused)
+    satisfying the formula, or [None] when unsatisfiable. Unconstrained
+    variables are assigned [false]. *)
+val solve : Cnf.t -> bool array option
+
+(** [satisfiable cnf] is [Option.is_some (solve cnf)]. *)
+val satisfiable : Cnf.t -> bool
+
+(** [count_models cnf] counts satisfying assignments by exhaustive DPLL
+    search — exponential; for tests on tiny formulas only. *)
+val count_models : Cnf.t -> int

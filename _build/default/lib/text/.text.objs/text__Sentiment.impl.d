@@ -1,0 +1,1 @@
+lib/text/sentiment.ml: Hashtbl List Tokenizer

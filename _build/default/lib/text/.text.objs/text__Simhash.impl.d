@@ -1,0 +1,1 @@
+lib/text/simhash.ml: Array Char Hashtbl Int64 List String

@@ -1,0 +1,1 @@
+lib/text/stemmer.ml: List String

@@ -1,0 +1,1 @@
+lib/text/tokenizer.ml: Buffer List Stemmer Stopwords String

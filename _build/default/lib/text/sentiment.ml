@@ -1,0 +1,121 @@
+(* Weights are on an informal 1..2 scale; tanh at the end bounds the
+   score, so only relative magnitudes matter. *)
+
+let positive_lexicon =
+  [
+    ("good", 1.0); ("great", 1.5); ("excellent", 2.0); ("amazing", 2.0);
+    ("awesome", 2.0); ("fantastic", 2.0); ("wonderful", 1.8); ("love", 1.8);
+    ("loved", 1.8); ("loves", 1.8); ("like", 0.8); ("liked", 0.8);
+    ("best", 1.6); ("better", 1.0); ("happy", 1.4); ("glad", 1.2);
+    ("win", 1.3); ("wins", 1.3); ("won", 1.3); ("winning", 1.3);
+    ("success", 1.5); ("successful", 1.5); ("beautiful", 1.4); ("nice", 1.0);
+    ("cool", 1.0); ("perfect", 1.8); ("brilliant", 1.8); ("positive", 1.2);
+    ("strong", 1.0); ("gain", 1.2); ("gains", 1.2); ("gained", 1.2);
+    ("rally", 1.3); ("surge", 1.4); ("soar", 1.5); ("soars", 1.5);
+    ("record", 1.0); ("growth", 1.2); ("improve", 1.2); ("improved", 1.2);
+    ("improving", 1.2); ("recovery", 1.2); ("optimistic", 1.4); ("hope", 1.0);
+    ("hopeful", 1.2); ("exciting", 1.5); ("excited", 1.5); ("thrilled", 1.8);
+    ("delighted", 1.8); ("proud", 1.3); ("congrats", 1.5);
+    ("congratulations", 1.5); ("thanks", 1.0); ("thank", 1.0);
+    ("celebrate", 1.4); ("victory", 1.5); ("boom", 1.2); ("bullish", 1.5);
+    ("upgrade", 1.2); ("upgraded", 1.2); ("beat", 1.0); ("beats", 1.0);
+    ("profit", 1.2); ("profits", 1.2); ("breakthrough", 1.6); ("innovative", 1.3);
+    ("safe", 0.9); ("support", 0.8); ("supported", 0.8); ("agree", 0.8);
+    ("agreed", 0.8); ("approve", 1.0); ("approved", 1.0); ("favorite", 1.3);
+  ]
+
+let negative_lexicon =
+  [
+    ("bad", 1.0); ("terrible", 2.0); ("awful", 2.0); ("horrible", 2.0);
+    ("worst", 1.8); ("worse", 1.2); ("hate", 1.8); ("hated", 1.8);
+    ("hates", 1.8); ("sad", 1.2); ("angry", 1.4); ("mad", 1.2);
+    ("fail", 1.4); ("fails", 1.4); ("failed", 1.4); ("failure", 1.5);
+    ("lose", 1.2); ("loses", 1.2); ("lost", 1.2); ("losing", 1.2);
+    ("loss", 1.2); ("losses", 1.2); ("crash", 1.6); ("crashes", 1.6);
+    ("crashed", 1.6); ("crisis", 1.5); ("disaster", 1.8); ("tragic", 1.8);
+    ("tragedy", 1.8); ("death", 1.5); ("dead", 1.4); ("killed", 1.6);
+    ("kill", 1.5); ("war", 1.3); ("attack", 1.3); ("attacks", 1.3);
+    ("fear", 1.2); ("afraid", 1.2); ("scared", 1.3); ("worry", 1.1);
+    ("worried", 1.2); ("panic", 1.5); ("drop", 1.0); ("drops", 1.0);
+    ("dropped", 1.0); ("fall", 1.0); ("falls", 1.0); ("fell", 1.0);
+    ("plunge", 1.5); ("plunges", 1.5); ("plunged", 1.5); ("slump", 1.3);
+    ("bearish", 1.5); ("downgrade", 1.2); ("downgraded", 1.2); ("miss", 0.9);
+    ("missed", 0.9); ("weak", 1.0); ("poor", 1.1); ("ugly", 1.2);
+    ("broken", 1.0); ("wrong", 1.0); ("problem", 0.9); ("problems", 0.9);
+    ("scandal", 1.5); ("corrupt", 1.6); ("corruption", 1.6); ("fraud", 1.6);
+    ("angry", 1.4); ("disappointing", 1.4); ("disappointed", 1.4);
+    ("disappointment", 1.4); ("risk", 0.8); ("risky", 1.0); ("threat", 1.2);
+    ("recession", 1.5); ("unemployment", 1.2); ("debt", 0.9); ("deficit", 0.9);
+  ]
+
+let negator_words = [ "not"; "no"; "never"; "without"; "hardly"; "barely"; "isn't"; "wasn't"; "don't"; "didn't"; "won't"; "can't"; "couldn't"; "wouldn't"; "shouldn't"; "doesn't"; "aren't"; "ain't" ]
+
+let intensifier_words =
+  [ ("very", 1.5); ("really", 1.4); ("so", 1.3); ("extremely", 1.8);
+    ("absolutely", 1.7); ("totally", 1.5); ("incredibly", 1.7); ("super", 1.5);
+    ("quite", 1.2); ("pretty", 1.2) ]
+
+let table =
+  let t = Hashtbl.create 256 in
+  List.iter (fun (w, s) -> Hashtbl.replace t w s) positive_lexicon;
+  List.iter (fun (w, s) -> Hashtbl.replace t w (-.s)) negative_lexicon;
+  t
+
+let negators_table =
+  let t = Hashtbl.create 32 in
+  List.iter (fun w -> Hashtbl.replace t w ()) negator_words;
+  t
+
+let intensifiers_table =
+  let t = Hashtbl.create 16 in
+  List.iter (fun (w, s) -> Hashtbl.replace t w s) intensifier_words;
+  t
+
+(* Negators flip, intensifiers scale, the sentiment word within the next
+   three tokens; modifiers compose (e.g. "not very good"). *)
+let score tokens =
+  let total = ref 0. in
+  let flip = ref 1. and boost = ref 1. and window = ref 0 in
+  let reset_modifiers () =
+    flip := 1.;
+    boost := 1.;
+    window := 0
+  in
+  List.iter
+    (fun token ->
+      match Hashtbl.find_opt table token with
+      | Some weight ->
+        total := !total +. (weight *. !flip *. !boost);
+        reset_modifiers ()
+      | None ->
+        if Hashtbl.mem negators_table token then begin
+          flip := -. !flip;
+          window := 3
+        end
+        else begin
+          match Hashtbl.find_opt intensifiers_table token with
+          | Some factor ->
+            boost := !boost *. factor;
+            window := max !window 3
+          | None ->
+            if !window > 0 then decr window;
+            if !window = 0 then reset_modifiers ()
+        end)
+    tokens;
+  tanh (!total /. 2.)
+
+let score_text text = score (Tokenizer.tokenize text)
+
+type polarity = Negative | Neutral | Positive
+
+let classify s = if s > 0.1 then Positive else if s < -0.1 then Negative else Neutral
+
+let polarity_name = function
+  | Negative -> "negative"
+  | Neutral -> "neutral"
+  | Positive -> "positive"
+
+let positive_words = List.map fst positive_lexicon
+let negative_words = List.map fst negative_lexicon
+let negators = negator_words
+let intensifiers = List.map fst intensifier_words

@@ -1,0 +1,29 @@
+(** Lexicon-based sentiment polarity, the paper's second diversity
+    dimension.
+
+    The scorer sums signed word weights from a compact lexicon, honoring
+    negators (which flip the following sentiment word within a window of
+    three tokens) and intensifiers (which scale it), then squashes to
+    [−1, 1] with tanh. It is intentionally simple — the diversification
+    algorithms only need a stable total order on posts, not
+    state-of-the-art accuracy. *)
+
+(** [score tokens] — polarity in [−1, 1]; 0 for neutral/empty input. *)
+val score : string list -> float
+
+(** [score_text text] — [score] of [Tokenizer.tokenize text]. *)
+val score_text : string -> float
+
+(** Classification with the conventional ±0.1 neutrality band. *)
+type polarity = Negative | Neutral | Positive
+
+val classify : float -> polarity
+val polarity_name : polarity -> string
+
+(** Lexicon introspection, for tests and for the workload generator
+    (which plants sentiment-bearing words). *)
+val positive_words : string list
+
+val negative_words : string list
+val negators : string list
+val intensifiers : string list

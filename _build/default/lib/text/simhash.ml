@@ -1,0 +1,88 @@
+type fingerprint = int64
+
+(* FNV-1a, 64-bit. *)
+let hash_token token =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    token;
+  !h
+
+let fingerprint_weighted features =
+  match features with
+  | [] -> 0L
+  | _ ->
+    let sums = Array.make 64 0. in
+    List.iter
+      (fun (token, weight) ->
+        let h = hash_token token in
+        for b = 0 to 63 do
+          if Int64.logand (Int64.shift_right_logical h b) 1L = 1L then
+            sums.(b) <- sums.(b) +. weight
+          else sums.(b) <- sums.(b) -. weight
+        done)
+      features;
+    let fp = ref 0L in
+    for b = 0 to 63 do
+      if sums.(b) > 0. then fp := Int64.logor !fp (Int64.shift_left 1L b)
+    done;
+    !fp
+
+let fingerprint tokens = fingerprint_weighted (List.map (fun t -> (t, 1.)) tokens)
+
+let popcount64 x =
+  let rec loop x acc =
+    if x = 0L then acc
+    else loop (Int64.shift_right_logical x 1) (acc + Int64.to_int (Int64.logand x 1L))
+  in
+  loop x 0
+
+let hamming a b = popcount64 (Int64.logxor a b)
+
+let near_duplicate ?(threshold = 3) a b = hamming a b <= threshold
+
+module Dedup = struct
+  type t = {
+    threshold : int;
+    bands : (int, fingerprint list ref) Hashtbl.t array;  (* 4 16-bit bands *)
+    mutable count : int;
+  }
+
+  let create ?(threshold = 3) () =
+    if threshold < 0 || threshold > 3 then
+      invalid_arg "Simhash.Dedup.create: threshold must be in [0, 3]";
+    { threshold; bands = Array.init 4 (fun _ -> Hashtbl.create 1024); count = 0 }
+
+  let band fp i = Int64.to_int (Int64.shift_right_logical fp (16 * i)) land 0xFFFF
+
+  let seen t fp =
+    let rec check_band i =
+      if i >= 4 then false
+      else begin
+        match Hashtbl.find_opt t.bands.(i) (band fp i) with
+        | None -> check_band (i + 1)
+        | Some bucket ->
+          List.exists (fun other -> hamming fp other <= t.threshold) !bucket
+          || check_band (i + 1)
+      end
+    in
+    check_band 0
+
+  let add t fp =
+    for i = 0 to 3 do
+      let key = band fp i in
+      match Hashtbl.find_opt t.bands.(i) key with
+      | Some bucket -> bucket := fp :: !bucket
+      | None -> Hashtbl.add t.bands.(i) key (ref [ fp ])
+    done;
+    t.count <- t.count + 1
+
+  let check_and_add t fp =
+    let duplicate = seen t fp in
+    add t fp;
+    duplicate
+
+  let count t = t.count
+end

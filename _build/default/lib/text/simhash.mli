@@ -1,0 +1,49 @@
+(** 64-bit SimHash near-duplicate detection (Charikar; as used for web
+    crawling by Manku et al., the paper's reference [17] for filtering
+    near-duplicate posts before diversification).
+
+    Each token hashes to 64 bits; the fingerprint's bit b is 1 when the
+    weighted sum of (+1 / −1) contributions of all tokens at bit b is
+    positive. Near-duplicate texts land within a small Hamming distance. *)
+
+type fingerprint = int64
+
+(** [fingerprint tokens] — SimHash over (token, weight 1) features; equal
+    token multisets give equal fingerprints. The empty list maps to 0L. *)
+val fingerprint : string list -> fingerprint
+
+(** [fingerprint_weighted features] — explicit (token, weight) features. *)
+val fingerprint_weighted : (string * float) list -> fingerprint
+
+(** [hamming a b] — number of differing bits. *)
+val hamming : fingerprint -> fingerprint -> int
+
+(** [near_duplicate ?threshold a b] — Hamming distance ≤ [threshold]
+    (default 3, the standard web-dedup setting). *)
+val near_duplicate : ?threshold:int -> fingerprint -> fingerprint -> bool
+
+(** Streaming deduplicator: fingerprints are bucketed by four 16-bit bands
+    so candidate lookups only compare entries sharing at least one band —
+    by pigeonhole every fingerprint within Hamming distance ≤ 3 of a query
+    shares an exact band with it. *)
+module Dedup : sig
+  type t
+
+  (** [create ?threshold ()] — [threshold] as in {!near_duplicate};
+      values above 3 are rejected (the 4-band pigeonhole argument only
+      guarantees recall up to distance 3). *)
+  val create : ?threshold:int -> unit -> t
+
+  (** [seen t fp] — is some previously-added fingerprint within the
+      threshold? Does not add [fp]. *)
+  val seen : t -> fingerprint -> bool
+
+  (** [add t fp] registers a fingerprint. *)
+  val add : t -> fingerprint -> unit
+
+  (** [check_and_add t fp] — [seen] then [add]; returns whether it was a
+      near-duplicate of something earlier. *)
+  val check_and_add : t -> fingerprint -> bool
+
+  val count : t -> int
+end

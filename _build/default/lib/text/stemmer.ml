@@ -1,0 +1,181 @@
+(* Porter (1980), "An algorithm for suffix stripping". A word is
+   [C](VC)^m[V]; each rule fires only when its measure/other condition
+   holds on the stem left after removing the suffix. The steps below are
+   the paper's 1a, 1b (+cleanup), 1c, 2, 3, 4, 5a, 5b, applied in order,
+   first matching suffix per step wins (suffixes within a step are tried
+   longest-first as published). *)
+
+let is_alpha word = String.for_all (fun c -> c >= 'a' && c <= 'z') word
+
+(* Porter: a consonant is any letter other than a,e,i,o,u and other than
+   y preceded by a consonant. *)
+let rec is_consonant word i =
+  match word.[i] with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> i = 0 || not (is_consonant word (i - 1))
+  | _ -> true
+
+(* The measure m of [word]: the number of vowel->consonant transitions. *)
+let measure word =
+  let n = String.length word in
+  let rec skip_consonants i =
+    if i < n && is_consonant word i then skip_consonants (i + 1) else i
+  in
+  let rec count i m =
+    if i >= n then m
+    else begin
+      (* at a vowel: consume vowels then consonants = one VC block *)
+      let rec skip_vowels i =
+        if i < n && not (is_consonant word i) then skip_vowels (i + 1) else i
+      in
+      let after_vowels = skip_vowels i in
+      if after_vowels >= n then m
+      else count (skip_consonants after_vowels) (m + 1)
+    end
+  in
+  count (skip_consonants 0) 0
+
+let contains_vowel word =
+  let n = String.length word in
+  let rec loop i = i < n && (not (is_consonant word i) || loop (i + 1)) in
+  loop 0
+
+let ends_double_consonant word =
+  let n = String.length word in
+  n >= 2
+  && word.[n - 1] = word.[n - 2]
+  && is_consonant word (n - 1)
+
+(* *o: stem ends cvc where the final c is not w, x or y. *)
+let ends_cvc word =
+  let n = String.length word in
+  n >= 3
+  && is_consonant word (n - 3)
+  && (not (is_consonant word (n - 2)))
+  && is_consonant word (n - 1)
+  &&
+  match word.[n - 1] with
+  | 'w' | 'x' | 'y' -> false
+  | _ -> true
+
+let has_suffix word suffix =
+  let lw = String.length word and ls = String.length suffix in
+  lw >= ls && String.sub word (lw - ls) ls = suffix
+
+let chop word suffix = String.sub word 0 (String.length word - String.length suffix)
+
+(* Try (suffix, replacement) pairs in order; [condition] applies to the
+   stem; returns the rewritten word, or [word] when nothing fired.
+   [fired] distinguishes "rule matched but condition failed" (stop the
+   step) from "no suffix matched". *)
+let rec apply_rules word condition = function
+  | [] -> word
+  | (suffix, replacement) :: rest ->
+    if has_suffix word suffix then begin
+      let stem = chop word suffix in
+      if condition stem then stem ^ replacement else word
+    end
+    else apply_rules word condition rest
+
+let step_1a word =
+  apply_rules word
+    (fun _ -> true)
+    [ ("sses", "ss"); ("ies", "i"); ("ss", "ss"); ("s", "") ]
+
+let step_1b word =
+  let cleanup stem =
+    (* after removing -ed / -ing *)
+    if has_suffix stem "at" || has_suffix stem "bl" || has_suffix stem "iz" then
+      stem ^ "e"
+    else if
+      ends_double_consonant stem
+      &&
+      match stem.[String.length stem - 1] with
+      | 'l' | 's' | 'z' -> false
+      | _ -> true
+    then String.sub stem 0 (String.length stem - 1)
+    else if measure stem = 1 && ends_cvc stem then stem ^ "e"
+    else stem
+  in
+  if has_suffix word "eed" then begin
+    let stem = chop word "eed" in
+    if measure stem > 0 then stem ^ "ee" else word
+  end
+  else if has_suffix word "ed" && contains_vowel (chop word "ed") then
+    cleanup (chop word "ed")
+  else if has_suffix word "ing" && contains_vowel (chop word "ing") then
+    cleanup (chop word "ing")
+  else word
+
+let step_1c word =
+  if has_suffix word "y" && contains_vowel (chop word "y") then chop word "y" ^ "i"
+  else word
+
+let step_2 word =
+  apply_rules word
+    (fun stem -> measure stem > 0)
+    [
+      ("ational", "ate"); ("tional", "tion"); ("enci", "ence"); ("anci", "ance");
+      ("izer", "ize"); ("abli", "able"); ("alli", "al"); ("entli", "ent");
+      ("eli", "e"); ("ousli", "ous"); ("ization", "ize"); ("ation", "ate");
+      ("ator", "ate"); ("alism", "al"); ("iveness", "ive"); ("fulness", "ful");
+      ("ousness", "ous"); ("aliti", "al"); ("iviti", "ive"); ("biliti", "ble");
+    ]
+
+let step_3 word =
+  apply_rules word
+    (fun stem -> measure stem > 0)
+    [
+      ("icate", "ic"); ("ative", ""); ("alize", "al"); ("iciti", "ic");
+      ("ical", "ic"); ("ful", ""); ("ness", "");
+    ]
+
+let step_4 word =
+  let m1 stem = measure stem > 1 in
+  let ion_condition stem =
+    m1 stem
+    && String.length stem > 0
+    &&
+    match stem.[String.length stem - 1] with 's' | 't' -> true | _ -> false
+  in
+  (* -ion needs *S or *T on the stem; check it before the generic list so
+     the longest-match discipline is preserved. *)
+  if has_suffix word "ement" then
+    if m1 (chop word "ement") then chop word "ement" else word
+  else if has_suffix word "ment" then
+    if m1 (chop word "ment") then chop word "ment" else word
+  else if has_suffix word "ent" then
+    if m1 (chop word "ent") then chop word "ent" else word
+  else if has_suffix word "ion" then
+    if ion_condition (chop word "ion") then chop word "ion" else word
+  else
+    apply_rules word m1
+      [
+        ("ance", ""); ("ence", ""); ("able", ""); ("ible", ""); ("ant", "");
+        ("ism", ""); ("ate", ""); ("iti", ""); ("ous", ""); ("ive", "");
+        ("ize", ""); ("al", ""); ("er", ""); ("ic", ""); ("ou", "");
+      ]
+
+let step_5a word =
+  if has_suffix word "e" then begin
+    let stem = chop word "e" in
+    let m = measure stem in
+    if m > 1 then stem
+    else if m = 1 && not (ends_cvc stem) then stem
+    else word
+  end
+  else word
+
+let step_5b word =
+  let n = String.length word in
+  if measure word > 1 && ends_double_consonant word && word.[n - 1] = 'l' then
+    String.sub word 0 (n - 1)
+  else word
+
+let stem word =
+  if String.length word <= 2 || not (is_alpha word) then word
+  else
+    word |> step_1a |> step_1b |> step_1c |> step_2 |> step_3 |> step_4
+    |> step_5a |> step_5b
+
+let stem_tokens tokens = List.map stem tokens

@@ -1,0 +1,14 @@
+(** The Porter stemming algorithm (Porter 1980), the classic suffix
+    stripper used by Lucene-era analyzers — so topic keywords match their
+    inflections ("vote" ~ "votes" ~ "voting").
+
+    The implementation follows the original five-step rule set, including
+    the m-measure conditions. Words of length ≤ 2 are returned unchanged,
+    as in the reference implementation. Input is expected lowercase;
+    non-alphabetic characters make the word pass through untouched. *)
+
+(** [stem word] — the Porter stem of [word]. *)
+val stem : string -> string
+
+(** [stem_tokens tokens] maps {!stem} over a token list. *)
+val stem_tokens : string list -> string list

@@ -1,0 +1,10 @@
+(** A compact English stopword list (function words plus microblog noise
+    like "rt"). *)
+
+val is_stopword : string -> bool
+
+(** [filter tokens] drops stopwords, preserving order. *)
+val filter : string list -> string list
+
+(** The full list, for tests and vocabulary construction. *)
+val all : string list

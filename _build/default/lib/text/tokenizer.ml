@@ -1,0 +1,58 @@
+let is_token_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '#' || c = '@' || c = '\''
+
+let is_url token =
+  let has_prefix p = String.length token >= String.length p && String.sub token 0 (String.length p) = p in
+  has_prefix "http" || has_prefix "www."
+
+let strip_possessive token =
+  let n = String.length token in
+  if n > 2 && token.[n - 2] = '\'' && token.[n - 1] = 's' then String.sub token 0 (n - 2)
+  else token
+
+let strip_quotes token =
+  (* Leading/trailing apostrophes left by the splitter. *)
+  let n = String.length token in
+  let start = if n > 0 && token.[0] = '\'' then 1 else 0 in
+  let stop = if n > start && token.[n - 1] = '\'' then n - 1 else n in
+  if stop > start then String.sub token start (stop - start) else ""
+
+(* Iterate stripping to a fixpoint so tokenization is idempotent on its
+   own output (e.g. "x's's" -> "x"). *)
+let rec normalize token =
+  let stripped = strip_quotes (strip_possessive token) in
+  if stripped = token then token else normalize stripped
+
+let tokenize text =
+  let lower = String.lowercase_ascii text in
+  (* Split on whitespace first so URLs can be recognized whole. *)
+  let words = String.split_on_char ' ' lower in
+  let tokens = ref [] in
+  let flush buf =
+    if Buffer.length buf > 0 then begin
+      let token = normalize (Buffer.contents buf) in
+      (* Re-check the URL prefix: splitting can expose one mid-word. *)
+      if token <> "" && not (is_url token) then tokens := token :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  List.iter
+    (fun word ->
+      if not (is_url word) then begin
+        let buf = Buffer.create (String.length word) in
+        String.iter
+          (fun c -> if is_token_char c then Buffer.add_char buf c else flush buf)
+          word;
+        flush buf
+      end)
+    words;
+  List.rev !tokens
+
+let tokenize_clean text =
+  tokenize text
+  |> List.filter (fun token ->
+         String.length token >= 2 && not (Stopwords.is_stopword token))
+
+let unique_terms tokens = List.sort_uniq String.compare tokens
+
+let tokenize_stemmed text = Stemmer.stem_tokens (tokenize_clean text)

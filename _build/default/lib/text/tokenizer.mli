@@ -1,0 +1,21 @@
+(** Microblog-aware tokenization.
+
+    Lowercases, splits on anything that is not a letter, digit, ['#'],
+    ['@'] or ['''], keeps hashtags and mentions as single tokens, and
+    strips possessive ['s]. URLs (tokens starting with http/https/www
+    before splitting) are dropped — their content is noise for topic
+    matching. *)
+
+(** [tokenize text] — tokens in order of appearance. *)
+val tokenize : string -> string list
+
+(** [tokenize_clean text] — [tokenize] followed by stopword removal and
+    dropping tokens shorter than 2 characters. *)
+val tokenize_clean : string -> string list
+
+(** [unique_terms tokens] — sorted, deduplicated. *)
+val unique_terms : string list -> string list
+
+(** [tokenize_stemmed text] — [tokenize_clean] followed by Porter
+    stemming, the analyzer configuration a Lucene-style index would use. *)
+val tokenize_stemmed : string -> string list

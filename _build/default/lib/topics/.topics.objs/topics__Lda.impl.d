@@ -1,0 +1,1 @@
+lib/topics/lda.ml: Array Float List Option Printf Util

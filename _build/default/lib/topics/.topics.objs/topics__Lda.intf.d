@@ -1,0 +1,1 @@
+lib/topics/lda.mli:

@@ -1,0 +1,1 @@
+lib/topics/vocabulary.ml: Array Hashtbl List

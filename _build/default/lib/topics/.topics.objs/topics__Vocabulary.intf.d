@@ -1,0 +1,1 @@
+lib/topics/vocabulary.mli:

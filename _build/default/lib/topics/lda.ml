@@ -1,0 +1,192 @@
+type t = {
+  num_topics : int;
+  vocab_size : int;
+  alpha : float;
+  beta : float;
+  docs : int array array;
+  assignments : int array array;  (* topic of every token *)
+  doc_topic : int array array;  (* n_dk *)
+  topic_word : int array array;  (* n_kw *)
+  topic_total : int array;  (* n_k *)
+}
+
+let validate ~num_topics ~vocab_size ~iterations docs =
+  if num_topics <= 0 then invalid_arg "Lda.train: num_topics <= 0";
+  if vocab_size <= 0 then invalid_arg "Lda.train: vocab_size <= 0";
+  if iterations < 0 then invalid_arg "Lda.train: negative iterations";
+  Array.iter
+    (fun doc ->
+      Array.iter
+        (fun w ->
+          if w < 0 || w >= vocab_size then
+            invalid_arg (Printf.sprintf "Lda.train: word id %d out of range" w))
+        doc)
+    docs
+
+(* One collapsed-Gibbs resample of token (d, i). [weights] is scratch. *)
+let resample model rng weights d i =
+  let doc = model.docs.(d) in
+  let w = doc.(i) in
+  let old_topic = model.assignments.(d).(i) in
+  model.doc_topic.(d).(old_topic) <- model.doc_topic.(d).(old_topic) - 1;
+  model.topic_word.(old_topic).(w) <- model.topic_word.(old_topic).(w) - 1;
+  model.topic_total.(old_topic) <- model.topic_total.(old_topic) - 1;
+  let v_beta = float_of_int model.vocab_size *. model.beta in
+  for k = 0 to model.num_topics - 1 do
+    weights.(k) <-
+      (float_of_int model.doc_topic.(d).(k) +. model.alpha)
+      *. (float_of_int model.topic_word.(k).(w) +. model.beta)
+      /. (float_of_int model.topic_total.(k) +. v_beta)
+  done;
+  let new_topic = Util.Rng.categorical rng weights in
+  model.assignments.(d).(i) <- new_topic;
+  model.doc_topic.(d).(new_topic) <- model.doc_topic.(d).(new_topic) + 1;
+  model.topic_word.(new_topic).(w) <- model.topic_word.(new_topic).(w) + 1;
+  model.topic_total.(new_topic) <- model.topic_total.(new_topic) + 1
+
+let train ?alpha ?beta ~num_topics ~iterations ~seed ~vocab_size docs =
+  validate ~num_topics ~vocab_size ~iterations docs;
+  let alpha = Option.value alpha ~default:(50. /. float_of_int num_topics) in
+  let beta = Option.value beta ~default:0.01 in
+  let rng = Util.Rng.create seed in
+  let model =
+    {
+      num_topics;
+      vocab_size;
+      alpha;
+      beta;
+      docs;
+      assignments = Array.map (fun doc -> Array.make (Array.length doc) 0) docs;
+      doc_topic = Array.map (fun _ -> Array.make num_topics 0) docs;
+      topic_word = Array.init num_topics (fun _ -> Array.make vocab_size 0);
+      topic_total = Array.make num_topics 0;
+    }
+  in
+  Array.iteri
+    (fun d doc ->
+      Array.iteri
+        (fun i w ->
+          let k = Util.Rng.int rng num_topics in
+          model.assignments.(d).(i) <- k;
+          model.doc_topic.(d).(k) <- model.doc_topic.(d).(k) + 1;
+          model.topic_word.(k).(w) <- model.topic_word.(k).(w) + 1;
+          model.topic_total.(k) <- model.topic_total.(k) + 1)
+        doc)
+    docs;
+  let weights = Array.make num_topics 0. in
+  for _sweep = 1 to iterations do
+    Array.iteri
+      (fun d doc ->
+        for i = 0 to Array.length doc - 1 do
+          resample model rng weights d i
+        done)
+      docs
+  done;
+  model
+
+let num_topics t = t.num_topics
+let vocab_size t = t.vocab_size
+let num_docs t = Array.length t.docs
+
+let topic_word t ~topic ~word =
+  if topic < 0 || topic >= t.num_topics then invalid_arg "Lda.topic_word: bad topic";
+  if word < 0 || word >= t.vocab_size then invalid_arg "Lda.topic_word: bad word";
+  (float_of_int t.topic_word.(topic).(word) +. t.beta)
+  /. (float_of_int t.topic_total.(topic) +. (float_of_int t.vocab_size *. t.beta))
+
+let top_words t ~topic ~k =
+  let scored =
+    List.init t.vocab_size (fun w -> (w, topic_word t ~topic ~word:w))
+  in
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b a) scored in
+  List.filteri (fun i _ -> i < k) sorted
+
+let doc_topics t ~doc =
+  if doc < 0 || doc >= Array.length t.docs then invalid_arg "Lda.doc_topics: bad doc";
+  let len = float_of_int (Array.length t.docs.(doc)) in
+  let k_alpha = float_of_int t.num_topics *. t.alpha in
+  Array.map
+    (fun n -> (float_of_int n +. t.alpha) /. (len +. k_alpha))
+    t.doc_topic.(doc)
+
+let dominant_topic t ~doc =
+  let theta = doc_topics t ~doc in
+  let best = ref 0 in
+  Array.iteri (fun k p -> if p > theta.(!best) then best := k) theta;
+  !best
+
+(* Collapsed joint likelihood: log P(w|z) + log P(z), each a product of
+   Dirichlet-multinomial normalizers (Griffiths & Steyvers 2004). *)
+(* Stirling-series log-gamma; accurate enough for monotonicity checks. *)
+let rec lgamma x =
+  if x < 7. then lgamma (x +. 1.) -. log x
+  else begin
+    let inv = 1. /. x in
+    let inv2 = inv *. inv in
+    ((x -. 0.5) *. log x) -. x
+    +. (0.5 *. log (2. *. Float.pi))
+    +. (inv /. 12.)
+    -. (inv *. inv2 /. 360.)
+  end
+
+let log_likelihood t =
+  let v = float_of_int t.vocab_size and k = float_of_int t.num_topics in
+  let word_part = ref 0. in
+  for topic = 0 to t.num_topics - 1 do
+    let acc = ref 0. in
+    for w = 0 to t.vocab_size - 1 do
+      acc := !acc +. lgamma (float_of_int t.topic_word.(topic).(w) +. t.beta)
+    done;
+    word_part :=
+      !word_part +. !acc
+      -. (v *. lgamma t.beta)
+      +. lgamma (v *. t.beta)
+      -. lgamma (float_of_int t.topic_total.(topic) +. (v *. t.beta))
+  done;
+  let doc_part = ref 0. in
+  Array.iteri
+    (fun d counts ->
+      let len = float_of_int (Array.length t.docs.(d)) in
+      let acc = ref 0. in
+      Array.iter (fun n -> acc := !acc +. lgamma (float_of_int n +. t.alpha)) counts;
+      doc_part :=
+        !doc_part +. !acc
+        -. (k *. lgamma t.alpha)
+        +. lgamma (k *. t.alpha)
+        -. lgamma (len +. (k *. t.alpha)))
+    t.doc_topic;
+  !word_part +. !doc_part
+
+let infer t ~seed ~iterations doc =
+  let rng = Util.Rng.create seed in
+  let n = Array.length doc in
+  let assignments = Array.make n 0 in
+  let counts = Array.make t.num_topics 0 in
+  let v_beta = float_of_int t.vocab_size *. t.beta in
+  let weights = Array.make t.num_topics 0. in
+  Array.iteri
+    (fun i w ->
+      ignore w;
+      let k = Util.Rng.int rng t.num_topics in
+      assignments.(i) <- k;
+      counts.(k) <- counts.(k) + 1)
+    doc;
+  for _sweep = 1 to iterations do
+    Array.iteri
+      (fun i w ->
+        let old_topic = assignments.(i) in
+        counts.(old_topic) <- counts.(old_topic) - 1;
+        for k = 0 to t.num_topics - 1 do
+          weights.(k) <-
+            (float_of_int counts.(k) +. t.alpha)
+            *. (float_of_int t.topic_word.(k).(w) +. t.beta)
+            /. (float_of_int t.topic_total.(k) +. v_beta)
+        done;
+        let new_topic = Util.Rng.categorical rng weights in
+        assignments.(i) <- new_topic;
+        counts.(new_topic) <- counts.(new_topic) + 1)
+      doc
+  done;
+  let len = float_of_int n in
+  let k_alpha = float_of_int t.num_topics *. t.alpha in
+  Array.map (fun c -> (float_of_int c +. t.alpha) /. (len +. k_alpha)) counts

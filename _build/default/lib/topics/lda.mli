@@ -1,0 +1,52 @@
+(** Latent Dirichlet Allocation by collapsed Gibbs sampling — the stand-in
+    for the Mallet LDA run the paper uses to extract query topics from a
+    news corpus.
+
+    Symmetric priors α (document–topic) and β (topic–word); one sweep
+    resamples every token's topic from the collapsed conditional
+    P(z = k) ∝ (n_dk + α)·(n_kw + β)/(n_k + Vβ). Deterministic in the
+    seed. *)
+
+type t
+
+(** [train ?alpha ?beta ~num_topics ~iterations ~seed ~vocab_size docs]
+    runs [iterations] full Gibbs sweeps. Defaults: α = 50/K, β = 0.01 —
+    Mallet's defaults. Documents are arrays of word ids < [vocab_size];
+    empty documents are fine.
+    Raises [Invalid_argument] on nonpositive [num_topics]/[vocab_size],
+    negative [iterations], or an out-of-range word id. *)
+val train :
+  ?alpha:float ->
+  ?beta:float ->
+  num_topics:int ->
+  iterations:int ->
+  seed:int ->
+  vocab_size:int ->
+  int array array ->
+  t
+
+val num_topics : t -> int
+val vocab_size : t -> int
+val num_docs : t -> int
+
+(** [top_words t ~topic ~k] — the [k] highest-φ word ids of a topic with
+    their probabilities, descending. *)
+val top_words : t -> topic:int -> k:int -> (int * float) list
+
+(** [topic_word t ~topic ~word] — φ_kw, the smoothed word probability. *)
+val topic_word : t -> topic:int -> word:int -> float
+
+(** [doc_topics t ~doc] — θ_d, the smoothed topic mixture of a training
+    document. *)
+val doc_topics : t -> doc:int -> float array
+
+(** [dominant_topic t ~doc] — argmax of {!doc_topics}. *)
+val dominant_topic : t -> doc:int -> int
+
+(** [log_likelihood t] — the collapsed log P(w | z) + log P(z); increases
+    (noisily) over Gibbs sweeps, used as a convergence sanity check. *)
+val log_likelihood : t -> float
+
+(** [infer t ~seed ~iterations doc] — θ for an unseen document by Gibbs
+    sampling with frozen topic–word counts. *)
+val infer : t -> seed:int -> iterations:int -> int array -> float array

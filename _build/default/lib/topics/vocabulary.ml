@@ -1,0 +1,36 @@
+type t = {
+  by_word : (string, int) Hashtbl.t;
+  mutable by_id : string array;
+  mutable count : int;
+}
+
+let create () = { by_word = Hashtbl.create 1024; by_id = [||]; count = 0 }
+
+let intern t w =
+  match Hashtbl.find_opt t.by_word w with
+  | Some id -> id
+  | None ->
+    let id = t.count in
+    Hashtbl.add t.by_word w id;
+    if id >= Array.length t.by_id then begin
+      let capacity = max 64 (2 * Array.length t.by_id) in
+      let by_id = Array.make capacity "" in
+      Array.blit t.by_id 0 by_id 0 t.count;
+      t.by_id <- by_id
+    end;
+    t.by_id.(id) <- w;
+    t.count <- t.count + 1;
+    id
+
+let find t w = Hashtbl.find_opt t.by_word w
+
+let word t id =
+  if id < 0 || id >= t.count then invalid_arg "Vocabulary.word: unknown id";
+  t.by_id.(id)
+
+let size t = t.count
+
+let encode t tokens = Array.of_list (List.map (intern t) tokens)
+
+let encode_frozen t tokens =
+  Array.of_list (List.filter_map (find t) tokens)

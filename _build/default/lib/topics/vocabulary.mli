@@ -1,0 +1,23 @@
+(** Word interning for the topic model. *)
+
+type t
+
+val create : unit -> t
+
+(** [intern t w] — dense id for [w], allocated on first sight. *)
+val intern : t -> string -> int
+
+val find : t -> string -> int option
+
+(** [word t id] — inverse of [intern].
+    Raises [Invalid_argument] on unknown ids. *)
+val word : t -> int -> string
+
+val size : t -> int
+
+(** [encode t tokens] interns every token. *)
+val encode : t -> string list -> int array
+
+(** [encode_frozen t tokens] maps tokens to existing ids, skipping unknown
+    words (for held-out documents). *)
+val encode_frozen : t -> string list -> int array

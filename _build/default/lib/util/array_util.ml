@@ -1,0 +1,26 @@
+let lower_bound ~key xs x =
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if key xs.(mid) >= x then loop lo mid else loop (mid + 1) hi
+    end
+  in
+  loop 0 (Array.length xs)
+
+let upper_bound ~key xs x =
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if key xs.(mid) > x then loop lo mid else loop (mid + 1) hi
+    end
+  in
+  loop 0 (Array.length xs)
+
+let count_in_range ~key xs ~lo ~hi = upper_bound ~key xs hi - lower_bound ~key xs lo
+
+let is_sorted ~cmp xs =
+  let n = Array.length xs in
+  let rec loop i = i >= n - 1 || (cmp xs.(i) xs.(i + 1) <= 0 && loop (i + 1)) in
+  loop 0

@@ -1,0 +1,18 @@
+(** Binary-search utilities over sorted arrays.
+
+    All functions expect [xs] sorted ascending by the projection [key]. *)
+
+(** [lower_bound ~key xs x] is the smallest index [i] with
+    [key xs.(i) >= x], or [Array.length xs] when none. *)
+val lower_bound : key:('a -> float) -> 'a array -> float -> int
+
+(** [upper_bound ~key xs x] is the smallest index [i] with
+    [key xs.(i) > x], or [Array.length xs] when none. *)
+val upper_bound : key:('a -> float) -> 'a array -> float -> int
+
+(** [count_in_range ~key xs ~lo ~hi] is the number of elements with
+    [lo <= key e <= hi]. *)
+val count_in_range : key:('a -> float) -> 'a array -> lo:float -> hi:float -> int
+
+(** [is_sorted ~cmp xs] checks [cmp xs.(i) xs.(i+1) <= 0] for all i. *)
+val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool

@@ -1,0 +1,155 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): a tiny, statistically solid,
+   splittable generator — exactly what reproducible workload generation
+   needs. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    let limit = mask - (mask mod bound) in
+    if raw >= limit then draw () else raw mod bound
+  in
+  draw ()
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let uniform t ~lo ~hi = lo +. float t (hi -. lo)
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate <= 0";
+  let u = ref (float t 1.) in
+  while !u = 0. do
+    u := float t 1.
+  done;
+  -.log !u /. rate
+
+let gaussian t ~mu ~sigma =
+  let u1 = ref (float t 1.) in
+  while !u1 = 0. do
+    u1 := float t 1.
+  done;
+  let u2 = float t 1. in
+  mu +. (sigma *. sqrt (-2. *. log !u1) *. cos (2. *. Float.pi *. u2))
+
+let poisson t ~mean =
+  if mean < 0. then invalid_arg "Rng.poisson: mean < 0";
+  if mean = 0. then 0
+  else if mean > 500. then begin
+    (* Normal approximation; accurate enough for workload sizing. *)
+    let x = gaussian t ~mu:mean ~sigma:(sqrt mean) in
+    max 0 (int_of_float (Float.round x))
+  end
+  else begin
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. float t 1. in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.
+  end
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n <= 0";
+  let total = ref 0. in
+  for k = 1 to n do
+    total := !total +. (float_of_int k ** -.s)
+  done;
+  let target = float t !total in
+  let rec scan k acc =
+    if k >= n then n
+    else begin
+      let acc = acc +. (float_of_int k ** -.s) in
+      if target < acc then k else scan (k + 1) acc
+    end
+  in
+  scan 1 0.
+
+(* Marsaglia & Tsang (2000) for shape >= 1; boost for shape < 1. *)
+let rec gamma t ~shape =
+  if shape < 1. then begin
+    let u = ref (float t 1.) in
+    while !u = 0. do
+      u := float t 1.
+    done;
+    gamma t ~shape:(shape +. 1.) *. (!u ** (1. /. shape))
+  end
+  else begin
+    let d = shape -. (1. /. 3.) in
+    let c = 1. /. sqrt (9. *. d) in
+    let rec attempt () =
+      let x = gaussian t ~mu:0. ~sigma:1. in
+      let v = (1. +. (c *. x)) ** 3. in
+      if v <= 0. then attempt ()
+      else begin
+        let u = float t 1. in
+        let x2 = x *. x in
+        if u < 1. -. (0.0331 *. x2 *. x2) then d *. v
+        else if u > 0. && log u < (0.5 *. x2) +. (d *. (1. -. v +. log v)) then d *. v
+        else attempt ()
+      end
+    in
+    attempt ()
+  end
+
+let dirichlet t alphas =
+  if Array.length alphas = 0 then invalid_arg "Rng.dirichlet: empty alphas";
+  Array.iter (fun a -> if a <= 0. then invalid_arg "Rng.dirichlet: alpha <= 0") alphas;
+  let draws = Array.map (fun a -> gamma t ~shape:a) alphas in
+  let total = Array.fold_left ( +. ) 0. draws in
+  if total = 0. then Array.map (fun _ -> 1. /. float_of_int (Array.length alphas)) draws
+  else Array.map (fun x -> x /. total) draws
+
+let categorical t weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Rng.categorical: non-positive total weight";
+  let target = float t total in
+  let rec scan i acc =
+    if i >= Array.length weights - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+    end
+  in
+  scan 0 0.
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let sample_without_replacement t ~k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement: bad k";
+  let indices = Array.init n Fun.id in
+  shuffle t indices;
+  List.init k (fun i -> arr.(indices.(i)))

@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random numbers (SplitMix64) and the samplers the
+    workload generators need. Everything is reproducible from the seed;
+    none of the experiment harness uses global randomness. *)
+
+type t
+
+(** [create seed] — streams with different seeds are independent for all
+    practical purposes. *)
+val create : int -> t
+
+(** [split t] derives a new independent generator, advancing [t]. *)
+val split : t -> t
+
+(** [bits64 t] — next raw 64-bit output as an [int64]. *)
+val bits64 : t -> int64
+
+(** [int t bound] — uniform in [0, bound). Raises [Invalid_argument] when
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] — uniform in [0, bound). *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [uniform t ~lo ~hi] — uniform in [lo, hi). *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** [exponential t ~rate] — mean 1/rate. Raises on [rate <= 0]. *)
+val exponential : t -> rate:float -> float
+
+(** [poisson t ~mean] — Knuth's method for small means, normal
+    approximation above 500. Raises on [mean < 0]. *)
+val poisson : t -> mean:float -> int
+
+(** [gaussian t ~mu ~sigma] — Box–Muller. *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** [zipf t ~n ~s] — rank in [1, n] with P(k) ∝ k^(-s), by inverse CDF
+    over precomputed weights is avoided: uses rejection-free linear scan
+    on demand, fine for the small [n] used here. Raises on [n <= 0]. *)
+val zipf : t -> n:int -> s:float -> int
+
+(** [dirichlet t alphas] — a point on the simplex, via Gamma(α,1) draws
+    (Marsaglia–Tsang). Raises when any α ≤ 0 or the array is empty. *)
+val dirichlet : t -> float array -> float array
+
+(** [categorical t weights] — index drawn proportionally to non-negative
+    [weights]. Raises when the total weight is not positive. *)
+val categorical : t -> float array -> int
+
+(** [shuffle t arr] — in-place Fisher–Yates. *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t arr] — uniform element. Raises on an empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [sample_without_replacement t ~k arr] — [k] distinct elements, order
+    unspecified. Raises when [k > Array.length arr] or [k < 0]. *)
+val sample_without_replacement : t -> k:int -> 'a array -> 'a list

@@ -1,0 +1,71 @@
+module Running = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; total = 0. }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    t.total <- t.total +. x
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0. else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+  let total t = t.total
+end
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0. else Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let m = mean xs in
+    let sum_sq = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (sum_sq /. float_of_int (n - 1))
+  end
+
+let percentile p xs =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile 50. xs
+
+let histogram ~buckets ~lo ~hi xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  let bucket_of x =
+    let b = int_of_float ((x -. lo) /. width) in
+    if b < 0 then 0 else if b >= buckets then buckets - 1 else b
+  in
+  Array.iter (fun x -> counts.(bucket_of x) <- counts.(bucket_of x) + 1) xs;
+  counts

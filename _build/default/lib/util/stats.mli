@@ -1,0 +1,38 @@
+(** Streaming and batch descriptive statistics. *)
+
+(** Running mean/variance accumulator (Welford's algorithm). *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  (** Sample variance (divides by n-1); 0 for fewer than two samples. *)
+  val variance : t -> float
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+end
+
+(** [mean xs] of a float array; 0 when empty. *)
+val mean : float array -> float
+
+(** [stddev xs] sample standard deviation; 0 when fewer than two samples. *)
+val stddev : float array -> float
+
+(** [percentile p xs] for [p] in [0, 100] by linear interpolation on the
+    sorted copy of [xs]. Raises [Invalid_argument] on an empty array or an
+    out-of-range [p]. *)
+val percentile : float -> float array -> float
+
+(** [median xs] is [percentile 50. xs]. *)
+val median : float array -> float
+
+(** [histogram ~buckets ~lo ~hi xs] counts values into [buckets] equal-width
+    bins over [lo, hi); values outside the range are clamped into the first
+    or last bin. Raises [Invalid_argument] if [buckets <= 0] or [hi <= lo]. *)
+val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array

@@ -1,0 +1,16 @@
+let time_it f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  let elapsed = Unix.gettimeofday () -. start in
+  (result, elapsed)
+
+let repeat ~warmup ~runs f =
+  if runs <= 0 then invalid_arg "Timer.repeat: runs <= 0";
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  Array.init runs (fun _ -> snd (time_it f))
+
+let best_of ~runs f =
+  let samples = repeat ~warmup:0 ~runs f in
+  Array.fold_left min samples.(0) samples

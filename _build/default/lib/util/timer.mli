@@ -1,0 +1,13 @@
+(** Wall-clock measurement helpers for the benchmark harness. *)
+
+(** [time_it f] runs [f ()] and returns its result paired with the elapsed
+    wall-clock seconds. *)
+val time_it : (unit -> 'a) -> 'a * float
+
+(** [repeat ~warmup ~runs f] runs [f] [warmup] times unmeasured, then [runs]
+    times measured, and returns the per-run elapsed seconds. Raises
+    [Invalid_argument] if [runs <= 0]. *)
+val repeat : warmup:int -> runs:int -> (unit -> 'a) -> float array
+
+(** [best_of ~runs f] is the minimum elapsed seconds over [runs] runs. *)
+val best_of : runs:int -> (unit -> 'a) -> float

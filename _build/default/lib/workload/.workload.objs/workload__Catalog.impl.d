@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: Array Buffer Hashtbl Int List Text Util

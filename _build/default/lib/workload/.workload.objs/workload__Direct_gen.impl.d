@@ -1,0 +1,1 @@
+lib/workload/direct_gen.ml: Array Float List Mqdp Util

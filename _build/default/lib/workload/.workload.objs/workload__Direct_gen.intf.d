@@ -1,0 +1,1 @@
+lib/workload/direct_gen.mli: Mqdp

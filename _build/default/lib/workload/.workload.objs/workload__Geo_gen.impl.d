@@ -1,0 +1,1 @@
+lib/workload/geo_gen.ml: Array Float List Mqdp Util

@@ -1,0 +1,1 @@
+lib/workload/geo_gen.mli: Mqdp

@@ -1,0 +1,1 @@
+lib/workload/matching.ml: Array Hashtbl Index Int List Mqdp Option String Text Tweet

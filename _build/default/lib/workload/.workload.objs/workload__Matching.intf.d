@@ -1,0 +1,1 @@
+lib/workload/matching.mli: Hashtbl Index Mqdp Tweet

@@ -1,0 +1,1 @@
+lib/workload/news_gen.ml: Array Catalog List Text_gen Topics Util

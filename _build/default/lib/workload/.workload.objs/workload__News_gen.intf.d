@@ -1,0 +1,1 @@
+lib/workload/news_gen.mli: Catalog Topics

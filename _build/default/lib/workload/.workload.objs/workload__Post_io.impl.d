@@ -1,0 +1,1 @@
+lib/workload/post_io.ml: Fun List Mqdp Printf String

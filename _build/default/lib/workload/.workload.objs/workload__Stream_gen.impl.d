@@ -1,0 +1,1 @@
+lib/workload/stream_gen.ml: Array Catalog Float List Text_gen Tweet Util

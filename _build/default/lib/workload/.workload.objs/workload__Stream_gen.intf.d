@@ -1,0 +1,1 @@
+lib/workload/stream_gen.mli: Catalog Tweet

@@ -1,0 +1,1 @@
+lib/workload/text_gen.ml: Array Catalog Float Hashtbl List String Text Util

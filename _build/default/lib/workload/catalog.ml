@@ -1,0 +1,114 @@
+type broad = {
+  broad_name : string;
+  base_keywords : string array;
+}
+
+type subtopic = {
+  name : string;
+  broad : string;
+  keywords : string array;
+  mood : float;
+}
+
+let broads =
+  [|
+    { broad_name = "politics";
+      base_keywords =
+        [| "election"; "senate"; "congress"; "president"; "campaign"; "vote";
+           "policy"; "administration"; "governor"; "legislation" |] };
+    { broad_name = "sports";
+      base_keywords =
+        [| "game"; "season"; "coach"; "playoffs"; "championship"; "league";
+           "score"; "stadium"; "tournament"; "draft" |] };
+    { broad_name = "finance";
+      base_keywords =
+        [| "stocks"; "market"; "earnings"; "shares"; "investors"; "nasdaq";
+           "trading"; "economy"; "rates"; "bonds" |] };
+    { broad_name = "technology";
+      base_keywords =
+        [| "startup"; "software"; "smartphone"; "cloud"; "privacy"; "chip";
+           "platform"; "update"; "developers"; "gadget" |] };
+    { broad_name = "entertainment";
+      base_keywords =
+        [| "movie"; "album"; "celebrity"; "premiere"; "trailer"; "concert";
+           "awards"; "boxoffice"; "streaming"; "studio" |] };
+    { broad_name = "health";
+      base_keywords =
+        [| "vaccine"; "hospital"; "outbreak"; "patients"; "clinical"; "diet";
+           "fitness"; "diagnosis"; "therapy"; "insurance" |] };
+    { broad_name = "science";
+      base_keywords =
+        [| "research"; "spacecraft"; "climate"; "fossil"; "telescope"; "genome";
+           "particle"; "experiment"; "discovery"; "orbit" |] };
+    { broad_name = "weather";
+      base_keywords =
+        [| "storm"; "hurricane"; "forecast"; "flooding"; "drought"; "tornado";
+           "snowfall"; "heatwave"; "rainfall"; "blizzard" |] };
+    { broad_name = "crime";
+      base_keywords =
+        [| "police"; "arrest"; "trial"; "verdict"; "investigation"; "robbery";
+           "fraud"; "sentence"; "suspect"; "courtroom" |] };
+    { broad_name = "travel";
+      base_keywords =
+        [| "airline"; "airport"; "tourism"; "resort"; "flight"; "cruise";
+           "destination"; "passport"; "booking"; "luggage" |] };
+  |]
+
+(* Pronounceable synthetic entity names, unique across the catalog. *)
+let onsets = [| "b"; "d"; "f"; "g"; "k"; "l"; "m"; "n"; "p"; "r"; "s"; "t"; "v"; "z"; "ch"; "th" |]
+let vowels = [| "a"; "e"; "i"; "o"; "u"; "ai"; "or"; "en" |]
+
+let make_entity rng used =
+  let syllable () = onsets.(Util.Rng.int rng (Array.length onsets)) ^ vowels.(Util.Rng.int rng (Array.length vowels)) in
+  let rec attempt () =
+    let parts = 2 + Util.Rng.int rng 2 in
+    let buf = Buffer.create 12 in
+    for _ = 1 to parts do
+      Buffer.add_string buf (syllable ())
+    done;
+    let word = Buffer.contents buf in
+    if Hashtbl.mem used word || Text.Stopwords.is_stopword word then attempt ()
+    else begin
+      Hashtbl.add used word ();
+      word
+    end
+  in
+  attempt ()
+
+let subtopics ~per_broad ~seed =
+  if per_broad <= 0 then invalid_arg "Catalog.subtopics: per_broad <= 0";
+  let rng = Util.Rng.create seed in
+  let used = Hashtbl.create 256 in
+  (* Base keywords are also reserved so entities never collide with them. *)
+  Array.iter
+    (fun b -> Array.iter (fun w -> Hashtbl.replace used w ()) b.base_keywords)
+    broads;
+  let make broad =
+    Array.init per_broad (fun _ ->
+        let entity = make_entity rng used in
+        let extra_entities =
+          Array.init (2 + Util.Rng.int rng 3) (fun _ -> make_entity rng used)
+        in
+        let shared =
+          Util.Rng.sample_without_replacement rng ~k:2 broad.base_keywords
+        in
+        {
+          name = broad.broad_name ^ "/" ^ entity;
+          broad = broad.broad_name;
+          keywords = Array.of_list ((entity :: shared) @ Array.to_list extra_entities);
+          mood = Util.Rng.uniform rng ~lo:(-0.6) ~hi:0.6;
+        })
+  in
+  Array.concat (Array.to_list (Array.map make broads))
+
+let subtopics_of_broad topics name =
+  let indices = ref [] in
+  Array.iteri (fun i t -> if t.broad = name then indices := i :: !indices) topics;
+  List.rev !indices
+
+let pick_label_set rng topics ~size =
+  if size <= 0 then invalid_arg "Catalog.pick_label_set: size <= 0";
+  let broad = (Util.Rng.pick rng broads).broad_name in
+  let members = Array.of_list (subtopics_of_broad topics broad) in
+  let k = min size (Array.length members) in
+  List.sort Int.compare (Util.Rng.sample_without_replacement rng ~k members)

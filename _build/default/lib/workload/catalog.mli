@@ -1,0 +1,39 @@
+(** The planted topic catalog.
+
+    The paper extracts 300 LDA topics from a year of news and groups them
+    into 10 broad topics; users subscribe to a handful of topics within
+    one broad topic. This module plays the role of that corpus's ground
+    truth: ten hand-written broad themes, each expanded into subtopics
+    whose keyword pools mix two shared theme words (producing the natural
+    overlap between sibling topics) with synthetic entity names unique to
+    the subtopic (keeping topics distinguishable by a keyword matcher). *)
+
+type broad = {
+  broad_name : string;
+  base_keywords : string array;
+}
+
+type subtopic = {
+  name : string;  (** "<broad>/<entity>" *)
+  broad : string;
+  keywords : string array;  (** matching keywords, lowercase *)
+  mood : float;  (** topic's baseline sentiment in [−1, 1] *)
+}
+
+(** The ten built-in broad themes. *)
+val broads : broad array
+
+(** [subtopics ~per_broad ~seed] — [per_broad] subtopics for every broad
+    theme ([10 × per_broad] total), deterministic in [seed]. Entity
+    keywords are globally unique.
+    Raises [Invalid_argument] when [per_broad <= 0]. *)
+val subtopics : per_broad:int -> seed:int -> subtopic array
+
+(** [subtopics_of_broad topics name] — the indices in [topics] belonging
+    to broad theme [name]. *)
+val subtopics_of_broad : subtopic array -> string -> int list
+
+(** [pick_label_set rng topics ~size] — the paper's user-profile model:
+    pick one broad theme, then [size] distinct subtopics within it (all
+    of them when the theme has fewer). Returns indices into [topics]. *)
+val pick_label_set : Util.Rng.t -> subtopic array -> size:int -> int list

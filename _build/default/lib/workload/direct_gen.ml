@@ -1,0 +1,120 @@
+type config = {
+  seed : int;
+  duration : float;
+  rate_per_min : float;
+  num_labels : int;
+  label_skew : float;
+  overlap_probs : float array;
+  bursts_per_hour : float;
+}
+
+let default_config ~num_labels ~seed =
+  {
+    seed;
+    duration = 600.;
+    rate_per_min = 30.;
+    num_labels;
+    label_skew = 0.8;
+    overlap_probs = [| 0.8; 0.15; 0.05 |];
+    bursts_per_hour = 0.;
+  }
+
+let expected_overlap config =
+  let total = Array.fold_left ( +. ) 0. config.overlap_probs in
+  let weighted = ref 0. in
+  Array.iteri
+    (fun i p -> weighted := !weighted +. (float_of_int (i + 1) *. p))
+    config.overlap_probs;
+  !weighted /. total
+
+let validate config =
+  if config.duration <= 0. then invalid_arg "Direct_gen: duration <= 0";
+  if config.rate_per_min <= 0. then invalid_arg "Direct_gen: rate_per_min <= 0";
+  if config.num_labels <= 0 then invalid_arg "Direct_gen: num_labels <= 0";
+  if Array.length config.overlap_probs = 0 then
+    invalid_arg "Direct_gen: empty overlap_probs";
+  if Array.fold_left ( +. ) 0. config.overlap_probs <= 0. then
+    invalid_arg "Direct_gen: overlap_probs sum to 0";
+  if Array.length config.overlap_probs > config.num_labels then
+    invalid_arg "Direct_gen: more label slots than labels"
+
+(* Label popularity: P(label a) ∝ (a+1)^(-skew). *)
+let label_weights config =
+  Array.init config.num_labels (fun a ->
+      if config.label_skew = 0. then 1.
+      else float_of_int (a + 1) ** -.config.label_skew)
+
+let pick_labels rng weights count =
+  let rec pick acc k =
+    if k = 0 then acc
+    else begin
+      let a = Util.Rng.categorical rng weights in
+      if List.mem a acc then pick acc k else pick (a :: acc) (k - 1)
+    end
+  in
+  pick [] count
+
+type burst = { start : float; boost : float; decay : float }
+
+let arrival_times rng config =
+  let base = config.rate_per_min /. 60. in
+  let bursts =
+    let expected = config.bursts_per_hour *. config.duration /. 3600. in
+    let count = Util.Rng.poisson rng ~mean:expected in
+    List.init count (fun _ ->
+        {
+          start = Util.Rng.float rng config.duration;
+          boost = Util.Rng.uniform rng ~lo:3. ~hi:10.;
+          decay = Util.Rng.uniform rng ~lo:60. ~hi:300.;
+        })
+  in
+  let intensity t =
+    base
+    *. (1.
+       +. List.fold_left
+            (fun acc b ->
+              if t >= b.start then acc +. (b.boost *. exp (-.(t -. b.start) /. b.decay))
+              else acc)
+            0. bursts)
+  in
+  let rate_max =
+    base *. (1. +. List.fold_left (fun acc b -> acc +. b.boost) 0. bursts)
+  in
+  let rec loop t acc =
+    let t = t +. Util.Rng.exponential rng ~rate:rate_max in
+    if t >= config.duration then List.rev acc
+    else if Util.Rng.float rng 1. < intensity t /. rate_max then loop t (t :: acc)
+    else loop t acc
+  in
+  loop 0. []
+
+let generate config =
+  validate config;
+  let rng = Util.Rng.create config.seed in
+  let weights = label_weights config in
+  let times = arrival_times rng config in
+  List.mapi
+    (fun id time ->
+      let count = 1 + Util.Rng.categorical rng config.overlap_probs in
+      let labels = pick_labels rng weights count in
+      Mqdp.Post.make ~id ~value:time ~labels:(Mqdp.Label_set.of_list labels))
+    times
+
+let instance config = Mqdp.Instance.create (generate config)
+
+let overlap_config ~base ~overlap =
+  if overlap < 1. || overlap > 3. then
+    invalid_arg "Direct_gen.overlap_config: overlap outside [1, 3]";
+  (* Mean of {1, 2, 3} hitting the target: spread the excess over P(2) and
+     P(3) in a 2:1 ratio, capped so probabilities stay valid. *)
+  let excess = overlap -. 1. in
+  let p3 = Float.min 0.9 (excess /. 3. *. 2.) /. 2. in
+  let p2 = excess -. (2. *. p3) in
+  let p1 = 1. -. p2 -. p3 in
+  if p1 < 0. || p2 < 0. then begin
+    (* Fall back to the exact two-point distribution on {1, 3} or {2, 3}. *)
+    if overlap <= 2. then
+      { base with overlap_probs = [| 2. -. overlap; overlap -. 1. |] }
+    else { base with overlap_probs = [| 0.; 3. -. overlap; overlap -. 2. |] }
+  end
+  else { base with overlap_probs = [| p1; p2; p3 |] }

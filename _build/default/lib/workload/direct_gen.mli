@@ -1,0 +1,40 @@
+(** Controlled MQDP workload generator for the benchmark sweeps.
+
+    Unlike {!Stream_gen} (which produces raw text that flows through the
+    matching pipeline), this generator emits labeled posts directly with
+    precise control of the knobs the paper's evaluation sweeps: arrival
+    rate, label-set size, label popularity skew, the post overlap rate
+    distribution, and burstiness. Timestamps are a Poisson process in
+    seconds; ids are dense in time order. Deterministic in [seed]. *)
+
+type config = {
+  seed : int;
+  duration : float;  (** seconds *)
+  rate_per_min : float;  (** matching posts per minute, overall *)
+  num_labels : int;
+  label_skew : float;  (** Zipf exponent over label popularity; 0 = uniform *)
+  overlap_probs : float array;
+      (** P(post carries k labels) for k = 1, 2, ... — the overlap rate is
+          the mean of this distribution *)
+  bursts_per_hour : float;  (** 0 = homogeneous arrivals *)
+}
+
+(** A homogeneous default: 10 minutes, 30 posts/min, overlap ≈ 1.25. *)
+val default_config : num_labels:int -> seed:int -> config
+
+(** Mean of [overlap_probs] — the expected post overlap rate. *)
+val expected_overlap : config -> float
+
+(** [generate config] — posts sorted by time.
+    Raises [Invalid_argument] on nonpositive duration/rate/labels, an
+    empty or non-normalizable [overlap_probs], or more label slots than
+    [num_labels]. *)
+val generate : config -> Mqdp.Post.t list
+
+(** [instance config] — [Mqdp.Instance.create (generate config)]. *)
+val instance : config -> Mqdp.Instance.t
+
+(** [overlap_config ~base ~overlap] — tweak [overlap_probs] to hit a
+    target mean overlap in [1, 3] by mixing P(1), P(2), P(3).
+    Raises [Invalid_argument] outside that range. *)
+val overlap_config : base:config -> overlap:float -> config

@@ -1,0 +1,82 @@
+type config = {
+  seed : int;
+  duration : float;
+  rate_per_min : float;
+  num_labels : int;
+  centers_per_label : int;
+  scatter_km : float;
+  overlap_probs : float array;
+}
+
+let default_config ~num_labels ~seed =
+  {
+    seed;
+    duration = 3600.;
+    rate_per_min = 10.;
+    num_labels;
+    centers_per_label = 2;
+    scatter_km = 15.;
+    overlap_probs = [| 0.85; 0.15 |];
+  }
+
+let validate config =
+  if config.duration <= 0. then invalid_arg "Geo_gen: duration <= 0";
+  if config.rate_per_min <= 0. then invalid_arg "Geo_gen: rate_per_min <= 0";
+  if config.num_labels <= 0 then invalid_arg "Geo_gen: num_labels <= 0";
+  if config.centers_per_label <= 0 then invalid_arg "Geo_gen: centers_per_label <= 0";
+  if
+    Array.length config.overlap_probs = 0
+    || Array.fold_left ( +. ) 0. config.overlap_probs <= 0.
+  then invalid_arg "Geo_gen: bad overlap_probs";
+  if Array.length config.overlap_probs > config.num_labels then
+    invalid_arg "Geo_gen: more label slots than labels"
+
+(* ~111 km per degree of latitude; longitude shrinks with cos(lat). *)
+let km_per_degree = 111.
+
+let generate config =
+  validate config;
+  let rng = Util.Rng.create config.seed in
+  (* Event centers in a mid-latitude band so the cos correction stays
+     well-behaved. *)
+  let centers =
+    Array.init config.num_labels (fun _ ->
+        Array.init config.centers_per_label (fun _ ->
+            ( Util.Rng.uniform rng ~lo:25. ~hi:55.,
+              Util.Rng.uniform rng ~lo:(-120.) ~hi:30. )))
+  in
+  let rate = config.rate_per_min /. 60. in
+  let rec arrivals t acc =
+    let t = t +. Util.Rng.exponential rng ~rate in
+    if t >= config.duration then List.rev acc else arrivals t (t :: acc)
+  in
+  let pick_labels count =
+    let rec pick acc k =
+      if k = 0 then acc
+      else begin
+        let a = Util.Rng.int rng config.num_labels in
+        if List.mem a acc then pick acc k else pick (a :: acc) (k - 1)
+      end
+    in
+    pick [] count
+  in
+  arrivals 0. []
+  |> List.mapi (fun id time ->
+         let count = 1 + Util.Rng.categorical rng config.overlap_probs in
+         let labels = pick_labels count in
+         (* The post is physically near a center of its first label. *)
+         let lat0, lon0 =
+           (match labels with
+           | a :: _ -> centers.(a)
+           | [] -> assert false)
+             .(Util.Rng.int rng config.centers_per_label)
+         in
+         let dlat = Util.Rng.gaussian rng ~mu:0. ~sigma:(config.scatter_km /. km_per_degree) in
+         let dlon =
+           Util.Rng.gaussian rng ~mu:0.
+             ~sigma:(config.scatter_km /. (km_per_degree *. cos (lat0 *. Float.pi /. 180.)))
+         in
+         Mqdp.Spatial.make_post ~id ~time ~lat:(lat0 +. dlat) ~lon:(lon0 +. dlon)
+           ~labels:(Mqdp.Label_set.of_list labels))
+
+let instance config = Mqdp.Spatial.create (generate config)

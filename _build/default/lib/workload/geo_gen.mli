@@ -1,0 +1,23 @@
+(** Geotagged post generator for the spatiotemporal extension (paper §9):
+    each label's activity clusters around a few event centers (cities),
+    post coordinates scatter around a center with Gaussian noise, and
+    arrivals are Poisson in time. Deterministic in [seed]. *)
+
+type config = {
+  seed : int;
+  duration : float;  (** seconds *)
+  rate_per_min : float;
+  num_labels : int;
+  centers_per_label : int;
+  scatter_km : float;  (** stddev of the distance from a center *)
+  overlap_probs : float array;  (** as in {!Direct_gen} *)
+}
+
+val default_config : num_labels:int -> seed:int -> config
+
+(** [generate config] — geotagged posts sorted by time.
+    Raises [Invalid_argument] on nonpositive duration/rate/labels or bad
+    overlap distribution. *)
+val generate : config -> Mqdp.Spatial.post list
+
+val instance : config -> Mqdp.Spatial.t

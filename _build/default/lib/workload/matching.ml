@@ -1,0 +1,102 @@
+type dimension =
+  | Time
+  | Sentiment_score
+
+type matched = {
+  tweet : Tweet.t;
+  labels : int list;
+}
+
+let strip_tag token =
+  if String.length token > 1 && (token.[0] = '#' || token.[0] = '@') then
+    String.sub token 1 (String.length token - 1)
+  else token
+
+let keyword_table queries =
+  let table = Hashtbl.create 256 in
+  Array.iteri
+    (fun label keywords ->
+      Array.iter
+        (fun keyword ->
+          let keyword = String.lowercase_ascii keyword in
+          let existing = Option.value (Hashtbl.find_opt table keyword) ~default:[] in
+          if not (List.mem label existing) then
+            Hashtbl.replace table keyword (label :: existing))
+        keywords)
+    queries;
+  table
+
+let match_tweets ~queries tweets =
+  let table = keyword_table queries in
+  List.filter_map
+    (fun tweet ->
+      let labels =
+        List.fold_left
+          (fun acc token ->
+            match Hashtbl.find_opt table (strip_tag token) with
+            | None -> acc
+            | Some ls -> List.fold_left (fun acc l -> l :: acc) acc ls)
+          [] tweet.Tweet.tokens
+        |> List.sort_uniq Int.compare
+      in
+      if labels = [] then None else Some { tweet; labels })
+    tweets
+
+let dedup_matched ?threshold matched =
+  let dedup_state = Text.Simhash.Dedup.create ?threshold () in
+  List.filter
+    (fun m ->
+      let fp = Text.Simhash.fingerprint m.tweet.Tweet.tokens in
+      not (Text.Simhash.Dedup.check_and_add dedup_state fp))
+    matched
+
+let dedup = dedup_matched
+
+let value_of ~dimension tweet =
+  match dimension with
+  | Time -> tweet.Tweet.time
+  | Sentiment_score -> Text.Sentiment.score tweet.Tweet.tokens
+
+let to_posts ~dimension matched =
+  List.map
+    (fun m ->
+      Mqdp.Post.make ~id:m.tweet.Tweet.id
+        ~value:(value_of ~dimension m.tweet)
+        ~labels:(Mqdp.Label_set.of_list m.labels))
+    matched
+
+let build_instance ?(dedup = false) ~dimension ~queries tweets =
+  let matched = match_tweets ~queries tweets in
+  let matched = if dedup then dedup_matched matched else matched in
+  let by_id = Hashtbl.create (List.length matched) in
+  List.iter (fun m -> Hashtbl.replace by_id m.tweet.Tweet.id m.tweet) matched;
+  (Mqdp.Instance.create (to_posts ~dimension matched), by_id)
+
+let via_index index ~queries ~lo ~hi ~dimension =
+  let labels_by_doc = Hashtbl.create 1024 in
+  Array.iteri
+    (fun label keywords ->
+      let query = Index.Query.of_keywords (Array.to_list keywords) in
+      List.iter
+        (fun doc_id ->
+          let existing = Option.value (Hashtbl.find_opt labels_by_doc doc_id) ~default:[] in
+          Hashtbl.replace labels_by_doc doc_id (label :: existing))
+        (Index.Inverted_index.search_range index query ~lo ~hi))
+    queries;
+  let docs = Hashtbl.create (Hashtbl.length labels_by_doc) in
+  let posts =
+    Hashtbl.fold
+      (fun doc_id labels acc ->
+        let doc = Index.Inverted_index.document index doc_id in
+        Hashtbl.replace docs doc_id doc;
+        let value =
+          match dimension with
+          | Time -> doc.Index.Document.timestamp
+          | Sentiment_score -> Text.Sentiment.score doc.Index.Document.tokens
+        in
+        Mqdp.Post.make ~id:doc_id ~value
+          ~labels:(Mqdp.Label_set.of_list (List.sort_uniq Int.compare labels))
+        :: acc)
+      labels_by_doc []
+  in
+  (Mqdp.Instance.create posts, docs)

@@ -1,0 +1,51 @@
+(** The posts/label matching module of the paper's architecture: maps raw
+    tweets to MQDP posts labeled with the queries they match.
+
+    A tweet matches query [q] when it contains at least one of [q]'s
+    keywords (the paper's matching rule); leading '#'/'@' are stripped
+    before lookup so hashtags match their keyword. Near-duplicates can be
+    removed with SimHash first, as the paper prescribes, and the diversity
+    value can be publication time or lexicon sentiment. *)
+
+type dimension =
+  | Time
+  | Sentiment_score
+
+type matched = {
+  tweet : Tweet.t;
+  labels : int list;  (** query indices, ascending *)
+}
+
+(** [match_tweets ~queries tweets] — tweets matching at least one query,
+    in input order. [queries.(i)] is the keyword list of label [i]. *)
+val match_tweets : queries:string array array -> Tweet.t list -> matched list
+
+(** [dedup matched] — drops tweets whose SimHash fingerprint is within
+    Hamming distance 3 of an earlier kept tweet. *)
+val dedup : ?threshold:int -> matched list -> matched list
+
+(** [to_posts ~dimension matched] — MQDP posts; [Post.id] is the tweet id,
+    label ids are query indices. *)
+val to_posts : dimension:dimension -> matched list -> Mqdp.Post.t list
+
+(** [build_instance ?dedup ~dimension ~queries tweets] — the whole
+    matching pipeline; also returns the matched tweets keyed by id so
+    selected posts can be rendered. *)
+val build_instance :
+  ?dedup:bool ->
+  dimension:dimension ->
+  queries:string array array ->
+  Tweet.t list ->
+  Mqdp.Instance.t * (int, Tweet.t) Hashtbl.t
+
+(** [via_index index ~queries ~lo ~hi ~dimension] — the search-based entry
+    point of the paper's Figure 1: evaluate each query against an
+    inverted index with a time-range filter and diversify the union of
+    the result lists. Returns the instance plus the document table. *)
+val via_index :
+  Index.Inverted_index.t ->
+  queries:string array array ->
+  lo:float ->
+  hi:float ->
+  dimension:dimension ->
+  Mqdp.Instance.t * (int, Index.Document.t) Hashtbl.t

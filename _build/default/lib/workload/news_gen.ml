@@ -1,0 +1,49 @@
+type article = {
+  article_id : int;
+  subtopics : int list;
+  tokens : string list;
+}
+
+let broad_keywords broad_name =
+  let broad =
+    Array.to_list Catalog.broads
+    |> List.find (fun b -> b.Catalog.broad_name = broad_name)
+  in
+  broad.Catalog.base_keywords
+
+let articles ~seed ~topics ~count =
+  if count <= 0 then invalid_arg "News_gen.articles: count <= 0";
+  if Array.length topics = 0 then invalid_arg "News_gen.articles: no topics";
+  let rng = Util.Rng.create seed in
+  List.init count (fun article_id ->
+      let primary = Util.Rng.int rng (Array.length topics) in
+      let secondary =
+        if Util.Rng.float rng 1. < 0.3 then begin
+          let other = Util.Rng.int rng (Array.length topics) in
+          if other = primary then [] else [ other ]
+        end
+        else []
+      in
+      let members = primary :: secondary in
+      let length = 80 + Util.Rng.int rng 121 in
+      let tokens =
+        List.init length (fun _ ->
+            let topic = topics.(Util.Rng.pick rng (Array.of_list members)) in
+            let u = Util.Rng.float rng 1. in
+            if u < 0.5 then
+              (* subtopic keyword, entity-heavy *)
+              topic.Catalog.keywords.(Util.Rng.zipf rng
+                                        ~n:(Array.length topic.Catalog.keywords)
+                                        ~s:0.7
+                                      - 1)
+            else if u < 0.75 then begin
+              let pool = broad_keywords topic.Catalog.broad in
+              pool.(Util.Rng.int rng (Array.length pool))
+            end
+            else Util.Rng.pick rng Text_gen.background)
+      in
+      { article_id; subtopics = members; tokens })
+
+let encode vocabulary articles =
+  Array.of_list
+    (List.map (fun a -> Topics.Vocabulary.encode vocabulary a.tokens) articles)

@@ -1,0 +1,20 @@
+(** The news-corpus stand-in: synthetic articles with planted topics, used
+    to exercise the LDA substrate the way the paper uses its RSS crawl
+    (Table 1).
+
+    Each article mixes one or two subtopics with broad-theme words and
+    neutral background filler; articles are long enough (80–200 tokens)
+    for collapsed Gibbs to recover the planted keyword pools. *)
+
+type article = {
+  article_id : int;
+  subtopics : int list;  (** planted ground truth *)
+  tokens : string list;
+}
+
+(** [articles ~seed ~topics ~count] — deterministic in [seed].
+    Raises [Invalid_argument] on nonpositive [count] or empty [topics]. *)
+val articles : seed:int -> topics:Catalog.subtopic array -> count:int -> article list
+
+(** [encode vocabulary articles] — word-id documents for {!Topics.Lda}. *)
+val encode : Topics.Vocabulary.t -> article list -> int array array

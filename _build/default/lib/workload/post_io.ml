@@ -1,0 +1,65 @@
+let post_to_line p =
+  Printf.sprintf "%d\t%.17g\t%s" p.Mqdp.Post.id p.Mqdp.Post.value
+    (String.concat ","
+       (List.map string_of_int (Mqdp.Label_set.to_list p.Mqdp.Post.labels)))
+
+let post_of_line line =
+  match String.split_on_char '\t' line with
+  | [ id_s; value_s; labels_s ] -> begin
+    let fail what = failwith (Printf.sprintf "Post_io: bad %s in %S" what line) in
+    let id = match int_of_string_opt (String.trim id_s) with
+      | Some id -> id
+      | None -> fail "id"
+    in
+    let value = match float_of_string_opt (String.trim value_s) with
+      | Some v -> v
+      | None -> fail "value"
+    in
+    let labels =
+      if String.trim labels_s = "" then []
+      else
+        List.map
+          (fun s ->
+            match int_of_string_opt (String.trim s) with
+            | Some a when a >= 0 -> a
+            | Some _ | None -> fail "label")
+          (String.split_on_char ',' labels_s)
+    in
+    Mqdp.Post.make ~id ~value ~labels:(Mqdp.Label_set.of_list labels)
+  end
+  | _ -> failwith (Printf.sprintf "Post_io: expected 3 tab-separated fields in %S" line)
+
+let save path posts =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# mqdp posts: id <TAB> value <TAB> comma-separated labels\n";
+      List.iter
+        (fun p ->
+          output_string oc (post_to_line p);
+          output_char oc '\n')
+        posts)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec read lineno acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+          let trimmed = String.trim line in
+          if trimmed = "" || trimmed.[0] = '#' then read (lineno + 1) acc
+          else begin
+            match post_of_line trimmed with
+            | post -> read (lineno + 1) (post :: acc)
+            | exception Failure msg ->
+              failwith (Printf.sprintf "%s (line %d of %s)" msg lineno path)
+          end
+      in
+      read 1 [])
+
+let save_cover path instance cover =
+  save path (List.map (Mqdp.Instance.post instance) cover)

@@ -1,0 +1,26 @@
+(** TSV persistence for MQDP workloads, so generated streams can be
+    inspected, shared, and replayed through the CLI.
+
+    Format: one post per line, [id <TAB> value <TAB> a,b,c] where the last
+    column lists label ids (empty for no labels). Lines starting with '#'
+    are comments. *)
+
+(** [post_to_line p] / [post_of_line line] — the codec.
+    [post_of_line] raises [Failure] with a descriptive message on
+    malformed input. *)
+val post_to_line : Mqdp.Post.t -> string
+
+val post_of_line : string -> Mqdp.Post.t
+
+(** [save path posts] writes a header comment plus one line per post. *)
+val save : string -> Mqdp.Post.t list -> unit
+
+(** [load path] — parses every non-comment, non-empty line.
+    Raises [Failure] (with the line number) on malformed input, [Sys_error]
+    on IO problems. *)
+val load : string -> Mqdp.Post.t list
+
+(** [save_cover path instance cover] writes the selected posts (by
+    position) in the same format — a cover file is itself a loadable post
+    file. *)
+val save_cover : string -> Mqdp.Instance.t -> int list -> unit

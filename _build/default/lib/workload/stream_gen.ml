@@ -1,0 +1,115 @@
+type config = {
+  seed : int;
+  duration : float;
+  topic_rate : float;
+  topics : Catalog.subtopic array;
+  extra_topic_probs : float array;
+  bursts_per_hour : float;
+}
+
+let default_config ~topics ~seed =
+  {
+    seed;
+    duration = 600.;
+    topic_rate = 0.02;
+    topics;
+    extra_topic_probs = [| 0.8; 0.15; 0.05 |];
+    bursts_per_hour = 2.;
+  }
+
+type burst = {
+  start : float;
+  boost : float;  (* intensity multiplier at onset *)
+  decay : float;  (* seconds *)
+}
+
+let intensity ~base bursts t =
+  let boost =
+    List.fold_left
+      (fun acc b ->
+        if t >= b.start then acc +. (b.boost *. exp (-.(t -. b.start) /. b.decay))
+        else acc)
+      0. bursts
+  in
+  base *. (1. +. boost)
+
+(* Thinning (Lewis & Shedler): homogeneous candidates at the max rate,
+   accepted with probability intensity/max. *)
+let arrivals rng ~base ~duration bursts =
+  let max_boost = List.fold_left (fun acc b -> acc +. b.boost) 0. bursts in
+  let rate_max = base *. (1. +. max_boost) in
+  let rec loop t acc =
+    let t = t +. Util.Rng.exponential rng ~rate:rate_max in
+    if t >= duration then List.rev acc
+    else if Util.Rng.float rng 1. < intensity ~base bursts t /. rate_max then
+      loop t (t :: acc)
+    else loop t acc
+  in
+  loop 0. []
+
+let make_bursts rng config =
+  let expected = config.bursts_per_hour *. config.duration /. 3600. in
+  let count = Util.Rng.poisson rng ~mean:expected in
+  List.init count (fun _ ->
+      {
+        start = Util.Rng.float rng config.duration;
+        boost = Util.Rng.uniform rng ~lo:4. ~hi:15.;
+        decay = Util.Rng.uniform rng ~lo:120. ~hi:600.;
+      })
+
+let pick_extras rng config ~primary ~count =
+  let topic = config.topics.(primary) in
+  let siblings =
+    Catalog.subtopics_of_broad config.topics topic.Catalog.broad
+    |> List.filter (fun i -> i <> primary)
+    |> Array.of_list
+  in
+  let rec pick acc k =
+    if k = 0 then acc
+    else begin
+      let candidate =
+        if Array.length siblings > 0 && Util.Rng.float rng 1. < 0.7 then
+          siblings.(Util.Rng.int rng (Array.length siblings))
+        else Util.Rng.int rng (Array.length config.topics)
+      in
+      if candidate = primary || List.mem candidate acc then pick acc (k - 1)
+      else pick (candidate :: acc) (k - 1)
+    end
+  in
+  pick [] count
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let generate config =
+  if config.duration <= 0. then invalid_arg "Stream_gen.generate: duration <= 0";
+  if config.topic_rate <= 0. then invalid_arg "Stream_gen.generate: topic_rate <= 0";
+  if Array.length config.topics = 0 then invalid_arg "Stream_gen.generate: no topics";
+  let rng = Util.Rng.create config.seed in
+  let raw = ref [] in
+  Array.iteri
+    (fun primary topic ->
+      let topic_rng = Util.Rng.split rng in
+      let bursts = make_bursts topic_rng config in
+      let times = arrivals topic_rng ~base:config.topic_rate ~duration:config.duration bursts in
+      List.iter
+        (fun time ->
+          let extra_count = Util.Rng.categorical topic_rng config.extra_topic_probs in
+          let extras = pick_extras topic_rng config ~primary ~count:extra_count in
+          let members = primary :: extras in
+          let sentiment =
+            clamp (-1.) 1.
+              (Util.Rng.gaussian topic_rng ~mu:topic.Catalog.mood ~sigma:0.3)
+          in
+          let text, tokens =
+            Text_gen.compose topic_rng
+              ~topics:(List.map (fun i -> config.topics.(i)) members)
+              ~sentiment
+          in
+          raw :=
+            { Tweet.id = 0; time; text; tokens; topics = members; sentiment } :: !raw)
+        times)
+    config.topics;
+  let sorted =
+    List.sort (fun a b -> Float.compare a.Tweet.time b.Tweet.time) !raw
+  in
+  List.mapi (fun id tweet -> { tweet with Tweet.id }) sorted

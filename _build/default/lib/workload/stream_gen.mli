@@ -1,0 +1,26 @@
+(** The Twitter-stream stand-in: a marked Poisson process per topic with
+    bursty intensity around synthetic news events.
+
+    Each topic emits posts at a baseline rate; bursts (news events) add an
+    exponentially decaying intensity boost, which is what produces the
+    density contrast the proportional-λ mechanism of paper §6 reacts to.
+    Posts may carry extra topics (controlling the overlap rate), biased
+    towards siblings in the same broad theme, the way related news topics
+    co-occur. Deterministic in [seed]. *)
+
+type config = {
+  seed : int;
+  duration : float;  (** stream length, seconds *)
+  topic_rate : float;  (** baseline posts/second per topic *)
+  topics : Catalog.subtopic array;
+  extra_topic_probs : float array;
+      (** P(k extra topics) for k = 0, 1, ...; default [|0.8; 0.15; 0.05|] *)
+  bursts_per_hour : float;  (** expected news events per topic per hour *)
+}
+
+val default_config : topics:Catalog.subtopic array -> seed:int -> config
+
+(** [generate config] — tweets sorted by time, ids dense from 0.
+    Raises [Invalid_argument] on nonpositive duration or rate, or an
+    empty topic array. *)
+val generate : config -> Tweet.t list

@@ -1,0 +1,65 @@
+let background =
+  [|
+    "today"; "tonight"; "morning"; "week"; "year"; "people"; "crowd"; "city";
+    "town"; "nation"; "world"; "video"; "photo"; "clip"; "live"; "breaking";
+    "story"; "reports"; "sources"; "officials"; "local"; "early"; "late";
+    "huge"; "small"; "first"; "final"; "next"; "everyone"; "watch"; "look";
+    "happening"; "moment"; "scene"; "crowds"; "streets"; "tonight"; "update";
+  |]
+
+(* "update" also appears as a technology base keyword; remove the clash so
+   background filler never triggers a topic match. *)
+let background =
+  let catalog_words = Hashtbl.create 64 in
+  Array.iter
+    (fun b ->
+      Array.iter (fun w -> Hashtbl.replace catalog_words w ()) b.Catalog.base_keywords)
+    Catalog.broads;
+  Array.of_list
+    (List.filter
+       (fun w -> not (Hashtbl.mem catalog_words w))
+       (Array.to_list background))
+
+let positive_words = Array.of_list Text.Sentiment.positive_words
+let negative_words = Array.of_list Text.Sentiment.negative_words
+
+let keyword_draws rng pool k =
+  (* Earlier keywords (the subtopic entity first) are preferred. *)
+  let n = Array.length pool in
+  let rec draw acc k =
+    if k = 0 then acc
+    else begin
+      let rank = Util.Rng.zipf rng ~n ~s:0.8 in
+      let w = pool.(rank - 1) in
+      if List.mem w acc then draw acc (k - 1) else draw (w :: acc) (k - 1)
+    end
+  in
+  draw [] k
+
+let compose rng ~topics ~sentiment =
+  let keyword_tokens =
+    List.concat_map
+      (fun t -> keyword_draws rng t.Catalog.keywords (2 + Util.Rng.int rng 2))
+      topics
+  in
+  let sentiment_tokens =
+    if Float.abs sentiment <= 0.15 then []
+    else begin
+      let pool = if sentiment > 0. then positive_words else negative_words in
+      let count = if Float.abs sentiment > 0.6 then 2 else 1 in
+      List.init count (fun _ -> Util.Rng.pick rng pool)
+    end
+  in
+  let filler_count = 2 + Util.Rng.int rng 4 in
+  let filler = List.init filler_count (fun _ -> Util.Rng.pick rng background) in
+  let tokens = Array.of_list (keyword_tokens @ sentiment_tokens @ filler) in
+  Util.Rng.shuffle rng tokens;
+  (* Hashtag the first topic entity now and then, like real streams. *)
+  let tokens = Array.to_list tokens in
+  let tokens =
+    match (topics, tokens) with
+    | (t :: _, first :: rest) when Util.Rng.int rng 4 = 0 ->
+      ("#" ^ t.Catalog.keywords.(0)) :: first :: rest
+    | _ -> tokens
+  in
+  (String.concat " " tokens, tokens)

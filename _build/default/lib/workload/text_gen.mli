@@ -1,0 +1,14 @@
+(** Tweet text synthesis: composes topic keywords, neutral background
+    words, and sentiment-bearing words matching a planted polarity, so
+    that the keyword matcher and the lexicon sentiment scorer both recover
+    the planted ground truth (noisily, as real pipelines would). *)
+
+(** Neutral filler vocabulary — disjoint from catalog keywords, the
+    sentiment lexicon, negators and intensifiers. *)
+val background : string array
+
+(** [compose rng ~topics ~sentiment] — (text, tokens). Draws 2–3 keywords
+    from each topic's pool (earlier keywords preferred, Zipf-style),
+    sentiment words when |sentiment| > 0.15, and background filler. *)
+val compose :
+  Util.Rng.t -> topics:Catalog.subtopic list -> sentiment:float -> string * string list

@@ -1,0 +1,11 @@
+type t = {
+  id : int;
+  time : float;
+  text : string;
+  tokens : string list;
+  topics : int list;
+  sentiment : float;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>[%.1fs] %s@]" t.time t.text

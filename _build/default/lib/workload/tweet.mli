@@ -1,0 +1,12 @@
+(** A synthetic microblog post as produced by the stream generator. *)
+
+type t = {
+  id : int;
+  time : float;  (** seconds since stream start *)
+  text : string;
+  tokens : string list;
+  topics : int list;  (** ground-truth topic indices the post was drawn from *)
+  sentiment : float;  (** planted polarity in [−1, 1] *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List Mqdp Printf QCheck QCheck_alcotest String

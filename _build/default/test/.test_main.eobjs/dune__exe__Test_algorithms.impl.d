@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Helpers List Mqdp QCheck

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Helpers Int List Mqdp

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Fun Helpers List Mqdp QCheck

@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Format Helpers List Mqdp QCheck Sat

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Format Helpers Index List Printf QCheck String Text

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Fun Helpers List Mqdp Util

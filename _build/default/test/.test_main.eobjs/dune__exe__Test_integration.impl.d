@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hashtbl Index Int List Mqdp Printf String Topics Workload

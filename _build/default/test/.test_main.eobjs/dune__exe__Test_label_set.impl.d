@@ -1,0 +1,1 @@
+test/test_label_set.ml: Alcotest Gen Helpers Int List Mqdp QCheck Set String

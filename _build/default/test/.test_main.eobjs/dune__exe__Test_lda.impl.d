@@ -1,0 +1,1 @@
+test/test_lda.ml: Alcotest Array Float Fun Gen Helpers Int List Printf QCheck String Topics Util

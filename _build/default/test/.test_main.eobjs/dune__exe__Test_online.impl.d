@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Float Helpers Int List Mqdp QCheck

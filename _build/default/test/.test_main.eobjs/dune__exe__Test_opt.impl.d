@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Helpers List Mqdp QCheck Util

@@ -1,0 +1,1 @@
+test/test_post_io.ml: Alcotest Filename Fun Helpers List Mqdp QCheck String Sys Workload

@@ -1,0 +1,1 @@
+test/test_proportional.ml: Alcotest Float Helpers List Mqdp

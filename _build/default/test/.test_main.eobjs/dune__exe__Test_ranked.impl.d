@@ -1,0 +1,1 @@
+test/test_ranked.ml: Alcotest Float Gen Helpers Index Int List QCheck String

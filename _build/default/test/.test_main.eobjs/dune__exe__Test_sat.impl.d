@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Format Helpers List Printf QCheck Sat

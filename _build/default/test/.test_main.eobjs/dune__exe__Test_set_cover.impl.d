@@ -1,0 +1,1 @@
+test/test_set_cover.ml: Alcotest Array Fun Helpers List Mqdp Printf QCheck String

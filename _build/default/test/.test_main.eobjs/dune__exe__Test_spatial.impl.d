@@ -1,0 +1,1 @@
+test/test_spatial.ml: Alcotest Float Helpers List Mqdp Printf QCheck Workload

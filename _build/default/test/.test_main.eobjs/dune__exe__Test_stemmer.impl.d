@@ -1,0 +1,1 @@
+test/test_stemmer.ml: Alcotest Fun Helpers List QCheck String Text

@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Array Float Helpers List Mqdp Printf QCheck

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Gen Helpers List QCheck String Text

@@ -1,0 +1,63 @@
+(* Shared generators and assertions for the test suite. *)
+
+let post ~id ~value labels =
+  Mqdp.Post.make ~id ~value ~labels:(Mqdp.Label_set.of_list labels)
+
+let instance_of posts = Mqdp.Instance.create posts
+
+(* A compact printable description of an instance, for QCheck failures. *)
+let describe_instance inst =
+  Mqdp.Instance.posts inst
+  |> Array.to_list
+  |> List.map (fun p ->
+         Printf.sprintf "(%g,{%s})" p.Mqdp.Post.value
+           (String.concat ","
+              (List.map string_of_int (Mqdp.Label_set.to_list p.Mqdp.Post.labels))))
+  |> String.concat " "
+
+(* Random small instances: n posts over [0, span) with 1..max_per labels
+   drawn from [0, num_labels). Integral values with probability 1/2 to
+   exercise ties. *)
+let gen_instance ?(max_posts = 14) ?(max_labels = 3) ?(max_per = 3) ?(span = 12.) () =
+  let open QCheck.Gen in
+  let* n = int_range 1 max_posts in
+  let* num_labels = int_range 1 max_labels in
+  let* integral = bool in
+  let gen_value =
+    if integral then map float_of_int (int_range 0 (int_of_float span))
+    else float_bound_exclusive span
+  in
+  let gen_labels =
+    let* k = int_range 1 (min max_per num_labels) in
+    list_repeat k (int_range 0 (num_labels - 1))
+  in
+  let gen_post id =
+    let* value = gen_value in
+    let* labels = gen_labels in
+    return (post ~id ~value labels)
+  in
+  let* posts = flatten_l (List.init n gen_post) in
+  return (instance_of posts)
+
+let arb_instance ?max_posts ?max_labels ?max_per ?span () =
+  QCheck.make ~print:describe_instance (gen_instance ?max_posts ?max_labels ?max_per ?span ())
+
+let gen_lambda = QCheck.Gen.(map (fun l -> 0.5 +. l) (float_bound_exclusive 4.))
+
+let arb_instance_lambda ?max_posts ?max_labels ?max_per ?span () =
+  QCheck.make
+    ~print:(fun (inst, l) -> Printf.sprintf "lambda=%g %s" l (describe_instance inst))
+    QCheck.Gen.(
+      pair (gen_instance ?max_posts ?max_labels ?max_per ?span ()) gen_lambda)
+
+let check_cover name inst lambda cover =
+  if not (Mqdp.Coverage.is_cover inst lambda cover) then
+    QCheck.Test.fail_reportf "%s produced a non-cover on %s" name
+      (describe_instance inst);
+  true
+
+(* Wrap a QCheck property as an alcotest case. *)
+let qtest ?(count = 200) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let sorted_ints = Alcotest.(list int)

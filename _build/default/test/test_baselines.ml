@@ -1,0 +1,83 @@
+(* Baseline selectors and the coverage-fraction comparison metric. *)
+
+open Helpers
+
+let line_instance n =
+  instance_of (List.init n (fun i -> post ~id:i ~value:(float_of_int i) [ 0 ]))
+
+let test_uniform () =
+  let inst = line_instance 11 in
+  Alcotest.(check (list int)) "quantiles" [ 0; 5; 10 ]
+    (Mqdp.Baselines.uniform inst ~k:3);
+  Alcotest.(check (list int)) "k=1" [ 0 ] (Mqdp.Baselines.uniform inst ~k:1);
+  Alcotest.(check (list int)) "k=0" [] (Mqdp.Baselines.uniform inst ~k:0);
+  Alcotest.(check int) "k > n clamps" 11
+    (List.length (Mqdp.Baselines.uniform inst ~k:99))
+
+let test_random_sample () =
+  let inst = line_instance 20 in
+  let sample = Mqdp.Baselines.random_sample ~seed:1 inst ~k:5 in
+  Alcotest.(check int) "size" 5 (List.length sample);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq Int.compare sample));
+  Alcotest.(check (list int)) "deterministic" sample
+    (Mqdp.Baselines.random_sample ~seed:1 inst ~k:5);
+  List.iter
+    (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 20))
+    sample
+
+let test_dispersion () =
+  let inst = line_instance 11 in
+  (* Extremes first, then the midpoint. *)
+  Alcotest.(check (list int)) "extremes + middle" [ 0; 5; 10 ]
+    (Mqdp.Baselines.max_min_dispersion inst ~k:3);
+  Alcotest.(check (list int)) "k=2 extremes" [ 0; 10 ]
+    (Mqdp.Baselines.max_min_dispersion inst ~k:2)
+
+let test_coverage_fraction () =
+  let inst = line_instance 5 in
+  let lambda = Mqdp.Coverage.Fixed 1. in
+  Alcotest.(check (float 1e-9)) "full cover" 1.
+    (Mqdp.Baselines.coverage_fraction inst lambda [ 0; 1; 2; 3; 4 ]);
+  (* Post 2 covers values 1..3 of 5 pairs. *)
+  Alcotest.(check (float 1e-9)) "middle post covers 3/5" 0.6
+    (Mqdp.Baselines.coverage_fraction inst lambda [ 2 ]);
+  Alcotest.(check (float 1e-9)) "empty cover" 0.
+    (Mqdp.Baselines.coverage_fraction inst lambda [])
+
+let test_negative_k_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Baselines: negative k")
+    (fun () -> ignore (Mqdp.Baselines.uniform (line_instance 3) ~k:(-1)))
+
+let mqdp_beats_baselines_at_equal_budget =
+  qtest ~count:100 "at the MQDP cover's budget, baselines never cover more"
+    (arb_instance ~max_posts:40 ~max_labels:4 ~span:40. ())
+    (fun inst ->
+      let lambda = Mqdp.Coverage.Fixed 2. in
+      let cover = Mqdp.Greedy_sc.solve inst lambda in
+      let k = List.length cover in
+      let frac sel = Mqdp.Baselines.coverage_fraction inst lambda sel in
+      frac cover = 1.
+      && frac (Mqdp.Baselines.uniform inst ~k) <= 1.
+      && frac (Mqdp.Baselines.random_sample ~seed:7 inst ~k) <= 1.
+      && frac (Mqdp.Baselines.max_min_dispersion inst ~k) <= 1.)
+
+let dispersion_structure =
+  qtest ~count:100 "dispersion keeps the extremes and the requested size"
+    (arb_instance ~max_posts:30 ~max_labels:2 ~span:30. ())
+    (fun inst ->
+      let n = Mqdp.Instance.size inst in
+      let k = min 4 n in
+      let sel = Mqdp.Baselines.max_min_dispersion inst ~k in
+      List.length sel = min k n
+      && (k < 2 || n < 2 || (List.mem 0 sel && List.mem (n - 1) sel)))
+
+let suite =
+  [
+    Alcotest.test_case "uniform quantiles" `Quick test_uniform;
+    Alcotest.test_case "random sample" `Quick test_random_sample;
+    Alcotest.test_case "max-min dispersion" `Quick test_dispersion;
+    Alcotest.test_case "coverage fraction" `Quick test_coverage_fraction;
+    Alcotest.test_case "negative k rejected" `Quick test_negative_k_rejected;
+    mqdp_beats_baselines_at_equal_budget;
+    dispersion_structure;
+  ]

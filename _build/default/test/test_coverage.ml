@@ -1,0 +1,128 @@
+(* Coverage semantics: the paper's Example 1 and 2 (its Figure 2), plus
+   directional per-post lambda and the uncovered diagnostics. *)
+
+open Helpers
+
+(* Figure 2: P1{a}, P2{a}, P3{a,c}, P4{c}, consecutive gaps all Δt. *)
+let figure2 dt =
+  instance_of
+    [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:dt [ 0 ];
+      post ~id:3 ~value:(2. *. dt) [ 0; 1 ]; post ~id:4 ~value:(3. *. dt) [ 1 ] ]
+
+let test_example1 () =
+  let dt = 1. in
+  let inst = figure2 dt in
+  let lambda = Mqdp.Coverage.Fixed dt in
+  let p i = Mqdp.Instance.post inst (i - 1) in
+  (* P2 λ-covers a∈P1 and a∈P3; P1 λ-covers a∈P2; P3 λ-covers c∈P4 ... *)
+  Alcotest.(check bool) "P2 covers a in P1" true
+    (Mqdp.Coverage.covers_label lambda ~by:(p 2) 0 (p 1));
+  Alcotest.(check bool) "P2 covers a in P3" true
+    (Mqdp.Coverage.covers_label lambda ~by:(p 2) 0 (p 3));
+  Alcotest.(check bool) "P1 covers a in P2" true
+    (Mqdp.Coverage.covers_label lambda ~by:(p 1) 0 (p 2));
+  Alcotest.(check bool) "P3 covers c in P4" true
+    (Mqdp.Coverage.covers_label lambda ~by:(p 3) 1 (p 4));
+  Alcotest.(check bool) "P4 covers c in P3" true
+    (Mqdp.Coverage.covers_label lambda ~by:(p 4) 1 (p 3));
+  (* Cross-label coverage never holds. *)
+  Alcotest.(check bool) "P4 cannot cover a in P3" false
+    (Mqdp.Coverage.covers_label lambda ~by:(p 4) 0 (p 3));
+  (* Distance beyond λ never covers. *)
+  Alcotest.(check bool) "P1 cannot cover a in P3" false
+    (Mqdp.Coverage.covers_label lambda ~by:(p 1) 0 (p 3))
+
+let test_example2 () =
+  let inst = figure2 1. in
+  let lambda = Mqdp.Coverage.Fixed 1. in
+  (* {P2, P4} λ-covers P (positions 1 and 3). *)
+  Alcotest.(check bool) "P2,P4 is a cover" true
+    (Mqdp.Coverage.is_cover inst lambda [ 1; 3 ]);
+  (* {P2} alone leaves the c pairs uncovered. *)
+  Alcotest.(check bool) "P2 alone is not" false
+    (Mqdp.Coverage.is_cover inst lambda [ 1 ]);
+  Alcotest.(check (list (pair int int))) "uncovered pairs are the c ones"
+    [ (2, 1); (3, 1) ]
+    (Mqdp.Coverage.uncovered inst lambda [ 1 ])
+
+let test_post_covered () =
+  let inst = figure2 1. in
+  let lambda = Mqdp.Coverage.Fixed 1. in
+  let p i = Mqdp.Instance.post inst (i - 1) in
+  (* P3 carries both labels: needs an a-cover and a c-cover. *)
+  Alcotest.(check bool) "P3 covered by {P2, P4}" true
+    (Mqdp.Coverage.post_covered lambda ~by:[ p 2; p 4 ] (p 3));
+  Alcotest.(check bool) "P3 not covered by {P2}" false
+    (Mqdp.Coverage.post_covered lambda ~by:[ p 2 ] (p 3));
+  Alcotest.(check bool) "self-coverage" true
+    (Mqdp.Coverage.post_covered lambda ~by:[ p 3 ] (p 3))
+
+let test_same_timestamp_different_labels () =
+  (* The paper's key point: same value, disjoint labels — no coverage. *)
+  let inst = instance_of [ post ~id:1 ~value:5. [ 0 ]; post ~id:2 ~value:5. [ 1 ] ] in
+  let lambda = Mqdp.Coverage.Fixed 10. in
+  Alcotest.(check bool) "neither covers the other" false
+    (Mqdp.Coverage.is_cover inst lambda [ 0 ]);
+  Alcotest.(check bool) "both needed" true (Mqdp.Coverage.is_cover inst lambda [ 0; 1 ])
+
+let test_directional_lambda () =
+  (* Pi covers Pj but not vice versa when radius(Pi) > gap > radius(Pj). *)
+  let inst = instance_of [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:2. [ 0 ] ] in
+  let radius p _ = if p.Mqdp.Post.id = 1 then 3. else 1. in
+  let lambda = Mqdp.Coverage.Per_post_label radius in
+  let p1 = Mqdp.Instance.post inst 0 and p2 = Mqdp.Instance.post inst 1 in
+  Alcotest.(check bool) "P1 covers P2" true
+    (Mqdp.Coverage.covers_label lambda ~by:p1 0 p2);
+  Alcotest.(check bool) "P2 does not cover P1" false
+    (Mqdp.Coverage.covers_label lambda ~by:p2 0 p1);
+  Alcotest.(check bool) "{P1} is a cover" true (Mqdp.Coverage.is_cover inst lambda [ 0 ]);
+  Alcotest.(check bool) "{P2} is not" false (Mqdp.Coverage.is_cover inst lambda [ 1 ])
+
+let test_bad_positions_rejected () =
+  let inst = figure2 1. in
+  Alcotest.check_raises "position out of range"
+    (Invalid_argument "Coverage: cover position out of range") (fun () ->
+      ignore (Mqdp.Coverage.is_cover inst (Mqdp.Coverage.Fixed 1.) [ 9 ]))
+
+let full_set_is_cover =
+  qtest "the full post set always covers" (arb_instance ()) (fun inst ->
+      Mqdp.Coverage.is_cover inst (Mqdp.Coverage.Fixed 0.)
+        (List.init (Mqdp.Instance.size inst) Fun.id))
+
+let uncovered_iff_not_cover =
+  qtest "uncovered = [] iff is_cover"
+    (QCheck.pair (arb_instance ()) QCheck.(small_nat))
+    (fun (inst, k) ->
+      let lambda = Mqdp.Coverage.Fixed 1.5 in
+      let n = Mqdp.Instance.size inst in
+      let cover = List.init (min k n) Fun.id in
+      Mqdp.Coverage.is_cover inst lambda cover
+      = (Mqdp.Coverage.uncovered inst lambda cover = []))
+
+let uncovered_agrees_with_post_covered =
+  qtest "uncovered pairs agree with post_covered" (arb_instance_lambda ())
+    (fun (inst, l) ->
+      let lambda = Mqdp.Coverage.Fixed l in
+      let n = Mqdp.Instance.size inst in
+      let cover = List.filter (fun i -> i mod 2 = 0) (List.init n Fun.id) in
+      let by = List.map (Mqdp.Instance.post inst) cover in
+      let bad = Mqdp.Coverage.uncovered inst lambda cover in
+      List.for_all
+        (fun i ->
+          let fully = Mqdp.Coverage.post_covered lambda ~by (Mqdp.Instance.post inst i) in
+          fully = not (List.exists (fun (j, _) -> j = i) bad))
+        (List.init n Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "paper Example 1" `Quick test_example1;
+    Alcotest.test_case "paper Example 2" `Quick test_example2;
+    Alcotest.test_case "post_covered (Definition 1)" `Quick test_post_covered;
+    Alcotest.test_case "same value, different labels" `Quick
+      test_same_timestamp_different_labels;
+    Alcotest.test_case "directional per-post lambda" `Quick test_directional_lambda;
+    Alcotest.test_case "bad positions rejected" `Quick test_bad_positions_rejected;
+    full_set_is_cover;
+    uncovered_iff_not_cover;
+    uncovered_agrees_with_post_covered;
+  ]

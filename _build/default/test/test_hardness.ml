@@ -1,0 +1,121 @@
+(* The NP-hardness reductions (paper §3).
+
+   The sound set-cover reduction must agree with DPLL in both directions.
+   The published Lemma 1 construction is checked in its working direction
+   (satisfiable ⇒ canonical cover of exactly the budget), and its broken
+   direction is PINNED: the unsatisfiable formula (x1)∧(¬x1) admits a
+   cover strictly below the budget, which contradicts the published
+   proof's counting argument (see DESIGN.md §"Lemma 1 gap"). *)
+
+let arb_small_cnf =
+  let gen =
+    QCheck.Gen.(
+      let* num_vars = int_range 1 3 in
+      let* num_clauses = int_range 1 4 in
+      let* clause_size = int_range 1 (min 2 num_vars) in
+      let* seed = int_range 0 1_000_000 in
+      return (Sat.Cnf.random ~seed ~num_vars ~num_clauses ~clause_size))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Sat.Cnf.pp) gen
+
+let test_lemma1_construction_shape () =
+  (* n = 1, m = 2 ⇒ 14 posts, 5 labels (w1, u1, nu1, c1, c2), budget 7. *)
+  let cnf = Sat.Cnf.make ~num_vars:1 [ [ 1 ]; [ -1 ] ] in
+  let red = Mqdp.Hardness.of_cnf cnf in
+  Alcotest.(check int) "posts" 14 (Mqdp.Instance.size red.Mqdp.Hardness.instance);
+  Alcotest.(check int) "labels" 5 (Mqdp.Instance.num_labels red.Mqdp.Hardness.instance);
+  Alcotest.(check int) "budget" 7 red.Mqdp.Hardness.budget;
+  Alcotest.(check int) "at most 2 labels per post" 2
+    (Mqdp.Instance.max_labels_per_post red.Mqdp.Hardness.instance);
+  (* Times are the integers 1..2m+3. *)
+  match Mqdp.Instance.span red.Mqdp.Hardness.instance with
+  | Some (lo, hi) ->
+    Alcotest.(check (float 0.)) "first time" 1. lo;
+    Alcotest.(check (float 0.)) "last time" 7. hi
+  | None -> Alcotest.fail "empty instance"
+
+let test_lemma1_gap_pinned () =
+  (* The counterexample to the published (⇐) direction. *)
+  let cnf = Sat.Cnf.make ~num_vars:1 [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check bool) "formula unsat" false (Sat.Dpll.satisfiable cnf);
+  let red = Mqdp.Hardness.of_cnf cnf in
+  let cover = Mqdp.Brute_force.solve red.Mqdp.Hardness.instance red.Mqdp.Hardness.lambda in
+  Alcotest.(check bool) "exact cover is valid" true
+    (Mqdp.Coverage.is_cover red.Mqdp.Hardness.instance red.Mqdp.Hardness.lambda cover);
+  Alcotest.(check int) "minimum cover is 6 < budget 7" 6 (List.length cover);
+  Alcotest.(check bool) "so the published biconditional fails" true
+    (Mqdp.Hardness.satisfiable_via_cover red)
+
+let test_empty_clause_rejected () =
+  let cnf = Sat.Cnf.make ~num_vars:1 [ [] ] in
+  Alcotest.check_raises "lemma1" (Invalid_argument "Hardness.of_cnf: empty clause")
+    (fun () -> ignore (Mqdp.Hardness.of_cnf cnf));
+  Alcotest.check_raises "set-cover"
+    (Invalid_argument "Hardness.of_cnf_set_cover: empty clause") (fun () ->
+      ignore (Mqdp.Hardness.of_cnf_set_cover cnf))
+
+let test_set_cover_construction_shape () =
+  let cnf = Sat.Cnf.make ~num_vars:3 [ [ 1; -2 ]; [ 2; 3 ] ] in
+  let red = Mqdp.Hardness.of_cnf_set_cover cnf in
+  Alcotest.(check int) "two posts per variable" 6
+    (Mqdp.Instance.size red.Mqdp.Hardness.instance);
+  Alcotest.(check int) "budget = n" 3 red.Mqdp.Hardness.budget;
+  (* All posts share one timestamp. *)
+  match Mqdp.Instance.span red.Mqdp.Hardness.instance with
+  | Some (lo, hi) -> Alcotest.(check (float 0.)) "degenerate span" lo hi
+  | None -> Alcotest.fail "empty instance"
+
+let lemma1_forward =
+  Helpers.qtest ~count:80 "Lemma 1 (⇒): satisfying assignment gives a budget cover"
+    arb_small_cnf
+    (fun cnf ->
+      match Sat.Dpll.solve cnf with
+      | None -> true
+      | Some assignment ->
+        let red = Mqdp.Hardness.of_cnf cnf in
+        let witness = Mqdp.Hardness.cover_of_assignment red assignment in
+        List.length witness = red.Mqdp.Hardness.budget
+        && Mqdp.Coverage.is_cover red.Mqdp.Hardness.instance red.Mqdp.Hardness.lambda
+             witness)
+
+let set_cover_sound =
+  Helpers.qtest ~count:80 "set-cover reduction: SAT iff cover <= n" arb_small_cnf
+    (fun cnf ->
+      let red = Mqdp.Hardness.of_cnf_set_cover cnf in
+      Sat.Dpll.satisfiable cnf = Mqdp.Hardness.satisfiable_via_cover red)
+
+let set_cover_decodes =
+  Helpers.qtest ~count:80 "set-cover reduction: budget covers decode to models"
+    arb_small_cnf
+    (fun cnf ->
+      let red = Mqdp.Hardness.of_cnf_set_cover cnf in
+      match Mqdp.Hardness.budget_cover red with
+      | None -> not (Sat.Dpll.satisfiable cnf)
+      | Some cover ->
+        Sat.Cnf.eval cnf (Mqdp.Hardness.assignment_of_cover red cover))
+
+let set_cover_witness =
+  Helpers.qtest ~count:80 "set-cover reduction: models encode to budget covers"
+    arb_small_cnf
+    (fun cnf ->
+      match Sat.Dpll.solve cnf with
+      | None -> true
+      | Some assignment ->
+        let red = Mqdp.Hardness.of_cnf_set_cover cnf in
+        let witness = Mqdp.Hardness.cover_of_assignment red assignment in
+        List.length witness = red.Mqdp.Hardness.budget
+        && Mqdp.Coverage.is_cover red.Mqdp.Hardness.instance red.Mqdp.Hardness.lambda
+             witness)
+
+let suite =
+  [
+    Alcotest.test_case "Lemma 1 construction shape" `Quick test_lemma1_construction_shape;
+    Alcotest.test_case "Lemma 1 gap: pinned counterexample" `Quick test_lemma1_gap_pinned;
+    Alcotest.test_case "empty clauses rejected" `Quick test_empty_clause_rejected;
+    Alcotest.test_case "set-cover construction shape" `Quick
+      test_set_cover_construction_shape;
+    lemma1_forward;
+    set_cover_sound;
+    set_cover_decodes;
+    set_cover_witness;
+  ]

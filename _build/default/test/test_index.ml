@@ -1,0 +1,189 @@
+(* Inverted index: unit behaviour plus a model check against a naive
+   full-scan evaluator over random corpora. *)
+
+let doc id timestamp text = Index.Document.make ~id ~timestamp ~text
+
+let sample_index () =
+  let index = Index.Inverted_index.create () in
+  List.iter (Index.Inverted_index.add index)
+    [
+      doc 10 0. "senate votes on the budget bill";
+      doc 11 60. "lakers win the championship";
+      doc 12 120. "senate blocks the championship parade bill";
+      doc 13 180. "weather forecast rain";
+    ];
+  index
+
+let test_term_search () =
+  let index = sample_index () in
+  Alcotest.(check (list int)) "senate" [ 10; 12 ]
+    (Index.Inverted_index.search index (Index.Query.Term "senate"));
+  Alcotest.(check (list int)) "case-insensitive" [ 10; 12 ]
+    (Index.Inverted_index.search index (Index.Query.Term "SENATE"));
+  Alcotest.(check (list int)) "absent term" []
+    (Index.Inverted_index.search index (Index.Query.Term "zebra"))
+
+let test_boolean_ops () =
+  let index = sample_index () in
+  let open Index.Query in
+  Alcotest.(check (list int)) "or" [ 10; 11; 12 ]
+    (Index.Inverted_index.search index (Or [ Term "senate"; Term "championship" ]));
+  Alcotest.(check (list int)) "and" [ 12 ]
+    (Index.Inverted_index.search index (And [ Term "senate"; Term "championship" ]));
+  Alcotest.(check (list int)) "and-not" [ 10 ]
+    (Index.Inverted_index.search index (And [ Term "senate"; Not (Term "championship") ]));
+  Alcotest.(check (list int)) "not" [ 13 ]
+    (Index.Inverted_index.search index
+       (Not (Or [ Term "senate"; Term "championship" ])));
+  Alcotest.(check (list int)) "empty and = all" [ 10; 11; 12; 13 ]
+    (Index.Inverted_index.search index (And []))
+
+let test_range_search () =
+  let index = sample_index () in
+  Alcotest.(check (list int)) "range" [ 12 ]
+    (Index.Inverted_index.search_range index (Index.Query.Term "senate") ~lo:30. ~hi:150.);
+  Alcotest.(check (list int)) "inclusive bounds" [ 10; 12 ]
+    (Index.Inverted_index.search_range index (Index.Query.Term "senate") ~lo:0. ~hi:120.)
+
+let test_stats_and_lookup () =
+  let index = sample_index () in
+  Alcotest.(check int) "doc_count" 4 (Index.Inverted_index.doc_count index);
+  Alcotest.(check int) "df senate" 2 (Index.Inverted_index.postings_size index "senate");
+  Alcotest.(check int) "df zebra" 0 (Index.Inverted_index.postings_size index "zebra");
+  let d = Index.Inverted_index.document index 11 in
+  Alcotest.(check string) "document text" "lakers win the championship"
+    d.Index.Document.text;
+  Alcotest.check_raises "unknown id" Not_found (fun () ->
+      ignore (Index.Inverted_index.document index 999))
+
+let test_duplicate_id_rejected () =
+  let index = sample_index () in
+  Alcotest.check_raises "dup" (Invalid_argument "Inverted_index.add: duplicate id 10")
+    (fun () -> Index.Inverted_index.add index (doc 10 999. "anything"))
+
+let test_repeated_term_in_doc () =
+  let index = Index.Inverted_index.create () in
+  Index.Inverted_index.add index (doc 1 0. "spam spam spam spam");
+  Alcotest.(check (list int)) "posting not duplicated" [ 1 ]
+    (Index.Inverted_index.search index (Index.Query.Term "spam"))
+
+(* Model check: random docs over a tiny vocabulary, random queries,
+   compared against naive evaluation. *)
+
+let vocab = [| "alpha"; "beta"; "gamma"; "delta"; "epsilon" |]
+
+let gen_corpus =
+  QCheck.Gen.(
+    let gen_doc id =
+      let* words = list_size (int_range 1 6) (oneofl (Array.to_list vocab)) in
+      return (id, String.concat " " words)
+    in
+    let* n = int_range 1 25 in
+    flatten_l (List.init n gen_doc))
+
+let rec gen_query depth =
+  QCheck.Gen.(
+    if depth = 0 then map (fun w -> Index.Query.Term w) (oneofl (Array.to_list vocab))
+    else
+      frequency
+        [
+          (3, map (fun w -> Index.Query.Term w) (oneofl (Array.to_list vocab)));
+          (2, map (fun qs -> Index.Query.Or qs) (list_size (int_range 1 3) (gen_query (depth - 1))));
+          (2, map (fun qs -> Index.Query.And qs) (list_size (int_range 1 3) (gen_query (depth - 1))));
+          (1, map (fun q -> Index.Query.Not q) (gen_query (depth - 1)));
+        ])
+
+let rec naive_matches query tokens =
+  match query with
+  | Index.Query.Term w -> List.mem w tokens
+  | Index.Query.Or qs -> List.exists (fun q -> naive_matches q tokens) qs
+  | Index.Query.And qs -> List.for_all (fun q -> naive_matches q tokens) qs
+  | Index.Query.Not q -> not (naive_matches q tokens)
+
+let arb_corpus_query =
+  QCheck.make
+    ~print:(fun (docs, q) ->
+      Format.asprintf "%d docs; query %a" (List.length docs) Index.Query.pp q)
+    QCheck.Gen.(pair gen_corpus (gen_query 2))
+
+let index_matches_naive =
+  Helpers.qtest ~count:300 "boolean search = naive scan" arb_corpus_query
+    (fun (docs, query) ->
+      let index = Index.Inverted_index.create () in
+      List.iter (fun (id, text) -> Index.Inverted_index.add index (doc id 0. text)) docs;
+      let expected =
+        List.filter_map
+          (fun (id, text) ->
+            if naive_matches query (Text.Tokenizer.tokenize_clean text) then Some id
+            else None)
+          docs
+      in
+      Index.Inverted_index.search index query = expected)
+
+let range_is_filter =
+  Helpers.qtest ~count:150 "search_range = search + timestamp filter"
+    arb_corpus_query
+    (fun (docs, query) ->
+      let index = Index.Inverted_index.create () in
+      List.iteri
+        (fun i (id, text) ->
+          Index.Inverted_index.add index (doc id (float_of_int i) text))
+        docs;
+      let lo = 1. and hi = float_of_int (List.length docs) /. 2. in
+      let all = Index.Inverted_index.search index query in
+      let expected =
+        List.filter
+          (fun id ->
+            let d = Index.Inverted_index.document index id in
+            d.Index.Document.timestamp >= lo && d.Index.Document.timestamp <= hi)
+          all
+      in
+      Index.Inverted_index.search_range index query ~lo ~hi = expected)
+
+let gen_corpus_arb =
+  QCheck.make ~print:(fun docs -> Printf.sprintf "%d docs" (List.length docs)) gen_corpus
+
+let query_of_keywords_matches_any =
+  Helpers.qtest ~count:150 "of_keywords = OR semantics" gen_corpus_arb
+    (fun docs ->
+      let index = Index.Inverted_index.create () in
+      List.iter (fun (id, text) -> Index.Inverted_index.add index (doc id 0. text)) docs;
+      let q = Index.Query.of_keywords [ "alpha"; "delta" ] in
+      let expected =
+        List.filter_map
+          (fun (id, text) ->
+            let tokens = Text.Tokenizer.tokenize_clean text in
+            if List.mem "alpha" tokens || List.mem "delta" tokens then Some id else None)
+          docs
+      in
+      Index.Inverted_index.search index q = expected)
+
+let suite =
+  [
+    Alcotest.test_case "term search" `Quick test_term_search;
+    Alcotest.test_case "boolean operators" `Quick test_boolean_ops;
+    Alcotest.test_case "range search" `Quick test_range_search;
+    Alcotest.test_case "stats & lookup" `Quick test_stats_and_lookup;
+    Alcotest.test_case "duplicate ids rejected" `Quick test_duplicate_id_rejected;
+    Alcotest.test_case "repeated terms deduped" `Quick test_repeated_term_in_doc;
+    index_matches_naive;
+    range_is_filter;
+    query_of_keywords_matches_any;
+  ]
+
+(* Query helpers. *)
+
+let test_query_helpers () =
+  let q = Index.Query.of_keywords [ "Senate"; "VOTE" ] in
+  Alcotest.(check (list string)) "of_keywords lowercases"
+    [ "senate"; "vote" ] (Index.Query.terms q);
+  let nested =
+    Index.Query.(And [ Term "a"; Not (Or [ Term "b"; Term "a" ]) ])
+  in
+  Alcotest.(check (list string)) "terms deduped across operators"
+    [ "a"; "b" ] (Index.Query.terms nested);
+  Alcotest.(check string) "pp renders structure" "(a AND NOT (b OR a))"
+    (Format.asprintf "%a" Index.Query.pp nested)
+
+let suite =
+  suite @ [ Alcotest.test_case "query helpers" `Quick test_query_helpers ]

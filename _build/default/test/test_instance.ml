@@ -1,0 +1,111 @@
+(* Instance construction, posting lists, overlap statistics. *)
+
+open Helpers
+
+let test_sorting () =
+  let inst = instance_of [ post ~id:1 ~value:5. [ 0 ]; post ~id:2 ~value:1. [ 0 ] ] in
+  Alcotest.(check int) "size" 2 (Mqdp.Instance.size inst);
+  Alcotest.(check (float 0.)) "first value" 1. (Mqdp.Instance.value inst 0);
+  Alcotest.(check int) "first id" 2 (Mqdp.Instance.post inst 0).Mqdp.Post.id
+
+let test_unlabeled_dropped () =
+  let inst = instance_of [ post ~id:1 ~value:0. []; post ~id:2 ~value:1. [ 0 ] ] in
+  Alcotest.(check int) "only labeled kept" 1 (Mqdp.Instance.size inst)
+
+let test_duplicate_ids_rejected () =
+  Alcotest.check_raises "dup ids"
+    (Invalid_argument "Instance.create: duplicate post id 1") (fun () ->
+      ignore (instance_of [ post ~id:1 ~value:0. [ 0 ]; post ~id:1 ~value:1. [ 0 ] ]))
+
+let test_label_posts () =
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0; 2 ]; post ~id:2 ~value:1. [ 0 ];
+        post ~id:3 ~value:2. [ 2 ] ]
+  in
+  Alcotest.(check (list int)) "LP(0)" [ 0; 1 ]
+    (Array.to_list (Mqdp.Instance.label_posts inst 0));
+  Alcotest.(check (list int)) "LP(2)" [ 0; 2 ]
+    (Array.to_list (Mqdp.Instance.label_posts inst 2));
+  Alcotest.(check (list int)) "LP(1) empty" []
+    (Array.to_list (Mqdp.Instance.label_posts inst 1));
+  Alcotest.(check (list int)) "LP(99) empty" []
+    (Array.to_list (Mqdp.Instance.label_posts inst 99));
+  Alcotest.(check (list int)) "universe skips unused" [ 0; 2 ]
+    (Mqdp.Instance.label_universe inst);
+  Alcotest.(check int) "num_labels" 2 (Mqdp.Instance.num_labels inst)
+
+let test_overlap_stats () =
+  let inst =
+    instance_of [ post ~id:1 ~value:0. [ 0; 1; 2 ]; post ~id:2 ~value:1. [ 0 ] ]
+  in
+  Alcotest.(check (float 1e-9)) "overlap" 2. (Mqdp.Instance.overlap_rate inst);
+  Alcotest.(check int) "s" 3 (Mqdp.Instance.max_labels_per_post inst);
+  Alcotest.(check int) "pairs" 4 (Mqdp.Instance.total_pairs inst)
+
+let test_posts_in_range () =
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:5. [ 0 ];
+        post ~id:3 ~value:10. [ 0 ] ]
+  in
+  Alcotest.(check (option (pair int int))) "middle" (Some (1, 1))
+    (Mqdp.Instance.posts_in_range inst 0 ~lo:2. ~hi:8.);
+  Alcotest.(check (option (pair int int))) "all" (Some (0, 2))
+    (Mqdp.Instance.posts_in_range inst 0 ~lo:(-1.) ~hi:11.);
+  Alcotest.(check (option (pair int int))) "none" None
+    (Mqdp.Instance.posts_in_range inst 0 ~lo:6. ~hi:8.);
+  Alcotest.(check (option (pair int int))) "inclusive bounds" (Some (0, 1))
+    (Mqdp.Instance.posts_in_range inst 0 ~lo:0. ~hi:5.)
+
+let test_sub_and_span () =
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:5. [ 1 ];
+        post ~id:3 ~value:10. [ 0 ] ]
+  in
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "span" (Some (0., 10.))
+    (Mqdp.Instance.span inst);
+  let sub = Mqdp.Instance.sub inst ~lo:1. ~hi:9. in
+  Alcotest.(check int) "sub size" 1 (Mqdp.Instance.size sub);
+  Alcotest.(check int) "sub id" 2 (Mqdp.Instance.post sub 0).Mqdp.Post.id
+
+let posts_sorted_property =
+  qtest "posts always sorted by value" (arb_instance ()) (fun inst ->
+      Util.Array_util.is_sorted ~cmp:Mqdp.Post.compare_by_value
+        (Mqdp.Instance.posts inst))
+
+let lp_consistency =
+  qtest "LP(a) lists exactly the posts carrying a" (arb_instance ()) (fun inst ->
+      List.for_all
+        (fun a ->
+          let lp = Array.to_list (Mqdp.Instance.label_posts inst a) in
+          let expected =
+            List.filter
+              (fun i -> Mqdp.Label_set.mem a (Mqdp.Instance.labels inst i))
+              (List.init (Mqdp.Instance.size inst) Fun.id)
+          in
+          lp = expected)
+        (Mqdp.Instance.label_universe inst))
+
+let pairs_total =
+  qtest "total_pairs = sum of |LP(a)|" (arb_instance ()) (fun inst ->
+      Mqdp.Instance.total_pairs inst
+      = List.fold_left
+          (fun acc a -> acc + Array.length (Mqdp.Instance.label_posts inst a))
+          0
+          (Mqdp.Instance.label_universe inst))
+
+let suite =
+  [
+    Alcotest.test_case "sorting" `Quick test_sorting;
+    Alcotest.test_case "unlabeled posts dropped" `Quick test_unlabeled_dropped;
+    Alcotest.test_case "duplicate ids rejected" `Quick test_duplicate_ids_rejected;
+    Alcotest.test_case "label posting lists" `Quick test_label_posts;
+    Alcotest.test_case "overlap statistics" `Quick test_overlap_stats;
+    Alcotest.test_case "posts_in_range" `Quick test_posts_in_range;
+    Alcotest.test_case "sub & span" `Quick test_sub_and_span;
+    posts_sorted_property;
+    lp_consistency;
+    pairs_total;
+  ]

@@ -1,0 +1,183 @@
+(* End-to-end integration: the paper's Figure 1 pipeline wired together,
+   plus cross-module consistency checks at realistic (small) scale. *)
+
+let topics = Workload.Catalog.subtopics ~per_broad:3 ~seed:9
+
+let test_search_pipeline () =
+  (* stream -> index -> multi-query search -> diversify -> verify *)
+  let config =
+    { (Workload.Stream_gen.default_config ~topics ~seed:31) with
+      Workload.Stream_gen.duration = 900.;
+      topic_rate = 0.015 }
+  in
+  let tweets = Workload.Stream_gen.generate config in
+  let index = Index.Inverted_index.create () in
+  List.iter
+    (fun t ->
+      Index.Inverted_index.add index
+        (Index.Document.make_raw ~id:t.Workload.Tweet.id
+           ~timestamp:t.Workload.Tweet.time ~text:t.Workload.Tweet.text
+           ~tokens:t.Workload.Tweet.tokens))
+    tweets;
+  let queries =
+    Array.of_list
+      (List.map (fun i -> topics.(i).Workload.Catalog.keywords) [ 0; 3; 6 ])
+  in
+  let instance, docs =
+    Workload.Matching.via_index index ~queries ~lo:0. ~hi:900.
+      ~dimension:Workload.Matching.Time
+  in
+  Alcotest.(check bool) "search found posts" true (Mqdp.Instance.size instance > 10);
+  let lambda = Mqdp.Coverage.Fixed 60. in
+  let cover = Mqdp.Greedy_sc.solve instance lambda in
+  Alcotest.(check bool) "diversified cover valid" true
+    (Mqdp.Coverage.is_cover instance lambda cover);
+  Alcotest.(check bool) "cover compresses" true
+    (List.length cover < Mqdp.Instance.size instance);
+  (* Every selected post maps back to a document. *)
+  List.iter
+    (fun pos ->
+      let id = (Mqdp.Instance.post instance pos).Mqdp.Post.id in
+      Alcotest.(check bool) "doc exists" true (Hashtbl.mem docs id))
+    cover
+
+let test_index_matching_agrees_with_direct () =
+  let config =
+    { (Workload.Stream_gen.default_config ~topics ~seed:33) with
+      Workload.Stream_gen.duration = 600.;
+      topic_rate = 0.02 }
+  in
+  let tweets = Workload.Stream_gen.generate config in
+  let queries =
+    Array.of_list
+      (List.map (fun i -> topics.(i).Workload.Catalog.keywords) [ 1; 4 ])
+  in
+  (* direct keyword matching *)
+  let direct, _ =
+    Workload.Matching.build_instance ~dimension:Workload.Matching.Time ~queries tweets
+  in
+  (* via the inverted index *)
+  let index = Index.Inverted_index.create () in
+  List.iter
+    (fun t ->
+      Index.Inverted_index.add index
+        (Index.Document.make_raw ~id:t.Workload.Tweet.id
+           ~timestamp:t.Workload.Tweet.time ~text:t.Workload.Tweet.text
+           ~tokens:t.Workload.Tweet.tokens))
+    tweets;
+  let indexed, _ =
+    Workload.Matching.via_index index ~queries ~lo:0. ~hi:600.
+      ~dimension:Workload.Matching.Time
+  in
+  (* Hashtag handling differs: direct matching strips '#'; the index
+     stores the raw token, so tweets matched ONLY via a hashtag may be
+     missed by the index path. The index result must be a subset. *)
+  let ids inst =
+    Array.to_list (Mqdp.Instance.posts inst)
+    |> List.map (fun p -> p.Mqdp.Post.id)
+    |> List.sort_uniq Int.compare
+  in
+  let direct_ids = ids direct and indexed_ids = ids indexed in
+  Alcotest.(check bool) "index path is a subset of direct matching" true
+    (List.for_all (fun id -> List.mem id direct_ids) indexed_ids);
+  Alcotest.(check bool) "and misses only hashtag-only matches" true
+    (List.for_all
+       (fun id ->
+         List.mem id indexed_ids
+         ||
+         let tweet = List.find (fun t -> t.Workload.Tweet.id = id) tweets in
+         List.exists (fun tok -> String.length tok > 0 && tok.[0] = '#')
+           tweet.Workload.Tweet.tokens)
+       direct_ids)
+
+let test_full_lda_to_diversification () =
+  (* corpus -> LDA -> keyword queries -> matching -> streaming diversify *)
+  let planted = Workload.Catalog.subtopics ~per_broad:1 ~seed:12 in
+  let articles = Workload.News_gen.articles ~seed:13 ~topics:planted ~count:150 in
+  let vocabulary = Topics.Vocabulary.create () in
+  let docs = Workload.News_gen.encode vocabulary articles in
+  let model =
+    Topics.Lda.train ~num_topics:10 ~iterations:80 ~seed:14
+      ~vocab_size:(Topics.Vocabulary.size vocabulary) docs
+  in
+  let queries =
+    Array.init 4 (fun k ->
+        Topics.Lda.top_words model ~topic:k ~k:6
+        |> List.map (fun (w, _) -> Topics.Vocabulary.word vocabulary w)
+        |> Array.of_list)
+  in
+  let stream_config =
+    { (Workload.Stream_gen.default_config ~topics:planted ~seed:15) with
+      Workload.Stream_gen.duration = 600.;
+      topic_rate = 0.03 }
+  in
+  let tweets = Workload.Stream_gen.generate stream_config in
+  let instance, _ =
+    Workload.Matching.build_instance ~dedup:true ~dimension:Workload.Matching.Time
+      ~queries tweets
+  in
+  Alcotest.(check bool) "LDA queries match tweets" true
+    (Mqdp.Instance.size instance > 0);
+  let lambda = Mqdp.Coverage.Fixed 45. in
+  let result = Mqdp.Stream_scan.solve ~plus:true ~tau:10. instance lambda in
+  Alcotest.(check bool) "streaming cover valid" true
+    (Mqdp.Coverage.is_cover instance lambda result.Mqdp.Stream.cover);
+  Alcotest.(check bool) "deadline met" true
+    (Mqdp.Stream.check_deadline ~tau:10. instance result)
+
+let test_sentiment_dimension_pipeline () =
+  let config =
+    { (Workload.Stream_gen.default_config ~topics ~seed:41) with
+      Workload.Stream_gen.duration = 600.;
+      topic_rate = 0.03 }
+  in
+  let tweets = Workload.Stream_gen.generate config in
+  let queries =
+    Array.of_list (List.map (fun i -> topics.(i).Workload.Catalog.keywords) [ 0; 1 ])
+  in
+  let instance, _ =
+    Workload.Matching.build_instance ~dimension:Workload.Matching.Sentiment_score
+      ~queries tweets
+  in
+  Alcotest.(check bool) "sentiment values bounded" true
+    (Array.for_all
+       (fun p -> p.Mqdp.Post.value >= -1. && p.Mqdp.Post.value <= 1.)
+       (Mqdp.Instance.posts instance));
+  let lambda = Mqdp.Proportional.make ~lambda0:0.2 instance in
+  let cover = Mqdp.Scan.solve_plus instance lambda in
+  Alcotest.(check bool) "proportional sentiment cover valid" true
+    (Mqdp.Coverage.is_cover instance lambda cover)
+
+let test_streaming_vs_offline_sizes () =
+  (* Offline algorithms should never do worse than streaming ones given
+     the same lambda — streaming pays for the tau constraint. Streaming
+     scan with huge tau equals offline scan, hence the comparison uses
+     the instant variant, whose bound is 2s vs s. *)
+  let inst =
+    Workload.Direct_gen.instance
+      { (Workload.Direct_gen.default_config ~num_labels:4 ~seed:55) with
+        Workload.Direct_gen.duration = 1200.;
+        rate_per_min = 20. }
+  in
+  let lambda = Mqdp.Coverage.Fixed 30. in
+  let offline = List.length (Mqdp.Scan.solve inst lambda) in
+  let instant =
+    List.length (Mqdp.Stream_scan.solve_instant inst lambda).Mqdp.Stream.cover
+  in
+  let s = Mqdp.Instance.max_labels_per_post inst in
+  Alcotest.(check bool)
+    (Printf.sprintf "instant (%d) within 2s of offline scan (%d, s=%d)" instant
+       offline s)
+    true
+    (instant <= 2 * s * offline)
+
+let suite =
+  [
+    Alcotest.test_case "index search pipeline" `Quick test_search_pipeline;
+    Alcotest.test_case "index vs direct matching" `Quick
+      test_index_matching_agrees_with_direct;
+    Alcotest.test_case "LDA to diversification" `Slow test_full_lda_to_diversification;
+    Alcotest.test_case "sentiment dimension pipeline" `Quick
+      test_sentiment_dimension_pipeline;
+    Alcotest.test_case "streaming vs offline sizes" `Quick test_streaming_vs_offline_sizes;
+  ]

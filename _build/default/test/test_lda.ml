@@ -1,0 +1,134 @@
+(* The LDA substrate: determinism, count invariants, convergence, and
+   recovery of planted topics. *)
+
+(* A tiny planted corpus: two sharply separated topics. *)
+let planted_docs ~docs_per_topic ~words_per_doc ~seed =
+  let rng = Util.Rng.create seed in
+  (* topic 0 -> words 0..4, topic 1 -> words 5..9 *)
+  let doc topic =
+    Array.init words_per_doc (fun _ -> (topic * 5) + Util.Rng.int rng 5)
+  in
+  Array.init (2 * docs_per_topic) (fun i -> doc (i mod 2))
+
+let test_validation () =
+  Alcotest.check_raises "bad topics" (Invalid_argument "Lda.train: num_topics <= 0")
+    (fun () ->
+      ignore (Topics.Lda.train ~num_topics:0 ~iterations:1 ~seed:1 ~vocab_size:5 [||]));
+  Alcotest.check_raises "bad word id"
+    (Invalid_argument "Lda.train: word id 9 out of range") (fun () ->
+      ignore
+        (Topics.Lda.train ~num_topics:2 ~iterations:1 ~seed:1 ~vocab_size:5 [| [| 9 |] |]))
+
+let test_determinism () =
+  let docs = planted_docs ~docs_per_topic:10 ~words_per_doc:20 ~seed:1 in
+  let train () =
+    Topics.Lda.train ~num_topics:2 ~iterations:30 ~seed:7 ~vocab_size:10 docs
+  in
+  let a = train () and b = train () in
+  Alcotest.(check (float 1e-9)) "same likelihood"
+    (Topics.Lda.log_likelihood a) (Topics.Lda.log_likelihood b);
+  for k = 0 to 1 do
+    Alcotest.(check (list (pair int (float 1e-9))))
+      (Printf.sprintf "same top words %d" k)
+      (Topics.Lda.top_words a ~topic:k ~k:5)
+      (Topics.Lda.top_words b ~topic:k ~k:5)
+  done
+
+let test_phi_theta_normalized () =
+  let docs = planted_docs ~docs_per_topic:8 ~words_per_doc:15 ~seed:2 in
+  let model = Topics.Lda.train ~num_topics:3 ~iterations:20 ~seed:3 ~vocab_size:10 docs in
+  for k = 0 to 2 do
+    let total = ref 0. in
+    for w = 0 to 9 do
+      let p = Topics.Lda.topic_word model ~topic:k ~word:w in
+      Alcotest.(check bool) "phi positive" true (p > 0.);
+      total := !total +. p
+    done;
+    Alcotest.(check bool) "phi sums to 1" true (Float.abs (!total -. 1.) < 1e-9)
+  done;
+  for d = 0 to Topics.Lda.num_docs model - 1 do
+    let theta = Topics.Lda.doc_topics model ~doc:d in
+    let total = Array.fold_left ( +. ) 0. theta in
+    Alcotest.(check bool) "theta sums to 1" true (Float.abs (total -. 1.) < 1e-9)
+  done
+
+let test_gibbs_improves_likelihood () =
+  let docs = planted_docs ~docs_per_topic:20 ~words_per_doc:25 ~seed:4 in
+  let ll iterations =
+    Topics.Lda.log_likelihood
+      (Topics.Lda.train ~num_topics:2 ~iterations ~seed:5 ~vocab_size:10 docs)
+  in
+  Alcotest.(check bool) "50 sweeps beat 0" true (ll 50 > ll 0)
+
+let test_planted_topic_recovery () =
+  let docs = planted_docs ~docs_per_topic:30 ~words_per_doc:30 ~seed:6 in
+  let model = Topics.Lda.train ~num_topics:2 ~iterations:100 ~seed:7 ~vocab_size:10 docs in
+  (* The two topics' top-5 word sets must be exactly the planted pools. *)
+  let tops k =
+    Topics.Lda.top_words model ~topic:k ~k:5
+    |> List.map fst |> List.sort Int.compare
+  in
+  let pool0 = [ 0; 1; 2; 3; 4 ] and pool1 = [ 5; 6; 7; 8; 9 ] in
+  let t0 = tops 0 and t1 = tops 1 in
+  Alcotest.(check bool) "pools recovered" true
+    ((t0 = pool0 && t1 = pool1) || (t0 = pool1 && t1 = pool0));
+  (* Every doc's dominant topic must match its planted topic, up to the
+     label permutation. *)
+  let perm = if List.hd (tops 0) = 0 then Fun.id else fun k -> 1 - k in
+  let correct = ref 0 in
+  for d = 0 to Topics.Lda.num_docs model - 1 do
+    if perm (Topics.Lda.dominant_topic model ~doc:d) = d mod 2 then incr correct
+  done;
+  Alcotest.(check int) "all docs classified" (Topics.Lda.num_docs model) !correct
+
+let test_inference_on_unseen_doc () =
+  let docs = planted_docs ~docs_per_topic:30 ~words_per_doc:30 ~seed:8 in
+  (* A small alpha: Mallet's default 50/K would smooth a 7-token document
+     toward uniform theta regardless of the evidence. *)
+  let model =
+    Topics.Lda.train ~alpha:0.5 ~num_topics:2 ~iterations:100 ~seed:9 ~vocab_size:10
+      docs
+  in
+  let unseen = [| 0; 1; 2; 0; 3; 4; 1 |] in
+  let theta = Topics.Lda.infer model ~seed:10 ~iterations:50 unseen in
+  let dominant = if theta.(0) > theta.(1) then 0 else 1 in
+  (* Which model topic owns word 0? *)
+  let owner =
+    if Topics.Lda.topic_word model ~topic:0 ~word:0
+       > Topics.Lda.topic_word model ~topic:1 ~word:0
+    then 0
+    else 1
+  in
+  Alcotest.(check int) "unseen doc assigned to the planted topic" owner dominant;
+  Alcotest.(check bool) "confident" true (theta.(dominant) > 0.7)
+
+let test_empty_docs_ok () =
+  let model =
+    Topics.Lda.train ~num_topics:2 ~iterations:5 ~seed:1 ~vocab_size:3
+      [| [||]; [| 0; 1 |] |]
+  in
+  Alcotest.(check int) "docs" 2 (Topics.Lda.num_docs model);
+  let theta = Topics.Lda.doc_topics model ~doc:0 in
+  Alcotest.(check bool) "uniform theta on empty doc" true
+    (Float.abs (theta.(0) -. 0.5) < 1e-9)
+
+let vocabulary_roundtrip =
+  Helpers.qtest "vocabulary intern/word roundtrip"
+    QCheck.(list_of_size Gen.(int_range 1 30) printable_string)
+    (fun words ->
+      let v = Topics.Vocabulary.create () in
+      let ids = List.map (Topics.Vocabulary.intern v) words in
+      List.for_all2 (fun w id -> Topics.Vocabulary.word v id = w) words ids
+      && Topics.Vocabulary.size v = List.length (List.sort_uniq String.compare words))
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "phi/theta normalized" `Quick test_phi_theta_normalized;
+    Alcotest.test_case "gibbs improves likelihood" `Slow test_gibbs_improves_likelihood;
+    Alcotest.test_case "planted topic recovery" `Slow test_planted_topic_recovery;
+    Alcotest.test_case "inference on unseen doc" `Slow test_inference_on_unseen_doc;
+    Alcotest.test_case "empty docs" `Quick test_empty_docs_ok;
+    vocabulary_roundtrip;
+  ]

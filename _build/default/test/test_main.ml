@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "mqdp"
+    [
+      ("util", Test_util.suite);
+      ("label-set", Test_label_set.suite);
+      ("instance", Test_instance.suite);
+      ("coverage", Test_coverage.suite);
+      ("set-cover", Test_set_cover.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("opt", Test_opt.suite);
+      ("baselines", Test_baselines.suite);
+      ("spatial", Test_spatial.suite);
+      ("streaming", Test_streaming.suite);
+      ("online", Test_online.suite);
+      ("proportional", Test_proportional.suite);
+      ("metrics", Test_metrics.suite);
+      ("solver", Test_solver.suite);
+      ("sat", Test_sat.suite);
+      ("hardness", Test_hardness.suite);
+      ("text", Test_text.suite);
+      ("stemmer", Test_stemmer.suite);
+      ("index", Test_index.suite);
+      ("ranked", Test_ranked.suite);
+      ("post-io", Test_post_io.suite);
+      ("lda", Test_lda.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,65 @@
+(* Metrics helpers. *)
+
+open Helpers
+
+let test_relative_error () =
+  Alcotest.(check (float 1e-9)) "exact" 0. (Mqdp.Metrics.relative_error ~approx:5 ~optimal:5);
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Mqdp.Metrics.relative_error ~approx:6 ~optimal:4);
+  Alcotest.check_raises "optimal 0"
+    (Invalid_argument "Metrics.relative_error: optimal <= 0") (fun () ->
+      ignore (Mqdp.Metrics.relative_error ~approx:1 ~optimal:0))
+
+let test_compression () =
+  Alcotest.(check (float 1e-9)) "3 of 12" 0.75
+    (Mqdp.Metrics.compression ~cover_size:3 ~total:12);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Mqdp.Metrics.compression ~cover_size:0 ~total:0)
+
+let test_per_label_counts () =
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0; 1 ]; post ~id:2 ~value:1. [ 0 ];
+        post ~id:3 ~value:2. [ 1 ] ]
+  in
+  Alcotest.(check (list (pair int int))) "counts" [ (0, 2); (1, 1) ]
+    (Mqdp.Metrics.per_label_counts inst [ 0; 1 ]);
+  Alcotest.(check (list (pair int int))) "empty cover" [ (0, 0); (1, 0) ]
+    (Mqdp.Metrics.per_label_counts inst [])
+
+let test_label_representation () =
+  (* Label 0 has 3 input pairs, label 1 has 1; a cover with one post of
+     each gives label 1 a 3x representation boost. *)
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:5. [ 0 ];
+        post ~id:3 ~value:9. [ 0 ]; post ~id:4 ~value:4. [ 1 ] ]
+  in
+  let rep = Mqdp.Metrics.label_representation inst [ 0; 1 ] in
+  (* cover = positions 0 and 1 = posts with values 0 and 4: labels 0, 1 *)
+  let ratio a = List.assoc a rep in
+  Alcotest.(check (float 1e-9)) "label 0 under-represented" (2. /. 3.) (ratio 0);
+  Alcotest.(check (float 1e-9)) "label 1 over-represented" 2. (ratio 1)
+
+let test_time_per_post () =
+  let inst = instance_of [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:1. [ 0 ] ] in
+  Alcotest.(check (float 1e-12)) "per post" 0.005
+    (Mqdp.Metrics.time_per_post ~elapsed:0.01 inst);
+  Alcotest.(check (float 0.)) "empty" 0.
+    (Mqdp.Metrics.time_per_post ~elapsed:1. (instance_of []))
+
+let representation_balanced_for_full_cover =
+  qtest "full cover has representation 1 for every label" (arb_instance ())
+    (fun inst ->
+      let full = List.init (Mqdp.Instance.size inst) Fun.id in
+      List.for_all
+        (fun (_, r) -> Float.abs (r -. 1.) < 1e-9)
+        (Mqdp.Metrics.label_representation inst full))
+
+let suite =
+  [
+    Alcotest.test_case "relative error" `Quick test_relative_error;
+    Alcotest.test_case "compression" `Quick test_compression;
+    Alcotest.test_case "per-label counts" `Quick test_per_label_counts;
+    Alcotest.test_case "label representation" `Quick test_label_representation;
+    Alcotest.test_case "time per post" `Quick test_time_per_post;
+    representation_balanced_for_full_cover;
+  ]

@@ -1,0 +1,155 @@
+(* The incremental push-based engine. Its core behaviour is already pinned
+   through the Stream_scan adapter; these tests cover the incremental API
+   surface itself. *)
+
+open Helpers
+
+let mk id value labels = post ~id ~value labels
+
+let delayed ?(plus = false) ~lambda ~tau () =
+  Mqdp.Online.create ~lambda (Mqdp.Online.Delayed { tau; plus })
+
+let test_emission_timing () =
+  let engine = delayed ~lambda:10. ~tau:2. () in
+  (* First post pending; deadline = min(0+2, 0+10) = 2. *)
+  Alcotest.(check int) "no emission on arrival" 0
+    (List.length (Mqdp.Online.push engine (mk 1 0. [ 0 ])));
+  (* Next arrival at t=5 > 2: the deadline fired in between. *)
+  let due = Mqdp.Online.push engine (mk 2 5. [ 0 ]) in
+  (match due with
+  | [ e ] ->
+    Alcotest.(check int) "post 1 emitted" 1 e.Mqdp.Online.post.Mqdp.Post.id;
+    Alcotest.(check (float 1e-9)) "at its deadline" 2. e.Mqdp.Online.emit_time
+  | other -> Alcotest.failf "expected 1 emission, got %d" (List.length other));
+  (* Post 2 is covered by post 1 (distance 5 <= lambda), nothing pending. *)
+  Alcotest.(check (list unit)) "flush empty" []
+    (List.map (fun _ -> ()) (Mqdp.Online.finish engine));
+  Alcotest.(check int) "one distinct post emitted" 1 (Mqdp.Online.emitted_count engine)
+
+let test_lambda_deadline_dominates () =
+  (* tau large: the oldest-pending + lambda bound forces emission. *)
+  let engine = delayed ~lambda:3. ~tau:100. () in
+  ignore (Mqdp.Online.push engine (mk 1 0. [ 0 ]));
+  ignore (Mqdp.Online.push engine (mk 2 2. [ 0 ]));
+  let due = Mqdp.Online.push engine (mk 3 50. [ 0 ]) in
+  (match due with
+  | [ e ] ->
+    Alcotest.(check int) "latest pending emitted" 2 e.Mqdp.Online.post.Mqdp.Post.id;
+    Alcotest.(check (float 1e-9)) "at t_oldest + lambda" 3. e.Mqdp.Online.emit_time
+  | other -> Alcotest.failf "expected 1 emission, got %d" (List.length other));
+  ignore (Mqdp.Online.finish engine)
+
+let test_out_of_order_rejected () =
+  let engine = delayed ~lambda:1. ~tau:1. () in
+  ignore (Mqdp.Online.push engine (mk 1 5. [ 0 ]));
+  match Mqdp.Online.push engine (mk 2 4. [ 0 ]) with
+  | _ -> Alcotest.fail "accepted out-of-order arrival"
+  | exception Invalid_argument _ -> ()
+
+let test_create_validation () =
+  Alcotest.check_raises "negative lambda"
+    (Invalid_argument "Online.create: negative lambda") (fun () ->
+      ignore (Mqdp.Online.create ~lambda:(-1.) Mqdp.Online.Instant));
+  Alcotest.check_raises "negative tau"
+    (Invalid_argument "Online.create: negative tau") (fun () ->
+      ignore
+        (Mqdp.Online.create ~lambda:1.
+           (Mqdp.Online.Delayed { tau = -1.; plus = false })))
+
+let test_instant_mode () =
+  let engine = Mqdp.Online.create ~lambda:10. Mqdp.Online.Instant in
+  let e1 = Mqdp.Online.push engine (mk 1 0. [ 0; 1 ]) in
+  Alcotest.(check int) "first post emitted immediately" 1 (List.length e1);
+  Alcotest.(check int) "covered arrival silent" 0
+    (List.length (Mqdp.Online.push engine (mk 2 5. [ 0 ])));
+  (* Label 2 is new: must emit even though label 0 is covered. *)
+  Alcotest.(check int) "new label forces emission" 1
+    (List.length (Mqdp.Online.push engine (mk 3 6. [ 0; 2 ])));
+  Alcotest.(check int) "instant finish is empty" 0
+    (List.length (Mqdp.Online.finish engine));
+  Alcotest.(check int) "distinct emissions" 2 (Mqdp.Online.emitted_count engine)
+
+let test_last_arrival () =
+  let engine = delayed ~lambda:1. ~tau:1. () in
+  Alcotest.(check (option (float 0.))) "initially none" None
+    (Mqdp.Online.last_arrival engine);
+  ignore (Mqdp.Online.push engine (mk 1 7. [ 0 ]));
+  Alcotest.(check (option (float 0.))) "tracks pushes" (Some 7.)
+    (Mqdp.Online.last_arrival engine)
+
+let test_stream_continues_after_finish () =
+  let engine = delayed ~lambda:2. ~tau:1. () in
+  ignore (Mqdp.Online.push engine (mk 1 0. [ 0 ]));
+  Alcotest.(check int) "finish drains" 1 (List.length (Mqdp.Online.finish engine));
+  (* The service keeps running: a far-away post goes pending again. *)
+  Alcotest.(check int) "accepts more pushes" 0
+    (List.length (Mqdp.Online.push engine (mk 2 100. [ 0 ])));
+  Alcotest.(check int) "and drains again" 1 (List.length (Mqdp.Online.finish engine))
+
+(* Incremental push/finish must reproduce the batch adapter exactly. *)
+let online_equals_batch =
+  qtest ~count:150 "push/finish = Stream_scan.solve on the same posts"
+    (QCheck.triple
+       (arb_instance ~max_posts:30 ~max_labels:4 ~span:25. ())
+       (QCheck.make QCheck.Gen.(map (fun l -> 0.5 +. l) (float_bound_exclusive 4.)))
+       (QCheck.make QCheck.Gen.(float_bound_exclusive 6.)))
+    (fun (inst, lambda, tau) ->
+      List.for_all
+        (fun plus ->
+          let engine =
+            Mqdp.Online.create ~lambda (Mqdp.Online.Delayed { tau; plus })
+          in
+          let incremental = ref [] in
+          for i = 0 to Mqdp.Instance.size inst - 1 do
+            incremental :=
+              List.rev_append (Mqdp.Online.push engine (Mqdp.Instance.post inst i))
+                !incremental
+          done;
+          incremental := List.rev_append (Mqdp.Online.finish engine) !incremental;
+          let batch =
+            Mqdp.Stream_scan.solve ~plus ~tau inst (Mqdp.Coverage.Fixed lambda)
+          in
+          let incremental_ids =
+            List.rev_map (fun e -> e.Mqdp.Online.post.Mqdp.Post.id) !incremental
+            |> List.sort_uniq Int.compare
+          in
+          let batch_ids =
+            List.map
+              (fun pos -> (Mqdp.Instance.post inst pos).Mqdp.Post.id)
+              batch.Mqdp.Stream.cover
+          in
+          incremental_ids = List.sort Int.compare batch_ids
+          && Mqdp.Online.emitted_count engine = List.length batch_ids)
+        [ false; true ])
+
+let emit_times_monotone_per_push =
+  qtest ~count:150 "each push returns emissions in emit-time order"
+    (arb_instance ~max_posts:25 ~max_labels:3 ~span:20. ())
+    (fun inst ->
+      let engine =
+        Mqdp.Online.create ~lambda:2. (Mqdp.Online.Delayed { tau = 1.; plus = true })
+      in
+      let sorted es =
+        let times = List.map (fun e -> e.Mqdp.Online.emit_time) es in
+        List.sort Float.compare times = times
+      in
+      let ok = ref true in
+      for i = 0 to Mqdp.Instance.size inst - 1 do
+        if not (sorted (Mqdp.Online.push engine (Mqdp.Instance.post inst i))) then
+          ok := false
+      done;
+      !ok && sorted (Mqdp.Online.finish engine))
+
+let suite =
+  [
+    Alcotest.test_case "emission timing" `Quick test_emission_timing;
+    Alcotest.test_case "lambda deadline dominates" `Quick test_lambda_deadline_dominates;
+    Alcotest.test_case "out-of-order rejected" `Quick test_out_of_order_rejected;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "instant mode" `Quick test_instant_mode;
+    Alcotest.test_case "last arrival" `Quick test_last_arrival;
+    Alcotest.test_case "stream continues after finish" `Quick
+      test_stream_continues_after_finish;
+    online_equals_batch;
+    emit_times_monotone_per_push;
+  ]

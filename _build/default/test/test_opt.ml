@@ -1,0 +1,112 @@
+(* Algorithm OPT specifics: the end-pattern DP beyond the generic
+   exact-agreement property in test_algorithms. *)
+
+open Helpers
+
+let fixed l = Mqdp.Coverage.Fixed l
+
+let test_isolated_segments () =
+  (* Gaps far beyond lambda: every segment needs its own representative. *)
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:100. [ 0 ];
+        post ~id:3 ~value:200. [ 0 ] ]
+  in
+  Alcotest.(check int) "three segments" 3 (List.length (Mqdp.Opt.solve inst (fixed 1.)))
+
+let test_intersecting_label_sets () =
+  (* The abstract's motivating case: nearby posts with intersecting but
+     non-nested label sets — neither covers the other, both are needed. *)
+  let inst =
+    instance_of [ post ~id:1 ~value:0. [ 0; 1 ]; post ~id:2 ~value:0.5 [ 1; 2 ] ]
+  in
+  let cover = Mqdp.Opt.solve inst (fixed 1.) in
+  Alcotest.(check (list int)) "both posts" [ 0; 1 ] cover
+
+let test_single_cover_point () =
+  (* One post carries all labels and reaches everything: cover of 1. *)
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:1. [ 0; 1; 2 ];
+        post ~id:3 ~value:2. [ 1 ]; post ~id:4 ~value:1.5 [ 2 ] ]
+  in
+  Alcotest.(check (list int)) "the hub post" [ 1 ] (Mqdp.Opt.solve inst (fixed 1.))
+
+let test_all_same_timestamp_is_set_cover () =
+  (* Degenerate MQDP = set cover; OPT must match the exact engine. *)
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:5. [ 0; 1 ]; post ~id:2 ~value:5. [ 1; 2 ];
+        post ~id:3 ~value:5. [ 0 ]; post ~id:4 ~value:5. [ 2 ] ]
+  in
+  Alcotest.(check int) "set-cover optimum" 2
+    (List.length (Mqdp.Opt.solve inst (fixed 1.)))
+
+let test_cover_achieves_min_size () =
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:1. [ 1 ];
+        post ~id:3 ~value:2. [ 0; 1 ]; post ~id:4 ~value:5. [ 0 ] ]
+  in
+  let lambda = fixed 2. in
+  Alcotest.(check int) "solve length = min_size"
+    (Mqdp.Opt.min_size inst lambda)
+    (List.length (Mqdp.Opt.solve inst lambda))
+
+let test_state_limit_recovery () =
+  (* A tight limit raises; a generous one succeeds on the same input. *)
+  let inst =
+    instance_of (List.init 8 (fun id -> post ~id ~value:(float_of_int id) [ id mod 2 ]))
+  in
+  (match Mqdp.Opt.solve ~max_states:1 inst (fixed 3.) with
+  | _ -> Alcotest.fail "expected Too_large"
+  | exception Mqdp.Opt.Too_large _ -> ());
+  Alcotest.(check bool) "generous limit fine" true
+    (Mqdp.Coverage.is_cover inst (fixed 3.) (Mqdp.Opt.solve ~max_states:100_000 inst (fixed 3.)))
+
+let solve_matches_min_size =
+  qtest ~count:150 "Opt.solve cardinality always equals Opt.min_size"
+    (arb_instance_lambda ~max_posts:12 ~max_labels:3 ())
+    (fun (inst, l) ->
+      let lambda = fixed l in
+      List.length (Mqdp.Opt.solve inst lambda) = Mqdp.Opt.min_size inst lambda)
+
+let opt_cover_is_valid =
+  qtest ~count:150 "Opt.solve output is a valid cover"
+    (arb_instance_lambda ~max_posts:12 ~max_labels:3 ())
+    (fun (inst, l) ->
+      let lambda = fixed l in
+      check_cover "opt" inst lambda (Mqdp.Opt.solve inst lambda))
+
+let opt_on_dense_ties =
+  qtest ~count:100 "OPT = brute force under heavy timestamp ties"
+    (QCheck.make
+       ~print:string_of_int
+       QCheck.Gen.(int_range 0 100_000))
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let n = 4 + Util.Rng.int rng 8 in
+      let posts =
+        List.init n (fun id ->
+            post ~id
+              ~value:(float_of_int (Util.Rng.int rng 3))  (* only 3 distinct times *)
+              (List.init (1 + Util.Rng.int rng 2) (fun _ -> Util.Rng.int rng 3)))
+      in
+      let inst = instance_of posts in
+      let lambda = fixed 1. in
+      List.length (Mqdp.Opt.solve inst lambda)
+      = List.length (Mqdp.Brute_force.solve inst lambda))
+
+let suite =
+  [
+    Alcotest.test_case "isolated segments" `Quick test_isolated_segments;
+    Alcotest.test_case "intersecting label sets" `Quick test_intersecting_label_sets;
+    Alcotest.test_case "single cover point" `Quick test_single_cover_point;
+    Alcotest.test_case "same-timestamp degenerate" `Quick
+      test_all_same_timestamp_is_set_cover;
+    Alcotest.test_case "solve achieves min_size" `Quick test_cover_achieves_min_size;
+    Alcotest.test_case "state limit & recovery" `Quick test_state_limit_recovery;
+    solve_matches_min_size;
+    opt_cover_is_valid;
+    opt_on_dense_ties;
+  ]

@@ -1,0 +1,113 @@
+(* TSV persistence of posts and covers. *)
+
+open Helpers
+
+let temp_file () = Filename.temp_file "mqdp_test" ".tsv"
+
+let test_line_roundtrip () =
+  let p = post ~id:7 ~value:123.456 [ 0; 3; 9 ] in
+  let back = Workload.Post_io.post_of_line (Workload.Post_io.post_to_line p) in
+  Alcotest.(check int) "id" 7 back.Mqdp.Post.id;
+  Alcotest.(check (float 1e-12)) "value" 123.456 back.Mqdp.Post.value;
+  Alcotest.(check (list int)) "labels" [ 0; 3; 9 ]
+    (Mqdp.Label_set.to_list back.Mqdp.Post.labels)
+
+let test_no_labels () =
+  let back = Workload.Post_io.post_of_line "5\t1.5\t" in
+  Alcotest.(check bool) "empty labels" true
+    (Mqdp.Label_set.is_empty back.Mqdp.Post.labels)
+
+let test_malformed () =
+  List.iter
+    (fun line ->
+      match Workload.Post_io.post_of_line line with
+      | _ -> Alcotest.failf "accepted %S" line
+      | exception Failure _ -> ())
+    [ "nonsense"; "a\t1.0\t2"; "1\tx\t2"; "1\t1.0\tx"; "1\t1.0\t-3"; "1\t2.0" ]
+
+let test_file_roundtrip () =
+  let posts =
+    [ post ~id:1 ~value:0.25 [ 0 ]; post ~id:2 ~value:10. [ 1; 2 ];
+      post ~id:3 ~value:(-5.5) [ 0; 1 ] ]
+  in
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workload.Post_io.save path posts;
+      let loaded = Workload.Post_io.load path in
+      Alcotest.(check int) "count" 3 (List.length loaded);
+      List.iter2
+        (fun original back ->
+          Alcotest.(check int) "id" original.Mqdp.Post.id back.Mqdp.Post.id;
+          Alcotest.(check (float 1e-12)) "value" original.Mqdp.Post.value
+            back.Mqdp.Post.value;
+          Alcotest.(check bool) "labels" true
+            (Mqdp.Label_set.equal original.Mqdp.Post.labels back.Mqdp.Post.labels))
+        posts loaded)
+
+let test_load_reports_line () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# header\n1\t1.0\t0\nbroken line\n";
+      close_out oc;
+      match Workload.Post_io.load path with
+      | _ -> Alcotest.fail "accepted broken file"
+      | exception Failure msg ->
+        Alcotest.(check bool) "mentions the line number" true
+          (let needle = "line 3" in
+           let rec contains i =
+             i + String.length needle <= String.length msg
+             && (String.sub msg i (String.length needle) = needle || contains (i + 1))
+           in
+           contains 0))
+
+let test_save_cover_loadable () =
+  let inst =
+    instance_of [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:5. [ 0 ] ]
+  in
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workload.Post_io.save_cover path inst [ 1 ];
+      match Workload.Post_io.load path with
+      | [ p ] -> Alcotest.(check int) "the selected post" 2 p.Mqdp.Post.id
+      | other -> Alcotest.failf "expected 1 post, got %d" (List.length other))
+
+let roundtrip_property =
+  qtest ~count:100 "generated workloads roundtrip through TSV"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let posts =
+        Workload.Direct_gen.generate
+          { (Workload.Direct_gen.default_config ~num_labels:4 ~seed) with
+            Workload.Direct_gen.duration = 120. }
+      in
+      let path = temp_file () in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Workload.Post_io.save path posts;
+          let loaded = Workload.Post_io.load path in
+          List.length loaded = List.length posts
+          && List.for_all2
+               (fun a b ->
+                 a.Mqdp.Post.id = b.Mqdp.Post.id
+                 && a.Mqdp.Post.value = b.Mqdp.Post.value
+                 && Mqdp.Label_set.equal a.Mqdp.Post.labels b.Mqdp.Post.labels)
+               posts loaded))
+
+let suite =
+  [
+    Alcotest.test_case "line roundtrip" `Quick test_line_roundtrip;
+    Alcotest.test_case "no labels" `Quick test_no_labels;
+    Alcotest.test_case "malformed lines rejected" `Quick test_malformed;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "load reports line numbers" `Quick test_load_reports_line;
+    Alcotest.test_case "covers are loadable post files" `Quick test_save_cover_loadable;
+    roundtrip_property;
+  ]

@@ -1,0 +1,132 @@
+(* Proportional diversity through variable lambda (paper §6, Eq. 2). *)
+
+open Helpers
+
+let dense_sparse_instance =
+  (* 20 posts crammed into [0, 2] and 3 posts spread over [50, 70]. *)
+  instance_of
+    (List.init 20 (fun i -> post ~id:i ~value:(float_of_int i *. 0.1) [ 0 ])
+    @ [ post ~id:100 ~value:50. [ 0 ]; post ~id:101 ~value:60. [ 0 ];
+        post ~id:102 ~value:70. [ 0 ] ])
+
+let test_dense_gets_smaller_lambda () =
+  let lambda0 = 5. in
+  let rows = Mqdp.Proportional.densities ~lambda0 dense_sparse_instance in
+  let lambda_at id =
+    let pos, _, _, l =
+      List.find
+        (fun (pos, _, _, _) ->
+          (Mqdp.Instance.post dense_sparse_instance pos).Mqdp.Post.id = id)
+        rows
+    in
+    ignore pos;
+    l
+  in
+  Alcotest.(check bool) "dense < sparse" true (lambda_at 5 < lambda_at 101);
+  Alcotest.(check bool) "sparse above lambda0" true (lambda_at 101 > lambda0);
+  Alcotest.(check bool) "dense below lambda0" true (lambda_at 5 < lambda0)
+
+let test_uniform_density_gives_lambda0_scale () =
+  (* Evenly spaced posts of one label: density_a = density0 everywhere away
+     from the boundary, so lambda = lambda0 * e^0 = lambda0. *)
+  let inst =
+    instance_of (List.init 101 (fun i -> post ~id:i ~value:(float_of_int i) [ 0 ]))
+  in
+  let lambda0 = 10. in
+  let rows = Mqdp.Proportional.densities ~lambda0 inst in
+  let _, _, _, middle =
+    List.find (fun (pos, _, _, _) -> pos = 50) rows
+  in
+  (* Window [40, 60] holds 21 posts vs the 20.x expected: within 10%. *)
+  Alcotest.(check bool) "interior lambda near lambda0" true
+    (Float.abs (middle -. lambda0) /. lambda0 < 0.15)
+
+let test_base_density () =
+  let inst =
+    instance_of
+      [ post ~id:0 ~value:0. [ 0 ]; post ~id:1 ~value:30. [ 0 ];
+        post ~id:2 ~value:60. [ 0 ] ]
+  in
+  (* 3 pairs over span 60, one label: 0.05 posts per unit. *)
+  Alcotest.(check (float 1e-9)) "density0" 0.05
+    (Mqdp.Proportional.base_density ~lambda0:5. inst)
+
+let test_invalid_args () =
+  let inst = instance_of [ post ~id:0 ~value:0. [ 0 ] ] in
+  Alcotest.check_raises "lambda0 <= 0" (Invalid_argument "Proportional: lambda0 <= 0")
+    (fun () -> ignore (Mqdp.Proportional.base_density ~lambda0:0. inst));
+  Alcotest.check_raises "empty instance"
+    (Invalid_argument "Proportional: empty instance") (fun () ->
+      ignore (Mqdp.Proportional.base_density ~lambda0:1. (instance_of [])))
+
+let test_fallback_radius () =
+  let inst = instance_of [ post ~id:0 ~value:0. [ 0 ] ] in
+  let lambda = Mqdp.Proportional.make ~lambda0:2. inst in
+  let stranger = post ~id:999 ~value:5. [ 0 ] in
+  Alcotest.(check (float 1e-9)) "unknown post falls back to lambda0" 2.
+    (Mqdp.Coverage.radius lambda stranger 0)
+
+let test_proportional_shifts_representation () =
+  (* With proportional lambda, the dense region must keep at least as many
+     representatives as under the fixed lambda0 of the same scale. *)
+  let lambda0 = 5. in
+  let fixed = Mqdp.Greedy_sc.solve dense_sparse_instance (Mqdp.Coverage.Fixed lambda0) in
+  let prop_lambda = Mqdp.Proportional.make ~lambda0 dense_sparse_instance in
+  let proportional = Mqdp.Greedy_sc.solve dense_sparse_instance prop_lambda in
+  let dense_count cover =
+    List.length
+      (List.filter
+         (fun pos -> Mqdp.Instance.value dense_sparse_instance pos <= 2.)
+         cover)
+  in
+  Alcotest.(check bool) "covers valid" true
+    (Mqdp.Coverage.is_cover dense_sparse_instance prop_lambda proportional
+    && Mqdp.Coverage.is_cover dense_sparse_instance (Mqdp.Coverage.Fixed lambda0) fixed);
+  Alcotest.(check bool) "denser region better represented" true
+    (dense_count proportional >= dense_count fixed)
+
+let all_rows_positive =
+  qtest "Eq. 2 lambdas are positive and bounded by lambda0 * e"
+    (arb_instance ~max_posts:25 ~max_labels:3 ~span:20. ())
+    (fun inst ->
+      let lambda0 = 2. in
+      List.for_all
+        (fun (_, _, density, lambda) ->
+          density >= 0. && lambda > 0. && lambda <= lambda0 *. Float.exp 1. +. 1e-9)
+        (Mqdp.Proportional.densities ~lambda0 inst))
+
+let covers_under_proportional =
+  qtest "all offline approximations cover under Eq. 2"
+    (arb_instance ~max_posts:25 ~max_labels:3 ~span:20. ())
+    (fun inst ->
+      let lambda = Mqdp.Proportional.make ~lambda0:1.5 inst in
+      List.for_all
+        (fun (name, cover) -> check_cover name inst lambda cover)
+        [ ("greedy", Mqdp.Greedy_sc.solve inst lambda);
+          ("scan", Mqdp.Scan.solve inst lambda);
+          ("scan+", Mqdp.Scan.solve_plus inst lambda) ])
+
+let monotone_in_density =
+  qtest "within one instance, higher density => no larger lambda"
+    (arb_instance ~max_posts:25 ~max_labels:2 ~span:15. ())
+    (fun inst ->
+      let rows = Mqdp.Proportional.densities ~lambda0:2. inst in
+      List.for_all
+        (fun (_, _, d1, l1) ->
+          List.for_all (fun (_, _, d2, l2) -> not (d1 > d2) || l1 <= l2 +. 1e-9) rows)
+        rows)
+
+let suite =
+  [
+    Alcotest.test_case "dense gets smaller lambda" `Quick test_dense_gets_smaller_lambda;
+    Alcotest.test_case "uniform density ~ lambda0" `Quick
+      test_uniform_density_gives_lambda0_scale;
+    Alcotest.test_case "base density" `Quick test_base_density;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+    Alcotest.test_case "fallback radius" `Quick test_fallback_radius;
+    Alcotest.test_case "representation shifts toward dense regions" `Quick
+      test_proportional_shifts_representation;
+    all_rows_positive;
+    covers_under_proportional;
+    monotone_in_density;
+  ]

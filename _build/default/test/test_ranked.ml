@@ -1,0 +1,89 @@
+(* TF-IDF ranked retrieval. *)
+
+let doc id text = Index.Document.make ~id ~timestamp:0. ~text
+
+let sample () =
+  let index = Index.Inverted_index.create () in
+  List.iter (Index.Inverted_index.add index)
+    [
+      doc 1 "senate senate senate vote";
+      doc 2 "senate vote budget";
+      doc 3 "weather rain forecast";
+      doc 4 "budget budget deal";
+    ];
+  index
+
+let test_idf_ordering () =
+  let index = sample () in
+  (* "senate" appears in 2 docs, "weather" in 1, "zebra" in 0. *)
+  Alcotest.(check bool) "rarer term has higher idf" true
+    (Index.Ranked.idf index "weather" > Index.Ranked.idf index "senate");
+  Alcotest.(check bool) "absent term highest" true
+    (Index.Ranked.idf index "zebra" > Index.Ranked.idf index "weather");
+  Alcotest.(check bool) "idf >= 1" true (Index.Ranked.idf index "senate" >= 1.)
+
+let test_tf_component () =
+  let index = sample () in
+  let d1 = Index.Inverted_index.document index 1 in
+  let d2 = Index.Inverted_index.document index 2 in
+  (* doc 1 repeats "senate" 3/4; doc 2 has it 1/3. *)
+  Alcotest.(check bool) "repetition raises tf-idf" true
+    (Index.Ranked.tf_idf index ~term:"senate" ~doc:d1
+    > Index.Ranked.tf_idf index ~term:"senate" ~doc:d2);
+  Alcotest.(check (float 1e-9)) "absent term scores 0" 0.
+    (Index.Ranked.tf_idf index ~term:"zebra" ~doc:d1)
+
+let test_top_k () =
+  let index = sample () in
+  let results = Index.Ranked.top_k index ~keywords:[ "senate" ] ~k:5 in
+  Alcotest.(check (list int)) "only matching docs, best first" [ 1; 2 ]
+    (List.map (fun (d, _) -> d.Index.Document.id) results);
+  let top1 = Index.Ranked.top_k index ~keywords:[ "budget" ] ~k:1 in
+  Alcotest.(check (list int)) "k truncates" [ 4 ]
+    (List.map (fun (d, _) -> d.Index.Document.id) top1);
+  Alcotest.(check (list int)) "k=0 empty" []
+    (List.map (fun (d, _) -> d.Index.Document.id)
+       (Index.Ranked.top_k index ~keywords:[ "budget" ] ~k:0));
+  Alcotest.check_raises "negative k" (Invalid_argument "Ranked.top_k: negative k")
+    (fun () -> ignore (Index.Ranked.top_k index ~keywords:[ "budget" ] ~k:(-1)))
+
+let test_multi_keyword () =
+  let index = sample () in
+  let results = Index.Ranked.top_k index ~keywords:[ "senate"; "budget" ] ~k:5 in
+  let ids = List.map (fun (d, _) -> d.Index.Document.id) results in
+  Alcotest.(check (list int)) "union of matches" [ 1; 2; 4 ]
+    (List.sort Int.compare ids);
+  (* Scores are the additive combination. *)
+  List.iter
+    (fun (d, s) ->
+      let expected =
+        Index.Ranked.tf_idf index ~term:"senate" ~doc:d
+        +. Index.Ranked.tf_idf index ~term:"budget" ~doc:d
+      in
+      Alcotest.(check (float 1e-9)) "additive" expected s)
+    results
+
+let scores_sorted =
+  Helpers.qtest ~count:100 "top_k scores descending"
+    QCheck.(list_of_size Gen.(int_range 1 20)
+              (list_of_size Gen.(int_range 1 5) (oneofl [ "aa"; "bb"; "cc"; "dd" ])))
+    (fun docs ->
+      let index = Index.Inverted_index.create () in
+      List.iteri
+        (fun id tokens ->
+          Index.Inverted_index.add index
+            (Index.Document.make_raw ~id ~timestamp:0.
+               ~text:(String.concat " " tokens) ~tokens))
+        docs;
+      let results = Index.Ranked.top_k index ~keywords:[ "aa"; "bb" ] ~k:10 in
+      let scores = List.map snd results in
+      List.sort (fun a b -> Float.compare b a) scores = scores)
+
+let suite =
+  [
+    Alcotest.test_case "idf ordering" `Quick test_idf_ordering;
+    Alcotest.test_case "tf component" `Quick test_tf_component;
+    Alcotest.test_case "top_k" `Quick test_top_k;
+    Alcotest.test_case "multi-keyword scores" `Quick test_multi_keyword;
+    scores_sorted;
+  ]

@@ -1,0 +1,90 @@
+(* The SAT substrate: CNF representation and the DPLL solver, checked
+   against exhaustive model counting. *)
+
+let test_make_validates () =
+  Alcotest.check_raises "zero literal" (Invalid_argument "Cnf.make: bad literal 0")
+    (fun () -> ignore (Sat.Cnf.make ~num_vars:2 [ [ 0 ] ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Cnf.make: bad literal 5")
+    (fun () -> ignore (Sat.Cnf.make ~num_vars:2 [ [ 5 ] ]))
+
+let test_eval () =
+  let cnf = Sat.Cnf.make ~num_vars:2 [ [ 1; -2 ]; [ 2 ] ] in
+  let check expected a b =
+    let assignment = [| false; a; b |] in
+    Alcotest.(check bool) (Printf.sprintf "%b,%b" a b) expected
+      (Sat.Cnf.eval cnf assignment)
+  in
+  check true true true;
+  check false false true;
+  check false true false;
+  (* (x1 | ~x2) & x2 with x1=f x2=f: first clause true, second false *)
+  check false false false
+
+let test_dpll_basics () =
+  let sat_cases =
+    [ Sat.Cnf.make ~num_vars:1 [ [ 1 ] ];
+      Sat.Cnf.make ~num_vars:1 [ [ -1 ] ];
+      Sat.Cnf.make ~num_vars:2 [ [ 1; 2 ]; [ -1; 2 ] ];
+      Sat.Cnf.make ~num_vars:3 [ [ 1; 2; 3 ]; [ -1; -2 ]; [ -2; -3 ]; [ -1; -3 ] ];
+      Sat.Cnf.make ~num_vars:1 [] ]
+  in
+  List.iter
+    (fun cnf ->
+      match Sat.Dpll.solve cnf with
+      | None -> Alcotest.fail "expected satisfiable"
+      | Some assignment ->
+        Alcotest.(check bool) "model satisfies" true (Sat.Cnf.eval cnf assignment))
+    sat_cases;
+  let unsat_cases =
+    [ Sat.Cnf.make ~num_vars:1 [ [ 1 ]; [ -1 ] ];
+      Sat.Cnf.make ~num_vars:2 [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 2 ]; [ -1; -2 ] ];
+      Sat.Cnf.make ~num_vars:1 [ [] ] ]
+  in
+  List.iter
+    (fun cnf -> Alcotest.(check bool) "unsat" false (Sat.Dpll.satisfiable cnf))
+    unsat_cases
+
+let test_count_models () =
+  let cnf = Sat.Cnf.make ~num_vars:2 [ [ 1; 2 ] ] in
+  Alcotest.(check int) "x|y has 3 models" 3 (Sat.Dpll.count_models cnf);
+  let tautology = Sat.Cnf.make ~num_vars:2 [] in
+  Alcotest.(check int) "empty formula: all 4" 4 (Sat.Dpll.count_models tautology)
+
+let arb_cnf =
+  let gen =
+    QCheck.Gen.(
+      let* num_vars = int_range 1 6 in
+      let* num_clauses = int_range 1 10 in
+      let* clause_size = int_range 1 (min 3 num_vars) in
+      let* seed = int_range 0 1_000_000 in
+      return (Sat.Cnf.random ~seed ~num_vars ~num_clauses ~clause_size))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Sat.Cnf.pp) gen
+
+let dpll_agrees_with_enumeration =
+  Helpers.qtest ~count:300 "DPLL = exhaustive enumeration" arb_cnf (fun cnf ->
+      Sat.Dpll.satisfiable cnf = (Sat.Dpll.count_models cnf > 0))
+
+let dpll_models_satisfy =
+  Helpers.qtest ~count:300 "DPLL models actually satisfy" arb_cnf (fun cnf ->
+      match Sat.Dpll.solve cnf with
+      | None -> true
+      | Some assignment -> Sat.Cnf.eval cnf assignment)
+
+let random_deterministic =
+  Helpers.qtest "Cnf.random deterministic in seed"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      Sat.Cnf.random ~seed ~num_vars:4 ~num_clauses:6 ~clause_size:2
+      = Sat.Cnf.random ~seed ~num_vars:4 ~num_clauses:6 ~clause_size:2)
+
+let suite =
+  [
+    Alcotest.test_case "make validates literals" `Quick test_make_validates;
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "dpll sat/unsat basics" `Quick test_dpll_basics;
+    Alcotest.test_case "count_models" `Quick test_count_models;
+    dpll_agrees_with_enumeration;
+    dpll_models_satisfy;
+    random_deterministic;
+  ]

@@ -1,0 +1,122 @@
+(* The generic set-cover engine. *)
+
+let test_simple () =
+  (* Elements 0..3; set 0 = {0,1}, set 1 = {1,2}, set 2 = {2,3}, set 3 = {0,1,2,3} *)
+  let sets = [| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |]; [| 0; 1; 2; 3 |] |] in
+  Alcotest.(check (list int)) "greedy takes the big set" [ 3 ]
+    (Mqdp.Set_cover.greedy ~num_elements:4 sets);
+  Alcotest.(check (list int)) "minimum too" [ 3 ]
+    (Mqdp.Set_cover.minimum ~num_elements:4 sets)
+
+let test_minimum_beats_greedy () =
+  (* Classic greedy trap: the "middle" set looks best but forces 3 sets.
+     Elements 0..5; optimal = {0,1,2} + {3,4,5} (2 sets); greedy takes
+     {1,2,3,4} first and needs 3. *)
+  let sets = [| [| 0; 1; 2 |]; [| 3; 4; 5 |]; [| 1; 2; 3; 4 |]; [| 0 |]; [| 5 |] |] in
+  Alcotest.(check int) "greedy = 3" 3
+    (List.length (Mqdp.Set_cover.greedy ~num_elements:6 sets));
+  Alcotest.(check (list int)) "minimum = 2" [ 0; 1 ]
+    (Mqdp.Set_cover.minimum ~num_elements:6 sets)
+
+let test_bounded () =
+  let sets = [| [| 0; 1; 2 |]; [| 3; 4; 5 |]; [| 1; 2; 3; 4 |]; [| 0 |]; [| 5 |] |] in
+  Alcotest.(check (option (list int))) "bound 2 found" (Some [ 0; 1 ])
+    (Mqdp.Set_cover.bounded ~bound:2 ~num_elements:6 sets);
+  Alcotest.(check (option (list int))) "bound 1 impossible" None
+    (Mqdp.Set_cover.bounded ~bound:1 ~num_elements:6 sets);
+  Alcotest.(check (option (list int))) "bound 0 impossible" None
+    (Mqdp.Set_cover.bounded ~bound:0 ~num_elements:6 sets)
+
+let test_empty_universe () =
+  Alcotest.(check (list int)) "greedy" [] (Mqdp.Set_cover.greedy ~num_elements:0 [||]);
+  Alcotest.(check (list int)) "minimum" [] (Mqdp.Set_cover.minimum ~num_elements:0 [||])
+
+let test_uncoverable_rejected () =
+  Alcotest.check_raises "element 1 uncovered"
+    (Invalid_argument "Set_cover: element 1 covered by no set") (fun () ->
+      ignore (Mqdp.Set_cover.greedy ~num_elements:2 [| [| 0 |] |]))
+
+let test_out_of_range_rejected () =
+  Alcotest.check_raises "element 5 out of range"
+    (Invalid_argument "Set_cover: element 5 out of range") (fun () ->
+      ignore (Mqdp.Set_cover.greedy ~num_elements:2 [| [| 0; 1; 5 |] |]))
+
+let test_node_limit () =
+  (* The greedy-trap universe forces real branching (greedy incumbent 3,
+     root lower bound 2), so a tiny node budget must trip. *)
+  let sets = [| [| 0; 1; 2 |]; [| 3; 4; 5 |]; [| 1; 2; 3; 4 |]; [| 0 |]; [| 5 |] |] in
+  Alcotest.check_raises "limit"
+    (Mqdp.Set_cover.Too_large "Set_cover: exceeded 3 search nodes") (fun () ->
+      ignore (Mqdp.Set_cover.minimum ~max_nodes:3 ~num_elements:6 sets))
+
+(* Random universes: both algorithms cover; minimum <= greedy; minimum
+   matches exhaustive enumeration on tiny inputs. *)
+let arb_universe =
+  let gen =
+    QCheck.Gen.(
+      let* num_elements = int_range 1 8 in
+      let* num_sets = int_range 1 8 in
+      let* sets =
+        array_repeat num_sets
+          (map Array.of_list (list_size (int_range 0 4) (int_range 0 (num_elements - 1))))
+      in
+      (* Guarantee coverability: one set holding everything. *)
+      return (num_elements, Array.append sets [| Array.init num_elements Fun.id |]))
+  in
+  QCheck.make
+    ~print:(fun (n, sets) ->
+      Printf.sprintf "n=%d sets=[%s]" n
+        (String.concat "; "
+           (Array.to_list
+              (Array.map
+                 (fun s ->
+                   "{" ^ String.concat "," (Array.to_list (Array.map string_of_int s)) ^ "}")
+                 sets))))
+    gen
+
+let is_cover (n, sets) chosen =
+  let covered = Array.make n false in
+  List.iter (fun k -> Array.iter (fun e -> covered.(e) <- true) sets.(k)) chosen;
+  Array.for_all Fun.id covered
+
+let exhaustive_minimum (n, sets) =
+  let m = Array.length sets in
+  let best = ref m in
+  for mask = 0 to (1 lsl m) - 1 do
+    let chosen = List.filter (fun k -> mask land (1 lsl k) <> 0) (List.init m Fun.id) in
+    if List.length chosen < !best && is_cover (n, sets) chosen then
+      best := List.length chosen
+  done;
+  !best
+
+let both_cover =
+  Helpers.qtest ~count:200 "greedy and minimum both cover" arb_universe
+    (fun (n, sets) ->
+      is_cover (n, sets) (Mqdp.Set_cover.greedy ~num_elements:n sets)
+      && is_cover (n, sets) (Mqdp.Set_cover.minimum ~num_elements:n sets))
+
+let minimum_is_minimum =
+  Helpers.qtest ~count:200 "minimum matches exhaustive enumeration" arb_universe
+    (fun (n, sets) ->
+      List.length (Mqdp.Set_cover.minimum ~num_elements:n sets)
+      = exhaustive_minimum (n, sets))
+
+let greedy_at_least_minimum =
+  Helpers.qtest ~count:200 "greedy never beats minimum" arb_universe
+    (fun (n, sets) ->
+      List.length (Mqdp.Set_cover.greedy ~num_elements:n sets)
+      >= List.length (Mqdp.Set_cover.minimum ~num_elements:n sets))
+
+let suite =
+  [
+    Alcotest.test_case "simple universe" `Quick test_simple;
+    Alcotest.test_case "minimum beats greedy trap" `Quick test_minimum_beats_greedy;
+    Alcotest.test_case "bounded search" `Quick test_bounded;
+    Alcotest.test_case "empty universe" `Quick test_empty_universe;
+    Alcotest.test_case "uncoverable rejected" `Quick test_uncoverable_rejected;
+    Alcotest.test_case "out-of-range rejected" `Quick test_out_of_range_rejected;
+    Alcotest.test_case "node limit" `Quick test_node_limit;
+    both_cover;
+    minimum_is_minimum;
+    greedy_at_least_minimum;
+  ]

@@ -1,0 +1,170 @@
+(* The spatiotemporal extension (paper §9 future work). *)
+
+let ls = Mqdp.Label_set.of_list
+
+let gp id time lat lon labels =
+  Mqdp.Spatial.make_post ~id ~time ~lat ~lon ~labels:(ls labels)
+
+let th lambda_time radius_km = { Mqdp.Spatial.lambda_time; radius_km }
+
+let test_haversine_known_distances () =
+  (* London (51.5074, -0.1278) to Paris (48.8566, 2.3522) ~ 344 km. *)
+  let d = Mqdp.Spatial.haversine_km (51.5074, -0.1278) (48.8566, 2.3522) in
+  Alcotest.(check bool) (Printf.sprintf "London-Paris %.0f km" d) true
+    (d > 330. && d < 355.);
+  Alcotest.(check (float 1e-9)) "zero distance" 0.
+    (Mqdp.Spatial.haversine_km (40., 20.) (40., 20.));
+  (* One degree of latitude ~ 111 km anywhere. *)
+  let d1 = Mqdp.Spatial.haversine_km (10., 50.) (11., 50.) in
+  Alcotest.(check bool) "1 deg latitude ~111km" true (d1 > 110. && d1 < 112.);
+  (* Symmetry. *)
+  Alcotest.(check (float 1e-9)) "symmetric"
+    (Mqdp.Spatial.haversine_km (10., 20.) (30., 40.))
+    (Mqdp.Spatial.haversine_km (30., 40.) (10., 20.))
+
+let test_covers_needs_both_dimensions () =
+  let a = gp 1 0. 40. 20. [ 0 ] in
+  let near_both = gp 2 30. 40.05 20. [ 0 ] in
+  let near_time_far_space = gp 3 30. 45. 20. [ 0 ] in
+  let near_space_far_time = gp 4 500. 40.05 20. [ 0 ] in
+  let other_label = gp 5 30. 40.05 20. [ 1 ] in
+  let t = th 60. 10. in
+  Alcotest.(check bool) "both close" true
+    (Mqdp.Spatial.covers_label t ~by:a 0 near_both);
+  Alcotest.(check bool) "space too far" false
+    (Mqdp.Spatial.covers_label t ~by:a 0 near_time_far_space);
+  Alcotest.(check bool) "time too far" false
+    (Mqdp.Spatial.covers_label t ~by:a 0 near_space_far_time);
+  Alcotest.(check bool) "label mismatch" false
+    (Mqdp.Spatial.covers_label t ~by:a 0 other_label)
+
+let test_make_post_validation () =
+  Alcotest.check_raises "bad latitude"
+    (Invalid_argument "Spatial.make_post: latitude out of range") (fun () ->
+      ignore (gp 1 0. 91. 0. [ 0 ]));
+  Alcotest.check_raises "bad longitude"
+    (Invalid_argument "Spatial.make_post: longitude out of range") (fun () ->
+      ignore (gp 1 0. 0. 181. [ 0 ]))
+
+let two_cities =
+  (* Same label, same time, two distant cities: a time-only cover of one
+     post is NOT a spatiotemporal cover. *)
+  Mqdp.Spatial.create
+    [ gp 1 0. 40. (-74.) [ 0 ]; gp 2 10. 40.01 (-74.01) [ 0 ];
+      gp 3 5. 51.5 (-0.13) [ 0 ]; gp 4 12. 51.51 (-0.12) [ 0 ] ]
+
+let test_greedy_two_cities () =
+  let t = th 60. 50. in
+  let cover = Mqdp.Spatial.greedy two_cities t in
+  Alcotest.(check bool) "is cover" true (Mqdp.Spatial.is_cover two_cities t cover);
+  Alcotest.(check int) "needs one post per city" 2 (List.length cover);
+  (* A single post can never cover both cities. *)
+  Alcotest.(check bool) "singletons fail" true
+    (List.for_all
+       (fun i -> not (Mqdp.Spatial.is_cover two_cities t [ i ]))
+       [ 0; 1; 2; 3 ])
+
+let test_brute_matches_greedy_when_tight () =
+  let t = th 60. 50. in
+  Alcotest.(check int) "brute = 2" 2
+    (List.length (Mqdp.Spatial.brute_force two_cities t))
+
+let test_uncovered_diagnostics () =
+  let t = th 60. 50. in
+  (* Covering only the New York pair leaves both London pairs uncovered. *)
+  let bad = Mqdp.Spatial.uncovered two_cities t [ 0 ] in
+  Alcotest.(check int) "two uncovered pairs" 2 (List.length bad);
+  Alcotest.(check bool) "all label 0" true (List.for_all (fun (_, a) -> a = 0) bad)
+
+let test_degenerate_thresholds () =
+  let t0 = th 0. 0. in
+  let inst =
+    Mqdp.Spatial.create [ gp 1 0. 40. 20. [ 0 ]; gp 2 0. 40. 20. [ 0 ] ]
+  in
+  (* Identical time and place: either covers both. *)
+  Alcotest.(check int) "coincident posts collapse" 1
+    (List.length (Mqdp.Spatial.greedy inst t0))
+
+let arb_geo_instance =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 25 in
+      let* num_labels = int_range 1 3 in
+      let gen_post id =
+        let* time = float_bound_exclusive 100. in
+        let* lat = map (fun x -> 30. +. x) (float_bound_exclusive 10.) in
+        let* lon = map (fun x -> -10. +. x) (float_bound_exclusive 20.) in
+        let* k = int_range 1 (min 2 num_labels) in
+        let* labels = list_repeat k (int_range 0 (num_labels - 1)) in
+        return (gp id time lat lon labels)
+      in
+      let* posts = flatten_l (List.init n gen_post) in
+      return (Mqdp.Spatial.create posts))
+  in
+  QCheck.make ~print:(fun t -> Printf.sprintf "%d geo posts" (Mqdp.Spatial.size t)) gen
+
+let greedy_always_covers =
+  Helpers.qtest ~count:150 "spatial greedy always covers" arb_geo_instance
+    (fun inst ->
+      let t = th 20. 300. in
+      Mqdp.Spatial.is_cover inst t (Mqdp.Spatial.greedy inst t))
+
+let brute_no_larger_than_greedy =
+  Helpers.qtest ~count:80 "spatial brute force <= greedy" arb_geo_instance
+    (fun inst ->
+      let t = th 20. 300. in
+      let exact = Mqdp.Spatial.brute_force inst t in
+      Mqdp.Spatial.is_cover inst t exact
+      && List.length exact <= List.length (Mqdp.Spatial.greedy inst t))
+
+let spatial_reduces_to_temporal =
+  Helpers.qtest ~count:80 "huge radius reduces to the 1-D problem" arb_geo_instance
+    (fun inst ->
+      (* With an earth-sized radius only time matters: sizes must match
+         the 1-D exact solver on the same timestamps. *)
+      let t = th 20. 50_000. in
+      let posts_1d =
+        List.init (Mqdp.Spatial.size inst) (fun i ->
+            let p = Mqdp.Spatial.post inst i in
+            Mqdp.Post.make ~id:p.Mqdp.Spatial.id ~value:p.Mqdp.Spatial.time
+              ~labels:p.Mqdp.Spatial.labels)
+      in
+      let inst_1d = Mqdp.Instance.create posts_1d in
+      List.length (Mqdp.Spatial.brute_force inst t)
+      = List.length (Mqdp.Brute_force.solve inst_1d (Mqdp.Coverage.Fixed 20.)))
+
+let geo_gen_wellformed =
+  Helpers.qtest ~count:30 "geo generator output is well-formed"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let config =
+        { (Workload.Geo_gen.default_config ~num_labels:3 ~seed) with
+          Workload.Geo_gen.duration = 600.;
+          rate_per_min = 20. }
+      in
+      let posts = Workload.Geo_gen.generate config in
+      List.for_all
+        (fun p ->
+          p.Mqdp.Spatial.time >= 0.
+          && p.Mqdp.Spatial.time < 600.
+          && Float.abs p.Mqdp.Spatial.lat <= 90.
+          && Float.abs p.Mqdp.Spatial.lon <= 180.
+          && not (Mqdp.Label_set.is_empty p.Mqdp.Spatial.labels))
+        posts)
+
+let suite =
+  [
+    Alcotest.test_case "haversine known distances" `Quick test_haversine_known_distances;
+    Alcotest.test_case "coverage needs both dimensions" `Quick
+      test_covers_needs_both_dimensions;
+    Alcotest.test_case "post validation" `Quick test_make_post_validation;
+    Alcotest.test_case "greedy on two cities" `Quick test_greedy_two_cities;
+    Alcotest.test_case "brute force on two cities" `Quick
+      test_brute_matches_greedy_when_tight;
+    Alcotest.test_case "uncovered diagnostics" `Quick test_uncovered_diagnostics;
+    Alcotest.test_case "degenerate thresholds" `Quick test_degenerate_thresholds;
+    greedy_always_covers;
+    brute_no_larger_than_greedy;
+    spatial_reduces_to_temporal;
+    geo_gen_wellformed;
+  ]

@@ -1,0 +1,123 @@
+(* The Porter stemmer, against the vectors from Porter's 1980 paper. *)
+
+let check_pairs pairs () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (Text.Stemmer.stem input))
+    pairs
+
+let step1_pairs =
+  [
+    ("caresses", "caress"); ("ponies", "poni"); ("ties", "ti");
+    ("caress", "caress"); ("cats", "cat"); ("feed", "feed");
+    ("agreed", "agre"); ("plastered", "plaster"); ("bled", "bled");
+    ("motoring", "motor"); ("sing", "sing"); ("conflated", "conflat");
+    ("troubled", "troubl"); ("sized", "size"); ("hopping", "hop");
+    ("tanned", "tan"); ("falling", "fall"); ("hissing", "hiss");
+    ("fizzed", "fizz"); ("failing", "fail"); ("filing", "file");
+    ("happy", "happi"); ("sky", "sky");
+  ]
+
+let step2_pairs =
+  [
+    ("relational", "relat"); ("conditional", "condit"); ("rational", "ration");
+    ("valenci", "valenc"); ("hesitanci", "hesit"); ("digitizer", "digit");
+    ("radicalli", "radic"); ("differentli", "differ"); ("vileli", "vile");
+    ("analogousli", "analog"); ("vietnamization", "vietnam");
+    ("predication", "predic"); ("operator", "oper"); ("feudalism", "feudal");
+    ("decisiveness", "decis"); ("hopefulness", "hope");
+    ("callousness", "callous"); ("formaliti", "formal");
+    ("sensitiviti", "sensit"); ("sensibiliti", "sensibl");
+  ]
+
+let step3_pairs =
+  [
+    ("triplicate", "triplic"); ("formative", "form"); ("formalize", "formal");
+    ("electriciti", "electr"); ("electrical", "electr"); ("hopeful", "hope");
+    ("goodness", "good");
+  ]
+
+let step4_pairs =
+  [
+    ("revival", "reviv"); ("allowance", "allow"); ("inference", "infer");
+    ("airliner", "airlin"); ("gyroscopic", "gyroscop");
+    ("adjustable", "adjust"); ("defensible", "defens"); ("irritant", "irrit");
+    ("replacement", "replac"); ("adjustment", "adjust");
+    ("dependent", "depend"); ("adoption", "adopt"); ("homologou", "homolog");
+    ("communism", "commun"); ("activate", "activ"); ("angulariti", "angular");
+    ("homologous", "homolog"); ("effective", "effect");
+    ("bowdlerize", "bowdler");
+  ]
+
+let step5_pairs =
+  [
+    ("probate", "probat"); ("rate", "rate"); ("cease", "ceas");
+    ("controll", "control"); ("roll", "roll");
+  ]
+
+let everyday_pairs =
+  [
+    ("votes", "vote"); ("voting", "vote"); ("voted", "vote");
+    ("elections", "elect"); ("running", "run"); ("flying", "fly");
+    ("stocks", "stock"); ("markets", "market");
+  ]
+
+let test_short_words_untouched () =
+  List.iter
+    (fun w -> Alcotest.(check string) w w (Text.Stemmer.stem w))
+    [ "a"; "at"; "ox"; "is" ]
+
+let test_non_alpha_untouched () =
+  List.iter
+    (fun w -> Alcotest.(check string) w w (Text.Stemmer.stem w))
+    [ "#nasdaq"; "b2b"; "don't"; "" ]
+
+let test_tokenize_stemmed () =
+  Alcotest.(check (list string)) "pipeline"
+    [ "senat"; "vote"; "elect" ]
+    (Text.Tokenizer.tokenize_stemmed "The Senate is voting on elections!")
+
+(* Porter is famously NOT idempotent, so the meaningful invariants are:
+   inflection families collapse to one stem, and output is never empty. *)
+let test_family_collapses () =
+  let family = [ "connect"; "connected"; "connecting"; "connection"; "connections" ] in
+  List.iter
+    (fun w -> Alcotest.(check string) w "connect" (Text.Stemmer.stem w))
+    family
+
+let stem_never_empty =
+  Helpers.qtest "stem of alphabetic input is never empty"
+    (QCheck.make
+       ~print:Fun.id
+       QCheck.Gen.(
+         map
+           (fun letters ->
+             String.concat "" (List.map (String.make 1) letters))
+           (list_size (int_range 1 12) (char_range 'a' 'z'))))
+    (fun word -> String.length (Text.Stemmer.stem word) > 0)
+
+let stem_never_longer =
+  Helpers.qtest "stem never longer than +1 of the input"
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun letters ->
+             String.concat "" (List.map (String.make 1) letters))
+           (list_size (int_range 1 15) (char_range 'a' 'z'))))
+    (fun word -> String.length (Text.Stemmer.stem word) <= String.length word + 1)
+
+let suite =
+  [
+    Alcotest.test_case "step 1 vectors" `Quick (check_pairs step1_pairs);
+    Alcotest.test_case "step 2 vectors" `Quick (check_pairs step2_pairs);
+    Alcotest.test_case "step 3 vectors" `Quick (check_pairs step3_pairs);
+    Alcotest.test_case "step 4 vectors" `Quick (check_pairs step4_pairs);
+    Alcotest.test_case "step 5 vectors" `Quick (check_pairs step5_pairs);
+    Alcotest.test_case "everyday inflections" `Quick (check_pairs everyday_pairs);
+    Alcotest.test_case "short words untouched" `Quick test_short_words_untouched;
+    Alcotest.test_case "non-alpha untouched" `Quick test_non_alpha_untouched;
+    Alcotest.test_case "tokenize_stemmed" `Quick test_tokenize_stemmed;
+    Alcotest.test_case "inflection family collapses" `Quick test_family_collapses;
+    stem_never_empty;
+    stem_never_longer;
+  ]

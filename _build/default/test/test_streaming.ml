@@ -1,0 +1,225 @@
+(* Streaming algorithms (paper §5): validity, the τ deadline, and the
+   structural relationships the paper proves — StreamScan with τ ≥ λ
+   reproduces offline Scan; the instant variant stays within 2s of the
+   per-label optimum. *)
+
+open Helpers
+
+let fixed l = Mqdp.Coverage.Fixed l
+
+let instance_of = Helpers.instance_of
+
+let all_streaming ~tau =
+  [
+    ("stream-scan", fun inst l -> Mqdp.Stream_scan.solve ~plus:false ~tau inst l);
+    ("stream-scan+", fun inst l -> Mqdp.Stream_scan.solve ~plus:true ~tau inst l);
+    ("stream-greedy", fun inst l -> Mqdp.Stream_greedy.solve ~plus:false ~tau inst l);
+    ("stream-greedy+", fun inst l -> Mqdp.Stream_greedy.solve ~plus:true ~tau inst l);
+  ]
+
+let simple_stream =
+  instance_of
+    [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:1. [ 0 ];
+      post ~id:3 ~value:2. [ 0; 1 ]; post ~id:4 ~value:3. [ 1 ];
+      post ~id:5 ~value:10. [ 0 ] ]
+
+let test_all_cover_and_deadline () =
+  let lambda = fixed 1. and tau = 0.5 in
+  List.iter
+    (fun (name, solve) ->
+      let result = solve simple_stream lambda in
+      Alcotest.(check bool) (name ^ " covers") true
+        (Mqdp.Coverage.is_cover simple_stream lambda result.Mqdp.Stream.cover);
+      Alcotest.(check bool) (name ^ " respects tau") true
+        (Mqdp.Stream.check_deadline ~tau simple_stream result))
+    (all_streaming ~tau)
+
+let test_instant_simple () =
+  let lambda = fixed 1. in
+  let result = Mqdp.Stream_scan.solve_instant simple_stream lambda in
+  Alcotest.(check bool) "covers" true
+    (Mqdp.Coverage.is_cover simple_stream lambda result.Mqdp.Stream.cover);
+  (* Instant output: zero delay for every emission. *)
+  Alcotest.(check bool) "zero delay" true
+    (Mqdp.Stream.check_deadline ~tau:0. simple_stream result);
+  (* First arrival is always emitted. *)
+  Alcotest.(check bool) "first post emitted" true
+    (List.mem 0 result.Mqdp.Stream.cover)
+
+let test_negative_tau_rejected () =
+  Alcotest.check_raises "scan" (Invalid_argument "Stream_scan.solve: negative tau")
+    (fun () -> ignore (Mqdp.Stream_scan.solve ~tau:(-1.) simple_stream (fixed 1.)));
+  Alcotest.check_raises "greedy" (Invalid_argument "Stream_greedy.solve: negative tau")
+    (fun () -> ignore (Mqdp.Stream_greedy.solve ~tau:(-1.) simple_stream (fixed 1.)))
+
+let test_variable_lambda_rejected () =
+  let lambda = Mqdp.Coverage.Per_post_label (fun _ _ -> 1.) in
+  Alcotest.check_raises "scan"
+    (Mqdp.Stream.Unsupported "Stream_scan.solve requires a fixed lambda") (fun () ->
+      ignore (Mqdp.Stream_scan.solve ~tau:1. simple_stream lambda));
+  Alcotest.check_raises "greedy"
+    (Mqdp.Stream.Unsupported "Stream_greedy.solve requires a fixed lambda") (fun () ->
+      ignore (Mqdp.Stream_greedy.solve ~tau:1. simple_stream lambda))
+
+let test_make_result_dedup () =
+  let result =
+    Mqdp.Stream.make_result
+      [ { Mqdp.Stream.position = 3; emit_time = 5. };
+        { Mqdp.Stream.position = 1; emit_time = 2. };
+        { Mqdp.Stream.position = 3; emit_time = 4. } ]
+  in
+  Alcotest.(check (list int)) "cover dedup" [ 1; 3 ] result.Mqdp.Stream.cover;
+  Alcotest.(check int) "emissions dedup" 2 (List.length result.Mqdp.Stream.emissions);
+  (* The earliest emission time is kept for a duplicated position. *)
+  let e3 =
+    List.find (fun e -> e.Mqdp.Stream.position = 3) result.Mqdp.Stream.emissions
+  in
+  Alcotest.(check (float 0.)) "earliest kept" 4. e3.Mqdp.Stream.emit_time
+
+let test_stream_greedy_window_semantics () =
+  (* Posts at 0, 1, 2 (label 0), tau = 2: the window opened by the post at
+     0 spans [0, 2]; one greedy pick (the post at 1) covers all three with
+     lambda = 1, emitted at the window deadline 2. *)
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:1. [ 0 ];
+        post ~id:3 ~value:2. [ 0 ] ]
+  in
+  let result = Mqdp.Stream_greedy.solve ~tau:2. inst (fixed 1.) in
+  (match result.Mqdp.Stream.emissions with
+  | [ e ] ->
+    Alcotest.(check int) "middle post picked" 1 e.Mqdp.Stream.position;
+    Alcotest.(check (float 1e-9)) "emitted at the deadline" 2. e.Mqdp.Stream.emit_time
+  | other -> Alcotest.failf "expected 1 emission, got %d" (List.length other));
+  (* With tau = 0 the window is a single post: every post emits itself. *)
+  let zero = Mqdp.Stream_greedy.solve ~tau:0. inst (fixed 1.) in
+  Alcotest.(check int) "tau=0 windows degenerate" 2
+    (List.length zero.Mqdp.Stream.cover)
+
+let test_stream_greedy_plus_reopens_window () =
+  (* Two labels interleaved: the + variant stops as soon as the window
+     opener is covered and re-opens from the next uncovered post, so both
+     emit valid covers; both must cover. *)
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:0.5 [ 1 ];
+        post ~id:3 ~value:1. [ 0 ]; post ~id:4 ~value:1.5 [ 1 ] ]
+  in
+  List.iter
+    (fun plus ->
+      let result = Mqdp.Stream_greedy.solve ~plus ~tau:1. inst (fixed 0.4) in
+      Alcotest.(check bool)
+        (Printf.sprintf "plus=%b covers" plus)
+        true
+        (Mqdp.Coverage.is_cover inst (fixed 0.4) result.Mqdp.Stream.cover))
+    [ false; true ]
+
+(* --- properties --- *)
+
+let streaming_always_covers =
+  qtest "every streaming algorithm emits a cover within tau"
+    (QCheck.triple
+       (arb_instance ~max_posts:30 ~max_labels:4 ~span:25. ())
+       (QCheck.make QCheck.Gen.(map (fun l -> 0.5 +. l) (float_bound_exclusive 4.)))
+       (QCheck.make QCheck.Gen.(float_bound_exclusive 6.)))
+    (fun (inst, l, tau) ->
+      let lambda = fixed l in
+      List.for_all
+        (fun (name, solve) ->
+          let result = solve inst lambda in
+          ignore (check_cover name inst lambda result.Mqdp.Stream.cover);
+          if not (Mqdp.Stream.check_deadline ~tau inst result) then
+            QCheck.Test.fail_reportf "%s violated tau=%g (max delay %g)" name tau
+              (Mqdp.Stream.max_delay inst result);
+          true)
+        (all_streaming ~tau))
+
+let instant_covers_with_zero_delay =
+  qtest "instant variant: cover, zero delay"
+    (arb_instance_lambda ~max_posts:30 ~max_labels:4 ~span:25. ())
+    (fun (inst, l) ->
+      let lambda = fixed l in
+      let result = Mqdp.Stream_scan.solve_instant inst lambda in
+      ignore (check_cover "instant" inst lambda result.Mqdp.Stream.cover);
+      Mqdp.Stream.check_deadline ~tau:0. inst result)
+
+let stream_scan_equals_scan_when_tau_ge_lambda =
+  qtest "StreamScan with tau >= lambda emits exactly offline Scan"
+    (arb_instance_lambda ~max_posts:25 ~max_labels:4 ~span:25. ())
+    (fun (inst, l) ->
+      let lambda = fixed l in
+      let offline = Mqdp.Scan.solve inst lambda in
+      let streaming =
+        Mqdp.Stream_scan.solve ~plus:false ~tau:(l +. 0.1) inst lambda
+      in
+      if streaming.Mqdp.Stream.cover <> offline then
+        QCheck.Test.fail_reportf "stream=%d offline=%d on %s"
+          (List.length streaming.Mqdp.Stream.cover)
+          (List.length offline) (describe_instance inst);
+      true)
+
+let instant_single_label_2_approx =
+  qtest ~count:150 "instant variant within 2x optimal on single-label posts"
+    (QCheck.pair (arb_instance ~max_posts:12 ~max_labels:2 ~max_per:1 ())
+       (QCheck.make QCheck.Gen.(map (fun l -> 0.5 +. l) (float_bound_exclusive 4.))))
+    (fun (inst, l) ->
+      let lambda = fixed l in
+      let optimal = List.length (Mqdp.Brute_force.solve inst lambda) in
+      let instant = List.length (Mqdp.Stream_scan.solve_instant inst lambda).Mqdp.Stream.cover in
+      instant <= 2 * optimal)
+
+let instant_2s_bound =
+  qtest ~count:150 "instant variant within 2s of optimal"
+    (arb_instance_lambda ~max_posts:11 ~max_labels:3 ())
+    (fun (inst, l) ->
+      let lambda = fixed l in
+      let optimal = List.length (Mqdp.Brute_force.solve inst lambda) in
+      let instant = List.length (Mqdp.Stream_scan.solve_instant inst lambda).Mqdp.Stream.cover in
+      let s = Mqdp.Instance.max_labels_per_post inst in
+      instant <= 2 * s * optimal)
+
+let greedy_windows_respect_order =
+  qtest "stream-greedy emission times are non-decreasing"
+    (QCheck.pair (arb_instance ~max_posts:30 ~max_labels:3 ~span:25. ())
+       (QCheck.make QCheck.Gen.(float_bound_exclusive 5.)))
+    (fun (inst, tau) ->
+      let result = Mqdp.Stream_greedy.solve ~tau inst (fixed 2.) in
+      let times =
+        List.map (fun e -> e.Mqdp.Stream.emit_time) result.Mqdp.Stream.emissions
+      in
+      List.sort Float.compare times = times)
+
+let delays_match_definition =
+  qtest "Stream.delays = emit - value"
+    (QCheck.pair (arb_instance ~max_posts:20 ~max_labels:3 ())
+       (QCheck.make QCheck.Gen.(float_bound_exclusive 3.)))
+    (fun (inst, tau) ->
+      let result = Mqdp.Stream_scan.solve ~tau inst (fixed 1.5) in
+      let delays = Mqdp.Stream.delays inst result in
+      let expected =
+        List.map
+          (fun e -> e.Mqdp.Stream.emit_time -. Mqdp.Instance.value inst e.Mqdp.Stream.position)
+          result.Mqdp.Stream.emissions
+      in
+      Array.to_list delays = expected)
+
+let suite =
+  [
+    Alcotest.test_case "cover & deadline on a simple stream" `Quick
+      test_all_cover_and_deadline;
+    Alcotest.test_case "instant variant basics" `Quick test_instant_simple;
+    Alcotest.test_case "negative tau rejected" `Quick test_negative_tau_rejected;
+    Alcotest.test_case "variable lambda rejected" `Quick test_variable_lambda_rejected;
+    Alcotest.test_case "make_result dedup" `Quick test_make_result_dedup;
+    Alcotest.test_case "stream-greedy window semantics" `Quick
+      test_stream_greedy_window_semantics;
+    Alcotest.test_case "stream-greedy+ window reopening" `Quick
+      test_stream_greedy_plus_reopens_window;
+    streaming_always_covers;
+    instant_covers_with_zero_delay;
+    stream_scan_equals_scan_when_tau_ge_lambda;
+    instant_single_label_2_approx;
+    instant_2s_bound;
+    greedy_windows_respect_order;
+    delays_match_definition;
+  ]

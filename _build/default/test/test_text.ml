@@ -1,0 +1,144 @@
+(* Text substrate: tokenizer, stopwords, SimHash, sentiment. *)
+
+let test_tokenize_basic () =
+  Alcotest.(check (list string)) "simple"
+    [ "hello"; "world" ]
+    (Text.Tokenizer.tokenize "Hello, World!");
+  Alcotest.(check (list string)) "hashtags and mentions kept"
+    [ "#nasdaq"; "@trader"; "up"; "5" ]
+    (Text.Tokenizer.tokenize "#NASDAQ @trader up 5%");
+  Alcotest.(check (list string)) "urls dropped"
+    [ "read"; "this" ]
+    (Text.Tokenizer.tokenize "read this http://t.co/abc123");
+  Alcotest.(check (list string)) "possessive stripped"
+    [ "obama"; "speech" ]
+    (Text.Tokenizer.tokenize "Obama's speech");
+  Alcotest.(check (list string)) "empty" [] (Text.Tokenizer.tokenize "  ... !!! ")
+
+let test_tokenize_clean () =
+  Alcotest.(check (list string)) "stopwords and short tokens dropped"
+    [ "senate"; "passed"; "budget" ]
+    (Text.Tokenizer.tokenize_clean "The Senate has passed a budget")
+
+let test_stopwords () =
+  Alcotest.(check bool) "the" true (Text.Stopwords.is_stopword "the");
+  Alcotest.(check bool) "rt (microblog)" true (Text.Stopwords.is_stopword "rt");
+  Alcotest.(check bool) "senate" false (Text.Stopwords.is_stopword "senate");
+  Alcotest.(check (list string)) "filter keeps order"
+    [ "senate"; "votes" ]
+    (Text.Stopwords.filter [ "the"; "senate"; "votes" ])
+
+let test_simhash_identical () =
+  let a = Text.Simhash.fingerprint [ "breaking"; "news"; "senate"; "vote" ] in
+  let b = Text.Simhash.fingerprint [ "breaking"; "news"; "senate"; "vote" ] in
+  Alcotest.(check int) "identical lists collide" 0 (Text.Simhash.hamming a b);
+  Alcotest.(check bool) "near duplicate" true (Text.Simhash.near_duplicate a b)
+
+let test_simhash_near_and_far () =
+  let base = [ "breaking"; "news"; "senate"; "votes"; "on"; "the"; "budget"; "bill"; "today" ] in
+  let near = [ "breaking"; "news"; "senate"; "votes"; "on"; "the"; "budget"; "bill"; "tonight" ] in
+  let far = [ "lakers"; "win"; "the"; "championship"; "parade"; "downtown" ] in
+  let fb = Text.Simhash.fingerprint base in
+  let fn = Text.Simhash.fingerprint near in
+  let ff = Text.Simhash.fingerprint far in
+  Alcotest.(check bool) "one-word change stays close" true
+    (Text.Simhash.hamming fb fn < Text.Simhash.hamming fb ff);
+  Alcotest.(check bool) "unrelated text is far" true (Text.Simhash.hamming fb ff > 10)
+
+let test_simhash_empty () =
+  Alcotest.(check int64) "empty is zero" 0L (Text.Simhash.fingerprint [])
+
+let test_dedup () =
+  let dedup = Text.Simhash.Dedup.create () in
+  let fp1 = Text.Simhash.fingerprint [ "a"; "b"; "c"; "d" ] in
+  Alcotest.(check bool) "fresh" false (Text.Simhash.Dedup.check_and_add dedup fp1);
+  Alcotest.(check bool) "repeat detected" true (Text.Simhash.Dedup.check_and_add dedup fp1);
+  Alcotest.(check int) "count" 2 (Text.Simhash.Dedup.count dedup);
+  Alcotest.check_raises "threshold > 3"
+    (Invalid_argument "Simhash.Dedup.create: threshold must be in [0, 3]") (fun () ->
+      ignore (Text.Simhash.Dedup.create ~threshold:5 ()))
+
+let dedup_finds_all_within_threshold =
+  Helpers.qtest ~count:100 "banded dedup agrees with exhaustive comparison"
+    QCheck.(list_of_size Gen.(int_range 1 30) (list_of_size Gen.(int_range 1 6) printable_string))
+    (fun token_lists ->
+      let fps = List.map Text.Simhash.fingerprint token_lists in
+      let dedup = Text.Simhash.Dedup.create () in
+      List.for_all
+        (fun fp ->
+          let expected =
+            (* exhaustive scan over everything added so far *)
+            List.exists
+              (fun prev -> Text.Simhash.near_duplicate prev fp)
+              (List.filteri
+                 (fun i _ -> i < Text.Simhash.Dedup.count dedup)
+                 fps)
+          in
+          let got = Text.Simhash.Dedup.check_and_add dedup fp in
+          got = expected)
+        fps)
+
+let test_sentiment_polarity () =
+  let score = Text.Sentiment.score_text in
+  Alcotest.(check bool) "positive" true (score "what a great wonderful day" > 0.1);
+  Alcotest.(check bool) "negative" true (score "terrible awful crash" < -0.1);
+  Alcotest.(check (float 0.)) "neutral" 0. (score "the cat sat on the mat");
+  Alcotest.(check (float 0.)) "empty" 0. (score "")
+
+let test_sentiment_negation () =
+  let score = Text.Sentiment.score_text in
+  Alcotest.(check bool) "negated positive flips" true (score "not good at all" < 0.);
+  Alcotest.(check bool) "negated negative flips" true (score "not bad actually" > 0.);
+  Alcotest.(check bool) "negation window expires" true
+    (score "no x y z w good" > 0.)
+
+let test_sentiment_intensifier () =
+  let score = Text.Sentiment.score_text in
+  Alcotest.(check bool) "very amplifies" true
+    (score "very good" > score "good");
+  Alcotest.(check bool) "extremely bad below bad" true
+    (score "extremely bad" < score "bad")
+
+let test_sentiment_bounds_and_classify () =
+  let score = Text.Sentiment.score_text in
+  let s = score "amazing awesome fantastic wonderful brilliant perfect excellent" in
+  Alcotest.(check bool) "bounded" true (s <= 1. && s >= -1.);
+  Alcotest.(check string) "positive class" "positive"
+    (Text.Sentiment.polarity_name (Text.Sentiment.classify 0.5));
+  Alcotest.(check string) "negative class" "negative"
+    (Text.Sentiment.polarity_name (Text.Sentiment.classify (-0.5)));
+  Alcotest.(check string) "neutral class" "neutral"
+    (Text.Sentiment.polarity_name (Text.Sentiment.classify 0.05))
+
+let sentiment_always_bounded =
+  Helpers.qtest "score bounded in [-1, 1]"
+    QCheck.(list printable_string)
+    (fun tokens ->
+      let s = Text.Sentiment.score tokens in
+      s >= -1. && s <= 1.)
+
+let tokenizer_idempotent =
+  Helpers.qtest "tokenize of rejoined tokens is stable"
+    QCheck.(printable_string)
+    (fun text ->
+      let once = Text.Tokenizer.tokenize text in
+      let twice = Text.Tokenizer.tokenize (String.concat " " once) in
+      once = twice)
+
+let suite =
+  [
+    Alcotest.test_case "tokenize basics" `Quick test_tokenize_basic;
+    Alcotest.test_case "tokenize_clean" `Quick test_tokenize_clean;
+    Alcotest.test_case "stopwords" `Quick test_stopwords;
+    Alcotest.test_case "simhash identical" `Quick test_simhash_identical;
+    Alcotest.test_case "simhash near vs far" `Quick test_simhash_near_and_far;
+    Alcotest.test_case "simhash empty" `Quick test_simhash_empty;
+    Alcotest.test_case "dedup" `Quick test_dedup;
+    dedup_finds_all_within_threshold;
+    Alcotest.test_case "sentiment polarity" `Quick test_sentiment_polarity;
+    Alcotest.test_case "sentiment negation" `Quick test_sentiment_negation;
+    Alcotest.test_case "sentiment intensifiers" `Quick test_sentiment_intensifier;
+    Alcotest.test_case "sentiment bounds & classes" `Quick test_sentiment_bounds_and_classify;
+    sentiment_always_bounded;
+    tokenizer_idempotent;
+  ]

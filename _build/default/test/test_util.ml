@@ -1,0 +1,246 @@
+(* Util substrate: heap, stats, binary search, RNG distribution sanity. *)
+
+let test_heap_basic () =
+  let h = Util.Heap.create Int.compare in
+  Alcotest.(check bool) "empty" true (Util.Heap.is_empty h);
+  List.iter (Util.Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Util.Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Util.Heap.peek h);
+  Alcotest.(check (list int)) "drain sorted" [ 1; 1; 3; 4; 5 ] (Util.Heap.drain h);
+  Alcotest.(check (option int)) "pop empty" None (Util.Heap.pop h)
+
+let test_heap_of_list () =
+  let h = Util.Heap.of_list Int.compare [ 9; 2; 7; 2; 0 ] in
+  Alcotest.(check (list int)) "heapify + drain" [ 0; 2; 2; 7; 9 ] (Util.Heap.drain h)
+
+let test_heap_max () =
+  let h = Util.Heap.of_list (fun a b -> Int.compare b a) [ 1; 5; 3 ] in
+  Alcotest.(check (option int)) "max-heap peek" (Some 5) (Util.Heap.peek h)
+
+let heap_sort_is_sort =
+  Helpers.qtest "heap drain = List.sort"
+    QCheck.(list int)
+    (fun xs ->
+      Util.Heap.drain (Util.Heap.of_list Int.compare xs) = List.sort Int.compare xs)
+
+let heap_push_pop =
+  Helpers.qtest "pushes then drain = sort"
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Util.Heap.create Int.compare in
+      List.iter (Util.Heap.push h) xs;
+      Util.Heap.drain h = List.sort Int.compare xs)
+
+let test_running_stats () =
+  let r = Util.Stats.Running.create () in
+  List.iter (Util.Stats.Running.add r) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Util.Stats.Running.count r);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Util.Stats.Running.mean r);
+  Alcotest.(check (float 1e-9)) "variance" (32. /. 7.) (Util.Stats.Running.variance r);
+  Alcotest.(check (float 1e-9)) "min" 2. (Util.Stats.Running.min r);
+  Alcotest.(check (float 1e-9)) "max" 9. (Util.Stats.Running.max r);
+  Alcotest.(check (float 1e-9)) "total" 40. (Util.Stats.Running.total r)
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Util.Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 1. (Util.Stats.percentile 0. xs);
+  Alcotest.(check (float 1e-9)) "p100" 4. (Util.Stats.percentile 100. xs);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Util.Stats.percentile 50. [||]))
+
+let test_histogram () =
+  let counts = Util.Stats.histogram ~buckets:4 ~lo:0. ~hi:4. [| 0.5; 1.5; 1.7; 3.9; -1.; 9. |] in
+  Alcotest.(check (array int)) "bins" [| 2; 2; 0; 2 |] counts
+
+let running_matches_batch =
+  Helpers.qtest "running mean/stddev match batch"
+    QCheck.(list_of_size Gen.(int_range 2 40) (float_range (-100.) 100.))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let r = Util.Stats.Running.create () in
+      Array.iter (Util.Stats.Running.add r) arr;
+      Float.abs (Util.Stats.Running.mean r -. Util.Stats.mean arr) < 1e-6
+      && Float.abs (Util.Stats.Running.stddev r -. Util.Stats.stddev arr) < 1e-6)
+
+let test_bounds () =
+  let xs = [| 1.; 2.; 2.; 5. |] in
+  let key = Fun.id in
+  Alcotest.(check int) "lower 2" 1 (Util.Array_util.lower_bound ~key xs 2.);
+  Alcotest.(check int) "upper 2" 3 (Util.Array_util.upper_bound ~key xs 2.);
+  Alcotest.(check int) "lower 0" 0 (Util.Array_util.lower_bound ~key xs 0.);
+  Alcotest.(check int) "upper 9" 4 (Util.Array_util.upper_bound ~key xs 9.);
+  Alcotest.(check int) "count [2,5]" 3
+    (Util.Array_util.count_in_range ~key xs ~lo:2. ~hi:5.)
+
+let bounds_property =
+  Helpers.qtest "bounds bracket exactly the matching range"
+    QCheck.(pair (list (float_range 0. 20.)) (float_range 0. 20.))
+    (fun (xs, x) ->
+      let arr = Array.of_list (List.sort Float.compare xs) in
+      let key = Fun.id in
+      let lo = Util.Array_util.lower_bound ~key arr x in
+      let hi = Util.Array_util.upper_bound ~key arr x in
+      let ok = ref (lo <= hi) in
+      Array.iteri
+        (fun i v ->
+          if v < x && i >= lo then ok := false;
+          if v >= x && i < lo then ok := false;
+          if v <= x && i >= hi then ok := false;
+          if v > x && i < hi then ok := false)
+        arr;
+      !ok)
+
+let test_rng_determinism () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Util.Rng.int a 1000) (Util.Rng.int b 1000)
+  done;
+  let c = Util.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Util.Rng.int a 1000 <> Util.Rng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_uniform_mean () =
+  let rng = Util.Rng.create 7 in
+  let n = 20000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Util.Rng.float rng 1.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_rng_int_range () =
+  let rng = Util.Rng.create 3 in
+  let seen = Array.make 7 0 in
+  for _ = 1 to 7000 do
+    let x = Util.Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7);
+    seen.(x) <- seen.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d populated (%d)" i c)
+        true (c > 700))
+    seen
+
+let test_exponential_mean () =
+  let rng = Util.Rng.create 11 in
+  let n = 20000 and rate = 2.5 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Util.Rng.exponential rng ~rate
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/rate" true (Float.abs (mean -. (1. /. rate)) < 0.02)
+
+let test_poisson_mean_var () =
+  let rng = Util.Rng.create 13 in
+  let n = 20000 and mean = 6.5 in
+  let r = Util.Stats.Running.create () in
+  for _ = 1 to n do
+    Util.Stats.Running.add r (float_of_int (Util.Rng.poisson rng ~mean))
+  done;
+  Alcotest.(check bool) "mean" true (Float.abs (Util.Stats.Running.mean r -. mean) < 0.15);
+  Alcotest.(check bool) "variance ~ mean" true
+    (Float.abs (Util.Stats.Running.variance r -. mean) < 0.5);
+  Alcotest.(check int) "poisson 0" 0 (Util.Rng.poisson rng ~mean:0.)
+
+let test_gaussian_moments () =
+  let rng = Util.Rng.create 17 in
+  let r = Util.Stats.Running.create () in
+  for _ = 1 to 20000 do
+    Util.Stats.Running.add r (Util.Rng.gaussian rng ~mu:3. ~sigma:2.)
+  done;
+  Alcotest.(check bool) "mu" true (Float.abs (Util.Stats.Running.mean r -. 3.) < 0.06);
+  Alcotest.(check bool) "sigma" true
+    (Float.abs (Util.Stats.Running.stddev r -. 2.) < 0.06)
+
+let test_zipf_skew () =
+  let rng = Util.Rng.create 19 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10000 do
+    let k = Util.Rng.zipf rng ~n:10 ~s:1.2 in
+    Alcotest.(check bool) "in range" true (k >= 1 && k <= 10);
+    counts.(k - 1) <- counts.(k - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most frequent" true
+    (counts.(0) > counts.(1) && counts.(1) > counts.(4))
+
+let test_dirichlet_simplex () =
+  let rng = Util.Rng.create 23 in
+  for _ = 1 to 200 do
+    let p = Util.Rng.dirichlet rng [| 0.5; 1.5; 3. |] in
+    let total = Array.fold_left ( +. ) 0. p in
+    Alcotest.(check bool) "sums to 1" true (Float.abs (total -. 1.) < 1e-9);
+    Array.iter (fun x -> Alcotest.(check bool) "nonnegative" true (x >= 0.)) p
+  done
+
+let test_categorical () =
+  let rng = Util.Rng.create 29 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 9000 do
+    let i = Util.Rng.categorical rng [| 1.; 2.; 6. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "ordering respected" true
+    (counts.(2) > counts.(1) && counts.(1) > counts.(0));
+  Alcotest.(check bool) "rough proportions" true
+    (Float.abs ((float_of_int counts.(2) /. 9000.) -. (6. /. 9.)) < 0.03)
+
+let test_sample_without_replacement () =
+  let rng = Util.Rng.create 31 in
+  let sample = Util.Rng.sample_without_replacement rng ~k:4 [| 1; 2; 3; 4; 5 |] in
+  Alcotest.(check int) "size" 4 (List.length sample);
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq Int.compare sample))
+
+let test_rng_split_independent () =
+  let parent = Util.Rng.create 1 in
+  let child = Util.Rng.split parent in
+  (* The child must not replay the parent's stream. *)
+  let parent_draws = List.init 50 (fun _ -> Util.Rng.int parent 1_000_000) in
+  let child_draws = List.init 50 (fun _ -> Util.Rng.int child 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (parent_draws <> child_draws);
+  (* And splitting is deterministic given the seed. *)
+  let parent' = Util.Rng.create 1 in
+  let child' = Util.Rng.split parent' in
+  Alcotest.(check bool) "split reproducible" true
+    (List.init 50 (fun _ -> Util.Rng.int child' 1_000_000) = child_draws)
+
+let test_timer () =
+  let result, elapsed = Util.Timer.time_it (fun () -> 41 + 1) in
+  Alcotest.(check int) "result" 42 result;
+  Alcotest.(check bool) "elapsed nonnegative" true (elapsed >= 0.);
+  let samples = Util.Timer.repeat ~warmup:1 ~runs:3 (fun () -> ()) in
+  Alcotest.(check int) "runs" 3 (Array.length samples)
+
+let suite =
+  [
+    Alcotest.test_case "heap basics" `Quick test_heap_basic;
+    Alcotest.test_case "heap of_list" `Quick test_heap_of_list;
+    Alcotest.test_case "max-heap via cmp" `Quick test_heap_max;
+    heap_sort_is_sort;
+    heap_push_pop;
+    Alcotest.test_case "running stats" `Quick test_running_stats;
+    Alcotest.test_case "percentiles" `Quick test_percentile;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    running_matches_batch;
+    Alcotest.test_case "binary search bounds" `Quick test_bounds;
+    bounds_property;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng uniform mean" `Quick test_rng_uniform_mean;
+    Alcotest.test_case "rng int range & spread" `Quick test_rng_int_range;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "poisson mean/variance" `Quick test_poisson_mean_var;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "dirichlet on simplex" `Quick test_dirichlet_simplex;
+    Alcotest.test_case "categorical proportions" `Quick test_categorical;
+    Alcotest.test_case "sampling without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "timer" `Quick test_timer;
+  ]

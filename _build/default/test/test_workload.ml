@@ -1,0 +1,232 @@
+(* Workload generators: determinism, rate/overlap control, catalog
+   structure, matching pipeline behaviour. *)
+
+let topics = Workload.Catalog.subtopics ~per_broad:4 ~seed:1
+
+let test_catalog_shape () =
+  Alcotest.(check int) "10 broads x 4" 40 (Array.length topics);
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "has keywords" true
+        (Array.length t.Workload.Catalog.keywords >= 3);
+      Alcotest.(check bool) "mood bounded" true
+        (t.Workload.Catalog.mood >= -1. && t.Workload.Catalog.mood <= 1.))
+    topics
+
+let test_catalog_entities_unique () =
+  let entities = Array.map (fun t -> t.Workload.Catalog.keywords.(0)) topics in
+  let distinct =
+    List.length (List.sort_uniq String.compare (Array.to_list entities))
+  in
+  Alcotest.(check int) "entity keywords unique" (Array.length topics) distinct
+
+let test_catalog_deterministic () =
+  let again = Workload.Catalog.subtopics ~per_broad:4 ~seed:1 in
+  Alcotest.(check bool) "same seed same catalog" true (topics = again);
+  let other = Workload.Catalog.subtopics ~per_broad:4 ~seed:2 in
+  Alcotest.(check bool) "different seed differs" true (topics <> other)
+
+let test_label_set_within_broad () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 20 do
+    let labels = Workload.Catalog.pick_label_set rng topics ~size:3 in
+    Alcotest.(check int) "size" 3 (List.length labels);
+    let broads =
+      List.sort_uniq String.compare
+        (List.map (fun i -> topics.(i).Workload.Catalog.broad) labels)
+    in
+    Alcotest.(check int) "single broad theme" 1 (List.length broads)
+  done
+
+let test_stream_gen_basics () =
+  let config =
+    { (Workload.Stream_gen.default_config ~topics ~seed:5) with
+      Workload.Stream_gen.duration = 300.;
+      topic_rate = 0.02 }
+  in
+  let tweets = Workload.Stream_gen.generate config in
+  Alcotest.(check bool) "nonempty" true (List.length tweets > 0);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Workload.Tweet.time <= b.Workload.Tweet.time && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted by time" true (sorted tweets);
+  List.iteri
+    (fun i t ->
+      Alcotest.(check int) "dense ids" i t.Workload.Tweet.id;
+      Alcotest.(check bool) "time in range" true
+        (t.Workload.Tweet.time >= 0. && t.Workload.Tweet.time < 300.);
+      Alcotest.(check bool) "has topics" true (t.Workload.Tweet.topics <> []);
+      Alcotest.(check bool) "sentiment bounded" true
+        (t.Workload.Tweet.sentiment >= -1. && t.Workload.Tweet.sentiment <= 1.))
+    tweets
+
+let test_stream_gen_deterministic () =
+  let config = Workload.Stream_gen.default_config ~topics ~seed:5 in
+  Alcotest.(check bool) "reproducible" true
+    (Workload.Stream_gen.generate config = Workload.Stream_gen.generate config)
+
+let test_stream_rate_scales () =
+  let make rate =
+    List.length
+      (Workload.Stream_gen.generate
+         { (Workload.Stream_gen.default_config ~topics ~seed:5) with
+           Workload.Stream_gen.duration = 600.;
+           topic_rate = rate;
+           bursts_per_hour = 0. })
+  in
+  let slow = make 0.005 and fast = make 0.02 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4x rate gives ~4x posts (%d vs %d)" slow fast)
+    true
+    (float_of_int fast /. float_of_int slow > 2.5
+    && float_of_int fast /. float_of_int slow < 5.5)
+
+let test_direct_gen_rate () =
+  let config =
+    { (Workload.Direct_gen.default_config ~num_labels:5 ~seed:1) with
+      Workload.Direct_gen.duration = 6000.;
+      rate_per_min = 30. }
+  in
+  let posts = Workload.Direct_gen.generate config in
+  (* 100 minutes at 30/min: Poisson(3000), so within +-10%. *)
+  let n = List.length posts in
+  Alcotest.(check bool) (Printf.sprintf "rate respected (%d)" n) true
+    (n > 2700 && n < 3300)
+
+let test_direct_gen_overlap_control () =
+  let base = Workload.Direct_gen.default_config ~num_labels:6 ~seed:2 in
+  List.iter
+    (fun target ->
+      let config =
+        Workload.Direct_gen.overlap_config
+          ~base:{ base with Workload.Direct_gen.duration = 3000. }
+          ~overlap:target
+      in
+      Alcotest.(check (float 1e-9)) "configured mean" target
+        (Workload.Direct_gen.expected_overlap config);
+      let inst = Workload.Direct_gen.instance config in
+      let realized = Mqdp.Instance.overlap_rate inst in
+      Alcotest.(check bool)
+        (Printf.sprintf "realized %.2f near target %.2f" realized target)
+        true
+        (Float.abs (realized -. target) < 0.12))
+    [ 1.0; 1.4; 2.0; 2.6; 3.0 ]
+
+let test_direct_gen_label_skew () =
+  let config =
+    { (Workload.Direct_gen.default_config ~num_labels:6 ~seed:3) with
+      Workload.Direct_gen.duration = 3000.;
+      label_skew = 1.2 }
+  in
+  let inst = Workload.Direct_gen.instance config in
+  let count a = Array.length (Mqdp.Instance.label_posts inst a) in
+  Alcotest.(check bool) "label 0 most popular" true (count 0 > count 5)
+
+let test_direct_gen_validation () =
+  let base = Workload.Direct_gen.default_config ~num_labels:2 ~seed:1 in
+  Alcotest.check_raises "overlap slots > labels"
+    (Invalid_argument "Direct_gen: more label slots than labels") (fun () ->
+      ignore
+        (Workload.Direct_gen.generate
+           { base with Workload.Direct_gen.overlap_probs = [| 0.5; 0.3; 0.2 |] }))
+
+let test_matching_recovers_topics () =
+  let config =
+    { (Workload.Stream_gen.default_config ~topics ~seed:7) with
+      Workload.Stream_gen.duration = 300.;
+      topic_rate = 0.02 }
+  in
+  let tweets = Workload.Stream_gen.generate config in
+  let chosen = [ 0; 1; 2 ] in
+  let queries =
+    Array.of_list (List.map (fun i -> topics.(i).Workload.Catalog.keywords) chosen)
+  in
+  let matched = Workload.Matching.match_tweets ~queries tweets in
+  Alcotest.(check bool) "matches exist" true (matched <> []);
+  (* Every tweet planted on a chosen topic must be matched to it: its text
+     contains a keyword of that topic by construction... except when all
+     keyword draws collapsed to shared broad words also in other topics —
+     the entity itself is always a candidate, so require >= 90%. *)
+  let planted =
+    List.filter
+      (fun t -> List.exists (fun i -> List.mem i chosen) t.Workload.Tweet.topics)
+      tweets
+  in
+  let recovered =
+    List.filter
+      (fun m ->
+        List.exists
+          (fun label -> List.mem (List.nth chosen label) m.Workload.Matching.tweet.Workload.Tweet.topics)
+          m.Workload.Matching.labels)
+      matched
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "recall %d/%d" (List.length recovered) (List.length planted))
+    true
+    (float_of_int (List.length recovered) /. float_of_int (max 1 (List.length planted))
+    > 0.7)
+
+let test_matching_hashtags () =
+  let tweet =
+    { Workload.Tweet.id = 0; time = 0.; text = "#senate vote"; tokens = [ "#senate"; "vote" ];
+      topics = []; sentiment = 0. }
+  in
+  let matched = Workload.Matching.match_tweets ~queries:[| [| "senate" |] |] [ tweet ] in
+  Alcotest.(check int) "hashtag matches its keyword" 1 (List.length matched)
+
+let test_build_instance_dimension () =
+  let mk id time text sentiment =
+    { Workload.Tweet.id; time; text; tokens = Text.Tokenizer.tokenize text;
+      topics = []; sentiment }
+  in
+  let tweets =
+    [ mk 0 0. "market great rally" 0.; mk 1 10. "market terrible crash" 0. ]
+  in
+  let queries = [| [| "market" |] |] in
+  let time_inst, _ =
+    Workload.Matching.build_instance ~dimension:Workload.Matching.Time ~queries tweets
+  in
+  Alcotest.(check (float 0.)) "time dimension" 0. (Mqdp.Instance.value time_inst 0);
+  let senti_inst, _ =
+    Workload.Matching.build_instance ~dimension:Workload.Matching.Sentiment_score
+      ~queries tweets
+  in
+  (* Sorted by value: the negative tweet comes first. *)
+  Alcotest.(check int) "negative first" 1 (Mqdp.Instance.post senti_inst 0).Mqdp.Post.id;
+  Alcotest.(check bool) "values are polarities" true
+    (Mqdp.Instance.value senti_inst 0 < 0. && Mqdp.Instance.value senti_inst 1 > 0.)
+
+let test_news_gen () =
+  let articles = Workload.News_gen.articles ~seed:1 ~topics ~count:20 in
+  Alcotest.(check int) "count" 20 (List.length articles);
+  List.iter
+    (fun a ->
+      let n = List.length a.Workload.News_gen.tokens in
+      Alcotest.(check bool) "length in [80, 200]" true (n >= 80 && n <= 200);
+      Alcotest.(check bool) "planted topics recorded" true
+        (a.Workload.News_gen.subtopics <> []))
+    articles;
+  let again = Workload.News_gen.articles ~seed:1 ~topics ~count:20 in
+  Alcotest.(check bool) "deterministic" true (articles = again)
+
+let suite =
+  [
+    Alcotest.test_case "catalog shape" `Quick test_catalog_shape;
+    Alcotest.test_case "catalog entities unique" `Quick test_catalog_entities_unique;
+    Alcotest.test_case "catalog deterministic" `Quick test_catalog_deterministic;
+    Alcotest.test_case "label sets stay in one broad" `Quick test_label_set_within_broad;
+    Alcotest.test_case "stream gen basics" `Quick test_stream_gen_basics;
+    Alcotest.test_case "stream gen deterministic" `Quick test_stream_gen_deterministic;
+    Alcotest.test_case "stream rate scales" `Quick test_stream_rate_scales;
+    Alcotest.test_case "direct gen rate" `Quick test_direct_gen_rate;
+    Alcotest.test_case "direct gen overlap control" `Quick test_direct_gen_overlap_control;
+    Alcotest.test_case "direct gen label skew" `Quick test_direct_gen_label_skew;
+    Alcotest.test_case "direct gen validation" `Quick test_direct_gen_validation;
+    Alcotest.test_case "matching recovers planted topics" `Quick
+      test_matching_recovers_topics;
+    Alcotest.test_case "matching strips hashtags" `Quick test_matching_hashtags;
+    Alcotest.test_case "build_instance dimensions" `Quick test_build_instance_dimension;
+    Alcotest.test_case "news generator" `Quick test_news_gen;
+  ]
