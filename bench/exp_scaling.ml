@@ -1,0 +1,63 @@
+(* Scaling of the Domain-pool parallel runtime (not a paper figure).
+
+   Measures GreedySC state construction — the dominant cost on large
+   instances — plus Scan and Scan+ end-to-end, on the largest synthetic
+   workload (one simulated day at |L| = 20), across worker counts. Covers
+   are checked bit-identical to the sequential run at every width. On a
+   single-core container the speedup column sits near 1.0x; on >= 4 cores
+   state construction is expected to clear 1.5x at --jobs 4. *)
+
+let job_widths cores =
+  List.sort_uniq Int.compare (List.filter (fun j -> j <= max 8 cores) [ 1; 2; 4; 8 ])
+
+let run () =
+  let cores = Domain.recommended_domain_count () in
+  Harness.section ~id:"scaling"
+    ~paper:"(new) Domain-pool scaling of the parallel solver runtime"
+    ~expect:"speedup grows with jobs up to the core count; covers identical";
+  let inst = Workloads.one_day ~labels:20 ~seed:3 in
+  let fixed = Mqdp.Coverage.Fixed 30. in
+  let variable =
+    Mqdp.Coverage.Per_post_label
+      (fun p a -> 20. +. float_of_int ((p.Mqdp.Post.id + a) mod 7))
+  in
+  Printf.printf "workload: %d posts, |L| = 20, one day; %d core(s) available\n\n"
+    (Mqdp.Instance.size inst) cores;
+  let time f = Util.Timer.best_of ~runs:3 f in
+  let baseline_state = ref 0. in
+  let baseline_scan = ref 0. in
+  let baseline_plus = ref 0. in
+  let reference_cover = ref [] in
+  let row jobs =
+    let measure pool =
+      let t_state = time (fun () -> Mqdp.Greedy_sc.create_state ?pool inst variable) in
+      let t_scan = time (fun () -> Mqdp.Scan.solve ?pool inst fixed) in
+      let t_plus = time (fun () -> Mqdp.Scan.solve_plus ?pool inst fixed) in
+      let cover = Mqdp.Scan.solve ?pool inst fixed in
+      (t_state, t_scan, t_plus, cover)
+    in
+    let t_state, t_scan, t_plus, cover =
+      if jobs = 1 then measure None
+      else Util.Pool.with_pool ~jobs (fun pool -> measure (Some pool))
+    in
+    if jobs = 1 then begin
+      baseline_state := t_state;
+      baseline_scan := t_scan;
+      baseline_plus := t_plus;
+      reference_cover := cover
+    end;
+    [
+      string_of_int jobs;
+      Printf.sprintf "%.1f" (t_state *. 1000.);
+      Printf.sprintf "%.2fx" (!baseline_state /. t_state);
+      Printf.sprintf "%.1f" (t_scan *. 1000.);
+      Printf.sprintf "%.2fx" (!baseline_scan /. t_scan);
+      Printf.sprintf "%.1f" (t_plus *. 1000.);
+      Printf.sprintf "%.2fx" (!baseline_plus /. t_plus);
+      (if cover = !reference_cover then "identical" else "DIVERGED");
+    ]
+  in
+  Harness.table
+    [ "jobs"; "state ms"; "speedup"; "scan ms"; "speedup"; "scan+ ms"; "speedup";
+      "cover" ]
+    (List.map row (job_widths cores))

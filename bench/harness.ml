@@ -33,13 +33,32 @@ let f3 x = Printf.sprintf "%.3f" x
 (* Microseconds with 3 significant-ish digits. *)
 let us x = Printf.sprintf "%.2f" (x *. 1e6)
 
-(* Average [f seed] over [seeds] runs; f returns a float. *)
+(* Optional shared worker pool for multi-seed repetitions; enabled with
+   `--jobs N` on bench/main.exe. Off by default so measurements stay
+   uncontended unless asked for. *)
+let pool : Util.Pool.t option ref = ref None
+
+let set_jobs n =
+  (match !pool with
+  | Some p -> Util.Pool.shutdown p
+  | None -> ());
+  pool := (if n > 1 then Some (Util.Pool.create ~jobs:n) else None)
+
+(* Average [f seed] over [seeds] runs; f returns a float. Seeds fan out
+   over the pool when one is set; the reduction always folds in seed order
+   so the mean is deterministic either way. *)
 let mean_over_seeds ~seeds f =
-  let total = ref 0. in
-  for seed = 1 to seeds do
-    total := !total +. f seed
-  done;
-  !total /. float_of_int seeds
+  let samples =
+    match !pool with
+    | None ->
+      let out = Array.make seeds 0. in
+      for seed = 1 to seeds do
+        out.(seed - 1) <- f seed
+      done;
+      out
+    | Some p -> Util.Pool.parallel_map p ~chunk:1 ~f (Array.init seeds (fun i -> i + 1))
+  in
+  Array.fold_left ( +. ) 0. samples /. float_of_int seeds
 
 (* OPT can blow up; return None when the state limit is hit so a sweep
    can report the point as skipped instead of dying. *)

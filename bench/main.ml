@@ -5,7 +5,9 @@
    Usage:
      dune exec bench/main.exe                 # run everything
      dune exec bench/main.exe -- --exp fig6   # run one experiment
-     dune exec bench/main.exe -- --list       # list experiment ids *)
+     dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- --jobs 4 --exp table1
+                                              # parallel multi-seed runs *)
 
 let experiments =
   [
@@ -28,6 +30,7 @@ let experiments =
     ("ablE", Exp_ablations.abl_baselines);
     ("ablF", Exp_ablations.abl_greedy_selection);
     ("micro", Micro.run);
+    ("scaling", Exp_scaling.run);
   ]
 
 let list_experiments () =
@@ -43,14 +46,27 @@ let run_one id =
     exit 1
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--list" :: _ -> list_experiments ()
-  | _ :: "--exp" :: ids -> List.iter run_one ids
-  | _ :: [] ->
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some jobs when jobs >= 1 ->
+        Harness.set_jobs jobs;
+        rest
+      | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        exit 1)
+    | _ :: rest -> rest
+    | [] -> []
+  in
+  match args with
+  | "--list" :: _ -> list_experiments ()
+  | "--exp" :: ids -> List.iter run_one ids
+  | [] ->
     let (), total = Util.Timer.time_it (fun () ->
         List.iter (fun (id, _) -> run_one id) experiments)
     in
     Printf.printf "\n%s\nall experiments done in %.1fs\n" (String.make 78 '=') total
   | _ ->
-    prerr_endline "usage: main.exe [--list | --exp <id> ...]";
+    prerr_endline "usage: main.exe [--jobs <n>] [--list | --exp <id> ...]";
     exit 1

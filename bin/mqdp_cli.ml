@@ -38,6 +38,14 @@ let overlap_arg =
     & info [ "overlap" ] ~docv:"RATE"
         ~doc:"Target post overlap rate (mean labels per post), in [1, 3].")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel solver phases (default 1 = \
+           sequential). The cover is identical for every N.")
+
 let out_arg =
   Arg.(
     value & opt (some string) None
@@ -116,10 +124,13 @@ let load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap =
   | None -> Workload.Direct_gen.instance (config ~seed ~duration ~rate ~labels ~overlap)
 
 let solve_cmd =
-  let run seed duration rate labels overlap lambda algorithm input out =
+  let run seed duration rate labels overlap lambda algorithm jobs input out =
+    (if jobs < 1 then (
+       Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
+       exit 1));
     let inst = load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap in
     print_instance_stats inst;
-    let result = Mqdp.Solver.solve algorithm inst (Mqdp.Coverage.Fixed lambda) in
+    let result = Mqdp.Solver.solve ~jobs algorithm inst (Mqdp.Coverage.Fixed lambda) in
     Printf.printf "%s: cover size %d (%.2f%% of stream), %.2f ms, valid=%b\n"
       (Mqdp.Solver.algorithm_name algorithm)
       result.Mqdp.Solver.size
@@ -137,7 +148,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve MQDP on a generated or loaded workload.")
     Term.(
       const run $ seed_arg $ duration_arg $ rate_arg $ labels_arg $ overlap_arg
-      $ lambda_arg $ algorithm_arg $ in_arg $ out_arg)
+      $ lambda_arg $ algorithm_arg $ jobs_arg $ in_arg $ out_arg)
 
 (* stream *)
 

@@ -46,7 +46,13 @@ let iter_coverers state a ia f =
         f lp.(j)
       done)
 
-let build_coverer_lists instance lambda =
+(* Parallelization note: each label's output row [lists.(a)] is written
+   only while processing label [a], and each gain cell [gain.(k)] is
+   written only while processing post [k]. Fanning the outer loops out over
+   a pool therefore needs no locks, and the per-row (resp. per-cell)
+   iteration order is unchanged, so the result is bit-identical to the
+   sequential run for any pool size. *)
+let build_coverer_lists ?pool instance lambda =
   let max_label =
     List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
   in
@@ -54,27 +60,32 @@ let build_coverer_lists instance lambda =
     Array.init (max_label + 1) (fun a ->
         Array.make (Array.length (Instance.label_posts instance a)) [])
   in
-  List.iter
-    (fun a ->
-      let lp = Instance.label_posts instance a in
-      Array.iter
-        (fun k ->
-          let p = Instance.post instance k in
-          let r = Coverage.radius lambda p a in
-          match
-            Instance.posts_in_range instance a ~lo:(p.Post.value -. r)
-              ~hi:(p.Post.value +. r)
-          with
-          | None -> ()
-          | Some (first, last) ->
-            for ia = first to last do
-              lists.(a).(ia) <- k :: lists.(a).(ia)
-            done)
-        lp)
-    (Instance.label_universe instance);
+  let process_label a =
+    let lp = Instance.label_posts instance a in
+    Array.iter
+      (fun k ->
+        let p = Instance.post instance k in
+        let r = Coverage.radius lambda p a in
+        match
+          Instance.posts_in_range instance a ~lo:(p.Post.value -. r)
+            ~hi:(p.Post.value +. r)
+        with
+        | None -> ()
+        | Some (first, last) ->
+          for ia = first to last do
+            lists.(a).(ia) <- k :: lists.(a).(ia)
+          done)
+      lp
+  in
+  (match pool with
+  | None -> List.iter process_label (Instance.label_universe instance)
+  | Some pool ->
+    let universe = Array.of_list (Instance.label_universe instance) in
+    Util.Pool.parallel_for pool ~chunk:1 (Array.length universe) ~f:(fun i ->
+        process_label universe.(i)));
   lists
 
-let create_state instance lambda =
+let create_state ?pool instance lambda =
   let max_label =
     List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
   in
@@ -85,15 +96,25 @@ let create_state instance lambda =
   let coverer_lists =
     match lambda with
     | Coverage.Fixed _ -> None
-    | Coverage.Per_post_label _ -> Some (build_coverer_lists instance lambda)
+    | Coverage.Per_post_label _ -> Some (build_coverer_lists ?pool instance lambda)
   in
   let state =
     { instance; lambda; covered; gain = Array.make (Instance.size instance) 0;
       coverer_lists }
   in
-  for k = 0 to Instance.size instance - 1 do
+  let init_gain k =
     iter_pairs_covered_by state k (fun _ _ -> state.gain.(k) <- state.gain.(k) + 1)
-  done;
+  in
+  (match pool with
+  | None ->
+    for k = 0 to Instance.size instance - 1 do
+      init_gain k
+    done
+  | Some pool ->
+    Util.Pool.parallel_iter_chunks pool (Instance.size instance) ~f:(fun lo hi ->
+        for k = lo to hi - 1 do
+          init_gain k
+        done));
   state
 
 let select state k =
@@ -145,8 +166,8 @@ let solve_heap state =
   in
   loop []
 
-let solve ?(selection = `Linear_scan) instance lambda =
-  let state = create_state instance lambda in
+let solve ?(selection = `Linear_scan) ?pool instance lambda =
+  let state = create_state ?pool instance lambda in
   let cover =
     match selection with
     | `Linear_scan -> solve_linear state

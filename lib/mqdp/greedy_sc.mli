@@ -15,6 +15,20 @@
 
 type selection = [ `Linear_scan | `Lazy_heap ]
 
-(** [solve ?selection instance lambda] returns cover positions, ascending.
-    Default selection is [`Linear_scan]. *)
-val solve : ?selection:selection -> Instance.t -> Coverage.lambda -> int list
+(** The mutable set-cover state (gain array, covered flags, and — for a
+    per-post lambda — materialized coverer lists). *)
+type state
+
+(** [create_state ?pool instance lambda] builds the state [solve] starts
+    from; construction is the dominant cost on large instances and fans
+    out over [pool] when given. Exposed for the scaling benchmark. *)
+val create_state : ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> state
+
+(** [solve ?selection ?pool instance lambda] returns cover positions,
+    ascending. Default selection is [`Linear_scan]. When [pool] is given,
+    state construction (gain initialization and, for a per-post lambda, the
+    coverer lists) fans out across the pool's domains; the selection loop
+    itself stays sequential. The cover is bit-identical to a run without
+    [pool]. *)
+val solve :
+  ?selection:selection -> ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list

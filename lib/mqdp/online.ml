@@ -18,10 +18,16 @@ type t = {
   lambda : float;
   mode : mode;
   states : (Label.t, label_state) Hashtbl.t;
-  heap : (float * Label.t) Util.Heap.t;
+  mutable heap : (float * Label.t) Util.Heap.t;
   emitted : (int, unit) Hashtbl.t;  (* distinct emitted post ids *)
   mutable last_time : float option;
 }
+
+(* Deterministic heap order: ties on the deadline break by label id, so
+   firing order does not depend on heap history (pushes vs compaction). *)
+let heap_cmp (da, a) (db, b) =
+  let c = Float.compare da db in
+  if c <> 0 then c else Int.compare a b
 
 let create ~lambda mode =
   if lambda < 0. then invalid_arg "Online.create: negative lambda";
@@ -32,7 +38,7 @@ let create ~lambda mode =
     lambda;
     mode;
     states = Hashtbl.create 16;
-    heap = Util.Heap.create (fun (da, _) (db, _) -> Float.compare da db);
+    heap = Util.Heap.create heap_cmp;
     emitted = Hashtbl.create 64;
     last_time = None;
   }
@@ -55,14 +61,39 @@ let plus_of t =
   | Delayed { plus; _ } -> plus
   | Instant -> false
 
+(* The heap may hold stale entries (superseded deadlines are only discarded
+   at fire time). Two measures keep it from growing O(total arrivals): a
+   recomputed deadline equal to the current one is not re-pushed (the
+   Î»-dominated regime recomputes the same [t_oldest + Î»] on every arrival),
+   and when stale entries still outnumber live labels 2:1 the heap is
+   rebuilt with exactly one entry per pending label. *)
+let compact_slack = 8
+
+let compact t =
+  let live =
+    Hashtbl.fold
+      (fun a st acc -> if st.deadline < infinity then (st.deadline, a) :: acc else acc)
+      t.states []
+  in
+  t.heap <- Util.Heap.of_list heap_cmp live
+
+let push_deadline t a d =
+  Util.Heap.push t.heap (d, a);
+  if Util.Heap.length t.heap > (2 * Hashtbl.length t.states) + compact_slack then
+    compact t
+
 let refresh_deadline t a =
   let st = state t a in
-  match (st.pending, st.oldest) with
-  | [], _ | _, None -> st.deadline <- infinity
-  | latest :: _, Some oldest ->
-    st.deadline <-
-      Float.min (latest.Post.value +. tau_of t) (oldest.Post.value +. t.lambda);
-    Util.Heap.push t.heap (st.deadline, a)
+  let d =
+    match (st.pending, st.oldest) with
+    | [], _ | _, None -> infinity
+    | latest :: _, Some oldest ->
+      Float.min (latest.Post.value +. tau_of t) (oldest.Post.value +. t.lambda)
+  in
+  if d <> st.deadline then begin
+    st.deadline <- d;
+    if d < infinity then push_deadline t a d
+  end
 
 let record_emission t out post emit_time =
   Hashtbl.replace t.emitted post.Post.id ();
@@ -105,10 +136,15 @@ let fire t out (d, a) =
       if plus_of t then credit_emission t latest
   end
 
-let fire_due t out ~until =
+(* [inclusive] controls the boundary: [push] fires strictly-due deadlines
+   (d < until) so an arrival at exactly its label's deadline is processed
+   before the deadline fires — the arriving post may itself cover the
+   pending pairs; [finish] drains inclusively. *)
+let fire_due t out ~until ~inclusive =
+  let due d = if inclusive then d <= until else d < until in
   let rec loop () =
     match Util.Heap.peek t.heap with
-    | Some (d, _) when d <= until -> begin
+    | Some (d, _) when due d -> begin
       match Util.Heap.pop t.heap with
       | Some entry ->
         fire t out entry;
@@ -168,16 +204,18 @@ let push t post =
   let out = ref [] in
   (match t.mode with
   | Delayed _ ->
-    fire_due t out ~until:post.Post.value;
+    fire_due t out ~until:post.Post.value ~inclusive:false;
     arrival_delayed t out post
   | Instant -> arrival_instant t out post);
   sort_emissions (List.rev !out)
 
 let finish t =
   let out = ref [] in
-  fire_due t out ~until:infinity;
+  fire_due t out ~until:infinity ~inclusive:true;
   sort_emissions (List.rev !out)
 
 let emitted_count t = Hashtbl.length t.emitted
+
+let deadline_queue_length t = Util.Heap.length t.heap
 
 let last_arrival t = t.last_time

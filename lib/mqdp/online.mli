@@ -31,8 +31,11 @@ type t
 val create : lambda:float -> mode -> t
 
 (** [push t post] — register an arrival; returns due emissions in emit-time
-    order. Raises [Invalid_argument] when [post.value] precedes the
-    previous arrival. *)
+    order. Only deadlines *strictly* before [post.value] fire: an arrival
+    at exactly a pending deadline is processed first, since the arriving
+    post may itself cover the pending pairs (it is then emitted at the
+    deadline, which equals its own timestamp). Raises [Invalid_argument]
+    when [post.value] precedes the previous arrival. *)
 val push : t -> Post.t -> emission list
 
 (** [finish t] — drain every pending deadline; the diversifier can keep
@@ -41,6 +44,11 @@ val finish : t -> emission list
 
 (** Number of distinct posts emitted so far. *)
 val emitted_count : t -> int
+
+(** Current length of the internal deadline queue, stale entries included.
+    Exposed for observability: the engine keeps this O(pending labels)
+    (deduplicated pushes plus periodic compaction), not O(arrivals). *)
+val deadline_queue_length : t -> int
 
 (** Value of the latest arrival, or [None] before the first push. *)
 val last_arrival : t -> float option

@@ -40,7 +40,12 @@ let best_pick instance lambda a lp x =
     if !best < 0 then invalid_arg "Scan.best_pick: no candidate interval contains x";
     !best
 
-let solve_label instance lambda a =
+(* The greedy chain of label [a] alone: pairs [(i, j)] meaning "at LP(a)
+   index [i] the best pick is LP(a) index [j]", in ascending [i]. Each
+   entry depends only on [(a, i)], never on what other labels covered, so
+   chains can be computed per label in parallel and reused as a pick cache
+   by Scan+'s sequential merge. *)
+let chain instance lambda a =
   let lp = Instance.label_posts instance a in
   let n = Array.length lp in
   let rec loop i acc =
@@ -48,22 +53,41 @@ let solve_label instance lambda a =
     else begin
       let x = Instance.value instance lp.(i) in
       let j = best_pick instance lambda a lp x in
-      let picked = lp.(j) in
-      let right = reach instance lambda a picked in
+      let right = reach instance lambda a lp.(j) in
       (* Skip every post covered by the pick. *)
       let key pos = Instance.value instance pos in
       let next = Util.Array_util.upper_bound ~key lp right in
-      loop (max next (i + 1)) (picked :: acc)
+      loop (max next (i + 1)) ((i, j) :: acc)
     end
   in
   loop 0 []
 
+let solve_label instance lambda a =
+  let lp = Instance.label_posts instance a in
+  List.map (fun (_, j) -> lp.(j)) (chain instance lambda a)
+
 let sorted_unique positions =
   List.sort_uniq Int.compare positions
 
-let solve instance lambda =
-  Instance.label_universe instance
-  |> List.concat_map (fun a -> solve_label instance lambda a)
+let label_chains pool instance lambda labels =
+  Util.Pool.parallel_map pool ~chunk:1
+    ~f:(fun a -> chain instance lambda a)
+    (Array.of_list labels)
+
+let solve ?pool instance lambda =
+  let universe = Instance.label_universe instance in
+  (match pool with
+  | None -> List.concat_map (fun a -> solve_label instance lambda a) universe
+  | Some pool ->
+    (* Per-label fan-out; concatenating in universe order makes the merge
+       independent of scheduling, hence bit-identical to sequential. *)
+    let chains = label_chains pool instance lambda universe in
+    List.concat
+      (List.mapi
+         (fun idx a ->
+           let lp = Instance.label_posts instance a in
+           List.map (fun (_, j) -> lp.(j)) chains.(idx))
+         universe))
   |> sorted_unique
 
 let label_order instance order =
@@ -76,7 +100,7 @@ let label_order instance order =
   | Least_frequent_first ->
     List.sort (fun a b -> Int.compare (frequency a) (frequency b)) universe
 
-let solve_plus ?(order = Given) instance lambda =
+let solve_plus ?(order = Given) ?pool instance lambda =
   let max_label =
     List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
   in
@@ -97,16 +121,49 @@ let solve_plus ?(order = Given) instance lambda =
           Bytes.fill covered.(b) first (last - first + 1) '\001')
       p.Post.labels
   in
+  let labels = label_order instance order in
+  (* Cross-label coverage makes the label loop inherently sequential, but
+     [best_pick] depends only on the pair (label, index) — never on the
+     covered flags — so the per-label pick chains are speculatively computed
+     in parallel and consulted as a cache during the ordered merge. A cache
+     hit returns exactly what [best_pick] would, so the cover is
+     bit-identical to the sequential run; misses (positions only reachable
+     because another label covered part of the chain) fall back to
+     [best_pick]. *)
+  let speculative =
+    match pool with
+    | None -> None
+    | Some pool -> Some (label_chains pool instance lambda labels)
+  in
   let picks = ref [] in
-  let process_label a =
+  let process_label idx a =
     let lp = Instance.label_posts instance a in
     let n = Array.length lp in
+    let cache =
+      ref
+        (match speculative with
+        | None -> []
+        | Some chains -> chains.(idx))
+    in
+    let pick_at i x =
+      let rec lookup () =
+        match !cache with
+        | (pos, _) :: rest when pos < i ->
+          cache := rest;
+          lookup ()
+        | (pos, j) :: _ when pos = i -> Some j
+        | _ -> None
+      in
+      match lookup () with
+      | Some j -> j
+      | None -> best_pick instance lambda a lp x
+    in
     let rec loop i =
       if i < n then begin
         if Bytes.get covered.(a) i <> '\000' then loop (i + 1)
         else begin
           let x = Instance.value instance lp.(i) in
-          let j = best_pick instance lambda a lp x in
+          let j = pick_at i x in
           picks := lp.(j) :: !picks;
           mark_covered_by lp.(j);
           (* lp.(j) covers pair (i, a), so the flag at i is now set. *)
@@ -116,5 +173,5 @@ let solve_plus ?(order = Given) instance lambda =
     in
     loop 0
   in
-  List.iter process_label (label_order instance order);
+  List.iteri process_label labels;
   sorted_unique !picks

@@ -17,11 +17,18 @@ type order =
   | Most_frequent_first
   | Least_frequent_first
 
-(** [solve instance lambda] — plain Scan. Returns positions, ascending. *)
-val solve : Instance.t -> Coverage.lambda -> int list
+(** [solve ?pool instance lambda] — plain Scan. Returns positions,
+    ascending. With [pool], the independent per-label covers are computed
+    in parallel and merged in label order, so the result is bit-identical
+    to the sequential run. *)
+val solve : ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
 
-(** [solve_plus ?order instance lambda] — Scan+ (default order [Given]). *)
-val solve_plus : ?order:order -> Instance.t -> Coverage.lambda -> int list
+(** [solve_plus ?order ?pool instance lambda] — Scan+ (default order
+    [Given]). With [pool], the per-label pick chains are speculatively
+    computed in parallel and used as a pick cache by the sequential
+    cross-label merge; the cover is bit-identical to the sequential run. *)
+val solve_plus :
+  ?order:order -> ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
 
 (** [solve_label instance lambda a] — the optimal cover of LP(a) with
     respect to label [a] alone (positions, ascending). Exposed for tests

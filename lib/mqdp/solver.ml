@@ -51,18 +51,27 @@ let algorithm_of_string s =
 let streaming_algorithm_of_string s =
   List.find_opt (fun a -> streaming_algorithm_name a = s) all_streaming_algorithms
 
-let solve algorithm instance lambda =
-  let run () =
-    match algorithm with
-    | Opt -> Opt.solve instance lambda
-    | Brute_force -> Brute_force.solve instance lambda
-    | Greedy_sc -> Greedy_sc.solve ~selection:`Linear_scan instance lambda
-    | Greedy_sc_heap -> Greedy_sc.solve ~selection:`Lazy_heap instance lambda
-    | Scan -> Scan.solve instance lambda
-    | Scan_plus -> Scan.solve_plus instance lambda
+let solve_with_pool ?pool algorithm instance lambda =
+  match algorithm with
+  | Opt -> Opt.solve instance lambda
+  | Brute_force -> Brute_force.solve instance lambda
+  | Greedy_sc -> Greedy_sc.solve ~selection:`Linear_scan ?pool instance lambda
+  | Greedy_sc_heap -> Greedy_sc.solve ~selection:`Lazy_heap ?pool instance lambda
+  | Scan -> Scan.solve ?pool instance lambda
+  | Scan_plus -> Scan.solve_plus ?pool instance lambda
+
+let solve ?(jobs = 1) algorithm instance lambda =
+  if jobs < 1 then invalid_arg "Solver.solve: jobs < 1";
+  (* The pool is created (and its domains spawned) outside the timed
+     region so [elapsed] measures the algorithm, not domain startup. *)
+  let timed pool =
+    let cover, elapsed =
+      Util.Timer.time_it (fun () -> solve_with_pool ?pool algorithm instance lambda)
+    in
+    { cover; size = List.length cover; elapsed }
   in
-  let cover, elapsed = Util.Timer.time_it run in
-  { cover; size = List.length cover; elapsed }
+  if jobs = 1 then timed None
+  else Util.Pool.with_pool ~jobs (fun pool -> timed (Some pool))
 
 let solve_stream algorithm ~tau instance lambda =
   let run () =

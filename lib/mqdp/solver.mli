@@ -42,6 +42,13 @@ val streaming_algorithm_of_string : string -> streaming_algorithm option
 val all_algorithms : algorithm list
 val all_streaming_algorithms : streaming_algorithm list
 
-val solve : algorithm -> Instance.t -> Coverage.lambda -> result
+(** [solve ?jobs algorithm instance lambda] — run [algorithm] with
+    [jobs]-way parallelism (default 1 = sequential; raises
+    [Invalid_argument] on [jobs < 1]). Parallel runs are guaranteed to
+    return the same cover as sequential ones: only embarrassingly parallel
+    phases (GreedySC state construction, Scan/Scan+ per-label fan-out) are
+    distributed, with deterministic ordered merges. [Opt] and [Brute_force]
+    ignore [jobs]. Pool startup happens outside the timed region. *)
+val solve : ?jobs:int -> algorithm -> Instance.t -> Coverage.lambda -> result
 val solve_stream :
   streaming_algorithm -> tau:float -> Instance.t -> Coverage.lambda -> streaming_result

@@ -1,0 +1,196 @@
+(* Fixed-size Domain pool with chunked work distribution.
+
+   One task runs at a time. A task is a range [0, total) cut into
+   fixed-size chunks; workers (and the submitter) claim chunk indices from
+   a shared atomic cursor and run them outside any lock. Completion is
+   tracked under the pool mutex so the submitter can sleep on a condition
+   variable instead of spinning. *)
+
+type task = {
+  run : int -> int -> unit;  (* half-open range [lo, hi) *)
+  chunk : int;
+  total : int;
+  num_chunks : int;
+  next : int Atomic.t;  (* next chunk index to claim *)
+  failed : bool Atomic.t;  (* set on first exception; later chunks skip *)
+  mutable completed : int;  (* chunks executed; guarded by the pool mutex *)
+  mutable error : (exn * Printexc.raw_backtrace) option;  (* guarded *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* workers: a task arrived or shutdown started *)
+  finished : Condition.t;  (* submitter: the current task completed *)
+  mutable current : task option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Claim and execute chunks until the cursor is exhausted; returns how many
+   chunks this domain executed. After a failure the remaining chunks are
+   still claimed (so accounting reaches [num_chunks]) but their bodies are
+   skipped. *)
+let execute pool task =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let c = Atomic.fetch_and_add task.next 1 in
+    if c >= task.num_chunks then continue := false
+    else begin
+      incr executed;
+      if not (Atomic.get task.failed) then begin
+        try task.run (c * task.chunk) (min task.total ((c + 1) * task.chunk))
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set task.failed true;
+          Mutex.lock pool.mutex;
+          if task.error = None then task.error <- Some (e, bt);
+          Mutex.unlock pool.mutex
+      end
+    end
+  done;
+  !executed
+
+let finish_chunks pool task executed =
+  Mutex.lock pool.mutex;
+  task.completed <- task.completed + executed;
+  if task.completed >= task.num_chunks then Condition.broadcast pool.finished;
+  Mutex.unlock pool.mutex
+
+let worker_loop pool =
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while
+      (not pool.stop)
+      && (match pool.current with
+         | Some task -> Atomic.get task.next >= task.num_chunks
+         | None -> true)
+    do
+      Condition.wait pool.wake pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      let task = Option.get pool.current in
+      Mutex.unlock pool.mutex;
+      let executed = execute pool task in
+      finish_chunks pool task executed
+    end
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let default_chunk t n = max 1 ((n + (4 * t.jobs) - 1) / (4 * t.jobs))
+
+let parallel_iter_chunks t ?chunk n ~f =
+  if n < 0 then invalid_arg "Pool.parallel_iter_chunks: negative n";
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | None -> default_chunk t n
+      | Some c when c < 1 -> invalid_arg "Pool.parallel_iter_chunks: chunk < 1"
+      | Some c -> c
+    in
+    let num_chunks = (n + chunk - 1) / chunk in
+    (* Degrade to inline execution when parallelism cannot help (or would
+       deadlock: nested submission while a task is in flight). *)
+    let inline =
+      num_chunks = 1 || Array.length t.workers = 0
+      ||
+      (Mutex.lock t.mutex;
+       let busy = t.stop || t.current <> None in
+       Mutex.unlock t.mutex;
+       busy)
+    in
+    if inline then f 0 n
+    else begin
+      let task =
+        {
+          run = f;
+          chunk;
+          total = n;
+          num_chunks;
+          next = Atomic.make 0;
+          failed = Atomic.make false;
+          completed = 0;
+          error = None;
+        }
+      in
+      Mutex.lock t.mutex;
+      if t.stop || t.current <> None then begin
+        (* Lost the race to another submitter: run inline instead. *)
+        Mutex.unlock t.mutex;
+        f 0 n
+      end
+      else begin
+        t.current <- Some task;
+        Condition.broadcast t.wake;
+        Mutex.unlock t.mutex;
+        let executed = execute t task in
+        Mutex.lock t.mutex;
+        task.completed <- task.completed + executed;
+        while task.completed < task.num_chunks do
+          Condition.wait t.finished t.mutex
+        done;
+        t.current <- None;
+        Mutex.unlock t.mutex;
+        match task.error with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+    end
+  end
+
+let parallel_for t ?chunk n ~f =
+  parallel_iter_chunks t ?chunk n ~f:(fun lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+
+let parallel_map t ?chunk ~f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t ?chunk n ~f:(fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false)
+      out
+  end

@@ -1,0 +1,54 @@
+(** A reusable fixed-size worker pool over OCaml 5 [Domain]s.
+
+    The pool owns [jobs - 1] worker domains; the submitting domain is the
+    remaining worker, so a pool of size [jobs] applies [jobs]-way
+    parallelism with no oversubscription. Work is distributed as contiguous
+    index chunks claimed from a shared atomic cursor — no work stealing, no
+    per-item locking — which keeps the write path of callers lock-free as
+    long as distinct indices touch distinct memory.
+
+    Determinism contract: the primitives below never reorder results. Each
+    input index writes only its own output slot, so for any pure (or
+    slot-disjoint) [f] the result is identical to a sequential run
+    regardless of [jobs], chunk size, or scheduling.
+
+    Exceptions raised inside a task are caught on the worker, the first one
+    wins, remaining chunks are skipped, and the exception is re-raised (with
+    its backtrace) on the submitting domain once the task has quiesced.
+
+    A pool with [jobs = 1] spawns no domains and runs everything inline —
+    it is behaviourally and performance-wise the sequential code path.
+    Submitting from inside a running task (nested parallelism) degrades to
+    inline sequential execution rather than deadlocking. *)
+
+type t
+
+(** [create ~jobs] spawns [jobs - 1] worker domains.
+    Raises [Invalid_argument] when [jobs < 1]. *)
+val create : jobs:int -> t
+
+(** Parallelism width the pool was created with. *)
+val jobs : t -> int
+
+(** [shutdown t] joins the worker domains. Idempotent; using the pool after
+    shutdown runs tasks inline. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] with a fresh pool and always shuts it
+    down, including on exceptions. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** [parallel_iter_chunks t ?chunk n ~f] calls [f lo hi] over disjoint
+    ranges [\[lo, hi)] partitioning [\[0, n)]. [chunk] is the maximum range
+    length (default: [n] split into ~4 chunks per worker). [f] must write
+    only state owned by its range. *)
+val parallel_iter_chunks : t -> ?chunk:int -> int -> f:(int -> int -> unit) -> unit
+
+(** [parallel_for t ?chunk n ~f] is {!parallel_iter_chunks} with [f] called
+    once per index. *)
+val parallel_for : t -> ?chunk:int -> int -> f:(int -> unit) -> unit
+
+(** [parallel_map t ?chunk ~f xs] maps [f] over [xs]; [f xs.(i)] runs in
+    parallel but lands in slot [i], so the result equals
+    [Array.map f xs]. *)
+val parallel_map : t -> ?chunk:int -> f:('a -> 'b) -> 'a array -> 'b array

@@ -1,8 +1,17 @@
+(* Monotonic wall-clock measurement. [Monotonic_clock] (bechamel's
+   CLOCK_MONOTONIC stub) is immune to NTP steps; elapsed times are clamped
+   at 0 as a belt-and-braces guard so a result can never be negative. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let now () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed_since start_ns = Float.max 0. (Int64.to_float (Int64.sub (now_ns ()) start_ns) /. 1e9)
+
 let time_it f =
-  let start = Unix.gettimeofday () in
+  let start = now_ns () in
   let result = f () in
-  let elapsed = Unix.gettimeofday () -. start in
-  (result, elapsed)
+  (result, elapsed_since start)
 
 let repeat ~warmup ~runs f =
   if runs <= 0 then invalid_arg "Timer.repeat: runs <= 0";

@@ -1,7 +1,15 @@
-(** Wall-clock measurement helpers for the benchmark harness. *)
+(** Wall-clock measurement helpers for the benchmark harness.
+
+    All measurements use a monotonic clock (CLOCK_MONOTONIC), so NTP steps
+    or operator clock changes cannot produce negative or wildly wrong
+    elapsed times; elapsed values are additionally clamped at 0. *)
+
+(** Monotonic time in seconds since an arbitrary fixed origin. Only
+    differences between two [now] calls are meaningful. *)
+val now : unit -> float
 
 (** [time_it f] runs [f ()] and returns its result paired with the elapsed
-    wall-clock seconds. *)
+    monotonic wall-clock seconds (never negative). *)
 val time_it : (unit -> 'a) -> 'a * float
 
 (** [repeat ~warmup ~runs f] runs [f] [warmup] times unmeasured, then [runs]

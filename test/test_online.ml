@@ -77,6 +77,56 @@ let test_last_arrival () =
   Alcotest.(check (option (float 0.))) "tracks pushes" (Some 7.)
     (Mqdp.Online.last_arrival engine)
 
+let test_arrival_at_deadline_boundary () =
+  (* Post 2 arrives exactly at t_oldest + lambda. The deadline must NOT
+     fire before the arrival is processed: post 2 covers the pending pair,
+     so it — not post 1 — is the emission, at the (equal) deadline. *)
+  let engine = delayed ~lambda:10. ~tau:100. () in
+  Alcotest.(check int) "post 1 goes pending" 0
+    (List.length (Mqdp.Online.push engine (mk 1 0. [ 0 ])));
+  Alcotest.(check int) "no emission on a boundary arrival" 0
+    (List.length (Mqdp.Online.push engine (mk 2 10. [ 0 ])));
+  match Mqdp.Online.finish engine with
+  | [ e ] ->
+    Alcotest.(check int) "the arriving post is emitted" 2
+      e.Mqdp.Online.post.Mqdp.Post.id;
+    Alcotest.(check (float 1e-9)) "at the boundary deadline" 10.
+      e.Mqdp.Online.emit_time
+  | other -> Alcotest.failf "expected 1 emission, got %d" (List.length other)
+
+let test_deadline_queue_bounded () =
+  (* lambda-dominated regime: every arrival extends pending but recomputes
+     the same t_oldest + lambda deadline, which must not be re-pushed.
+     Before the dedup fix the queue grew to ~50 entries per window. *)
+  let engine = delayed ~lambda:50. ~tau:1000. () in
+  let max_len = ref 0 in
+  for i = 0 to 499 do
+    ignore (Mqdp.Online.push engine (mk i (float_of_int i) [ 0 ]));
+    max_len := max !max_len (Mqdp.Online.deadline_queue_length engine)
+  done;
+  ignore (Mqdp.Online.finish engine);
+  Alcotest.(check bool)
+    (Printf.sprintf "queue stays O(labels), peaked at %d" !max_len)
+    true (!max_len <= 4);
+  Alcotest.(check int) "drained after finish" 0
+    (Mqdp.Online.deadline_queue_length engine)
+
+let test_deadline_queue_compaction () =
+  (* tau-dominated multi-label stream in plus mode: deadlines churn on
+     every arrival and every credit, leaving stale entries behind. The
+     compaction invariant caps the queue at 2 * labels + slack. *)
+  let labels = 10 in
+  let engine = delayed ~plus:true ~lambda:5. ~tau:0.9 () in
+  let bound = (2 * labels) + 8 in
+  for i = 0 to 1999 do
+    let ls = if i mod 17 = 0 then List.init labels Fun.id else [ i mod labels ] in
+    ignore (Mqdp.Online.push engine (mk i (0.45 *. float_of_int i) ls));
+    let len = Mqdp.Online.deadline_queue_length engine in
+    if len > bound then
+      Alcotest.failf "queue length %d exceeds bound %d at arrival %d" len bound i
+  done;
+  ignore (Mqdp.Online.finish engine)
+
 let test_stream_continues_after_finish () =
   let engine = delayed ~lambda:2. ~tau:1. () in
   ignore (Mqdp.Online.push engine (mk 1 0. [ 0 ]));
@@ -140,6 +190,42 @@ let emit_times_monotone_per_push =
       done;
       !ok && sorted (Mqdp.Online.finish engine))
 
+(* A post may serve several labels, but never the same label twice: its
+   emission count is bounded by its label count, and by 1 in plus mode
+   (the first emission credits every label it carries). *)
+let at_most_once_per_label_window =
+  qtest ~count:150 "never emits a post more than once per label window"
+    (QCheck.triple
+       (arb_instance ~max_posts:30 ~max_labels:4 ~span:25. ())
+       (QCheck.make QCheck.Gen.(map (fun l -> 0.5 +. l) (float_bound_exclusive 4.)))
+       (QCheck.make QCheck.Gen.(float_bound_exclusive 6.)))
+    (fun (inst, lambda, tau) ->
+      List.for_all
+        (fun plus ->
+          let engine =
+            Mqdp.Online.create ~lambda (Mqdp.Online.Delayed { tau; plus })
+          in
+          let emissions = ref [] in
+          for i = 0 to Mqdp.Instance.size inst - 1 do
+            emissions :=
+              List.rev_append (Mqdp.Online.push engine (Mqdp.Instance.post inst i))
+                !emissions
+          done;
+          emissions := List.rev_append (Mqdp.Online.finish engine) !emissions;
+          let count_of id =
+            List.length
+              (List.filter (fun e -> e.Mqdp.Online.post.Mqdp.Post.id = id) !emissions)
+          in
+          List.for_all
+            (fun e ->
+              let p = e.Mqdp.Online.post in
+              let limit =
+                if plus then 1 else Mqdp.Label_set.cardinal p.Mqdp.Post.labels
+              in
+              count_of p.Mqdp.Post.id <= limit)
+            !emissions)
+        [ false; true ])
+
 let suite =
   [
     Alcotest.test_case "emission timing" `Quick test_emission_timing;
@@ -148,8 +234,14 @@ let suite =
     Alcotest.test_case "create validation" `Quick test_create_validation;
     Alcotest.test_case "instant mode" `Quick test_instant_mode;
     Alcotest.test_case "last arrival" `Quick test_last_arrival;
+    Alcotest.test_case "arrival at deadline boundary" `Quick
+      test_arrival_at_deadline_boundary;
+    Alcotest.test_case "deadline queue bounded" `Quick test_deadline_queue_bounded;
+    Alcotest.test_case "deadline queue compaction" `Quick
+      test_deadline_queue_compaction;
     Alcotest.test_case "stream continues after finish" `Quick
       test_stream_continues_after_finish;
     online_equals_batch;
     emit_times_monotone_per_push;
+    at_most_once_per_label_window;
   ]

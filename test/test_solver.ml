@@ -71,11 +71,44 @@ let streaming_never_beats_clairvoyant =
           >= optimal)
         Mqdp.Solver.all_streaming_algorithms)
 
+(* The parallel runtime's hard determinism requirement: any jobs count
+   returns the same cover as sequential, for fixed and per-post lambdas. *)
+let parallel_equals_sequential =
+  qtest ~count:40 "solve ~jobs:4 is bit-identical to solve ~jobs:1"
+    (arb_instance_lambda ~max_posts:25 ~max_labels:4 ~span:20. ())
+    (fun (inst, l) ->
+      let variable =
+        Mqdp.Coverage.Per_post_label
+          (fun p a -> 0.3 +. (0.4 *. float_of_int ((p.Mqdp.Post.id + a) mod 4)))
+      in
+      List.for_all
+        (fun lambda ->
+          List.for_all
+            (fun algo ->
+              let sequential = Mqdp.Solver.solve algo inst lambda in
+              let parallel = Mqdp.Solver.solve ~jobs:4 algo inst lambda in
+              if parallel.Mqdp.Solver.cover <> sequential.Mqdp.Solver.cover then
+                QCheck.Test.fail_reportf "%s diverged under jobs=4 on %s"
+                  (Mqdp.Solver.algorithm_name algo)
+                  (describe_instance inst);
+              true)
+            [ Mqdp.Solver.Greedy_sc; Mqdp.Solver.Greedy_sc_heap; Mqdp.Solver.Scan;
+              Mqdp.Solver.Scan_plus ])
+        [ Mqdp.Coverage.Fixed l; variable ])
+
+let test_jobs_validation () =
+  let inst = instance_of [ post ~id:1 ~value:0. [ 0 ] ] in
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Solver.solve: jobs < 1")
+    (fun () ->
+      ignore (Mqdp.Solver.solve ~jobs:0 Mqdp.Solver.Scan inst (Mqdp.Coverage.Fixed 1.)))
+
 let suite =
   [
     Alcotest.test_case "name roundtrips" `Quick test_name_roundtrips;
     Alcotest.test_case "result fields" `Quick test_result_fields;
     Alcotest.test_case "names distinct" `Quick test_names_are_distinct;
+    Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
     exact_never_beaten;
     streaming_never_beats_clairvoyant;
+    parallel_equals_sequential;
   ]

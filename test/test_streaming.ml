@@ -189,6 +189,24 @@ let greedy_windows_respect_order =
       in
       List.sort Float.compare times = times)
 
+let stream_scan_no_duplicate_emissions =
+  qtest ~count:150 "StreamScan(+) emits each position at most once"
+    (QCheck.triple
+       (arb_instance ~max_posts:30 ~max_labels:4 ~span:25. ())
+       (QCheck.make QCheck.Gen.(map (fun l -> 0.5 +. l) (float_bound_exclusive 4.)))
+       (QCheck.make QCheck.Gen.(float_bound_exclusive 6.)))
+    (fun (inst, l, tau) ->
+      List.for_all
+        (fun plus ->
+          let result = Mqdp.Stream_scan.solve ~plus ~tau inst (fixed l) in
+          let positions =
+            List.map (fun e -> e.Mqdp.Stream.position) result.Mqdp.Stream.emissions
+          in
+          List.sort_uniq Int.compare positions = List.sort Int.compare positions
+          && result.Mqdp.Stream.cover
+             = List.sort_uniq Int.compare result.Mqdp.Stream.cover)
+        [ false; true ])
+
 let delays_match_definition =
   qtest "Stream.delays = emit - value"
     (QCheck.pair (arb_instance ~max_posts:20 ~max_labels:3 ())
@@ -221,5 +239,6 @@ let suite =
     instant_single_label_2_approx;
     instant_2s_bound;
     greedy_windows_respect_order;
+    stream_scan_no_duplicate_emissions;
     delays_match_definition;
   ]

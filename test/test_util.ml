@@ -218,6 +218,93 @@ let test_timer () =
   let samples = Util.Timer.repeat ~warmup:1 ~runs:3 (fun () -> ()) in
   Alcotest.(check int) "runs" 3 (Array.length samples)
 
+let test_timer_monotonic () =
+  (* The clock source is monotonic: successive readings never go backwards,
+     and a real wait measures as (clamped) nonnegative elapsed time. *)
+  let previous = ref (Util.Timer.now ()) in
+  for _ = 1 to 1000 do
+    let t = Util.Timer.now () in
+    if t < !previous then Alcotest.failf "clock went backwards: %g < %g" t !previous;
+    previous := t
+  done;
+  let (), slept = Util.Timer.time_it (fun () -> Unix.sleepf 0.01) in
+  Alcotest.(check bool) "sleep measured" true (slept >= 0.005 && slept < 5.);
+  Array.iter
+    (fun s -> Alcotest.(check bool) "sample nonnegative" true (s >= 0.))
+    (Util.Timer.repeat ~warmup:0 ~runs:5 (fun () -> ()))
+
+let test_pool_map_matches_sequential () =
+  let xs = Array.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun jobs ->
+      Util.Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check int) "pool width" jobs (Util.Pool.jobs pool);
+          Alcotest.(check (array int))
+            (Printf.sprintf "map jobs=%d" jobs)
+            (Array.map f xs)
+            (Util.Pool.parallel_map pool ~f xs);
+          (* odd chunk size exercises the ragged last chunk *)
+          Alcotest.(check (array int))
+            (Printf.sprintf "map jobs=%d chunk=7" jobs)
+            (Array.map f xs)
+            (Util.Pool.parallel_map pool ~chunk:7 ~f xs)))
+    [ 1; 2; 4 ]
+
+let test_pool_iter_chunks_partition () =
+  Util.Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 103 in
+      let hits = Array.make n 0 in
+      (* each index owned by exactly one chunk: no locks needed *)
+      Util.Pool.parallel_iter_chunks pool ~chunk:10 n ~f:(fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Array.iteri
+        (fun i c -> if c <> 1 then Alcotest.failf "index %d visited %d times" i c)
+        hits;
+      (* empty range is a no-op *)
+      Util.Pool.parallel_iter_chunks pool 0 ~f:(fun _ _ -> Alcotest.fail "called"))
+
+let test_pool_exception_propagates () =
+  Util.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.check_raises "exception resurfaces" (Failure "boom") (fun () ->
+          Util.Pool.parallel_for pool ~chunk:1 64 ~f:(fun i ->
+              if i = 17 then failwith "boom"));
+      (* the pool survives a failed task *)
+      Alcotest.(check (array int)) "usable afterwards" [| 0; 2; 4 |]
+        (Util.Pool.parallel_map pool ~f:(fun x -> 2 * x) [| 0; 1; 2 |]))
+
+let test_pool_nested_runs_inline () =
+  Util.Pool.with_pool ~jobs:3 (fun pool ->
+      let outer =
+        Util.Pool.parallel_map pool ~chunk:1
+          ~f:(fun x ->
+            (* nested submission degrades to inline, never deadlocks *)
+            Array.fold_left ( + ) 0
+              (Util.Pool.parallel_map pool ~f:(fun y -> x * y) [| 1; 2; 3 |]))
+          [| 1; 2; 3; 4 |]
+      in
+      Alcotest.(check (array int)) "nested results" [| 6; 12; 18; 24 |] outer)
+
+let test_pool_validation () =
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Pool.create: jobs < 1")
+    (fun () -> ignore (Util.Pool.create ~jobs:0));
+  Util.Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "chunk < 1"
+        (Invalid_argument "Pool.parallel_iter_chunks: chunk < 1") (fun () ->
+          Util.Pool.parallel_iter_chunks pool ~chunk:0 5 ~f:(fun _ _ -> ())))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Util.Pool.create ~jobs:2 in
+  Alcotest.(check (array int)) "works" [| 1; 2 |]
+    (Util.Pool.parallel_map pool ~f:(fun x -> x + 1) [| 0; 1 |]);
+  Util.Pool.shutdown pool;
+  Util.Pool.shutdown pool;
+  (* after shutdown tasks run inline *)
+  Alcotest.(check (array int)) "inline after shutdown" [| 5 |]
+    (Util.Pool.parallel_map pool ~f:(fun x -> x + 5) [| 0 |])
+
 let suite =
   [
     Alcotest.test_case "heap basics" `Quick test_heap_basic;
@@ -243,4 +330,12 @@ let suite =
     Alcotest.test_case "sampling without replacement" `Quick test_sample_without_replacement;
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
     Alcotest.test_case "timer" `Quick test_timer;
+    Alcotest.test_case "timer monotonic" `Quick test_timer_monotonic;
+    Alcotest.test_case "pool map = sequential" `Quick test_pool_map_matches_sequential;
+    Alcotest.test_case "pool chunk partition" `Quick test_pool_iter_chunks_partition;
+    Alcotest.test_case "pool exception propagation" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "pool nested submission" `Quick test_pool_nested_runs_inline;
+    Alcotest.test_case "pool validation" `Quick test_pool_validation;
+    Alcotest.test_case "pool shutdown idempotent" `Quick test_pool_shutdown_idempotent;
   ]
