@@ -36,6 +36,40 @@ let tests () =
       streaming "instant" Mqdp.Solver.Instant;
     ]
 
+(* Allocation profile of a GreedySC solve under the per-post λ of Eq. 2.
+   With the pair index compiled once up front, a solve allocates only its
+   own bookkeeping (one Bytes.t of covered flags, one gain array, the heap
+   for the lazy variant) — selection itself is allocation-free. The
+   "incl. compile" column re-builds the index every solve for contrast. *)
+let alloc_tests inst =
+  let lambda = Mqdp.Proportional.make ~lambda0:30. inst in
+  let index = Mqdp.Solver.compile inst lambda in
+  let bytes_per_run f =
+    let rounds = 5 in
+    ignore (f ());
+    let before = Gc.allocated_bytes () in
+    for _ = 1 to rounds do
+      ignore (f ())
+    done;
+    (Gc.allocated_bytes () -. before) /. float_of_int rounds
+  in
+  let row name algo =
+    let compiled =
+      bytes_per_run (fun () -> (Mqdp.Solver.solve_compiled algo index).Mqdp.Solver.cover)
+    in
+    let from_scratch =
+      bytes_per_run (fun () -> (Mqdp.Solver.solve algo inst lambda).Mqdp.Solver.cover)
+    in
+    [ name;
+      Printf.sprintf "%.0f" compiled;
+      Printf.sprintf "%.0f" from_scratch ]
+  in
+  Printf.printf "\nGc.allocated_bytes per solve, per-post lambda (lambda0 = 30s):\n";
+  Harness.table
+    [ "benchmark"; "bytes/solve (compiled)"; "bytes/solve (incl. compile)" ]
+    [ row "greedy-sc" Mqdp.Solver.Greedy_sc;
+      row "greedy-sc-heap" Mqdp.Solver.Greedy_sc_heap ]
+
 let run () =
   Harness.section ~id:"micro"
     ~paper:"Bechamel micro-benchmarks (supplement to Figures 13-15)"
@@ -66,4 +100,5 @@ let run () =
     results;
   Harness.table
     [ "benchmark"; "us/run (OLS)"; "r²" ]
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  alloc_tests inst

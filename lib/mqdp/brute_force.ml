@@ -1,43 +1,26 @@
 exception Too_large of string
 
-(* Map MQDP onto the generic engine: elements are (label, LP-index) pairs
-   with dense ids; set k is everything post k λ-covers. *)
+(* Map MQDP onto the generic engine: the compiled Pair_index already
+   assigns dense label-major pair ids, and set k — everything post k
+   λ-covers — is the concatenation of k's covered ranges. *)
 let build_sets ?(max_pairs = 4096) instance lambda =
-  let pair_id = Hashtbl.create 256 in
-  let next = ref 0 in
-  List.iter
-    (fun a ->
-      Array.iteri
-        (fun ia _ ->
-          Hashtbl.add pair_id (a, ia) !next;
-          incr next)
-        (Instance.label_posts instance a))
-    (Instance.label_universe instance);
-  let pair_count = !next in
+  let pair_count = Instance.total_pairs instance in
   if pair_count > max_pairs then
     raise
       (Too_large
          (Printf.sprintf "Brute_force: %d (post,label) pairs exceeds limit %d"
             pair_count max_pairs));
-  let n = Instance.size instance in
+  let index = Pair_index.build ~coverers:false instance lambda in
   let sets =
-    Array.init n (fun k ->
-        let p = Instance.post instance k in
-        let pairs = ref [] in
-        Label_set.iter
-          (fun a ->
-            let r = Coverage.radius lambda p a in
-            match
-              Instance.posts_in_range instance a ~lo:(p.Post.value -. r)
-                ~hi:(p.Post.value +. r)
-            with
-            | None -> ()
-            | Some (first, last) ->
-              for ia = first to last do
-                pairs := Hashtbl.find pair_id (a, ia) :: !pairs
-              done)
-          p.Post.labels;
-        Array.of_list !pairs)
+    Array.init (Instance.size instance) (fun k ->
+        let set = Array.make (Pair_index.covered_count index k) 0 in
+        let cursor = ref 0 in
+        Pair_index.iter_covered_ranges index k (fun first last ->
+            for id = first to last do
+              set.(!cursor) <- id;
+              incr cursor
+            done);
+        set)
   in
   (pair_count, sets)
 

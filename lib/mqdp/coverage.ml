@@ -7,6 +7,12 @@ let radius lambda p a =
   | Fixed l -> l
   | Per_post_label f -> f p a
 
+let reach lambda p a = p.Post.value +. radius lambda p a
+
+let interval lambda p a =
+  let r = radius lambda p a in
+  (p.Post.value -. r, p.Post.value +. r)
+
 let covers_label lambda ~by a p =
   Label_set.mem a by.Post.labels
   && Label_set.mem a p.Post.labels
@@ -25,9 +31,7 @@ let uncovered instance lambda cover =
     (fun i ->
       if i < 0 || i >= n then invalid_arg "Coverage: cover position out of range")
     cover;
-  let num_buckets =
-    1 + List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
-  in
+  let num_buckets = 1 + Instance.max_label instance in
   let chosen_by_label = Array.make num_buckets [] in
   List.iter
     (fun i ->

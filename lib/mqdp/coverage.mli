@@ -14,6 +14,17 @@ type lambda =
 (** [radius lambda p a] is the covering radius of post [p] for label [a]. *)
 val radius : lambda -> Post.t -> Label.t -> float
 
+(** [reach lambda p a] is the right extent [F(p) + radius lambda p a] of
+    [p]'s coverage interval for label [a] — the quantity every scan-family
+    algorithm maximizes and the streaming engine compares deadlines
+    against. *)
+val reach : lambda -> Post.t -> Label.t -> float
+
+(** [interval lambda p a] is [p]'s full coverage interval
+    [(F(p) − r, F(p) + r)] for label [a]. {!Pair_index} compiles these
+    intervals; use this helper rather than re-deriving endpoints. *)
+val interval : lambda -> Post.t -> Label.t -> float * float
+
 (** [covers_label lambda ~by a p] — does [by] λ-cover label [a] of [p]?
     False when [a] is missing from either label set. *)
 val covers_label : lambda -> by:Post.t -> Label.t -> Post.t -> bool

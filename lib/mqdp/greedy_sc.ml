@@ -1,128 +1,44 @@
 type selection = [ `Linear_scan | `Lazy_heap ]
 
-(* Pairs are addressed as (label a, index ia into LP(a)). For a fixed
-   lambda the coverers of a pair form a contiguous range of LP(a) found by
-   binary search; for a per-post lambda the radius depends on the covering
-   post, so coverer lists are materialized up front. *)
+(* All pair geometry lives in the compiled Pair_index: a post's gain is the
+   number of still-uncovered pairs in its covered ranges, and selecting a
+   post walks those ranges, flipping flat covered bytes and decrementing
+   the gains of each newly-covered pair's coverers. The selection loop
+   allocates nothing per round beyond two closures. *)
 type state = {
-  instance : Instance.t;
-  lambda : Coverage.lambda;
-  covered : Bytes.t array;  (* per label, per LP index *)
+  index : Pair_index.t;
+  covered : Bytes.t;  (* one byte per pair id *)
   gain : int array;  (* per position: # uncovered pairs this post covers *)
-  coverer_lists : int list array array option;  (* per label, per LP index *)
 }
 
-let iter_pairs_covered_by state k f =
-  let p = Instance.post state.instance k in
-  Label_set.iter
-    (fun a ->
-      let r = Coverage.radius state.lambda p a in
-      match
-        Instance.posts_in_range state.instance a ~lo:(p.Post.value -. r)
-          ~hi:(p.Post.value +. r)
-      with
-      | None -> ()
-      | Some (first, last) ->
-        for ia = first to last do
-          f a ia
-        done)
-    p.Post.labels
-
-let iter_coverers state a ia f =
-  match state.coverer_lists with
-  | Some lists -> List.iter f lists.(a).(ia)
-  | None ->
-    let l =
-      match state.lambda with
-      | Coverage.Fixed l -> l
-      | Coverage.Per_post_label _ -> assert false
-    in
-    let lp = Instance.label_posts state.instance a in
-    let x = Instance.value state.instance lp.(ia) in
-    (match Instance.posts_in_range state.instance a ~lo:(x -. l) ~hi:(x +. l) with
-    | None -> ()
-    | Some (first, last) ->
-      for j = first to last do
-        f lp.(j)
-      done)
-
-(* Parallelization note: each label's output row [lists.(a)] is written
-   only while processing label [a], and each gain cell [gain.(k)] is
-   written only while processing post [k]. Fanning the outer loops out over
-   a pool therefore needs no locks, and the per-row (resp. per-cell)
-   iteration order is unchanged, so the result is bit-identical to the
-   sequential run for any pool size. *)
-let build_coverer_lists ?pool instance lambda =
-  let max_label =
-    List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
-  in
-  let lists =
-    Array.init (max_label + 1) (fun a ->
-        Array.make (Array.length (Instance.label_posts instance a)) [])
-  in
-  let process_label a =
-    let lp = Instance.label_posts instance a in
-    Array.iter
-      (fun k ->
-        let p = Instance.post instance k in
-        let r = Coverage.radius lambda p a in
-        match
-          Instance.posts_in_range instance a ~lo:(p.Post.value -. r)
-            ~hi:(p.Post.value +. r)
-        with
-        | None -> ()
-        | Some (first, last) ->
-          for ia = first to last do
-            lists.(a).(ia) <- k :: lists.(a).(ia)
-          done)
-      lp
-  in
-  (match pool with
-  | None -> List.iter process_label (Instance.label_universe instance)
-  | Some pool ->
-    let universe = Array.of_list (Instance.label_universe instance) in
-    Util.Pool.parallel_for pool ~chunk:1 (Array.length universe) ~f:(fun i ->
-        process_label universe.(i)));
-  lists
-
-let create_state ?pool instance lambda =
-  let max_label =
-    List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
-  in
-  let covered =
-    Array.init (max_label + 1) (fun a ->
-        Bytes.make (Array.length (Instance.label_posts instance a)) '\000')
-  in
-  let coverer_lists =
-    match lambda with
-    | Coverage.Fixed _ -> None
-    | Coverage.Per_post_label _ -> Some (build_coverer_lists ?pool instance lambda)
-  in
-  let state =
-    { instance; lambda; covered; gain = Array.make (Instance.size instance) 0;
-      coverer_lists }
-  in
-  let init_gain k =
-    iter_pairs_covered_by state k (fun _ _ -> state.gain.(k) <- state.gain.(k) + 1)
-  in
+let state_of_index ?pool index =
+  let n = Instance.size (Pair_index.instance index) in
+  let gain = Array.make n 0 in
+  let init k = gain.(k) <- Pair_index.covered_count index k in
   (match pool with
   | None ->
-    for k = 0 to Instance.size instance - 1 do
-      init_gain k
+    for k = 0 to n - 1 do
+      init k
     done
   | Some pool ->
-    Util.Pool.parallel_iter_chunks pool (Instance.size instance) ~f:(fun lo hi ->
+    Util.Pool.parallel_iter_chunks pool n ~f:(fun lo hi ->
         for k = lo to hi - 1 do
-          init_gain k
+          init k
         done));
-  state
+  { index; covered = Bytes.make (Pair_index.total_pairs index) '\000'; gain }
+
+let create_state ?pool instance lambda =
+  state_of_index ?pool (Pair_index.build ?pool ~coverers:true instance lambda)
 
 let select state k =
-  iter_pairs_covered_by state k (fun a ia ->
-      if Bytes.get state.covered.(a) ia = '\000' then begin
-        Bytes.set state.covered.(a) ia '\001';
-        iter_coverers state a ia (fun k' -> state.gain.(k') <- state.gain.(k') - 1)
-      end)
+  let decrement k' = state.gain.(k') <- state.gain.(k') - 1 in
+  Pair_index.iter_covered_ranges state.index k (fun first last ->
+      for id = first to last do
+        if Bytes.get state.covered id = '\000' then begin
+          Bytes.set state.covered id '\001';
+          Pair_index.iter_coverers state.index id decrement
+        end
+      done)
 
 let argmax_gain state =
   let best = ref (-1) and best_gain = ref 0 in
@@ -166,11 +82,16 @@ let solve_heap state =
   in
   loop []
 
-let solve ?(selection = `Linear_scan) ?pool instance lambda =
-  let state = create_state ?pool instance lambda in
+let run selection state =
   let cover =
     match selection with
     | `Linear_scan -> solve_linear state
     | `Lazy_heap -> solve_heap state
   in
   List.sort_uniq Int.compare cover
+
+let solve_indexed ?(selection = `Linear_scan) ?pool index =
+  run selection (state_of_index ?pool index)
+
+let solve ?(selection = `Linear_scan) ?pool instance lambda =
+  run selection (create_state ?pool instance lambda)

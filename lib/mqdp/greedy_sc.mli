@@ -6,6 +6,11 @@
     ln(|P|·|L|). At every round the set with the most still-uncovered
     elements is selected.
 
+    All coverage geometry comes from a compiled {!Pair_index}: covered
+    flags are one flat byte per pair, gain updates walk the index's CSR
+    coverer rows (per-post λ) or pair-id ranges (fixed λ), and the
+    selection loop performs no per-round allocation.
+
     Two selection strategies are provided. [`Linear_scan] re-scans all
     gains each round — what the paper's implementation does, after finding
     heap maintenance too expensive on their data. [`Lazy_heap] keeps a
@@ -15,20 +20,29 @@
 
 type selection = [ `Linear_scan | `Lazy_heap ]
 
-(** The mutable set-cover state (gain array, covered flags, and — for a
-    per-post lambda — materialized coverer lists). *)
+(** The mutable set-cover state (gain array and flat covered bytes over a
+    compiled {!Pair_index}). *)
 type state
 
-(** [create_state ?pool instance lambda] builds the state [solve] starts
-    from; construction is the dominant cost on large instances and fans
-    out over [pool] when given. Exposed for the scaling benchmark. *)
+(** [create_state ?pool instance lambda] compiles a {!Pair_index} (with
+    coverer sets) and builds the state [solve] starts from; construction
+    is the dominant cost on large instances and fans out over [pool] when
+    given. Exposed for the scaling benchmark. *)
 val create_state : ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> state
+
+(** [state_of_index ?pool index] builds the state from an already-compiled
+    index — [index] must have been built with coverer sets (the default). *)
+val state_of_index : ?pool:Util.Pool.t -> Pair_index.t -> state
 
 (** [solve ?selection ?pool instance lambda] returns cover positions,
     ascending. Default selection is [`Linear_scan]. When [pool] is given,
-    state construction (gain initialization and, for a per-post lambda, the
-    coverer lists) fans out across the pool's domains; the selection loop
-    itself stays sequential. The cover is bit-identical to a run without
-    [pool]. *)
+    index compilation and gain initialization fan out across the pool's
+    domains; the selection loop itself stays sequential. The cover is
+    bit-identical to a run without [pool]. *)
 val solve :
   ?selection:selection -> ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
+
+(** [solve_indexed ?selection ?pool index] is {!solve} on a pre-compiled
+    index (built with coverer sets). *)
+val solve_indexed :
+  ?selection:selection -> ?pool:Util.Pool.t -> Pair_index.t -> int list

@@ -4,19 +4,13 @@ type t = {
   universe : Label.t list;
   total_pairs : int;
   max_labels : int;
+  max_label : int;  (* largest label id occurring, -1 when empty *)
 }
 
-let create post_list =
-  let relevant = List.filter (fun p -> not (Label_set.is_empty p.Post.labels)) post_list in
-  let posts = Array.of_list relevant in
-  Array.sort Post.compare_by_value posts;
-  let seen = Hashtbl.create (Array.length posts) in
-  Array.iter
-    (fun p ->
-      if Hashtbl.mem seen p.Post.id then
-        invalid_arg (Printf.sprintf "Instance.create: duplicate post id %d" p.Post.id);
-      Hashtbl.add seen p.Post.id ())
-    posts;
+(* Build the posting lists and statistics for an already-sorted,
+   already-validated post array (every post labeled, ids distinct). Shared
+   by [create] and [sub]. *)
+let of_sorted posts =
   let max_label =
     Array.fold_left
       (fun acc p -> max acc (try Label_set.max_label p.Post.labels with Not_found -> -1))
@@ -38,7 +32,21 @@ let create post_list =
       (fun a -> Array.length label_posts.(a) > 0)
       (List.init (max_label + 1) Fun.id)
   in
-  { posts; label_posts; universe; total_pairs = !total_pairs; max_labels = !max_labels }
+  { posts; label_posts; universe; total_pairs = !total_pairs;
+    max_labels = !max_labels; max_label }
+
+let create post_list =
+  let relevant = List.filter (fun p -> not (Label_set.is_empty p.Post.labels)) post_list in
+  let posts = Array.of_list relevant in
+  Array.sort Post.compare_by_value posts;
+  let seen = Hashtbl.create (Array.length posts) in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p.Post.id then
+        invalid_arg (Printf.sprintf "Instance.create: duplicate post id %d" p.Post.id);
+      Hashtbl.add seen p.Post.id ())
+    posts;
+  of_sorted posts
 
 let size t = Array.length t.posts
 
@@ -48,6 +56,7 @@ let labels t i = t.posts.(i).Post.labels
 let posts t = t.posts
 let label_universe t = t.universe
 let num_labels t = List.length t.universe
+let max_label t = t.max_label
 
 let label_posts t a =
   if a < 0 then invalid_arg "Instance.label_posts: negative label";
@@ -67,12 +76,13 @@ let overlap_rate t =
 let max_labels_per_post t = t.max_labels
 let total_pairs t = t.total_pairs
 
+(* The posts array is already sorted by value, so the restriction is a
+   contiguous slice found by binary search — no re-sort, no re-validation. *)
 let sub t ~lo ~hi =
-  let selected =
-    Array.to_list t.posts
-    |> List.filter (fun p -> p.Post.value >= lo && p.Post.value <= hi)
-  in
-  create selected
+  let key (p : Post.t) = p.Post.value in
+  let first = Util.Array_util.lower_bound ~key t.posts lo in
+  let last = Util.Array_util.upper_bound ~key t.posts hi in
+  of_sorted (Array.sub t.posts first (max 0 (last - first)))
 
 let span t =
   let n = size t in

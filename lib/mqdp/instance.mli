@@ -35,6 +35,10 @@ val label_universe : t -> Label.t list
 (** Number of distinct labels occurring in the instance. *)
 val num_labels : t -> int
 
+(** Largest label id occurring in the instance, -1 when empty. Dense
+    per-label tables are sized [max_label t + 1]. *)
+val max_label : t -> int
+
 (** [label_posts t a] is LP(a): positions of the posts matching label [a],
     ascending (hence sorted by value). Empty for labels that never occur.
     The returned array must not be mutated. *)
@@ -57,7 +61,8 @@ val max_labels_per_post : t -> int
 val total_pairs : t -> int
 
 (** [sub t ~lo ~hi] is a new instance restricted to posts with value in
-    [lo, hi]. *)
+    [lo, hi]. The already-sorted post array is sliced by binary search, so
+    no re-sorting or re-validation happens. *)
 val sub : t -> lo:float -> hi:float -> t
 
 (** Minimum and maximum post value, or [None] when empty. *)

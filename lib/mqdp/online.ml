@@ -16,6 +16,7 @@ type label_state = {
 
 type t = {
   lambda : float;
+  lam : Coverage.lambda;  (* [Fixed lambda], for the shared geometry helpers *)
   mode : mode;
   states : (Label.t, label_state) Hashtbl.t;
   mutable heap : (float * Label.t) Util.Heap.t;
@@ -36,6 +37,7 @@ let create ~lambda mode =
   | Delayed _ | Instant -> ());
   {
     lambda;
+    lam = Coverage.Fixed lambda;
     mode;
     states = Hashtbl.create 16;
     heap = Util.Heap.create heap_cmp;
@@ -88,7 +90,7 @@ let refresh_deadline t a =
     match (st.pending, st.oldest) with
     | [], _ | _, None -> infinity
     | latest :: _, Some oldest ->
-      Float.min (latest.Post.value +. tau_of t) (oldest.Post.value +. t.lambda)
+      Float.min (latest.Post.value +. tau_of t) (Coverage.reach t.lam oldest a)
   in
   if d <> st.deadline then begin
     st.deadline <- d;
@@ -110,7 +112,7 @@ let credit_emission t post =
       | Some _ | None -> st.last_out <- Some post);
       let remaining =
         List.filter
-          (fun p -> Post.distance p post > t.lambda)
+          (fun p -> not (Coverage.covers_label t.lam ~by:post b p))
           st.pending
       in
       if List.compare_lengths remaining st.pending <> 0 then begin
@@ -168,7 +170,7 @@ let arrival_delayed t out post =
       let st = state t a in
       let covered =
         match st.last_out with
-        | Some z -> post.Post.value -. z.Post.value <= t.lambda
+        | Some z -> post.Post.value <= Coverage.reach t.lam z a
         | None -> false
       in
       if not covered then begin
@@ -184,7 +186,7 @@ let arrival_instant t out post =
     Label_set.for_all
       (fun a ->
         match (state t a).last_out with
-        | Some z -> post.Post.value -. z.Post.value <= t.lambda
+        | Some z -> post.Post.value <= Coverage.reach t.lam z a
         | None -> false)
       post.Post.labels
   in

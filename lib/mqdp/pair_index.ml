@@ -1,0 +1,320 @@
+(* Layout: pair ids are label-major — label [a]'s pairs occupy
+   [base.(a) .. base.(a+1) - 1] in LP(a) order — so every per-pair
+   attribute is one flat array indexed by id, and a post's coverage within
+   one label is a contiguous id range.
+
+   Parallel-build determinism: the per-label phase writes only label [a]'s
+   id block (and its own CSR row block), the per-post phase writes only
+   post [k]'s (post, label) slots; merges are plain array writes at fixed
+   indices, so the compiled index is bit-identical for any pool size. *)
+
+type coverers =
+  | Ranges of { first : int array; last : int array }
+      (* fixed λ: coverers of pair [id] are the pairs (equivalently, their
+         positions) in [first.(id) .. last.(id)], same label block *)
+  | Rows of { offsets : int array; posts : int array }
+      (* per-post λ: CSR rows of covering positions, ascending *)
+  | Absent
+
+type t = {
+  instance : Instance.t;
+  lambda : Coverage.lambda;
+  base : int array;  (* max_label + 2 label offsets; base.(a+1) - base.(a) = |LP(a)| *)
+  pair_pos : int array;
+  pair_value : float array;
+  pair_reach : float array option;  (* per-post λ; fixed λ derives value + λ *)
+  best : int array option;  (* per-post λ: precomputed best pick per pair *)
+  cov : coverers;
+  own_off : int array;  (* size + 1: one slot per (post, label), labels ascending *)
+  own_pair : int array;  (* slot -> the pair the post itself constitutes *)
+  range_first : int array;  (* slot -> first pair id the post covers there *)
+  range_last : int array;  (* slot -> last pair id (first > last = empty) *)
+}
+
+let fixed_of = function Coverage.Fixed l -> Some l | Coverage.Per_post_label _ -> None
+
+(* Smallest LP(a) index with value > x within the label block at [la]. *)
+let first_above_in pair_value la m x =
+  let lo = ref 0 and hi = ref m in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if pair_value.(la + mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Index of position [pos] in the ascending positions array [lp]. *)
+let rank_of lp pos =
+  let lo = ref 0 and hi = ref (Array.length lp) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if lp.(mid) < pos then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let build ?pool ?(coverers = true) instance lambda =
+  let n = Instance.size instance in
+  let total = Instance.total_pairs instance in
+  let max_label = Instance.max_label instance in
+  let base = Array.make (max_label + 2) 0 in
+  for a = 0 to max_label do
+    base.(a + 1) <- base.(a) + Array.length (Instance.label_posts instance a)
+  done;
+  let pair_pos = Array.make total 0 in
+  let pair_value = Array.make total 0. in
+  let fixed = fixed_of lambda in
+  let pair_reach =
+    match fixed with Some _ -> None | None -> Some (Array.make total 0.)
+  in
+  let best = match fixed with Some _ -> None | None -> Some (Array.make total 0) in
+  let cov_ranges =
+    match (fixed, coverers) with
+    | Some _, true -> Some (Array.make total 0, Array.make total 0)
+    | _ -> None
+  in
+  let row_counts =
+    match (fixed, coverers) with
+    | None, true -> Some (Array.make total 0)
+    | _ -> None
+  in
+  let universe = Array.of_list (Instance.label_universe instance) in
+  (* Phase 1, per label: pair attributes, coverer ranges / best picks /
+     CSR row counts. *)
+  let process_label a =
+    let lp = Instance.label_posts instance a in
+    let la = base.(a) in
+    let m = Array.length lp in
+    for ia = 0 to m - 1 do
+      pair_pos.(la + ia) <- lp.(ia);
+      pair_value.(la + ia) <- Instance.value instance lp.(ia)
+    done;
+    (match cov_ranges with
+    | Some (cf, cl) ->
+      let l = Option.get fixed in
+      for ia = 0 to m - 1 do
+        let x = pair_value.(la + ia) in
+        match Instance.posts_in_range instance a ~lo:(x -. l) ~hi:(x +. l) with
+        | Some (f, lst) ->
+          cf.(la + ia) <- la + f;
+          cl.(la + ia) <- la + lst
+        | None ->
+          cf.(la + ia) <- 0;
+          cl.(la + ia) <- -1
+      done
+    | None -> ());
+    match fixed with
+    | Some _ -> ()
+    | None ->
+      let reach = Option.get pair_reach and best = Option.get best in
+      let left = Array.make m 0. in
+      for ia = 0 to m - 1 do
+        let lo, hi = Coverage.interval lambda (Instance.post instance lp.(ia)) a in
+        left.(ia) <- lo;
+        reach.(la + ia) <- hi
+      done;
+      (* Best pick per pair: sweep values left to right, admitting
+         intervals by left endpoint into a heap keyed (reach desc, LP
+         index asc). The top is exactly the linear scan's answer: the
+         candidate reaching furthest right, smallest index on ties. *)
+      let order = Array.init m Fun.id in
+      Array.sort
+        (fun i j ->
+          let c = Float.compare left.(i) left.(j) in
+          if c <> 0 then c else Int.compare i j)
+        order;
+      let cmp (ra, ja) (rb, jb) =
+        let c = Float.compare rb ra in
+        if c <> 0 then c else Int.compare ja jb
+      in
+      let heap = Util.Heap.create cmp in
+      let admitted = ref 0 in
+      for ia = 0 to m - 1 do
+        let x = pair_value.(la + ia) in
+        while !admitted < m && left.(order.(!admitted)) <= x do
+          let j = order.(!admitted) in
+          Util.Heap.push heap (reach.(la + j), j);
+          incr admitted
+        done;
+        let rec top () =
+          match Util.Heap.peek heap with
+          | Some (r, _) when r < x ->
+            ignore (Util.Heap.pop heap);
+            top ()
+          | Some (_, j) -> j
+          | None -> invalid_arg "Pair_index.build: no coverer contains a pair"
+        in
+        best.(la + ia) <- la + top ()
+      done;
+      (match row_counts with
+      | Some counts ->
+        (* Per-label diff array keeps the +1 slot off the next label's
+           block. *)
+        let diff = Array.make (m + 1) 0 in
+        for ia = 0 to m - 1 do
+          match
+            Instance.posts_in_range instance a ~lo:left.(ia) ~hi:reach.(la + ia)
+          with
+          | None -> ()
+          | Some (f, lst) ->
+            diff.(f) <- diff.(f) + 1;
+            diff.(lst + 1) <- diff.(lst + 1) - 1
+        done;
+        let acc = ref 0 in
+        for ia = 0 to m - 1 do
+          acc := !acc + diff.(ia);
+          counts.(la + ia) <- !acc
+        done
+      | None -> ())
+  in
+  let parallel_labels f =
+    match pool with
+    | None -> Array.iter f universe
+    | Some pool ->
+      Util.Pool.parallel_for pool ~chunk:1 (Array.length universe) ~f:(fun i ->
+          f universe.(i))
+  in
+  parallel_labels process_label;
+  (* Phase 2 (per-post λ with coverers): global CSR offsets, then fill
+     rows per label — each label's rows are one contiguous block. *)
+  let cov =
+    match (cov_ranges, row_counts) with
+    | Some (first, last), _ -> Ranges { first; last }
+    | None, Some counts ->
+      let offsets = Array.make (total + 1) 0 in
+      for id = 0 to total - 1 do
+        offsets.(id + 1) <- offsets.(id) + counts.(id)
+      done;
+      let posts = Array.make offsets.(total) 0 in
+      let fill_label a =
+        let lp = Instance.label_posts instance a in
+        let la = base.(a) in
+        let m = Array.length lp in
+        let cursor = Array.init m (fun ia -> offsets.(la + ia)) in
+        let reach = Option.get pair_reach in
+        for j = 0 to m - 1 do
+          let p = Instance.post instance lp.(j) in
+          let lo = p.Post.value -. Coverage.radius lambda p a in
+          match Instance.posts_in_range instance a ~lo ~hi:reach.(la + j) with
+          | None -> ()
+          | Some (f, lst) ->
+            for ia = f to lst do
+              posts.(cursor.(ia)) <- lp.(j);
+              cursor.(ia) <- cursor.(ia) + 1
+            done
+        done
+      in
+      parallel_labels fill_label;
+      Rows { offsets; posts }
+    | None, None -> Absent
+  in
+  (* Phase 3, per post: the reverse maps — covered ranges and own pairs,
+     one slot per (post, label). *)
+  let own_off = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    own_off.(k + 1) <- own_off.(k) + Label_set.cardinal (Instance.labels instance k)
+  done;
+  let own_pair = Array.make total 0 in
+  let range_first = Array.make total 0 in
+  let range_last = Array.make total (-1) in
+  let process_post k =
+    let p = Instance.post instance k in
+    let slot = ref own_off.(k) in
+    Label_set.iter
+      (fun a ->
+        let la = base.(a) in
+        own_pair.(!slot) <- la + rank_of (Instance.label_posts instance a) k;
+        let lo, hi = Coverage.interval lambda p a in
+        (match Instance.posts_in_range instance a ~lo ~hi with
+        | Some (f, lst) ->
+          range_first.(!slot) <- la + f;
+          range_last.(!slot) <- la + lst
+        | None ->
+          range_first.(!slot) <- 0;
+          range_last.(!slot) <- -1);
+        incr slot)
+      p.Post.labels
+  in
+  (match pool with
+  | None ->
+    for k = 0 to n - 1 do
+      process_post k
+    done
+  | Some pool ->
+    Util.Pool.parallel_iter_chunks pool n ~f:(fun lo hi ->
+        for k = lo to hi - 1 do
+          process_post k
+        done));
+  { instance; lambda; base; pair_pos; pair_value; pair_reach; best; cov;
+    own_off; own_pair; range_first; range_last }
+
+let instance t = t.instance
+let lambda t = t.lambda
+let total_pairs t = Array.length t.pair_pos
+
+let label_base t a =
+  if a < 0 then invalid_arg "Pair_index.label_base: negative label";
+  if a + 1 >= Array.length t.base then total_pairs t else t.base.(a)
+
+let label_size t a =
+  if a < 0 then invalid_arg "Pair_index.label_size: negative label";
+  if a + 1 >= Array.length t.base then 0 else t.base.(a + 1) - t.base.(a)
+
+let pair_pos t id = t.pair_pos.(id)
+let pair_value t id = t.pair_value.(id)
+
+let reach t id =
+  match t.pair_reach with
+  | Some r -> r.(id)
+  | None -> (
+    match t.lambda with
+    | Coverage.Fixed l -> t.pair_value.(id) +. l
+    | Coverage.Per_post_label _ -> assert false)
+
+let first_above t a x =
+  let la = label_base t a and m = label_size t a in
+  first_above_in t.pair_value la m x
+
+let best_coverer t a id =
+  match t.best with
+  | Some b -> b.(id)
+  | None -> (
+    match t.cov with
+    | Ranges { last; _ } -> last.(id)
+    | Rows _ | Absent ->
+      let l =
+        match t.lambda with
+        | Coverage.Fixed l -> l
+        | Coverage.Per_post_label _ -> assert false
+      in
+      let la = label_base t a and m = label_size t a in
+      let x = t.pair_value.(id) in
+      let j = first_above_in t.pair_value la m (x +. l) - 1 in
+      if j < 0 || t.pair_value.(la + j) < x -. l then
+        invalid_arg "Pair_index.best_coverer: no coverer contains the pair";
+      la + j)
+
+let iter_coverers t id f =
+  match t.cov with
+  | Ranges { first; last } ->
+    for q = first.(id) to last.(id) do
+      f t.pair_pos.(q)
+    done
+  | Rows { offsets; posts } ->
+    for q = offsets.(id) to offsets.(id + 1) - 1 do
+      f posts.(q)
+    done
+  | Absent -> invalid_arg "Pair_index.iter_coverers: built with ~coverers:false"
+
+let iter_covered_ranges t k f =
+  for slot = t.own_off.(k) to t.own_off.(k + 1) - 1 do
+    f t.range_first.(slot) t.range_last.(slot)
+  done
+
+let covered_count t k =
+  let count = ref 0 in
+  iter_covered_ranges t k (fun first last -> count := !count + last - first + 1);
+  !count
+
+let iter_own_pairs t k f =
+  for slot = t.own_off.(k) to t.own_off.(k + 1) - 1 do
+    f t.own_pair.(slot)
+  done

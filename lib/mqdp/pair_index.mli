@@ -1,0 +1,90 @@
+(** A compiled, immutable index of the (post, label) pair geometry that
+    every MQDP solver reasons over.
+
+    Built once per (instance, λ), the index assigns each (post, label) pair
+    a dense global id and stores, in flat [int]/[float] arrays:
+
+    - per-label pair offsets: the pairs of label [a] occupy the contiguous
+      id block [\[label_base a, label_base a + label_size a)], in LP(a)
+      order (hence sorted by value) — pair [(a, ia)] has id
+      [label_base a + ia];
+    - each pair's position, value, and [reach] (the right extent of its own
+      post's coverage interval for that label);
+    - each pair's coverer set — the posts that λ-cover it. Under a fixed λ
+      this is a [(first, last)] range of pair ids within the same label
+      block; under a per-post λ it is a CSR-flattened array of positions;
+    - the reverse map post → pairs-it-covers, as one contiguous pair-id
+      range per (post, label) slot, plus post → its own pairs;
+    - for a per-post λ, the precomputed best pick per pair: the coverer
+      whose interval reaches furthest right (smallest LP index on ties),
+      computed by a left-endpoint sweep with a max-reach heap in
+      O(|LP(a)| log |LP(a)|) — no linear scans.
+
+    All ids are dense and label-major, matching the set-cover universe
+    numbering used by {!Brute_force}. Construction fans out per label (and
+    per post for the reverse map) over {!Util.Pool}; every worker writes
+    only its own slots, so the index is bit-identical for any pool size. *)
+
+type t
+
+(** [build ?pool ?coverers instance lambda] compiles the index.
+    [coverers] (default [true]) controls whether per-pair coverer sets are
+    materialized: the scan family only needs best picks and reaches, so it
+    builds with [~coverers:false]; the greedy/set-cover family needs the
+    full sets. Under a fixed λ coverer ranges cost two ints per pair; under
+    a per-post λ the CSR rows cost one int per (pair, coverer) incidence. *)
+val build : ?pool:Util.Pool.t -> ?coverers:bool -> Instance.t -> Coverage.lambda -> t
+
+val instance : t -> Instance.t
+val lambda : t -> Coverage.lambda
+
+(** Number of (post, label) pairs — the set-cover universe size. *)
+val total_pairs : t -> int
+
+(** [label_base t a] is the id of the first pair of label [a]
+    ([total_pairs t] when [a] has no pairs). *)
+val label_base : t -> Label.t -> int
+
+(** [label_size t a] is |LP(a)|. *)
+val label_size : t -> Label.t -> int
+
+(** [pair_pos t id] is the instance position of the pair's post. *)
+val pair_pos : t -> int -> int
+
+(** [pair_value t id] is the value of the pair's post. *)
+val pair_value : t -> int -> float
+
+(** [reach t id] is the right extent of the pair's own post's coverage
+    interval for the pair's label. *)
+val reach : t -> int -> float
+
+(** [first_above t a x] is the smallest LP(a) index whose value exceeds
+    [x], or [label_size t a] when none — the scan family's skip search. *)
+val first_above : t -> Label.t -> float -> int
+
+(** [best_coverer t a id] is the pair id (within label [a]'s block) of the
+    coverer of pair [id] whose interval reaches furthest right, breaking
+    ties toward the smallest LP index — exactly the scan algorithms' pick.
+    Raises [Invalid_argument] when no coverer contains the pair's value
+    (impossible for a nonnegative λ: a pair covers itself). *)
+val best_coverer : t -> Label.t -> int -> int
+
+(** [iter_coverers t id f] applies [f] to the position of every post that
+    λ-covers pair [id], in ascending position order. Raises
+    [Invalid_argument] when the index was built with [~coverers:false]
+    under a per-post λ. *)
+val iter_coverers : t -> int -> (int -> unit) -> unit
+
+(** [iter_covered_ranges t k f] applies [f first last] for each label of
+    post [k], where [\[first, last\]] is the inclusive pair-id range that
+    [k] λ-covers in that label's block ([first > last] for an empty
+    range). Labels are visited in ascending order. *)
+val iter_covered_ranges : t -> int -> (int -> int -> unit) -> unit
+
+(** [covered_count t k] is the number of pairs post [k] λ-covers — the
+    greedy algorithm's initial gain. *)
+val covered_count : t -> int -> int
+
+(** [iter_own_pairs t k f] applies [f] to the ids of the pairs post [k]
+    itself belongs to — one per label of [k], ascending. *)
+val iter_own_pairs : t -> int -> (int -> unit) -> unit

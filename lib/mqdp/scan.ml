@@ -3,96 +3,66 @@ type order =
   | Most_frequent_first
   | Least_frequent_first
 
-(* The coverage interval of post [p] for label [a] is
-   [p.value - r, p.value + r] with r = Coverage.radius lambda p a. *)
-let reach instance lambda a pos =
-  let p = Instance.post instance pos in
-  p.Post.value +. Coverage.radius lambda (Instance.post instance pos) a
-
-(* Index into LP(a) of the best post to cover the point [x]: among posts
-   whose interval contains [x], the one reaching furthest right. With a
-   fixed lambda this is the last post with value <= x + lambda (the paper's
-   choice); with a per-post lambda we scan the whole list, which is only
-   used at small scale. Raises if no candidate exists — impossible when [x]
-   is the value of a post in LP(a), which covers itself. *)
-let best_pick instance lambda a lp x =
-  match lambda with
-  | Coverage.Fixed l ->
-    let key pos = Instance.value instance pos in
-    let j = Util.Array_util.upper_bound ~key lp (x +. l) - 1 in
-    if j < 0 || Instance.value instance lp.(j) < x -. l then
-      invalid_arg "Scan.best_pick: no candidate interval contains x";
-    j
-  | Coverage.Per_post_label _ ->
-    let best = ref (-1) and best_reach = ref neg_infinity in
-    Array.iteri
-      (fun j pos ->
-        let p = Instance.post instance pos in
-        let r = Coverage.radius lambda p a in
-        if Float.abs (p.Post.value -. x) <= r then begin
-          let right = p.Post.value +. r in
-          if right > !best_reach then begin
-            best := j;
-            best_reach := right
-          end
-        end)
-      lp;
-    if !best < 0 then invalid_arg "Scan.best_pick: no candidate interval contains x";
-    !best
+(* All interval geometry comes from a compiled Pair_index: the best pick
+   for the pair at LP(a) index [i] is precompiled (per-post λ) or a binary
+   search over the label's value block (fixed λ), and the post-pick skip is
+   a binary search over the precompiled reaches — no linear scans in
+   either λ mode. *)
 
 (* The greedy chain of label [a] alone: pairs [(i, j)] meaning "at LP(a)
    index [i] the best pick is LP(a) index [j]", in ascending [i]. Each
    entry depends only on [(a, i)], never on what other labels covered, so
    chains can be computed per label in parallel and reused as a pick cache
    by Scan+'s sequential merge. *)
-let chain instance lambda a =
-  let lp = Instance.label_posts instance a in
-  let n = Array.length lp in
+let chain index a =
+  let base = Pair_index.label_base index a in
+  let n = Pair_index.label_size index a in
   let rec loop i acc =
     if i >= n then List.rev acc
     else begin
-      let x = Instance.value instance lp.(i) in
-      let j = best_pick instance lambda a lp x in
-      let right = reach instance lambda a lp.(j) in
+      let j = Pair_index.best_coverer index a (base + i) - base in
       (* Skip every post covered by the pick. *)
-      let key pos = Instance.value instance pos in
-      let next = Util.Array_util.upper_bound ~key lp right in
+      let next = Pair_index.first_above index a (Pair_index.reach index (base + j)) in
       loop (max next (i + 1)) ((i, j) :: acc)
     end
   in
   loop 0 []
 
+let solve_label_indexed index a =
+  let base = Pair_index.label_base index a in
+  List.map (fun (_, j) -> Pair_index.pair_pos index (base + j)) (chain index a)
+
 let solve_label instance lambda a =
-  let lp = Instance.label_posts instance a in
-  List.map (fun (_, j) -> lp.(j)) (chain instance lambda a)
+  solve_label_indexed (Pair_index.build ~coverers:false instance lambda) a
 
 let sorted_unique positions =
   List.sort_uniq Int.compare positions
 
-let label_chains pool instance lambda labels =
-  Util.Pool.parallel_map pool ~chunk:1
-    ~f:(fun a -> chain instance lambda a)
-    (Array.of_list labels)
+let label_chains pool index labels =
+  Util.Pool.parallel_map pool ~chunk:1 ~f:(fun a -> chain index a) (Array.of_list labels)
 
-let solve ?pool instance lambda =
-  let universe = Instance.label_universe instance in
+let solve_indexed ?pool index =
+  let universe = Instance.label_universe (Pair_index.instance index) in
   (match pool with
-  | None -> List.concat_map (fun a -> solve_label instance lambda a) universe
+  | None -> List.concat_map (fun a -> solve_label_indexed index a) universe
   | Some pool ->
     (* Per-label fan-out; concatenating in universe order makes the merge
        independent of scheduling, hence bit-identical to sequential. *)
-    let chains = label_chains pool instance lambda universe in
+    let chains = label_chains pool index universe in
     List.concat
       (List.mapi
          (fun idx a ->
-           let lp = Instance.label_posts instance a in
-           List.map (fun (_, j) -> lp.(j)) chains.(idx))
+           let base = Pair_index.label_base index a in
+           List.map (fun (_, j) -> Pair_index.pair_pos index (base + j)) chains.(idx))
          universe))
   |> sorted_unique
 
-let label_order instance order =
-  let universe = Instance.label_universe instance in
-  let frequency a = Array.length (Instance.label_posts instance a) in
+let solve ?pool instance lambda =
+  solve_indexed ?pool (Pair_index.build ?pool ~coverers:false instance lambda)
+
+let label_order index order =
+  let universe = Instance.label_universe (Pair_index.instance index) in
+  let frequency a = Pair_index.label_size index a in
   match order with
   | Given -> universe
   | Most_frequent_first ->
@@ -100,52 +70,37 @@ let label_order instance order =
   | Least_frequent_first ->
     List.sort (fun a b -> Int.compare (frequency a) (frequency b)) universe
 
-let solve_plus ?(order = Given) ?pool instance lambda =
-  let max_label =
-    List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
-  in
-  let covered =
-    Array.init (max_label + 1) (fun a ->
-        Bytes.make (Array.length (Instance.label_posts instance a)) '\000')
-  in
+let solve_plus_indexed ?(order = Given) ?pool index =
+  let covered = Bytes.make (Pair_index.total_pairs index) '\000' in
   let mark_covered_by picked =
-    let p = Instance.post instance picked in
-    Label_set.iter
-      (fun b ->
-        let r = Coverage.radius lambda p b in
-        match
-          Instance.posts_in_range instance b ~lo:(p.Post.value -. r) ~hi:(p.Post.value +. r)
-        with
-        | None -> ()
-        | Some (first, last) ->
-          Bytes.fill covered.(b) first (last - first + 1) '\001')
-      p.Post.labels
+    Pair_index.iter_covered_ranges index picked (fun first last ->
+        Bytes.fill covered first (last - first + 1) '\001')
   in
-  let labels = label_order instance order in
+  let labels = label_order index order in
   (* Cross-label coverage makes the label loop inherently sequential, but
-     [best_pick] depends only on the pair (label, index) — never on the
-     covered flags — so the per-label pick chains are speculatively computed
-     in parallel and consulted as a cache during the ordered merge. A cache
-     hit returns exactly what [best_pick] would, so the cover is
+     the best pick depends only on the pair — never on the covered flags —
+     so the per-label pick chains are speculatively computed in parallel
+     and consulted as a cache during the ordered merge. A cache hit
+     returns exactly what [Pair_index.best_coverer] would, so the cover is
      bit-identical to the sequential run; misses (positions only reachable
-     because another label covered part of the chain) fall back to
-     [best_pick]. *)
+     because another label covered part of the chain) fall back to the
+     index lookup. *)
   let speculative =
     match pool with
     | None -> None
-    | Some pool -> Some (label_chains pool instance lambda labels)
+    | Some pool -> Some (label_chains pool index labels)
   in
   let picks = ref [] in
   let process_label idx a =
-    let lp = Instance.label_posts instance a in
-    let n = Array.length lp in
+    let base = Pair_index.label_base index a in
+    let n = Pair_index.label_size index a in
     let cache =
       ref
         (match speculative with
         | None -> []
         | Some chains -> chains.(idx))
     in
-    let pick_at i x =
+    let pick_at i =
       let rec lookup () =
         match !cache with
         | (pos, _) :: rest when pos < i ->
@@ -156,17 +111,17 @@ let solve_plus ?(order = Given) ?pool instance lambda =
       in
       match lookup () with
       | Some j -> j
-      | None -> best_pick instance lambda a lp x
+      | None -> Pair_index.best_coverer index a (base + i) - base
     in
     let rec loop i =
       if i < n then begin
-        if Bytes.get covered.(a) i <> '\000' then loop (i + 1)
+        if Bytes.get covered (base + i) <> '\000' then loop (i + 1)
         else begin
-          let x = Instance.value instance lp.(i) in
-          let j = pick_at i x in
-          picks := lp.(j) :: !picks;
-          mark_covered_by lp.(j);
-          (* lp.(j) covers pair (i, a), so the flag at i is now set. *)
+          let j = pick_at i in
+          let picked = Pair_index.pair_pos index (base + j) in
+          picks := picked :: !picks;
+          mark_covered_by picked;
+          (* [picked] covers pair (i, a), so the flag at i is now set. *)
           loop (i + 1)
         end
       end
@@ -175,3 +130,6 @@ let solve_plus ?(order = Given) ?pool instance lambda =
   in
   List.iteri process_label labels;
   sorted_unique !picks
+
+let solve_plus ?order ?pool instance lambda =
+  solve_plus_indexed ?order ?pool (Pair_index.build ?pool ~coverers:false instance lambda)

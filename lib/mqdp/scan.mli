@@ -7,6 +7,12 @@
     the union is an s-approximation where s is the maximum number of labels
     per post. Running time O(s·|P|) for a fixed λ.
 
+    Both λ modes run off a compiled {!Pair_index}: under a fixed λ the best
+    pick is a binary search over the label's value block, and under a
+    per-post λ it is a precompiled per-pair lookup — the index's
+    left-endpoint sweep replaces the old O(|LP(a)|) linear scan, restoring
+    the per-label O(log) pick cost under proportional λ.
+
     Scan+ additionally marks, whenever a post [z] is selected, every
     (post, label) pair that [z] covers — for all labels of [z] — so later
     labels skip already-covered pairs. The processing order of labels then
@@ -18,10 +24,14 @@ type order =
   | Least_frequent_first
 
 (** [solve ?pool instance lambda] — plain Scan. Returns positions,
-    ascending. With [pool], the independent per-label covers are computed
-    in parallel and merged in label order, so the result is bit-identical
-    to the sequential run. *)
+    ascending. With [pool], the index build and the independent per-label
+    covers are computed in parallel and merged in label order, so the
+    result is bit-identical to the sequential run. *)
 val solve : ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
+
+(** [solve_indexed ?pool index] is {!solve} on a pre-compiled index
+    (coverer sets not required). *)
+val solve_indexed : ?pool:Util.Pool.t -> Pair_index.t -> int list
 
 (** [solve_plus ?order ?pool instance lambda] — Scan+ (default order
     [Given]). With [pool], the per-label pick chains are speculatively
@@ -29,6 +39,11 @@ val solve : ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
     cross-label merge; the cover is bit-identical to the sequential run. *)
 val solve_plus :
   ?order:order -> ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
+
+(** [solve_plus_indexed ?order ?pool index] is {!solve_plus} on a
+    pre-compiled index. *)
+val solve_plus_indexed :
+  ?order:order -> ?pool:Util.Pool.t -> Pair_index.t -> int list
 
 (** [solve_label instance lambda a] — the optimal cover of LP(a) with
     respect to label [a] alone (positions, ascending). Exposed for tests

@@ -73,6 +73,25 @@ let solve ?(jobs = 1) algorithm instance lambda =
   if jobs = 1 then timed None
   else Util.Pool.with_pool ~jobs (fun pool -> timed (Some pool))
 
+let compile ?(jobs = 1) instance lambda =
+  if jobs < 1 then invalid_arg "Solver.compile: jobs < 1";
+  if jobs = 1 then Pair_index.build instance lambda
+  else Util.Pool.with_pool ~jobs (fun pool -> Pair_index.build ~pool instance lambda)
+
+let solve_compiled algorithm index =
+  let run () =
+    match algorithm with
+    | Opt -> Opt.solve (Pair_index.instance index) (Pair_index.lambda index)
+    | Brute_force ->
+      Brute_force.solve (Pair_index.instance index) (Pair_index.lambda index)
+    | Greedy_sc -> Greedy_sc.solve_indexed ~selection:`Linear_scan index
+    | Greedy_sc_heap -> Greedy_sc.solve_indexed ~selection:`Lazy_heap index
+    | Scan -> Scan.solve_indexed index
+    | Scan_plus -> Scan.solve_plus_indexed index
+  in
+  let cover, elapsed = Util.Timer.time_it run in
+  { cover; size = List.length cover; elapsed }
+
 let solve_stream algorithm ~tau instance lambda =
   let run () =
     match algorithm with

@@ -50,5 +50,19 @@ val all_streaming_algorithms : streaming_algorithm list
     distributed, with deterministic ordered merges. [Opt] and [Brute_force]
     ignore [jobs]. Pool startup happens outside the timed region. *)
 val solve : ?jobs:int -> algorithm -> Instance.t -> Coverage.lambda -> result
+
+(** [compile ?jobs instance lambda] builds the shared {!Pair_index} once
+    (with coverer sets, so every solver can run off it); with [jobs > 1]
+    construction fans out over a temporary pool. Use with
+    {!solve_compiled} to amortize the geometry across several algorithms
+    on the same (instance, λ). *)
+val compile : ?jobs:int -> Instance.t -> Coverage.lambda -> Pair_index.t
+
+(** [solve_compiled algorithm index] runs [algorithm] off the pre-compiled
+    index; [elapsed] excludes index construction. [Opt] and [Brute_force]
+    fall back to the instance behind the index. The cover is identical to
+    {!solve} on the same inputs. *)
+val solve_compiled : algorithm -> Pair_index.t -> result
+
 val solve_stream :
   streaming_algorithm -> tau:float -> Instance.t -> Coverage.lambda -> streaming_result

@@ -1,60 +1,37 @@
+(* The window-greedy works directly on the compiled Pair_index: covered
+   flags are one flat byte per pair id, a post's coverage is its pair-id
+   ranges, and "post fully covered" walks its own pairs. *)
 type state = {
-  instance : Instance.t;
-  lambda : float;
-  covered : Bytes.t array;  (* per label, per LP(a) index *)
-  pairs_of_post : (int * int) list array;  (* position -> (label, LP index) *)
+  index : Pair_index.t;
+  covered : Bytes.t;  (* one byte per pair id *)
 }
 
 let make_state instance lambda =
-  let max_label =
-    List.fold_left (fun acc a -> max acc a) (-1) (Instance.label_universe instance)
-  in
-  let covered =
-    Array.init (max_label + 1) (fun a ->
-        Bytes.make (Array.length (Instance.label_posts instance a)) '\000')
-  in
-  let pairs_of_post = Array.make (Instance.size instance) [] in
-  List.iter
-    (fun a ->
-      let lp = Instance.label_posts instance a in
-      Array.iteri (fun ia pos -> pairs_of_post.(pos) <- (a, ia) :: pairs_of_post.(pos)) lp)
-    (Instance.label_universe instance);
-  { instance; lambda; covered; pairs_of_post }
+  { index = Pair_index.build ~coverers:false instance (Coverage.Fixed lambda);
+    covered = Bytes.make (Instance.total_pairs instance) '\000' }
+
+exception Uncovered_pair
 
 let fully_covered st pos =
-  List.for_all (fun (a, ia) -> Bytes.get st.covered.(a) ia <> '\000') st.pairs_of_post.(pos)
+  try
+    Pair_index.iter_own_pairs st.index pos (fun id ->
+        if Bytes.get st.covered id = '\000' then raise Uncovered_pair);
+    true
+  with Uncovered_pair -> false
 
 let mark_covered_by st k =
-  let p = Instance.post st.instance k in
-  Label_set.iter
-    (fun a ->
-      match
-        Instance.posts_in_range st.instance a ~lo:(p.Post.value -. st.lambda)
-          ~hi:(p.Post.value +. st.lambda)
-      with
-      | None -> ()
-      | Some (first, last) -> Bytes.fill st.covered.(a) first (last - first + 1) '\001')
-    p.Post.labels
+  Pair_index.iter_covered_ranges st.index k (fun first last ->
+      Bytes.fill st.covered first (last - first + 1) '\001')
 
 (* Uncovered window pairs the candidate k would cover. *)
 let window_gain st ~z_lo ~z_hi k =
-  let p = Instance.post st.instance k in
   let gain = ref 0 in
-  Label_set.iter
-    (fun a ->
-      match
-        Instance.posts_in_range st.instance a ~lo:(p.Post.value -. st.lambda)
-          ~hi:(p.Post.value +. st.lambda)
-      with
-      | None -> ()
-      | Some (first, last) ->
-        let lp = Instance.label_posts st.instance a in
-        for ia = first to last do
-          let pos = lp.(ia) in
-          if pos >= z_lo && pos <= z_hi && Bytes.get st.covered.(a) ia = '\000' then
-            incr gain
-        done)
-    p.Post.labels;
+  Pair_index.iter_covered_ranges st.index k (fun first last ->
+      for id = first to last do
+        let pos = Pair_index.pair_pos st.index id in
+        if pos >= z_lo && pos <= z_hi && Bytes.get st.covered id = '\000' then
+          incr gain
+      done);
   !gain
 
 let window_all_covered st ~z_lo ~z_hi =

@@ -88,6 +88,38 @@ let lp_consistency =
           lp = expected)
         (Mqdp.Instance.label_universe inst))
 
+(* [sub] slices the already-sorted array; it must be indistinguishable from
+   filtering the posts and building a fresh instance. *)
+let sub_equals_rebuild =
+  qtest "sub = filter posts and create" (arb_instance ~span:10. ())
+    (fun inst ->
+      List.for_all
+        (fun (lo, hi) ->
+          let sliced = Mqdp.Instance.sub inst ~lo ~hi in
+          let rebuilt =
+            instance_of
+              (Mqdp.Instance.posts inst
+              |> Array.to_list
+              |> List.filter (fun p ->
+                     p.Mqdp.Post.value >= lo && p.Mqdp.Post.value <= hi))
+          in
+          Mqdp.Instance.posts sliced = Mqdp.Instance.posts rebuilt
+          && Mqdp.Instance.label_universe sliced
+             = Mqdp.Instance.label_universe rebuilt
+          && List.for_all
+               (fun a ->
+                 Mqdp.Instance.label_posts sliced a
+                 = Mqdp.Instance.label_posts rebuilt a)
+               (Mqdp.Instance.label_universe rebuilt)
+          && Mqdp.Instance.total_pairs sliced = Mqdp.Instance.total_pairs rebuilt
+          && Mqdp.Instance.max_label sliced = Mqdp.Instance.max_label rebuilt)
+        [ (2., 8.); (0., 10.); (4., 4.); (8., 2.); (-5., 20.) ])
+
+let max_label_matches_universe =
+  qtest "max_label = last of label universe" (arb_instance ()) (fun inst ->
+      Mqdp.Instance.max_label inst
+      = List.fold_left max (-1) (Mqdp.Instance.label_universe inst))
+
 let pairs_total =
   qtest "total_pairs = sum of |LP(a)|" (arb_instance ()) (fun inst ->
       Mqdp.Instance.total_pairs inst
@@ -107,5 +139,7 @@ let suite =
     Alcotest.test_case "sub & span" `Quick test_sub_and_span;
     posts_sorted_property;
     lp_consistency;
+    sub_equals_rebuild;
+    max_label_matches_universe;
     pairs_total;
   ]

@@ -5,6 +5,7 @@ let () =
       ("label-set", Test_label_set.suite);
       ("instance", Test_instance.suite);
       ("coverage", Test_coverage.suite);
+      ("pair-index", Test_pair_index.suite);
       ("set-cover", Test_set_cover.suite);
       ("algorithms", Test_algorithms.suite);
       ("opt", Test_opt.suite);
