@@ -1,0 +1,84 @@
+(* Hardened-frontend behaviour under a hostile feed (not a paper figure).
+
+   Generates one synthetic hour, corrupts it with Util.Fault at increasing
+   severity, and pushes it through Mqdp.Feed in Delayed mode. Reports what
+   each policy did with the damage (counters), the emission volume, the
+   degradation activity, and the ingest cost per post — the observability
+   story an operator would watch in production. Checkpoint cost is
+   measured on the final state of each run. *)
+
+let severities =
+  [
+    ("clean", Util.Fault.clean);
+    ( "mild",
+      { Util.Fault.clean with drop_p = 0.01; duplicate_p = 0.02; skew_p = 0.05;
+        skew_sigma = 5.; dup_delay = 4 } );
+    ( "rough",
+      { Util.Fault.drop_p = 0.05; duplicate_p = 0.08; dup_delay = 8; skew_p = 0.15;
+        skew_sigma = 30.; burst_p = 0.02; burst_len = 6 } );
+    ( "hostile",
+      { Util.Fault.drop_p = 0.10; duplicate_p = 0.15; dup_delay = 16; skew_p = 0.30;
+        skew_sigma = 120.; burst_p = 0.05; burst_len = 10 } );
+  ]
+
+let run () =
+  Harness.section ~id:"faults"
+    ~paper:"(new) Feed frontend: disordered-feed hardening (DESIGN.md sec 14)"
+    ~expect:"graceful counters, bounded queues, flat cost as severity grows";
+  let posts =
+    Workload.Direct_gen.generate
+      { (Workload.Direct_gen.default_config ~num_labels:10 ~seed:42) with
+        Workload.Direct_gen.duration = 3600.;
+        rate_per_min = 120. }
+  in
+  Printf.printf "workload: %d posts over one hour, |L| = 10, lambda = 90s, tau = 45s\n\n"
+    (List.length posts);
+  let config =
+    {
+      Mqdp.Feed.default_config with
+      Mqdp.Feed.reorder_window = 128;
+      late = Mqdp.Feed.Clamp;
+      overload_budget = Some 4;
+    }
+  in
+  let row (name, severity) =
+    let fault = Util.Fault.create ~config:severity ~seed:7 () in
+    let hostile =
+      Util.Fault.corrupt fault
+        ~time:(fun p -> p.Mqdp.Post.value)
+        ~retime:(fun p v -> { p with Mqdp.Post.value = v })
+        posts
+    in
+    let feed =
+      Mqdp.Feed.create ~config ~lambda:90. (Mqdp.Online.Delayed { tau = 45.; plus = true })
+    in
+    let emissions = ref 0 in
+    let (), elapsed =
+      Util.Timer.time_it (fun () ->
+          List.iter
+            (fun p ->
+              let o = Mqdp.Feed.push feed p in
+              emissions := !emissions + List.length o.Mqdp.Feed.emissions)
+            hostile;
+          emissions := !emissions + List.length (Mqdp.Feed.finish feed))
+    in
+    let c = Mqdp.Feed.counters feed in
+    let ckpt, t_ckpt = Util.Timer.time_it (fun () -> Mqdp.Feed.checkpoint feed) in
+    [
+      name;
+      string_of_int (List.length hostile);
+      string_of_int c.Mqdp.Feed.accepted;
+      string_of_int (c.Mqdp.Feed.late_dropped + c.Mqdp.Feed.late_clamped);
+      string_of_int c.Mqdp.Feed.duplicate_dropped;
+      string_of_int c.Mqdp.Feed.reordered;
+      string_of_int !emissions;
+      string_of_int c.Mqdp.Feed.degraded_labels;
+      string_of_int c.Mqdp.Feed.shed;
+      Printf.sprintf "%.2f" (elapsed *. 1e6 /. float_of_int (max 1 (List.length hostile)));
+      Printf.sprintf "%dB/%.1fms" (String.length ckpt) (t_ckpt *. 1000.);
+    ]
+  in
+  Harness.table
+    [ "feed"; "arrivals"; "accepted"; "late"; "dups"; "reorder"; "emit"; "degr";
+      "shed"; "us/post"; "checkpoint" ]
+    (List.map row severities)

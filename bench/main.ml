@@ -31,6 +31,7 @@ let experiments =
     ("ablF", Exp_ablations.abl_greedy_selection);
     ("micro", Micro.run);
     ("scaling", Exp_scaling.run);
+    ("faults", Exp_faults.run);
   ]
 
 let list_experiments () =

@@ -120,7 +120,13 @@ let algorithm_arg =
 
 let load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap =
   match input with
-  | Some path -> Mqdp.Instance.create (Workload.Post_io.load path)
+  | Some path -> begin
+    match Workload.Post_io.load path with
+    | posts -> Mqdp.Instance.create posts
+    | exception Workload.Post_io.Parse_error { line; what } ->
+      Printf.eprintf "%s:%d: %s\n" path line what;
+      exit 1
+  end
   | None -> Workload.Direct_gen.instance (config ~seed ~duration ~rate ~labels ~overlap)
 
 let solve_cmd =

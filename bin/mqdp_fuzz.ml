@@ -3,7 +3,17 @@
    prints the reproducing seed on the first discrepancy — the tool to run
    after touching any algorithm.
 
-   usage: mqdp_fuzz [seconds (default 10)] [start-seed (default 1)] *)
+   usage: mqdp_fuzz [--fault <drop|clamp|raise|mixed>] [seconds (default 10)]
+                    [start-seed (default 1)]
+
+   With --fault the tool switches from differential solver checks to the
+   hardened-frontend torture loop: every round builds a clean stream,
+   corrupts it (drops, duplicates, clock skew, bursts, injected non-finite
+   timestamps), runs it through Mqdp.Feed under the given policy twice —
+   once uninterrupted, once crash/checkpoint/restored at Fault-chosen push
+   boundaries — and checks that nothing crashes, both runs emit
+   bit-identical streams, every delivered post is λ-covered within its
+   deadline, and the overload budget is honored. *)
 
 let random_instance rng =
   let n = 2 + Util.Rng.int rng 12 in
@@ -79,21 +89,193 @@ let one_round seed =
   in
   check ~seed (instant <= 2 * s * optimal) "instant output exceeded 2s bound"
 
-let () =
-  let seconds =
-    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.
+(* ---------------- fault mode: the hardened frontend ---------------- *)
+
+let policy_of_string = function
+  | "drop" -> Some Mqdp.Feed.Drop
+  | "clamp" -> Some Mqdp.Feed.Clamp
+  | "raise" -> Some Mqdp.Feed.Raise
+  | "mixed" -> None  (* drawn per round *)
+  | s ->
+    Printf.eprintf "unknown fault policy %S (expected drop|clamp|raise|mixed)\n" s;
+    exit 2
+
+let random_policy rng =
+  match Util.Rng.int rng 3 with
+  | 0 -> Mqdp.Feed.Drop
+  | 1 -> Mqdp.Feed.Clamp
+  | _ -> Mqdp.Feed.Raise
+
+(* A clean, time-ordered stream with unique ids. *)
+let clean_stream rng ~n ~num_labels ~span =
+  List.init n (fun id ->
+      let value = Util.Rng.float rng span in
+      let k = 1 + Util.Rng.int rng (min 3 num_labels) in
+      let labels = List.init k (fun _ -> Util.Rng.int rng num_labels) in
+      Mqdp.Post.make ~id ~value ~labels:(Mqdp.Label_set.of_list labels))
+  |> List.sort Mqdp.Post.compare_by_value
+
+(* Occasionally smuggle in a non-finite timestamp (bypassing Post.make the
+   way a buggy upstream serializer would) so the non_finite policy runs. *)
+let inject_non_finite rng posts =
+  List.map
+    (fun p ->
+      if Util.Rng.float rng 1. < 0.03 then
+        let v =
+          match Util.Rng.int rng 3 with
+          | 0 -> Float.infinity
+          | 1 -> Float.neg_infinity
+          | _ -> Float.nan
+        in
+        { p with Mqdp.Post.value = v }
+      else p)
+    posts
+
+(* Push [posts] through a feed, checkpointing + restoring (through the
+   string serialization) at every boundary in [crashes]. Returns the
+   delivered posts (as admitted, newest clamps included) and the full
+   emission stream. *)
+let run_feed ~config ~lambda ~mode ~crashes posts =
+  let feed = ref (Mqdp.Feed.create ~config ~lambda mode) in
+  let delivered = ref [] in
+  let emissions = ref [] in
+  let budget_ok = ref true in
+  List.iteri
+    (fun i post ->
+      if List.mem i crashes then feed := Mqdp.Feed.restore (Mqdp.Feed.checkpoint !feed);
+      (match Mqdp.Feed.push !feed post with
+      | { Mqdp.Feed.admitted; emissions = es } ->
+        (match admitted with Some p -> delivered := p :: !delivered | None -> ());
+        emissions := List.rev_append es !emissions
+      | exception Mqdp.Feed.Rejected _ -> ());
+      match config.Mqdp.Feed.overload_budget with
+      | Some b ->
+        if Mqdp.Online.pending_labels (Mqdp.Feed.engine !feed) > b then budget_ok := false
+      | None -> ())
+    posts;
+  if List.mem (List.length posts) crashes then
+    feed := Mqdp.Feed.restore (Mqdp.Feed.checkpoint !feed);
+  emissions := List.rev_append (Mqdp.Feed.finish !feed) !emissions;
+  (List.rev !delivered, List.rev !emissions, !budget_ok, !feed)
+
+let emission_key e =
+  (e.Mqdp.Online.post.Mqdp.Post.id, Int64.bits_of_float e.Mqdp.Online.emit_time)
+
+let one_fault_round ~policy seed =
+  let rng = Util.Rng.create (0x5EED + seed) in
+  let n = 20 + Util.Rng.int rng 60 in
+  let num_labels = 1 + Util.Rng.int rng 6 in
+  let span = 20. +. Util.Rng.float rng 60. in
+  let lambda = 0.5 +. Util.Rng.float rng 6. in
+  let tau = Util.Rng.float rng 4. in
+  let mode =
+    if Util.Rng.int rng 4 = 0 then Mqdp.Online.Instant
+    else Mqdp.Online.Delayed { tau; plus = Util.Rng.bool rng }
   in
-  let seed0 = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let tau_eff = match mode with Mqdp.Online.Instant -> 0. | Mqdp.Online.Delayed _ -> tau in
+  let pick () = match policy with Some p -> p | None -> random_policy rng in
+  let config =
+    {
+      Mqdp.Feed.reorder_window = Util.Rng.int rng 24;
+      late = pick ();
+      duplicate = pick ();
+      non_finite = pick ();
+      overload_budget = (if Util.Rng.bool rng then Some (1 + Util.Rng.int rng 4) else None);
+    }
+  in
+  let fault =
+    Util.Fault.create
+      ~config:
+        {
+          Util.Fault.drop_p = 0.05;
+          duplicate_p = 0.08;
+          dup_delay = 5;
+          skew_p = 0.15;
+          skew_sigma = span /. 10.;
+          burst_p = 0.05;
+          burst_len = 4;
+        }
+      ~seed ()
+  in
+  let hostile =
+    clean_stream rng ~n ~num_labels ~span
+    |> Util.Fault.corrupt fault
+         ~time:(fun p -> p.Mqdp.Post.value)
+         ~retime:(fun p v -> { p with Mqdp.Post.value = v })
+    |> inject_non_finite rng
+  in
+  let crashes =
+    Util.Fault.crash_points fault ~n:(List.length hostile) ~max_points:4
+  in
+  let delivered, emissions, budget_ok, _ =
+    run_feed ~config ~lambda ~mode ~crashes:[] hostile
+  in
+  let delivered', emissions', budget_ok', _ =
+    run_feed ~config ~lambda ~mode ~crashes hostile
+  in
+  check ~seed budget_ok "overload budget exceeded (uninterrupted run)";
+  check ~seed budget_ok' "overload budget exceeded (crash/restore run)";
+  check ~seed
+    (List.map emission_key emissions = List.map emission_key emissions')
+    "crash/restore emissions diverge from the uninterrupted run";
+  check ~seed
+    (List.map (fun p -> (p.Mqdp.Post.id, Int64.bits_of_float p.Mqdp.Post.value)) delivered
+    = List.map (fun p -> (p.Mqdp.Post.id, Int64.bits_of_float p.Mqdp.Post.value)) delivered')
+    "crash/restore admission decisions diverge";
+  (* Every delivered post is λ-covered within its deadline: a covering
+     emission is itself emitted within τ of its own timestamp, so the
+     end-to-end bound is value + τ + λ. *)
+  let eps = 1e-9 in
+  List.iter
+    (fun p ->
+      Mqdp.Label_set.iter
+        (fun a ->
+          let covered =
+            List.exists
+              (fun e ->
+                let q = e.Mqdp.Online.post in
+                Mqdp.Label_set.mem a q.Mqdp.Post.labels
+                && Float.abs (q.Mqdp.Post.value -. p.Mqdp.Post.value) <= lambda +. eps
+                && e.Mqdp.Online.emit_time <= p.Mqdp.Post.value +. tau_eff +. lambda +. eps)
+              emissions
+          in
+          if not covered then
+            raise
+              (Discrepancy
+                 (Printf.sprintf "seed %d: delivered post %d label %d not covered in time"
+                    seed p.Mqdp.Post.id a)))
+        p.Mqdp.Post.labels)
+    delivered
+
+let fuzz_loop ~seconds ~seed0 ~what round =
   let start = Unix.gettimeofday () in
   let rounds = ref 0 and seed = ref seed0 in
-  (try
-     while Unix.gettimeofday () -. start < seconds do
-       one_round !seed;
-       incr rounds;
-       incr seed
-     done;
-     Printf.printf "fuzz: %d rounds clean in %.1fs (seeds %d..%d)\n" !rounds seconds
-       seed0 (!seed - 1)
-   with Discrepancy message ->
-     Printf.eprintf "fuzz: DISCREPANCY after %d rounds — %s\n" !rounds message;
-     exit 1)
+  try
+    while Unix.gettimeofday () -. start < seconds do
+      round !seed;
+      incr rounds;
+      incr seed
+    done;
+    Printf.printf "fuzz[%s]: %d rounds clean in %.1fs (seeds %d..%d)\n" what !rounds
+      seconds seed0 (!seed - 1)
+  with
+  | Discrepancy message ->
+    Printf.eprintf "fuzz[%s]: DISCREPANCY after %d rounds — %s\n" what !rounds message;
+    exit 1
+  | e ->
+    Printf.eprintf "fuzz[%s]: CRASH at seed %d — %s\n" what !seed (Printexc.to_string e);
+    exit 1
+
+let () =
+  let fault, rest =
+    match Array.to_list Sys.argv with
+    | _ :: "--fault" :: p :: rest -> (Some (p, policy_of_string p), rest)
+    | _ :: rest -> (None, rest)
+    | [] -> (None, [])
+  in
+  let seconds = match rest with s :: _ -> float_of_string s | [] -> 10. in
+  let seed0 = match rest with _ :: s :: _ -> int_of_string s | _ -> 1 in
+  match fault with
+  | None -> fuzz_loop ~seconds ~seed0 ~what:"diff" one_round
+  | Some (name, policy) ->
+    fuzz_loop ~seconds ~seed0 ~what:("fault:" ^ name) (one_fault_round ~policy)

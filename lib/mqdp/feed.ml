@@ -1,0 +1,481 @@
+(* Hardened ingestion frontend: reorder buffer + fault policies + overload
+   degradation + checkpoint/restore. See feed.mli for the contract.
+
+   Determinism is the load-bearing property: every decision depends only
+   on (config, admitted stream so far), and the checkpoint captures that
+   state completely, so crash → restore → replay is bit-identical to an
+   uninterrupted run. Nothing here may consult wall-clock time or global
+   randomness. *)
+
+type policy =
+  | Drop
+  | Clamp
+  | Raise
+
+type config = {
+  reorder_window : int;
+  late : policy;
+  duplicate : policy;
+  non_finite : policy;
+  overload_budget : int option;
+}
+
+let default_config =
+  {
+    reorder_window = 64;
+    late = Drop;
+    duplicate = Drop;
+    non_finite = Drop;
+    overload_budget = None;
+  }
+
+type counters = {
+  accepted : int;
+  released : int;
+  reordered : int;
+  late_dropped : int;
+  late_clamped : int;
+  duplicate_dropped : int;
+  non_finite_dropped : int;
+  non_finite_clamped : int;
+  rejected : int;
+  degraded_labels : int;
+  shed : int;
+}
+
+type t = {
+  cfg : config;
+  engine : Online.t;
+  buffer : Post.t Util.Heap.t;  (* staged posts, min by (value, id) *)
+  seen : (int, unit) Hashtbl.t;  (* ids ever admitted *)
+  mutable watermark : float;  (* newest value released to the engine *)
+  mutable high : float;  (* newest value ever admitted (reorder signal) *)
+  mutable c_accepted : int;
+  mutable c_released : int;
+  mutable c_reordered : int;
+  mutable c_late_dropped : int;
+  mutable c_late_clamped : int;
+  mutable c_duplicate_dropped : int;
+  mutable c_non_finite_dropped : int;
+  mutable c_non_finite_clamped : int;
+  mutable c_rejected : int;
+  mutable c_shed : int;
+}
+
+exception Rejected of { id : int; what : string }
+exception Corrupt of string
+
+let validate_config cfg =
+  if cfg.reorder_window < 0 then invalid_arg "Feed.create: negative reorder_window";
+  match cfg.overload_budget with
+  | Some b when b < 1 -> invalid_arg "Feed.create: overload_budget < 1"
+  | Some _ | None -> ()
+
+let make cfg engine =
+  {
+    cfg;
+    engine;
+    buffer = Util.Heap.create Post.compare_by_value;
+    seen = Hashtbl.create 256;
+    watermark = neg_infinity;
+    high = neg_infinity;
+    c_accepted = 0;
+    c_released = 0;
+    c_reordered = 0;
+    c_late_dropped = 0;
+    c_late_clamped = 0;
+    c_duplicate_dropped = 0;
+    c_non_finite_dropped = 0;
+    c_non_finite_clamped = 0;
+    c_rejected = 0;
+    c_shed = 0;
+  }
+
+let create ?(config = default_config) ~lambda mode =
+  validate_config config;
+  make config (Online.create ~lambda mode)
+
+let counters t =
+  {
+    accepted = t.c_accepted;
+    released = t.c_released;
+    reordered = t.c_reordered;
+    late_dropped = t.c_late_dropped;
+    late_clamped = t.c_late_clamped;
+    duplicate_dropped = t.c_duplicate_dropped;
+    non_finite_dropped = t.c_non_finite_dropped;
+    non_finite_clamped = t.c_non_finite_clamped;
+    rejected = t.c_rejected;
+    degraded_labels = Online.degraded_count t.engine;
+    shed = t.c_shed;
+  }
+
+let config t = t.cfg
+let engine t = t.engine
+let buffered t = Util.Heap.length t.buffer
+let watermark t = if t.watermark = neg_infinity then None else Some t.watermark
+
+let reject t ~id what =
+  t.c_rejected <- t.c_rejected + 1;
+  raise (Rejected { id; what })
+
+(* Demote labels until the live deadline count fits the budget. The count,
+   not the raw heap length, is the signal: it is identical before and
+   after a restore, which the bit-identical replay guarantee needs. *)
+let rec shed_overload t acc =
+  match t.cfg.overload_budget with
+  | None -> acc
+  | Some budget ->
+    if Online.pending_labels t.engine <= budget then acc
+    else begin
+      let now =
+        match Online.last_arrival t.engine with
+        | Some v -> v
+        | None -> neg_infinity
+      in
+      match Online.degrade_earliest t.engine ~now with
+      | None -> acc
+      | Some (_, shed, es) ->
+        t.c_shed <- t.c_shed + shed;
+        shed_overload t (acc @ es)
+    end
+
+let release t post =
+  let es = Online.push t.engine post in
+  t.watermark <- post.Post.value;
+  t.c_released <- t.c_released + 1;
+  es
+
+let drain_over t limit =
+  let rec loop acc =
+    if Util.Heap.length t.buffer <= limit then acc
+    else
+      match Util.Heap.pop t.buffer with
+      | None -> acc
+      | Some p -> loop (acc @ release t p)
+  in
+  let acc = loop [] in
+  shed_overload t acc
+
+let push t post =
+  let id = post.Post.id in
+  let value = post.Post.value in
+  (* 1. Non-finite timestamps (includes NaN smuggled past Post.make via a
+     record update). *)
+  let post, value =
+    if Float.is_finite value then (post, value)
+    else begin
+      match t.cfg.non_finite with
+      | Raise -> reject t ~id (Printf.sprintf "non-finite timestamp %h" value)
+      | Drop ->
+        t.c_non_finite_dropped <- t.c_non_finite_dropped + 1;
+        raise_notrace Exit
+      | Clamp ->
+        let v = if t.watermark = neg_infinity then 0. else t.watermark in
+        t.c_non_finite_clamped <- t.c_non_finite_clamped + 1;
+        ({ post with Post.value = v }, v)
+    end
+  in
+  (* 2. Duplicates: an id the frontend already admitted. *)
+  if Hashtbl.mem t.seen id then begin
+    match t.cfg.duplicate with
+    | Raise -> reject t ~id "duplicate id"
+    | Drop | Clamp ->
+      t.c_duplicate_dropped <- t.c_duplicate_dropped + 1;
+      raise_notrace Exit
+  end;
+  (* 3. Late: older than the release watermark — beyond what the reorder
+     buffer can absorb. *)
+  let post, value =
+    if value >= t.watermark then (post, value)
+    else begin
+      match t.cfg.late with
+      | Raise ->
+        reject t ~id
+          (Printf.sprintf "late arrival: %g behind watermark %g" value t.watermark)
+      | Drop ->
+        t.c_late_dropped <- t.c_late_dropped + 1;
+        raise_notrace Exit
+      | Clamp ->
+        t.c_late_clamped <- t.c_late_clamped + 1;
+        ({ post with Post.value = t.watermark }, t.watermark)
+    end
+  in
+  Hashtbl.replace t.seen id ();
+  t.c_accepted <- t.c_accepted + 1;
+  if value < t.high then t.c_reordered <- t.c_reordered + 1 else t.high <- value;
+  Util.Heap.push t.buffer post;
+  (post, drain_over t t.cfg.reorder_window)
+
+type outcome = { admitted : Post.t option; emissions : Online.emission list }
+
+let push t post =
+  match push t post with
+  | admitted, emissions -> { admitted = Some admitted; emissions }
+  | exception Exit -> { admitted = None; emissions = [] }
+
+let finish t =
+  let es = drain_over t 0 in
+  es @ Online.finish t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint codec: line-oriented text, magic + version header, IEEE
+   bit-pattern floats, FNV-1a-64 checksum trailer.                     *)
+
+let magic = "mqdp-feed-checkpoint"
+let version = 1
+
+let fnv64 s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime) s;
+  !h
+
+let hex_of_float f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+
+let policy_name = function Drop -> "drop" | Clamp -> "clamp" | Raise -> "raise"
+
+let post_fields p =
+  let labels = Label_set.to_list p.Post.labels in
+  Printf.sprintf "%d %s %s" p.Post.id (hex_of_float p.Post.value)
+    (if labels = [] then "-" else String.concat "," (List.map string_of_int labels))
+
+let checkpoint t =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s v%d" magic version;
+  line "config %d %s %s %s %s" t.cfg.reorder_window (policy_name t.cfg.late)
+    (policy_name t.cfg.duplicate) (policy_name t.cfg.non_finite)
+    (match t.cfg.overload_budget with None -> "none" | Some n -> string_of_int n);
+  line "counters %d %d %d %d %d %d %d %d %d %d" t.c_accepted t.c_released t.c_reordered
+    t.c_late_dropped t.c_late_clamped t.c_duplicate_dropped t.c_non_finite_dropped
+    t.c_non_finite_clamped t.c_rejected t.c_shed;
+  line "watermark %s %s" (hex_of_float t.watermark) (hex_of_float t.high);
+  let seen = Hashtbl.fold (fun id () acc -> id :: acc) t.seen [] |> List.sort Int.compare in
+  line "seen %d %s" (List.length seen) (String.concat " " (List.map string_of_int seen));
+  let staged = Util.Heap.to_list t.buffer |> List.sort Post.compare_by_value in
+  line "buffer %d" (List.length staged);
+  List.iter (fun p -> line "p %s" (post_fields p)) staged;
+  let s = Online.export t.engine in
+  line "engine %s %s" (hex_of_float s.Online.snap_lambda)
+    (match s.Online.snap_mode with
+    | Online.Instant -> "instant"
+    | Online.Delayed { tau; plus } ->
+      Printf.sprintf "delayed %s %d" (hex_of_float tau) (if plus then 1 else 0));
+  line "last %s"
+    (match s.Online.snap_last_time with None -> "none" | Some v -> hex_of_float v);
+  line "emitted %d %s"
+    (List.length s.Online.snap_emitted)
+    (String.concat " " (List.map string_of_int s.Online.snap_emitted));
+  line "degraded %d %s"
+    (List.length s.Online.snap_degraded)
+    (String.concat " " (List.map string_of_int s.Online.snap_degraded));
+  line "labels %d" (List.length s.Online.snap_labels);
+  List.iter
+    (fun ls ->
+      line "label %d %d" ls.Online.snap_label (List.length ls.Online.snap_pending);
+      (match ls.Online.snap_last_out with
+      | None -> line "last none"
+      | Some p -> line "last %s" (post_fields p));
+      List.iter (fun p -> line "p %s" (post_fields p)) ls.Online.snap_pending)
+    s.Online.snap_labels;
+  let body = Buffer.contents b in
+  Printf.sprintf "%schecksum %016Lx\n" body (fnv64 body)
+
+(* --- parsing --- *)
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let float_of_hex s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some bits when String.length s = 16 -> Int64.float_of_bits bits
+  | Some _ | None -> corrupt "bad float bit pattern %S" s
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> corrupt "bad integer %S in %s" s what
+
+let policy_of_name = function
+  | "drop" -> Drop
+  | "clamp" -> Clamp
+  | "raise" -> Raise
+  | s -> corrupt "unknown policy %S" s
+
+let post_of_fields = function
+  | [ id; value; labels ] ->
+    let labels =
+      if labels = "-" then []
+      else List.map (int_field "labels") (String.split_on_char ',' labels)
+    in
+    if List.exists (fun a -> a < 0) labels then corrupt "negative label in post";
+    let value = float_of_hex value in
+    (* Admitted posts always carry finite timestamps (the non-finite
+       policy ran before admission), so anything else is corruption. *)
+    if not (Float.is_finite value) then corrupt "non-finite post timestamp";
+    Post.make ~id:(int_field "post id" id) ~value ~labels:(Label_set.of_list labels)
+  | fields -> corrupt "bad post line with %d fields" (List.length fields)
+
+type cursor = { lines : string array; mutable at : int }
+
+let next cur =
+  if cur.at >= Array.length cur.lines then corrupt "truncated checkpoint";
+  let l = cur.lines.(cur.at) in
+  cur.at <- cur.at + 1;
+  l
+
+let expect cur key =
+  match String.split_on_char ' ' (next cur) with
+  | k :: rest when k = key -> rest
+  | k :: _ -> corrupt "expected %S line, found %S" key k
+  | [] -> corrupt "expected %S line, found an empty line" key
+
+let int_list what n fields =
+  if List.length fields < n then corrupt "truncated %s list" what
+  else List.filteri (fun i _ -> i < n) fields |> List.map (int_field what)
+
+let restore text =
+  (* Split off and verify the checksum trailer first: everything else is
+     only trusted once the body hashes correctly. *)
+  let body, sum =
+    match String.rindex_opt (String.trim text) '\n' with
+    | None -> corrupt "not a checkpoint (single line)"
+    | Some i ->
+      let trimmed = String.trim text in
+      (String.sub trimmed 0 (i + 1), String.sub trimmed (i + 1) (String.length trimmed - i - 1))
+  in
+  (match String.split_on_char ' ' sum with
+  | [ "checksum"; hex ] ->
+    if Printf.sprintf "%016Lx" (fnv64 body) <> hex then corrupt "checksum mismatch"
+  | _ -> corrupt "missing checksum trailer");
+  let cur = { lines = Array.of_list (String.split_on_char '\n' (String.trim body)); at = 0 } in
+  (match String.split_on_char ' ' (next cur) with
+  | [ m; v ] when m = magic ->
+    if v <> Printf.sprintf "v%d" version then corrupt "unsupported version %S" v
+  | _ -> corrupt "bad magic");
+  let cfg =
+    match expect cur "config" with
+    | [ window; late; dup; nonfinite; budget ] ->
+      {
+        reorder_window = int_field "reorder_window" window;
+        late = policy_of_name late;
+        duplicate = policy_of_name dup;
+        non_finite = policy_of_name nonfinite;
+        overload_budget =
+          (if budget = "none" then None else Some (int_field "overload_budget" budget));
+      }
+    | _ -> corrupt "bad config line"
+  in
+  (try validate_config cfg with Invalid_argument m -> corrupt "%s" m);
+  let cnt =
+    match List.map (int_field "counters") (expect cur "counters") with
+    | [ _; _; _; _; _; _; _; _; _; _ ] as l -> Array.of_list l
+    | _ -> corrupt "bad counters line"
+  in
+  let watermark, high =
+    match expect cur "watermark" with
+    | [ w; h ] -> (float_of_hex w, float_of_hex h)
+    | _ -> corrupt "bad watermark line"
+  in
+  let seen =
+    match expect cur "seen" with
+    | n :: rest -> int_list "seen" (int_field "seen count" n) rest
+    | [] -> corrupt "bad seen line"
+  in
+  let staged =
+    match expect cur "buffer" with
+    | [ n ] -> List.init (int_field "buffer count" n) (fun _ -> post_of_fields (expect cur "p"))
+    | _ -> corrupt "bad buffer line"
+  in
+  let lambda, mode =
+    match expect cur "engine" with
+    | [ lambda; "instant" ] -> (float_of_hex lambda, Online.Instant)
+    | [ lambda; "delayed"; tau; plus ] ->
+      ( float_of_hex lambda,
+        Online.Delayed
+          {
+            tau = float_of_hex tau;
+            plus =
+              (match plus with
+              | "0" -> false
+              | "1" -> true
+              | s -> corrupt "bad plus flag %S" s);
+          } )
+    | _ -> corrupt "bad engine line"
+  in
+  let last_time =
+    match expect cur "last" with
+    | [ "none" ] -> None
+    | [ v ] -> Some (float_of_hex v)
+    | _ -> corrupt "bad last line"
+  in
+  let emitted =
+    match expect cur "emitted" with
+    | n :: rest -> int_list "emitted" (int_field "emitted count" n) rest
+    | [] -> corrupt "bad emitted line"
+  in
+  let degraded =
+    match expect cur "degraded" with
+    | n :: rest -> int_list "degraded" (int_field "degraded count" n) rest
+    | [] -> corrupt "bad degraded line"
+  in
+  let num_labels =
+    match expect cur "labels" with
+    | [ n ] -> int_field "labels count" n
+    | _ -> corrupt "bad labels line"
+  in
+  let snap_labels =
+    List.init num_labels (fun _ ->
+        let label, pending_count =
+          match expect cur "label" with
+          | [ a; k ] -> (int_field "label" a, int_field "pending count" k)
+          | _ -> corrupt "bad label line"
+        in
+        let last_out =
+          match expect cur "last" with
+          | [ "none" ] -> None
+          | fields -> Some (post_of_fields fields)
+        in
+        let pending = List.init pending_count (fun _ -> post_of_fields (expect cur "p")) in
+        { Online.snap_label = label; snap_pending = pending; snap_last_out = last_out })
+  in
+  if cur.at <> Array.length cur.lines then corrupt "trailing garbage after label table";
+  let snapshot =
+    {
+      Online.snap_lambda = lambda;
+      snap_mode = mode;
+      snap_last_time = last_time;
+      snap_emitted = emitted;
+      snap_degraded = degraded;
+      snap_labels;
+    }
+  in
+  let engine =
+    try Online.import snapshot with Invalid_argument m -> corrupt "%s" m
+  in
+  let t = make cfg engine in
+  t.watermark <- watermark;
+  t.high <- high;
+  List.iter (fun id -> Hashtbl.replace t.seen id ()) seen;
+  List.iter (fun p -> Util.Heap.push t.buffer p) staged;
+  t.c_accepted <- cnt.(0);
+  t.c_released <- cnt.(1);
+  t.c_reordered <- cnt.(2);
+  t.c_late_dropped <- cnt.(3);
+  t.c_late_clamped <- cnt.(4);
+  t.c_duplicate_dropped <- cnt.(5);
+  t.c_non_finite_dropped <- cnt.(6);
+  t.c_non_finite_clamped <- cnt.(7);
+  t.c_rejected <- cnt.(8);
+  t.c_shed <- cnt.(9);
+  t
+
+let save_checkpoint ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (checkpoint t))
+
+let load_checkpoint path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> restore (really_input_string ic (in_channel_length ic)))

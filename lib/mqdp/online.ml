@@ -22,6 +22,23 @@ type t = {
   mutable heap : (float * Label.t) Util.Heap.t;
   emitted : (int, unit) Hashtbl.t;  (* distinct emitted post ids *)
   mutable last_time : float option;
+  degraded : (Label.t, unit) Hashtbl.t;  (* labels demoted to instant handling *)
+  mutable live_pending : int;  (* labels with a non-empty pending list *)
+}
+
+type label_snapshot = {
+  snap_label : Label.t;
+  snap_pending : Post.t list;  (* stored order: newest first *)
+  snap_last_out : Post.t option;
+}
+
+type snapshot = {
+  snap_lambda : float;
+  snap_mode : mode;
+  snap_last_time : float option;
+  snap_emitted : int list;  (* ascending *)
+  snap_degraded : Label.t list;  (* ascending *)
+  snap_labels : label_snapshot list;  (* ascending by label *)
 }
 
 (* Deterministic heap order: ties on the deadline break by label id, so
@@ -43,7 +60,20 @@ let create ~lambda mode =
     heap = Util.Heap.create heap_cmp;
     emitted = Hashtbl.create 64;
     last_time = None;
+    degraded = Hashtbl.create 4;
+    live_pending = 0;
   }
+
+(* Every pending-list mutation funnels through here so the live-label
+   counter (the overload signal — deterministic across checkpoint/restore,
+   unlike the heap length, which depends on stale-entry history) cannot
+   drift. *)
+let set_pending t st p =
+  (match (st.pending, p) with
+  | [], _ :: _ -> t.live_pending <- t.live_pending + 1
+  | _ :: _, [] -> t.live_pending <- t.live_pending - 1
+  | [], [] | _ :: _, _ :: _ -> ());
+  st.pending <- p
 
 let state t a =
   match Hashtbl.find_opt t.states a with
@@ -116,7 +146,7 @@ let credit_emission t post =
           st.pending
       in
       if List.compare_lengths remaining st.pending <> 0 then begin
-        st.pending <- remaining;
+        set_pending t st remaining;
         (match List.rev remaining with
         | [] -> st.oldest <- None
         | oldest :: _ -> st.oldest <- Some oldest);
@@ -132,7 +162,7 @@ let fire t out (d, a) =
     | latest :: _ ->
       record_emission t out latest d;
       st.last_out <- Some latest;
-      st.pending <- [];
+      set_pending t st [];
       st.oldest <- None;
       st.deadline <- infinity;
       if plus_of t then credit_emission t latest
@@ -164,22 +194,40 @@ let sort_emissions emissions =
       if c <> 0 then c else Int.compare a.post.Post.id b.post.Post.id)
     emissions
 
+(* A degraded label behaves like [Instant]: an uncovered arrival on it is
+   emitted on the spot (so its queue can never rebuild) and the emission is
+   credited to every label the post carries, pruning pending work. *)
 let arrival_delayed t out post =
-  Label_set.iter
-    (fun a ->
-      let st = state t a in
-      let covered =
-        match st.last_out with
-        | Some z -> post.Post.value <= Coverage.reach t.lam z a
-        | None -> false
-      in
-      if not covered then begin
-        if st.pending = [] then st.oldest <- Some post;
-        st.pending <- post :: st.pending;
-        refresh_deadline t a
-      end)
-    post.Post.labels;
-  ignore out
+  let degraded_uncovered =
+    Hashtbl.length t.degraded > 0
+    && Label_set.exists
+         (fun a ->
+           Hashtbl.mem t.degraded a
+           &&
+           match (state t a).last_out with
+           | Some z -> post.Post.value > Coverage.reach t.lam z a
+           | None -> true)
+         post.Post.labels
+  in
+  if degraded_uncovered then begin
+    record_emission t out post post.Post.value;
+    credit_emission t post
+  end
+  else
+    Label_set.iter
+      (fun a ->
+        let st = state t a in
+        let covered =
+          match st.last_out with
+          | Some z -> post.Post.value <= Coverage.reach t.lam z a
+          | None -> false
+        in
+        if not covered then begin
+          if st.pending = [] then st.oldest <- Some post;
+          set_pending t st (post :: st.pending);
+          refresh_deadline t a
+        end)
+      post.Post.labels
 
 let arrival_instant t out post =
   let covered =
@@ -220,4 +268,97 @@ let emitted_count t = Hashtbl.length t.emitted
 
 let deadline_queue_length t = Util.Heap.length t.heap
 
+let pending_labels t = t.live_pending
+
 let last_arrival t = t.last_time
+
+let is_degraded t a = Hashtbl.mem t.degraded a
+
+let degraded_count t = Hashtbl.length t.degraded
+
+(* Demote the label with the earliest live deadline to instant handling.
+   Its latest pending post is emitted right away — legal, because [now] can
+   only precede the deadline (all strictly-due deadlines fired during the
+   last push) and the latest pending post λ-covers every pending post of
+   its label (latest − oldest ≤ λ whenever the window is still open). The
+   rest of the pending list is shed: covered by the early emission, never
+   emitted itself. *)
+let degrade_earliest t ~now =
+  let rec pick () =
+    match Util.Heap.pop t.heap with
+    | None -> None
+    | Some (d, a) ->
+      let st = state t a in
+      if st.pending <> [] && st.deadline = d then Some (a, st) else pick ()
+  in
+  match pick () with
+  | None -> None
+  | Some (a, st) ->
+    Hashtbl.replace t.degraded a ();
+    (match st.pending with
+    | [] -> assert false
+    | latest :: rest ->
+      let when_ = Float.max latest.Post.value (Float.min now st.deadline) in
+      let out = ref [] in
+      record_emission t out latest when_;
+      st.last_out <- Some latest;
+      set_pending t st [];
+      st.oldest <- None;
+      st.deadline <- infinity;
+      credit_emission t latest;
+      Some (a, List.length rest, sort_emissions (List.rev !out)))
+
+let export t =
+  let snap_labels =
+    Hashtbl.fold
+      (fun a st acc ->
+        if st.pending = [] && st.last_out = None then acc
+        else
+          { snap_label = a; snap_pending = st.pending; snap_last_out = st.last_out }
+          :: acc)
+      t.states []
+    |> List.sort (fun x y -> Int.compare x.snap_label y.snap_label)
+  in
+  {
+    snap_lambda = t.lambda;
+    snap_mode = t.mode;
+    snap_last_time = t.last_time;
+    snap_emitted =
+      Hashtbl.fold (fun id () acc -> id :: acc) t.emitted [] |> List.sort Int.compare;
+    snap_degraded =
+      Hashtbl.fold (fun a () acc -> a :: acc) t.degraded [] |> List.sort Int.compare;
+    snap_labels;
+  }
+
+let import s =
+  List.iter
+    (fun ls ->
+      let rec descending = function
+        | p :: (q :: _ as rest) ->
+          if p.Post.value < q.Post.value then
+            invalid_arg "Online.import: pending list not newest-first";
+          descending rest
+        | [ _ ] | [] -> ()
+      in
+      descending ls.snap_pending;
+      (match (ls.snap_pending, s.snap_last_time) with
+      | p :: _, Some last when p.Post.value > last ->
+        invalid_arg "Online.import: pending post newer than last arrival"
+      | (p :: _), None -> ignore p; invalid_arg "Online.import: pending posts without arrivals"
+      | _ -> ()))
+    s.snap_labels;
+  let t = create ~lambda:s.snap_lambda s.snap_mode in
+  List.iter (fun id -> Hashtbl.replace t.emitted id ()) s.snap_emitted;
+  List.iter (fun a -> Hashtbl.replace t.degraded a ()) s.snap_degraded;
+  List.iter
+    (fun ls ->
+      let st = state t ls.snap_label in
+      st.last_out <- ls.snap_last_out;
+      set_pending t st ls.snap_pending;
+      (match List.rev ls.snap_pending with
+      | [] -> st.oldest <- None
+      | oldest :: _ -> st.oldest <- Some oldest);
+      refresh_deadline t ls.snap_label)
+    s.snap_labels;
+  t.last_time <- s.snap_last_time;
+  t

@@ -50,5 +50,63 @@ val emitted_count : t -> int
     (deduplicated pushes plus periodic compaction), not O(arrivals). *)
 val deadline_queue_length : t -> int
 
+(** Number of labels with a non-empty pending list — the live size of the
+    deadline queue. Unlike {!deadline_queue_length} this is independent of
+    stale-entry history, so overload decisions based on it survive
+    checkpoint/restore bit-identically. *)
+val pending_labels : t -> int
+
 (** Value of the latest arrival, or [None] before the first push. *)
 val last_arrival : t -> float option
+
+(** {2 Overload degradation}
+
+    Under sustained overload a [Delayed] engine can demote individual
+    labels to [Instant] handling: the demoted label's latest pending post
+    is emitted immediately (it λ-covers the label's whole pending window,
+    and the emission precedes the pending deadline, so neither coverage
+    nor the delay guarantee is lost), the rest of its queue is shed, and
+    every later uncovered arrival on the label is emitted on the spot —
+    the paper's 2s-approximation regime. Demotion is sticky. *)
+
+(** [degrade_earliest t ~now] demotes the label holding the earliest live
+    deadline. Returns [Some (label, shed, emissions)] — [shed] counts the
+    pending posts cleared without their own emission (all λ-covered by the
+    emitted one) — or [None] when nothing is pending. [now] is the current
+    stream time; the emission is stamped within [max(value, min(now,
+    deadline))]. *)
+val degrade_earliest : t -> now:float -> (Label.t * int * emission list) option
+
+val is_degraded : t -> Label.t -> bool
+val degraded_count : t -> int
+
+(** {2 Checkpointing}
+
+    A snapshot captures the engine's complete observable state; feeding
+    the same suffix of a stream to [import (export t)] yields emissions
+    bit-identical to continuing with [t] itself. Snapshots are plain data
+    so a frontend (see {!Feed}) can serialize them however it likes. *)
+
+type label_snapshot = {
+  snap_label : Label.t;
+  snap_pending : Post.t list;  (** pending uncovered arrivals, newest first *)
+  snap_last_out : Post.t option;  (** latest emission serving this label *)
+}
+
+type snapshot = {
+  snap_lambda : float;
+  snap_mode : mode;
+  snap_last_time : float option;
+  snap_emitted : int list;  (** distinct emitted post ids, ascending *)
+  snap_degraded : Label.t list;  (** demoted labels, ascending *)
+  snap_labels : label_snapshot list;  (** ascending by label *)
+}
+
+val export : t -> snapshot
+
+(** [import s] rebuilds an engine from a snapshot, recomputing deadlines
+    and the (compacted) deadline queue. Raises [Invalid_argument] on a
+    structurally invalid snapshot (negative lambda/tau, a pending list
+    that is not newest-first, or pending posts newer than the recorded
+    last arrival). *)
+val import : snapshot -> t

@@ -1,0 +1,114 @@
+(* Deterministic fault injection. One Rng stream, draws consumed in a
+   fixed per-item order (drop, skew, burst, duplicate), so the corrupted
+   feed is a pure function of (seed, config, input). *)
+
+type config = {
+  drop_p : float;
+  duplicate_p : float;
+  dup_delay : int;
+  skew_p : float;
+  skew_sigma : float;
+  burst_p : float;
+  burst_len : int;
+}
+
+let default =
+  {
+    drop_p = 0.05;
+    duplicate_p = 0.05;
+    dup_delay = 6;
+    skew_p = 0.10;
+    skew_sigma = 2.0;
+    burst_p = 0.02;
+    burst_len = 4;
+  }
+
+let clean =
+  {
+    drop_p = 0.;
+    duplicate_p = 0.;
+    dup_delay = 0;
+    skew_p = 0.;
+    skew_sigma = 0.;
+    burst_p = 0.;
+    burst_len = 0;
+  }
+
+type t = { rng : Rng.t; cfg : config }
+
+let validate cfg =
+  let prob name p =
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg (Printf.sprintf "Fault.create: %s outside [0, 1]" name)
+  in
+  prob "drop_p" cfg.drop_p;
+  prob "duplicate_p" cfg.duplicate_p;
+  prob "skew_p" cfg.skew_p;
+  prob "burst_p" cfg.burst_p;
+  if cfg.dup_delay < 0 then invalid_arg "Fault.create: negative dup_delay";
+  if cfg.burst_len < 0 then invalid_arg "Fault.create: negative burst_len";
+  if cfg.skew_sigma < 0. then invalid_arg "Fault.create: negative skew_sigma"
+
+let create ?(config = default) ~seed () =
+  validate config;
+  { rng = Rng.create seed; cfg = config }
+
+let config t = t.cfg
+
+let flip t ~p =
+  if not (p >= 0. && p <= 1.) then invalid_arg "Fault.flip: p outside [0, 1]";
+  (* Consume a draw even for degenerate probabilities so injection
+     schedules stay aligned when a rate is tuned to 0 or 1. *)
+  let u = Rng.float t.rng 1. in
+  u < p
+
+let corrupt t ~time ~retime items =
+  let out = ref [] in
+  (* Duplicates scheduled for later delivery: (due position, item),
+     kept sorted by due position (insertion keeps order; lists are tiny). *)
+  let pending = ref [] in
+  let release upto =
+    let due, rest = List.partition (fun (d, _) -> d <= upto) !pending in
+    pending := rest;
+    List.iter (fun (_, x) -> out := x :: !out) due
+  in
+  let burst_left = ref 0 in
+  let burst_time = ref 0. in
+  List.iteri
+    (fun i item ->
+      release i;
+      if flip t ~p:t.cfg.drop_p then ()
+      else begin
+        let item =
+          if flip t ~p:t.cfg.skew_p then
+            retime item (time item +. Rng.gaussian t.rng ~mu:0. ~sigma:t.cfg.skew_sigma)
+          else item
+        in
+        let item =
+          if !burst_left > 0 then begin
+            decr burst_left;
+            retime item !burst_time
+          end
+          else begin
+            if flip t ~p:t.cfg.burst_p && t.cfg.burst_len > 1 then begin
+              burst_left := t.cfg.burst_len - 1;
+              burst_time := time item
+            end;
+            item
+          end
+        in
+        out := item :: !out;
+        if flip t ~p:t.cfg.duplicate_p then begin
+          let lag = 1 + (if t.cfg.dup_delay > 0 then Rng.int t.rng (t.cfg.dup_delay + 1) else 0) in
+          pending := !pending @ [ (i + lag, item) ]
+        end
+      end)
+    items;
+  release max_int;
+  List.rev !out
+
+let crash_points t ~n ~max_points =
+  if n < 0 then invalid_arg "Fault.crash_points: n < 0";
+  if max_points < 1 then invalid_arg "Fault.crash_points: max_points < 1";
+  let k = 1 + Rng.int t.rng max_points in
+  List.init k (fun _ -> Rng.int t.rng (n + 1)) |> List.sort_uniq Int.compare

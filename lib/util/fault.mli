@@ -1,0 +1,55 @@
+(** Deterministic fault injection for stream-processing tests.
+
+    Everything is driven by a {!Rng} stream, so a seed reproduces the
+    exact same hostile feed, crash schedule, and worker-failure pattern —
+    a fuzz failure log prints one integer and the run replays locally.
+
+    The injector is generic: it never looks inside the items it corrupts,
+    only at a caller-supplied timestamp accessor, so the same machinery
+    serves posts, tweets, or raw log lines. *)
+
+type config = {
+  drop_p : float;  (** P(an item is lost in transit) *)
+  duplicate_p : float;  (** P(a delivered item is re-delivered later) *)
+  dup_delay : int;  (** max positions a re-delivery lags behind, >= 0 *)
+  skew_p : float;  (** P(an item's timestamp is perturbed) *)
+  skew_sigma : float;  (** stddev of the Gaussian clock skew, seconds *)
+  burst_p : float;  (** P(an item anchors a same-instant burst) *)
+  burst_len : int;  (** items collapsed onto the anchor's timestamp *)
+}
+
+(** Moderate rates of every fault class: 5% drops and duplicates, 10%
+    skew with σ = 2 s, occasional 4-item bursts. *)
+val default : config
+
+(** No faults at all — [corrupt] becomes the identity. Handy as a base
+    for records overriding a single class. *)
+val clean : config
+
+type t
+
+(** [create ?config ~seed ()] — a fresh injector. Raises
+    [Invalid_argument] when a probability is outside [0, 1] or a length
+    is negative. *)
+val create : ?config:config -> seed:int -> unit -> t
+
+val config : t -> config
+
+(** [corrupt t ~time ~retime items] — run the feed through the fault
+    model: items are dropped, re-delivered out of order (duplicates lag
+    by up to [dup_delay] positions), clock-skewed via [retime], and
+    collapsed into same-timestamp bursts. The output order is delivery
+    order — downstream must cope with the disorder. Deterministic in the
+    injector's state. *)
+val corrupt : t -> time:('a -> float) -> retime:('a -> float -> 'a) -> 'a list -> 'a list
+
+(** [crash_points t ~n ~max_points] — a sorted, duplicate-free schedule
+    of 1 to [max_points] simulated crash boundaries, each in [0, n]: a
+    crash at boundary [k] means the process died after the k-th push.
+    Raises [Invalid_argument] when [n < 0] or [max_points < 1]. *)
+val crash_points : t -> n:int -> max_points:int -> int list
+
+(** [flip t ~p] — a biased coin for ad-hoc injection decisions (e.g.
+    "should this pool chunk raise?"). Raises [Invalid_argument] when [p]
+    is outside [0, 1]. *)
+val flip : t -> p:float -> bool

@@ -1,12 +1,17 @@
+exception Parse_error of { line : int; what : string }
+
+let parse_error ~line fmt =
+  Printf.ksprintf (fun what -> raise (Parse_error { line; what })) fmt
+
 let post_to_line p =
   Printf.sprintf "%d\t%.17g\t%s" p.Mqdp.Post.id p.Mqdp.Post.value
     (String.concat ","
        (List.map string_of_int (Mqdp.Label_set.to_list p.Mqdp.Post.labels)))
 
-let post_of_line line =
-  match String.split_on_char '\t' line with
+let post_of_line ?(line = 0) text =
+  match String.split_on_char '\t' text with
   | [ id_s; value_s; labels_s ] -> begin
-    let fail what = failwith (Printf.sprintf "Post_io: bad %s in %S" what line) in
+    let fail what = parse_error ~line "bad %s in %S" what text in
     let id = match int_of_string_opt (String.trim id_s) with
       | Some id -> id
       | None -> fail "id"
@@ -25,9 +30,13 @@ let post_of_line line =
             | Some _ | None -> fail "label")
           (String.split_on_char ',' labels_s)
     in
-    Mqdp.Post.make ~id ~value ~labels:(Mqdp.Label_set.of_list labels)
+    match Mqdp.Post.make ~id ~value ~labels:(Mqdp.Label_set.of_list labels) with
+    | post -> post
+    | exception Invalid_argument _ -> fail "value"
   end
-  | _ -> failwith (Printf.sprintf "Post_io: expected 3 tab-separated fields in %S" line)
+  | fields ->
+    parse_error ~line "expected 3 tab-separated fields, found %d in %S"
+      (List.length fields) text
 
 let save path posts =
   let oc = open_out path in
@@ -41,25 +50,33 @@ let save path posts =
           output_char oc '\n')
         posts)
 
-let load path =
+(* Shared reader: [on_error] decides whether a bad line aborts (strict
+   load) or is skipped and counted (lenient load). *)
+let fold_lines path ~on_error =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec read lineno acc =
+      let rec read lineno acc skipped =
         match input_line ic with
-        | exception End_of_file -> List.rev acc
+        | exception End_of_file -> (List.rev acc, skipped)
         | line ->
           let trimmed = String.trim line in
-          if trimmed = "" || trimmed.[0] = '#' then read (lineno + 1) acc
+          if trimmed = "" || trimmed.[0] = '#' then read (lineno + 1) acc skipped
           else begin
-            match post_of_line trimmed with
-            | post -> read (lineno + 1) (post :: acc)
-            | exception Failure msg ->
-              failwith (Printf.sprintf "%s (line %d of %s)" msg lineno path)
+            match post_of_line ~line:lineno trimmed with
+            | post -> read (lineno + 1) (post :: acc) skipped
+            | exception Parse_error { line; what } ->
+              on_error ~line ~what;
+              read (lineno + 1) acc (skipped + 1)
           end
       in
-      read 1 [])
+      read 1 [] 0)
+
+let load path =
+  fst (fold_lines path ~on_error:(fun ~line ~what -> parse_error ~line "%s" what))
+
+let load_lenient path = fold_lines path ~on_error:(fun ~line:_ ~what:_ -> ())
 
 let save_cover path instance cover =
   save path (List.map (Mqdp.Instance.post instance) cover)

@@ -5,20 +5,31 @@
     column lists label ids (empty for no labels). Lines starting with '#'
     are comments. *)
 
+(** Raised on malformed input: [line] is the 1-based line number ([0] when
+    parsing a bare line outside a file) and [what] describes the defect
+    and quotes the offending text. *)
+exception Parse_error of { line : int; what : string }
+
 (** [post_to_line p] / [post_of_line line] — the codec.
-    [post_of_line] raises [Failure] with a descriptive message on
-    malformed input. *)
+    [post_of_line] raises {!Parse_error} on malformed input (wrong field
+    count, non-numeric fields, negative labels, NaN values); [?line]
+    seeds the error's line number. *)
 val post_to_line : Mqdp.Post.t -> string
 
-val post_of_line : string -> Mqdp.Post.t
+val post_of_line : ?line:int -> string -> Mqdp.Post.t
 
 (** [save path posts] writes a header comment plus one line per post. *)
 val save : string -> Mqdp.Post.t list -> unit
 
 (** [load path] — parses every non-comment, non-empty line.
-    Raises [Failure] (with the line number) on malformed input, [Sys_error]
-    on IO problems. *)
+    Raises {!Parse_error} (with the line number) on malformed input,
+    [Sys_error] on IO problems. *)
 val load : string -> Mqdp.Post.t list
+
+(** [load_lenient path] — like {!load} but skips malformed lines instead
+    of raising, returning the parsed posts and how many lines were
+    skipped. The hardened frontend's answer to garbage in a feed file. *)
+val load_lenient : string -> Mqdp.Post.t list * int
 
 (** [save_cover path instance cover] writes the selected posts (by
     position) in the same format — a cover file is itself a loadable post

@@ -13,6 +13,7 @@ let () =
       ("spatial", Test_spatial.suite);
       ("streaming", Test_streaming.suite);
       ("online", Test_online.suite);
+      ("feed", Test_feed.suite);
       ("proportional", Test_proportional.suite);
       ("metrics", Test_metrics.suite);
       ("solver", Test_solver.suite);

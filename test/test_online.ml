@@ -226,6 +226,156 @@ let at_most_once_per_label_window =
             !emissions)
         [ false; true ])
 
+let test_push_exception_safety () =
+  (* A rejected out-of-order push must leave the engine exactly as it was:
+     replaying the same suffix on a clean engine yields the same emissions. *)
+  let feed engine posts =
+    List.concat_map (fun p -> Mqdp.Online.push engine p) posts
+    @ Mqdp.Online.finish engine
+  in
+  let prefix = [ mk 1 0. [ 0; 1 ]; mk 2 3. [ 1 ]; mk 3 5. [ 0; 2 ] ] in
+  let suffix = [ mk 5 6. [ 2 ]; mk 6 9. [ 0; 1; 2 ]; mk 7 30. [ 1 ] ] in
+  List.iter
+    (fun mode ->
+      let damaged = Mqdp.Online.create ~lambda:4. mode in
+      let witness = Mqdp.Online.create ~lambda:4. mode in
+      List.iter
+        (fun p ->
+          Alcotest.(check (list (pair int (float 1e-12))))
+            "identical while healthy"
+            (List.map
+               (fun e -> (e.Mqdp.Online.post.Mqdp.Post.id, e.Mqdp.Online.emit_time))
+               (Mqdp.Online.push witness p))
+            (List.map
+               (fun e -> (e.Mqdp.Online.post.Mqdp.Post.id, e.Mqdp.Online.emit_time))
+               (Mqdp.Online.push damaged p)))
+        prefix;
+      (match Mqdp.Online.push damaged (mk 4 4.9 [ 0; 1 ]) with
+      | _ -> Alcotest.fail "accepted out-of-order arrival"
+      | exception Invalid_argument _ -> ());
+      Alcotest.(check (option (float 0.))) "last arrival untouched" (Some 5.)
+        (Mqdp.Online.last_arrival damaged);
+      let a = feed damaged suffix and b = feed witness suffix in
+      Alcotest.(check (list (pair int (float 1e-12))))
+        "suffix behaves as if the bad push never happened"
+        (List.map (fun e -> (e.Mqdp.Online.post.Mqdp.Post.id, e.Mqdp.Online.emit_time)) b)
+        (List.map (fun e -> (e.Mqdp.Online.post.Mqdp.Post.id, e.Mqdp.Online.emit_time)) a);
+      Alcotest.(check int) "emitted_count agrees" (Mqdp.Online.emitted_count witness)
+        (Mqdp.Online.emitted_count damaged))
+    [ Mqdp.Online.Delayed { tau = 2.; plus = false };
+      Mqdp.Online.Delayed { tau = 2.; plus = true }; Mqdp.Online.Instant ]
+
+let test_degrade_earliest () =
+  let engine = delayed ~lambda:100. ~tau:50. () in
+  (* Three posts pending on label 0, one on label 7; label 0 holds the
+     earliest deadline (t_latest + tau = 2 + 50). *)
+  ignore (Mqdp.Online.push engine (mk 1 0. [ 0 ]));
+  ignore (Mqdp.Online.push engine (mk 2 1. [ 0 ]));
+  ignore (Mqdp.Online.push engine (mk 3 2. [ 0 ]));
+  ignore (Mqdp.Online.push engine (mk 4 3. [ 7 ]));
+  Alcotest.(check int) "two live labels" 2 (Mqdp.Online.pending_labels engine);
+  (match Mqdp.Online.degrade_earliest engine ~now:3. with
+  | Some (label, shed, [ e ]) ->
+    Alcotest.(check int) "earliest-deadline label demoted" 0 label;
+    Alcotest.(check int) "older pending shed, covered" 2 shed;
+    Alcotest.(check int) "latest pending emitted" 3 e.Mqdp.Online.post.Mqdp.Post.id;
+    Alcotest.(check (float 1e-9)) "emitted now, not at the future deadline" 3.
+      e.Mqdp.Online.emit_time
+  | Some (_, _, es) -> Alcotest.failf "expected 1 emission, got %d" (List.length es)
+  | None -> Alcotest.fail "nothing degraded");
+  Alcotest.(check bool) "demotion is sticky" true (Mqdp.Online.is_degraded engine 0);
+  Alcotest.(check int) "one label demoted" 1 (Mqdp.Online.degraded_count engine);
+  Alcotest.(check int) "label 7 still pending" 1 (Mqdp.Online.pending_labels engine);
+  (* A later uncovered arrival on the demoted label is emitted instantly. *)
+  (match Mqdp.Online.push engine (mk 5 300. [ 0 ]) with
+  | emissions ->
+    Alcotest.(check (list int)) "label 7 drains, then instant emission" [ 4; 5 ]
+      (List.map (fun e -> e.Mqdp.Online.post.Mqdp.Post.id) emissions));
+  (* ... but a covered one stays silent. *)
+  Alcotest.(check int) "covered arrival on demoted label is silent" 0
+    (List.length (Mqdp.Online.push engine (mk 6 301. [ 0 ])));
+  ignore (Mqdp.Online.finish engine);
+  Alcotest.(check (option unit)) "nothing left to degrade" None
+    (Option.map (fun _ -> ()) (Mqdp.Online.degrade_earliest engine ~now:301.))
+
+let test_export_import_continuation () =
+  (* Snapshot mid-stream; the restored engine must continue bit-identically. *)
+  let posts =
+    [ mk 1 0. [ 0; 1 ]; mk 2 0.5 [ 1 ]; mk 3 1.2 [ 2 ]; mk 4 2.0 [ 0; 2 ];
+      mk 5 2.1 [ 1; 3 ]; mk 6 4.0 [ 3 ]; mk 7 9.0 [ 0; 1; 2; 3 ] ]
+  in
+  let keys es =
+    List.map
+      (fun e ->
+        (e.Mqdp.Online.post.Mqdp.Post.id, Int64.bits_of_float e.Mqdp.Online.emit_time))
+      es
+  in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun cut ->
+          let straight = Mqdp.Online.create ~lambda:1.5 mode in
+          let resumed = Mqdp.Online.create ~lambda:1.5 mode in
+          let take k = List.filteri (fun i _ -> i < k) posts in
+          let drop k = List.filteri (fun i _ -> i >= k) posts in
+          let run engine ps =
+            List.concat_map (fun p -> keys (Mqdp.Online.push engine p)) ps
+          in
+          let head = run straight (take cut) in
+          let head' = run resumed (take cut) in
+          let resumed = Mqdp.Online.import (Mqdp.Online.export resumed) in
+          let tail = run straight (drop cut) @ keys (Mqdp.Online.finish straight) in
+          let tail' = run resumed (drop cut) @ keys (Mqdp.Online.finish resumed) in
+          Alcotest.(check (list (pair int int64)))
+            (Printf.sprintf "cut %d: identical emissions" cut)
+            (head @ tail) (head' @ tail');
+          Alcotest.(check int) "emitted count survives"
+            (Mqdp.Online.emitted_count straight)
+            (Mqdp.Online.emitted_count resumed))
+        [ 0; 2; 4; 7 ])
+    [ Mqdp.Online.Delayed { tau = 0.8; plus = false };
+      Mqdp.Online.Delayed { tau = 0.8; plus = true }; Mqdp.Online.Instant ]
+
+let test_import_rejects_invalid () =
+  let engine = delayed ~lambda:2. ~tau:1. () in
+  ignore (Mqdp.Online.push engine (mk 1 0. [ 0 ]));
+  let snap = Mqdp.Online.export engine in
+  Alcotest.check_raises "negative lambda"
+    (Invalid_argument "Online.create: negative lambda") (fun () ->
+      ignore (Mqdp.Online.import { snap with Mqdp.Online.snap_lambda = -1. }));
+  let backwards =
+    {
+      snap with
+      Mqdp.Online.snap_labels =
+        [
+          {
+            Mqdp.Online.snap_label = 0;
+            snap_pending = [ mk 1 0. [ 0 ]; mk 2 1. [ 0 ] ];
+            snap_last_out = None;
+          };
+        ];
+    }
+  in
+  (match Mqdp.Online.import backwards with
+  | _ -> Alcotest.fail "accepted oldest-first pending list"
+  | exception Invalid_argument _ -> ());
+  let future =
+    {
+      snap with
+      Mqdp.Online.snap_labels =
+        [
+          {
+            Mqdp.Online.snap_label = 0;
+            snap_pending = [ mk 9 99. [ 0 ] ];
+            snap_last_out = None;
+          };
+        ];
+    }
+  in
+  match Mqdp.Online.import future with
+  | _ -> Alcotest.fail "accepted pending newer than last arrival"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     Alcotest.test_case "emission timing" `Quick test_emission_timing;
@@ -241,6 +391,12 @@ let suite =
       test_deadline_queue_compaction;
     Alcotest.test_case "stream continues after finish" `Quick
       test_stream_continues_after_finish;
+    Alcotest.test_case "push exception safety" `Quick test_push_exception_safety;
+    Alcotest.test_case "degrade earliest" `Quick test_degrade_earliest;
+    Alcotest.test_case "export/import continuation" `Quick
+      test_export_import_continuation;
+    Alcotest.test_case "import rejects invalid snapshots" `Quick
+      test_import_rejects_invalid;
     online_equals_batch;
     emit_times_monotone_per_push;
     at_most_once_per_label_window;

@@ -22,8 +22,14 @@ let test_malformed () =
     (fun line ->
       match Workload.Post_io.post_of_line line with
       | _ -> Alcotest.failf "accepted %S" line
-      | exception Failure _ -> ())
-    [ "nonsense"; "a\t1.0\t2"; "1\tx\t2"; "1\t1.0\tx"; "1\t1.0\t-3"; "1\t2.0" ]
+      | exception Workload.Post_io.Parse_error { line = l; what } ->
+        Alcotest.(check int) "bare lines report line 0" 0 l;
+        Alcotest.(check bool)
+          (Printf.sprintf "error for %S quotes the input: %s" line what)
+          true
+          (String.length what > 0))
+    [ "nonsense"; "a\t1.0\t2"; "1\tx\t2"; "1\t1.0\tx"; "1\t1.0\t-3"; "1\t2.0";
+      "1\tnan\t2" ]
 
 let test_file_roundtrip () =
   let posts =
@@ -56,14 +62,35 @@ let test_load_reports_line () =
       close_out oc;
       match Workload.Post_io.load path with
       | _ -> Alcotest.fail "accepted broken file"
-      | exception Failure msg ->
-        Alcotest.(check bool) "mentions the line number" true
-          (let needle = "line 3" in
-           let rec contains i =
-             i + String.length needle <= String.length msg
-             && (String.sub msg i (String.length needle) = needle || contains (i + 1))
-           in
-           contains 0))
+      | exception Workload.Post_io.Parse_error { line; what = _ } ->
+        Alcotest.(check int) "reports the offending line" 3 line)
+
+let test_load_lenient () =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "# header\n1\t1.0\t0\nbroken line\n2\t2.0\t1\n\n3\tnan\t0\n4\t4.0\t0,2\n";
+      close_out oc;
+      let posts, skipped = Workload.Post_io.load_lenient path in
+      Alcotest.(check int) "keeps the good lines" 3 (List.length posts);
+      Alcotest.(check int) "counts the bad lines" 2 skipped;
+      Alcotest.(check (list int)) "ids in file order" [ 1; 2; 4 ]
+        (List.map (fun p -> p.Mqdp.Post.id) posts))
+
+let test_load_lenient_clean_file () =
+  let posts = [ post ~id:1 ~value:0.5 [ 0 ]; post ~id:2 ~value:1.5 [ 1 ] ]
+  in
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Workload.Post_io.save path posts;
+      let loaded, skipped = Workload.Post_io.load_lenient path in
+      Alcotest.(check int) "nothing skipped" 0 skipped;
+      Alcotest.(check int) "all loaded" 2 (List.length loaded))
 
 let test_save_cover_loadable () =
   let inst =
@@ -108,6 +135,9 @@ let suite =
     Alcotest.test_case "malformed lines rejected" `Quick test_malformed;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
     Alcotest.test_case "load reports line numbers" `Quick test_load_reports_line;
+    Alcotest.test_case "lenient load skips and counts" `Quick test_load_lenient;
+    Alcotest.test_case "lenient load on a clean file" `Quick
+      test_load_lenient_clean_file;
     Alcotest.test_case "covers are loadable post files" `Quick test_save_cover_loadable;
     roundtrip_property;
   ]

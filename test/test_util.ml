@@ -305,6 +305,74 @@ let test_pool_shutdown_idempotent () =
   Alcotest.(check (array int)) "inline after shutdown" [| 5 |]
     (Util.Pool.parallel_map pool ~f:(fun x -> x + 5) [| 0 |])
 
+(* Worker exceptions under deterministic fault injection: a chunk that
+   raises must propagate to the submitter without deadlocking the pool or
+   leaking domains — the same pool must keep serving tasks through many
+   failure rounds. *)
+let test_pool_survives_injected_faults () =
+  Util.Pool.with_pool ~jobs:4 (fun pool ->
+      for round = 1 to 25 do
+        let fault = Util.Fault.create ~seed:round () in
+        (* Decide up front which of the 64 indices blow up this round. *)
+        let bombs = Array.init 64 (fun _ -> Util.Fault.flip fault ~p:0.15) in
+        let should_fail = Array.exists Fun.id bombs in
+        let run () =
+          Util.Pool.parallel_for pool ~chunk:1 64 ~f:(fun i ->
+              if bombs.(i) then failwith (Printf.sprintf "injected %d.%d" round i))
+        in
+        (match run () with
+        | () ->
+          if should_fail then
+            Alcotest.failf "round %d: injected exception vanished" round
+        | exception Failure _ ->
+          if not should_fail then Alcotest.failf "round %d: spurious failure" round);
+        (* The pool must still work — a deadlocked or leaked domain would
+           hang or crash right here. *)
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d: pool alive after failure" round)
+          [| 0; 2; 4; 6 |]
+          (Util.Pool.parallel_map pool ~f:(fun x -> 2 * x) [| 0; 1; 2; 3 |])
+      done)
+
+let test_fault_deterministic () =
+  let corrupt seed =
+    let f = Util.Fault.create ~seed () in
+    Util.Fault.corrupt f ~time:Fun.id ~retime:(fun _ v -> v)
+      (List.init 200 float_of_int)
+  in
+  Alcotest.(check (list (float 0.))) "same seed, same feed" (corrupt 11) (corrupt 11);
+  Alcotest.(check bool) "different seeds differ" true (corrupt 11 <> corrupt 12)
+
+let test_fault_clean_is_identity () =
+  let f = Util.Fault.create ~config:Util.Fault.clean ~seed:3 () in
+  let xs = List.init 50 float_of_int in
+  Alcotest.(check (list (float 0.))) "clean config passes through" xs
+    (Util.Fault.corrupt f ~time:Fun.id ~retime:(fun _ v -> v) xs)
+
+let test_fault_crash_points () =
+  let f = Util.Fault.create ~seed:5 () in
+  for _ = 1 to 50 do
+    let points = Util.Fault.crash_points f ~n:30 ~max_points:4 in
+    Alcotest.(check bool) "nonempty" true (points <> []);
+    Alcotest.(check bool) "within bounds and sorted" true
+      (List.for_all (fun k -> k >= 0 && k <= 30) points
+      && List.sort_uniq Int.compare points = points)
+  done
+
+let test_fault_flip_extremes () =
+  let f = Util.Fault.create ~seed:1 () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never fires" false (Util.Fault.flip f ~p:0.);
+    Alcotest.(check bool) "p=1 always fires" true (Util.Fault.flip f ~p:1.)
+  done;
+  Alcotest.check_raises "p out of range" (Invalid_argument "Fault.flip: p outside [0, 1]")
+    (fun () -> ignore (Util.Fault.flip f ~p:1.5))
+
+let test_fault_validation () =
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Fault.create: drop_p outside [0, 1]") (fun () ->
+      ignore (Util.Fault.create ~config:{ Util.Fault.clean with drop_p = 2. } ~seed:1 ()))
+
 let suite =
   [
     Alcotest.test_case "heap basics" `Quick test_heap_basic;
@@ -338,4 +406,12 @@ let suite =
     Alcotest.test_case "pool nested submission" `Quick test_pool_nested_runs_inline;
     Alcotest.test_case "pool validation" `Quick test_pool_validation;
     Alcotest.test_case "pool shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+    Alcotest.test_case "pool survives injected worker faults" `Quick
+      test_pool_survives_injected_faults;
+    Alcotest.test_case "fault injector determinism" `Quick test_fault_deterministic;
+    Alcotest.test_case "fault clean config is identity" `Quick
+      test_fault_clean_is_identity;
+    Alcotest.test_case "fault crash points" `Quick test_fault_crash_points;
+    Alcotest.test_case "fault flip extremes" `Quick test_fault_flip_extremes;
+    Alcotest.test_case "fault config validation" `Quick test_fault_validation;
   ]
