@@ -1,0 +1,92 @@
+(* Resource-governed degradation ladder (not a paper figure).
+
+   Solves one fixed workload through Mqdp.Supervisor under a sweep of
+   shrinking budgets — deterministic step budgets first, wall-clock
+   deadlines second — and tabulates which ladder rung answered, the cover
+   size |Z|, validity, and latency. The expected shape: as the budget
+   shrinks the answering rung walks OPT → greedy-sc → scan+ → instant,
+   |Z| grows (cheaper algorithms approximate), and every row stays valid.
+   A small |L| = 3 slice is included so the OPT rung itself is reachable,
+   not just its fallbacks. *)
+
+let outcome_mark = function
+  | Mqdp.Supervisor.Answered -> "+"
+  | Mqdp.Supervisor.Salvaged _ -> "~"
+  | Mqdp.Supervisor.Exhausted _ -> "x"
+  | Mqdp.Supervisor.Refused _ -> "!"
+  | Mqdp.Supervisor.Skipped_breaker -> "-"
+
+let path report =
+  report.Mqdp.Supervisor.attempts
+  |> List.map (fun a ->
+         a.Mqdp.Supervisor.rung ^ outcome_mark a.Mqdp.Supervisor.outcome)
+  |> String.concat " "
+
+let row ~label inst lambda budget =
+  let report =
+    Mqdp.Supervisor.solve ~budget
+      ~ladder:(Mqdp.Supervisor.ladder_from Mqdp.Solver.Opt)
+      inst lambda
+  in
+  [
+    label;
+    report.Mqdp.Supervisor.answered_by;
+    string_of_int report.Mqdp.Supervisor.size;
+    (if Mqdp.Coverage.is_cover inst lambda report.Mqdp.Supervisor.cover then
+       "yes"
+     else "NO");
+    Printf.sprintf "%.2f" (report.Mqdp.Supervisor.total_elapsed *. 1e3);
+    path report;
+  ]
+
+let headers = [ "budget"; "rung"; "|Z|"; "valid"; "ms"; "ladder path" ]
+
+let run () =
+  Harness.section ~id:"budget"
+    ~paper:"(new) resource-governed solving: budgets and degradation"
+    ~expect:
+      "shrinking budgets walk opt -> greedy-sc -> scan+ -> instant; every \
+       row valid; |Z| grows as rungs cheapen";
+  let lambda = Mqdp.Coverage.Fixed 30. in
+  let big = Workloads.ten_minute ~labels:20 ~seed:7 () in
+  Printf.printf "workload: %d posts, |L| = 20, 10 minutes\n\n"
+    (Mqdp.Instance.size big);
+  let steps_rows =
+    List.map
+      (fun steps ->
+        row
+          ~label:(Printf.sprintf "%d steps" steps)
+          big lambda
+          (Util.Budget.create ~max_steps:steps ()))
+      [ 50_000_000; 2_000_000; 100_000; 20_000; 2_000; 0 ]
+  in
+  let deadline_rows =
+    List.map
+      (fun ms ->
+        row
+          ~label:(Printf.sprintf "%g ms" ms)
+          big lambda
+          (Util.Budget.create ~deadline:(ms /. 1e3) ()))
+      [ 200.; 50.; 5.; 0.5 ]
+  in
+  let alloc_rows =
+    List.map
+      (fun mb ->
+        row
+          ~label:(Printf.sprintf "%g MB alloc" mb)
+          big lambda
+          (Util.Budget.create ~max_alloc_bytes:(mb *. 1e6) ()))
+      [ 1000.; 1. ]
+  in
+  Harness.table headers (steps_rows @ deadline_rows @ alloc_rows);
+  let small = Workloads.ten_minute ~rate:2. ~labels:3 ~seed:7 () in
+  Printf.printf "\nsmall slice: %d posts, |L| = 3 (OPT rung reachable)\n\n"
+    (Mqdp.Instance.size small);
+  Harness.table headers
+    [
+      row ~label:"unlimited" small lambda Util.Budget.unlimited;
+      row ~label:"50000000 steps" small lambda
+        (Util.Budget.create ~max_steps:50_000_000 ());
+      row ~label:"2000 steps" small lambda
+        (Util.Budget.create ~max_steps:2_000 ());
+    ]

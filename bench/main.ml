@@ -32,6 +32,7 @@ let experiments =
     ("micro", Micro.run);
     ("scaling", Exp_scaling.run);
     ("faults", Exp_faults.run);
+    ("budget", Exp_budget.run);
   ]
 
 let list_experiments () =

@@ -129,32 +129,105 @@ let load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap =
   end
   | None -> Workload.Direct_gen.instance (config ~seed ~duration ~rate ~labels ~overlap)
 
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds. Routes the solve through the \
+           supervisor's degradation ladder: when the requested algorithm \
+           runs out of budget, progressively cheaper algorithms answer \
+           (seeded with any salvaged partial cover), bottoming out at an \
+           instant per-label pick. The answer is always a valid cover.")
+
+let max_steps_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Deterministic work budget in solver steps (loop iterations). \
+           Like --timeout-ms but reproducible: the same instance and budget \
+           always degrade to the same rung.")
+
+let expect_rung_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "expect-rung" ] ~docv:"NAME"
+        ~doc:
+          "Exit non-zero unless the named ladder rung (opt, greedy-sc, \
+           scan+, instant, ...) produced the answer. For CI assertions.")
+
+let save_cover out inst cover =
+  match out with
+  | Some path ->
+    Workload.Post_io.save_cover path inst cover;
+    Printf.printf "saved the cover to %s\n" path
+  | None -> ()
+
+let governed_solve ~jobs ~algorithm ~timeout_ms ~max_steps ~expect_rung inst
+    lambda out =
+  let budget =
+    Util.Budget.create
+      ?deadline:(Option.map (fun ms -> ms /. 1e3) timeout_ms)
+      ?max_steps ()
+  in
+  let solve pool =
+    Mqdp.Supervisor.solve ?pool ~budget
+      ~ladder:(Mqdp.Supervisor.ladder_from algorithm)
+      inst lambda
+  in
+  let report =
+    if jobs = 1 then solve None
+    else Util.Pool.with_pool ~jobs (fun pool -> solve (Some pool))
+  in
+  Printf.printf "%s\n" (Mqdp.Supervisor.describe report);
+  Printf.printf
+    "governed solve: answered by %s, cover size %d (%.2f%% of stream), %.2f \
+     ms, valid=%b\n"
+    report.Mqdp.Supervisor.answered_by report.Mqdp.Supervisor.size
+    (100.
+    *. float_of_int report.Mqdp.Supervisor.size
+    /. float_of_int (max 1 (Mqdp.Instance.size inst)))
+    (report.Mqdp.Supervisor.total_elapsed *. 1000.)
+    (Mqdp.Coverage.is_cover inst lambda report.Mqdp.Supervisor.cover);
+  save_cover out inst report.Mqdp.Supervisor.cover;
+  match expect_rung with
+  | Some rung when rung <> report.Mqdp.Supervisor.answered_by ->
+    Printf.eprintf "expected rung %s to answer, got %s\n" rung
+      report.Mqdp.Supervisor.answered_by;
+    exit 1
+  | _ -> ()
+
 let solve_cmd =
-  let run seed duration rate labels overlap lambda algorithm jobs input out =
+  let run seed duration rate labels overlap lambda algorithm jobs timeout_ms
+      max_steps expect_rung input out =
     (if jobs < 1 then (
        Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
        exit 1));
     let inst = load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap in
     print_instance_stats inst;
-    let result = Mqdp.Solver.solve ~jobs algorithm inst (Mqdp.Coverage.Fixed lambda) in
-    Printf.printf "%s: cover size %d (%.2f%% of stream), %.2f ms, valid=%b\n"
-      (Mqdp.Solver.algorithm_name algorithm)
-      result.Mqdp.Solver.size
-      (100. *. float_of_int result.Mqdp.Solver.size
-       /. float_of_int (max 1 (Mqdp.Instance.size inst)))
-      (result.Mqdp.Solver.elapsed *. 1000.)
-      (Mqdp.Coverage.is_cover inst (Mqdp.Coverage.Fixed lambda) result.Mqdp.Solver.cover);
-    match out with
-    | Some path ->
-      Workload.Post_io.save_cover path inst result.Mqdp.Solver.cover;
-      Printf.printf "saved the cover to %s\n" path
-    | None -> ()
+    let lambda = Mqdp.Coverage.Fixed lambda in
+    if timeout_ms <> None || max_steps <> None || expect_rung <> None then
+      governed_solve ~jobs ~algorithm ~timeout_ms ~max_steps ~expect_rung inst
+        lambda out
+    else begin
+      let result = Mqdp.Solver.solve ~jobs algorithm inst lambda in
+      Printf.printf "%s: cover size %d (%.2f%% of stream), %.2f ms, valid=%b\n"
+        (Mqdp.Solver.algorithm_name algorithm)
+        result.Mqdp.Solver.size
+        (100. *. float_of_int result.Mqdp.Solver.size
+         /. float_of_int (max 1 (Mqdp.Instance.size inst)))
+        (result.Mqdp.Solver.elapsed *. 1000.)
+        (Mqdp.Coverage.is_cover inst lambda result.Mqdp.Solver.cover);
+      save_cover out inst result.Mqdp.Solver.cover
+    end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve MQDP on a generated or loaded workload.")
     Term.(
       const run $ seed_arg $ duration_arg $ rate_arg $ labels_arg $ overlap_arg
-      $ lambda_arg $ algorithm_arg $ jobs_arg $ in_arg $ out_arg)
+      $ lambda_arg $ algorithm_arg $ jobs_arg $ timeout_arg $ max_steps_arg
+      $ expect_rung_arg $ in_arg $ out_arg)
 
 (* stream *)
 

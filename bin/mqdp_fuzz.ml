@@ -3,8 +3,8 @@
    prints the reproducing seed on the first discrepancy — the tool to run
    after touching any algorithm.
 
-   usage: mqdp_fuzz [--fault <drop|clamp|raise|mixed>] [seconds (default 10)]
-                    [start-seed (default 1)]
+   usage: mqdp_fuzz [--fault <drop|clamp|raise|mixed> | --budget]
+                    [seconds (default 10)] [start-seed (default 1)]
 
    With --fault the tool switches from differential solver checks to the
    hardened-frontend torture loop: every round builds a clean stream,
@@ -13,7 +13,16 @@
    once uninterrupted, once crash/checkpoint/restored at Fault-chosen push
    boundaries — and checks that nothing crashes, both runs emit
    bit-identical streams, every delivered post is λ-covered within its
-   deadline, and the overload budget is honored. *)
+   deadline, and the overload budget is honored.
+
+   With --budget the tool tortures the resource governor instead: random
+   instances are solved through Mqdp.Supervisor under random tiny budgets
+   (steps / deadline / allocation / combinations) and the loop checks that
+   every answer is Coverage-valid no matter which ladder rung produced it,
+   that steps-only budgets degrade deterministically, that an unlimited
+   budget reproduces the direct solver call bit-for-bit, that a cancelled
+   or exhausted Solver.compile leaves no observable half-compiled state,
+   and that pre-cancelled budgets abort with Cancelled before any work. *)
 
 let random_instance rng =
   let n = 2 + Util.Rng.int rng 12 in
@@ -88,6 +97,93 @@ let one_round seed =
     List.length (Mqdp.Stream_scan.solve_instant inst lambda).Mqdp.Stream.cover
   in
   check ~seed (instant <= 2 * s * optimal) "instant output exceeded 2s bound"
+
+(* ---------------- budget mode: the resource governor ---------------- *)
+
+let random_budget rng =
+  match Util.Rng.int rng 4 with
+  | 0 -> Util.Budget.create ~max_steps:(Util.Rng.int rng 3000) ()
+  | 1 -> Util.Budget.create ~deadline:(Util.Rng.float rng 0.002) ()
+  | 2 ->
+    Util.Budget.create
+      ~max_alloc_bytes:(Util.Rng.float rng 300_000.) ()
+  | _ ->
+    Util.Budget.create ~max_steps:(Util.Rng.int rng 2000)
+      ~deadline:(Util.Rng.float rng 0.005) ()
+
+let one_budget_round seed =
+  let rng = Util.Rng.create (0xB06E7 + seed) in
+  let inst = random_instance rng in
+  let l = 0.5 +. Util.Rng.float rng 3.5 in
+  let lambda = Mqdp.Coverage.Fixed l in
+  let algorithm =
+    List.nth Mqdp.Solver.all_algorithms
+      (Util.Rng.int rng (List.length Mqdp.Solver.all_algorithms))
+  in
+  let ladder = Mqdp.Supervisor.ladder_from algorithm in
+  let with_optional_pool f =
+    (* Every eighth round runs governed solving over a real domain pool so
+       worker-side exhaustion and chunk cancellation get fuzzed too. *)
+    if seed mod 8 = 0 then Util.Pool.with_pool ~jobs:2 (fun p -> f (Some p))
+    else f None
+  in
+  (* 1. Any answer under any budget is a valid cover, whatever the rung. *)
+  let report =
+    with_optional_pool (fun pool ->
+        Mqdp.Supervisor.solve ?pool ~budget:(random_budget rng) ~ladder inst lambda)
+  in
+  check ~seed
+    (Mqdp.Coverage.is_cover inst lambda report.Mqdp.Supervisor.cover)
+    (Printf.sprintf "governed solve (answered by %s) returned a non-cover"
+       report.Mqdp.Supervisor.answered_by);
+  (* 2. Steps-only budgets are deterministic: same budget, same rung, same
+     cover. *)
+  let steps = Util.Rng.int rng 4000 in
+  let governed () =
+    Mqdp.Supervisor.solve
+      ~budget:(Util.Budget.create ~max_steps:steps ())
+      ~ladder inst lambda
+  in
+  let r1 = governed () and r2 = governed () in
+  check ~seed
+    (r1.Mqdp.Supervisor.cover = r2.Mqdp.Supervisor.cover
+    && r1.Mqdp.Supervisor.answered_by = r2.Mqdp.Supervisor.answered_by)
+    "steps-governed degradation is not deterministic";
+  (* 3. An unlimited budget reproduces the direct solver call exactly. *)
+  let direct = Mqdp.Solver.run algorithm inst lambda in
+  let unlimited = Mqdp.Supervisor.solve ~ladder inst lambda in
+  check ~seed
+    (unlimited.Mqdp.Supervisor.cover = direct
+    && unlimited.Mqdp.Supervisor.answered_by
+       = Mqdp.Solver.algorithm_name algorithm)
+    "unlimited-budget supervisor diverged from the direct solver call";
+  (* 4. Solver.compile under a tiny budget either returns a fully usable
+     index or raises — and after a raise, nothing is left behind: a fresh
+     compile still agrees with the uncompiled path. *)
+  let reference = Mqdp.Solver.run Mqdp.Solver.Greedy_sc inst lambda in
+  let compiled_cover index =
+    (Mqdp.Solver.solve_compiled Mqdp.Solver.Greedy_sc index).Mqdp.Solver.cover
+  in
+  (match
+     Mqdp.Solver.compile
+       ~budget:(Util.Budget.create ~max_steps:(Util.Rng.int rng 60) ())
+       inst lambda
+   with
+  | index ->
+    check ~seed (compiled_cover index = reference)
+      "index compiled under a budget diverged from the uncompiled path"
+  | exception Mqdp.Interrupt.Budget_exceeded _ ->
+    check ~seed
+      (compiled_cover (Mqdp.Solver.compile inst lambda) = reference)
+      "aborted compile left observable state behind");
+  (* 5. A pre-cancelled budget aborts before any work, with Cancelled. *)
+  let cancelled = Util.Budget.create ~max_steps:max_int () in
+  Util.Budget.cancel cancelled;
+  match Mqdp.Solver.run ~budget:cancelled Mqdp.Solver.Greedy_sc inst lambda with
+  | _ -> check ~seed false "pre-cancelled budget still completed a solve"
+  | exception
+      Mqdp.Interrupt.Budget_exceeded { reason = Util.Budget.Cancelled; _ } ->
+    ()
 
 (* ---------------- fault mode: the hardened frontend ---------------- *)
 
@@ -266,16 +362,23 @@ let fuzz_loop ~seconds ~seed0 ~what round =
     Printf.eprintf "fuzz[%s]: CRASH at seed %d — %s\n" what !seed (Printexc.to_string e);
     exit 1
 
+type mode =
+  | Diff
+  | Budget
+  | Fault of string * Mqdp.Feed.policy option
+
 let () =
-  let fault, rest =
+  let mode, rest =
     match Array.to_list Sys.argv with
-    | _ :: "--fault" :: p :: rest -> (Some (p, policy_of_string p), rest)
-    | _ :: rest -> (None, rest)
-    | [] -> (None, [])
+    | _ :: "--fault" :: p :: rest -> (Fault (p, policy_of_string p), rest)
+    | _ :: "--budget" :: rest -> (Budget, rest)
+    | _ :: rest -> (Diff, rest)
+    | [] -> (Diff, [])
   in
   let seconds = match rest with s :: _ -> float_of_string s | [] -> 10. in
   let seed0 = match rest with _ :: s :: _ -> int_of_string s | _ -> 1 in
-  match fault with
-  | None -> fuzz_loop ~seconds ~seed0 ~what:"diff" one_round
-  | Some (name, policy) ->
+  match mode with
+  | Diff -> fuzz_loop ~seconds ~seed0 ~what:"diff" one_round
+  | Budget -> fuzz_loop ~seconds ~seed0 ~what:"budget" one_budget_round
+  | Fault (name, policy) ->
     fuzz_loop ~seconds ~seed0 ~what:("fault:" ^ name) (one_fault_round ~policy)

@@ -3,14 +3,14 @@ exception Too_large of string
 (* Map MQDP onto the generic engine: the compiled Pair_index already
    assigns dense label-major pair ids, and set k — everything post k
    λ-covers — is the concatenation of k's covered ranges. *)
-let build_sets ?(max_pairs = 4096) instance lambda =
+let build_sets ?(max_pairs = 4096) ?budget instance lambda =
   let pair_count = Instance.total_pairs instance in
   if pair_count > max_pairs then
     raise
       (Too_large
          (Printf.sprintf "Brute_force: %d (post,label) pairs exceeds limit %d"
             pair_count max_pairs));
-  let index = Pair_index.build ~coverers:false instance lambda in
+  let index = Pair_index.build ?budget ~coverers:false instance lambda in
   let sets =
     Array.init (Instance.size instance) (fun k ->
         let set = Array.make (Pair_index.covered_count index k) 0 in
@@ -24,26 +24,30 @@ let build_sets ?(max_pairs = 4096) instance lambda =
   in
   (pair_count, sets)
 
+(* Only [Set_cover.Too_large] is rebranded; [Interrupt.Budget_exceeded]
+   must pass through untouched — its payload (set indices = instance
+   positions here) is the supervisor's salvage. *)
 let wrap_engine f =
   match f () with
   | result -> result
   | exception Set_cover.Too_large msg ->
     raise (Too_large ("Brute_force: " ^ msg))
 
-let solve ?max_pairs ?max_nodes instance lambda =
+let solve ?max_pairs ?max_nodes ?budget instance lambda =
   if Instance.size instance = 0 then []
   else begin
-    let num_elements, sets = build_sets ?max_pairs instance lambda in
-    wrap_engine (fun () -> Set_cover.minimum ?max_nodes ~num_elements sets)
+    let num_elements, sets = build_sets ?max_pairs ?budget instance lambda in
+    wrap_engine (fun () -> Set_cover.minimum ?max_nodes ?budget ~num_elements sets)
   end
 
-let solve_bounded ?max_pairs ?max_nodes ~bound instance lambda =
+let solve_bounded ?max_pairs ?max_nodes ?budget ~bound instance lambda =
   if bound < 0 then None
   else if Instance.size instance = 0 then Some []
   else begin
-    let num_elements, sets = build_sets ?max_pairs instance lambda in
-    wrap_engine (fun () -> Set_cover.bounded ?max_nodes ~bound ~num_elements sets)
+    let num_elements, sets = build_sets ?max_pairs ?budget instance lambda in
+    wrap_engine (fun () ->
+        Set_cover.bounded ?max_nodes ?budget ~bound ~num_elements sets)
   end
 
-let min_size ?max_pairs ?max_nodes instance lambda =
-  List.length (solve ?max_pairs ?max_nodes instance lambda)
+let min_size ?max_pairs ?max_nodes ?budget instance lambda =
+  List.length (solve ?max_pairs ?max_nodes ?budget instance lambda)

@@ -14,15 +14,24 @@ exception Too_large of string
     @param max_pairs refuse instances with more (post, label) pairs
       (default 4096).
     @param max_nodes abort after this many search nodes (default 20M).
-    @raise Too_large when a limit is hit. *)
-val solve : ?max_pairs:int -> ?max_nodes:int -> Instance.t -> Coverage.lambda -> int list
+    @param budget cooperative budget (default unlimited), threaded through
+      index construction, the greedy bound, and the search; set indices in
+      a salvaged [Partial_cover] are instance positions here. Mid-search
+      the salvage is the best complete cover known (see {!Set_cover}).
+    @raise Too_large when a limit is hit.
+    @raise Interrupt.Budget_exceeded on budget exhaustion. *)
+val solve :
+  ?max_pairs:int -> ?max_nodes:int -> ?budget:Util.Budget.t -> Instance.t ->
+  Coverage.lambda -> int list
 
 (** [solve_bounded ~bound instance lambda] is [Some cover] with
     [List.length cover <= bound] when such a cover exists, else [None].
     Faster than [solve] when only a budget question is asked. *)
 val solve_bounded :
-  ?max_pairs:int -> ?max_nodes:int -> bound:int -> Instance.t -> Coverage.lambda ->
-  int list option
+  ?max_pairs:int -> ?max_nodes:int -> ?budget:Util.Budget.t -> bound:int ->
+  Instance.t -> Coverage.lambda -> int list option
 
 (** [min_size instance lambda] is [List.length (solve instance lambda)]. *)
-val min_size : ?max_pairs:int -> ?max_nodes:int -> Instance.t -> Coverage.lambda -> int
+val min_size :
+  ?max_pairs:int -> ?max_nodes:int -> ?budget:Util.Budget.t -> Instance.t ->
+  Coverage.lambda -> int

@@ -11,24 +11,30 @@ type state = {
   gain : int array;  (* per position: # uncovered pairs this post covers *)
 }
 
-let state_of_index ?pool index =
+let state_of_index ?pool ?(budget = Util.Budget.unlimited) index =
   let n = Instance.size (Pair_index.instance index) in
   let gain = Array.make n 0 in
-  let init k = gain.(k) <- Pair_index.covered_count index k in
+  let init k =
+    Interrupt.step budget;
+    gain.(k) <- Pair_index.covered_count index k
+  in
   (match pool with
   | None ->
     for k = 0 to n - 1 do
       init k
     done
   | Some pool ->
-    Util.Pool.parallel_iter_chunks pool n ~f:(fun lo hi ->
+    Util.Pool.parallel_iter_chunks pool ~stop:(Interrupt.stop budget) n
+      ~f:(fun lo hi ->
         for k = lo to hi - 1 do
           init k
         done));
+  Interrupt.check budget;
   { index; covered = Bytes.make (Pair_index.total_pairs index) '\000'; gain }
 
-let create_state ?pool instance lambda =
-  state_of_index ?pool (Pair_index.build ?pool ~coverers:true instance lambda)
+let create_state ?pool ?budget instance lambda =
+  state_of_index ?pool ?budget
+    (Pair_index.build ?pool ?budget ~coverers:true instance lambda)
 
 let select state k =
   let decrement k' = state.gain.(k') <- state.gain.(k') - 1 in
@@ -51,22 +57,29 @@ let argmax_gain state =
     state.gain;
   if !best_gain = 0 then None else Some !best
 
-let solve_linear state =
+let solve_linear budget state initial =
+  let n = Array.length state.gain in
+  let partial acc () = Interrupt.Partial_cover acc in
   let rec loop acc =
+    (* Each round re-scans every gain, so it costs n steps. The salvage is
+       the picks so far — a sound prefix of a cover. *)
+    Interrupt.step ~cost:(max 1 n) ~partial:(partial acc) budget;
     match argmax_gain state with
     | None -> acc
     | Some k ->
       select state k;
       loop (k :: acc)
   in
-  loop []
+  loop initial
 
-let solve_heap state =
+let solve_heap budget state initial =
   (* Max-heap of (gain snapshot, position); stale entries are refreshed. *)
   let cmp (ga, _) (gb, _) = Int.compare gb ga in
   let heap = Util.Heap.create cmp in
   Array.iteri (fun k g -> if g > 0 then Util.Heap.push heap (g, k)) state.gain;
+  let partial acc () = Interrupt.Partial_cover acc in
   let rec loop acc =
+    Interrupt.step ~partial:(partial acc) budget;
     match Util.Heap.pop heap with
     | None -> acc
     | Some (g, k) ->
@@ -80,18 +93,24 @@ let solve_heap state =
         loop (k :: acc)
       end
   in
-  loop []
+  loop initial
 
-let run selection state =
+let run ?(budget = Util.Budget.unlimited) ?(seed = []) selection state =
+  (* Seeding: mark everything the seed posts cover before the greedy loop
+     and carry them in the result — the final set is then a cover of the
+     full pair universe whatever the seed was. A seed post's own gain drops
+     to 0, so the loop never re-picks it. *)
+  let seed = List.sort_uniq Int.compare seed in
+  List.iter (select state) seed;
   let cover =
     match selection with
-    | `Linear_scan -> solve_linear state
-    | `Lazy_heap -> solve_heap state
+    | `Linear_scan -> solve_linear budget state seed
+    | `Lazy_heap -> solve_heap budget state seed
   in
   List.sort_uniq Int.compare cover
 
-let solve_indexed ?(selection = `Linear_scan) ?pool index =
-  run selection (state_of_index ?pool index)
+let solve_indexed ?(selection = `Linear_scan) ?pool ?budget ?seed index =
+  run ?budget ?seed selection (state_of_index ?pool ?budget index)
 
-let solve ?(selection = `Linear_scan) ?pool instance lambda =
-  run selection (create_state ?pool instance lambda)
+let solve ?(selection = `Linear_scan) ?pool ?budget ?seed instance lambda =
+  run ?budget ?seed selection (create_state ?pool ?budget instance lambda)

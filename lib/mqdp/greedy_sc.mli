@@ -24,25 +24,39 @@ type selection = [ `Linear_scan | `Lazy_heap ]
     compiled {!Pair_index}). *)
 type state
 
-(** [create_state ?pool instance lambda] compiles a {!Pair_index} (with
-    coverer sets) and builds the state [solve] starts from; construction
-    is the dominant cost on large instances and fans out over [pool] when
-    given. Exposed for the scaling benchmark. *)
-val create_state : ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> state
+(** [create_state ?pool ?budget instance lambda] compiles a {!Pair_index}
+    (with coverer sets) and builds the state [solve] starts from;
+    construction is the dominant cost on large instances and fans out over
+    [pool] when given. Exposed for the scaling benchmark. *)
+val create_state :
+  ?pool:Util.Pool.t -> ?budget:Util.Budget.t -> Instance.t -> Coverage.lambda -> state
 
-(** [state_of_index ?pool index] builds the state from an already-compiled
-    index — [index] must have been built with coverer sets (the default). *)
-val state_of_index : ?pool:Util.Pool.t -> Pair_index.t -> state
+(** [state_of_index ?pool ?budget index] builds the state from an
+    already-compiled index — [index] must have been built with coverer sets
+    (the default). *)
+val state_of_index : ?pool:Util.Pool.t -> ?budget:Util.Budget.t -> Pair_index.t -> state
 
-(** [solve ?selection ?pool instance lambda] returns cover positions,
-    ascending. Default selection is [`Linear_scan]. When [pool] is given,
-    index compilation and gain initialization fan out across the pool's
-    domains; the selection loop itself stays sequential. The cover is
-    bit-identical to a run without [pool]. *)
+(** [solve ?selection ?pool ?budget ?seed instance lambda] returns cover
+    positions, ascending. Default selection is [`Linear_scan]. When [pool]
+    is given, index compilation and gain initialization fan out across the
+    pool's domains; the selection loop itself stays sequential. The cover
+    is bit-identical to a run without [pool].
+
+    [budget] (default unlimited) is charged one step per post during
+    initialization, [n] per linear-scan round, and one per heap pop; on
+    exhaustion mid-selection the {!Interrupt.Budget_exceeded} carries the
+    picks so far as a [Partial_cover].
+
+    [seed] positions are committed before the greedy loop: everything they
+    cover is pre-marked and they are included in the result, so the answer
+    is a full cover whatever the seed — the mechanism by which a supervisor
+    hands a cheaper algorithm the salvage of an interrupted one. *)
 val solve :
-  ?selection:selection -> ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
+  ?selection:selection -> ?pool:Util.Pool.t -> ?budget:Util.Budget.t ->
+  ?seed:int list -> Instance.t -> Coverage.lambda -> int list
 
-(** [solve_indexed ?selection ?pool index] is {!solve} on a pre-compiled
-    index (built with coverer sets). *)
+(** [solve_indexed ?selection ?pool ?budget ?seed index] is {!solve} on a
+    pre-compiled index (built with coverer sets). *)
 val solve_indexed :
-  ?selection:selection -> ?pool:Util.Pool.t -> Pair_index.t -> int list
+  ?selection:selection -> ?pool:Util.Pool.t -> ?budget:Util.Budget.t ->
+  ?seed:int list -> Pair_index.t -> int list

@@ -1,0 +1,25 @@
+type partial =
+  | No_partial
+  | Partial_cover of int list
+
+exception Budget_exceeded of {
+  reason : Util.Budget.stop_reason;
+  partial : partial;
+}
+
+let none () = No_partial
+
+let check ?(partial = none) budget =
+  match Util.Budget.poll budget with
+  | None -> ()
+  | Some reason -> raise (Budget_exceeded { reason; partial = partial () })
+
+let step ?cost ?partial budget =
+  Util.Budget.add ?cost budget;
+  check ?partial budget
+
+let stop budget () = Util.Budget.should_stop budget
+
+let positions_of = function
+  | No_partial -> []
+  | Partial_cover ps -> List.sort_uniq Int.compare ps

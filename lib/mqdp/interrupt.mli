@@ -1,0 +1,40 @@
+(** The typed budget-exhaustion exception every solver raises, carrying
+    whatever partial state the interrupted algorithm could salvage.
+
+    Solvers poll a {!Util.Budget} at loop granularity through the helpers
+    here; when the budget is exhausted they raise {!Budget_exceeded} with a
+    [partial] describing work worth carrying into a cheaper algorithm.
+    {!Supervisor} is the intended catcher: it validates the partial and
+    either answers with it (when it is already a complete cover) or seeds
+    the next rung of the degradation ladder with it.
+
+    A [Partial_cover] is a set of instance positions the interrupted
+    solver had committed to its answer. It is {e not} necessarily a
+    λ-cover — only a sound prefix of one: adding more posts can complete
+    it, never invalidate it (coverage is monotone in the cover set). *)
+
+type partial =
+  | No_partial  (** nothing salvageable (e.g. OPT's DP layers) *)
+  | Partial_cover of int list  (** positions committed so far, any order *)
+
+exception Budget_exceeded of {
+  reason : Util.Budget.stop_reason;
+  partial : partial;
+}
+
+(** [check ?partial budget] raises {!Budget_exceeded} when [budget] is
+    exhausted; [partial] (a thunk, so the common non-exhausted path builds
+    nothing) supplies the salvage. *)
+val check : ?partial:(unit -> partial) -> Util.Budget.t -> unit
+
+(** [step ?cost ?partial budget] charges [cost] (default 1) steps, then
+    {!check}s. *)
+val step : ?cost:int -> ?partial:(unit -> partial) -> Util.Budget.t -> unit
+
+(** [stop budget] is the [?stop] predicate for {!Util.Pool} iteration:
+    true once [budget] is exhausted. *)
+val stop : Util.Budget.t -> unit -> bool
+
+(** [positions_of partial] is the carried positions ([[]] for
+    {!No_partial}), sorted and deduplicated. *)
+val positions_of : partial -> int list

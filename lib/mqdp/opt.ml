@@ -1,5 +1,6 @@
 exception Too_large of string
 exception Unsupported of string
+exception Infeasible of { labels : int; bytes : float }
 
 (* Internally posts are 1-based: j in 1..n is instance position j-1, and 0
    is the virtual sentinel carrying every label, placed lambda+1 before the
@@ -112,7 +113,7 @@ let valid_prefix ctx j xi upto =
   done;
   !ok
 
-let raw_patterns ctx j max_states =
+let raw_patterns ctx budget j max_states =
   let per_label = Array.init ctx.dl (fun d -> candidates ctx j d) in
   let acc = ref [] and count = ref 0 in
   let xi = Array.make ctx.dl 0 in
@@ -129,6 +130,7 @@ let raw_patterns ctx j max_states =
     else
       List.iter
         (fun i ->
+          Interrupt.step budget;
           xi.(d) <- i;
           if valid_prefix ctx j xi d then fill (d + 1))
         per_label.(d)
@@ -159,7 +161,30 @@ let resolve raw eta =
 
 type layer = (int array, int) Hashtbl.t
 
-let run ?(max_states = 500_000) ~keep_parents instance lambda =
+(* Worst-case DP footprint: the pattern key space is bounded by
+   ∏ (|LP(a)| + 1) ≥ 2^|L| (each label contributes its posts plus the
+   sentinel), and each retained pattern costs one boxed key array of [dl]
+   entries plus a hash-table entry. The product saturates well past any
+   plausible budget, so overflow never under-reports. *)
+let table_bytes_bound ctx =
+  let space = ref 1. in
+  Array.iter
+    (fun lp ->
+      if !space < 1e30 then
+        space := !space *. float_of_int (Array.length lp + 1))
+    ctx.lp;
+  let bytes_per_pattern = float_of_int (((ctx.dl + 2) * 8) + 48) in
+  !space *. bytes_per_pattern
+
+let check_feasible ctx budget =
+  match Util.Budget.remaining_alloc budget with
+  | None -> ()
+  | Some remaining ->
+    let bytes = table_bytes_bound ctx in
+    if bytes > remaining then raise (Infeasible { labels = ctx.dl; bytes })
+
+let run ?(max_states = 500_000) ?(budget = Util.Budget.unlimited)
+    ~keep_parents instance lambda =
   let lambda =
     match lambda with
     | Coverage.Fixed l -> l
@@ -167,6 +192,7 @@ let run ?(max_states = 500_000) ~keep_parents instance lambda =
       raise (Unsupported "Opt.solve requires a fixed lambda")
   in
   let ctx = make_ctx instance lambda in
+  check_feasible ctx budget;
   if ctx.n = 0 then (0, [||], [||])
   else begin
     let initial : layer = Hashtbl.create 16 in
@@ -180,11 +206,12 @@ let run ?(max_states = 500_000) ~keep_parents instance lambda =
     for j = 1 to ctx.n do
       let f_prev = ctx.f.(j - 1) in
       let current : layer = Hashtbl.create 64 in
-      let raws = raw_patterns ctx j max_states in
+      let raws = raw_patterns ctx budget j max_states in
       List.iter
         (fun raw ->
           Hashtbl.iter
             (fun eta card_eta ->
+              Interrupt.step budget;
               if consistent ~f_prev raw eta then begin
                 let xi = resolve raw eta in
                 if valid_pattern ctx j xi then begin
@@ -223,12 +250,14 @@ let run ?(max_states = 500_000) ~keep_parents instance lambda =
     ((!best_card - 1), !best_pattern, parents)
   end
 
-let min_size ?max_states instance lambda =
-  let size, _, _ = run ?max_states ~keep_parents:false instance lambda in
+let min_size ?max_states ?budget instance lambda =
+  let size, _, _ = run ?max_states ?budget ~keep_parents:false instance lambda in
   size
 
-let solve ?max_states instance lambda =
-  let _, best_pattern, parents = run ?max_states ~keep_parents:true instance lambda in
+let solve ?max_states ?budget instance lambda =
+  let _, best_pattern, parents =
+    run ?max_states ?budget ~keep_parents:true instance lambda
+  in
   let n = Instance.size instance in
   if n = 0 then []
   else begin

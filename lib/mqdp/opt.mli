@@ -25,13 +25,27 @@ exception Too_large of string
     [Coverage.Per_post_label] lambda. *)
 exception Unsupported of string
 
+(** Raised by the pre-flight feasibility check when the budget carries an
+    allocation limit and the worst-case DP table — at least [2^labels]
+    end-patterns, [bytes] bytes — cannot fit in what remains of it. Raised
+    before any DP work, so the caller loses nothing by having tried. *)
+exception Infeasible of { labels : int; bytes : float }
+
 (** [solve instance lambda] is an optimal cover, positions ascending.
 
     @param max_states abort when a DP layer holds more end-patterns
       (default 500_000).
-    @raise Too_large when the state limit is hit. *)
-val solve : ?max_states:int -> Instance.t -> Coverage.lambda -> int list
+    @param budget cooperative budget (default unlimited), charged one step
+      per candidate visit and per DP transition.
+    @raise Too_large when the state limit is hit.
+    @raise Infeasible when the allocation budget cannot fit the worst-case
+      DP table (checked before any work).
+    @raise Interrupt.Budget_exceeded on exhaustion mid-run; OPT's DP layers
+      salvage nothing ([No_partial]). *)
+val solve :
+  ?max_states:int -> ?budget:Util.Budget.t -> Instance.t -> Coverage.lambda -> int list
 
 (** [min_size instance lambda] is the optimal cover cardinality, computed
     with O(|P|^|L|) memory (only two DP layers retained). *)
-val min_size : ?max_states:int -> Instance.t -> Coverage.lambda -> int
+val min_size :
+  ?max_states:int -> ?budget:Util.Budget.t -> Instance.t -> Coverage.lambda -> int

@@ -51,7 +51,8 @@ let rank_of lp pos =
   done;
   !lo
 
-let build ?pool ?(coverers = true) instance lambda =
+let build ?pool ?(budget = Util.Budget.unlimited) ?(coverers = true) instance
+    lambda =
   let n = Instance.size instance in
   let total = Instance.total_pairs instance in
   let max_label = Instance.max_label instance in
@@ -83,6 +84,7 @@ let build ?pool ?(coverers = true) instance lambda =
     let lp = Instance.label_posts instance a in
     let la = base.(a) in
     let m = Array.length lp in
+    Interrupt.step ~cost:m budget;
     for ia = 0 to m - 1 do
       pair_pos.(la + ia) <- lp.(ia);
       pair_value.(la + ia) <- Instance.value instance lp.(ia)
@@ -165,12 +167,16 @@ let build ?pool ?(coverers = true) instance lambda =
         done
       | None -> ())
   in
+  (* Workers raise [Budget_exceeded] from inside [f] (Pool re-raises it
+     unwrapped); [stop] additionally skips queued-but-unstarted labels, and
+     the post-call [check] converts a silent cancellation into the raise. *)
   let parallel_labels f =
-    match pool with
+    (match pool with
     | None -> Array.iter f universe
     | Some pool ->
-      Util.Pool.parallel_for pool ~chunk:1 (Array.length universe) ~f:(fun i ->
-          f universe.(i))
+      Util.Pool.parallel_for pool ~chunk:1 ~stop:(Interrupt.stop budget)
+        (Array.length universe) ~f:(fun i -> f universe.(i)));
+    Interrupt.check budget
   in
   parallel_labels process_label;
   (* Phase 2 (per-post λ with coverers): global CSR offsets, then fill
@@ -188,6 +194,7 @@ let build ?pool ?(coverers = true) instance lambda =
         let lp = Instance.label_posts instance a in
         let la = base.(a) in
         let m = Array.length lp in
+        Interrupt.step ~cost:m budget;
         let cursor = Array.init m (fun ia -> offsets.(la + ia)) in
         let reach = Option.get pair_reach in
         for j = 0 to m - 1 do
@@ -216,6 +223,7 @@ let build ?pool ?(coverers = true) instance lambda =
   let range_first = Array.make total 0 in
   let range_last = Array.make total (-1) in
   let process_post k =
+    Interrupt.step budget;
     let p = Instance.post instance k in
     let slot = ref own_off.(k) in
     Label_set.iter
@@ -239,10 +247,12 @@ let build ?pool ?(coverers = true) instance lambda =
       process_post k
     done
   | Some pool ->
-    Util.Pool.parallel_iter_chunks pool n ~f:(fun lo hi ->
+    Util.Pool.parallel_iter_chunks pool ~stop:(Interrupt.stop budget) n
+      ~f:(fun lo hi ->
         for k = lo to hi - 1 do
           process_post k
         done));
+  Interrupt.check budget;
   { instance; lambda; base; pair_pos; pair_value; pair_reach; best; cov;
     own_off; own_pair; range_first; range_last }
 

@@ -27,13 +27,25 @@
 
 type t
 
-(** [build ?pool ?coverers instance lambda] compiles the index.
+(** [build ?pool ?budget ?coverers instance lambda] compiles the index.
     [coverers] (default [true]) controls whether per-pair coverer sets are
     materialized: the scan family only needs best picks and reaches, so it
     builds with [~coverers:false]; the greedy/set-cover family needs the
     full sets. Under a fixed λ coverer ranges cost two ints per pair; under
-    a per-post λ the CSR rows cost one int per (pair, coverer) incidence. *)
-val build : ?pool:Util.Pool.t -> ?coverers:bool -> Instance.t -> Coverage.lambda -> t
+    a per-post λ the CSR rows cost one int per (pair, coverer) incidence.
+
+    [budget] (default unlimited) is polled once per label (cost |LP(a)|
+    steps) and once per post; on exhaustion the build raises
+    {!Interrupt.Budget_exceeded} with no salvage — half-built indexes are
+    never returned. Inside a pool, cancellation also skips
+    queued-but-unstarted chunks. *)
+val build :
+  ?pool:Util.Pool.t ->
+  ?budget:Util.Budget.t ->
+  ?coverers:bool ->
+  Instance.t ->
+  Coverage.lambda ->
+  t
 
 val instance : t -> Instance.t
 val lambda : t -> Coverage.lambda

@@ -14,12 +14,13 @@ type order =
    entry depends only on [(a, i)], never on what other labels covered, so
    chains can be computed per label in parallel and reused as a pick cache
    by Scan+'s sequential merge. *)
-let chain index a =
+let chain ?(budget = Util.Budget.unlimited) index a =
   let base = Pair_index.label_base index a in
   let n = Pair_index.label_size index a in
   let rec loop i acc =
     if i >= n then List.rev acc
     else begin
+      Interrupt.step budget;
       let j = Pair_index.best_coverer index a (base + i) - base in
       (* Skip every post covered by the pick. *)
       let next = Pair_index.first_above index a (Pair_index.reach index (base + j)) in
@@ -28,37 +29,54 @@ let chain index a =
   in
   loop 0 []
 
-let solve_label_indexed index a =
+let solve_label_indexed ?budget index a =
   let base = Pair_index.label_base index a in
-  List.map (fun (_, j) -> Pair_index.pair_pos index (base + j)) (chain index a)
+  List.map (fun (_, j) -> Pair_index.pair_pos index (base + j)) (chain ?budget index a)
 
-let solve_label instance lambda a =
-  solve_label_indexed (Pair_index.build ~coverers:false instance lambda) a
+let solve_label ?budget instance lambda a =
+  solve_label_indexed ?budget (Pair_index.build ?budget ~coverers:false instance lambda) a
 
 let sorted_unique positions =
   List.sort_uniq Int.compare positions
 
-let label_chains pool index labels =
-  Util.Pool.parallel_map pool ~chunk:1 ~f:(fun a -> chain index a) (Array.of_list labels)
+let label_chains pool budget index labels =
+  Util.Pool.parallel_map pool ~chunk:1
+    ~f:(fun a -> chain ?budget index a)
+    (Array.of_list labels)
 
-let solve_indexed ?pool index =
+(* Re-raise a bare (No_partial) exhaustion with the picks accumulated so
+   far — completed per-label covers are a sound prefix of the union. *)
+let enrich_exhaustion picks = function
+  | Interrupt.Budget_exceeded { reason; partial = Interrupt.No_partial } ->
+    Interrupt.Budget_exceeded { reason; partial = Interrupt.Partial_cover (picks ()) }
+  | e -> e
+
+let solve_indexed ?pool ?budget index =
   let universe = Instance.label_universe (Pair_index.instance index) in
-  (match pool with
-  | None -> List.concat_map (fun a -> solve_label_indexed index a) universe
-  | Some pool ->
-    (* Per-label fan-out; concatenating in universe order makes the merge
-       independent of scheduling, hence bit-identical to sequential. *)
-    let chains = label_chains pool index universe in
-    List.concat
-      (List.mapi
-         (fun idx a ->
-           let base = Pair_index.label_base index a in
-           List.map (fun (_, j) -> Pair_index.pair_pos index (base + j)) chains.(idx))
-         universe))
-  |> sorted_unique
+  let done_labels = ref [] in
+  match
+    match pool with
+    | None ->
+      List.iter
+        (fun a -> done_labels := solve_label_indexed ?budget index a :: !done_labels)
+        universe;
+      List.concat !done_labels
+    | Some pool ->
+      (* Per-label fan-out; concatenating in universe order makes the merge
+         independent of scheduling, hence bit-identical to sequential. *)
+      let chains = label_chains pool budget index universe in
+      List.concat
+        (List.mapi
+           (fun idx a ->
+             let base = Pair_index.label_base index a in
+             List.map (fun (_, j) -> Pair_index.pair_pos index (base + j)) chains.(idx))
+           universe)
+  with
+  | positions -> sorted_unique positions
+  | exception e -> raise (enrich_exhaustion (fun () -> List.concat !done_labels) e)
 
-let solve ?pool instance lambda =
-  solve_indexed ?pool (Pair_index.build ?pool ~coverers:false instance lambda)
+let solve ?pool ?budget instance lambda =
+  solve_indexed ?pool ?budget (Pair_index.build ?pool ?budget ~coverers:false instance lambda)
 
 let label_order index order =
   let universe = Instance.label_universe (Pair_index.instance index) in
@@ -70,12 +88,18 @@ let label_order index order =
   | Least_frequent_first ->
     List.sort (fun a b -> Int.compare (frequency a) (frequency b)) universe
 
-let solve_plus_indexed ?(order = Given) ?pool index =
+let solve_plus_indexed ?(order = Given) ?pool ?(budget = Util.Budget.unlimited)
+    ?(seed = []) index =
   let covered = Bytes.make (Pair_index.total_pairs index) '\000' in
   let mark_covered_by picked =
     Pair_index.iter_covered_ranges index picked (fun first last ->
         Bytes.fill covered first (last - first + 1) '\001')
   in
+  (* Seed positions are committed up front: their coverage is pre-marked
+     and they ride along in the result, so the answer covers the full pair
+     universe whatever the seed. *)
+  let seed = List.sort_uniq Int.compare seed in
+  List.iter mark_covered_by seed;
   let labels = label_order index order in
   (* Cross-label coverage makes the label loop inherently sequential, but
      the best pick depends only on the pair — never on the covered flags —
@@ -88,9 +112,10 @@ let solve_plus_indexed ?(order = Given) ?pool index =
   let speculative =
     match pool with
     | None -> None
-    | Some pool -> Some (label_chains pool index labels)
+    | Some pool -> Some (label_chains pool (Some budget) index labels)
   in
-  let picks = ref [] in
+  let picks = ref seed in
+  let partial () = Interrupt.Partial_cover !picks in
   let process_label idx a =
     let base = Pair_index.label_base index a in
     let n = Pair_index.label_size index a in
@@ -115,6 +140,7 @@ let solve_plus_indexed ?(order = Given) ?pool index =
     in
     let rec loop i =
       if i < n then begin
+        Interrupt.step ~partial budget;
         if Bytes.get covered (base + i) <> '\000' then loop (i + 1)
         else begin
           let j = pick_at i in
@@ -128,8 +154,11 @@ let solve_plus_indexed ?(order = Given) ?pool index =
     in
     loop 0
   in
-  List.iteri process_label labels;
+  (match List.iteri process_label labels with
+  | () -> ()
+  | exception e -> raise (enrich_exhaustion (fun () -> !picks) e));
   sorted_unique !picks
 
-let solve_plus ?order ?pool instance lambda =
-  solve_plus_indexed ?order ?pool (Pair_index.build ?pool ~coverers:false instance lambda)
+let solve_plus ?order ?pool ?budget ?seed instance lambda =
+  solve_plus_indexed ?order ?pool ?budget ?seed
+    (Pair_index.build ?pool ?budget ~coverers:false instance lambda)

@@ -23,29 +23,47 @@ type order =
   | Most_frequent_first
   | Least_frequent_first
 
+(** Budgets: every entry point takes an optional {!Util.Budget} (default
+    unlimited), charged one step per chain link (Scan) or per pair visit
+    (Scan+). On exhaustion {!Interrupt.Budget_exceeded} carries the picks
+    committed so far (completed per-label covers for Scan, the running
+    cross-label pick list plus any seed for Scan+) as a [Partial_cover]. *)
+
 (** [solve ?pool instance lambda] — plain Scan. Returns positions,
     ascending. With [pool], the index build and the independent per-label
     covers are computed in parallel and merged in label order, so the
     result is bit-identical to the sequential run. *)
-val solve : ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
+val solve :
+  ?pool:Util.Pool.t -> ?budget:Util.Budget.t -> Instance.t -> Coverage.lambda ->
+  int list
 
 (** [solve_indexed ?pool index] is {!solve} on a pre-compiled index
     (coverer sets not required). *)
-val solve_indexed : ?pool:Util.Pool.t -> Pair_index.t -> int list
+val solve_indexed :
+  ?pool:Util.Pool.t -> ?budget:Util.Budget.t -> Pair_index.t -> int list
 
-(** [solve_plus ?order ?pool instance lambda] — Scan+ (default order
-    [Given]). With [pool], the per-label pick chains are speculatively
-    computed in parallel and used as a pick cache by the sequential
-    cross-label merge; the cover is bit-identical to the sequential run. *)
+(** [solve_plus ?order ?pool ?budget ?seed instance lambda] — Scan+
+    (default order [Given]). With [pool], the per-label pick chains are
+    speculatively computed in parallel and used as a pick cache by the
+    sequential cross-label merge; the cover is bit-identical to the
+    sequential run.
+
+    [seed] positions are committed before the merge: every pair they cover
+    is pre-marked and they are included in the result — the supervisor's
+    mechanism for handing Scan+ the salvage of an interrupted richer
+    algorithm. *)
 val solve_plus :
-  ?order:order -> ?pool:Util.Pool.t -> Instance.t -> Coverage.lambda -> int list
+  ?order:order -> ?pool:Util.Pool.t -> ?budget:Util.Budget.t -> ?seed:int list ->
+  Instance.t -> Coverage.lambda -> int list
 
-(** [solve_plus_indexed ?order ?pool index] is {!solve_plus} on a
-    pre-compiled index. *)
+(** [solve_plus_indexed ?order ?pool ?budget ?seed index] is {!solve_plus}
+    on a pre-compiled index. *)
 val solve_plus_indexed :
-  ?order:order -> ?pool:Util.Pool.t -> Pair_index.t -> int list
+  ?order:order -> ?pool:Util.Pool.t -> ?budget:Util.Budget.t -> ?seed:int list ->
+  Pair_index.t -> int list
 
 (** [solve_label instance lambda a] — the optimal cover of LP(a) with
     respect to label [a] alone (positions, ascending). Exposed for tests
     and for the streaming variants. *)
-val solve_label : Instance.t -> Coverage.lambda -> Label.t -> int list
+val solve_label :
+  ?budget:Util.Budget.t -> Instance.t -> Coverage.lambda -> Label.t -> int list

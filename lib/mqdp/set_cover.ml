@@ -40,12 +40,16 @@ let build ~num_elements sets =
     all = !all;
   }
 
-let greedy_universe universe =
+let greedy_universe ?(budget = Util.Budget.unlimited) universe =
   let covered = Bytes.make universe.num_elements '\000' in
   let gain = Array.map Bitset.cardinal universe.covers in
   let remaining = ref universe.num_elements in
   let chosen = ref [] in
+  (* One step per greedy round; the salvage is the (incomplete) prefix of
+     picks, sound to seed a cheaper algorithm with. *)
+  let partial () = Interrupt.Partial_cover !chosen in
   while !remaining > 0 do
+    Interrupt.step ~partial budget;
     let best = ref (-1) and best_gain = ref 0 in
     Array.iteri
       (fun k g ->
@@ -68,18 +72,27 @@ let greedy_universe universe =
   done;
   List.sort_uniq Int.compare !chosen
 
-let greedy ~num_elements sets =
+let greedy ?budget ~num_elements sets =
   if num_elements = 0 then []
-  else greedy_universe (build ~num_elements sets)
+  else greedy_universe ?budget (build ~num_elements sets)
 
-let search ?(max_nodes = 20_000_000) universe ~initial_bound =
+let search ?(max_nodes = 20_000_000) ?(budget = Util.Budget.unlimited)
+    ?(fallback = []) universe ~initial_bound =
   let best_size = ref initial_bound and best_cover = ref None in
   let nodes = ref 0 in
+  (* The salvage is the best *complete* cover known: the incumbent found by
+     the search so far, else [fallback] (the greedy cover the caller seeded
+     the bound with). A supervisor can answer with it directly. *)
+  let partial () =
+    Interrupt.Partial_cover
+      (match !best_cover with Some c -> c | None -> fallback)
+  in
   let max_set_size =
     Array.fold_left (fun acc s -> max acc (Bitset.cardinal s)) 1 universe.covers
   in
   let rec go depth chosen uncovered =
     incr nodes;
+    Interrupt.step ~partial budget;
     if !nodes > max_nodes then
       raise (Too_large (Printf.sprintf "Set_cover: exceeded %d search nodes" max_nodes));
     if Bitset.is_empty uncovered then begin
@@ -117,25 +130,31 @@ let search ?(max_nodes = 20_000_000) universe ~initial_bound =
   go 0 [] universe.all;
   !best_cover
 
-let minimum ?max_nodes ~num_elements sets =
+let minimum ?max_nodes ?budget ~num_elements sets =
   if num_elements = 0 then []
   else begin
     let universe = build ~num_elements sets in
-    let incumbent = greedy_universe universe in
-    match search ?max_nodes universe ~initial_bound:(List.length incumbent) with
+    let incumbent = greedy_universe ?budget universe in
+    match
+      search ?max_nodes ?budget ~fallback:incumbent universe
+        ~initial_bound:(List.length incumbent)
+    with
     | Some cover -> List.sort_uniq Int.compare cover
     | None -> incumbent
   end
 
-let bounded ?max_nodes ~bound ~num_elements sets =
+let bounded ?max_nodes ?budget ~bound ~num_elements sets =
   if bound < 0 then None
   else if num_elements = 0 then Some []
   else begin
     let universe = build ~num_elements sets in
-    let incumbent = greedy_universe universe in
+    let incumbent = greedy_universe ?budget universe in
     if List.length incumbent <= bound then Some incumbent
     else begin
-      match search ?max_nodes universe ~initial_bound:(bound + 1) with
+      match
+        search ?max_nodes ?budget ~fallback:incumbent universe
+          ~initial_bound:(bound + 1)
+      with
       | Some cover -> Some (List.sort_uniq Int.compare cover)
       | None -> None
     end

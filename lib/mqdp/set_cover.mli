@@ -7,11 +7,20 @@
 
 exception Too_large of string
 
+(** Budgets: every entry point takes an optional {!Util.Budget} (default
+    unlimited), charged one step per greedy round and per branch-and-bound
+    search node. On exhaustion it raises {!Interrupt.Budget_exceeded}
+    carrying chosen *set indices* as the partial: mid-greedy that is the
+    (incomplete but sound) prefix of picks; mid-search it is the best
+    complete cover known — the search incumbent, else the greedy cover used
+    as the initial bound — which the caller can answer with directly. *)
+
 (** [greedy ~num_elements sets] — the classic ln(n)-approximate greedy:
     repeatedly take the set covering the most uncovered elements. Returns
     chosen set indices, ascending. Raises [Invalid_argument] when some
     element is covered by no set. *)
-val greedy : num_elements:int -> int array array -> int list
+val greedy :
+  ?budget:Util.Budget.t -> num_elements:int -> int array array -> int list
 
 (** [minimum ?max_nodes ~num_elements sets] — an exact minimum cover by
     branch-and-bound (branch on the uncovered element with fewest
@@ -19,10 +28,12 @@ val greedy : num_elements:int -> int array array -> int list
     the greedy incumbent).
     @raise Too_large after [max_nodes] search nodes (default 20M).
     @raise Invalid_argument when some element is uncoverable. *)
-val minimum : ?max_nodes:int -> num_elements:int -> int array array -> int list
+val minimum :
+  ?max_nodes:int -> ?budget:Util.Budget.t -> num_elements:int ->
+  int array array -> int list
 
 (** [bounded ?max_nodes ~bound ~num_elements sets] — [Some cover] of size
     at most [bound] when one exists, else [None]. *)
 val bounded :
-  ?max_nodes:int -> bound:int -> num_elements:int -> int array array ->
-  int list option
+  ?max_nodes:int -> ?budget:Util.Budget.t -> bound:int -> num_elements:int ->
+  int array array -> int list option

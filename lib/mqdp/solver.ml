@@ -51,43 +51,50 @@ let algorithm_of_string s =
 let streaming_algorithm_of_string s =
   List.find_opt (fun a -> streaming_algorithm_name a = s) all_streaming_algorithms
 
-let solve_with_pool ?pool algorithm instance lambda =
+(* [seed] is honored natively by the algorithms that can exploit it
+   (GreedySC pre-marks and skips, Scan+ pre-marks); for the rest the seed
+   is unioned into the answer, so "seed ⊆ result" and "result is a cover"
+   hold for every algorithm (coverage is monotone in the cover set). *)
+let run ?pool ?budget ?(seed = []) algorithm instance lambda =
+  let union cover =
+    if seed = [] then cover else List.sort_uniq Int.compare (List.rev_append seed cover)
+  in
   match algorithm with
-  | Opt -> Opt.solve instance lambda
-  | Brute_force -> Brute_force.solve instance lambda
-  | Greedy_sc -> Greedy_sc.solve ~selection:`Linear_scan ?pool instance lambda
-  | Greedy_sc_heap -> Greedy_sc.solve ~selection:`Lazy_heap ?pool instance lambda
-  | Scan -> Scan.solve ?pool instance lambda
-  | Scan_plus -> Scan.solve_plus ?pool instance lambda
+  | Opt -> union (Opt.solve ?budget instance lambda)
+  | Brute_force -> union (Brute_force.solve ?budget instance lambda)
+  | Greedy_sc -> Greedy_sc.solve ~selection:`Linear_scan ?pool ?budget ~seed instance lambda
+  | Greedy_sc_heap -> Greedy_sc.solve ~selection:`Lazy_heap ?pool ?budget ~seed instance lambda
+  | Scan -> union (Scan.solve ?pool ?budget instance lambda)
+  | Scan_plus -> Scan.solve_plus ?pool ?budget ~seed instance lambda
 
-let solve ?(jobs = 1) algorithm instance lambda =
+let solve ?(jobs = 1) ?budget algorithm instance lambda =
   if jobs < 1 then invalid_arg "Solver.solve: jobs < 1";
   (* The pool is created (and its domains spawned) outside the timed
      region so [elapsed] measures the algorithm, not domain startup. *)
   let timed pool =
     let cover, elapsed =
-      Util.Timer.time_it (fun () -> solve_with_pool ?pool algorithm instance lambda)
+      Util.Timer.time_it (fun () -> run ?pool ?budget algorithm instance lambda)
     in
     { cover; size = List.length cover; elapsed }
   in
   if jobs = 1 then timed None
   else Util.Pool.with_pool ~jobs (fun pool -> timed (Some pool))
 
-let compile ?(jobs = 1) instance lambda =
+let compile ?(jobs = 1) ?budget instance lambda =
   if jobs < 1 then invalid_arg "Solver.compile: jobs < 1";
-  if jobs = 1 then Pair_index.build instance lambda
-  else Util.Pool.with_pool ~jobs (fun pool -> Pair_index.build ~pool instance lambda)
+  if jobs = 1 then Pair_index.build ?budget instance lambda
+  else Util.Pool.with_pool ~jobs (fun pool -> Pair_index.build ~pool ?budget instance lambda)
 
-let solve_compiled algorithm index =
+let solve_compiled ?budget algorithm index =
   let run () =
     match algorithm with
-    | Opt -> Opt.solve (Pair_index.instance index) (Pair_index.lambda index)
+    | Opt -> Opt.solve ?budget (Pair_index.instance index) (Pair_index.lambda index)
     | Brute_force ->
-      Brute_force.solve (Pair_index.instance index) (Pair_index.lambda index)
-    | Greedy_sc -> Greedy_sc.solve_indexed ~selection:`Linear_scan index
-    | Greedy_sc_heap -> Greedy_sc.solve_indexed ~selection:`Lazy_heap index
-    | Scan -> Scan.solve_indexed index
-    | Scan_plus -> Scan.solve_plus_indexed index
+      Brute_force.solve ?budget (Pair_index.instance index) (Pair_index.lambda index)
+    | Greedy_sc -> Greedy_sc.solve_indexed ~selection:`Linear_scan ?budget index
+    | Greedy_sc_heap -> Greedy_sc.solve_indexed ~selection:`Lazy_heap ?budget index
+    | Scan -> Scan.solve_indexed ?budget index
+    | Scan_plus -> Scan.solve_plus_indexed ?budget index
   in
   let cover, elapsed = Util.Timer.time_it run in
   { cover; size = List.length cover; elapsed }

@@ -42,27 +42,43 @@ val streaming_algorithm_of_string : string -> streaming_algorithm option
 val all_algorithms : algorithm list
 val all_streaming_algorithms : streaming_algorithm list
 
-(** [solve ?jobs algorithm instance lambda] — run [algorithm] with
+(** [run ?pool ?budget ?seed algorithm instance lambda] — the raw,
+    untimed dispatch the other entry points (and {!Supervisor}) build on.
+    [budget] (default unlimited) is threaded into the algorithm's inner
+    loops; on exhaustion {!Interrupt.Budget_exceeded} escapes with
+    whatever partial state the algorithm salvaged. [seed] positions are
+    guaranteed to appear in the result: GreedySC and Scan+ exploit them
+    natively (pre-marking their coverage), the others union them in. *)
+val run :
+  ?pool:Util.Pool.t -> ?budget:Util.Budget.t -> ?seed:int list -> algorithm ->
+  Instance.t -> Coverage.lambda -> int list
+
+(** [solve ?jobs ?budget algorithm instance lambda] — run [algorithm] with
     [jobs]-way parallelism (default 1 = sequential; raises
     [Invalid_argument] on [jobs < 1]). Parallel runs are guaranteed to
     return the same cover as sequential ones: only embarrassingly parallel
     phases (GreedySC state construction, Scan/Scan+ per-label fan-out) are
     distributed, with deterministic ordered merges. [Opt] and [Brute_force]
     ignore [jobs]. Pool startup happens outside the timed region. *)
-val solve : ?jobs:int -> algorithm -> Instance.t -> Coverage.lambda -> result
+val solve :
+  ?jobs:int -> ?budget:Util.Budget.t -> algorithm -> Instance.t ->
+  Coverage.lambda -> result
 
-(** [compile ?jobs instance lambda] builds the shared {!Pair_index} once
-    (with coverer sets, so every solver can run off it); with [jobs > 1]
-    construction fans out over a temporary pool. Use with
+(** [compile ?jobs ?budget instance lambda] builds the shared {!Pair_index}
+    once (with coverer sets, so every solver can run off it); with
+    [jobs > 1] construction fans out over a temporary pool. Use with
     {!solve_compiled} to amortize the geometry across several algorithms
-    on the same (instance, λ). *)
-val compile : ?jobs:int -> Instance.t -> Coverage.lambda -> Pair_index.t
+    on the same (instance, λ). On budget exhaustion the build raises
+    {!Interrupt.Budget_exceeded} and no index escapes — there is no
+    observable half-compiled state. *)
+val compile :
+  ?jobs:int -> ?budget:Util.Budget.t -> Instance.t -> Coverage.lambda -> Pair_index.t
 
 (** [solve_compiled algorithm index] runs [algorithm] off the pre-compiled
     index; [elapsed] excludes index construction. [Opt] and [Brute_force]
     fall back to the instance behind the index. The cover is identical to
     {!solve} on the same inputs. *)
-val solve_compiled : algorithm -> Pair_index.t -> result
+val solve_compiled : ?budget:Util.Budget.t -> algorithm -> Pair_index.t -> result
 
 val solve_stream :
   streaming_algorithm -> tau:float -> Instance.t -> Coverage.lambda -> streaming_result

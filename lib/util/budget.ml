@@ -1,0 +1,174 @@
+type stop_reason =
+  | Cancelled
+  | Deadline
+  | Steps
+  | Allocation
+
+exception Exhausted of stop_reason
+
+(* [counting = false] marks the shared [unlimited] token: every operation
+   on it short-circuits, so threading a budget through a hot loop costs
+   one branch when nobody asked for governance. *)
+type t = {
+  counting : bool;
+  start_ns : int64;
+  deadline_ns : int64 option;  (* absolute, monotonic *)
+  max_steps : int option;
+  steps : int Atomic.t;  (* shared across domains; includes children *)
+  max_alloc_bytes : float option;
+  alloc_base : float;  (* allocated_bytes at creation *)
+  cancelled : bool Atomic.t;
+  parent : t option;
+}
+
+let bytes_per_word = float_of_int (Sys.word_size / 8)
+
+(* Minor-heap allocation since program start. [Gc.minor_words] is an
+   unboxed noalloc external, so polling it does not itself allocate. *)
+let allocated_bytes () = Gc.minor_words () *. bytes_per_word
+
+let make ?deadline_ns ?max_steps ?max_alloc_bytes ?parent ~counting () =
+  {
+    counting;
+    start_ns = Timer.now_ns ();
+    deadline_ns;
+    max_steps;
+    steps = Atomic.make 0;
+    max_alloc_bytes;
+    alloc_base = allocated_bytes ();
+    cancelled = Atomic.make false;
+    parent;
+  }
+
+let unlimited = make ~counting:false ()
+
+let ns_of_seconds s = Int64.of_float (Float.max 0. s *. 1e9)
+
+let create ?deadline ?max_steps ?max_alloc_bytes () =
+  let deadline_ns =
+    Option.map (fun s -> Int64.add (Timer.now_ns ()) (ns_of_seconds s)) deadline
+  in
+  (match max_steps with
+  | Some s when s < 0 -> invalid_arg "Budget.create: max_steps < 0"
+  | _ -> ());
+  make ?deadline_ns ?max_steps ?max_alloc_bytes ~counting:true ()
+
+let limited t =
+  t.counting
+  && (t.deadline_ns <> None || t.max_steps <> None || t.max_alloc_bytes <> None
+     || t.parent <> None)
+
+let cancel t = if t.counting then Atomic.set t.cancelled true
+
+let rec is_cancelled t =
+  t.counting
+  && (Atomic.get t.cancelled
+     || match t.parent with Some p -> is_cancelled p | None -> false)
+
+let spent_steps t = if t.counting then Atomic.get t.steps else 0
+
+let elapsed t =
+  if t.counting then Timer.elapsed_since t.start_ns else 0.
+
+let remaining t =
+  match t.deadline_ns with
+  | None -> None
+  | Some d ->
+    Some (Float.max 0. (Int64.to_float (Int64.sub d (Timer.now_ns ())) /. 1e9))
+
+let remaining_steps t =
+  match t.max_steps with
+  | None -> None
+  | Some m -> Some (max 0 (m - Atomic.get t.steps))
+
+let own_remaining_alloc t =
+  match t.max_alloc_bytes with
+  | None -> None
+  | Some m -> Some (Float.max 0. (m -. (allocated_bytes () -. t.alloc_base)))
+
+let rec remaining_alloc t =
+  let up = match t.parent with Some p -> remaining_alloc p | None -> None in
+  match (own_remaining_alloc t, up) with
+  | None, r | r, None -> r
+  | Some a, Some b -> Some (Float.min a b)
+
+(* Checks in priority order; sticky because every underlying condition is
+   monotone (the clock, the step counter, and minor_words only advance,
+   and cancellation is never cleared). *)
+let rec poll t =
+  if not t.counting then None
+  else if Atomic.get t.cancelled then Some Cancelled
+  else begin
+    let deadline_hit =
+      match t.deadline_ns with
+      | Some d -> Timer.now_ns () >= d
+      | None -> false
+    in
+    if deadline_hit then Some Deadline
+    else begin
+      let steps_hit =
+        match t.max_steps with Some m -> Atomic.get t.steps >= m | None -> false
+      in
+      if steps_hit then Some Steps
+      else begin
+        let alloc_hit =
+          match t.max_alloc_bytes with
+          | Some m -> allocated_bytes () -. t.alloc_base > m
+          | None -> false
+        in
+        if alloc_hit then Some Allocation
+        else match t.parent with Some p -> poll p | None -> None
+      end
+    end
+  end
+
+let should_stop t = poll t <> None
+
+let check t = match poll t with None -> () | Some reason -> raise (Exhausted reason)
+
+let rec add ?(cost = 1) t =
+  if t.counting then begin
+    ignore (Atomic.fetch_and_add t.steps cost);
+    match t.parent with Some p -> add ~cost p | None -> ()
+  end
+
+let step ?cost t =
+  add ?cost t;
+  check t
+
+let child ?(fraction = 0.5) t =
+  if not t.counting then unlimited
+  else begin
+    let fraction = Float.min 1. (Float.max Float.min_float fraction) in
+    let deadline_ns =
+      Option.map
+        (fun r -> Int64.add (Timer.now_ns ()) (ns_of_seconds (r *. fraction)))
+        (remaining t)
+    in
+    let max_steps =
+      Option.map (fun r -> int_of_float (float_of_int r *. fraction)) (remaining_steps t)
+    in
+    let max_alloc_bytes = own_remaining_alloc t in
+    make ?deadline_ns ?max_steps ?max_alloc_bytes ~parent:t ~counting:true ()
+  end
+
+let reason_to_string = function
+  | Cancelled -> "cancelled"
+  | Deadline -> "deadline"
+  | Steps -> "steps"
+  | Allocation -> "allocation"
+
+let describe t =
+  if not (limited t) then "unlimited"
+  else begin
+    let parts =
+      List.filter_map Fun.id
+        [
+          Option.map (fun r -> Printf.sprintf "deadline %.1fms left" (r *. 1e3)) (remaining t);
+          Option.map (fun r -> Printf.sprintf "%d steps left" r) (remaining_steps t);
+          Option.map (fun r -> Printf.sprintf "%.0f alloc bytes left" r) (remaining_alloc t);
+          (if is_cancelled t then Some "cancelled" else None);
+        ]
+    in
+    if parts = [] then "unlimited" else String.concat ", " parts
+  end

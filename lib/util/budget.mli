@@ -1,0 +1,106 @@
+(** Cooperative cancellation and resource-budget tokens.
+
+    A budget bounds a computation along four axes at once: a wall-clock
+    deadline (measured on the monotonic {!Timer} clock, so operator clock
+    steps cannot extend or shrink it), a step budget in solver-defined work
+    units, an allocation budget sampled from the GC's minor-allocation
+    counter, and an explicit cancellation flag another domain may set at
+    any time. Budgets are polled, never enforced preemptively: code under a
+    budget calls {!step}/{!check} at loop granularity and stops itself.
+
+    Tokens are safe to share across domains — the step counter and the
+    cancellation flag are atomics — so a {!Pool} worker can poll the same
+    budget as its submitter, and a cancellation from any domain is seen by
+    all of them on their next poll.
+
+    {!child} carves a sub-budget out of a parent: the child receives a
+    fraction of the parent's remaining deadline and steps (never more than
+    what remains), its steps are charged to the parent as well, and it
+    inherits the parent's cancellation transitively. This is how a
+    degradation ladder gives a speculative exact solver a bounded slice of
+    the request budget without letting it starve the fallbacks. *)
+
+type t
+
+(** Why a budget stopped. Ordering is the priority of checks: an explicit
+    cancellation wins over a passed deadline, which wins over an exceeded
+    step budget, which wins over an exceeded allocation budget. *)
+type stop_reason =
+  | Cancelled
+  | Deadline
+  | Steps
+  | Allocation
+
+exception Exhausted of stop_reason
+
+(** The shared no-op token: never exhausts, never counts (so threading it
+    through hot loops costs a branch, not an atomic). The default for
+    every [?budget] parameter. *)
+val unlimited : t
+
+(** [create ()] with no limits still counts steps and elapsed time —
+    useful for measuring how much a computation would need.
+
+    @param deadline wall-clock seconds from now
+    @param max_steps solver-defined work units
+    @param max_alloc_bytes bytes of (minor) allocation from now, sampled
+      from [Gc.minor_words] — a cheap monotone proxy for allocation
+      pressure, not an RSS bound *)
+val create :
+  ?deadline:float -> ?max_steps:int -> ?max_alloc_bytes:float -> unit -> t
+
+(** [child ?fraction t] is a sub-budget holding [fraction] (default 0.5,
+    clamped to (0, 1]) of [t]'s remaining deadline and steps, the whole of
+    [t]'s remaining allocation, and [t]'s cancellation (cancelling the
+    parent exhausts the child; cancelling the child leaves the parent
+    alive). Steps spent by the child are also charged to [t]. A child of
+    {!unlimited} is {!unlimited}. *)
+val child : ?fraction:float -> t -> t
+
+(** [cancel t] flags [t] (and therefore every child) as cancelled.
+    Idempotent; cancelling {!unlimited} is a no-op. *)
+val cancel : t -> unit
+
+val is_cancelled : t -> bool
+
+(** [poll t] is [Some reason] once any limit of [t] or of an ancestor has
+    been reached. Exhaustion is sticky: once [poll] returns [Some], it
+    never returns [None] again. *)
+val poll : t -> stop_reason option
+
+val should_stop : t -> bool
+
+(** [check t] raises {!Exhausted} when [poll t] is [Some]. *)
+val check : t -> unit
+
+(** [add ?cost t] charges [cost] (default 1) steps to [t] and its
+    ancestors without checking limits. *)
+val add : ?cost:int -> t -> unit
+
+(** [step ?cost t] is [add ?cost t; check t]. *)
+val step : ?cost:int -> t -> unit
+
+(** Steps charged to [t] so far (including by children). 0 for
+    {!unlimited}. *)
+val spent_steps : t -> int
+
+(** Seconds since [t] was created. 0 for {!unlimited}. *)
+val elapsed : t -> float
+
+(** Seconds until the deadline (clamped at 0), when one is set. *)
+val remaining : t -> float option
+
+(** Steps left before the step limit (clamped at 0), when one is set. *)
+val remaining_steps : t -> int option
+
+(** Bytes of allocation left before the allocation limit (clamped at 0),
+    when one is set. Takes the minimum over the ancestor chain. *)
+val remaining_alloc : t -> float option
+
+(** Whether any limit is set (a counting-only budget is not limited). *)
+val limited : t -> bool
+
+val reason_to_string : stop_reason -> string
+
+(** One-line human description of the limits, for logs and reports. *)
+val describe : t -> string

@@ -8,11 +8,13 @@
 
 type task = {
   run : int -> int -> unit;  (* half-open range [lo, hi) *)
+  stop : unit -> bool;  (* cooperative cancellation; polled before each chunk *)
   chunk : int;
   total : int;
   num_chunks : int;
   next : int Atomic.t;  (* next chunk index to claim *)
   failed : bool Atomic.t;  (* set on first exception; later chunks skip *)
+  cancelled : bool Atomic.t;  (* set once [stop] fires; later chunks skip *)
   mutable completed : int;  (* chunks executed; guarded by the pool mutex *)
   mutable error : (exn * Printexc.raw_backtrace) option;  (* guarded *)
 }
@@ -28,9 +30,13 @@ type t = {
 }
 
 (* Claim and execute chunks until the cursor is exhausted; returns how many
-   chunks this domain executed. After a failure the remaining chunks are
-   still claimed (so accounting reaches [num_chunks]) but their bodies are
-   skipped. *)
+   chunks this domain executed. After a failure or a cancellation the
+   remaining chunks are still claimed (so accounting reaches [num_chunks])
+   but their bodies are skipped — a cancelled caller pays for at most the
+   chunks already in flight, never for the queued remainder. The
+   exception stored in [task.error] is re-raised as-is on the submitter
+   (never wrapped), so a payload-carrying exception such as
+   [Budget_exceeded] reaches the caller with its partial state intact. *)
 let execute pool task =
   let executed = ref 0 in
   let continue = ref true in
@@ -39,8 +45,10 @@ let execute pool task =
     if c >= task.num_chunks then continue := false
     else begin
       incr executed;
-      if not (Atomic.get task.failed) then begin
-        try task.run (c * task.chunk) (min task.total ((c + 1) * task.chunk))
+      if not (Atomic.get task.failed || Atomic.get task.cancelled) then begin
+        try
+          if task.stop () then Atomic.set task.cancelled true
+          else task.run (c * task.chunk) (min task.total ((c + 1) * task.chunk))
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           Atomic.set task.failed true;
@@ -117,9 +125,11 @@ let with_pool ~jobs f =
 
 let default_chunk t n = max 1 ((n + (4 * t.jobs) - 1) / (4 * t.jobs))
 
-let parallel_iter_chunks t ?chunk n ~f =
+let never_stop () = false
+
+let parallel_iter_chunks t ?chunk ?(stop = never_stop) n ~f =
   if n < 0 then invalid_arg "Pool.parallel_iter_chunks: negative n";
-  if n > 0 then begin
+  if n > 0 && not (stop ()) then begin
     let chunk =
       match chunk with
       | None -> default_chunk t n
@@ -142,11 +152,13 @@ let parallel_iter_chunks t ?chunk n ~f =
       let task =
         {
           run = f;
+          stop;
           chunk;
           total = n;
           num_chunks;
           next = Atomic.make 0;
           failed = Atomic.make false;
+          cancelled = Atomic.make false;
           completed = 0;
           error = None;
         }
@@ -176,8 +188,8 @@ let parallel_iter_chunks t ?chunk n ~f =
     end
   end
 
-let parallel_for t ?chunk n ~f =
-  parallel_iter_chunks t ?chunk n ~f:(fun lo hi ->
+let parallel_for t ?chunk ?stop n ~f =
+  parallel_iter_chunks t ?chunk ?stop n ~f:(fun lo hi ->
       for i = lo to hi - 1 do
         f i
       done)

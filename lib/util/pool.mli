@@ -14,7 +14,20 @@
 
     Exceptions raised inside a task are caught on the worker, the first one
     wins, remaining chunks are skipped, and the exception is re-raised (with
-    its backtrace) on the submitting domain once the task has quiesced.
+    its backtrace) on the submitting domain once the task has quiesced. The
+    exception object is never wrapped or rebuilt, so payload-carrying
+    exceptions (e.g. a [Budget_exceeded] with salvaged partial state)
+    arrive intact.
+
+    Cooperative cancellation: iteration primitives accept [?stop], polled
+    once before each chunk runs. Once it returns [true], every
+    queued-but-unstarted chunk is skipped (on all workers) and the call
+    returns normally having executed only a subset of the range — the
+    caller is responsible for polling the same condition (typically a
+    {!Budget}) after the call and discarding the partial results. [stop]
+    must be cheap, thread-safe, and must not raise; a sticky condition
+    (one that never goes back to [false]) is required for the caller-side
+    re-check to be sound.
 
     A pool with [jobs = 1] spawns no domains and runs everything inline —
     it is behaviourally and performance-wise the sequential code path.
@@ -38,15 +51,17 @@ val shutdown : t -> unit
     down, including on exceptions. *)
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 
-(** [parallel_iter_chunks t ?chunk n ~f] calls [f lo hi] over disjoint
+(** [parallel_iter_chunks t ?chunk ?stop n ~f] calls [f lo hi] over disjoint
     ranges [\[lo, hi)] partitioning [\[0, n)]. [chunk] is the maximum range
     length (default: [n] split into ~4 chunks per worker). [f] must write
-    only state owned by its range. *)
-val parallel_iter_chunks : t -> ?chunk:int -> int -> f:(int -> int -> unit) -> unit
+    only state owned by its range. [stop] (default: never) cancels
+    queued-but-unstarted chunks; see the cancellation note above. *)
+val parallel_iter_chunks :
+  t -> ?chunk:int -> ?stop:(unit -> bool) -> int -> f:(int -> int -> unit) -> unit
 
-(** [parallel_for t ?chunk n ~f] is {!parallel_iter_chunks} with [f] called
-    once per index. *)
-val parallel_for : t -> ?chunk:int -> int -> f:(int -> unit) -> unit
+(** [parallel_for t ?chunk ?stop n ~f] is {!parallel_iter_chunks} with [f]
+    called once per index. *)
+val parallel_for : t -> ?chunk:int -> ?stop:(unit -> bool) -> int -> f:(int -> unit) -> unit
 
 (** [parallel_map t ?chunk ~f xs] maps [f] over [xs]; [f xs.(i)] runs in
     parallel but lands in slot [i], so the result equals

@@ -8,6 +8,15 @@
     differences between two [now] calls are meaningful. *)
 val now : unit -> float
 
+(** Monotonic time in integer nanoseconds — the raw clock reading behind
+    {!now}. The form deadline arithmetic ({!Budget}) wants: comparing two
+    [now_ns] readings costs no float rounding. *)
+val now_ns : unit -> int64
+
+(** [elapsed_since start_ns] is the (clamped nonnegative) seconds since the
+    [now_ns] reading [start_ns]. *)
+val elapsed_since : int64 -> float
+
 (** [time_it f] runs [f ()] and returns its result paired with the elapsed
     monotonic wall-clock seconds (never negative). *)
 val time_it : (unit -> 'a) -> 'a * float

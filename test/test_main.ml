@@ -17,6 +17,7 @@ let () =
       ("proportional", Test_proportional.suite);
       ("metrics", Test_metrics.suite);
       ("solver", Test_solver.suite);
+      ("supervisor", Test_supervisor.suite);
       ("sat", Test_sat.suite);
       ("hardness", Test_hardness.suite);
       ("text", Test_text.suite);

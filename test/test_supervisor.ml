@@ -1,0 +1,400 @@
+(* Resource governance: Supervisor ladder walking, budget exhaustion,
+   salvage/seeding, typed refusals, and the per-rung circuit breaker.
+
+   Degradation tests use step budgets, never wall-clock ones: steps are
+   charged deterministically, so "OPT exhausts mid-run and GreedySC
+   answers" is bit-reproducible on any machine. *)
+
+let fixed l = Mqdp.Coverage.Fixed l
+
+(* A dense instance: [posts] posts at regular spacing, two labels each,
+   drawn from a universe of [labels]. Every label is populated and the
+   coverage windows overlap heavily, which is the expensive regime for
+   OPT's end-pattern enumeration. *)
+let dense_instance ~posts ~labels ~spacing =
+  List.init posts (fun i ->
+      Helpers.post ~id:i
+        ~value:(float_of_int i *. spacing)
+        [ i mod labels; ((i * 7) + 3) mod labels ])
+  |> Helpers.instance_of
+
+(* Steps a computation needs, measured with a counting-only budget. *)
+let steps_needed f =
+  let b = Util.Budget.create () in
+  ignore (f b);
+  Util.Budget.spent_steps b
+
+let check_valid name inst lambda cover =
+  Alcotest.(check bool)
+    (name ^ " is a valid cover")
+    true
+    (Mqdp.Coverage.is_cover inst lambda cover)
+
+(* With an unlimited budget the supervisor is a transparent wrapper: the
+   first rung answers and the cover is bit-identical to calling the
+   algorithm directly. *)
+let unlimited_is_transparent =
+  Helpers.qtest "unlimited supervisor = direct solver"
+    (Helpers.arb_instance_lambda ())
+    (fun (inst, l) ->
+      List.for_all
+        (fun algorithm ->
+          let lambda = fixed l in
+          match Mqdp.Solver.run algorithm inst lambda with
+          | direct ->
+            let report =
+              Mqdp.Supervisor.solve ~ladder:[ algorithm ] inst lambda
+            in
+            report.Mqdp.Supervisor.answered_by
+            = Mqdp.Solver.algorithm_name algorithm
+            && report.Mqdp.Supervisor.cover = direct
+          | exception
+              ( Mqdp.Opt.Too_large _ | Mqdp.Opt.Unsupported _
+              | Mqdp.Brute_force.Too_large _ ) ->
+            true)
+        Mqdp.Solver.all_algorithms)
+
+(* Seeds are honoured by every algorithm: the seed positions appear in the
+   result and the result is still a valid cover (GreedySC and Scan+
+   pre-mark the seed's coverage; the others union it in). *)
+let seeds_are_sound =
+  Helpers.qtest "seeded run: seed subset of valid result"
+    (Helpers.arb_instance_lambda ())
+    (fun (inst, l) ->
+      let n = Mqdp.Instance.size inst in
+      let seed = List.sort_uniq Int.compare [ 0; n / 2; n - 1 ] in
+      let lambda = fixed l in
+      List.for_all
+        (fun algorithm ->
+          match Mqdp.Solver.run ~seed algorithm inst lambda with
+          | cover ->
+            List.for_all (fun p -> List.mem p cover) seed
+            && Mqdp.Coverage.is_cover inst lambda cover
+          | exception
+              ( Mqdp.Opt.Too_large _ | Mqdp.Opt.Unsupported _
+              | Mqdp.Brute_force.Too_large _ ) ->
+            true)
+        Mqdp.Solver.all_algorithms)
+
+(* Deterministic mid-OPT degradation: pick a step budget big enough for
+   GreedySC's rung but too small for OPT's, and check the ladder hands
+   over cleanly — OPT exhausts (salvaging nothing, its DP layers are not
+   positions), GreedySC answers, and the cover equals running GreedySC
+   directly. *)
+let test_opt_exhausts_greedy_answers () =
+  let inst = dense_instance ~posts:30 ~labels:5 ~spacing:0.5 in
+  let lambda = fixed 1.5 in
+  let s_opt =
+    steps_needed (fun b -> Mqdp.Opt.solve ~budget:b inst lambda)
+  in
+  let s_greedy =
+    steps_needed (fun b ->
+        Mqdp.Solver.run ~budget:b Mqdp.Solver.Greedy_sc inst lambda)
+  in
+  (* Total budget T: OPT's child slice (T/2) must fall short of OPT's
+     need, while GreedySC's child slice (~T/4) must exceed its own. *)
+  let total = (4 * s_greedy) + 64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "window exists (opt=%d greedy=%d)" s_opt s_greedy)
+    true
+    ((2 * s_greedy) + 32 < s_opt);
+  let report =
+    Mqdp.Supervisor.solve
+      ~budget:(Util.Budget.create ~max_steps:total ())
+      inst lambda
+  in
+  Alcotest.(check string) "greedy-sc answered" "greedy-sc"
+    report.Mqdp.Supervisor.answered_by;
+  (match report.Mqdp.Supervisor.attempts with
+  | first :: second :: _ ->
+    Alcotest.(check string) "opt attempted first" "opt"
+      first.Mqdp.Supervisor.rung;
+    (match first.Mqdp.Supervisor.outcome with
+    | Mqdp.Supervisor.Exhausted Util.Budget.Steps -> ()
+    | o ->
+      Alcotest.failf "opt outcome: expected exhausted (steps), got %s"
+        (Mqdp.Supervisor.outcome_to_string o));
+    Alcotest.(check int) "opt salvages nothing to seed with" 0
+      second.Mqdp.Supervisor.seeded_with
+  | attempts ->
+    Alcotest.failf "expected >= 2 attempts, got %d" (List.length attempts));
+  Alcotest.(check Helpers.sorted_ints) "same cover as direct GreedySC"
+    (Mqdp.Solver.run Mqdp.Solver.Greedy_sc inst lambda)
+    report.Mqdp.Supervisor.cover;
+  check_valid "degraded answer" inst lambda report.Mqdp.Supervisor.cover
+
+(* A zero-step budget exhausts every ladder rung immediately; the
+   unguarded instant floor still answers with a valid cover. *)
+let test_zero_budget_reaches_instant () =
+  let inst = dense_instance ~posts:30 ~labels:4 ~spacing:0.5 in
+  let lambda = fixed 1.5 in
+  let report =
+    Mqdp.Supervisor.solve
+      ~budget:(Util.Budget.create ~max_steps:0 ())
+      inst lambda
+  in
+  Alcotest.(check string) "instant answered" "instant"
+    report.Mqdp.Supervisor.answered_by;
+  Alcotest.(check int) "all three rungs plus the floor recorded" 4
+    (List.length report.Mqdp.Supervisor.attempts);
+  check_valid "instant floor" inst lambda report.Mqdp.Supervisor.cover
+
+(* OPT's pre-flight feasibility check: 24 populated labels imply a DP
+   pattern space of at least 2^24 entries, so under a small allocation
+   budget OPT must refuse with the typed exception — before allocating —
+   rather than die in the middle of the table build. *)
+let test_opt_infeasible_typed () =
+  let inst = dense_instance ~posts:48 ~labels:24 ~spacing:0.25 in
+  let lambda = fixed 1.0 in
+  let budget = Util.Budget.create ~max_alloc_bytes:5e6 () in
+  (match Mqdp.Opt.solve ~budget inst lambda with
+  | _ -> Alcotest.fail "Opt.solve should refuse 24 labels under 5MB"
+  | exception Mqdp.Opt.Infeasible { labels; bytes } ->
+    Alcotest.(check int) "labels reported" 24 labels;
+    Alcotest.(check bool) "bytes bound exceeds the budget" true (bytes > 5e6))
+
+let test_supervisor_routes_infeasible () =
+  let inst = dense_instance ~posts:48 ~labels:24 ~spacing:0.25 in
+  let lambda = fixed 1.0 in
+  let report =
+    Mqdp.Supervisor.solve
+      ~budget:(Util.Budget.create ~max_alloc_bytes:5e6 ())
+      inst lambda
+  in
+  (match report.Mqdp.Supervisor.attempts with
+  | first :: _ ->
+    Alcotest.(check string) "opt attempted first" "opt"
+      first.Mqdp.Supervisor.rung;
+    (match first.Mqdp.Supervisor.outcome with
+    | Mqdp.Supervisor.Refused msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "refusal names infeasibility: %s" msg)
+        true
+        (String.length msg >= 10 && String.sub msg 0 10 = "infeasible")
+    | o ->
+      Alcotest.failf "opt outcome: expected a refusal, got %s"
+        (Mqdp.Supervisor.outcome_to_string o))
+  | [] -> Alcotest.fail "no attempts recorded");
+  Alcotest.(check bool) "a cheaper rung answered" true
+    (report.Mqdp.Supervisor.answered_by <> "opt");
+  check_valid "post-refusal answer" inst lambda report.Mqdp.Supervisor.cover
+
+(* The acceptance scenario from the issue: |L| = 24, a 50ms budget, and
+   the answer must still be a valid cover with the report naming the rung
+   that produced it. *)
+let test_acceptance_24_labels_50ms () =
+  let inst = dense_instance ~posts:240 ~labels:24 ~spacing:0.05 in
+  let lambda = fixed 1.0 in
+  let report =
+    Mqdp.Supervisor.solve
+      ~budget:(Util.Budget.create ~deadline:0.05 ())
+      inst lambda
+  in
+  Alcotest.(check bool) "a rung is named" true
+    (report.Mqdp.Supervisor.answered_by <> "");
+  Alcotest.(check bool) "attempts recorded" true
+    (report.Mqdp.Supervisor.attempts <> []);
+  check_valid "50ms answer" inst lambda report.Mqdp.Supervisor.cover
+
+(* Branch-and-bound keeps a complete incumbent cover at all times, so
+   cutting its budget one step short of what it needs must surface the
+   incumbent as a Salvaged (already valid) answer, not fall through the
+   ladder. *)
+let test_brute_force_salvages_incumbent () =
+  let inst = dense_instance ~posts:12 ~labels:3 ~spacing:0.6 in
+  let lambda = fixed 1.8 in
+  let needed =
+    steps_needed (fun b ->
+        Mqdp.Solver.run ~budget:b Mqdp.Solver.Brute_force inst lambda)
+  in
+  Alcotest.(check bool) "instance is nontrivial" true (needed > 1);
+  let report =
+    Mqdp.Supervisor.solve
+      ~budget:(Util.Budget.create ~max_steps:(needed - 1) ())
+      ~ladder:[ Mqdp.Solver.Brute_force ]
+      inst lambda
+  in
+  Alcotest.(check string) "brute-force answered with its incumbent"
+    "brute-force" report.Mqdp.Supervisor.answered_by;
+  (match report.Mqdp.Supervisor.attempts with
+  | [ only ] ->
+    (match only.Mqdp.Supervisor.outcome with
+    | Mqdp.Supervisor.Salvaged Util.Budget.Steps -> ()
+    | o ->
+      Alcotest.failf "expected salvaged (steps), got %s"
+        (Mqdp.Supervisor.outcome_to_string o))
+  | attempts ->
+    Alcotest.failf "expected exactly 1 attempt, got %d" (List.length attempts));
+  check_valid "salvaged incumbent" inst lambda report.Mqdp.Supervisor.cover
+
+(* OPT's budget exception deliberately carries no partial: DP layers are
+   end-patterns, not committed positions. *)
+let test_opt_salvages_nothing () =
+  let inst = dense_instance ~posts:30 ~labels:5 ~spacing:0.5 in
+  match Mqdp.Opt.solve ~budget:(Util.Budget.create ~max_steps:50 ()) inst (fixed 1.5) with
+  | _ -> Alcotest.fail "50 steps should not complete OPT here"
+  | exception Mqdp.Interrupt.Budget_exceeded { reason; partial } ->
+    Alcotest.(check bool) "steps reason" true (reason = Util.Budget.Steps);
+    (match partial with
+    | Mqdp.Interrupt.No_partial -> ()
+    | Mqdp.Interrupt.Partial_cover ps ->
+      Alcotest.failf "OPT salvaged %d positions; expected none" (List.length ps))
+
+(* ladder_from: a suffix of the default ladder for members, a singleton
+   for outsiders. *)
+let test_ladder_from () =
+  Alcotest.(check bool) "scan+ suffix" true
+    (Mqdp.Supervisor.ladder_from Mqdp.Solver.Scan_plus = [ Mqdp.Solver.Scan_plus ]);
+  Alcotest.(check bool) "greedy suffix" true
+    (Mqdp.Supervisor.ladder_from Mqdp.Solver.Greedy_sc
+    = [ Mqdp.Solver.Greedy_sc; Mqdp.Solver.Scan_plus ]);
+  Alcotest.(check bool) "opt = whole ladder" true
+    (Mqdp.Supervisor.ladder_from Mqdp.Solver.Opt = Mqdp.Supervisor.default_ladder);
+  Alcotest.(check bool) "non-member is a singleton" true
+    (Mqdp.Supervisor.ladder_from Mqdp.Solver.Brute_force
+    = [ Mqdp.Solver.Brute_force ])
+
+(* The instant floor is valid under both λ families without any budget. *)
+let test_instant_floor_valid () =
+  let inst = dense_instance ~posts:50 ~labels:6 ~spacing:0.3 in
+  let lambda = fixed 1.2 in
+  check_valid "fixed lambda floor" inst lambda
+    (Mqdp.Supervisor.instant_cover inst lambda);
+  let directional = Mqdp.Coverage.Per_post_label (fun _ _ -> 0.7) in
+  check_valid "per-post lambda floor" inst directional
+    (Mqdp.Supervisor.instant_cover inst directional)
+
+(* Breaker unit behaviour: threshold opens the circuit, success closes
+   it, an elapsed cooldown allows a half-open trial, and a failed trial
+   re-arms the cooldown. *)
+let test_breaker_threshold_and_reset () =
+  let b = Mqdp.Supervisor.Breaker.create ~threshold:2 ~cooldown:1000. () in
+  Alcotest.(check bool) "fresh rung available" true
+    (Mqdp.Supervisor.Breaker.available b "opt");
+  Mqdp.Supervisor.Breaker.record_failure b "opt";
+  Alcotest.(check int) "one failure" 1 (Mqdp.Supervisor.Breaker.failures b "opt");
+  Alcotest.(check bool) "below threshold still available" true
+    (Mqdp.Supervisor.Breaker.available b "opt");
+  Mqdp.Supervisor.Breaker.record_failure b "opt";
+  Alcotest.(check bool) "circuit open" false
+    (Mqdp.Supervisor.Breaker.available b "opt");
+  Alcotest.(check bool) "other rungs unaffected" true
+    (Mqdp.Supervisor.Breaker.available b "greedy-sc");
+  Mqdp.Supervisor.Breaker.record_success b "opt";
+  Alcotest.(check int) "success resets the count" 0
+    (Mqdp.Supervisor.Breaker.failures b "opt");
+  Alcotest.(check bool) "closed again" true
+    (Mqdp.Supervisor.Breaker.available b "opt")
+
+let test_breaker_half_open () =
+  let b = Mqdp.Supervisor.Breaker.create ~threshold:1 ~cooldown:0. () in
+  Mqdp.Supervisor.Breaker.record_failure b "opt";
+  (* cooldown 0: the half-open trial is allowed immediately *)
+  Alcotest.(check bool) "half-open after cooldown" true
+    (Mqdp.Supervisor.Breaker.available b "opt");
+  let armed = Mqdp.Supervisor.Breaker.create ~threshold:1 ~cooldown:1000. () in
+  Mqdp.Supervisor.Breaker.record_failure armed "opt";
+  Alcotest.(check bool) "long cooldown keeps it open" false
+    (Mqdp.Supervisor.Breaker.available armed "opt")
+
+let test_breaker_validation () =
+  Alcotest.check_raises "threshold < 1"
+    (Invalid_argument "Supervisor.Breaker.create: threshold < 1") (fun () ->
+      ignore (Mqdp.Supervisor.Breaker.create ~threshold:0 ()));
+  Alcotest.check_raises "cooldown < 0"
+    (Invalid_argument "Supervisor.Breaker.create: cooldown < 0") (fun () ->
+      ignore (Mqdp.Supervisor.Breaker.create ~cooldown:(-1.) ()))
+
+(* Breaker integration: a rung that burned its budget once is skipped on
+   the next solve (threshold 1, long cooldown), and the report says so. *)
+let test_breaker_skips_failed_rung () =
+  let inst = dense_instance ~posts:30 ~labels:5 ~spacing:0.5 in
+  let lambda = fixed 1.5 in
+  let breaker = Mqdp.Supervisor.Breaker.create ~threshold:1 ~cooldown:1000. () in
+  let s_greedy =
+    steps_needed (fun b ->
+        Mqdp.Solver.run ~budget:b Mqdp.Solver.Greedy_sc inst lambda)
+  in
+  let budget () = Util.Budget.create ~max_steps:((4 * s_greedy) + 64) () in
+  let first = Mqdp.Supervisor.solve ~budget:(budget ()) ~breaker inst lambda in
+  Alcotest.(check string) "first call degrades past opt" "greedy-sc"
+    first.Mqdp.Supervisor.answered_by;
+  Alcotest.(check int) "opt failure recorded" 1
+    (Mqdp.Supervisor.Breaker.failures breaker "opt");
+  let second = Mqdp.Supervisor.solve ~budget:(budget ()) ~breaker inst lambda in
+  (match second.Mqdp.Supervisor.attempts with
+  | first_attempt :: _ ->
+    Alcotest.(check string) "opt still heads the ladder" "opt"
+      first_attempt.Mqdp.Supervisor.rung;
+    Alcotest.(check bool) "but the circuit is open" true
+      (first_attempt.Mqdp.Supervisor.outcome = Mqdp.Supervisor.Skipped_breaker)
+  | [] -> Alcotest.fail "no attempts recorded");
+  check_valid "second answer" inst lambda second.Mqdp.Supervisor.cover
+
+(* A payload-carrying Budget_exceeded raised inside a pool worker arrives
+   at the submitter intact — the supervisor's salvage path depends on the
+   pool never wrapping or rebuilding the exception. *)
+let test_pool_preserves_budget_payload () =
+  Util.Pool.with_pool ~jobs:3 (fun pool ->
+      match
+        Util.Pool.parallel_for pool ~chunk:1 32 ~f:(fun i ->
+            if i = 9 then
+              raise
+                (Mqdp.Interrupt.Budget_exceeded
+                   {
+                     reason = Util.Budget.Steps;
+                     partial = Mqdp.Interrupt.Partial_cover [ 3; 1; 2 ];
+                   }))
+      with
+      | () -> Alcotest.fail "exception vanished in the pool"
+      | exception Mqdp.Interrupt.Budget_exceeded { reason; partial } ->
+        Alcotest.(check bool) "reason intact" true (reason = Util.Budget.Steps);
+        Alcotest.(check Helpers.sorted_ints) "partial intact" [ 1; 2; 3 ]
+          (Mqdp.Interrupt.positions_of partial))
+
+(* Cancellation beats every other limit and compile never leaks a
+   half-built index: a pre-cancelled budget makes Solver.compile raise
+   with reason Cancelled before any geometry escapes. *)
+let test_compile_cancellation () =
+  let inst = dense_instance ~posts:60 ~labels:8 ~spacing:0.3 in
+  let budget = Util.Budget.create ~max_steps:max_int () in
+  Util.Budget.cancel budget;
+  match Mqdp.Solver.compile ~budget inst (fixed 1.5) with
+  | _ -> Alcotest.fail "compile under a cancelled budget returned an index"
+  | exception Mqdp.Interrupt.Budget_exceeded { reason; _ } ->
+    Alcotest.(check bool) "cancellation reported" true
+      (reason = Util.Budget.Cancelled)
+
+let suite =
+  [
+    unlimited_is_transparent;
+    seeds_are_sound;
+    Alcotest.test_case "mid-OPT steps budget degrades to GreedySC" `Quick
+      test_opt_exhausts_greedy_answers;
+    Alcotest.test_case "zero budget reaches the instant floor" `Quick
+      test_zero_budget_reaches_instant;
+    Alcotest.test_case "opt refuses infeasible table (typed)" `Quick
+      test_opt_infeasible_typed;
+    Alcotest.test_case "supervisor routes infeasibility refusal" `Quick
+      test_supervisor_routes_infeasible;
+    Alcotest.test_case "acceptance: 24 labels under 50ms" `Quick
+      test_acceptance_24_labels_50ms;
+    Alcotest.test_case "brute-force salvages its incumbent" `Quick
+      test_brute_force_salvages_incumbent;
+    Alcotest.test_case "opt exhaustion carries no partial" `Quick
+      test_opt_salvages_nothing;
+    Alcotest.test_case "ladder_from suffixes" `Quick test_ladder_from;
+    Alcotest.test_case "instant floor valid under both lambdas" `Quick
+      test_instant_floor_valid;
+    Alcotest.test_case "breaker threshold and reset" `Quick
+      test_breaker_threshold_and_reset;
+    Alcotest.test_case "breaker half-open after cooldown" `Quick
+      test_breaker_half_open;
+    Alcotest.test_case "breaker validation" `Quick test_breaker_validation;
+    Alcotest.test_case "breaker skips a burned rung" `Quick
+      test_breaker_skips_failed_rung;
+    Alcotest.test_case "pool preserves Budget_exceeded payload" `Quick
+      test_pool_preserves_budget_payload;
+    Alcotest.test_case "compile honours cancellation" `Quick
+      test_compile_cancellation;
+  ]

@@ -305,6 +305,50 @@ let test_pool_shutdown_idempotent () =
   Alcotest.(check (array int)) "inline after shutdown" [| 5 |]
     (Util.Pool.parallel_map pool ~f:(fun x -> x + 5) [| 0 |])
 
+(* Cooperative cancellation: once [stop] reads true, queued-but-unstarted
+   chunks are skipped and the call returns having run only a subset. A
+   sticky always-true stop must run nothing at all. *)
+let test_pool_stop_skips_chunks () =
+  Util.Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 200 in
+      let hits = Array.make n 0 in
+      Util.Pool.parallel_iter_chunks pool ~chunk:10 ~stop:(fun () -> true) n
+        ~f:(fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check int) "always-true stop runs nothing" 0
+        (Array.fold_left ( + ) 0 hits);
+      (* A stop that flips partway cancels the tail but never re-runs or
+         double-runs a chunk. *)
+      let executed = Atomic.make 0 in
+      let tripped = Atomic.make false in
+      Util.Pool.parallel_for pool ~chunk:1 ~stop:(fun () -> Atomic.get tripped) n
+        ~f:(fun _ ->
+          if Atomic.fetch_and_add executed 1 >= 20 then Atomic.set tripped true);
+      let ran = Atomic.get executed in
+      Alcotest.(check bool)
+        (Printf.sprintf "partial run (%d of %d)" ran n)
+        true
+        (ran >= 20 && ran <= n);
+      (* The pool stays healthy after a cancelled call. *)
+      Alcotest.(check (array int)) "usable afterwards" [| 0; 2; 4 |]
+        (Util.Pool.parallel_map pool ~f:(fun x -> 2 * x) [| 0; 1; 2 |]))
+
+exception Payload of int list
+
+(* Exceptions cross the pool boundary without being wrapped or rebuilt —
+   budget exhaustion relies on this to carry salvaged state. *)
+let test_pool_exception_payload_intact () =
+  Util.Pool.with_pool ~jobs:3 (fun pool ->
+      match
+        Util.Pool.parallel_for pool ~chunk:1 32 ~f:(fun i ->
+            if i = 13 then raise (Payload [ 4; 5; 6 ]))
+      with
+      | () -> Alcotest.fail "exception vanished"
+      | exception Payload xs ->
+        Alcotest.(check (list int)) "payload intact" [ 4; 5; 6 ] xs)
+
 (* Worker exceptions under deterministic fault injection: a chunk that
    raises must propagate to the submitter without deadlocking the pool or
    leaking domains — the same pool must keep serving tasks through many
@@ -373,6 +417,121 @@ let test_fault_validation () =
     (Invalid_argument "Fault.create: drop_p outside [0, 1]") (fun () ->
       ignore (Util.Fault.create ~config:{ Util.Fault.clean with drop_p = 2. } ~seed:1 ()))
 
+let test_budget_unlimited () =
+  let b = Util.Budget.unlimited in
+  Alcotest.(check bool) "not limited" false (Util.Budget.limited b);
+  Util.Budget.add ~cost:1000 b;
+  Alcotest.(check int) "never counts" 0 (Util.Budget.spent_steps b);
+  Util.Budget.cancel b;
+  Alcotest.(check bool) "cancel is a no-op" false (Util.Budget.is_cancelled b);
+  Alcotest.(check bool) "never stops" false (Util.Budget.should_stop b);
+  Alcotest.(check bool) "child is unlimited" false
+    (Util.Budget.limited (Util.Budget.child b));
+  Alcotest.(check string) "describe" "unlimited" (Util.Budget.describe b)
+
+let test_budget_counting_only () =
+  (* No limits set: counts steps and time, never exhausts. *)
+  let b = Util.Budget.create () in
+  Util.Budget.step ~cost:7 b;
+  Util.Budget.step b;
+  Alcotest.(check int) "steps counted" 8 (Util.Budget.spent_steps b);
+  Alcotest.(check (option int)) "no step limit" None (Util.Budget.remaining_steps b);
+  Alcotest.(check bool) "never exhausts" true (Util.Budget.poll b = None);
+  Alcotest.(check bool) "elapsed advances" true (Util.Budget.elapsed b >= 0.)
+
+let test_budget_steps () =
+  let b = Util.Budget.create ~max_steps:3 () in
+  Util.Budget.step b;
+  Util.Budget.step b;
+  Alcotest.(check (option int)) "one left" (Some 1) (Util.Budget.remaining_steps b);
+  Alcotest.(check bool) "not yet exhausted" true (Util.Budget.poll b = None);
+  Alcotest.check_raises "third step trips" (Util.Budget.Exhausted Util.Budget.Steps)
+    (fun () -> Util.Budget.step b);
+  (* Exhaustion is sticky. *)
+  Alcotest.(check bool) "sticky" true (Util.Budget.poll b = Some Util.Budget.Steps);
+  Alcotest.(check (option int)) "remaining clamps at 0" (Some 0)
+    (Util.Budget.remaining_steps b)
+
+let test_budget_deadline_and_priority () =
+  let b = Util.Budget.create ~deadline:0. () in
+  Alcotest.(check bool) "expired deadline trips" true
+    (Util.Budget.poll b = Some Util.Budget.Deadline);
+  (* Cancellation outranks an already-passed deadline. *)
+  Util.Budget.cancel b;
+  Alcotest.(check bool) "cancellation wins" true
+    (Util.Budget.poll b = Some Util.Budget.Cancelled);
+  let far = Util.Budget.create ~deadline:3600. () in
+  Alcotest.(check bool) "future deadline fine" true (Util.Budget.poll far = None);
+  (match Util.Budget.remaining far with
+  | Some r -> Alcotest.(check bool) "remaining sane" true (r > 0. && r <= 3600.)
+  | None -> Alcotest.fail "deadline budget reports no remaining time")
+
+let test_budget_allocation () =
+  let b = Util.Budget.create ~max_alloc_bytes:0. () in
+  (* Allocate enough to move the minor-words counter past the (zero) cap. *)
+  Sys.opaque_identity (List.init 4096 (fun i -> (i, float_of_int i))) |> ignore;
+  Alcotest.(check bool) "allocation trips" true
+    (Util.Budget.poll b = Some Util.Budget.Allocation)
+
+let test_budget_child () =
+  let parent = Util.Budget.create ~max_steps:100 () in
+  let c = Util.Budget.child parent in
+  Alcotest.(check (option int)) "child gets half the remaining steps" (Some 50)
+    (Util.Budget.remaining_steps c);
+  Util.Budget.add ~cost:10 c;
+  Alcotest.(check int) "child steps charged to parent too" 10
+    (Util.Budget.spent_steps parent);
+  (* A quarter-budget grandchild of what is left. *)
+  let grandchild = Util.Budget.child ~fraction:0.25 c in
+  Alcotest.(check (option int)) "fraction honoured" (Some 10)
+    (Util.Budget.remaining_steps grandchild);
+  (* Cancelling a child leaves the parent alive; cancelling the parent
+     exhausts the child transitively. *)
+  Util.Budget.cancel c;
+  Alcotest.(check bool) "parent unaffected by child cancel" true
+    (Util.Budget.poll parent = None);
+  let c2 = Util.Budget.child parent in
+  Util.Budget.cancel parent;
+  Alcotest.(check bool) "parent cancel reaches the child" true
+    (Util.Budget.poll c2 = Some Util.Budget.Cancelled)
+
+let test_budget_child_exhaustion_is_local () =
+  (* A child that burns its own slice does not exhaust the parent. *)
+  let parent = Util.Budget.create ~max_steps:100 () in
+  let c = Util.Budget.child parent in
+  (match Util.Budget.remaining_steps c with
+  | Some m -> Util.Budget.add ~cost:m c
+  | None -> Alcotest.fail "child has no step limit");
+  Alcotest.(check bool) "child exhausted" true
+    (Util.Budget.poll c = Some Util.Budget.Steps);
+  Alcotest.(check bool) "parent still has the other half" true
+    (Util.Budget.poll parent = None);
+  Alcotest.(check (option int)) "parent remaining" (Some 50)
+    (Util.Budget.remaining_steps parent)
+
+let test_budget_describe_and_reasons () =
+  let b = Util.Budget.create ~max_steps:5 () in
+  let d = Util.Budget.describe b in
+  Alcotest.(check bool) ("describe mentions steps: " ^ d) true
+    (String.length d > 0 && d <> "unlimited");
+  List.iter
+    (fun (r, s) -> Alcotest.(check string) "reason name" s (Util.Budget.reason_to_string r))
+    [
+      (Util.Budget.Cancelled, "cancelled");
+      (Util.Budget.Deadline, "deadline");
+      (Util.Budget.Steps, "steps");
+      (Util.Budget.Allocation, "allocation");
+    ]
+
+let test_budget_cross_domain_cancel () =
+  (* A budget shared with another domain: cancellation from the spawned
+     domain is observed by the creator on its next poll. *)
+  let b = Util.Budget.create ~max_steps:1_000_000 () in
+  let d = Domain.spawn (fun () -> Util.Budget.cancel b) in
+  Domain.join d;
+  Alcotest.(check bool) "cancel visible across domains" true
+    (Util.Budget.poll b = Some Util.Budget.Cancelled)
+
 let suite =
   [
     Alcotest.test_case "heap basics" `Quick test_heap_basic;
@@ -406,8 +565,24 @@ let suite =
     Alcotest.test_case "pool nested submission" `Quick test_pool_nested_runs_inline;
     Alcotest.test_case "pool validation" `Quick test_pool_validation;
     Alcotest.test_case "pool shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+    Alcotest.test_case "pool stop skips queued chunks" `Quick test_pool_stop_skips_chunks;
+    Alcotest.test_case "pool exception payload intact" `Quick
+      test_pool_exception_payload_intact;
     Alcotest.test_case "pool survives injected worker faults" `Quick
       test_pool_survives_injected_faults;
+    Alcotest.test_case "budget unlimited token" `Quick test_budget_unlimited;
+    Alcotest.test_case "budget counting only" `Quick test_budget_counting_only;
+    Alcotest.test_case "budget step limit" `Quick test_budget_steps;
+    Alcotest.test_case "budget deadline & priority" `Quick
+      test_budget_deadline_and_priority;
+    Alcotest.test_case "budget allocation limit" `Quick test_budget_allocation;
+    Alcotest.test_case "budget child slicing" `Quick test_budget_child;
+    Alcotest.test_case "budget child exhaustion is local" `Quick
+      test_budget_child_exhaustion_is_local;
+    Alcotest.test_case "budget describe & reasons" `Quick
+      test_budget_describe_and_reasons;
+    Alcotest.test_case "budget cross-domain cancel" `Quick
+      test_budget_cross_domain_cancel;
     Alcotest.test_case "fault injector determinism" `Quick test_fault_deterministic;
     Alcotest.test_case "fault clean config is identity" `Quick
       test_fault_clean_is_identity;
