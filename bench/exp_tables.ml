@@ -35,12 +35,15 @@ let table1 () =
              match List.find_index (fun w -> w = entity) words with
              | Some rank -> Some (rank, t.Workload.Catalog.broad)
              | None -> None)
-      |> List.sort compare
+      |> List.sort (fun (ra, ba) (rb, bb) ->
+             match Int.compare ra rb with
+             | 0 -> String.compare ba bb
+             | c -> c)
     in
     let broad = match owner with (_, b) :: _ -> b | [] -> "(mixed)" in
     rows := [ broad; string_of_int k; String.concat " " words ] :: !rows
   done;
-  let sorted = List.sort compare !rows in
+  let sorted = List.sort (List.compare String.compare) !rows in
   Harness.table [ "broad theme"; "topic"; "top keywords" ] sorted;
   let recovered =
     List.length (List.filter (fun row -> List.hd row <> "(mixed)") sorted)

@@ -74,3 +74,27 @@ let relative_error ~approx ~optimal =
 let time_per_post solve instance =
   let _, elapsed = Util.Timer.time_it (fun () -> solve instance) in
   Mqdp.Metrics.time_per_post ~elapsed instance
+
+(* Run [f] [runs] times and report (p50, p95, p99) latency in seconds,
+   read from a dedicated telemetry histogram. Quantiles come from the
+   log-bucketed registry histogram (±~4.5% bucket error) — the same
+   machinery a production deployment would scrape, which is the point:
+   the bench rows double as a regression test for the histogram path.
+   The histogram is reset first and telemetry is restored to its previous
+   state afterwards, so surrounding measurements are unaffected. *)
+let latency_quantiles ~runs f =
+  if runs < 1 then invalid_arg "Harness.latency_quantiles: runs < 1";
+  let h = Util.Telemetry.histogram "bench.latency" in
+  Util.Telemetry.reset_histogram h;
+  let was_enabled = Util.Telemetry.enabled () in
+  Util.Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_enabled then Util.Telemetry.disable ())
+    (fun () ->
+      for _ = 1 to runs do
+        let _, elapsed = Util.Timer.time_it f in
+        Util.Telemetry.observe h elapsed
+      done);
+  ( Util.Telemetry.quantile h 50.,
+    Util.Telemetry.quantile h 95.,
+    Util.Telemetry.quantile h 99. )

@@ -100,5 +100,7 @@ let run () =
     results;
   Harness.table
     [ "benchmark"; "us/run (OLS)"; "r²" ]
-    (List.sort compare !rows);
+    (* Typed comparator: polymorphic [compare] on string lists works today
+       but silently picks up whatever representation lands in the rows. *)
+    (List.sort (List.compare String.compare) !rows);
   alloc_tests inst

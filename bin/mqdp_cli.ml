@@ -157,6 +157,41 @@ let expect_rung_arg =
           "Exit non-zero unless the named ladder rung (opt, greedy-sc, \
            scan+, instant, ...) produced the answer. For CI assertions.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write spans as Chrome-trace JSONL to \
+           \\$(docv) (one complete event per line). Wrap the lines in \
+           [...] to load the file in chrome://tracing or Perfetto.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable telemetry and print the counter/gauge/histogram registry \
+           snapshot after the solve.")
+
+(* Run [f] with telemetry enabled when --trace/--metrics ask for it; always
+   restore the disabled/null-sink resting state, even if [f] raises. *)
+let with_telemetry ~trace ~metrics f =
+  if trace = None && not metrics then f ()
+  else begin
+    let oc = Option.map open_out trace in
+    Option.iter (fun oc -> Util.Telemetry.set_sink (Util.Telemetry.Trace.to_channel oc)) oc;
+    Util.Telemetry.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Util.Telemetry.disable ();
+        Util.Telemetry.set_sink Util.Telemetry.null_sink;
+        Option.iter close_out oc;
+        Option.iter (Printf.printf "wrote trace events to %s\n") trace;
+        if metrics then Util.Telemetry.print_snapshot stdout)
+      f
+  end
+
 let save_cover out inst cover =
   match out with
   | Some path ->
@@ -200,18 +235,22 @@ let governed_solve ~jobs ~algorithm ~timeout_ms ~max_steps ~expect_rung inst
 
 let solve_cmd =
   let run seed duration rate labels overlap lambda algorithm jobs timeout_ms
-      max_steps expect_rung input out =
+      max_steps expect_rung input out trace metrics =
     (if jobs < 1 then (
        Printf.eprintf "--jobs must be >= 1, got %d\n" jobs;
        exit 1));
     let inst = load_or_generate ~input ~seed ~duration ~rate ~labels ~overlap in
     print_instance_stats inst;
     let lambda = Mqdp.Coverage.Fixed lambda in
+    with_telemetry ~trace ~metrics @@ fun () ->
     if timeout_ms <> None || max_steps <> None || expect_rung <> None then
       governed_solve ~jobs ~algorithm ~timeout_ms ~max_steps ~expect_rung inst
         lambda out
     else begin
-      let result = Mqdp.Solver.solve ~jobs algorithm inst lambda in
+      (* Compile explicitly so the trace separates the index build from the
+         selection loop. *)
+      let index = Mqdp.Solver.compile ~jobs inst lambda in
+      let result = Mqdp.Solver.solve_compiled algorithm index in
       Printf.printf "%s: cover size %d (%.2f%% of stream), %.2f ms, valid=%b\n"
         (Mqdp.Solver.algorithm_name algorithm)
         result.Mqdp.Solver.size
@@ -227,7 +266,7 @@ let solve_cmd =
     Term.(
       const run $ seed_arg $ duration_arg $ rate_arg $ labels_arg $ overlap_arg
       $ lambda_arg $ algorithm_arg $ jobs_arg $ timeout_arg $ max_steps_arg
-      $ expect_rung_arg $ in_arg $ out_arg)
+      $ expect_rung_arg $ in_arg $ out_arg $ trace_arg $ metrics_arg)
 
 (* stream *)
 

@@ -96,7 +96,37 @@ let one_round seed =
   let instant =
     List.length (Mqdp.Stream_scan.solve_instant inst lambda).Mqdp.Stream.cover
   in
-  check ~seed (instant <= 2 * s * optimal) "instant output exceeded 2s bound"
+  check ~seed (instant <= 2 * s * optimal) "instant output exceeded 2s bound";
+  (* Telemetry is observation only: the same solve with the registry and a
+     live span sink enabled must produce bit-identical covers, through the
+     plain solver and through the governed ladder alike. *)
+  let with_telemetry f =
+    Util.Telemetry.enable ();
+    Util.Telemetry.set_sink
+      { Util.Telemetry.on_span = (fun ~name:_ ~depth:_ ~start_ns:_ ~dur_ns:_ ~args:_ -> ()) };
+    Fun.protect
+      ~finally:(fun () ->
+        Util.Telemetry.disable ();
+        Util.Telemetry.set_sink Util.Telemetry.null_sink)
+      f
+  in
+  List.iter
+    (fun algo ->
+      let off = (Mqdp.Solver.solve algo inst lambda).Mqdp.Solver.cover in
+      let on = with_telemetry (fun () -> (Mqdp.Solver.solve algo inst lambda).Mqdp.Solver.cover) in
+      check ~seed (on = off)
+        (Mqdp.Solver.algorithm_name algo ^ " cover changed with telemetry enabled"))
+    [ Mqdp.Solver.Greedy_sc; Mqdp.Solver.Greedy_sc_heap; Mqdp.Solver.Scan;
+      Mqdp.Solver.Scan_plus ];
+  let governed () =
+    (Mqdp.Supervisor.solve
+       ~budget:(Util.Budget.create ~max_steps:(50 + (seed mod 500)) ())
+       inst lambda)
+      .Mqdp.Supervisor.cover
+  in
+  let gov_off = governed () in
+  let gov_on = with_telemetry governed in
+  check ~seed (gov_on = gov_off) "governed cover changed with telemetry enabled"
 
 (* ---------------- budget mode: the resource governor ---------------- *)
 

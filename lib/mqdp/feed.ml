@@ -65,6 +65,23 @@ type t = {
 exception Rejected of { id : int; what : string }
 exception Corrupt of string
 
+(* Registry mirrors of the per-feed counters. These count events observed
+   by this process: restoring a checkpoint does NOT replay its counter
+   block into the registry (that would double-count across a crash), so
+   the registry view is "work done here", the checkpoint view is "work
+   done ever". *)
+let m_accepted = Util.Telemetry.counter "feed.accepted"
+let m_released = Util.Telemetry.counter "feed.released"
+let m_reordered = Util.Telemetry.counter "feed.reordered"
+let m_late_dropped = Util.Telemetry.counter "feed.late_dropped"
+let m_late_clamped = Util.Telemetry.counter "feed.late_clamped"
+let m_duplicate_dropped = Util.Telemetry.counter "feed.duplicate_dropped"
+let m_non_finite_dropped = Util.Telemetry.counter "feed.non_finite_dropped"
+let m_non_finite_clamped = Util.Telemetry.counter "feed.non_finite_clamped"
+let m_rejected = Util.Telemetry.counter "feed.rejected"
+let m_shed = Util.Telemetry.counter "feed.shed"
+let m_buffer_depth = Util.Telemetry.gauge "feed.buffer_depth"
+
 let validate_config cfg =
   if cfg.reorder_window < 0 then invalid_arg "Feed.create: negative reorder_window";
   match cfg.overload_budget with
@@ -117,6 +134,7 @@ let watermark t = if t.watermark = neg_infinity then None else Some t.watermark
 
 let reject t ~id what =
   t.c_rejected <- t.c_rejected + 1;
+  Util.Telemetry.incr m_rejected;
   raise (Rejected { id; what })
 
 (* Demote labels until the live deadline count fits the budget. The count,
@@ -137,6 +155,7 @@ let rec shed_overload t acc =
       | None -> acc
       | Some (_, shed, es) ->
         t.c_shed <- t.c_shed + shed;
+        Util.Telemetry.add m_shed shed;
         shed_overload t (acc @ es)
     end
 
@@ -144,6 +163,7 @@ let release t post =
   let es = Online.push t.engine post in
   t.watermark <- post.Post.value;
   t.c_released <- t.c_released + 1;
+  Util.Telemetry.incr m_released;
   es
 
 let drain_over t limit =
@@ -155,6 +175,7 @@ let drain_over t limit =
       | Some p -> loop (acc @ release t p)
   in
   let acc = loop [] in
+  Util.Telemetry.set m_buffer_depth (Util.Heap.length t.buffer);
   shed_overload t acc
 
 let push t post =
@@ -169,10 +190,12 @@ let push t post =
       | Raise -> reject t ~id (Printf.sprintf "non-finite timestamp %h" value)
       | Drop ->
         t.c_non_finite_dropped <- t.c_non_finite_dropped + 1;
+        Util.Telemetry.incr m_non_finite_dropped;
         raise_notrace Exit
       | Clamp ->
         let v = if t.watermark = neg_infinity then 0. else t.watermark in
         t.c_non_finite_clamped <- t.c_non_finite_clamped + 1;
+        Util.Telemetry.incr m_non_finite_clamped;
         ({ post with Post.value = v }, v)
     end
   in
@@ -182,6 +205,7 @@ let push t post =
     | Raise -> reject t ~id "duplicate id"
     | Drop | Clamp ->
       t.c_duplicate_dropped <- t.c_duplicate_dropped + 1;
+      Util.Telemetry.incr m_duplicate_dropped;
       raise_notrace Exit
   end;
   (* 3. Late: older than the release watermark — beyond what the reorder
@@ -195,16 +219,24 @@ let push t post =
           (Printf.sprintf "late arrival: %g behind watermark %g" value t.watermark)
       | Drop ->
         t.c_late_dropped <- t.c_late_dropped + 1;
+        Util.Telemetry.incr m_late_dropped;
         raise_notrace Exit
       | Clamp ->
         t.c_late_clamped <- t.c_late_clamped + 1;
+        Util.Telemetry.incr m_late_clamped;
         ({ post with Post.value = t.watermark }, t.watermark)
     end
   in
   Hashtbl.replace t.seen id ();
   t.c_accepted <- t.c_accepted + 1;
-  if value < t.high then t.c_reordered <- t.c_reordered + 1 else t.high <- value;
+  Util.Telemetry.incr m_accepted;
+  if value < t.high then begin
+    t.c_reordered <- t.c_reordered + 1;
+    Util.Telemetry.incr m_reordered
+  end
+  else t.high <- value;
   Util.Heap.push t.buffer post;
+  Util.Telemetry.set m_buffer_depth (Util.Heap.length t.buffer);
   (post, drain_over t t.cfg.reorder_window)
 
 type outcome = { admitted : Post.t option; emissions : Online.emission list }

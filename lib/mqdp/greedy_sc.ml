@@ -36,6 +36,19 @@ let create_state ?pool ?budget instance lambda =
   state_of_index ?pool ?budget
     (Pair_index.build ?pool ?budget ~coverers:true instance lambda)
 
+(* Registry handles are module-level: interning is a hash lookup under a
+   mutex, far too costly for once-per-pick bumping. *)
+let m_picks = Util.Telemetry.counter "greedy.picks"
+let m_marks = Util.Telemetry.counter "greedy.marks"
+let m_heap_ops = Util.Telemetry.counter "greedy.heap_ops"
+
+(* A pick's gain is by construction the number of pairs [select] is about
+   to newly cover, so the marks counter costs one add per pick instead of
+   one increment per pair in the hot loop. *)
+let count_pick state k =
+  Util.Telemetry.incr m_picks;
+  Util.Telemetry.add m_marks state.gain.(k)
+
 let select state k =
   let decrement k' = state.gain.(k') <- state.gain.(k') - 1 in
   Pair_index.iter_covered_ranges state.index k (fun first last ->
@@ -67,6 +80,7 @@ let solve_linear budget state initial =
     match argmax_gain state with
     | None -> acc
     | Some k ->
+      count_pick state k;
       select state k;
       loop (k :: acc)
   in
@@ -76,19 +90,26 @@ let solve_heap budget state initial =
   (* Max-heap of (gain snapshot, position); stale entries are refreshed. *)
   let cmp (ga, _) (gb, _) = Int.compare gb ga in
   let heap = Util.Heap.create cmp in
-  Array.iteri (fun k g -> if g > 0 then Util.Heap.push heap (g, k)) state.gain;
+  let push g k =
+    Util.Telemetry.incr m_heap_ops;
+    Util.Heap.push heap (g, k)
+  in
+  Array.iteri (fun k g -> if g > 0 then push g k) state.gain;
   let partial acc () = Interrupt.Partial_cover acc in
   let rec loop acc =
     Interrupt.step ~partial:(partial acc) budget;
+    Util.Telemetry.incr m_heap_ops;
     match Util.Heap.pop heap with
     | None -> acc
     | Some (g, k) ->
       if g <> state.gain.(k) then begin
-        if state.gain.(k) > 0 then Util.Heap.push heap (state.gain.(k), k);
+        (* Stale entry: refresh lazily. *)
+        if state.gain.(k) > 0 then push state.gain.(k) k;
         loop acc
       end
       else if g = 0 then acc
       else begin
+        count_pick state k;
         select state k;
         loop (k :: acc)
       end

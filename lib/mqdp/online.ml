@@ -64,6 +64,12 @@ let create ~lambda mode =
     live_pending = 0;
   }
 
+let m_heap_pushes = Util.Telemetry.counter "online.heap_pushes"
+let m_heap_pops = Util.Telemetry.counter "online.heap_pops"
+let m_compactions = Util.Telemetry.counter "online.compactions"
+let m_deadline_queue = Util.Telemetry.gauge "online.deadline_queue"
+let m_pending_labels = Util.Telemetry.gauge "online.pending_labels"
+
 (* Every pending-list mutation funnels through here so the live-label
    counter (the overload signal — deterministic across checkpoint/restore,
    unlike the heap length, which depends on stale-entry history) cannot
@@ -73,6 +79,7 @@ let set_pending t st p =
   | [], _ :: _ -> t.live_pending <- t.live_pending + 1
   | _ :: _, [] -> t.live_pending <- t.live_pending - 1
   | [], [] | _ :: _, _ :: _ -> ());
+  Util.Telemetry.set m_pending_labels t.live_pending;
   st.pending <- p
 
 let state t a =
@@ -102,15 +109,19 @@ let plus_of t =
 let compact_slack = 8
 
 let compact t =
+  Util.Telemetry.incr m_compactions;
   let live =
     Hashtbl.fold
       (fun a st acc -> if st.deadline < infinity then (st.deadline, a) :: acc else acc)
       t.states []
   in
-  t.heap <- Util.Heap.of_list heap_cmp live
+  t.heap <- Util.Heap.of_list heap_cmp live;
+  Util.Telemetry.set m_deadline_queue (Util.Heap.length t.heap)
 
 let push_deadline t a d =
+  Util.Telemetry.incr m_heap_pushes;
   Util.Heap.push t.heap (d, a);
+  Util.Telemetry.set m_deadline_queue (Util.Heap.length t.heap);
   if Util.Heap.length t.heap > (2 * Hashtbl.length t.states) + compact_slack then
     compact t
 
@@ -179,6 +190,8 @@ let fire_due t out ~until ~inclusive =
     | Some (d, _) when due d -> begin
       match Util.Heap.pop t.heap with
       | Some entry ->
+        Util.Telemetry.incr m_heap_pops;
+        Util.Telemetry.set m_deadline_queue (Util.Heap.length t.heap);
         fire t out entry;
         loop ()
       | None -> ()
@@ -288,6 +301,8 @@ let degrade_earliest t ~now =
     match Util.Heap.pop t.heap with
     | None -> None
     | Some (d, a) ->
+      Util.Telemetry.incr m_heap_pops;
+      Util.Telemetry.set m_deadline_queue (Util.Heap.length t.heap);
       let st = state t a in
       if st.pending <> [] && st.deadline = d then Some (a, st) else pick ()
   in

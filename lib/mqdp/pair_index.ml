@@ -51,8 +51,8 @@ let rank_of lp pos =
   done;
   !lo
 
-let build ?pool ?(budget = Util.Budget.unlimited) ?(coverers = true) instance
-    lambda =
+let build_unspanned ?pool ?(budget = Util.Budget.unlimited) ?(coverers = true)
+    instance lambda =
   let n = Instance.size instance in
   let total = Instance.total_pairs instance in
   let max_label = Instance.max_label instance in
@@ -255,6 +255,10 @@ let build ?pool ?(budget = Util.Budget.unlimited) ?(coverers = true) instance
   Interrupt.check budget;
   { instance; lambda; base; pair_pos; pair_value; pair_reach; best; cov;
     own_off; own_pair; range_first; range_last }
+
+let build ?pool ?budget ?coverers instance lambda =
+  Util.Telemetry.span ~name:"pair_index.build" (fun () ->
+      build_unspanned ?pool ?budget ?coverers instance lambda)
 
 let instance t = t.instance
 let lambda t = t.lambda

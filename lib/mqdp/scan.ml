@@ -29,9 +29,20 @@ let chain ?(budget = Util.Budget.unlimited) index a =
   in
   loop 0 []
 
+(* Counters record materialized picks, not speculative chain entries: a
+   chain computed as a Scan+ pick cache only counts when consulted. *)
+let m_picks = Util.Telemetry.counter "scan.picks"
+let m_marks = Util.Telemetry.counter "scan.marks"
+let m_cache_hits = Util.Telemetry.counter "scan.cache_hits"
+let m_cache_misses = Util.Telemetry.counter "scan.cache_misses"
+
 let solve_label_indexed ?budget index a =
   let base = Pair_index.label_base index a in
-  List.map (fun (_, j) -> Pair_index.pair_pos index (base + j)) (chain ?budget index a)
+  List.map
+    (fun (_, j) ->
+      Util.Telemetry.incr m_picks;
+      Pair_index.pair_pos index (base + j))
+    (chain ?budget index a)
 
 let solve_label ?budget instance lambda a =
   solve_label_indexed ?budget (Pair_index.build ?budget ~coverers:false instance lambda) a
@@ -69,7 +80,11 @@ let solve_indexed ?pool ?budget index =
         (List.mapi
            (fun idx a ->
              let base = Pair_index.label_base index a in
-             List.map (fun (_, j) -> Pair_index.pair_pos index (base + j)) chains.(idx))
+             List.map
+               (fun (_, j) ->
+                 Util.Telemetry.incr m_picks;
+                 Pair_index.pair_pos index (base + j))
+               chains.(idx))
            universe)
   with
   | positions -> sorted_unique positions
@@ -92,8 +107,13 @@ let solve_plus_indexed ?(order = Given) ?pool ?(budget = Util.Budget.unlimited)
     ?(seed = []) index =
   let covered = Bytes.make (Pair_index.total_pairs index) '\000' in
   let mark_covered_by picked =
+    (* Marks are accumulated locally and added once per pick — one atomic
+       op instead of one per range. *)
+    let marked = ref 0 in
     Pair_index.iter_covered_ranges index picked (fun first last ->
-        Bytes.fill covered first (last - first + 1) '\001')
+        marked := !marked + (last - first + 1);
+        Bytes.fill covered first (last - first + 1) '\001');
+    Util.Telemetry.add m_marks !marked
   in
   (* Seed positions are committed up front: their coverage is pre-marked
      and they ride along in the result, so the answer covers the full pair
@@ -135,8 +155,12 @@ let solve_plus_indexed ?(order = Given) ?pool ?(budget = Util.Budget.unlimited)
         | _ -> None
       in
       match lookup () with
-      | Some j -> j
-      | None -> Pair_index.best_coverer index a (base + i) - base
+      | Some j ->
+        Util.Telemetry.incr m_cache_hits;
+        j
+      | None ->
+        Util.Telemetry.incr m_cache_misses;
+        Pair_index.best_coverer index a (base + i) - base
     in
     let rec loop i =
       if i < n then begin
@@ -145,6 +169,7 @@ let solve_plus_indexed ?(order = Given) ?pool ?(budget = Util.Budget.unlimited)
         else begin
           let j = pick_at i in
           let picked = Pair_index.pair_pos index (base + j) in
+          Util.Telemetry.incr m_picks;
           picks := picked :: !picks;
           mark_covered_by picked;
           (* [picked] covers pair (i, a), so the flag at i is now set. *)

@@ -59,6 +59,7 @@ let run ?pool ?budget ?(seed = []) algorithm instance lambda =
   let union cover =
     if seed = [] then cover else List.sort_uniq Int.compare (List.rev_append seed cover)
   in
+  Util.Telemetry.span ~name:("solve." ^ algorithm_name algorithm) @@ fun () ->
   match algorithm with
   | Opt -> union (Opt.solve ?budget instance lambda)
   | Brute_force -> union (Brute_force.solve ?budget instance lambda)
@@ -82,11 +83,13 @@ let solve ?(jobs = 1) ?budget algorithm instance lambda =
 
 let compile ?(jobs = 1) ?budget instance lambda =
   if jobs < 1 then invalid_arg "Solver.compile: jobs < 1";
+  Util.Telemetry.span ~name:"solver.compile" @@ fun () ->
   if jobs = 1 then Pair_index.build ?budget instance lambda
   else Util.Pool.with_pool ~jobs (fun pool -> Pair_index.build ~pool ?budget instance lambda)
 
 let solve_compiled ?budget algorithm index =
   let run () =
+    Util.Telemetry.span ~name:("solve." ^ algorithm_name algorithm) @@ fun () ->
     match algorithm with
     | Opt -> Opt.solve ?budget (Pair_index.instance index) (Pair_index.lambda index)
     | Brute_force ->

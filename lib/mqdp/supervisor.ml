@@ -32,14 +32,29 @@ module Breaker = struct
       e.failures < t.threshold
       || Util.Timer.now () -. e.opened_at >= t.cooldown
 
-  let record_success t rung = (entry t rung).failures <- 0
+  (* Rungs currently tripped (at/above the failure threshold), exposed as
+     a gauge. Cooldown expiry is not reflected until the next record — the
+     gauge tracks state transitions, not the clock. *)
+  let m_open = Util.Telemetry.gauge "supervisor.breaker_open"
+
+  let update_open_gauge t =
+    if Util.Telemetry.enabled () then
+      Util.Telemetry.set m_open
+        (Hashtbl.fold
+           (fun _ e acc -> if e.failures >= t.threshold then acc + 1 else acc)
+           t.entries 0)
+
+  let record_success t rung =
+    (entry t rung).failures <- 0;
+    update_open_gauge t
 
   (* (Re)arming the cooldown on every failure at or past the threshold
      means a failed half-open trial closes the window again. *)
   let record_failure t rung =
     let e = entry t rung in
     e.failures <- e.failures + 1;
-    if e.failures >= t.threshold then e.opened_at <- Util.Timer.now ()
+    if e.failures >= t.threshold then e.opened_at <- Util.Timer.now ();
+    update_open_gauge t
 end
 
 type outcome =
@@ -100,11 +115,25 @@ let instant_cover instance lambda =
 
 let union a b = List.sort_uniq Int.compare (List.rev_append a b)
 
+let outcome_counter =
+  let answered = Util.Telemetry.counter "supervisor.answered"
+  and salvaged = Util.Telemetry.counter "supervisor.salvaged"
+  and exhausted = Util.Telemetry.counter "supervisor.exhausted"
+  and refused = Util.Telemetry.counter "supervisor.refused"
+  and skipped = Util.Telemetry.counter "supervisor.skipped_breaker" in
+  function
+  | Answered -> answered
+  | Salvaged _ -> salvaged
+  | Exhausted _ -> exhausted
+  | Refused _ -> refused
+  | Skipped_breaker -> skipped
+
 let solve ?pool ?(budget = Util.Budget.unlimited) ?breaker
     ?(ladder = default_ladder) instance lambda =
   let start = Util.Timer.now_ns () in
   let attempts = ref [] in
   let record rung outcome seeded_with rung_elapsed =
+    Util.Telemetry.incr (outcome_counter outcome);
     attempts := { rung; outcome; seeded_with; rung_elapsed } :: !attempts
   in
   let allowed rung =
@@ -148,7 +177,16 @@ let solve ?pool ?(budget = Util.Budget.unlimited) ?breaker
           if rest = [] then budget else Util.Budget.child ~fraction:0.5 budget
         in
         let t0 = Util.Timer.now_ns () in
-        match Solver.run ?pool ~budget:rung_budget ~seed algorithm instance lambda with
+        (* The span re-raises after closing, so the exception patterns
+           below still see Budget_exceeded & friends; the budget spend is
+           attached at span close, after the rung has run. *)
+        let run_rung () =
+          Util.Telemetry.span
+            ~name:("supervisor.rung." ^ rung)
+            ~args:(fun () -> Util.Budget.spend_attrs rung_budget)
+            (fun () -> Solver.run ?pool ~budget:rung_budget ~seed algorithm instance lambda)
+        in
+        match run_rung () with
         | cover when valid cover ->
           record rung Answered seeded (Util.Timer.elapsed_since t0);
           note_success rung;

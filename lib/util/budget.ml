@@ -146,7 +146,15 @@ let child ?(fraction = 0.5) t =
         (remaining t)
     in
     let max_steps =
-      Option.map (fun r -> int_of_float (float_of_int r *. fraction)) (remaining_steps t)
+      (* Floor at one step: [int_of_float] truncates small remainders to 0,
+         which made the child trip [Steps] at its very first poll (0 >= 0)
+         — the Supervisor ladder could then skip every speculative rung
+         with budget still left. A 1-step child is safe even when the
+         parent is at 0: child steps are charged upward, so the parent's
+         own limit still trips on the next poll. *)
+      Option.map
+        (fun r -> max 1 (int_of_float (float_of_int r *. fraction)))
+        (remaining_steps t)
     in
     let max_alloc_bytes = own_remaining_alloc t in
     make ?deadline_ns ?max_steps ?max_alloc_bytes ~parent:t ~counting:true ()
@@ -157,6 +165,26 @@ let reason_to_string = function
   | Deadline -> "deadline"
   | Steps -> "steps"
   | Allocation -> "allocation"
+
+let spend_attrs t =
+  if not t.counting then [ ("budget", "unlimited") ]
+  else begin
+    let base =
+      [
+        ("budget.steps", string_of_int (spent_steps t));
+        ("budget.elapsed_ms", Printf.sprintf "%.3f" (elapsed t *. 1e3));
+      ]
+    in
+    let opt name fmt r = Option.map (fun v -> (name, fmt v)) r in
+    base
+    @ List.filter_map Fun.id
+        [
+          opt "budget.remaining_ms" (fun r -> Printf.sprintf "%.3f" (r *. 1e3)) (remaining t);
+          opt "budget.remaining_steps" string_of_int (remaining_steps t);
+          opt "budget.remaining_alloc" (Printf.sprintf "%.0f") (remaining_alloc t);
+          (if is_cancelled t then Some ("budget.cancelled", "true") else None);
+        ]
+  end
 
 let describe t =
   if not (limited t) then "unlimited"

@@ -104,3 +104,9 @@ val reason_to_string : stop_reason -> string
 
 (** One-line human description of the limits, for logs and reports. *)
 val describe : t -> string
+
+(** Spend snapshot as telemetry span attributes: steps spent, elapsed
+    milliseconds, and whichever remaining limits are set. [[("budget",
+    "unlimited")]] for {!unlimited}. Intended as the [?args] thunk of
+    {!Telemetry.span} so a rung's span records what it cost. *)
+val spend_attrs : t -> (string * string) list

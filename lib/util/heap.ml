@@ -55,8 +55,16 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      (* Overwrite the vacated slot with a live element so the popped one
+         becomes unreachable — otherwise large picks/closures stay pinned
+         by the backing array (a space leak under push/pop churn). *)
+      h.data.(h.size) <- h.data.(0);
       sift_down h 0
-    end;
+    end
+    else
+      (* Popping the last element: drop the backing array entirely; there
+         is no live element to overwrite the slot with. *)
+      h.data <- [||];
     Some root
   end
 

@@ -20,7 +20,10 @@ val push : 'a t -> 'a -> unit
 (** [peek h] is the minimum element, or [None] when empty. *)
 val peek : 'a t -> 'a option
 
-(** [pop h] removes and returns the minimum element, or [None] when empty. *)
+(** [pop h] removes and returns the minimum element, or [None] when empty.
+    The vacated backing-array slot is cleared (overwritten with a live
+    element, or the array dropped when the heap empties), so a popped
+    element does not stay reachable through the heap. *)
 val pop : 'a t -> 'a option
 
 (** [pop_exn h] is [pop] but raises [Invalid_argument] when empty. *)

@@ -37,6 +37,27 @@ type t = {
    exception stored in [task.error] is re-raised as-is on the submitter
    (never wrapped), so a payload-carrying exception such as
    [Budget_exceeded] reaches the caller with its partial state intact. *)
+let m_chunks = Telemetry.counter "pool.chunks"
+let m_tasks = Telemetry.counter "pool.tasks"
+let m_busy_ns = Telemetry.counter "pool.busy_ns"
+let m_queue_depth = Telemetry.gauge "pool.queue_depth"
+
+(* Instrumented chunk execution: a "pool.chunk" span per chunk (visible in
+   the trace, one row per worker domain), total busy nanoseconds across
+   workers, and the queue depth at claim time. All behind one enabled
+   check so the disabled path is [task.run] and a branch. *)
+let run_chunk task lo hi =
+  if Telemetry.enabled () then begin
+    Telemetry.incr m_chunks;
+    Telemetry.set m_queue_depth (max 0 (task.num_chunks - Atomic.get task.next));
+    let t0 = Timer.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.add m_busy_ns (Int64.to_int (Int64.sub (Timer.now_ns ()) t0)))
+      (fun () -> Telemetry.span ~name:"pool.chunk" (fun () -> task.run lo hi))
+  end
+  else task.run lo hi
+
 let execute pool task =
   let executed = ref 0 in
   let continue = ref true in
@@ -48,7 +69,7 @@ let execute pool task =
       if not (Atomic.get task.failed || Atomic.get task.cancelled) then begin
         try
           if task.stop () then Atomic.set task.cancelled true
-          else task.run (c * task.chunk) (min task.total ((c + 1) * task.chunk))
+          else run_chunk task (c * task.chunk) (min task.total ((c + 1) * task.chunk))
         with e ->
           let bt = Printexc.get_raw_backtrace () in
           Atomic.set task.failed true;
@@ -171,6 +192,7 @@ let parallel_iter_chunks t ?chunk ?(stop = never_stop) n ~f =
       end
       else begin
         t.current <- Some task;
+        Telemetry.incr m_tasks;
         Condition.broadcast t.wake;
         Mutex.unlock t.mutex;
         let executed = execute t task in

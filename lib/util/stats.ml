@@ -45,8 +45,15 @@ let stddev xs =
 let percentile p xs =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0, 100]";
+  (* NaN has no rank: polymorphic compare used to sort it arbitrarily and
+     silently poison the interpolation. Reject it instead. *)
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.percentile: NaN input")
+    xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* [Float.compare], not polymorphic [compare]: unboxed comparisons in
+     the bench hot path, and a total order we actually specified. *)
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
@@ -64,6 +71,9 @@ let histogram ~buckets ~lo ~hi xs =
   let counts = Array.make buckets 0 in
   let width = (hi -. lo) /. float_of_int buckets in
   let bucket_of x =
+    (* [int_of_float nan] is undefined (it happened to land in bucket 0,
+       silently skewing the histogram); reject NaN like [percentile]. *)
+    if Float.is_nan x then invalid_arg "Stats.histogram: NaN input";
     let b = int_of_float ((x -. lo) /. width) in
     if b < 0 then 0 else if b >= buckets then buckets - 1 else b
   in

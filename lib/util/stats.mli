@@ -25,8 +25,9 @@ val mean : float array -> float
 val stddev : float array -> float
 
 (** [percentile p xs] for [p] in [0, 100] by linear interpolation on the
-    sorted copy of [xs]. Raises [Invalid_argument] on an empty array or an
-    out-of-range [p]. *)
+    sorted copy of [xs] (sorted with [Float.compare]). Raises
+    [Invalid_argument] on an empty array, an out-of-range [p], or any NaN
+    in [xs] — NaN has no rank. *)
 val percentile : float -> float array -> float
 
 (** [median xs] is [percentile 50. xs]. *)
@@ -34,5 +35,6 @@ val median : float array -> float
 
 (** [histogram ~buckets ~lo ~hi xs] counts values into [buckets] equal-width
     bins over [lo, hi); values outside the range are clamped into the first
-    or last bin. Raises [Invalid_argument] if [buckets <= 0] or [hi <= lo]. *)
+    or last bin. Raises [Invalid_argument] if [buckets <= 0], [hi <= lo],
+    or any value is NaN. *)
 val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array

@@ -1,0 +1,265 @@
+(* Process-wide metrics registry + span tracing. See telemetry.mli for
+   the contract. Everything mutable is either an Atomic (hot-path values)
+   or guarded by [registry_mutex] (registration, sink swap) — the enabled
+   hot path never takes a lock. *)
+
+type counter = { c_name : string; value : int Atomic.t }
+type gauge = { g_name : string; level : int Atomic.t }
+
+(* Geometric buckets, ratio 2^(1/8): bucket 0 catches everything <= lo;
+   bucket b >= 1 covers (lo * ratio^(b-1), lo * ratio^b]. 320 buckets span
+   1 ns .. lo * 2^40 ~ 1100 s. *)
+let num_buckets = 320
+let bucket_lo = 1e-9
+let log_ratio = log 2. /. 8.
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array;
+  total : int Atomic.t;
+  sum_ns : int Atomic.t;
+}
+
+(* Disabled is the resting state: every record operation is one atomic
+   load and a branch. *)
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+type sink = {
+  on_span :
+    name:string ->
+    depth:int ->
+    start_ns:int64 ->
+    dur_ns:int64 ->
+    args:(string * string) list ->
+    unit;
+}
+
+let null_sink = { on_span = (fun ~name:_ ~depth:_ ~start_ns:_ ~dur_ns:_ ~args:_ -> ()) }
+
+let sink = Atomic.make null_sink
+
+let set_sink s = Atomic.set sink s
+
+(* ------------------------------------------------------------------ *)
+(* Registry: one table per kind, interning by name.                   *)
+
+let registry_mutex = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let intern table name make =
+  Mutex.lock registry_mutex;
+  let v =
+    match Hashtbl.find_opt table name with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      Hashtbl.add table name v;
+      v
+  in
+  Mutex.unlock registry_mutex;
+  v
+
+let counter name =
+  intern counters name (fun () -> { c_name = name; value = Atomic.make 0 })
+
+let gauge name =
+  intern gauges name (fun () -> { g_name = name; level = Atomic.make 0 })
+
+let histogram name =
+  intern histograms name (fun () ->
+      {
+        h_name = name;
+        buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+        total = Atomic.make 0;
+        sum_ns = Atomic.make 0;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Recording.                                                         *)
+
+let incr c = if Atomic.get on then Atomic.incr c.value
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.value n)
+let counter_value c = Atomic.get c.value
+
+let set g v = if Atomic.get on then Atomic.set g.level v
+let gauge_value g = Atomic.get g.level
+
+let bucket_of seconds =
+  if not (seconds > bucket_lo) then 0
+  else begin
+    (* NaN fails the guard above and lands in bucket 0; +inf clamps. *)
+    let b = 1 + int_of_float (log (seconds /. bucket_lo) /. log_ratio) in
+    if b >= num_buckets then num_buckets - 1 else b
+  end
+
+let observe_unchecked h seconds =
+  Atomic.incr h.buckets.(bucket_of seconds);
+  Atomic.incr h.total;
+  let ns =
+    if Float.is_nan seconds then 0
+    else int_of_float (Float.min 4e18 (Float.max 0. (seconds *. 1e9)))
+  in
+  ignore (Atomic.fetch_and_add h.sum_ns ns)
+
+let observe h seconds = if Atomic.get on then observe_unchecked h seconds
+
+let observe_ns h ns =
+  if Atomic.get on then observe_unchecked h (Int64.to_float ns /. 1e9)
+
+let count h = Atomic.get h.total
+let sum h = float_of_int (Atomic.get h.sum_ns) /. 1e9
+
+(* Lower edge of bucket [b]; the representative value is the geometric
+   midpoint of the bucket, which bounds the quantile error by half a
+   bucket width (~4.5%). *)
+let bucket_value b =
+  if b = 0 then bucket_lo
+  else bucket_lo *. exp ((float_of_int b -. 0.5) *. log_ratio)
+
+let quantile h p =
+  if p < 0. || p > 100. then invalid_arg "Telemetry.quantile: p out of [0, 100]";
+  let n = Atomic.get h.total in
+  if n = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))) in
+    let b = ref 0 and seen = ref 0 in
+    while !seen < rank && !b < num_buckets do
+      seen := !seen + Atomic.get h.buckets.(!b);
+      if !seen < rank then b := !b + 1
+    done;
+    bucket_value (min !b (num_buckets - 1))
+  end
+
+let reset_histogram h =
+  Array.iter (fun b -> Atomic.set b 0) h.buckets;
+  Atomic.set h.total 0;
+  Atomic.set h.sum_ns 0
+
+(* ------------------------------------------------------------------ *)
+(* Spans.                                                             *)
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let span ?args ~name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let h = histogram ("span." ^ name) in
+    let depth = Domain.DLS.get depth_key in
+    let my_depth = !depth in
+    depth := my_depth + 1;
+    let start_ns = Timer.now_ns () in
+    let close () =
+      let dur_ns = Int64.sub (Timer.now_ns ()) start_ns in
+      let dur_ns = if Int64.compare dur_ns 0L < 0 then 0L else dur_ns in
+      depth := my_depth;
+      observe_unchecked h (Int64.to_float dur_ns /. 1e9);
+      let args = match args with None -> [] | Some f -> f () in
+      (Atomic.get sink).on_span ~name ~depth:my_depth ~start_ns ~dur_ns ~args
+    in
+    match f () with
+    | result ->
+      close ();
+      result
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close ();
+      Printexc.raise_with_backtrace e bt
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot.                                                          *)
+
+type histogram_stats = {
+  h_count : int;
+  h_sum : float;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+type entry =
+  | Counter_entry of string * int
+  | Gauge_entry of string * int
+  | Histogram_entry of string * histogram_stats
+
+let entry_name = function
+  | Counter_entry (n, _) | Gauge_entry (n, _) | Histogram_entry (n, _) -> n
+
+let histogram_stats h =
+  {
+    h_count = count h;
+    h_sum = sum h;
+    h_p50 = quantile h 50.;
+    h_p90 = quantile h 90.;
+    h_p99 = quantile h 99.;
+  }
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let cs = Hashtbl.fold (fun _ c acc -> Counter_entry (c.c_name, counter_value c) :: acc) counters [] in
+  let gs = Hashtbl.fold (fun _ g acc -> Gauge_entry (g.g_name, gauge_value g) :: acc) gauges [] in
+  let hs =
+    Hashtbl.fold
+      (fun _ h acc -> Histogram_entry (h.h_name, histogram_stats h) :: acc)
+      histograms []
+  in
+  Mutex.unlock registry_mutex;
+  let sorted xs = List.sort (fun a b -> String.compare (entry_name a) (entry_name b)) xs in
+  sorted cs @ sorted gs @ sorted hs
+
+let print_snapshot oc =
+  List.iter
+    (function
+      | Counter_entry (n, v) -> Printf.fprintf oc "counter    %-32s %d\n" n v
+      | Gauge_entry (n, v) -> Printf.fprintf oc "gauge      %-32s %d\n" n v
+      | Histogram_entry (n, s) ->
+        Printf.fprintf oc
+          "histogram  %-32s count=%d sum=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms\n" n
+          s.h_count (s.h_sum *. 1e3) (s.h_p50 *. 1e3) (s.h_p90 *. 1e3) (s.h_p99 *. 1e3))
+    (snapshot ())
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.level 0) gauges;
+  Hashtbl.iter (fun _ h -> reset_histogram h) histograms;
+  Mutex.unlock registry_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace JSONL exporter.                                       *)
+
+module Trace = struct
+  (* OCaml's %S escaping is JSON-compatible for the ASCII metric/attr
+     names this codebase emits (no control characters, no unicode). *)
+  let to_channel oc =
+    let m = Mutex.create () in
+    let on_span ~name ~depth:_ ~start_ns ~dur_ns ~args =
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf
+        (Printf.sprintf {|{"name":%S,"cat":"mqdp","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d|}
+           name
+           (Int64.to_float start_ns /. 1e3)
+           (Int64.to_float dur_ns /. 1e3)
+           ((Domain.self () :> int)));
+      if args <> [] then begin
+        Buffer.add_string buf {|,"args":{|};
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (Printf.sprintf "%S:%S" k v))
+          args;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_string buf "}\n";
+      Mutex.lock m;
+      Buffer.output_buffer oc buf;
+      Mutex.unlock m
+    in
+    { on_span }
+end

@@ -1,0 +1,159 @@
+(** Process-wide observability: counters, gauges, log-bucketed latency
+    histograms, and span tracing.
+
+    The registry is a single process-global namespace. Handles ({!counter},
+    {!gauge}, {!histogram}) are interned by name: the first call registers,
+    later calls return the same handle, so modules can declare their
+    metrics at top level and share them across domains. All mutation is
+    atomic — counters and histogram buckets are exact under {!Pool}
+    parallelism, and {!snapshot} is deterministic (name-sorted) for any
+    interleaving that produced the same totals.
+
+    Telemetry is disabled by default. When disabled, every recording
+    operation is one atomic load and a branch — no allocation, no clock
+    read, no sink call — so instrumentation can live in solver hot loops
+    permanently. {!enable} flips the whole subsystem on; the recorded
+    covers of every solver are bit-identical either way (enforced by the
+    fuzzer), because telemetry never feeds back into algorithm state.
+
+    Spans measure a region on the monotonic {!Timer} clock. [span ~name f]
+    runs [f], records its duration into the histogram ["span." ^ name],
+    and reports a completed-span event to the current {!sink}. Spans nest:
+    the per-domain depth is tracked through [Domain.DLS], so concurrent
+    {!Pool} workers each get their own stack. A span closes (and reports)
+    even when [f] raises — budget-exhaustion exceptions still produce
+    trace events. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+
+(** [enable ()] turns recording on process-wide (all domains). *)
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+(** {1 Counters} — monotone event counts. *)
+
+(** [counter name] interns the counter [name]. *)
+val counter : string -> counter
+
+(** [incr c] adds 1 when enabled; a no-op (one branch) when disabled. *)
+val incr : counter -> unit
+
+(** [add c n] adds [n] when enabled. *)
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** {1 Gauges} — instantaneous integer levels (queue depths, breaker
+    state). *)
+
+val gauge : string -> gauge
+
+(** [set g v] stores [v] when enabled. *)
+val set : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+(** {1 Histograms} — log-bucketed latency distributions.
+
+    Buckets are geometric with ratio 2{^1/8} (≈ 9% wide) spanning 1 ns to
+    ≈ 18 minutes; quantiles read from the buckets are exact in count and
+    within one bucket (± ≈ 5%) in value. *)
+
+val histogram : string -> histogram
+
+(** [observe h seconds] records one sample when enabled. Non-finite and
+    negative samples clamp into the extreme buckets. *)
+val observe : histogram -> float -> unit
+
+(** [observe_ns h ns] records a sample given in integer nanoseconds. *)
+val observe_ns : histogram -> int64 -> unit
+
+val count : histogram -> int
+
+(** Total of all recorded samples, in seconds (ns resolution). *)
+val sum : histogram -> float
+
+(** [quantile h p] for [p] in [0, 100]: the representative value (geometric
+    bucket midpoint) of the bucket holding the [p]-th percentile sample.
+    0 when the histogram is empty. Raises [Invalid_argument] on an
+    out-of-range [p]. *)
+val quantile : histogram -> float -> float
+
+(** [reset_histogram h] zeroes [h]'s buckets and totals (registration
+    kept) — for per-row reuse in the bench harness. *)
+val reset_histogram : histogram -> unit
+
+(** {1 Spans} *)
+
+(** A sink consumes completed-span events. One function record, so the
+    enabled hot path pays at most one indirect call per span close.
+    [depth] is the nesting depth on the reporting domain (0 = root);
+    [args] are the key/value attributes captured at close. *)
+type sink = {
+  on_span :
+    name:string ->
+    depth:int ->
+    start_ns:int64 ->
+    dur_ns:int64 ->
+    args:(string * string) list ->
+    unit;
+}
+
+(** Discards every event. The default sink. *)
+val null_sink : sink
+
+val set_sink : sink -> unit
+
+(** [span ?args ~name f] times [f] on the monotonic clock, records the
+    duration into histogram ["span." ^ name], and reports one event to the
+    sink. [args] is evaluated at span close (so it can snapshot state the
+    region produced, e.g. budget spend). When telemetry is disabled this
+    is [f ()] after one branch. Exceptions propagate after the span is
+    recorded. *)
+val span : ?args:(unit -> (string * string) list) -> name:string -> (unit -> 'a) -> 'a
+
+(** {1 Snapshot} *)
+
+type histogram_stats = {
+  h_count : int;
+  h_sum : float;  (** seconds *)
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+}
+
+type entry =
+  | Counter_entry of string * int
+  | Gauge_entry of string * int
+  | Histogram_entry of string * histogram_stats
+
+(** [snapshot ()] is every registered metric, sorted by name (counters,
+    then gauges, then histograms). Zero-valued metrics are included, so
+    the shape depends only on what was registered. *)
+val snapshot : unit -> entry list
+
+(** [print_snapshot oc] writes one line per metric, for [--metrics]. *)
+val print_snapshot : out_channel -> unit
+
+(** [reset ()] zeroes every registered metric (registrations kept) and
+    leaves the enabled flag and sink untouched. For tests and benches. *)
+val reset : unit -> unit
+
+(** {1 Trace export} *)
+
+module Trace : sig
+  (** [to_channel oc] is a sink writing one Chrome-trace complete event
+      ([ph = "X"]) as a JSON object per line (JSONL). Timestamps are the
+      monotonic clock in microseconds; [tid] is the reporting domain id,
+      so pool workers get their own lanes. Writes are mutex-serialized.
+      Wrap the lines in [\[...\]] (comma-separated) to load the file in
+      Chrome's [about://tracing] / Perfetto. *)
+  val to_channel : out_channel -> sink
+end

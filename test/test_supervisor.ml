@@ -365,10 +365,37 @@ let test_compile_cancellation () =
     Alcotest.(check bool) "cancellation reported" true
       (reason = Util.Budget.Cancelled)
 
+(* Ladder under tiny step budgets (1..24): every rung's child budget used
+   to floor to 0 steps for small remainders, making speculative rungs trip
+   before doing any work. Whatever the budget, the answer must be a valid
+   cover, and the walk must be deterministic (steps are charged exactly,
+   never by the clock). *)
+let test_ladder_tiny_step_budgets () =
+  let inst = dense_instance ~posts:12 ~labels:3 ~spacing:1.0 in
+  let lambda = fixed 2.5 in
+  for steps = 1 to 24 do
+    let solve () =
+      Mqdp.Supervisor.solve
+        ~budget:(Util.Budget.create ~max_steps:steps ())
+        inst lambda
+    in
+    let r1 = solve () and r2 = solve () in
+    check_valid (Printf.sprintf "budget %d answer" steps) inst lambda
+      r1.Mqdp.Supervisor.cover;
+    Alcotest.(check string)
+      (Printf.sprintf "budget %d deterministic rung" steps)
+      r1.Mqdp.Supervisor.answered_by r2.Mqdp.Supervisor.answered_by;
+    Alcotest.(check (list int))
+      (Printf.sprintf "budget %d deterministic cover" steps)
+      r1.Mqdp.Supervisor.cover r2.Mqdp.Supervisor.cover
+  done
+
 let suite =
   [
     unlimited_is_transparent;
     seeds_are_sound;
+    Alcotest.test_case "ladder under tiny step budgets" `Quick
+      test_ladder_tiny_step_budgets;
     Alcotest.test_case "mid-OPT steps budget degrades to GreedySC" `Quick
       test_opt_exhausts_greedy_answers;
     Alcotest.test_case "zero budget reaches the instant floor" `Quick

@@ -1,0 +1,282 @@
+(* Util.Telemetry: registry exactness under domain parallelism, span
+   nesting and exception safety, histogram quantiles, the disabled
+   fast path, and the Chrome-trace JSONL exporter.
+
+   Telemetry is process-global state, so every test that enables it
+   restores the disabled/null-sink resting state in a finally — a leaked
+   enable would silently change what other suites measure. *)
+
+let with_telemetry ?sink f =
+  Util.Telemetry.reset ();
+  Option.iter Util.Telemetry.set_sink sink;
+  Util.Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Util.Telemetry.disable ();
+      Util.Telemetry.set_sink Util.Telemetry.null_sink)
+    f
+
+let test_disabled_is_inert () =
+  Util.Telemetry.reset ();
+  Alcotest.(check bool) "disabled by default" false (Util.Telemetry.enabled ());
+  let c = Util.Telemetry.counter "t.inert_counter" in
+  let g = Util.Telemetry.gauge "t.inert_gauge" in
+  let h = Util.Telemetry.histogram "t.inert_histogram" in
+  Util.Telemetry.incr c;
+  Util.Telemetry.add c 41;
+  Util.Telemetry.set g 7;
+  Util.Telemetry.observe h 0.5;
+  Alcotest.(check int) "counter untouched" 0 (Util.Telemetry.counter_value c);
+  Alcotest.(check int) "gauge untouched" 0 (Util.Telemetry.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Util.Telemetry.count h);
+  (* A disabled span still runs its body, exactly once, with no events. *)
+  let fired = ref 0 in
+  let body_runs = ref 0 in
+  Util.Telemetry.set_sink
+    { Util.Telemetry.on_span = (fun ~name:_ ~depth:_ ~start_ns:_ ~dur_ns:_ ~args:_ -> incr fired) };
+  let out = Util.Telemetry.span ~name:"t.inert_span" (fun () -> incr body_runs; 5) in
+  Util.Telemetry.set_sink Util.Telemetry.null_sink;
+  Alcotest.(check int) "span returns the body's value" 5 out;
+  Alcotest.(check int) "body ran once" 1 !body_runs;
+  Alcotest.(check int) "no sink event while disabled" 0 !fired
+
+let test_counters_and_gauges () =
+  with_telemetry (fun () ->
+      let c = Util.Telemetry.counter "t.counter" in
+      Alcotest.(check bool) "interned by name" true
+        (c == Util.Telemetry.counter "t.counter");
+      Util.Telemetry.incr c;
+      Util.Telemetry.add c 9;
+      Alcotest.(check int) "counter value" 10 (Util.Telemetry.counter_value c);
+      let g = Util.Telemetry.gauge "t.gauge" in
+      Util.Telemetry.set g 3;
+      Util.Telemetry.set g 12;
+      Alcotest.(check int) "gauge keeps the last set" 12
+        (Util.Telemetry.gauge_value g))
+
+(* Counters must be exact (not approximate) under Pool parallelism: the
+   whole point of atomic cells is that concurrent bumps never lose
+   increments. *)
+let test_counter_exact_under_pool () =
+  with_telemetry (fun () ->
+      let c = Util.Telemetry.counter "t.parallel_counter" in
+      let n = 50_000 in
+      Util.Pool.with_pool ~jobs:4 (fun pool ->
+          Util.Pool.parallel_for pool n ~f:(fun _ -> Util.Telemetry.incr c));
+      Alcotest.(check int) "no lost increments" n (Util.Telemetry.counter_value c))
+
+let test_histogram_quantiles () =
+  with_telemetry (fun () ->
+      let h = Util.Telemetry.histogram "t.histogram" in
+      Alcotest.(check (float 0.)) "empty quantile is 0" 0.
+        (Util.Telemetry.quantile h 50.);
+      (* 100 observations at 1ms, 10 at 100ms: p50 lands in the 1ms
+         bucket, p99 in the 100ms bucket. Bucket representatives carry a
+         half-bucket (~4.5%) error, hence the loose tolerance. *)
+      for _ = 1 to 100 do
+        Util.Telemetry.observe h 1e-3
+      done;
+      for _ = 1 to 10 do
+        Util.Telemetry.observe h 0.1
+      done;
+      Alcotest.(check int) "count" 110 (Util.Telemetry.count h);
+      Alcotest.(check (float 0.05)) "sum" 1.1 (Util.Telemetry.sum h);
+      let p50 = Util.Telemetry.quantile h 50. in
+      let p90 = Util.Telemetry.quantile h 90. in
+      let p99 = Util.Telemetry.quantile h 99. in
+      Alcotest.(check bool) "p50 near 1ms" true (p50 > 0.8e-3 && p50 < 1.2e-3);
+      Alcotest.(check bool) "p99 near 100ms" true (p99 > 0.08 && p99 < 0.12);
+      Alcotest.(check bool) "quantiles are monotone" true (p50 <= p90 && p90 <= p99);
+      Util.Telemetry.reset_histogram h;
+      Alcotest.(check int) "reset clears the count" 0 (Util.Telemetry.count h);
+      Alcotest.check_raises "quantile range check"
+        (Invalid_argument "Telemetry.quantile: p out of [0, 100]")
+        (fun () -> ignore (Util.Telemetry.quantile h 101.)))
+
+let test_histogram_extremes () =
+  with_telemetry (fun () ->
+      let h = Util.Telemetry.histogram "t.extremes" in
+      (* Sub-lo, zero, negative, NaN land in bucket 0; +inf clamps to the
+         last bucket. Nothing raises, counts stay exact. *)
+      List.iter (Util.Telemetry.observe h)
+        [ 1e-12; 0.; -5.; Float.nan; Float.infinity ];
+      Alcotest.(check int) "all observations counted" 5 (Util.Telemetry.count h);
+      Alcotest.(check bool) "p100 is finite" true
+        (Float.is_finite (Util.Telemetry.quantile h 100.)))
+
+let test_span_nesting_and_exceptions () =
+  let events = ref [] in
+  let sink =
+    {
+      Util.Telemetry.on_span =
+        (fun ~name ~depth ~start_ns:_ ~dur_ns ~args ->
+          events := (name, depth, dur_ns, args) :: !events);
+    }
+  in
+  with_telemetry ~sink (fun () ->
+      let out =
+        Util.Telemetry.span ~name:"t.outer" (fun () ->
+            Util.Telemetry.span ~name:"t.inner"
+              ~args:(fun () -> [ ("k", "v") ])
+              (fun () -> 21)
+            * 2)
+      in
+      Alcotest.(check int) "nested result" 42 out;
+      (match List.rev !events with
+      | [ ("t.inner", 1, _, [ ("k", "v") ]); ("t.outer", 0, _, []) ] -> ()
+      | es ->
+        Alcotest.failf "unexpected events: %s"
+          (String.concat "; "
+             (List.map (fun (n, d, _, _) -> Printf.sprintf "%s@%d" n d) es)));
+      (* Span durations also feed a "span.<name>" histogram. *)
+      Alcotest.(check int) "span histogram recorded" 1
+        (Util.Telemetry.count (Util.Telemetry.histogram "span.t.outer"));
+      (* An exception closes the span (event fired, depth restored) and
+         propagates unchanged. *)
+      events := [];
+      (match Util.Telemetry.span ~name:"t.raises" (fun () -> failwith "boom") with
+      | _ -> Alcotest.fail "expected Failure"
+      | exception Failure m -> Alcotest.(check string) "exception intact" "boom" m);
+      (match !events with
+      | [ ("t.raises", 0, _, _) ] -> ()
+      | _ -> Alcotest.fail "span event missing after an exception");
+      events := [];
+      ignore (Util.Telemetry.span ~name:"t.after" (fun () -> ()));
+      match !events with
+      | [ ("t.after", 0, _, _) ] -> ()
+      | [ ("t.after", d, _, _) ] -> Alcotest.failf "depth leaked: %d" d
+      | _ -> Alcotest.fail "expected exactly one event")
+
+let test_snapshot_deterministic () =
+  with_telemetry (fun () ->
+      Util.Telemetry.incr (Util.Telemetry.counter "t.snap_b");
+      Util.Telemetry.incr (Util.Telemetry.counter "t.snap_a");
+      Util.Telemetry.set (Util.Telemetry.gauge "t.snap_g") 4;
+      Util.Telemetry.observe (Util.Telemetry.histogram "t.snap_h") 1e-3;
+      let names snapshot =
+        List.filter_map
+          (function
+            | Util.Telemetry.Counter_entry (n, _) when String.length n > 6
+                                                       && String.sub n 0 6 = "t.snap" ->
+              Some n
+            | Util.Telemetry.Gauge_entry (n, _)
+            | Util.Telemetry.Histogram_entry (n, _)
+              when String.length n > 6 && String.sub n 0 6 = "t.snap" ->
+              Some n
+            | _ -> None)
+          snapshot
+      in
+      let s1 = names (Util.Telemetry.snapshot ()) in
+      Alcotest.(check (list string)) "sorted within kind, counters first"
+        [ "t.snap_a"; "t.snap_b"; "t.snap_g"; "t.snap_h" ] s1;
+      (* Registration order cannot perturb the snapshot: identical calls
+         give identical listings. *)
+      Alcotest.(check (list string)) "stable across calls" s1
+        (names (Util.Telemetry.snapshot ()));
+      Util.Telemetry.reset ();
+      Alcotest.(check int) "reset zeroes counters" 0
+        (Util.Telemetry.counter_value (Util.Telemetry.counter "t.snap_a")))
+
+(* Snapshot determinism under parallism: concurrent recording from Pool
+   workers must not make two snapshots of the same quiesced registry
+   differ. *)
+let test_snapshot_after_parallel_load () =
+  with_telemetry (fun () ->
+      let c = Util.Telemetry.counter "t.load_counter" in
+      let h = Util.Telemetry.histogram "t.load_histogram" in
+      Util.Pool.with_pool ~jobs:4 (fun pool ->
+          Util.Pool.parallel_for pool 10_000 ~f:(fun i ->
+              Util.Telemetry.incr c;
+              Util.Telemetry.observe h (1e-6 *. float_of_int (1 + (i mod 7)))));
+      Alcotest.(check int) "counter exact" 10_000 (Util.Telemetry.counter_value c);
+      Alcotest.(check int) "histogram exact" 10_000 (Util.Telemetry.count h);
+      let s1 = Util.Telemetry.snapshot () and s2 = Util.Telemetry.snapshot () in
+      Alcotest.(check bool) "snapshots agree once quiesced" true (s1 = s2))
+
+(* Solver integration: counters move when the instrumented paths run, and
+   the cover is bit-identical with telemetry on vs off. *)
+let test_solver_counters_move () =
+  let inst =
+    List.init 30 (fun i ->
+        Helpers.post ~id:i ~value:(float_of_int i) [ i mod 3 ])
+    |> Helpers.instance_of
+  in
+  let lambda = Mqdp.Coverage.Fixed 2.5 in
+  let off = (Mqdp.Solver.solve Mqdp.Solver.Greedy_sc inst lambda).Mqdp.Solver.cover in
+  with_telemetry (fun () ->
+      let before = Util.Telemetry.counter_value (Util.Telemetry.counter "greedy.picks") in
+      let on = (Mqdp.Solver.solve Mqdp.Solver.Greedy_sc inst lambda).Mqdp.Solver.cover in
+      Alcotest.(check (list int)) "cover identical with telemetry on" off on;
+      let picks = Util.Telemetry.counter_value (Util.Telemetry.counter "greedy.picks") in
+      Alcotest.(check int) "one pick counted per cover element"
+        (List.length on) (picks - before);
+      Alcotest.(check int) "solve span recorded" 1
+        (Util.Telemetry.count (Util.Telemetry.histogram "span.solve.greedy-sc")))
+
+let test_feed_counters_move () =
+  with_telemetry (fun () ->
+      let dropped () =
+        Util.Telemetry.counter_value (Util.Telemetry.counter "feed.duplicate_dropped")
+      in
+      let before = dropped () in
+      let feed =
+        Mqdp.Feed.create
+          ~config:{ Mqdp.Feed.default_config with reorder_window = 0 }
+          ~lambda:1.0 Mqdp.Online.Instant
+      in
+      let p = Helpers.post ~id:1 ~value:0. [ 0 ] in
+      ignore (Mqdp.Feed.push feed p);
+      ignore (Mqdp.Feed.push feed p);
+      Alcotest.(check int) "registry mirrors the feed's duplicate counter" 1
+        (dropped () - before);
+      Alcotest.(check int) "internal counter agrees" 1
+        (Mqdp.Feed.counters feed).Mqdp.Feed.duplicate_dropped)
+
+(* The JSONL exporter: one parseable object per line with the span name,
+   microsecond timestamps, and args escaped. *)
+let test_trace_exporter_format () =
+  let path = Filename.temp_file "mqdp_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      with_telemetry ~sink:(Util.Telemetry.Trace.to_channel oc) (fun () ->
+          Util.Telemetry.span ~name:"t.traced"
+            ~args:(fun () -> [ ("key", "va\"lue") ])
+            (fun () -> ()));
+      close_out oc;
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      let has needle =
+        let ln = String.length needle in
+        let rec at i =
+          i + ln <= String.length line
+          && (String.sub line i ln = needle || at (i + 1))
+        in
+        at 0
+      in
+      Alcotest.(check bool) "names the span" true (has {|"name":"t.traced"|});
+      Alcotest.(check bool) "complete event" true (has {|"ph":"X"|});
+      Alcotest.(check bool) "has a duration" true (has {|"dur":|});
+      Alcotest.(check bool) "escapes arg values" true (has {|"key":"va\"lue"|});
+      Alcotest.(check bool) "one event, one line" true
+        (line.[0] = '{' && line.[String.length line - 1] = '}'))
+
+let suite =
+  [
+    Alcotest.test_case "disabled telemetry is inert" `Quick test_disabled_is_inert;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "counter exact under pool" `Quick
+      test_counter_exact_under_pool;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram extremes" `Quick test_histogram_extremes;
+    Alcotest.test_case "span nesting and exceptions" `Quick
+      test_span_nesting_and_exceptions;
+    Alcotest.test_case "snapshot deterministic" `Quick test_snapshot_deterministic;
+    Alcotest.test_case "snapshot after parallel load" `Quick
+      test_snapshot_after_parallel_load;
+    Alcotest.test_case "solver counters move" `Quick test_solver_counters_move;
+    Alcotest.test_case "feed counters mirror" `Quick test_feed_counters_move;
+    Alcotest.test_case "trace exporter format" `Quick test_trace_exporter_format;
+  ]

@@ -532,11 +532,131 @@ let test_budget_cross_domain_cancel () =
   Alcotest.(check bool) "cancel visible across domains" true
     (Util.Budget.poll b = Some Util.Budget.Cancelled)
 
+(* Regression: [child] of a small parent used to floor the child step
+   budget to 0 via int_of_float, so the child tripped Steps at its very
+   first poll and a supervisor ladder could skip every speculative rung
+   with budget still left. *)
+let test_budget_child_step_floor () =
+  let parent = Util.Budget.create ~max_steps:1 () in
+  let child = Util.Budget.child parent in
+  Alcotest.(check (option int)) "child floored at one step" (Some 1)
+    (Util.Budget.remaining_steps child);
+  Alcotest.(check bool) "child not pre-exhausted" true
+    (Util.Budget.poll child = None);
+  (* The floor does not mint budget: the child's step still charges the
+     parent, whose own limit trips right after. *)
+  Util.Budget.add child;
+  Alcotest.(check bool) "parent trips once the child spends" true
+    (Util.Budget.poll parent = Some Util.Budget.Steps);
+  (* Tiny fractions of a larger parent floor at 1 as well. *)
+  let parent = Util.Budget.create ~max_steps:10 () in
+  Util.Budget.add ~cost:9 parent;
+  let c = Util.Budget.child ~fraction:0.1 parent in
+  Alcotest.(check (option int)) "0.1 of 1 remaining floors at 1" (Some 1)
+    (Util.Budget.remaining_steps c)
+
+let test_budget_spend_attrs () =
+  Alcotest.(check (list (pair string string)))
+    "unlimited attrs"
+    [ ("budget", "unlimited") ]
+    (Util.Budget.spend_attrs Util.Budget.unlimited);
+  let b = Util.Budget.create ~max_steps:10 () in
+  Util.Budget.add ~cost:4 b;
+  let attrs = Util.Budget.spend_attrs b in
+  Alcotest.(check (option string)) "steps spent" (Some "4")
+    (List.assoc_opt "budget.steps" attrs);
+  Alcotest.(check (option string)) "steps remaining" (Some "6")
+    (List.assoc_opt "budget.remaining_steps" attrs);
+  Alcotest.(check bool) "elapsed present" true
+    (List.mem_assoc "budget.elapsed_ms" attrs)
+
+(* Regression: [Heap.pop] used to leave the popped element (and the moved
+   root's old copy) in the vacated backing-array slot, keeping it
+   reachable — a space leak when elements are large. Observed through weak
+   pointers: a popped payload must become collectable while the heap is
+   still alive. We push exactly to the initial capacity (8) so every slot
+   holds a distinct element and the check isolates pop's vacated slot from
+   [push]'s growth filler. *)
+let test_heap_pop_unpins_elements () =
+  let n = 8 in
+  let h = Util.Heap.create (fun (a, _) (b, _) -> Int.compare a b) in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let payload = (i, Bytes.create 128) in
+    Weak.set w i (Some payload);
+    Util.Heap.push h payload
+  done;
+  ignore (Util.Heap.pop h);
+  ignore (Util.Heap.pop h);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload 0 collected" true (Weak.get w 0 = None);
+  Alcotest.(check bool) "popped payload 1 collected" true (Weak.get w 1 = None);
+  for i = 2 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "live payload %d retained" i)
+      true
+      (Weak.get w i <> None)
+  done;
+  ignore (Util.Heap.drain h);
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "drained payload %d collected" i)
+      true
+      (Weak.get w i = None)
+  done
+
+(* Push/pop churn across the slot-clearing path: the heap still pops in
+   order and agrees with a sorted-list model. *)
+let test_heap_churn () =
+  let h = Util.Heap.create Int.compare in
+  let model = ref [] in
+  let rng = Util.Rng.create 11 in
+  for _ = 1 to 2_000 do
+    if Util.Rng.int rng 3 = 0 then begin
+      match (Util.Heap.pop h, !model) with
+      | None, [] -> ()
+      | Some x, m :: rest ->
+        Alcotest.(check int) "pop = model min" m x;
+        model := rest
+      | Some _, [] -> Alcotest.fail "heap popped from an empty model"
+      | None, _ :: _ -> Alcotest.fail "heap empty while the model is not"
+    end
+    else begin
+      let x = Util.Rng.int rng 1000 in
+      Util.Heap.push h x;
+      model := List.sort Int.compare (x :: !model)
+    end
+  done;
+  Alcotest.(check (list int)) "final drain = model" !model (Util.Heap.drain h)
+
+(* Regression: [Stats.percentile] sorted with polymorphic compare, which
+   ranks NaN arbitrarily and silently poisons the interpolation; [histogram]
+   fed NaN through int_of_float (undefined). Both now reject NaN. *)
+let test_stats_nan_rejected () =
+  Alcotest.check_raises "percentile rejects NaN"
+    (Invalid_argument "Stats.percentile: NaN input")
+    (fun () -> ignore (Util.Stats.percentile 50. [| 1.0; Float.nan; 2.0 |]));
+  Alcotest.check_raises "histogram rejects NaN"
+    (Invalid_argument "Stats.histogram: NaN input")
+    (fun () ->
+      ignore (Util.Stats.histogram ~buckets:4 ~lo:0. ~hi:1. [| Float.nan |]));
+  (* Float.compare orders signed values correctly (p0 = min, p100 = max). *)
+  let xs = [| 3.; -1.; 2.; -5. |] in
+  Alcotest.(check (float 0.)) "p0 is the minimum" (-5.) (Util.Stats.percentile 0. xs);
+  Alcotest.(check (float 0.)) "p100 is the maximum" 3. (Util.Stats.percentile 100. xs)
+
 let suite =
   [
     Alcotest.test_case "heap basics" `Quick test_heap_basic;
     Alcotest.test_case "heap of_list" `Quick test_heap_of_list;
     Alcotest.test_case "max-heap via cmp" `Quick test_heap_max;
+    Alcotest.test_case "heap pop unpins elements" `Quick
+      test_heap_pop_unpins_elements;
+    Alcotest.test_case "heap push/pop churn" `Quick test_heap_churn;
+    Alcotest.test_case "stats reject NaN" `Quick test_stats_nan_rejected;
     heap_sort_is_sort;
     heap_push_pop;
     Alcotest.test_case "running stats" `Quick test_running_stats;
@@ -583,6 +703,9 @@ let suite =
       test_budget_describe_and_reasons;
     Alcotest.test_case "budget cross-domain cancel" `Quick
       test_budget_cross_domain_cancel;
+    Alcotest.test_case "budget child step floor" `Quick
+      test_budget_child_step_floor;
+    Alcotest.test_case "budget spend attrs" `Quick test_budget_spend_attrs;
     Alcotest.test_case "fault injector determinism" `Quick test_fault_deterministic;
     Alcotest.test_case "fault clean config is identity" `Quick
       test_fault_clean_is_identity;
