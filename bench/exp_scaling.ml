@@ -54,7 +54,7 @@ let run () =
       Printf.sprintf "%.2fx" (!baseline_scan /. t_scan);
       Printf.sprintf "%.1f" (t_plus *. 1000.);
       Printf.sprintf "%.2fx" (!baseline_plus /. t_plus);
-      (if cover = !reference_cover then "identical" else "DIVERGED");
+      (if List.equal Int.equal cover !reference_cover then "identical" else "DIVERGED");
     ]
   in
   Harness.table

@@ -30,6 +30,7 @@ let experiments =
     ("ablE", Exp_ablations.abl_baselines);
     ("ablF", Exp_ablations.abl_greedy_selection);
     ("micro", Micro.run);
+    ("kernels", Exp_kernels.run);
     ("telemetry", Exp_telemetry.run);
     ("scaling", Exp_scaling.run);
     ("faults", Exp_faults.run);

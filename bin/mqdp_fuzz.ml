@@ -69,11 +69,23 @@ let one_round seed =
       check ~seed
         (result.Mqdp.Solver.size >= optimal)
         (Mqdp.Solver.algorithm_name algo ^ " beat the optimum"))
-    [ Mqdp.Solver.Greedy_sc; Mqdp.Solver.Greedy_sc_heap; Mqdp.Solver.Scan;
-      Mqdp.Solver.Scan_plus ];
+    [ Mqdp.Solver.Greedy_sc; Mqdp.Solver.Greedy_sc_heap;
+      Mqdp.Solver.Greedy_sc_linear; Mqdp.Solver.Scan; Mqdp.Solver.Scan_plus ];
   check ~seed
     (List.length (Mqdp.Scan.solve inst lambda) <= s * optimal)
     "Scan exceeded its s-approximation bound";
+  (* Kernel cross-check: the three GreedySC selection strategies promise
+     bit-identical covers; any tie-rule drift between the bucket queue,
+     the lazy heap, and the linear re-scan shows up here. *)
+  let g_bucket = Mqdp.Greedy_sc.solve ~selection:`Bucket_queue inst lambda in
+  let g_linear = Mqdp.Greedy_sc.solve ~selection:`Linear_scan inst lambda in
+  let g_heap = Mqdp.Greedy_sc.solve ~selection:`Lazy_heap inst lambda in
+  check ~seed
+    (List.equal Int.equal g_bucket g_linear)
+    "bucket-queue GreedySC diverged from the linear re-scan";
+  check ~seed
+    (List.equal Int.equal g_bucket g_heap)
+    "bucket-queue GreedySC diverged from the lazy heap";
   List.iter
     (fun algo ->
       let result = Mqdp.Solver.solve_stream algo ~tau inst lambda in
@@ -90,7 +102,7 @@ let one_round seed =
     Mqdp.Stream_scan.solve ~plus:false ~tau:(l +. 0.25) inst lambda
   in
   check ~seed
-    (streaming_scan.Mqdp.Stream.cover = offline_scan)
+    (List.equal Int.equal streaming_scan.Mqdp.Stream.cover offline_scan)
     "StreamScan with tau > lambda diverged from offline Scan";
   (* The instant bound of Section 5.1. *)
   let instant =
@@ -114,10 +126,11 @@ let one_round seed =
     (fun algo ->
       let off = (Mqdp.Solver.solve algo inst lambda).Mqdp.Solver.cover in
       let on = with_telemetry (fun () -> (Mqdp.Solver.solve algo inst lambda).Mqdp.Solver.cover) in
-      check ~seed (on = off)
+      check ~seed
+        (List.equal Int.equal on off)
         (Mqdp.Solver.algorithm_name algo ^ " cover changed with telemetry enabled"))
-    [ Mqdp.Solver.Greedy_sc; Mqdp.Solver.Greedy_sc_heap; Mqdp.Solver.Scan;
-      Mqdp.Solver.Scan_plus ];
+    [ Mqdp.Solver.Greedy_sc; Mqdp.Solver.Greedy_sc_heap;
+      Mqdp.Solver.Greedy_sc_linear; Mqdp.Solver.Scan; Mqdp.Solver.Scan_plus ];
   let governed () =
     (Mqdp.Supervisor.solve
        ~budget:(Util.Budget.create ~max_steps:(50 + (seed mod 500)) ())
@@ -126,7 +139,9 @@ let one_round seed =
   in
   let gov_off = governed () in
   let gov_on = with_telemetry governed in
-  check ~seed (gov_on = gov_off) "governed cover changed with telemetry enabled"
+  check ~seed
+    (List.equal Int.equal gov_on gov_off)
+    "governed cover changed with telemetry enabled"
 
 (* ---------------- budget mode: the resource governor ---------------- *)
 
@@ -176,16 +191,16 @@ let one_budget_round seed =
   in
   let r1 = governed () and r2 = governed () in
   check ~seed
-    (r1.Mqdp.Supervisor.cover = r2.Mqdp.Supervisor.cover
-    && r1.Mqdp.Supervisor.answered_by = r2.Mqdp.Supervisor.answered_by)
+    (List.equal Int.equal r1.Mqdp.Supervisor.cover r2.Mqdp.Supervisor.cover
+    && String.equal r1.Mqdp.Supervisor.answered_by r2.Mqdp.Supervisor.answered_by)
     "steps-governed degradation is not deterministic";
   (* 3. An unlimited budget reproduces the direct solver call exactly. *)
   let direct = Mqdp.Solver.run algorithm inst lambda in
   let unlimited = Mqdp.Supervisor.solve ~ladder inst lambda in
   check ~seed
-    (unlimited.Mqdp.Supervisor.cover = direct
-    && unlimited.Mqdp.Supervisor.answered_by
-       = Mqdp.Solver.algorithm_name algorithm)
+    (List.equal Int.equal unlimited.Mqdp.Supervisor.cover direct
+    && String.equal unlimited.Mqdp.Supervisor.answered_by
+         (Mqdp.Solver.algorithm_name algorithm))
     "unlimited-budget supervisor diverged from the direct solver call";
   (* 4. Solver.compile under a tiny budget either returns a fully usable
      index or raises — and after a raise, nothing is left behind: a fresh
@@ -200,11 +215,12 @@ let one_budget_round seed =
        inst lambda
    with
   | index ->
-    check ~seed (compiled_cover index = reference)
+    check ~seed
+      (List.equal Int.equal (compiled_cover index) reference)
       "index compiled under a budget diverged from the uncompiled path"
   | exception Mqdp.Interrupt.Budget_exceeded _ ->
     check ~seed
-      (compiled_cover (Mqdp.Solver.compile inst lambda) = reference)
+      (List.equal Int.equal (compiled_cover (Mqdp.Solver.compile inst lambda)) reference)
       "aborted compile left observable state behind");
   (* 5. A pre-cancelled budget aborts before any work, with Cancelled. *)
   let cancelled = Util.Budget.create ~max_steps:max_int () in

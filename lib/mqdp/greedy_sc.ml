@@ -1,14 +1,26 @@
-type selection = [ `Linear_scan | `Lazy_heap ]
+type selection = [ `Linear_scan | `Lazy_heap | `Bucket_queue ]
 
 (* All pair geometry lives in the compiled Pair_index: a post's gain is the
    number of still-uncovered pairs in its covered ranges, and selecting a
-   post walks those ranges, flipping flat covered bytes and decrementing
-   the gains of each newly-covered pair's coverers. The selection loop
-   allocates nothing per round beyond two closures. *)
+   post runs the fused [Pair_index.apply_pick] kernel — flip flat covered
+   bytes in ascending id order, decrement each newly-covered pair's
+   coverers' gains, record the touched positions once each.
+
+   The selection loop is allocation-free for every variant's own state:
+   picks land in a preallocated buffer, the salvage closure is bound once
+   per solve, and the bucket queue (the default selector) pops bare ints.
+   All three selectors produce bit-identical covers: each one resolves a
+   gain tie toward the smallest position, which is what the linear
+   re-scan's first-strict-maximum does. *)
 type state = {
   index : Pair_index.t;
   covered : Bytes.t;  (* one byte per pair id *)
   gain : int array;  (* per position: # uncovered pairs this post covers *)
+  dirty : Bytes.t;  (* apply_pick dedup scratch; all-zero between picks *)
+  touched : int array;  (* positions whose gain the current pick changed *)
+  picks : int array;  (* committed picks in pick order; entries distinct *)
+  mutable n_picks : int;
+  queue : Util.Bucket_queue.t;  (* mirrors { k | gain k > 0 }, prio = gain *)
 }
 
 let state_of_index ?pool ?(budget = Util.Budget.unlimited) index =
@@ -30,7 +42,24 @@ let state_of_index ?pool ?(budget = Util.Budget.unlimited) index =
           init k
         done));
   Interrupt.check budget;
-  { index; covered = Bytes.make (Pair_index.total_pairs index) '\000'; gain }
+  (* Gains only decrease from here on, so the queue built over the initial
+     gains is the monotone workload Bucket_queue is tuned for; its size
+     never exceeds the initial candidate count by construction. *)
+  let max_gain = Array.fold_left max 0 gain in
+  let queue = Util.Bucket_queue.create ~capacity:n ~max_prio:max_gain in
+  for k = 0 to n - 1 do
+    if gain.(k) > 0 then Util.Bucket_queue.push queue ~key:k ~prio:gain.(k)
+  done;
+  {
+    index;
+    covered = Bytes.make (Pair_index.total_pairs index) '\000';
+    gain;
+    dirty = Bytes.make n '\000';
+    touched = Array.make n 0;
+    picks = Array.make n 0;
+    n_picks = 0;
+    queue;
+  }
 
 let create_state ?pool ?budget instance lambda =
   state_of_index ?pool ?budget
@@ -41,97 +70,148 @@ let create_state ?pool ?budget instance lambda =
 let m_picks = Util.Telemetry.counter "greedy.picks"
 let m_marks = Util.Telemetry.counter "greedy.marks"
 let m_heap_ops = Util.Telemetry.counter "greedy.heap_ops"
+let m_queue_ops = Util.Telemetry.counter "greedy.queue_ops"
+let m_heap_peak = Util.Telemetry.gauge "greedy.heap_peak"
+let m_queue_peak = Util.Telemetry.gauge "greedy.queue_peak"
+
+(* Select post [k]: mark its pairs, decrement coverer gains, and keep the
+   bucket queue mirroring the positive gains. Returns nothing the solvers
+   need beyond the side effects — the per-pick telemetry is accumulated
+   locally here and added once. *)
+let select state k =
+  let touched =
+    Pair_index.apply_pick state.index ~covered:state.covered ~gain:state.gain
+      ~dirty:state.dirty ~touched:state.touched k
+  in
+  for i = 0 to touched - 1 do
+    let k' = state.touched.(i) in
+    (* A position absent from the queue already had gain 0; gains never
+       increase, so [update] can only move down or remove — never insert. *)
+    Util.Bucket_queue.update state.queue ~key:k' ~prio:state.gain.(k')
+  done;
+  Util.Telemetry.add m_queue_ops touched
 
 (* A pick's gain is by construction the number of pairs [select] is about
    to newly cover, so the marks counter costs one add per pick instead of
    one increment per pair in the hot loop. *)
-let count_pick state k =
+let commit_pick state k =
   Util.Telemetry.incr m_picks;
-  Util.Telemetry.add m_marks state.gain.(k)
+  Util.Telemetry.add m_marks state.gain.(k);
+  state.picks.(state.n_picks) <- k;
+  state.n_picks <- state.n_picks + 1
 
-let select state k =
-  let decrement k' = state.gain.(k') <- state.gain.(k') - 1 in
-  Pair_index.iter_covered_ranges state.index k (fun first last ->
-      for id = first to last do
-        if Bytes.get state.covered id = '\000' then begin
-          Bytes.set state.covered id '\001';
-          Pair_index.iter_coverers state.index id decrement
-        end
-      done)
+(* Picks are distinct by construction (a committed pick's gain drops to 0
+   and gains never rise), so this is one copy + in-place sort. *)
+let picks_so_far state = Util.Array_util.sorted_ints_of_prefix state.picks state.n_picks
 
+(* First strict maximum = smallest position among the tied maxima: the
+   canonical tie rule the other two selectors reproduce. *)
 let argmax_gain state =
+  let gain = state.gain in
   let best = ref (-1) and best_gain = ref 0 in
-  Array.iteri
-    (fun k g ->
-      if g > !best_gain then begin
-        best := k;
-        best_gain := g
-      end)
-    state.gain;
-  if !best_gain = 0 then None else Some !best
+  for k = 0 to Array.length gain - 1 do
+    let g = Array.unsafe_get gain k in
+    if g > !best_gain then begin
+      best := k;
+      best_gain := g
+    end
+  done;
+  !best
 
-let solve_linear budget state initial =
+let solve_linear budget state some_partial =
   let n = Array.length state.gain in
-  let partial acc () = Interrupt.Partial_cover acc in
-  let rec loop acc =
+  let rec loop () =
     (* Each round re-scans every gain, so it costs n steps. The salvage is
        the picks so far — a sound prefix of a cover. *)
-    Interrupt.step ~cost:(max 1 n) ~partial:(partial acc) budget;
-    match argmax_gain state with
-    | None -> acc
-    | Some k ->
-      count_pick state k;
+    Interrupt.step ~cost:(max 1 n) ?partial:some_partial budget;
+    let k = argmax_gain state in
+    if k >= 0 then begin
+      commit_pick state k;
       select state k;
-      loop (k :: acc)
+      loop ()
+    end
   in
-  loop initial
+  loop ()
 
-let solve_heap budget state initial =
-  (* Max-heap of (gain snapshot, position); stale entries are refreshed. *)
-  let cmp (ga, _) (gb, _) = Int.compare gb ga in
+let solve_heap budget state some_partial =
+  (* Max-heap of (gain snapshot, position); stale entries are refreshed.
+     The key tie-break makes the pick sequence identical to the linear
+     re-scan: every live position always has an entry at >= its true
+     gain, stale over-statements pop first and refresh, so the first
+     fresh top is the global (max gain, min position). *)
+  let cmp (ga, ka) (gb, kb) =
+    let c = Int.compare gb ga in
+    if c <> 0 then c else Int.compare ka kb
+  in
   let heap = Util.Heap.create cmp in
+  let peak = ref 0 in
   let push g k =
     Util.Telemetry.incr m_heap_ops;
-    Util.Heap.push heap (g, k)
+    Util.Heap.push heap (g, k);
+    if Util.Heap.length heap > !peak then peak := Util.Heap.length heap
   in
   Array.iteri (fun k g -> if g > 0 then push g k) state.gain;
-  let partial acc () = Interrupt.Partial_cover acc in
-  let rec loop acc =
-    Interrupt.step ~partial:(partial acc) budget;
+  let rec loop () =
+    Interrupt.step ?partial:some_partial budget;
     Util.Telemetry.incr m_heap_ops;
     match Util.Heap.pop heap with
-    | None -> acc
+    | None -> ()
     | Some (g, k) ->
       if g <> state.gain.(k) then begin
-        (* Stale entry: refresh lazily. *)
+        (* Stale entry: refresh lazily. Pop-then-repush is net non-growing,
+           so the heap peaks at its initial candidate count. *)
         if state.gain.(k) > 0 then push state.gain.(k) k;
-        loop acc
+        loop ()
       end
-      else if g = 0 then acc
+      else if g = 0 then ()
       else begin
-        count_pick state k;
+        commit_pick state k;
         select state k;
-        loop (k :: acc)
+        loop ()
       end
   in
-  loop initial
+  loop ();
+  Util.Telemetry.set m_heap_peak !peak
+
+let solve_bucket budget state some_partial =
+  let q = state.queue in
+  (* The queue never grows after construction (gains only decrease), so
+     its peak over the whole solve is its size right here. *)
+  Util.Telemetry.set m_queue_peak (Util.Bucket_queue.length q);
+  let rec loop () =
+    Interrupt.step ?partial:some_partial budget;
+    Util.Telemetry.incr m_queue_ops;
+    let k = Util.Bucket_queue.pop_max q in
+    if k >= 0 then begin
+      commit_pick state k;
+      select state k;
+      loop ()
+    end
+  in
+  loop ()
 
 let run ?(budget = Util.Budget.unlimited) ?(seed = []) selection state =
   (* Seeding: mark everything the seed posts cover before the greedy loop
      and carry them in the result — the final set is then a cover of the
      full pair universe whatever the seed was. A seed post's own gain drops
-     to 0, so the loop never re-picks it. *)
+     to 0, so the loop never re-picks it. Seeds bypass [commit_pick]: they
+     are not greedy picks, so they don't count in the pick telemetry. *)
   let seed = List.sort_uniq Int.compare seed in
-  List.iter (select state) seed;
-  let cover =
-    match selection with
-    | `Linear_scan -> solve_linear budget state seed
-    | `Lazy_heap -> solve_heap budget state seed
-  in
-  List.sort_uniq Int.compare cover
+  List.iter
+    (fun k ->
+      state.picks.(state.n_picks) <- k;
+      state.n_picks <- state.n_picks + 1;
+      select state k)
+    seed;
+  let some_partial = Some (fun () -> Interrupt.Partial_cover (picks_so_far state)) in
+  (match selection with
+  | `Linear_scan -> solve_linear budget state some_partial
+  | `Lazy_heap -> solve_heap budget state some_partial
+  | `Bucket_queue -> solve_bucket budget state some_partial);
+  picks_so_far state
 
-let solve_indexed ?(selection = `Linear_scan) ?pool ?budget ?seed index =
+let solve_indexed ?(selection = `Bucket_queue) ?pool ?budget ?seed index =
   run ?budget ?seed selection (state_of_index ?pool ?budget index)
 
-let solve ?(selection = `Linear_scan) ?pool ?budget ?seed instance lambda =
+let solve ?(selection = `Bucket_queue) ?pool ?budget ?seed instance lambda =
   run ?budget ?seed selection (create_state ?pool ?budget instance lambda)

@@ -7,21 +7,31 @@
     elements is selected.
 
     All coverage geometry comes from a compiled {!Pair_index}: covered
-    flags are one flat byte per pair, gain updates walk the index's CSR
-    coverer rows (per-post λ) or pair-id ranges (fixed λ), and the
-    selection loop performs no per-round allocation.
+    flags are one flat byte per pair and committing a pick runs the fused
+    {!Pair_index.apply_pick} kernel. The selection loop performs no
+    per-round allocation for any strategy; the default bucket-queue loop
+    allocates nothing at all per select (asserted by [bench --exp micro]).
 
-    Two selection strategies are provided. [`Linear_scan] re-scans all
-    gains each round — what the paper's implementation does, after finding
-    heap maintenance too expensive on their data. [`Lazy_heap] keeps a
-    max-heap of possibly-stale gains and re-pushes on mismatch. Both
-    produce the same cover when gains never tie; with ties the covers can
-    differ in composition but obey the same greedy invariant. *)
+    Three selection strategies, all producing {e bit-identical covers}
+    (each resolves gain ties toward the smallest position; enforced by
+    qcheck and the fuzzer's kernel cross-check):
 
-type selection = [ `Linear_scan | `Lazy_heap ]
+    - [`Bucket_queue] (default): a monotone bucket queue keyed on integer
+      gains. Gains only decrease, so decrease-key and pop are O(1)
+      amortized and the queue holds at most one slot per live candidate —
+      no lazily-deleted stale entries.
+    - [`Lazy_heap]: a max-heap of possibly-stale (gain, position)
+      snapshots, re-pushed on mismatch; kept as the reference adversary
+      for the cross-checks.
+    - [`Linear_scan]: re-scan all gains each round — what the paper's
+      implementation does, after finding heap maintenance too expensive
+      on their data. *)
 
-(** The mutable set-cover state (gain array and flat covered bytes over a
-    compiled {!Pair_index}). *)
+type selection = [ `Linear_scan | `Lazy_heap | `Bucket_queue ]
+
+(** The mutable set-cover state (gain array, flat covered bytes, pick and
+    touched-position buffers, and the gain bucket queue over a compiled
+    {!Pair_index}). *)
 type state
 
 (** [create_state ?pool ?budget instance lambda] compiles a {!Pair_index}
@@ -33,19 +43,21 @@ val create_state :
 
 (** [state_of_index ?pool ?budget index] builds the state from an
     already-compiled index — [index] must have been built with coverer sets
-    (the default). *)
+    (the default). Exposed (also) so the allocation benchmark can separate
+    state construction from the solve loop proper. *)
 val state_of_index : ?pool:Util.Pool.t -> ?budget:Util.Budget.t -> Pair_index.t -> state
 
 (** [solve ?selection ?pool ?budget ?seed instance lambda] returns cover
-    positions, ascending. Default selection is [`Linear_scan]. When [pool]
-    is given, index compilation and gain initialization fan out across the
-    pool's domains; the selection loop itself stays sequential. The cover
-    is bit-identical to a run without [pool].
+    positions, ascending. Default selection is [`Bucket_queue]. When
+    [pool] is given, index compilation and gain initialization fan out
+    across the pool's domains; the selection loop itself stays sequential.
+    The cover is bit-identical to a run without [pool] — and to every
+    other selection strategy.
 
     [budget] (default unlimited) is charged one step per post during
-    initialization, [n] per linear-scan round, and one per heap pop; on
-    exhaustion mid-selection the {!Interrupt.Budget_exceeded} carries the
-    picks so far as a [Partial_cover].
+    initialization, [n] per linear-scan round, and one per heap or queue
+    pop; on exhaustion mid-selection the {!Interrupt.Budget_exceeded}
+    carries the picks so far as a [Partial_cover].
 
     [seed] positions are committed before the greedy loop: everything they
     cover is pre-marked and they are included in the result, so the answer

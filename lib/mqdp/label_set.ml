@@ -96,8 +96,31 @@ let disjoint a b =
   let rec loop i = i >= len || (a.(i) land b.(i) = 0 && loop (i + 1)) in
   loop 0
 
-let equal (a : t) (b : t) = a = b
-let compare (a : t) (b : t) = Stdlib.compare a b
+(* Trailing zero words are trimmed, so word arrays of equal sets have
+   equal lengths and word-wise equality is set equality. The comparator
+   orders by length first and then word-wise — the same order the
+   polymorphic compare produced on these blocks, but monomorphic on int,
+   so no runtime tag dispatch in callers that sort sets. *)
+let equal (a : t) (b : t) =
+  let la = Array.length a in
+  la = Array.length b
+  &&
+  let rec go i = i >= la || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let c = Int.compare la lb in
+  if c <> 0 then c
+  else begin
+    let rec go i =
+      if i >= la then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
 
 let iter f s =
   Array.iteri

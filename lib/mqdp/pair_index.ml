@@ -332,3 +332,86 @@ let iter_own_pairs t k f =
   for slot = t.own_off.(k) to t.own_off.(k + 1) - 1 do
     f t.own_pair.(slot)
   done
+
+(* Fused greedy-pick kernel. Compared with the closure-based
+   [iter_covered_ranges] + [iter_coverers] walk this is one flat loop nest
+   with the coverer representation matched once, visiting pair ids in
+   ascending order (slots are label-ascending and each label's block is
+   contiguous) — and it allocates nothing.
+
+   unsafe_get/set bounds argument: [slot] ranges over own_off.(k) ..
+   own_off.(k+1) - 1 (own_off is monotone, capped at total); [id] ranges
+   over a [range_first, range_last] pair which construction confines to
+   the label's id block, itself within [0, total); coverer entries [q]
+   come from the Ranges/Rows tables built over the same blocks; and the
+   positions stored in [pair_pos]/[posts] are instance positions in
+   [0, n). The caller contract below requires [covered]/[dirty]/[gain]/
+   [touched] to be sized total/n/n/n. *)
+let apply_pick t ~covered ~gain ~dirty ~touched k =
+  if Bytes.length covered < Array.length t.pair_pos then
+    invalid_arg "Pair_index.apply_pick: covered too small";
+  let n = Instance.size t.instance in
+  if Array.length gain < n || Bytes.length dirty < n || Array.length touched < n
+  then invalid_arg "Pair_index.apply_pick: scratch too small";
+  let cnt = ref 0 in
+  (match t.cov with
+  | Ranges { first = cf; last = cl } ->
+    for slot = t.own_off.(k) to t.own_off.(k + 1) - 1 do
+      let rl = Array.unsafe_get t.range_last slot in
+      for id = Array.unsafe_get t.range_first slot to rl do
+        if Bytes.unsafe_get covered id = '\000' then begin
+          Bytes.unsafe_set covered id '\001';
+          let ql = Array.unsafe_get cl id in
+          for q = Array.unsafe_get cf id to ql do
+            let k' = Array.unsafe_get t.pair_pos q in
+            Array.unsafe_set gain k' (Array.unsafe_get gain k' - 1);
+            if Bytes.unsafe_get dirty k' = '\000' then begin
+              Bytes.unsafe_set dirty k' '\001';
+              Array.unsafe_set touched !cnt k';
+              incr cnt
+            end
+          done
+        end
+      done
+    done
+  | Rows { offsets; posts } ->
+    for slot = t.own_off.(k) to t.own_off.(k + 1) - 1 do
+      let rl = Array.unsafe_get t.range_last slot in
+      for id = Array.unsafe_get t.range_first slot to rl do
+        if Bytes.unsafe_get covered id = '\000' then begin
+          Bytes.unsafe_set covered id '\001';
+          let ql = Array.unsafe_get offsets (id + 1) - 1 in
+          for q = Array.unsafe_get offsets id to ql do
+            let k' = Array.unsafe_get posts q in
+            Array.unsafe_set gain k' (Array.unsafe_get gain k' - 1);
+            if Bytes.unsafe_get dirty k' = '\000' then begin
+              Bytes.unsafe_set dirty k' '\001';
+              Array.unsafe_set touched !cnt k';
+              incr cnt
+            end
+          done
+        end
+      done
+    done
+  | Absent -> invalid_arg "Pair_index.apply_pick: built with ~coverers:false");
+  (* [dirty] is internal dedup scratch only: hand it back all-zero so the
+     caller never has to sweep it. *)
+  let cnt = !cnt in
+  for i = 0 to cnt - 1 do
+    Bytes.unsafe_set dirty (Array.unsafe_get touched i) '\000'
+  done;
+  cnt
+
+let fill_covered t ~covered k =
+  if Bytes.length covered < Array.length t.pair_pos then
+    invalid_arg "Pair_index.fill_covered: covered too small";
+  let marked = ref 0 in
+  for slot = t.own_off.(k) to t.own_off.(k + 1) - 1 do
+    let first = t.range_first.(slot) and last = t.range_last.(slot) in
+    let len = last - first + 1 in
+    if len > 0 then begin
+      marked := !marked + len;
+      Bytes.fill covered first len '\001'
+    end
+  done;
+  !marked

@@ -75,8 +75,22 @@ val reach : t -> int -> float
 val first_above : t -> Label.t -> float -> int
 
 (** [best_coverer t a id] is the pair id (within label [a]'s block) of the
-    coverer of pair [id] whose interval reaches furthest right, breaking
-    ties toward the smallest LP index — exactly the scan algorithms' pick.
+    coverer of pair [id] whose interval reaches furthest right — exactly
+    the scan algorithms' pick.
+
+    The tie rule differs by λ mode, and both directions are load-bearing
+    (pinned by property tests and by the fuzzer's
+    "StreamScan(τ > λ) ≡ offline Scan" invariant):
+
+    - fixed λ: all intervals have the same radius, so "furthest reach"
+      means largest value; among coverers tied on value the {e largest}
+      LP index wins (the pick is [upper_bound (x + λ) - 1]). This is
+      what makes the offline pick agree with the {!Online} engine, which
+      emits the {e newest} pending arrival at a deadline.
+    - per-post λ: among coverers tied on reach the {e smallest} LP index
+      wins (the left-endpoint sweep heap is keyed (reach desc, LP index
+      asc)).
+
     Raises [Invalid_argument] when no coverer contains the pair's value
     (impossible for a nonnegative λ: a pair covers itself). *)
 val best_coverer : t -> Label.t -> int -> int
@@ -100,3 +114,38 @@ val covered_count : t -> int -> int
 (** [iter_own_pairs t k f] applies [f] to the ids of the pairs post [k]
     itself belongs to — one per label of [k], ascending. *)
 val iter_own_pairs : t -> int -> (int -> unit) -> unit
+
+(** {1 Solve-loop kernels}
+
+    Fused, allocation-free forms of the walks the solvers do per pick.
+    Both visit pair ids in ascending order (the post's per-label ranges
+    are label-ascending over contiguous id blocks), which keeps the flag
+    writes cache-local. *)
+
+(** [apply_pick t ~covered ~gain ~dirty ~touched k] commits post [k] as a
+    greedy pick: marks every pair [k] covers in [covered] (one byte per
+    pair id, ['\000'] = uncovered) and, for each pair {e newly} marked,
+    decrements [gain] at each of its coverers' positions. Positions whose
+    gain changed are recorded once each (deduplicated via [dirty]) in
+    [touched.(0 .. result - 1)]; the return value is their count.
+
+    Caller contract: [covered] has at least [total_pairs t] bytes; [gain],
+    [touched] at least [Instance.size] entries; [dirty] at least
+    [Instance.size] bytes and all-zero — it is returned all-zero, being
+    purely internal dedup scratch. Allocates nothing. Raises
+    [Invalid_argument] when a buffer is too small or the index was built
+    with [~coverers:false]. *)
+val apply_pick :
+  t ->
+  covered:Bytes.t ->
+  gain:int array ->
+  dirty:Bytes.t ->
+  touched:int array ->
+  int ->
+  int
+
+(** [fill_covered t ~covered k] sets the covered byte of every pair post
+    [k] covers — branchless [Bytes.fill] per (post, label) range — and
+    returns the total range length (counting already-set bytes, matching
+    the Scan+ marks accounting). Allocates nothing. *)
+val fill_covered : t -> covered:Bytes.t -> int -> int

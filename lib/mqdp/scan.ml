@@ -47,8 +47,45 @@ let solve_label_indexed ?budget index a =
 let solve_label ?budget instance lambda a =
   solve_label_indexed ?budget (Pair_index.build ?budget ~coverers:false instance lambda) a
 
-let sorted_unique positions =
-  List.sort_uniq Int.compare positions
+(* Reusable pick buffer: picks accumulate into a growable int array and
+   are canonicalized once at the end (one copy + in-place sort) — no
+   per-pick list consing and no [List.sort_uniq] merge intermediates. *)
+type buf = { mutable data : int array; mutable len : int }
+
+let buf_create () = { data = Array.make 64 0; len = 0 }
+
+let buf_push b x =
+  let cap = Array.length b.data in
+  if b.len = cap then begin
+    let data = Array.make (2 * cap) 0 in
+    Array.blit b.data 0 data 0 cap;
+    b.data <- data
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let buf_result b = Util.Array_util.sorted_ints_of_prefix b.data b.len
+
+(* The sequential per-label pass, writing picks straight into [buf] —
+   same walk as [chain] (and the same one-step-per-link budget charge)
+   without materializing the (i, j) list. Pick telemetry is accumulated
+   locally and added once per label. *)
+let solve_label_into ?(budget = Util.Budget.unlimited) index a buf =
+  let base = Pair_index.label_base index a in
+  let n = Pair_index.label_size index a in
+  let picked = ref 0 in
+  let rec loop i =
+    if i < n then begin
+      Interrupt.step budget;
+      let j = Pair_index.best_coverer index a (base + i) - base in
+      buf_push buf (Pair_index.pair_pos index (base + j));
+      incr picked;
+      let next = Pair_index.first_above index a (Pair_index.reach index (base + j)) in
+      loop (max next (i + 1))
+    end
+  in
+  loop 0;
+  Util.Telemetry.add m_picks !picked
 
 let label_chains pool budget index labels =
   Util.Pool.parallel_map pool ~chunk:1
@@ -64,31 +101,42 @@ let enrich_exhaustion picks = function
 
 let solve_indexed ?pool ?budget index =
   let universe = Instance.label_universe (Pair_index.instance index) in
-  let done_labels = ref [] in
+  let buf = buf_create () in
+  (* Picks of fully completed labels — the sound salvage prefix on
+     exhaustion (an in-progress label's partial picks are dropped, as the
+     pre-buffer list implementation did). *)
+  let committed = ref 0 in
   match
     match pool with
     | None ->
       List.iter
-        (fun a -> done_labels := solve_label_indexed ?budget index a :: !done_labels)
-        universe;
-      List.concat !done_labels
+        (fun a ->
+          solve_label_into ?budget index a buf;
+          committed := buf.len)
+        universe
     | Some pool ->
-      (* Per-label fan-out; concatenating in universe order makes the merge
+      (* Per-label fan-out; merging in universe order makes the result
          independent of scheduling, hence bit-identical to sequential. *)
       let chains = label_chains pool budget index universe in
-      List.concat
-        (List.mapi
-           (fun idx a ->
-             let base = Pair_index.label_base index a in
-             List.map
-               (fun (_, j) ->
-                 Util.Telemetry.incr m_picks;
-                 Pair_index.pair_pos index (base + j))
-               chains.(idx))
-           universe)
+      List.iteri
+        (fun idx a ->
+          let base = Pair_index.label_base index a in
+          let picked = ref 0 in
+          List.iter
+            (fun (_, j) ->
+              buf_push buf (Pair_index.pair_pos index (base + j));
+              incr picked)
+            chains.(idx);
+          Util.Telemetry.add m_picks !picked;
+          committed := buf.len)
+        universe
   with
-  | positions -> sorted_unique positions
-  | exception e -> raise (enrich_exhaustion (fun () -> List.concat !done_labels) e)
+  | () -> buf_result buf
+  | exception e ->
+    raise
+      (enrich_exhaustion
+         (fun () -> Util.Array_util.sorted_ints_of_prefix buf.data !committed)
+         e)
 
 let solve ?pool ?budget instance lambda =
   solve_indexed ?pool ?budget (Pair_index.build ?pool ?budget ~coverers:false instance lambda)
@@ -107,13 +155,9 @@ let solve_plus_indexed ?(order = Given) ?pool ?(budget = Util.Budget.unlimited)
     ?(seed = []) index =
   let covered = Bytes.make (Pair_index.total_pairs index) '\000' in
   let mark_covered_by picked =
-    (* Marks are accumulated locally and added once per pick — one atomic
-       op instead of one per range. *)
-    let marked = ref 0 in
-    Pair_index.iter_covered_ranges index picked (fun first last ->
-        marked := !marked + (last - first + 1);
-        Bytes.fill covered first (last - first + 1) '\001');
-    Util.Telemetry.add m_marks !marked
+    (* The fused range-fill kernel; marks come back as one count, added
+       once per pick — one atomic op instead of one per range. *)
+    Util.Telemetry.add m_marks (Pair_index.fill_covered index ~covered picked)
   in
   (* Seed positions are committed up front: their coverage is pre-marked
      and they ride along in the result, so the answer covers the full pair
@@ -134,8 +178,9 @@ let solve_plus_indexed ?(order = Given) ?pool ?(budget = Util.Budget.unlimited)
     | None -> None
     | Some pool -> Some (label_chains pool (Some budget) index labels)
   in
-  let picks = ref seed in
-  let partial () = Interrupt.Partial_cover !picks in
+  let picks = buf_create () in
+  List.iter (fun k -> buf_push picks k) seed;
+  let partial () = Interrupt.Partial_cover (buf_result picks) in
   let process_label idx a =
     let base = Pair_index.label_base index a in
     let n = Pair_index.label_size index a in
@@ -170,7 +215,7 @@ let solve_plus_indexed ?(order = Given) ?pool ?(budget = Util.Budget.unlimited)
           let j = pick_at i in
           let picked = Pair_index.pair_pos index (base + j) in
           Util.Telemetry.incr m_picks;
-          picks := picked :: !picks;
+          buf_push picks picked;
           mark_covered_by picked;
           (* [picked] covers pair (i, a), so the flag at i is now set. *)
           loop (i + 1)
@@ -181,8 +226,8 @@ let solve_plus_indexed ?(order = Given) ?pool ?(budget = Util.Budget.unlimited)
   in
   (match List.iteri process_label labels with
   | () -> ()
-  | exception e -> raise (enrich_exhaustion (fun () -> !picks) e));
-  sorted_unique !picks
+  | exception e -> raise (enrich_exhaustion (fun () -> buf_result picks) e));
+  buf_result picks
 
 let solve_plus ?order ?pool ?budget ?seed instance lambda =
   solve_plus_indexed ?order ?pool ?budget ?seed

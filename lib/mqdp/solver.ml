@@ -3,6 +3,7 @@ type algorithm =
   | Brute_force
   | Greedy_sc
   | Greedy_sc_heap
+  | Greedy_sc_linear
   | Scan
   | Scan_plus
 
@@ -30,6 +31,7 @@ let algorithm_name = function
   | Brute_force -> "brute-force"
   | Greedy_sc -> "greedy-sc"
   | Greedy_sc_heap -> "greedy-sc-heap"
+  | Greedy_sc_linear -> "greedy-sc-linear"
   | Scan -> "scan"
   | Scan_plus -> "scan+"
 
@@ -40,7 +42,8 @@ let streaming_algorithm_name = function
   | Stream_greedy_plus -> "stream-greedy-sc+"
   | Instant -> "instant"
 
-let all_algorithms = [ Opt; Brute_force; Greedy_sc; Greedy_sc_heap; Scan; Scan_plus ]
+let all_algorithms =
+  [ Opt; Brute_force; Greedy_sc; Greedy_sc_heap; Greedy_sc_linear; Scan; Scan_plus ]
 
 let all_streaming_algorithms =
   [ Stream_scan; Stream_scan_plus; Stream_greedy; Stream_greedy_plus; Instant ]
@@ -63,8 +66,10 @@ let run ?pool ?budget ?(seed = []) algorithm instance lambda =
   match algorithm with
   | Opt -> union (Opt.solve ?budget instance lambda)
   | Brute_force -> union (Brute_force.solve ?budget instance lambda)
-  | Greedy_sc -> Greedy_sc.solve ~selection:`Linear_scan ?pool ?budget ~seed instance lambda
+  | Greedy_sc -> Greedy_sc.solve ~selection:`Bucket_queue ?pool ?budget ~seed instance lambda
   | Greedy_sc_heap -> Greedy_sc.solve ~selection:`Lazy_heap ?pool ?budget ~seed instance lambda
+  | Greedy_sc_linear ->
+    Greedy_sc.solve ~selection:`Linear_scan ?pool ?budget ~seed instance lambda
   | Scan -> union (Scan.solve ?pool ?budget instance lambda)
   | Scan_plus -> Scan.solve_plus ?pool ?budget ~seed instance lambda
 
@@ -94,8 +99,9 @@ let solve_compiled ?budget algorithm index =
     | Opt -> Opt.solve ?budget (Pair_index.instance index) (Pair_index.lambda index)
     | Brute_force ->
       Brute_force.solve ?budget (Pair_index.instance index) (Pair_index.lambda index)
-    | Greedy_sc -> Greedy_sc.solve_indexed ~selection:`Linear_scan ?budget index
+    | Greedy_sc -> Greedy_sc.solve_indexed ~selection:`Bucket_queue ?budget index
     | Greedy_sc_heap -> Greedy_sc.solve_indexed ~selection:`Lazy_heap ?budget index
+    | Greedy_sc_linear -> Greedy_sc.solve_indexed ~selection:`Linear_scan ?budget index
     | Scan -> Scan.solve_indexed ?budget index
     | Scan_plus -> Scan.solve_plus_indexed ?budget index
   in

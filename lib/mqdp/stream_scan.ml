@@ -2,12 +2,22 @@
    engine: feed the instance's posts in order, map emitted posts back to
    instance positions. *)
 
+(* Instance positions are sorted by [Post.compare_by_value] (a total
+   order: value, then the unique id), so an emitted post's position is a
+   binary search — no id hash table per solve. *)
+let position_of instance p =
+  let rec go lo hi =
+    if lo >= hi then invalid_arg "Stream_scan: emitted post not in instance"
+    else begin
+      let mid = (lo + hi) / 2 in
+      let c = Post.compare_by_value p (Instance.post instance mid) in
+      if c = 0 then mid else if c < 0 then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 (Instance.size instance)
+
 let run mode instance =
   let n = Instance.size instance in
-  let position_of_id = Hashtbl.create n in
-  for i = 0 to n - 1 do
-    Hashtbl.replace position_of_id (Instance.post instance i).Post.id i
-  done;
   let engine = mode in
   let emissions = ref [] in
   let record es =
@@ -15,7 +25,7 @@ let run mode instance =
       (fun e ->
         emissions :=
           {
-            Stream.position = Hashtbl.find position_of_id e.Online.post.Post.id;
+            Stream.position = position_of instance e.Online.post;
             emit_time = e.Online.emit_time;
           }
           :: !emissions)

@@ -16,3 +16,16 @@ val count_in_range : key:('a -> float) -> 'a array -> lo:float -> hi:float -> in
 
 (** [is_sorted ~cmp xs] checks [cmp xs.(i) xs.(i+1) <= 0] for all i. *)
 val is_sorted : cmp:('a -> 'a -> int) -> 'a array -> bool
+
+(** [sort_ints_prefix a len] sorts [a.(0) .. a.(len - 1)] ascending, in
+    place, allocating nothing. (Stdlib [Array.sort] allocates ~4 words per
+    element: its heapsort raises [Bottom of int] to end each trickle-down,
+    which is measurable garbage on the zero-alloc solve path.) *)
+val sort_ints_prefix : int array -> int -> unit
+
+(** [sorted_ints_of_prefix a len] is the distinct elements of
+    [a.(0) .. a.(len - 1)], ascending. [a] is not mutated. The
+    list-materialization step shared by the solve kernels: a pick buffer
+    in, a canonical cover out — allocation is exactly one [len] copy plus
+    the result cells, with no [List.sort_uniq] intermediates. *)
+val sorted_ints_of_prefix : int array -> int -> int list

@@ -1,0 +1,214 @@
+(* One intrusive doubly-linked list per priority level, all over
+   preallocated int arrays — no per-operation allocation anywhere.
+
+   [cursor] is a high-water mark: no member sits above it. Pops descend
+   it to the first non-empty level; insertions raise it when needed. On a
+   monotone workload (priorities only decrease) the cursor only descends,
+   so each level is visited once per drain.
+
+   Determinism: [pop_max] must break priority ties toward the smallest
+   key. Lists are push-front (O(1)) until the cursor actually lands on a
+   level; at that moment the level is put in ascending key order once
+   ([sorted] remembers which level that was) and kept sorted by
+   positional insertion while it remains the cursor level. On a monotone
+   workload nothing is ever inserted at the cursor level after the sort —
+   a key can only arrive there by *decreasing* from a higher level, and
+   every higher level is already empty — so the sort is once per level
+   and the sorted insertion path is only exercised by non-monotone use. *)
+
+type t = {
+  capacity : int;
+  max_prio : int;
+  head : int array;  (* level -> first key, -1 when empty *)
+  nxt : int array;  (* key -> next key in its level, -1 at the tail *)
+  prv : int array;  (* key -> previous key, -1 at the head *)
+  prio : int array;  (* key -> its level, -1 when absent *)
+  mutable size : int;
+  mutable cursor : int;  (* every member's priority is <= cursor *)
+  mutable sorted : int;  (* the level currently in ascending key order *)
+  scratch : int array;  (* merge-sort ping/pong buffers *)
+  scratch2 : int array;
+}
+
+let create ~capacity ~max_prio =
+  if capacity < 0 then invalid_arg "Bucket_queue.create: negative capacity";
+  if max_prio < 0 then invalid_arg "Bucket_queue.create: negative max_prio";
+  {
+    capacity;
+    max_prio;
+    head = Array.make (max_prio + 1) (-1);
+    nxt = Array.make capacity (-1);
+    prv = Array.make capacity (-1);
+    prio = Array.make capacity (-1);
+    size = 0;
+    cursor = 0;
+    sorted = -1;
+    scratch = Array.make capacity 0;
+    scratch2 = Array.make capacity 0;
+  }
+
+let capacity t = t.capacity
+let length t = t.size
+let is_empty t = t.size = 0
+
+let check_key t key name =
+  if key < 0 || key >= t.capacity then
+    invalid_arg ("Bucket_queue." ^ name ^ ": key out of range")
+
+let mem t key =
+  check_key t key "mem";
+  t.prio.(key) >= 0
+
+let priority t key =
+  check_key t key "priority";
+  let p = t.prio.(key) in
+  if p < 0 then 0 else p
+
+let unlink t key =
+  let p = t.prv.(key) and n = t.nxt.(key) in
+  if p >= 0 then t.nxt.(p) <- n else t.head.(t.prio.(key)) <- n;
+  if n >= 0 then t.prv.(n) <- p;
+  t.prio.(key) <- -1;
+  t.size <- t.size - 1
+
+let link_front t key level =
+  let h = t.head.(level) in
+  t.nxt.(key) <- h;
+  t.prv.(key) <- -1;
+  if h >= 0 then t.prv.(h) <- key;
+  t.head.(level) <- key;
+  t.prio.(key) <- level;
+  t.size <- t.size + 1
+
+(* Positional insert keeping the level in ascending key order — only used
+   while [level = t.sorted]. *)
+let link_sorted t key level =
+  let h = t.head.(level) in
+  if h < 0 || key < h then link_front t key level
+  else begin
+    let cur = ref h in
+    while t.nxt.(!cur) >= 0 && t.nxt.(!cur) < key do
+      cur := t.nxt.(!cur)
+    done;
+    let n = t.nxt.(!cur) in
+    t.nxt.(!cur) <- key;
+    t.prv.(key) <- !cur;
+    t.nxt.(key) <- n;
+    if n >= 0 then t.prv.(n) <- key;
+    t.prio.(key) <- level;
+    t.size <- t.size + 1
+  end
+
+let link t key level =
+  if level > t.cursor then t.cursor <- level;
+  if level = t.sorted then link_sorted t key level else link_front t key level
+
+let push t ~key ~prio =
+  check_key t key "push";
+  if t.prio.(key) >= 0 then invalid_arg "Bucket_queue.push: key already queued";
+  if prio < 1 || prio > t.max_prio then
+    invalid_arg "Bucket_queue.push: priority out of range";
+  link t key prio
+
+let update t ~key ~prio =
+  check_key t key "update";
+  if prio > t.max_prio then invalid_arg "Bucket_queue.update: priority out of range";
+  let current = t.prio.(key) in
+  if current >= 0 then begin
+    if prio <> current then begin
+      unlink t key;
+      if prio >= 1 then link t key prio
+    end
+  end
+  else if prio >= 1 then link t key prio
+
+let remove t key =
+  check_key t key "remove";
+  if t.prio.(key) >= 0 then unlink t key
+
+(* Put level [b]'s list into ascending key order: unload it into
+   [scratch], bottom-up merge sort across the two preallocated buffers,
+   relink. Allocation-free. *)
+let sort_level t b =
+  let a = t.scratch in
+  let m = ref 0 in
+  let k = ref t.head.(b) in
+  while !k >= 0 do
+    a.(!m) <- !k;
+    incr m;
+    k := t.nxt.(!k)
+  done;
+  let m = !m in
+  let src = ref t.scratch and dst = ref t.scratch2 in
+  let width = ref 1 in
+  while !width < m do
+    let s = !src and d = !dst in
+    let i = ref 0 in
+    while !i < m do
+      let lo = !i in
+      let mid = min m (lo + !width) in
+      let hi = min m (lo + (2 * !width)) in
+      let l = ref lo and r = ref mid and o = ref lo in
+      while !l < mid && !r < hi do
+        if s.(!l) <= s.(!r) then begin
+          d.(!o) <- s.(!l);
+          incr l
+        end
+        else begin
+          d.(!o) <- s.(!r);
+          incr r
+        end;
+        incr o
+      done;
+      while !l < mid do
+        d.(!o) <- s.(!l);
+        incr l;
+        incr o
+      done;
+      while !r < hi do
+        d.(!o) <- s.(!r);
+        incr r;
+        incr o
+      done;
+      i := hi
+    done;
+    let tmp = !src in
+    src := !dst;
+    dst := tmp;
+    width := 2 * !width
+  done;
+  let a = !src in
+  if m > 0 then begin
+    t.head.(b) <- a.(0);
+    t.prv.(a.(0)) <- -1;
+    for i = 0 to m - 2 do
+      t.nxt.(a.(i)) <- a.(i + 1);
+      t.prv.(a.(i + 1)) <- a.(i)
+    done;
+    t.nxt.(a.(m - 1)) <- -1
+  end;
+  t.sorted <- b
+
+(* Descend the cursor to the first non-empty level. Caller guarantees the
+   queue is non-empty, so the loop terminates at a level >= 1. *)
+let settle t =
+  while t.head.(t.cursor) < 0 do
+    t.cursor <- t.cursor - 1
+  done
+
+let pop_max t =
+  if t.size = 0 then -1
+  else begin
+    settle t;
+    if t.sorted <> t.cursor then sort_level t t.cursor;
+    let k = t.head.(t.cursor) in
+    unlink t k;
+    k
+  end
+
+let max_priority t =
+  if t.size = 0 then 0
+  else begin
+    settle t;
+    t.cursor
+  end

@@ -1,0 +1,67 @@
+(** A bucket priority queue over integer keys with integer priorities —
+    the greedy set-cover selection structure.
+
+    Keys are [0 .. capacity - 1]; priorities are [1 .. max_prio]. The
+    queue keeps one intrusive doubly-linked list per priority level over
+    preallocated [int] arrays, so [push], [update], [remove] and
+    [pop_max] allocate nothing.
+
+    [pop_max] is deterministic: it returns the member with the highest
+    priority, breaking ties toward the {e smallest key} — the canonical
+    greedy tie rule, matching a full linear re-scan that keeps the first
+    strict maximum.
+
+    The structure is tuned for {e monotone} workloads, where priorities
+    only decrease after insertion (gains in greedy set cover). The scan
+    cursor then only descends, each level is put in key order at most
+    once per visit, and the total pop cost over a drain is
+    O(members + max_prio + sort of each visited level). Priority
+    increases are still correct — they move the cursor back up — they are
+    just not the fast path.
+
+    Membership is bounded by construction: a key occupies at most one
+    slot, so [length] never exceeds the number of live keys — there are
+    no lazily-deleted stale entries to compact, unlike a heap of
+    (priority, key) snapshots. *)
+
+type t
+
+(** [create ~capacity ~max_prio] is an empty queue admitting keys
+    [0 .. capacity - 1] with priorities [1 .. max_prio]. Raises
+    [Invalid_argument] when either is negative. Costs
+    O(capacity + max_prio) words, allocated once here. *)
+val create : capacity:int -> max_prio:int -> t
+
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+
+(** [mem t key] — is [key] currently queued? *)
+val mem : t -> int -> bool
+
+(** [priority t key] is [key]'s current priority, or 0 when absent. *)
+val priority : t -> int -> int
+
+(** [push t ~key ~prio] inserts an absent key. Raises [Invalid_argument]
+    when [key] is out of range or already queued, or when [prio] is
+    outside [1 .. max_prio]. *)
+val push : t -> key:int -> prio:int -> unit
+
+(** [update t ~key ~prio] sets [key]'s priority: moves it when queued,
+    pushes it when absent and [prio >= 1], removes it when queued and
+    [prio <= 0]. The one call a greedy gain-sync loop needs. Raises
+    [Invalid_argument] on an out-of-range key, or on [prio > max_prio]. *)
+val update : t -> key:int -> prio:int -> unit
+
+(** [remove t key] deletes [key] if queued; no-op otherwise. *)
+val remove : t -> int -> unit
+
+(** [pop_max t] removes and returns the member with the highest priority
+    (smallest key on ties), or -1 when empty. Returns a bare [int] — no
+    [option] box — so a solve loop popping per pick allocates nothing. *)
+val pop_max : t -> int
+
+(** [max_priority t] is the priority [pop_max] would return next, or 0
+    when empty. Does not advance past empty levels permanently — the
+    cursor position it settles is the same one [pop_max] would use. *)
+val max_priority : t -> int

@@ -19,6 +19,8 @@ let all_solvers =
     ("brute", fun inst l -> Mqdp.Brute_force.solve inst l);
     ("greedy", fun inst l -> Mqdp.Greedy_sc.solve inst l);
     ("greedy-heap", fun inst l -> Mqdp.Greedy_sc.solve ~selection:`Lazy_heap inst l);
+    ("greedy-bucket", fun inst l -> Mqdp.Greedy_sc.solve ~selection:`Bucket_queue inst l);
+    ("greedy-linear", fun inst l -> Mqdp.Greedy_sc.solve ~selection:`Linear_scan inst l);
     ("scan", fun inst l -> Mqdp.Scan.solve inst l);
     ("scan+", fun inst l -> Mqdp.Scan.solve_plus inst l);
   ]
@@ -254,6 +256,80 @@ let brute_matches_on_variable_lambda =
       List.length (Mqdp.Scan.solve inst lambda)
       = List.length (Mqdp.Brute_force.solve inst lambda))
 
+(* The tentpole invariant: every GreedySC selection kernel returns the
+   bit-identical cover — sequential and pooled, fixed and per-post λ —
+   and commits the same number of greedy picks (pinned through the
+   telemetry counter, so a kernel can't shortcut or double-pick without
+   tripping this). *)
+let kernel_variants_bit_identical =
+  qtest ~count:60 "greedy kernels bit-identical across selection/jobs/lambda"
+    (arb_instance_lambda ~max_posts:25 ~max_labels:4 ~span:25. ())
+    (fun (inst, l) ->
+      let picks = Util.Telemetry.counter "greedy.picks" in
+      let solve_counted f =
+        Util.Telemetry.enable ();
+        Fun.protect ~finally:Util.Telemetry.disable (fun () ->
+            let before = Util.Telemetry.counter_value picks in
+            let cover = f () in
+            (cover, Util.Telemetry.counter_value picks - before))
+      in
+      Util.Pool.with_pool ~jobs:2 (fun pool ->
+          List.for_all
+            (fun lambda ->
+              let reference, ref_picks =
+                solve_counted (fun () ->
+                    Mqdp.Greedy_sc.solve ~selection:`Linear_scan inst lambda)
+              in
+              List.for_all
+                (fun selection ->
+                  let seq, seq_picks =
+                    solve_counted (fun () -> Mqdp.Greedy_sc.solve ~selection inst lambda)
+                  in
+                  let pooled, pooled_picks =
+                    solve_counted (fun () ->
+                        Mqdp.Greedy_sc.solve ~selection ~pool inst lambda)
+                  in
+                  List.equal Int.equal seq reference
+                  && List.equal Int.equal pooled reference
+                  && seq_picks = ref_picks
+                  && pooled_picks = ref_picks)
+                [ `Linear_scan; `Lazy_heap; `Bucket_queue ])
+            [
+              fixed l;
+              Mqdp.Coverage.Per_post_label
+                (fun p _ -> if p.Mqdp.Post.id mod 2 = 0 then l else l /. 2.);
+            ]))
+
+(* Structural boundedness of the selection data structures: the bucket
+   queue holds at most one slot per candidate, and the lazy heap's
+   pop-then-repush refresh is net non-growing — so both peaks are bounded
+   by the post count. This is the regression test for the old heap's
+   lazy-deletion growth, now impossible by construction. *)
+let test_selection_peaks_bounded () =
+  let inst =
+    instance_of
+      (List.init 60 (fun id ->
+           post ~id ~value:(float_of_int (id / 2)) [ id mod 3 ]))
+  in
+  let n = Mqdp.Instance.size inst in
+  let lambda = fixed 4. in
+  let queue_peak = Util.Telemetry.gauge "greedy.queue_peak" in
+  let heap_peak = Util.Telemetry.gauge "greedy.heap_peak" in
+  Util.Telemetry.enable ();
+  Fun.protect ~finally:Util.Telemetry.disable (fun () ->
+      ignore (Mqdp.Greedy_sc.solve ~selection:`Bucket_queue inst lambda);
+      ignore (Mqdp.Greedy_sc.solve ~selection:`Lazy_heap inst lambda));
+  let qp = Util.Telemetry.gauge_value queue_peak in
+  let hp = Util.Telemetry.gauge_value heap_peak in
+  Alcotest.(check bool) "queue peak positive" true (qp > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "queue peak %d bounded by %d candidates" qp n)
+    true (qp <= n);
+  Alcotest.(check bool) "heap peak positive" true (hp > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "heap peak %d bounded by %d candidates" hp n)
+    true (hp <= n)
+
 let solver_dispatch_consistent =
   qtest ~count:60 "Solver.solve dispatch equals direct calls"
     (arb_instance_lambda ~max_posts:10 ~max_labels:3 ())
@@ -289,5 +365,8 @@ let suite =
     huge_lambda_collapses;
     variable_lambda_covers;
     brute_matches_on_variable_lambda;
+    kernel_variants_bit_identical;
+    Alcotest.test_case "selection peaks bounded by candidates" `Quick
+      test_selection_peaks_bounded;
     solver_dispatch_consistent;
   ]

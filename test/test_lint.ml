@@ -1,0 +1,50 @@
+(* Source lints for the hot path. Polymorphic [Stdlib.compare] on the solve
+   and bench paths is both slow (megamorphic dispatch per comparison) and a
+   latent correctness hazard — it ranks blocks by size before contents, which
+   silently disagrees with the typed comparators (see Label_set.compare).
+   The sweep that removed it is enforced here so it cannot creep back: the
+   trees under lib/ and bench/ must contain no occurrence of the token. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec ml_sources dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then ml_sources path
+         else if Filename.check_suffix entry ".ml" then [ path ]
+         else [])
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let check_tree_free_of ~needle dir =
+  let sources = ml_sources dir in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s has .ml sources to lint" dir)
+    true
+    (List.length sources > 0);
+  List.iter
+    (fun path ->
+      if contains ~needle (read_file path) then
+        Alcotest.failf "%s occurs in %s — use a typed comparator" needle path)
+    sources
+
+(* dune runs the test binary from _build/default/test; the (deps
+   (source_tree ...)) clauses in test/dune stage the sources next to it. *)
+let test_no_polymorphic_compare () =
+  List.iter
+    (check_tree_free_of ~needle:"Stdlib.compare")
+    [ Filename.concat ".." "lib"; Filename.concat ".." "bench" ]
+
+let suite =
+  [
+    Alcotest.test_case "no Stdlib.compare under lib/ and bench/" `Quick
+      test_no_polymorphic_compare;
+  ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "mqdp"
     [
       ("util", Test_util.suite);
+      ("lint", Test_lint.suite);
       ("telemetry", Test_telemetry.suite);
       ("label-set", Test_label_set.suite);
       ("instance", Test_instance.suite);

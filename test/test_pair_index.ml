@@ -227,7 +227,13 @@ let ref_greedy inst lambda =
 
 let ref_greedy_heap inst lambda =
   let state, select = ref_greedy_setup inst lambda in
-  let cmp (ga, _) (gb, _) = Int.compare gb ga in
+  (* (gain desc, position asc): the tie-broken comparator the library's
+     lazy heap uses, which pins its pick sequence to the linear re-scan's
+     first-strict-maximum rule. *)
+  let cmp (ga, ka) (gb, kb) =
+    let c = Int.compare gb ga in
+    if c <> 0 then c else Int.compare ka kb
+  in
   let heap = Util.Heap.create cmp in
   Array.iteri (fun k g -> if g > 0 then Util.Heap.push heap (g, k)) state.gain;
   let rec loop acc =
@@ -331,6 +337,97 @@ let best_pick_matches_reference =
               true)
             (pair_ids inst index))
         (both_lambdas l))
+
+(* Dedicated tie-rule pins. Under fixed λ the best pick is the
+   furthest-right value and, among posts tied at that value, the LARGEST
+   LP index — the newest arrival, which is what the Online engine emits
+   for a pending tied pair (the fuzzer's StreamScan ≡ Scan invariant
+   depends on this). Under per-post λ ties on reach resolve to the
+   SMALLEST LP index (the sweep heap's (reach desc, index asc) order). *)
+let test_best_pick_tie_rules () =
+  let inst =
+    instance_of
+      [ post ~id:1 ~value:0. [ 0 ]; post ~id:2 ~value:1. [ 0 ];
+        post ~id:3 ~value:1. [ 0 ]; post ~id:4 ~value:1. [ 0 ] ]
+  in
+  let fixed = Mqdp.Coverage.Fixed 1. in
+  let index = Mqdp.Pair_index.build ~coverers:false inst fixed in
+  let base = Mqdp.Pair_index.label_base index 0 in
+  (* Pair of P1 (value 0): P2, P3, P4 are tied at the furthest value 1;
+     the newest (largest LP index, position 3) must win. *)
+  Alcotest.(check int) "fixed λ tie → largest LP index" (base + 3)
+    (Mqdp.Pair_index.best_coverer index 0 base);
+  let prop = Mqdp.Coverage.Per_post_label (fun _ _ -> 1.) in
+  let index = Mqdp.Pair_index.build ~coverers:false inst prop in
+  let base = Mqdp.Pair_index.label_base index 0 in
+  (* Same geometry, per-post mode: P2, P3, P4 are tied at reach 2; the
+     smallest LP index (position 1) must win. *)
+  Alcotest.(check int) "per-post λ tie → smallest LP index" (base + 1)
+    (Mqdp.Pair_index.best_coverer index 0 base)
+
+let tie_rules_pinned =
+  (* Integral values on a tiny span make value and reach ties dense; the
+     naive scans below encode the two tie rules explicitly and
+     independently of the library's binary-search/heap-sweep paths. *)
+  qtest ~count:200 "best_coverer tie rules on tie-dense integral instances"
+    QCheck.(list_of_size Gen.(int_range 1 12) (pair (int_bound 5) (int_bound 2)))
+    (fun spec ->
+      let inst =
+        instance_of
+          (List.mapi (fun id (v, a) -> post ~id ~value:(float_of_int v) [ a ]) spec)
+      in
+      let l = 2. in
+      let fixed = Mqdp.Coverage.Fixed l in
+      let prop =
+        Mqdp.Coverage.Per_post_label
+          (fun p _ -> if p.Mqdp.Post.id mod 2 = 0 then 2. else 1.)
+      in
+      let check_mode name lambda naive =
+        let index = Mqdp.Pair_index.build ~coverers:false inst lambda in
+        List.for_all
+          (fun (a, id) ->
+            let base = Mqdp.Pair_index.label_base index a in
+            let lp = Mqdp.Instance.label_posts inst a in
+            let x = Mqdp.Pair_index.pair_value index id in
+            let got = Mqdp.Pair_index.best_coverer index a id - base in
+            let expected = naive a lp x in
+            if got <> expected then
+              QCheck.Test.fail_reportf "%s tie pick of pair %d: %d vs %d on %s" name
+                id got expected (describe_instance inst);
+            true)
+          (pair_ids inst index)
+      in
+      let naive_fixed _ lp x =
+        (* candidate with the max value; >= keeps the later (larger) index. *)
+        let best = ref (-1) and best_v = ref neg_infinity in
+        Array.iteri
+          (fun j pos ->
+            let v = Mqdp.Instance.value inst pos in
+            if Float.abs (v -. x) <= l && v >= !best_v then begin
+              best := j;
+              best_v := v
+            end)
+          lp;
+        !best
+      in
+      let naive_prop a lp x =
+        (* candidate with the max reach; strict > keeps the first index. *)
+        let best = ref (-1) and best_r = ref neg_infinity in
+        Array.iteri
+          (fun j pos ->
+            let p = Mqdp.Instance.post inst pos in
+            let r = Mqdp.Coverage.radius prop p a in
+            if Float.abs (p.Mqdp.Post.value -. x) <= r then begin
+              let reach = p.Mqdp.Post.value +. r in
+              if reach > !best_r then begin
+                best := j;
+                best_r := reach
+              end
+            end)
+          lp;
+        !best
+      in
+      check_mode "fixed" fixed naive_fixed && check_mode "per-post" prop naive_prop)
 
 let reach_and_reverse_maps =
   qtest "reach, covered ranges and own pairs agree with direct recomputation"
@@ -478,6 +575,9 @@ let suite =
       test_absent_coverers_guarded;
     coverers_match_naive;
     best_pick_matches_reference;
+    Alcotest.test_case "best-pick tie rules (crafted ties)" `Quick
+      test_best_pick_tie_rules;
+    tie_rules_pinned;
     reach_and_reverse_maps;
     solvers_match_pre_refactor;
     parallel_build_identical;

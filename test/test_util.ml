@@ -91,6 +91,111 @@ let bounds_property =
         arr;
       !ok)
 
+(* ---- monotone bucket queue ---- *)
+
+let test_bucket_basic () =
+  let q = Util.Bucket_queue.create ~capacity:8 ~max_prio:5 in
+  Alcotest.(check bool) "empty" true (Util.Bucket_queue.is_empty q);
+  Alcotest.(check int) "pop empty = -1" (-1) (Util.Bucket_queue.pop_max q);
+  Alcotest.(check int) "max_priority empty = 0" 0 (Util.Bucket_queue.max_priority q);
+  List.iter
+    (fun (key, prio) -> Util.Bucket_queue.push q ~key ~prio)
+    [ (3, 2); (0, 5); (7, 5); (1, 1); (5, 2) ];
+  Alcotest.(check int) "length" 5 (Util.Bucket_queue.length q);
+  Alcotest.(check int) "capacity" 8 (Util.Bucket_queue.capacity q);
+  Alcotest.(check bool) "mem 7" true (Util.Bucket_queue.mem q 7);
+  Alcotest.(check bool) "mem 2" false (Util.Bucket_queue.mem q 2);
+  Alcotest.(check int) "priority 3" 2 (Util.Bucket_queue.priority q 3);
+  Alcotest.(check int) "priority absent = 0" 0 (Util.Bucket_queue.priority q 2);
+  Alcotest.(check int) "max_priority" 5 (Util.Bucket_queue.max_priority q);
+  (* (max prio, smallest key) first; ties pop in ascending key order. *)
+  let drained = List.init 5 (fun _ -> Util.Bucket_queue.pop_max q) in
+  Alcotest.(check (list int)) "pop order" [ 0; 7; 3; 5; 1 ] drained;
+  Alcotest.(check int) "drained" (-1) (Util.Bucket_queue.pop_max q)
+
+let test_bucket_update_remove () =
+  let q = Util.Bucket_queue.create ~capacity:4 ~max_prio:9 in
+  Util.Bucket_queue.push q ~key:0 ~prio:4;
+  Util.Bucket_queue.push q ~key:1 ~prio:4;
+  (* Decrease-key moves a member down; update of an absent key inserts;
+     prio <= 0 removes. *)
+  Util.Bucket_queue.update q ~key:0 ~prio:2;
+  Util.Bucket_queue.update q ~key:2 ~prio:9;
+  Util.Bucket_queue.update q ~key:1 ~prio:0;
+  Alcotest.(check int) "first" 2 (Util.Bucket_queue.pop_max q);
+  Alcotest.(check int) "second" 0 (Util.Bucket_queue.pop_max q);
+  Alcotest.(check bool) "drained" true (Util.Bucket_queue.is_empty q);
+  Util.Bucket_queue.push q ~key:3 ~prio:1;
+  Util.Bucket_queue.remove q 3;
+  Alcotest.(check bool) "removed" true (Util.Bucket_queue.is_empty q);
+  Util.Bucket_queue.push q ~key:3 ~prio:1;
+  Alcotest.check_raises "double push rejected"
+    (Invalid_argument "Bucket_queue.push: key already queued") (fun () ->
+      Util.Bucket_queue.push q ~key:3 ~prio:2);
+  Alcotest.check_raises "prio above max rejected"
+    (Invalid_argument "Bucket_queue.update: priority out of range") (fun () ->
+      Util.Bucket_queue.update q ~key:3 ~prio:10);
+  Alcotest.check_raises "key out of range"
+    (Invalid_argument "Bucket_queue.mem: key out of range") (fun () ->
+      ignore (Util.Bucket_queue.mem q 4))
+
+(* Model check against a naive priority map, through arbitrary interleaved
+   updates (including priority increases — the non-monotone path that
+   exercises sorted insertion and cursor raising) and pops. *)
+let bucket_matches_model =
+  let cap = 12 and max_prio = 6 in
+  Helpers.qtest "bucket queue matches naive model under update/pop churn"
+    QCheck.(
+      list
+        (oneof
+           [
+             map (fun (k, p) -> `Update (k, p)) (pair (int_bound (cap - 1)) (int_bound max_prio));
+             always `Pop;
+           ]))
+    (fun ops ->
+      let q = Util.Bucket_queue.create ~capacity:cap ~max_prio in
+      let model = Array.make cap 0 in
+      let model_pop () =
+        let best = ref (-1) in
+        for k = cap - 1 downto 0 do
+          if model.(k) > 0 && (!best < 0 || model.(k) >= model.(!best)) then best := k
+        done;
+        match !best with
+        | -1 -> -1
+        | k ->
+          model.(k) <- 0;
+          k
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Update (key, prio) ->
+            Util.Bucket_queue.update q ~key ~prio;
+            model.(key) <- prio;
+            Util.Bucket_queue.length q
+            = Array.fold_left (fun acc p -> if p > 0 then acc + 1 else acc) 0 model
+          | `Pop -> Util.Bucket_queue.pop_max q = model_pop ())
+        ops
+      &&
+      let rec drain () =
+        let k = Util.Bucket_queue.pop_max q in
+        k = model_pop () && (k < 0 || drain ())
+      in
+      drain ())
+
+let sort_prefix_matches_stdlib =
+  Helpers.qtest "sort_ints_prefix = Array.sort on the prefix"
+    QCheck.(pair (array_of_size Gen.(int_range 0 60) (int_bound 100)) small_nat)
+    (fun (a, len) ->
+      let len = min len (Array.length a) in
+      let mine = Array.copy a in
+      Util.Array_util.sort_ints_prefix mine len;
+      let reference = Array.copy a in
+      let prefix = Array.sub reference 0 len in
+      Array.sort Int.compare prefix;
+      Array.blit prefix 0 reference 0 len;
+      mine = reference)
+
 let test_rng_determinism () =
   let a = Util.Rng.create 1 and b = Util.Rng.create 1 in
   for _ = 1 to 100 do
@@ -659,6 +764,10 @@ let suite =
     Alcotest.test_case "stats reject NaN" `Quick test_stats_nan_rejected;
     heap_sort_is_sort;
     heap_push_pop;
+    Alcotest.test_case "bucket queue basics" `Quick test_bucket_basic;
+    Alcotest.test_case "bucket queue update/remove" `Quick test_bucket_update_remove;
+    bucket_matches_model;
+    sort_prefix_matches_stdlib;
     Alcotest.test_case "running stats" `Quick test_running_stats;
     Alcotest.test_case "percentiles" `Quick test_percentile;
     Alcotest.test_case "histogram" `Quick test_histogram;
