@@ -1,0 +1,206 @@
+(* The windowed-coverage regression gate.
+
+   A sliding window advances over a generated day of posts in fixed
+   steps; at every tick the live slice is solved with GreedySC. Two ways:
+
+   - incremental: one long-lived Window_index per run — push the tick's
+     arrivals, expire the tick's departures, solve in place with a
+     reused scratch solver;
+   - rebuild: materialize the slice (Instance.sub) and compile a fresh
+     Pair_index every tick — the only option before Window_index
+     existed.
+
+   Covers are checked identical tick by tick (the equivalence contract,
+   here on real workload shapes rather than qcheck minis), then the
+   run-time ratio gates the incremental path: on the largest workload it
+   must beat rebuild-per-tick by at least 5x or the experiment exits 1 —
+   wired into CI so an accidental re-introduction of per-tick compile
+   work (or a quadratic expiry) cannot land silently.
+
+   Two allocation gates ride along, in the style of the micro suite's
+   zero-alloc gate: steady-state window maintenance (push + expire, the
+   per-arrival hot path) must stay at ~0 OCaml-heap bytes per post once
+   buffers have grown to steady state, and a steady-state solve must
+   allocate no more than its result list. *)
+
+let lambda0 = 30.
+
+(* One sliding-window pass; returns the per-tick covers and elapsed
+   seconds. [mode] selects the incremental or rebuild solver. *)
+type mode =
+  | Incremental
+  | Rebuild
+
+let sliding_pass mode inst ~window ~step =
+  let lambda = Mqdp.Coverage.Fixed lambda0 in
+  let posts = Mqdp.Instance.posts inst in
+  let n = Array.length posts in
+  let lo, hi =
+    match Mqdp.Instance.span inst with
+    | Some (lo, hi) -> (lo, hi)
+    | None -> (0., 0.)
+  in
+  let w = Mqdp.Window_index.create lambda in
+  let solver = Mqdp.Greedy_sc.window_solver () in
+  let next = ref 0 in
+  let covers = ref [] in
+  let run () =
+    let t = ref (lo +. window) in
+    while !t <= hi +. step do
+      (match mode with
+      | Incremental ->
+        (* Push this tick's arrivals, then advance the tail: expiry last,
+           so the live set is exactly [t - window, t] — the same closed
+           interval (same floats) the rebuild pass slices. *)
+        while !next < n && posts.(!next).Mqdp.Post.value <= !t do
+          Mqdp.Window_index.push w posts.(!next);
+          incr next
+        done;
+        Mqdp.Window_index.expire_before w ~time:(!t -. window);
+        covers := Mqdp.Greedy_sc.solve_window ~solver w :: !covers
+      | Rebuild ->
+        let slice = Mqdp.Instance.sub inst ~lo:(!t -. window) ~hi:!t in
+        let index = Mqdp.Pair_index.build slice lambda in
+        covers := Mqdp.Greedy_sc.solve_indexed index :: !covers);
+      t := !t +. step
+    done
+  in
+  let (), elapsed = Util.Timer.time_it run in
+  (List.rev !covers, elapsed)
+
+let check_identical name a b =
+  let tick = ref 0 in
+  List.iter2
+    (fun x y ->
+      if not (List.equal Int.equal x y) then begin
+        Printf.eprintf "FAIL: %s: tick %d: incremental cover differs from rebuild\n" name
+          !tick;
+        Printf.eprintf "  inc: %s\n  reb: %s\n"
+          (String.concat "," (List.map string_of_int x))
+          (String.concat "," (List.map string_of_int y));
+        exit 1
+      end;
+      incr tick)
+    a b
+
+(* --- allocation gates (see micro.ml for the Gc.minor discipline) --- *)
+
+let bytes_over f =
+  Gc.minor ();
+  let before = Gc.allocated_bytes () in
+  f ();
+  Gc.minor ();
+  Gc.allocated_bytes () -. before
+
+(* Drive the window exactly like a streaming tick loop: push every
+   arrival of the tick, then expire the tail once. One expire_before call
+   per tick also keeps the measurement honest under the dev profile,
+   where the caller must box the [~time] float argument (-opaque blocks
+   the inlining that would elide it) — that one measurement-side box per
+   tick is the only heap traffic and amortizes to well under a byte per
+   post; under release it is exactly zero. *)
+let maintenance_gate inst ~window ~step =
+  let lambda = Mqdp.Coverage.Fixed lambda0 in
+  let posts = Mqdp.Instance.posts inst in
+  let n = Array.length posts in
+  let w = Mqdp.Window_index.create lambda in
+  let next = ref 0 in
+  let t = ref (match Mqdp.Instance.span inst with Some (lo, _) -> lo | None -> 0.) in
+  let tick_through limit =
+    while !next < limit do
+      while !next < limit && posts.(!next).Mqdp.Post.value <= !t do
+        Mqdp.Window_index.push w posts.(!next);
+        incr next
+      done;
+      Mqdp.Window_index.expire_before w ~time:(!t -. window);
+      t := !t +. step
+    done
+  in
+  (* Warm phase: first half of the stream grows every buffer to its
+     steady-state capacity (the window's peak occupancy repeats daily
+     patterns, so half a day is enough). *)
+  let half = n / 2 in
+  tick_through half;
+  (* Measured phase: the second half must not allocate on the OCaml heap
+     — all state lives in the off-heap Flat buffers. *)
+  let measured = bytes_over (fun () -> tick_through n) in
+  let per_post = measured /. float_of_int (n - half) in
+  Printf.printf "maintenance: %.2f B/post over %d steady-state posts (budget 1 B)\n"
+    per_post (n - half);
+  if per_post > 1. then begin
+    Printf.eprintf "FAIL: steady-state window maintenance allocates %.2f B/post\n" per_post;
+    exit 1
+  end
+
+let solve_gate inst ~window =
+  let lambda = Mqdp.Coverage.Fixed lambda0 in
+  let w = Mqdp.Window_index.create lambda in
+  let posts = Mqdp.Instance.posts inst in
+  let hi = match Mqdp.Instance.span inst with Some (_, hi) -> hi | None -> 0. in
+  Array.iter
+    (fun p -> if p.Mqdp.Post.value >= hi -. window then Mqdp.Window_index.push w p)
+    posts;
+  let solver = Mqdp.Greedy_sc.window_solver () in
+  let picks = List.length (Mqdp.Greedy_sc.solve_window ~solver w) in
+  let rounds = 5 in
+  let measured =
+    bytes_over (fun () ->
+        for _ = 1 to rounds do
+          ignore (Mqdp.Greedy_sc.solve_window ~solver w)
+        done)
+  in
+  let per_solve = measured /. float_of_int rounds in
+  (* The state record, the picks accumulator, and the sorted result are
+     the only allowed allocations: everything else is reused scratch. *)
+  let budget = (64. *. float_of_int picks) +. 4096. in
+  Printf.printf "steady solve: %.0f B/solve at %d picks on %d live posts (budget %.0f B)\n"
+    per_solve picks (Mqdp.Window_index.size w) budget;
+  if per_solve > budget then begin
+    Printf.eprintf "FAIL: steady-state windowed solve allocates %.0f B (budget %.0f)\n"
+      per_solve budget;
+    exit 1
+  end
+
+let run () =
+  Harness.section ~id:"window"
+    ~paper:"(engineering supplement; no paper analogue)"
+    ~expect:"incremental window maintenance >= 5x over rebuild-per-tick";
+  let workloads =
+    [
+      ("ten-minute |L|=5", Workloads.ten_minute ~rate:30. ~overlap:1.5 ~labels:5 ~seed:7 (),
+       120., 10.);
+      ("one-day |L|=5", Workloads.one_day ~labels:5 ~seed:3, 600., 60.);
+      ("one-day |L|=20 w=1h", Workloads.one_day ~labels:20 ~seed:3, 3600., 60.);
+    ]
+  in
+  let rows, last_speedup =
+    List.fold_left
+      (fun (rows, _) (name, inst, window, step) ->
+        let inc_covers, inc_s = sliding_pass Incremental inst ~window ~step in
+        let reb_covers, reb_s = sliding_pass Rebuild inst ~window ~step in
+        check_identical name inc_covers reb_covers;
+        let speedup = reb_s /. inc_s in
+        let row =
+          [ name;
+            string_of_int (Mqdp.Instance.size inst);
+            string_of_int (List.length inc_covers);
+            Printf.sprintf "%.3f" reb_s;
+            Printf.sprintf "%.3f" inc_s;
+            Printf.sprintf "%.1fx" speedup ]
+        in
+        (row :: rows, speedup))
+      ([], 0.) workloads
+  in
+  Harness.table
+    [ "workload"; "posts"; "ticks"; "rebuild s"; "incremental s"; "speedup" ]
+    (List.rev rows);
+  let day20 = Workloads.one_day ~labels:20 ~seed:3 in
+  maintenance_gate day20 ~window:600. ~step:300.;
+  solve_gate day20 ~window:600.;
+  if last_speedup < 5. then begin
+    Printf.eprintf
+      "FAIL: incremental windowing is only %.1fx over rebuild-per-tick (gate: 5x)\n"
+      last_speedup;
+    exit 1
+  end;
+  Printf.printf "window gate: OK (%.1fx on the largest workload)\n" last_speedup

@@ -31,6 +31,7 @@ let experiments =
     ("ablF", Exp_ablations.abl_greedy_selection);
     ("micro", Micro.run);
     ("kernels", Exp_kernels.run);
+    ("window", Exp_window.run);
     ("telemetry", Exp_telemetry.run);
     ("scaling", Exp_scaling.run);
     ("faults", Exp_faults.run);

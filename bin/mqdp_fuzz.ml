@@ -3,7 +3,7 @@
    prints the reproducing seed on the first discrepancy — the tool to run
    after touching any algorithm.
 
-   usage: mqdp_fuzz [--fault <drop|clamp|raise|mixed> | --budget]
+   usage: mqdp_fuzz [--fault <drop|clamp|raise|mixed> | --budget | --window]
                     [seconds (default 10)] [start-seed (default 1)]
 
    With --fault the tool switches from differential solver checks to the
@@ -22,7 +22,15 @@
    that steps-only budgets degrade deterministically, that an unlimited
    budget reproduces the direct solver call bit-for-bit, that a cancelled
    or exhausted Solver.compile leaves no observable half-compiled state,
-   and that pre-cancelled budgets abort with Cancelled before any work. *)
+   and that pre-cancelled budgets abort with Cancelled before any work.
+
+   With --window the tool tortures the sliding-window geometry: every
+   round drives a Window_index through a random interleaving of push
+   batches, expiries (by time and by count), solves (every selection
+   strategy, with a reused scratch solver, occasionally against a domain
+   pool), and export/import round-trips — and after every solve
+   cross-checks the cover bit-for-bit against a fresh Pair_index.build
+   over the materialized live posts, under fixed and per-post λ alike. *)
 
 let random_instance rng =
   let n = 2 + Util.Rng.int rng 12 in
@@ -389,6 +397,105 @@ let one_fault_round ~policy seed =
         p.Mqdp.Post.labels)
     delivered
 
+(* ---------------- window mode: the sliding-window geometry ---------------- *)
+
+let one_window_round seed =
+  let rng = Util.Rng.create (0xA11CE + seed) in
+  let num_labels = 1 + Util.Rng.int rng 5 in
+  let span = 10. +. Util.Rng.float rng 40. in
+  let lambda =
+    if Util.Rng.bool rng then Mqdp.Coverage.Fixed (0.5 +. Util.Rng.float rng 4.)
+    else
+      Mqdp.Coverage.Per_post_label
+        (fun p a -> 0.4 +. (0.3 *. float_of_int ((p.Mqdp.Post.id + a) mod 5)))
+  in
+  let n = 30 + Util.Rng.int rng 90 in
+  let stream = Array.of_list (clean_stream rng ~n ~num_labels ~span) in
+  let n = Array.length stream in
+  let w = Mqdp.Window_index.create lambda in
+  let wsolver = Mqdp.Greedy_sc.window_solver () in
+  (* Reference model: the live posts as a plain list, ascending. *)
+  let live = ref [] in
+  let next = ref 0 in
+  let push_batch () =
+    let k = 1 + Util.Rng.int rng 6 in
+    for _ = 1 to k do
+      if !next < n then begin
+        let p = stream.(!next) in
+        incr next;
+        Mqdp.Window_index.push w p;
+        live := p :: !live
+      end
+    done
+  in
+  let live_posts () = List.rev !live in
+  let expire () =
+    match live_posts () with
+    | [] -> ()
+    | posts ->
+      if Util.Rng.bool rng then begin
+        (* By time: cut at a random live post's value. *)
+        let arr = Array.of_list posts in
+        let t = arr.(Util.Rng.int rng (Array.length arr)).Mqdp.Post.value in
+        Mqdp.Window_index.expire_before w ~time:t;
+        live := List.rev (List.filter (fun p -> p.Mqdp.Post.value >= t) posts)
+      end
+      else begin
+        (* By count. *)
+        let k = Util.Rng.int rng (List.length posts + 1) in
+        Mqdp.Window_index.expire_posts w k;
+        live := List.rev (List.filteri (fun i _ -> i >= k) posts)
+      end
+  in
+  let solve_and_check () =
+    let posts = live_posts () in
+    let slice = Mqdp.Instance.create posts in
+    check ~seed
+      (Mqdp.Instance.size slice = Mqdp.Window_index.size w)
+      "window size diverged from the reference model";
+    let index = Mqdp.Pair_index.build slice lambda in
+    let reference = Mqdp.Greedy_sc.solve_indexed index in
+    check ~seed
+      (Mqdp.Coverage.is_cover slice lambda reference)
+      "fresh-index greedy returned a non-cover";
+    List.iter
+      (fun selection ->
+        let got = Mqdp.Greedy_sc.solve_window ~selection ~solver:wsolver w in
+        check ~seed
+          (List.equal Int.equal got reference)
+          "windowed cover diverged from the fresh Pair_index")
+      [ `Bucket_queue; `Lazy_heap; `Linear_scan ];
+    if seed mod 8 = 0 then begin
+      let pooled =
+        Util.Pool.with_pool ~jobs:4 (fun pool ->
+            Mqdp.Greedy_sc.solve ~pool slice lambda)
+      in
+      check ~seed
+        (List.equal Int.equal pooled reference)
+        "pooled solve diverged from the windowed cover"
+    end
+  in
+  let roundtrip () =
+    let size = Mqdp.Window_index.size w and head = Mqdp.Window_index.expired w in
+    let restored = Mqdp.Window_index.import lambda (Mqdp.Window_index.export w) in
+    check ~seed
+      (Mqdp.Window_index.size restored = size && Mqdp.Window_index.expired restored = head)
+      "export/import changed the window shape";
+    check ~seed
+      (List.equal Int.equal
+         (Mqdp.Greedy_sc.solve_window restored)
+         (Mqdp.Greedy_sc.solve_window ~solver:wsolver w))
+      "restored window solves differently"
+  in
+  while !next < n do
+    match Util.Rng.int rng 4 with
+    | 0 | 1 -> push_batch ()
+    | 2 -> expire ()
+    | _ -> if Util.Rng.bool rng then solve_and_check () else roundtrip ()
+  done;
+  solve_and_check ();
+  roundtrip ()
+
 let fuzz_loop ~seconds ~seed0 ~what round =
   let start = Unix.gettimeofday () in
   let rounds = ref 0 and seed = ref seed0 in
@@ -411,6 +518,7 @@ let fuzz_loop ~seconds ~seed0 ~what round =
 type mode =
   | Diff
   | Budget
+  | Window
   | Fault of string * Mqdp.Feed.policy option
 
 let () =
@@ -418,6 +526,7 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: "--fault" :: p :: rest -> (Fault (p, policy_of_string p), rest)
     | _ :: "--budget" :: rest -> (Budget, rest)
+    | _ :: "--window" :: rest -> (Window, rest)
     | _ :: rest -> (Diff, rest)
     | [] -> (Diff, [])
   in
@@ -426,5 +535,6 @@ let () =
   match mode with
   | Diff -> fuzz_loop ~seconds ~seed0 ~what:"diff" one_round
   | Budget -> fuzz_loop ~seconds ~seed0 ~what:"budget" one_budget_round
+  | Window -> fuzz_loop ~seconds ~seed0 ~what:"window" one_window_round
   | Fault (name, policy) ->
     fuzz_loop ~seconds ~seed0 ~what:("fault:" ^ name) (one_fault_round ~policy)

@@ -64,6 +64,7 @@ type t = {
 
 exception Rejected of { id : int; what : string }
 exception Corrupt of string
+exception Unsupported_version of { found : string; expected : int }
 
 (* Registry mirrors of the per-feed counters. These count events observed
    by this process: restoring a checkpoint does NOT replay its counter
@@ -108,9 +109,12 @@ let make cfg engine =
     c_shed = 0;
   }
 
-let create ?(config = default_config) ~lambda mode =
+let create ?(config = default_config) ?(window = false) ~lambda mode =
   validate_config config;
-  make config (Online.create ~lambda mode)
+  let w = if window then Some (Window_index.create (Coverage.Fixed lambda)) else None in
+  make config (Online.create ?window:w ~lambda mode)
+
+let window t = Online.window t.engine
 
 let counters t =
   {
@@ -255,7 +259,7 @@ let finish t =
    bit-pattern floats, FNV-1a-64 checksum trailer.                     *)
 
 let magic = "mqdp-feed-checkpoint"
-let version = 1
+let version = 2
 
 let fnv64 s =
   let prime = 0x100000001B3L in
@@ -311,6 +315,16 @@ let checkpoint t =
       | Some p -> line "last %s" (post_fields p));
       List.iter (fun p -> line "p %s" (post_fields p)) ls.Online.snap_pending)
     s.Online.snap_labels;
+  (match Online.window t.engine with
+  | None -> line "window none"
+  | Some w ->
+    let ws = Window_index.export w in
+    line "window %d %d %d %s %d" ws.Window_index.snap_expired
+      (List.length ws.Window_index.snap_posts)
+      (if ws.Window_index.snap_guarded then 1 else 0)
+      (hex_of_float ws.Window_index.snap_guard_value)
+      ws.Window_index.snap_guard_id;
+    List.iter (fun p -> line "p %s" (post_fields p)) ws.Window_index.snap_posts);
   let body = Buffer.contents b in
   Printf.sprintf "%schecksum %016Lx\n" body (fnv64 body)
 
@@ -383,7 +397,12 @@ let restore text =
   let cur = { lines = Array.of_list (String.split_on_char '\n' (String.trim body)); at = 0 } in
   (match String.split_on_char ' ' (next cur) with
   | [ m; v ] when m = magic ->
-    if v <> Printf.sprintf "v%d" version then corrupt "unsupported version %S" v
+    (* A wrong version on an otherwise intact checkpoint (checksum and
+       magic already validated) is not corruption — it is a format
+       mismatch the caller may want to handle (migrate, warn, refuse)
+       distinctly, hence the typed exception. *)
+    if v <> Printf.sprintf "v%d" version then
+      raise (Unsupported_version { found = v; expected = version })
   | _ -> corrupt "bad magic");
   let cfg =
     match expect cur "config" with
@@ -471,7 +490,32 @@ let restore text =
         let pending = List.init pending_count (fun _ -> post_of_fields (expect cur "p")) in
         { Online.snap_label = label; snap_pending = pending; snap_last_out = last_out })
   in
-  if cur.at <> Array.length cur.lines then corrupt "trailing garbage after label table";
+  let window =
+    match expect cur "window" with
+    | [ "none" ] -> None
+    | [ expired; count; guarded; guardv; guardid ] ->
+      let posts =
+        List.init (int_field "window post count" count) (fun _ ->
+            post_of_fields (expect cur "p"))
+      in
+      let snap =
+        {
+          Window_index.snap_expired = int_field "window expired" expired;
+          snap_posts = posts;
+          snap_guard_value = float_of_hex guardv;
+          snap_guard_id = int_field "window guard id" guardid;
+          snap_guarded =
+            (match guarded with
+            | "0" -> false
+            | "1" -> true
+            | s -> corrupt "bad window guard flag %S" s);
+        }
+      in
+      (try Some (Window_index.import (Coverage.Fixed lambda) snap)
+       with Invalid_argument m -> corrupt "%s" m)
+    | _ -> corrupt "bad window line"
+  in
+  if cur.at <> Array.length cur.lines then corrupt "trailing garbage after window table";
   let snapshot =
     {
       Online.snap_lambda = lambda;
@@ -483,7 +527,7 @@ let restore text =
     }
   in
   let engine =
-    try Online.import snapshot with Invalid_argument m -> corrupt "%s" m
+    try Online.import ?window snapshot with Invalid_argument m -> corrupt "%s" m
   in
   let t = make cfg engine in
   t.watermark <- watermark;

@@ -67,14 +67,28 @@ type t
 exception Rejected of { id : int; what : string }
 
 (** Raised by {!restore} / {!load_checkpoint} on a checkpoint that fails
-    validation: bad magic, unsupported version, checksum mismatch, or a
-    structurally invalid body. *)
+    validation: bad magic, checksum mismatch, or a structurally invalid
+    body. *)
 exception Corrupt of string
 
-(** [create ?config ~lambda mode] — a fresh frontend over a fresh engine.
+(** Raised by {!restore} / {!load_checkpoint} on an intact checkpoint
+    (magic and checksum valid) whose format version is not the one this
+    build writes. Distinct from {!Corrupt} so callers can handle a
+    version skew — migrate, warn, refuse — without conflating it with
+    data damage. *)
+exception Unsupported_version of { found : string; expected : int }
+
+(** [create ?config ?window ~lambda mode] — a fresh frontend over a fresh
+    engine. With [window:true] (default [false]) the engine mirrors the
+    admitted stream into a {!Window_index} (see {!Online.create}); the
+    live window travels inside checkpoints and is restored bit-identically.
     Raises [Invalid_argument] on a negative [reorder_window], a
     non-positive [overload_budget], or invalid engine parameters. *)
-val create : ?config:config -> lambda:float -> Online.mode -> t
+val create : ?config:config -> ?window:bool -> lambda:float -> Online.mode -> t
+
+(** The engine's mirrored window, when [create] was given [window:true]
+    (or the restored checkpoint carried one). *)
+val window : t -> Window_index.t option
 
 type outcome = {
   admitted : Post.t option;
@@ -112,9 +126,11 @@ val watermark : t -> float option
 
     The serialization is line-oriented text: a magic+version header, the
     full frontend and engine state (floats as IEEE-754 bit patterns, so
-    round-trips are exact), and a trailing FNV-1a-64 checksum over the
-    body. [restore (checkpoint t)] is observationally identical to [t]:
-    pushing the same remaining stream produces bit-identical emissions. *)
+    round-trips are exact), the mirrored window when one is attached,
+    and a trailing FNV-1a-64 checksum over the body. [restore
+    (checkpoint t)] is observationally identical to [t]: pushing the
+    same remaining stream produces bit-identical emissions. Checkpoints
+    from other format versions raise {!Unsupported_version}. *)
 
 val checkpoint : t -> string
 

@@ -1,10 +1,12 @@
 type selection = [ `Linear_scan | `Lazy_heap | `Bucket_queue ]
 
-(* All pair geometry lives in the compiled Pair_index: a post's gain is the
-   number of still-uncovered pairs in its covered ranges, and selecting a
-   post runs the fused [Pair_index.apply_pick] kernel — flip flat covered
-   bytes in ascending id order, decrement each newly-covered pair's
-   coverers' gains, record the touched positions once each.
+(* All pair geometry lives behind one of two backends: a compiled
+   (immutable) Pair_index, or a live Window_index over the current sliding
+   window. Either way a post's gain is the number of still-uncovered pairs
+   in its covered ranges, and selecting a post runs the backend's fused
+   apply_pick kernel — flip flat covered state in ascending id order,
+   decrement each newly-covered pair's coverers' gains, record the touched
+   positions once each. The selection loops are backend-agnostic.
 
    The selection loop is allocation-free for every variant's own state:
    picks land in a preallocated buffer, the salvage closure is bound once
@@ -12,9 +14,19 @@ type selection = [ `Linear_scan | `Lazy_heap | `Bucket_queue ]
    All three selectors produce bit-identical covers: each one resolves a
    gain tie toward the smallest position, which is what the linear
    re-scan's first-strict-maximum does. *)
+type geometry =
+  | Compiled of {
+      index : Pair_index.t;
+      covered : Bytes.t;  (* one byte per pair id *)
+    }
+  | Windowed of {
+      window : Window_index.t;
+      wsolver : Window_index.solver;  (* began before the state was built *)
+    }
+
 type state = {
-  index : Pair_index.t;
-  covered : Bytes.t;  (* one byte per pair id *)
+  geometry : geometry;
+  n : int;  (* candidate count: instance size or window size *)
   gain : int array;  (* per position: # uncovered pairs this post covers *)
   dirty : Bytes.t;  (* apply_pick dedup scratch; all-zero between picks *)
   touched : int array;  (* positions whose gain the current pick changed *)
@@ -51,8 +63,9 @@ let state_of_index ?pool ?(budget = Util.Budget.unlimited) index =
     if gain.(k) > 0 then Util.Bucket_queue.push queue ~key:k ~prio:gain.(k)
   done;
   {
-    index;
-    covered = Bytes.make (Pair_index.total_pairs index) '\000';
+    geometry =
+      Compiled { index; covered = Bytes.make (Pair_index.total_pairs index) '\000' };
+    n;
     gain;
     dirty = Bytes.make n '\000';
     touched = Array.make n 0;
@@ -64,6 +77,82 @@ let state_of_index ?pool ?(budget = Util.Budget.unlimited) index =
 let create_state ?pool ?budget instance lambda =
   state_of_index ?pool ?budget
     (Pair_index.build ?pool ?budget ~coverers:true instance lambda)
+
+(* Reusable scratch for solving sliding windows: the off-heap geometry
+   snapshot plus the OCaml-side selection buffers, all grown by doubling
+   and kept across solves, so the steady state (window size and max gain
+   stable) allocates only the per-solve state record. *)
+type window_solver = {
+  wsolver : Window_index.solver;
+  mutable wgain : int array;
+  mutable wdirty : Bytes.t;
+  mutable wtouched : int array;
+  mutable wpicks : int array;
+  mutable wqueue : Util.Bucket_queue.t;
+  mutable wmax_prio : int;  (* the queue's construction bound *)
+}
+
+let window_solver () =
+  {
+    wsolver = Window_index.solver ();
+    wgain = [||];
+    wdirty = Bytes.empty;
+    wtouched = [||];
+    wpicks = [||];
+    wqueue = Util.Bucket_queue.create ~capacity:0 ~max_prio:0;
+    wmax_prio = 0;
+  }
+
+let state_of_window ?(marked = false) ?solver ?(budget = Util.Budget.unlimited)
+    window =
+  let sv =
+    match solver with
+    | Some sv -> sv
+    | None -> window_solver ()
+  in
+  let n = Window_index.size window in
+  (* One begin_solve touches every live incidence once — charge like a
+     linear-scan round rather than per post. *)
+  Interrupt.step ~cost:(max 1 n) budget;
+  if Array.length sv.wgain < n then begin
+    let c = ref (max 16 (Array.length sv.wgain)) in
+    while !c < n do
+      c := !c * 2
+    done;
+    sv.wgain <- Array.make !c 0;
+    sv.wdirty <- Bytes.make !c '\000';
+    sv.wtouched <- Array.make !c 0;
+    sv.wpicks <- Array.make !c 0
+  end;
+  Window_index.begin_solve window sv.wsolver ~marked ~gain:sv.wgain;
+  let max_gain = ref 0 in
+  for k = 0 to n - 1 do
+    if sv.wgain.(k) > !max_gain then max_gain := sv.wgain.(k)
+  done;
+  if Util.Bucket_queue.capacity sv.wqueue < n || sv.wmax_prio < !max_gain then begin
+    let mp = ref (max 16 sv.wmax_prio) in
+    while !mp < !max_gain do
+      mp := !mp * 2
+    done;
+    sv.wmax_prio <- !mp;
+    sv.wqueue <-
+      Util.Bucket_queue.create ~capacity:(Array.length sv.wgain) ~max_prio:!mp
+  end
+  else Util.Bucket_queue.clear sv.wqueue;
+  for k = 0 to n - 1 do
+    if sv.wgain.(k) > 0 then Util.Bucket_queue.push sv.wqueue ~key:k ~prio:sv.wgain.(k)
+  done;
+  Interrupt.check budget;
+  {
+    geometry = Windowed { window; wsolver = sv.wsolver };
+    n;
+    gain = sv.wgain;
+    dirty = sv.wdirty;
+    touched = sv.wtouched;
+    picks = sv.wpicks;
+    n_picks = 0;
+    queue = sv.wqueue;
+  }
 
 (* Registry handles are module-level: interning is a hash lookup under a
    mutex, far too costly for once-per-pick bumping. *)
@@ -80,8 +169,13 @@ let m_queue_peak = Util.Telemetry.gauge "greedy.queue_peak"
    locally here and added once. *)
 let select state k =
   let touched =
-    Pair_index.apply_pick state.index ~covered:state.covered ~gain:state.gain
-      ~dirty:state.dirty ~touched:state.touched k
+    match state.geometry with
+    | Compiled { index; covered } ->
+      Pair_index.apply_pick index ~covered ~gain:state.gain ~dirty:state.dirty
+        ~touched:state.touched k
+    | Windowed { window; wsolver } ->
+      Window_index.apply_pick window wsolver ~gain:state.gain ~dirty:state.dirty
+        ~touched:state.touched k
   in
   for i = 0 to touched - 1 do
     let k' = state.touched.(i) in
@@ -104,12 +198,24 @@ let commit_pick state k =
    and gains never rise), so this is one copy + in-place sort. *)
 let picks_so_far state = Util.Array_util.sorted_ints_of_prefix state.picks state.n_picks
 
+(* Stepping interface for the streaming greedy: pop the canonical best
+   candidate (max gain, smallest position; -1 when no positive gain is
+   left) without committing, then [commit] it once the caller has recorded
+   the emission. *)
+let pop_best state =
+  Util.Telemetry.incr m_queue_ops;
+  Util.Bucket_queue.pop_max state.queue
+
+let commit state k =
+  commit_pick state k;
+  select state k
+
 (* First strict maximum = smallest position among the tied maxima: the
    canonical tie rule the other two selectors reproduce. *)
 let argmax_gain state =
   let gain = state.gain in
   let best = ref (-1) and best_gain = ref 0 in
-  for k = 0 to Array.length gain - 1 do
+  for k = 0 to state.n - 1 do
     let g = Array.unsafe_get gain k in
     if g > !best_gain then begin
       best := k;
@@ -119,7 +225,7 @@ let argmax_gain state =
   !best
 
 let solve_linear budget state some_partial =
-  let n = Array.length state.gain in
+  let n = state.n in
   let rec loop () =
     (* Each round re-scans every gain, so it costs n steps. The salvage is
        the picks so far — a sound prefix of a cover. *)
@@ -150,7 +256,9 @@ let solve_heap budget state some_partial =
     Util.Heap.push heap (g, k);
     if Util.Heap.length heap > !peak then peak := Util.Heap.length heap
   in
-  Array.iteri (fun k g -> if g > 0 then push g k) state.gain;
+  for k = 0 to state.n - 1 do
+    if state.gain.(k) > 0 then push state.gain.(k) k
+  done;
   let rec loop () =
     Interrupt.step ?partial:some_partial budget;
     Util.Telemetry.incr m_heap_ops;
@@ -215,3 +323,6 @@ let solve_indexed ?(selection = `Bucket_queue) ?pool ?budget ?seed index =
 
 let solve ?(selection = `Bucket_queue) ?pool ?budget ?seed instance lambda =
   run ?budget ?seed selection (create_state ?pool ?budget instance lambda)
+
+let solve_window ?(selection = `Bucket_queue) ?marked ?solver ?budget ?seed window =
+  run ?budget ?seed selection (state_of_window ?marked ?solver ?budget window)

@@ -29,9 +29,10 @@
 
 type selection = [ `Linear_scan | `Lazy_heap | `Bucket_queue ]
 
-(** The mutable set-cover state (gain array, flat covered bytes, pick and
-    touched-position buffers, and the gain bucket queue over a compiled
-    {!Pair_index}). *)
+(** The mutable set-cover state (gain array, flat covered state, pick and
+    touched-position buffers, and the gain bucket queue) over either a
+    compiled {!Pair_index} or a live {!Window_index} — the selection loops
+    are geometry-agnostic, so all guarantees below hold for both. *)
 type state
 
 (** [create_state ?pool ?budget instance lambda] compiles a {!Pair_index}
@@ -72,3 +73,54 @@ val solve :
 val solve_indexed :
   ?selection:selection -> ?pool:Util.Pool.t -> ?budget:Util.Budget.t ->
   ?seed:int list -> Pair_index.t -> int list
+
+(** {2 Windowed solving}
+
+    The same greedy over a live {!Window_index}: candidate positions are
+    window positions [0 .. Window_index.size w - 1], and the cover is
+    bit-identical to {!solve} on [Window_index.to_instance w] (the
+    equivalence contract of {!Window_index}, enforced by qcheck and the
+    fuzzer). *)
+
+(** Reusable off-heap scratch for windowed solves: geometry snapshot,
+    selection buffers, and the bucket queue, grown by doubling and kept
+    across solves so a steady-state stream of solves allocates only the
+    per-solve state record. A [window_solver] serves one solve at a time
+    but may hop freely between windows. *)
+type window_solver
+
+val window_solver : unit -> window_solver
+
+(** [state_of_window ?marked ?solver ?budget w] snapshots the live window
+    (via {!Window_index.begin_solve}) and builds the selection state.
+    [marked] (default false) starts from — and records picks into — the
+    window's persistent coverage marks (the streaming greedy); the default
+    is a pristine solve of the whole live window. [budget] is charged one
+    linear-scan round ([size w] steps) for the snapshot. *)
+val state_of_window :
+  ?marked:bool -> ?solver:window_solver -> ?budget:Util.Budget.t ->
+  Window_index.t -> state
+
+(** [solve_window ?selection ?marked ?solver ?budget ?seed w] — windowed
+    {!solve}; returns window positions, ascending. *)
+val solve_window :
+  ?selection:selection -> ?marked:bool -> ?solver:window_solver ->
+  ?budget:Util.Budget.t -> ?seed:int list -> Window_index.t -> int list
+
+(** {2 Stepping}
+
+    Single-pick interface for callers that interleave greedy picks with
+    other bookkeeping ({!Stream_greedy}'s emission loop). *)
+
+(** [pop_best st] removes and returns the canonical next pick — maximum
+    gain, smallest position on ties, exactly the choice every selection
+    strategy makes — or -1 when no candidate has positive gain. The pick
+    is not committed. *)
+val pop_best : state -> int
+
+(** [commit st k] records [k] as a pick and applies its coverage (marks,
+    gain decrements, queue updates). [k] must come from {!pop_best}. *)
+val commit : state -> int -> unit
+
+(** [picks_so_far st] — committed picks, ascending. *)
+val picks_so_far : state -> int list

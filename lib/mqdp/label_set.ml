@@ -122,6 +122,12 @@ let compare (a : t) (b : t) =
     go 0
   end
 
+(* Word-level access for closure-free iteration: Window_index.push walks
+   the bitset inline because an [iter] closure per arrival is heap traffic
+   on the steady-state hot path. *)
+let word_count (s : t) = Array.length s
+let[@inline] word (s : t) i = Array.unsafe_get s i
+
 let iter f s =
   Array.iteri
     (fun wi word ->

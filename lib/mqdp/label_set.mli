@@ -30,6 +30,14 @@ val disjoint : t -> t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+(** Word-level access, the closure-free alternative to {!iter} for hot
+    loops: label [wi * bits_per_word + b] is a member iff bit [b] of
+    [word s wi] is set. [word] is unchecked — keep [0 <= wi < word_count s]. *)
+val bits_per_word : int
+
+val word_count : t -> int
+val word : t -> int -> int
+
 val iter : (Label.t -> unit) -> t -> unit
 val fold : (Label.t -> 'a -> 'a) -> t -> 'a -> 'a
 val for_all : (Label.t -> bool) -> t -> bool

@@ -24,6 +24,7 @@ type t = {
   mutable last_time : float option;
   degraded : (Label.t, unit) Hashtbl.t;  (* labels demoted to instant handling *)
   mutable live_pending : int;  (* labels with a non-empty pending list *)
+  window : Window_index.t option;  (* mirrored sliding window, when attached *)
 }
 
 type label_snapshot = {
@@ -47,11 +48,18 @@ let heap_cmp (da, a) (db, b) =
   let c = Float.compare da db in
   if c <> 0 then c else Int.compare a b
 
-let create ~lambda mode =
+let create ?window ~lambda mode =
   if lambda < 0. then invalid_arg "Online.create: negative lambda";
   (match mode with
   | Delayed { tau; _ } when tau < 0. -> invalid_arg "Online.create: negative tau"
   | Delayed _ | Instant -> ());
+  (match window with
+  | Some w -> (
+    match Window_index.lambda w with
+    | Coverage.Fixed l when l = lambda -> ()
+    | Coverage.Fixed _ | Coverage.Per_post_label _ ->
+      invalid_arg "Online.create: window lambda mismatch")
+  | None -> ());
   {
     lambda;
     lam = Coverage.Fixed lambda;
@@ -62,7 +70,10 @@ let create ~lambda mode =
     last_time = None;
     degraded = Hashtbl.create 4;
     live_pending = 0;
+    window;
   }
+
+let window t = t.window
 
 let m_heap_pushes = Util.Telemetry.counter "online.heap_pushes"
 let m_heap_pops = Util.Telemetry.counter "online.heap_pops"
@@ -142,6 +153,33 @@ let record_emission t out post emit_time =
   Hashtbl.replace t.emitted post.Post.id ();
   out := { post; emit_time } :: !out
 
+(* The two coverage primitives the engine shares with the window mirror.
+
+   [label_reach t a] is the right extent of the latest output serving
+   label [a] (neg_infinity before any): the old-arrival coverage test
+   [value <= reach last_out] in one float read. When a window is attached
+   the float lives in its per-label reach table — assigned, never maxed,
+   because a deadline firing can legitimately replace a further-reaching
+   last_out with a nearer one (plus-mode credit first, fire later), and
+   the engine's semantics track the {e latest} output, not the furthest.
+
+   [set_last_out t a st p] is the single place a label's last output is
+   assigned, keeping the mirror exact at every site (fire, plus-credit,
+   instant arrival, degradation, import). *)
+let label_reach t a =
+  match t.window with
+  | Some w -> Window_index.emit_reach w a
+  | None -> (
+    match (state t a).last_out with
+    | Some z -> Coverage.reach t.lam z a
+    | None -> neg_infinity)
+
+let set_last_out t a st p =
+  st.last_out <- Some p;
+  match t.window with
+  | Some w -> Window_index.set_emit_reach w a (Coverage.reach t.lam p a)
+  | None -> ()
+
 (* StreamScan+: an emitted post covers the pending pairs of all its labels
    and becomes their latest output. *)
 let credit_emission t post =
@@ -150,7 +188,7 @@ let credit_emission t post =
       let st = state t b in
       (match st.last_out with
       | Some current when current.Post.value >= post.Post.value -> ()
-      | Some _ | None -> st.last_out <- Some post);
+      | Some _ | None -> set_last_out t b st post);
       let remaining =
         List.filter
           (fun p -> not (Coverage.covers_label t.lam ~by:post b p))
@@ -172,7 +210,7 @@ let fire t out (d, a) =
     | [] -> assert false
     | latest :: _ ->
       record_emission t out latest d;
-      st.last_out <- Some latest;
+      set_last_out t a st latest;
       set_pending t st [];
       st.oldest <- None;
       st.deadline <- infinity;
@@ -214,12 +252,7 @@ let arrival_delayed t out post =
   let degraded_uncovered =
     Hashtbl.length t.degraded > 0
     && Label_set.exists
-         (fun a ->
-           Hashtbl.mem t.degraded a
-           &&
-           match (state t a).last_out with
-           | Some z -> post.Post.value > Coverage.reach t.lam z a
-           | None -> true)
+         (fun a -> Hashtbl.mem t.degraded a && post.Post.value > label_reach t a)
          post.Post.labels
   in
   if degraded_uncovered then begin
@@ -230,11 +263,7 @@ let arrival_delayed t out post =
     Label_set.iter
       (fun a ->
         let st = state t a in
-        let covered =
-          match st.last_out with
-          | Some z -> post.Post.value <= Coverage.reach t.lam z a
-          | None -> false
-        in
+        let covered = post.Post.value <= label_reach t a in
         if not covered then begin
           if st.pending = [] then st.oldest <- Some post;
           set_pending t st (post :: st.pending);
@@ -245,15 +274,12 @@ let arrival_delayed t out post =
 let arrival_instant t out post =
   let covered =
     Label_set.for_all
-      (fun a ->
-        match (state t a).last_out with
-        | Some z -> post.Post.value <= Coverage.reach t.lam z a
-        | None -> false)
+      (fun a -> post.Post.value <= label_reach t a)
       post.Post.labels
   in
   if not covered then begin
     record_emission t out post post.Post.value;
-    Label_set.iter (fun a -> (state t a).last_out <- Some post) post.Post.labels
+    Label_set.iter (fun a -> set_last_out t a (state t a) post) post.Post.labels
   end
 
 let push t post =
@@ -263,6 +289,22 @@ let push t post =
       (Printf.sprintf "Online.push: post %d at %g arrives before %g" post.Post.id
          post.Post.value previous)
   | Some _ | None -> ());
+  (match t.window with
+  | Some w ->
+    (* Mirror the stream into the window. Expiry horizon: anything older
+       than prev − τ − λ can no longer be emitted (deadlines due before
+       this arrival fired during the previous push, and a deadline is at
+       least its post's value) nor λ-cover a pending or future post, so
+       expiring against the PREVIOUS arrival keeps every post this push's
+       own firings may emit. Out-of-order mirror pushes (a clamping
+       frontend can release equal-value posts with non-ascending ids) are
+       skipped: coverage reads go through the reach table, which is
+       maintained independently of post storage. *)
+    (match t.last_time with
+    | Some prev -> Window_index.expire_before w ~time:(prev -. tau_of t -. t.lambda)
+    | None -> ());
+    if Float.is_finite post.Post.value then ignore (Window_index.try_push w post)
+  | None -> ());
   t.last_time <- Some post.Post.value;
   let out = ref [] in
   (match t.mode with
@@ -316,7 +358,7 @@ let degrade_earliest t ~now =
       let when_ = Float.max latest.Post.value (Float.min now st.deadline) in
       let out = ref [] in
       record_emission t out latest when_;
-      st.last_out <- Some latest;
+      set_last_out t a st latest;
       set_pending t st [];
       st.oldest <- None;
       st.deadline <- infinity;
@@ -345,7 +387,7 @@ let export t =
     snap_labels;
   }
 
-let import s =
+let import ?window s =
   List.iter
     (fun ls ->
       let rec descending = function
@@ -362,13 +404,17 @@ let import s =
       | (p :: _), None -> ignore p; invalid_arg "Online.import: pending posts without arrivals"
       | _ -> ()))
     s.snap_labels;
-  let t = create ~lambda:s.snap_lambda s.snap_mode in
+  let t = create ?window ~lambda:s.snap_lambda s.snap_mode in
   List.iter (fun id -> Hashtbl.replace t.emitted id ()) s.snap_emitted;
   List.iter (fun a -> Hashtbl.replace t.degraded a ()) s.snap_degraded;
   List.iter
     (fun ls ->
       let st = state t ls.snap_label in
-      st.last_out <- ls.snap_last_out;
+      (* Re-derive the window's reach table from the snapshot: the window
+         section of a checkpoint stores posts only. *)
+      (match ls.snap_last_out with
+      | Some p -> set_last_out t ls.snap_label st p
+      | None -> st.last_out <- None);
       set_pending t st ls.snap_pending;
       (match List.rev ls.snap_pending with
       | [] -> st.oldest <- None

@@ -26,9 +26,26 @@ type emission = {
 
 type t
 
-(** [create ~lambda mode] — a fresh diversifier.
-    Raises [Invalid_argument] when [lambda < 0] or the mode's [tau < 0]. *)
-val create : lambda:float -> mode -> t
+(** [create ?window ~lambda mode] — a fresh diversifier.
+
+    When [window] is given (an empty or restored {!Window_index} over
+    [Fixed lambda]), the engine mirrors the admitted stream into it: each
+    push expires posts older than [previous arrival − τ − λ] (nothing
+    older can be emitted or cover pending/future work) and appends the
+    arrival, and per-label coverage state ("is this arrival within the
+    latest output's reach?") is kept in the window's off-heap reach table
+    instead of per-label heap boxes. Emissions are bit-identical with and
+    without a window (enforced by qcheck and the fuzzer); the window adds
+    a queryable geometry over the live posts ({!Window_index.find_position},
+    {!Greedy_sc.solve_window}) for frontends like {!Stream_scan} and
+    {!Feed} checkpoints.
+
+    Raises [Invalid_argument] when [lambda < 0], the mode's [tau < 0], or
+    [window]'s coverage mode is not [Fixed lambda]. *)
+val create : ?window:Window_index.t -> lambda:float -> mode -> t
+
+(** The mirrored window, if one was attached at creation. *)
+val window : t -> Window_index.t option
 
 (** [push t post] — register an arrival; returns due emissions in emit-time
     order. Only deadlines *strictly* before [post.value] fire: an arrival
@@ -104,9 +121,12 @@ type snapshot = {
 
 val export : t -> snapshot
 
-(** [import s] rebuilds an engine from a snapshot, recomputing deadlines
-    and the (compacted) deadline queue. Raises [Invalid_argument] on a
-    structurally invalid snapshot (negative lambda/tau, a pending list
-    that is not newest-first, or pending posts newer than the recorded
-    last arrival). *)
-val import : snapshot -> t
+(** [import ?window s] rebuilds an engine from a snapshot, recomputing
+    deadlines and the (compacted) deadline queue. [window] attaches a
+    mirror as in {!create} — pass the {!Window_index.import} of the
+    window state saved alongside the snapshot; its reach table is
+    re-derived here from the snapshot's last-output posts. Raises
+    [Invalid_argument] on a structurally invalid snapshot (negative
+    lambda/tau, a pending list that is not newest-first, or pending posts
+    newer than the recorded last arrival). *)
+val import : ?window:Window_index.t -> snapshot -> t

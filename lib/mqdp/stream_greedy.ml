@@ -1,82 +1,81 @@
-(* The window-greedy works directly on the compiled Pair_index: covered
-   flags are one flat byte per pair id, a post's coverage is its pair-id
-   ranges, and "post fully covered" walks its own pairs. *)
-type state = {
-  index : Pair_index.t;
-  covered : Bytes.t;  (* one byte per pair id *)
-}
+(* StreamGreedySC over the incremental {!Window_index}: the live window
+   [P', P' + τ] is held as a sliding window (push on the right, expire on
+   the left), and each window's greedy runs on the windowed bucket-queue
+   kernel with the window's persistent coverage marks as starting state.
 
-let make_state instance lambda =
-  { index = Pair_index.build ~coverers:false instance (Coverage.Fixed lambda);
-    covered = Bytes.make (Instance.total_pairs instance) '\000' }
+   This replaces the original batch formulation — a whole-instance
+   Pair_index with byte marks, re-scanning every candidate's window gain
+   from scratch each round (O(window² · rounds) per window) — with one
+   amortized begin_solve per window plus the zero-alloc pick loop. The
+   emitted covers are bit-identical (enforced by test_streaming's
+   reference port and the fuzzer):
 
-exception Uncovered_pair
-
-let fully_covered st pos =
-  try
-    Pair_index.iter_own_pairs st.index pos (fun id ->
-        if Bytes.get st.covered id = '\000' then raise Uncovered_pair);
-    true
-  with Uncovered_pair -> false
-
-let mark_covered_by st k =
-  Pair_index.iter_covered_ranges st.index k (fun first last ->
-      Bytes.fill st.covered first (last - first + 1) '\001')
-
-(* Uncovered window pairs the candidate k would cover. *)
-let window_gain st ~z_lo ~z_hi k =
-  let gain = ref 0 in
-  Pair_index.iter_covered_ranges st.index k (fun first last ->
-      for id = first to last do
-        let pos = Pair_index.pair_pos st.index id in
-        if pos >= z_lo && pos <= z_hi && Bytes.get st.covered id = '\000' then
-          incr gain
-      done);
-  !gain
-
-let window_all_covered st ~z_lo ~z_hi =
-  let rec loop pos = pos > z_hi || (fully_covered st pos && loop (pos + 1)) in
-  loop z_lo
+   - marks: the old code marked, at emission time, every instance pair the
+     emitted post covers. Here an emission marks the live (in-window)
+     pairs via the pick kernel, and extends the per-label emission reach
+     ([note_emission]); a later arrival is then born covered exactly when
+     its value is within the recorded reach — equivalent, because arrivals
+     are value-ascending, so for a future post only the right extent of an
+     emitted interval can matter.
+   - picks: per round the old code took the first strict maximum of the
+     window gains, i.e. (max gain, smallest position) — precisely the
+     bucket queue's pop_max tie rule.
+   - stops: with [plus] the loop stops when the window's opening post is
+     covered (checked before each pick, as before); without, it stops
+     when no candidate has positive gain, which holds iff every live pair
+     is marked — the old whole-window-covered test. *)
 
 let solve ?(plus = false) ~tau instance lambda =
   if tau < 0. then invalid_arg "Stream_greedy.solve: negative tau";
   let l = Stream.fixed_lambda_exn ~who:"Stream_greedy.solve" lambda in
-  let st = make_state instance l in
   let n = Instance.size instance in
-  let posts = Instance.posts instance in
-  let post_value (p : Post.t) = p.Post.value in
+  let w = Window_index.create (Coverage.Fixed l) in
+  let solver = Greedy_sc.window_solver () in
   let emissions = ref [] in
+  (* Arrival numbers in [w] coincide with instance positions: posts are
+     pushed in instance (value) order, one for one. *)
+  let ensure_pushed g =
+    while Window_index.total w <= g do
+      Window_index.push w (Instance.post instance (Window_index.total w))
+    done
+  in
   let rec advance cursor =
-    if cursor < n && fully_covered st cursor then advance (cursor + 1) else cursor
+    if cursor >= n then cursor
+    else begin
+      ensure_pushed cursor;
+      if Window_index.fully_covered w (cursor - Window_index.expired w) then
+        advance (cursor + 1)
+      else cursor
+    end
   in
   let rec process cursor =
     let cursor = advance cursor in
     if cursor < n then begin
-      let t' = Instance.value instance cursor in
-      let deadline = t' +. tau in
-      let z_lo = cursor in
-      let z_hi = Util.Array_util.upper_bound ~key:post_value posts deadline - 1 in
-      let stop () =
-        if plus then fully_covered st cursor else window_all_covered st ~z_lo ~z_hi
-      in
-      let rec greedy_rounds () =
+      (* Slide the window to exactly [cursor, cursor's deadline]. *)
+      Window_index.expire_posts w (cursor - Window_index.expired w);
+      let deadline = Instance.value instance cursor +. tau in
+      let keep_pushing = ref true in
+      while !keep_pushing && Window_index.total w < n do
+        if Instance.value instance (Window_index.total w) <= deadline then
+          Window_index.push w (Instance.post instance (Window_index.total w))
+        else keep_pushing := false
+      done;
+      let st = Greedy_sc.state_of_window ~marked:true ~solver w in
+      let stop () = plus && Window_index.fully_covered w 0 in
+      let rec rounds () =
         if not (stop ()) then begin
-          let best = ref (-1) and best_gain = ref 0 in
-          for k = z_lo to z_hi do
-            let g = window_gain st ~z_lo ~z_hi k in
-            if g > !best_gain then begin
-              best := k;
-              best_gain := g
-            end
-          done;
-          (* An uncovered window pair is always coverable by its own post. *)
-          assert (!best >= 0);
-          emissions := { Stream.position = !best; emit_time = deadline } :: !emissions;
-          mark_covered_by st !best;
-          greedy_rounds ()
+          let k = Greedy_sc.pop_best st in
+          if k >= 0 then begin
+            emissions :=
+              { Stream.position = Window_index.expired w + k; emit_time = deadline }
+              :: !emissions;
+            Greedy_sc.commit st k;
+            Window_index.note_emission w (Window_index.post w k);
+            rounds ()
+          end
         end
       in
-      greedy_rounds ();
+      rounds ();
       process cursor
     end
   in

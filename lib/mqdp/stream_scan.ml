@@ -1,10 +1,14 @@
 (* Both entry points are thin adapters over the incremental {!Online}
    engine: feed the instance's posts in order, map emitted posts back to
-   instance positions. *)
+   instance positions. The engine is created with a mirrored
+   {!Window_index}, so position mapping consults the live window first —
+   an emitted post's arrival number IS its instance position, because the
+   stream here is exactly the instance's posts in order. *)
 
 (* Instance positions are sorted by [Post.compare_by_value] (a total
    order: value, then the unique id), so an emitted post's position is a
-   binary search — no id hash table per solve. *)
+   binary search — the fallback when the post has already slid out of the
+   mirror window. *)
 let position_of instance p =
   let rec go lo hi =
     if lo >= hi then invalid_arg "Stream_scan: emitted post not in instance"
@@ -16,18 +20,22 @@ let position_of instance p =
   in
   go 0 (Instance.size instance)
 
-let run mode instance =
+let run engine instance =
   let n = Instance.size instance in
-  let engine = mode in
   let emissions = ref [] in
+  let position p =
+    let from_window =
+      match Online.window engine with
+      | Some w -> Window_index.find_position w p
+      | None -> -1
+    in
+    if from_window >= 0 then from_window else position_of instance p
+  in
   let record es =
     List.iter
       (fun e ->
         emissions :=
-          {
-            Stream.position = position_of instance e.Online.post;
-            emit_time = e.Online.emit_time;
-          }
+          { Stream.position = position e.Online.post; emit_time = e.Online.emit_time }
           :: !emissions)
       es
   in
@@ -37,11 +45,14 @@ let run mode instance =
   record (Online.finish engine);
   Stream.make_result (List.rev !emissions)
 
+let engine_with_window ~lambda mode =
+  Online.create ~window:(Window_index.create (Coverage.Fixed lambda)) ~lambda mode
+
 let solve ?(plus = false) ~tau instance lambda =
   if tau < 0. then invalid_arg "Stream_scan.solve: negative tau";
   let l = Stream.fixed_lambda_exn ~who:"Stream_scan.solve" lambda in
-  run (Online.create ~lambda:l (Online.Delayed { tau; plus })) instance
+  run (engine_with_window ~lambda:l (Online.Delayed { tau; plus })) instance
 
 let solve_instant instance lambda =
   let l = Stream.fixed_lambda_exn ~who:"Stream_scan.solve_instant" lambda in
-  run (Online.create ~lambda:l Online.Instant) instance
+  run (engine_with_window ~lambda:l Online.Instant) instance

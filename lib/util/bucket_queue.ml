@@ -212,3 +212,19 @@ let max_priority t =
     settle t;
     t.cursor
   end
+
+(* Every member's priority is <= cursor (the high-water invariant), so
+   walking levels 0..cursor visits every queued key; levels above the
+   cursor are already empty. *)
+let clear t =
+  for level = 0 to t.cursor do
+    let k = ref t.head.(level) in
+    while !k >= 0 do
+      t.prio.(!k) <- -1;
+      k := t.nxt.(!k)
+    done;
+    t.head.(level) <- -1
+  done;
+  t.size <- 0;
+  t.cursor <- 0;
+  t.sorted <- -1

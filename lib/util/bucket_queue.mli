@@ -65,3 +65,8 @@ val pop_max : t -> int
     when empty. Does not advance past empty levels permanently — the
     cursor position it settles is the same one [pop_max] would use. *)
 val max_priority : t -> int
+
+(** [clear t] empties the queue in O(high-water level + members) without
+    releasing any storage, so a queue can be reused across solves with no
+    per-solve allocation (the sliding-window greedy's steady state). *)
+val clear : t -> unit

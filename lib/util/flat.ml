@@ -1,0 +1,217 @@
+(* Off-heap growable vectors on Bigarray. See flat.mli for the contract.
+
+   House rules for this file (enforced by test/test_lint.ml): no
+   polymorphic comparison and no boxed-option values — absent entries are
+   the caller's business (sentinels), and every accessor traffics in
+   immediates only, so nothing here can allocate per call. *)
+
+module A1 = Bigarray.Array1
+
+module Ints = struct
+  type buf = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
+
+  type t = {
+    mutable buf : buf;
+    mutable len : int;
+  }
+
+  let make_buf n : buf = A1.create Bigarray.int Bigarray.c_layout (max n 1)
+  let create () = { buf = make_buf 16; len = 0 }
+  let[@inline] length t = t.len
+  let capacity t = A1.dim t.buf
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Flat.Ints.get: index out of range";
+    A1.unsafe_get t.buf i
+
+  let set t i v =
+    if i < 0 || i >= t.len then invalid_arg "Flat.Ints.set: index out of range";
+    A1.unsafe_set t.buf i v
+
+  let[@inline] get_u t i = A1.unsafe_get t.buf i
+  let[@inline] set_u t i v = A1.unsafe_set t.buf i v
+
+  let grow_to t n =
+    if n > capacity t then begin
+      let c = ref (capacity t) in
+      while !c < n do
+        c := !c * 2
+      done;
+      let b = make_buf !c in
+      if t.len > 0 then A1.blit (A1.sub t.buf 0 t.len) (A1.sub b 0 t.len);
+      t.buf <- b
+    end
+
+  let[@inline] push t v =
+    grow_to t (t.len + 1);
+    A1.unsafe_set t.buf t.len v;
+    t.len <- t.len + 1
+
+  let ensure t n =
+    if n < 0 then invalid_arg "Flat.Ints.ensure: negative length";
+    grow_to t n;
+    if n > t.len then t.len <- n
+
+  let drop_front t k =
+    if k < 0 || k > t.len then invalid_arg "Flat.Ints.drop_front: bad count";
+    let live = t.len - k in
+    (* forward manual copy: src and dst overlap but src > dst, and unlike
+       A1.blit-of-A1.sub it allocates no bigarray headers — compaction is
+       on the steady-state maintenance path *)
+    if k > 0 then
+      for i = 0 to live - 1 do
+        A1.unsafe_set t.buf i (A1.unsafe_get t.buf (k + i))
+      done;
+    t.len <- live
+
+  let clear t = t.len <- 0
+
+  let fill t v = if t.len > 0 then A1.fill (A1.sub t.buf 0 t.len) v
+end
+
+module Floats = struct
+  type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+  type t = {
+    mutable buf : buf;
+    mutable len : int;
+  }
+
+  let make_buf n : buf = A1.create Bigarray.float64 Bigarray.c_layout (max n 1)
+  let create () = { buf = make_buf 16; len = 0 }
+  let[@inline] length t = t.len
+  let capacity t = A1.dim t.buf
+  let[@inline] unsafe_buf t = t.buf
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Flat.Floats.get: index out of range";
+    A1.unsafe_get t.buf i
+
+  let set t i v =
+    if i < 0 || i >= t.len then invalid_arg "Flat.Floats.set: index out of range";
+    A1.unsafe_set t.buf i v
+
+  let[@inline] get_u t i = A1.unsafe_get t.buf i
+  let[@inline] set_u t i v = A1.unsafe_set t.buf i v
+
+  let grow_to t n =
+    if n > capacity t then begin
+      let c = ref (capacity t) in
+      while !c < n do
+        c := !c * 2
+      done;
+      let b = make_buf !c in
+      if t.len > 0 then A1.blit (A1.sub t.buf 0 t.len) (A1.sub b 0 t.len);
+      t.buf <- b
+    end
+
+  let[@inline] push t v =
+    grow_to t (t.len + 1);
+    A1.unsafe_set t.buf t.len v;
+    t.len <- t.len + 1
+
+  let ensure t n =
+    if n < 0 then invalid_arg "Flat.Floats.ensure: negative length";
+    grow_to t n;
+    if n > t.len then t.len <- n
+
+  let drop_front t k =
+    if k < 0 || k > t.len then invalid_arg "Flat.Floats.drop_front: bad count";
+    let live = t.len - k in
+    (* manual forward copy; see Ints.drop_front *)
+    if k > 0 then
+      for i = 0 to live - 1 do
+        A1.unsafe_set t.buf i (A1.unsafe_get t.buf (k + i))
+      done;
+    t.len <- live
+
+  let clear t = t.len <- 0
+end
+
+module Flags = struct
+  type buf = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) A1.t
+
+  type t = {
+    mutable buf : buf;
+    mutable len : int;
+  }
+
+  let make_buf n : buf = A1.create Bigarray.int8_unsigned Bigarray.c_layout (max n 1)
+  let create () = { buf = make_buf 16; len = 0 }
+  let[@inline] length t = t.len
+
+  let get t i =
+    if i < 0 || i >= t.len then invalid_arg "Flat.Flags.get: index out of range";
+    A1.unsafe_get t.buf i <> 0
+
+  let set t i v =
+    if i < 0 || i >= t.len then invalid_arg "Flat.Flags.set: index out of range";
+    A1.unsafe_set t.buf i (if v then 1 else 0)
+
+  let[@inline] get_u t i = A1.unsafe_get t.buf i <> 0
+  let[@inline] set_u t i v = A1.unsafe_set t.buf i (if v then 1 else 0)
+
+  let grow_to t n =
+    if n > A1.dim t.buf then begin
+      let c = ref (A1.dim t.buf) in
+      while !c < n do
+        c := !c * 2
+      done;
+      let b = make_buf !c in
+      if t.len > 0 then A1.blit (A1.sub t.buf 0 t.len) (A1.sub b 0 t.len);
+      t.buf <- b
+    end
+
+  let[@inline] push t v =
+    grow_to t (t.len + 1);
+    A1.unsafe_set t.buf t.len (if v then 1 else 0);
+    t.len <- t.len + 1
+
+  let ensure t n =
+    if n < 0 then invalid_arg "Flat.Flags.ensure: negative length";
+    grow_to t n;
+    if n > t.len then t.len <- n
+
+  let drop_front t k =
+    if k < 0 || k > t.len then invalid_arg "Flat.Flags.drop_front: bad count";
+    let live = t.len - k in
+    (* manual forward copy; see Ints.drop_front *)
+    if k > 0 then
+      for i = 0 to live - 1 do
+        A1.unsafe_set t.buf i (A1.unsafe_get t.buf (k + i))
+      done;
+    t.len <- live
+
+  let clear t = t.len <- 0
+  let reset t = if t.len > 0 then A1.fill (A1.sub t.buf 0 t.len) 0
+end
+
+module Bits = struct
+  (* 62 usable bits per word keeps every shift comfortably inside the
+     63-bit OCaml int range; the word array itself lives off-heap. *)
+  let bits_per_word = 62
+
+  type t = {
+    words : Ints.t;
+    mutable size : int;  (* number of addressable bits after [reset] *)
+  }
+
+  let create () = { words = Ints.create (); size = 0 }
+
+  let reset t n =
+    if n < 0 then invalid_arg "Flat.Bits.reset: negative size";
+    let w = (n + bits_per_word - 1) / bits_per_word in
+    Ints.ensure t.words w;
+    Ints.fill t.words 0;
+    t.size <- n
+
+  let get t i =
+    if i < 0 || i >= t.size then invalid_arg "Flat.Bits.get: index out of range";
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    (Ints.get_u t.words w lsr b) land 1 <> 0
+
+  let set t i =
+    if i < 0 || i >= t.size then invalid_arg "Flat.Bits.set: index out of range";
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    Ints.set_u t.words w (Ints.get_u t.words w lor (1 lsl b))
+end

@@ -1,0 +1,120 @@
+(** Off-heap growable flat arrays on [Bigarray], the storage layer of the
+    sliding-window coverage geometry ({!Mqdp.Window_index}).
+
+    Three container shapes — boxed-free ints, float64s, and byte flags —
+    plus a bit-packed set over int words. All data lives outside the OCaml
+    heap: the GC never scans it, steady-state mutation allocates nothing,
+    and a buffer can be read concurrently from several {!Pool} domains
+    while a single writer owns the mutations (the usual publish-then-read
+    discipline).
+
+    Each container is an amortized-growable vector ([push] doubles on
+    overflow) with a front-compaction primitive ([drop_front]) so a
+    sliding window can shed its expired prefix by blitting the live
+    region to index 0 — the owner keeps an absolute base sequence number
+    and addresses entries as [seq - base], which makes stored
+    cross-references stable across compactions.
+
+    Reads and writes are bounds-checked by Bigarray itself; the [_u]
+    variants are unchecked and reserved for kernel inner loops whose
+    bounds were validated on entry. *)
+
+module Ints : sig
+  type t
+
+  (** [create ()] — an empty vector with a small initial capacity. *)
+  val create : unit -> t
+
+  val length : t -> int
+  val capacity : t -> int
+
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val get_u : t -> int -> int
+  val set_u : t -> int -> int -> unit
+
+  (** [push t v] appends, doubling the backing buffer when full. *)
+  val push : t -> int -> unit
+
+  (** [ensure t n] grows the backing buffer so [capacity t >= n] and
+      raises the length to [n] (new cells uninitialized). Never shrinks. *)
+  val ensure : t -> int -> unit
+
+  (** [drop_front t k] discards the first [k] entries by blitting the
+      live suffix to index 0. O(length - k). *)
+  val drop_front : t -> int -> unit
+
+  val clear : t -> unit
+
+  (** [fill t v] overwrites every live entry with [v]. *)
+  val fill : t -> int -> unit
+end
+
+module Floats : sig
+  type t
+
+  type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  val create : unit -> t
+  val length : t -> int
+  val capacity : t -> int
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+  val get_u : t -> int -> float
+  val set_u : t -> int -> float -> unit
+  val push : t -> float -> unit
+  val ensure : t -> int -> unit
+  val drop_front : t -> int -> unit
+  val clear : t -> unit
+
+  (** [unsafe_buf t] is the current backing store, an escape hatch for
+      hot loops that must not allocate even without cross-module inlining
+      (the non-flambda dev profile compiles with [-opaque], so [get_u]
+      boxes its float return and [set_u] its float argument at the call
+      boundary; [Bigarray.Array1.unsafe_get]/[unsafe_set] are compiler
+      primitives and never box). The handle is invalidated by any growth
+      ([push]/[ensure] past {!capacity}) — re-fetch after growing, never
+      cache across pushes — and ignores {!length}: the caller owns bounds
+      checking. [drop_front] and [clear] keep the same store. *)
+  val unsafe_buf : t -> buf
+end
+
+(** One byte per entry — the compaction-friendly shape for per-slot marks
+    (front-dropping a bit-packed set would need sub-word shifts). *)
+module Flags : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val get : t -> int -> bool
+  val set : t -> int -> bool -> unit
+  val get_u : t -> int -> bool
+  val set_u : t -> int -> bool -> unit
+
+  (** [push t v] appends one flag. *)
+  val push : t -> bool -> unit
+
+  val ensure : t -> int -> unit
+  val drop_front : t -> int -> unit
+  val clear : t -> unit
+
+  (** [reset t] clears every live flag to [false]. *)
+  val reset : t -> unit
+end
+
+(** A fixed-origin bit set packed 62 bits per off-heap word — the
+    per-solve covered scratch. Not front-compactable; [reset] + reuse. *)
+module Bits : sig
+  type t
+
+  val create : unit -> t
+
+  (** [reset t n] sizes the set for indices [0 .. n-1] and clears it.
+      O(words); allocation-free once the capacity has been reached. *)
+  val reset : t -> int -> unit
+
+  val get : t -> int -> bool
+
+  (** [set t i] sets bit [i] (must be below the [reset] size). *)
+  val set : t -> int -> unit
+end

@@ -230,7 +230,7 @@ let test_create_validation () =
 (* ---------------------------------------------------------------- *)
 (* Checkpoint/restore                                               *)
 
-let busy_feed () =
+let busy_feed ?(window = false) () =
   (* Mid-stream state with every component populated: staged buffer,
      pending labels, emitted history, a demoted label, and counters. *)
   let config =
@@ -242,7 +242,7 @@ let busy_feed () =
       overload_budget = Some 2;
     }
   in
-  let feed = Mqdp.Feed.create ~config ~lambda:6. (delayed ~plus:true ~tau:3. ()) in
+  let feed = Mqdp.Feed.create ~config ~window ~lambda:6. (delayed ~plus:true ~tau:3. ()) in
   List.iter
     (fun p -> ignore (Mqdp.Feed.push feed p))
     [ mk 1 0. [ 0 ]; mk 2 1. [ 1 ]; mk 3 0.5 [ 0; 2 ]; mk 3 9. [ 2 ]; mk 4 2. [ 3 ];
@@ -294,6 +294,78 @@ let test_checkpoint_detects_corruption () =
   (* A tampered checksum line itself must also fail. *)
   expect_corrupt "tampered checksum" (flip (String.length image - 3) image)
 
+(* A mirrored window travels inside the checkpoint and is restored
+   bit-identically: same live content, same solve cover, same ordering
+   guard, and the continuation still matches. *)
+let test_windowed_checkpoint_roundtrip () =
+  let original = busy_feed ~window:true () in
+  let image = Mqdp.Feed.checkpoint original in
+  let restored = Mqdp.Feed.restore image in
+  Alcotest.(check string) "canonical image" image (Mqdp.Feed.checkpoint restored);
+  let wo, wr =
+    match (Mqdp.Feed.window original, Mqdp.Feed.window restored) with
+    | Some a, Some b -> (a, b)
+    | _ -> Alcotest.fail "window lost across checkpoint"
+  in
+  Alcotest.(check int) "window size survives" (Mqdp.Window_index.size wo)
+    (Mqdp.Window_index.size wr);
+  Alcotest.(check int) "window head survives" (Mqdp.Window_index.expired wo)
+    (Mqdp.Window_index.expired wr);
+  Alcotest.check sorted_ints "window solves identically"
+    (Mqdp.Greedy_sc.solve_window wo) (Mqdp.Greedy_sc.solve_window wr);
+  Alcotest.check emission_keys "identical continuation"
+    (run_feed original suffix_posts) (run_feed restored suffix_posts)
+
+(* The mirror is an observer: emissions with and without it are the same
+   stream. *)
+let test_window_is_transparent () =
+  let plain = busy_feed () and mirrored = busy_feed ~window:true () in
+  Alcotest.check emission_keys "windowed feed emits identically"
+    (run_feed plain suffix_posts) (run_feed mirrored suffix_posts)
+
+(* Recompute the body checksum the way the codec does, so a test can
+   tamper with the version line while keeping the trailer honest. *)
+let fnv64 s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime)
+    s;
+  !h
+
+let with_version v image =
+  match String.index_opt image '\n' with
+  | None -> Alcotest.fail "checkpoint has no header line"
+  | Some i ->
+    let rest = String.sub image (i + 1) (String.length image - i - 1) in
+    let body_end = String.rindex (String.trim rest) '\n' in
+    let body = Printf.sprintf "mqdp-feed-checkpoint %s\n%s" v (String.sub rest 0 (body_end + 1)) in
+    Printf.sprintf "%schecksum %016Lx\n" body (fnv64 body)
+
+let test_version_mismatch_is_typed () =
+  let image = Mqdp.Feed.checkpoint (busy_feed ()) in
+  (* An intact checkpoint from another format version raises the typed
+     error, not Corrupt... *)
+  List.iter
+    (fun v ->
+      match Mqdp.Feed.restore (with_version v image) with
+      | _ -> Alcotest.failf "restored a %s checkpoint" v
+      | exception Mqdp.Feed.Unsupported_version { found; expected } ->
+        Alcotest.(check string) "found version" v found;
+        Alcotest.(check int) "expected version" 2 expected
+      | exception Mqdp.Feed.Corrupt m ->
+        Alcotest.failf "version skew misreported as corruption: %s" m)
+    [ "v1"; "v3"; "v999" ];
+  (* ...but a version tampered without fixing the checksum is corruption:
+     integrity is judged before the format version. *)
+  let b = Bytes.of_string image in
+  Bytes.set b (String.index image 'v' + 1) '1';
+  (match Mqdp.Feed.restore (Bytes.to_string b) with
+  | _ -> Alcotest.fail "restored a tampered checkpoint"
+  | exception Mqdp.Feed.Corrupt _ -> ()
+  | exception Mqdp.Feed.Unsupported_version _ ->
+    Alcotest.fail "checksum mismatch misreported as version skew")
+
 let test_checkpoint_file_roundtrip () =
   let original = busy_feed () in
   let path = Filename.temp_file "mqdp_feed" ".ckpt" in
@@ -337,10 +409,13 @@ let crash_restore_property =
       in
       let fault = Util.Fault.create ~seed:((7 * seed) + 13) () in
       let crashes = Util.Fault.crash_points fault ~n ~max_points:3 in
+      (* Half the runs mirror a window, so crash/restore also exercises
+         the window section of the checkpoint. *)
+      let window = Util.Rng.float rng 1. < 0.5 in
       List.for_all
         (fun mode ->
           let run crashes =
-            let feed = ref (Mqdp.Feed.create ~config ~lambda:2. mode) in
+            let feed = ref (Mqdp.Feed.create ~config ~window ~lambda:2. mode) in
             let crash () = feed := Mqdp.Feed.restore (Mqdp.Feed.checkpoint !feed) in
             let acc = ref [] in
             List.iteri
@@ -371,6 +446,11 @@ let suite =
       test_overload_sheds_covered_pending;
     Alcotest.test_case "config validation" `Quick test_create_validation;
     Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "windowed checkpoint roundtrip" `Quick
+      test_windowed_checkpoint_roundtrip;
+    Alcotest.test_case "window mirror is transparent" `Quick test_window_is_transparent;
+    Alcotest.test_case "version mismatch raises typed error" `Quick
+      test_version_mismatch_is_typed;
     Alcotest.test_case "checkpoint detects corruption" `Quick
       test_checkpoint_detects_corruption;
     Alcotest.test_case "checkpoint file roundtrip" `Quick

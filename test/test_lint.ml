@@ -43,8 +43,37 @@ let test_no_polymorphic_compare () =
     (check_tree_free_of ~needle:"Stdlib.compare")
     [ Filename.concat ".." "lib"; Filename.concat ".." "bench" ]
 
+(* The off-heap window path is the steady-state hot loop of every
+   streaming solver: one boxed option per push or per solve round would
+   re-introduce exactly the GC pressure the Flat/Window_index layer
+   exists to remove. Keep those two files option-free — sentinel values
+   (-1 positions, neg_infinity reaches) carry the absent cases. *)
+let window_path_sources =
+  [
+    Filename.concat ".." (Filename.concat "lib" (Filename.concat "util" "flat.ml"));
+    Filename.concat ".." (Filename.concat "lib" (Filename.concat "mqdp" "window_index.ml"));
+  ]
+
+let test_window_path_option_free () =
+  List.iter
+    (fun path ->
+      let src = read_file path in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is staged for linting" path)
+        true
+        (String.length src > 0);
+      List.iter
+        (fun needle ->
+          if contains ~needle src then
+            Alcotest.failf "%s occurs in %s — use a sentinel, not a boxed option" needle
+              path)
+        [ "Option."; "Some "; "None" ])
+    window_path_sources
+
 let suite =
   [
     Alcotest.test_case "no Stdlib.compare under lib/ and bench/" `Quick
       test_no_polymorphic_compare;
+    Alcotest.test_case "window path stays option-free" `Quick
+      test_window_path_option_free;
   ]

@@ -8,6 +8,7 @@ let () =
       ("instance", Test_instance.suite);
       ("coverage", Test_coverage.suite);
       ("pair-index", Test_pair_index.suite);
+      ("window-index", Test_window_index.suite);
       ("set-cover", Test_set_cover.suite);
       ("algorithms", Test_algorithms.suite);
       ("opt", Test_opt.suite);

@@ -172,6 +172,46 @@ let online_equals_batch =
           && Mqdp.Online.emitted_count engine = List.length batch_ids)
         [ false; true ])
 
+(* The mirrored Window_index is a pure observer: an engine with a window
+   attached must emit the bit-identical stream (ids and IEEE emit times)
+   of one without, in every mode. This is the transparency half of the
+   Online refactor; the geometry half (the window's content matching a
+   fresh index) lives in test_window_index. *)
+let windowed_mirror_transparent =
+  qtest ~count:150 "window mirror never changes emissions"
+    (QCheck.triple
+       (arb_instance ~max_posts:30 ~max_labels:4 ~span:25. ())
+       (QCheck.make QCheck.Gen.(map (fun l -> 0.5 +. l) (float_bound_exclusive 4.)))
+       (QCheck.make QCheck.Gen.(float_bound_exclusive 6.)))
+    (fun (inst, lambda, tau) ->
+      List.for_all
+        (fun mode ->
+          let run mirrored =
+            let window =
+              if mirrored then Some (Mqdp.Window_index.create (Mqdp.Coverage.Fixed lambda))
+              else None
+            in
+            let engine = Mqdp.Online.create ?window ~lambda mode in
+            let acc = ref [] in
+            for i = 0 to Mqdp.Instance.size inst - 1 do
+              acc :=
+                List.rev_append (Mqdp.Online.push engine (Mqdp.Instance.post inst i))
+                  !acc
+            done;
+            acc := List.rev_append (Mqdp.Online.finish engine) !acc;
+            List.rev_map
+              (fun e ->
+                (e.Mqdp.Online.post.Mqdp.Post.id,
+                 Int64.bits_of_float e.Mqdp.Online.emit_time))
+              !acc
+          in
+          run false = run true)
+        [
+          Mqdp.Online.Delayed { tau; plus = false };
+          Mqdp.Online.Delayed { tau; plus = true };
+          Mqdp.Online.Instant;
+        ])
+
 let emit_times_monotone_per_push =
   qtest ~count:150 "each push returns emissions in emit-time order"
     (arb_instance ~max_posts:25 ~max_labels:3 ~span:20. ())
@@ -398,6 +438,7 @@ let suite =
     Alcotest.test_case "import rejects invalid snapshots" `Quick
       test_import_rejects_invalid;
     online_equals_batch;
+    windowed_mirror_transparent;
     emit_times_monotone_per_push;
     at_most_once_per_label_window;
   ]

@@ -221,6 +221,115 @@ let delays_match_definition =
       in
       Array.to_list delays = expected)
 
+(* --- legacy reference for the windowed Stream_greedy ----------------
+
+   The shipped Stream_greedy now runs incrementally on a Window_index;
+   this is a literal port of the implementation it replaced (whole-stream
+   Pair_index, O(window²) gain recomputation every round), kept as the
+   behavioural oracle: emissions must stay bit-identical. *)
+
+module Legacy_greedy = struct
+  type state = {
+    index : Mqdp.Pair_index.t;
+    covered : Bytes.t;
+  }
+
+  let make_state instance lambda =
+    {
+      index = Mqdp.Pair_index.build ~coverers:false instance (Mqdp.Coverage.Fixed lambda);
+      covered = Bytes.make (Mqdp.Instance.total_pairs instance) '\000';
+    }
+
+  exception Uncovered_pair
+
+  let fully_covered st pos =
+    try
+      Mqdp.Pair_index.iter_own_pairs st.index pos (fun id ->
+          if Bytes.get st.covered id = '\000' then raise Uncovered_pair);
+      true
+    with Uncovered_pair -> false
+
+  let mark_covered_by st k =
+    Mqdp.Pair_index.iter_covered_ranges st.index k (fun first last ->
+        Bytes.fill st.covered first (last - first + 1) '\001')
+
+  let window_gain st ~z_lo ~z_hi k =
+    let gain = ref 0 in
+    Mqdp.Pair_index.iter_covered_ranges st.index k (fun first last ->
+        for id = first to last do
+          let pos = Mqdp.Pair_index.pair_pos st.index id in
+          if pos >= z_lo && pos <= z_hi && Bytes.get st.covered id = '\000' then
+            incr gain
+        done);
+    !gain
+
+  let window_all_covered st ~z_lo ~z_hi =
+    let rec loop pos = pos > z_hi || (fully_covered st pos && loop (pos + 1)) in
+    loop z_lo
+
+  let solve ?(plus = false) ~tau instance lambda =
+    let l = Mqdp.Stream.fixed_lambda_exn ~who:"legacy" lambda in
+    let st = make_state instance l in
+    let n = Mqdp.Instance.size instance in
+    let posts = Mqdp.Instance.posts instance in
+    let post_value (p : Mqdp.Post.t) = p.Mqdp.Post.value in
+    let emissions = ref [] in
+    let rec advance cursor =
+      if cursor < n && fully_covered st cursor then advance (cursor + 1) else cursor
+    in
+    let rec process cursor =
+      let cursor = advance cursor in
+      if cursor < n then begin
+        let t' = Mqdp.Instance.value instance cursor in
+        let deadline = t' +. tau in
+        let z_lo = cursor in
+        let z_hi = Util.Array_util.upper_bound ~key:post_value posts deadline - 1 in
+        let stop () =
+          if plus then fully_covered st cursor else window_all_covered st ~z_lo ~z_hi
+        in
+        let rec greedy_rounds () =
+          if not (stop ()) then begin
+            let best = ref (-1) and best_gain = ref 0 in
+            for k = z_lo to z_hi do
+              let g = window_gain st ~z_lo ~z_hi k in
+              if g > !best_gain then begin
+                best := k;
+                best_gain := g
+              end
+            done;
+            assert (!best >= 0);
+            emissions :=
+              { Mqdp.Stream.position = !best; emit_time = deadline } :: !emissions;
+            mark_covered_by st !best;
+            greedy_rounds ()
+          end
+        in
+        greedy_rounds ();
+        process cursor
+      end
+    in
+    process 0;
+    Mqdp.Stream.make_result (List.rev !emissions)
+end
+
+let windowed_greedy_matches_legacy =
+  qtest ~count:200 "windowed stream-greedy ≡ legacy whole-stream greedy"
+    (QCheck.triple
+       (arb_instance ~max_posts:24 ~max_labels:4 ~span:20. ())
+       (QCheck.make QCheck.Gen.(map (fun l -> 0.5 +. l) (float_bound_exclusive 4.)))
+       (QCheck.make QCheck.Gen.(float_bound_exclusive 6.)))
+    (fun (inst, lambda, tau) ->
+      List.for_all
+        (fun plus ->
+          let got = Mqdp.Stream_greedy.solve ~plus ~tau inst (fixed lambda) in
+          let want = Legacy_greedy.solve ~plus ~tau inst (fixed lambda) in
+          let key e =
+            (e.Mqdp.Stream.position, Int64.bits_of_float e.Mqdp.Stream.emit_time)
+          in
+          List.map key got.Mqdp.Stream.emissions
+          = List.map key want.Mqdp.Stream.emissions)
+        [ false; true ])
+
 let suite =
   [
     Alcotest.test_case "cover & deadline on a simple stream" `Quick
@@ -241,4 +350,5 @@ let suite =
     greedy_windows_respect_order;
     stream_scan_no_duplicate_emissions;
     delays_match_definition;
+    windowed_greedy_matches_legacy;
   ]
