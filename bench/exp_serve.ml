@@ -1,0 +1,170 @@
+(* Serving-daemon load: drive Mqdp.Serve through its wire protocol with
+   ~10k resident profiles under three fault regimes — clean (no faults),
+   rough (periodic crash injection + shard restarts), hostile (frequent
+   crashes, frequent restarts) — measuring sustained ingest and delivery
+   throughput, REPORT latency p99 from the production telemetry
+   histogram, and the failure rate (error responses + shed posts).
+
+   Two gates back the CI smoke job:
+   - zero acknowledged-post loss: after the final TICK + DRAIN every
+     regime must end with an empty backlog (every acknowledged post was
+     applied; crashes and restarts lost nothing);
+   - a conservative delivery-throughput floor in the clean regime.
+   Gate lines print as `GATE <name>: ok|FAIL` for the CI grep. *)
+
+let num_labels = 100
+let shards = 8
+
+type regime = {
+  r_name : string;
+  r_chaos_every : int;  (* crash every Nth application; 0 = never *)
+  r_restart_every : int;  (* restart a shard every Nth post; 0 = never *)
+}
+
+let regimes =
+  [
+    { r_name = "clean"; r_chaos_every = 0; r_restart_every = 0 };
+    { r_name = "rough"; r_chaos_every = 4096; r_restart_every = 700 };
+    { r_name = "hostile"; r_chaos_every = 512; r_restart_every = 311 };
+  ]
+
+exception Injected_crash
+
+let labels_csv ls = String.concat "," (List.map string_of_int ls)
+
+let run_regime ~profiles ~posts regime =
+  let config =
+    {
+      Mqdp.Serve.default_config with
+      Mqdp.Serve.shards;
+      jobs = 4;
+      max_profiles = profiles + 8;
+      degrade_above = profiles + 4;
+      queue_capacity = 1 lsl 20;
+      checkpoint_every = 128;
+      max_restarts = max_int - 1;
+    }
+  in
+  let serve = Mqdp.Serve.create config in
+  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown serve) @@ fun () ->
+  let rng = Util.Rng.create 42 in
+  let seq = ref 0 in
+  let errors = ref 0 in
+  let exec fmt =
+    Printf.ksprintf
+      (fun cmd ->
+        incr seq;
+        match Mqdp.Serve.exec serve (Printf.sprintf "%d %s" !seq cmd) with
+        | [] -> ""
+        | lines ->
+          let last = List.nth lines (List.length lines - 1) in
+          let okp = Printf.sprintf "%d OK " !seq in
+          if String.starts_with ~prefix:okp last then
+            String.sub last (String.length okp) (String.length last - String.length okp)
+          else begin
+            incr errors;
+            last
+          end)
+      fmt
+  in
+  (* Admission: a mixed fleet — 10% keep a queryable window, half run
+     delayed diversification, the rest instant. *)
+  let names =
+    Array.init profiles (fun i ->
+        let name = Printf.sprintf "p%05d" i in
+        let k = 2 + Util.Rng.int rng 3 in
+        let sub = List.init k (fun _ -> Util.Rng.int rng num_labels) in
+        let mode = if i mod 2 = 0 then "delayed:30" else "instant" in
+        let window = if i mod 10 = 0 then "" else " nowindow" in
+        ignore (exec "ADD %s 60 %s %s%s" name mode (labels_csv sub) window);
+        name)
+  in
+  (match regime.r_chaos_every with
+  | 0 -> ()
+  | every ->
+    let counter = Atomic.make 1 in
+    Mqdp.Serve.set_chaos serve (Some (fun () ->
+        if Atomic.fetch_and_add counter 1 mod every = 0 then raise Injected_crash)));
+  let h_report = Util.Telemetry.histogram "serve.report" in
+  Util.Telemetry.reset_histogram h_report;
+  let was_enabled = Util.Telemetry.enabled () in
+  Util.Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_enabled then Util.Telemetry.disable ())
+  @@ fun () ->
+  let delivered = ref 0 and shed = ref 0 in
+  let t = ref 0. in
+  let report_cursor = ref 0 in
+  let start = Util.Timer.now_ns () in
+  for i = 0 to posts - 1 do
+    t := !t +. 0.05;
+    let k = 1 + Util.Rng.int rng 3 in
+    let labels = List.init k (fun _ -> Util.Rng.int rng num_labels) in
+    let body = exec "FEED %d %.17g %s" i !t (labels_csv labels) in
+    (try Scanf.sscanf body "delivered=%d shed=%d" (fun d s ->
+         delivered := !delivered + d;
+         shed := !shed + s)
+     with Scanf.Scan_failure _ | End_of_file -> ());
+    if i mod 64 = 63 then begin
+      ignore (exec "TICK");
+      (* Rotate REPORTs across the fleet so the report histogram sees a
+         spread of profiles, not one hot tenant. *)
+      for _ = 1 to 8 do
+        ignore (exec "REPORT %s" names.(!report_cursor));
+        report_cursor := (!report_cursor + 1) mod profiles
+      done
+    end;
+    if regime.r_restart_every > 0 && i > 0 && i mod regime.r_restart_every = 0
+    then Mqdp.Serve.restart_shard serve (Util.Rng.int rng shards)
+  done;
+  ignore (exec "TICK");
+  ignore (exec "DRAIN");
+  let elapsed = Util.Timer.elapsed_since start in
+  let backlog = Mqdp.Serve.backlog serve in
+  let failures = !errors + !shed in
+  let commands = !seq - profiles in
+  ( regime.r_name,
+    float_of_int posts /. elapsed,
+    float_of_int !delivered /. elapsed,
+    Util.Telemetry.quantile h_report 99. *. 1e3,
+    float_of_int failures /. float_of_int (max 1 commands),
+    Mqdp.Serve.restarts serve,
+    backlog )
+
+let run () =
+  Harness.section ~id:"serve"
+    ~paper:"serving layer (no paper counterpart): mqdp_serve under load"
+    ~expect:
+      "throughput within the same order across fault regimes; p99 stays \
+       bounded; zero acknowledged-post loss everywhere";
+  let profiles = 10_000 and posts = 2048 in
+  Printf.printf "%d profiles, %d posts, %d shards, 4 jobs\n" profiles posts shards;
+  let rows = List.map (run_regime ~profiles ~posts) regimes in
+  Harness.table
+    [ "regime"; "posts/s"; "deliveries/s"; "report p99 (ms)"; "fail rate";
+      "restarts"; "backlog" ]
+    (List.map
+       (fun (name, pps, dps, p99, fail, restarts, backlog) ->
+         [
+           name;
+           Printf.sprintf "%.0f" pps;
+           Printf.sprintf "%.0f" dps;
+           Printf.sprintf "%.3f" p99;
+           Printf.sprintf "%.4f" fail;
+           string_of_int restarts;
+           string_of_int backlog;
+         ])
+       rows);
+  List.iter
+    (fun (name, _, _, _, _, _, backlog) ->
+      Printf.printf "GATE serve.zero-loss.%s: %s\n" name
+        (if backlog = 0 then "ok" else "FAIL"))
+    rows;
+  (match rows with
+  | ("clean", _, dps, _, _, _, _) :: _ ->
+    (* Conservative floor: CI machines are slow and shared; the point is
+       catching a collapse, not tracking the peak. *)
+    Printf.printf "GATE serve.throughput: %s (%.0f deliveries/s, floor 20000)\n"
+      (if dps >= 20_000. then "ok" else "FAIL")
+      dps
+  | _ -> ())

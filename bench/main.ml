@@ -36,6 +36,7 @@ let experiments =
     ("scaling", Exp_scaling.run);
     ("faults", Exp_faults.run);
     ("budget", Exp_budget.run);
+    ("serve", Exp_serve.run);
   ]
 
 let list_experiments () =

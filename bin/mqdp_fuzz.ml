@@ -3,8 +3,8 @@
    prints the reproducing seed on the first discrepancy — the tool to run
    after touching any algorithm.
 
-   usage: mqdp_fuzz [--fault <drop|clamp|raise|mixed> | --budget | --window]
-                    [seconds (default 10)] [start-seed (default 1)]
+   usage: mqdp_fuzz [--fault <drop|clamp|raise|mixed> | --budget | --window
+                    | --serve] [seconds (default 10)] [start-seed (default 1)]
 
    With --fault the tool switches from differential solver checks to the
    hardened-frontend torture loop: every round builds a clean stream,
@@ -496,6 +496,299 @@ let one_window_round seed =
   solve_and_check ();
   roundtrip ()
 
+(* --serve: torture the multi-tenant serving engine against a
+   single-threaded oracle. Every round builds a random Serve engine
+   (shards, pool jobs, queue capacity, checkpoint cadence, overload
+   budget), admits a handful of profiles, and drives a Fault-corrupted
+   post stream through the wire protocol — with crash injection firing
+   between post applications, whole-shard snapshot/restore restarts
+   mid-stream, and verbatim client retries — while an oracle of plain
+   per-profile Feeds (no crashes, no restarts) replicates the shard hash
+   and queue-capacity accounting. At every sync point the engine's
+   REPORTs must match the oracle's emissions bit-for-bit (sequence
+   numbers, ids, IEEE-754 emit times), FEED acknowledgments must match
+   the oracle's shed model, and the final drain must leave zero
+   acknowledged posts unapplied. *)
+
+exception Injected_crash
+
+type oracle_profile = {
+  o_name : string;
+  o_sub : Mqdp.Label_set.t;
+  o_shard : int;
+  o_feed : Mqdp.Feed.t;
+  mutable o_seq : int;
+  mutable o_pending : Mqdp.Post.t list;  (* newest first *)
+  mutable o_unreported : (int * Mqdp.Online.emission) list;  (* newest first *)
+}
+
+let one_serve_round seed =
+  let rng = Util.Rng.create (0x5E44E + seed) in
+  let num_labels = 2 + Util.Rng.int rng 3 in
+  let shards = 1 + Util.Rng.int rng 4 in
+  let capacity = 4 + Util.Rng.int rng 12 in
+  let overload_budget =
+    if Util.Rng.int rng 4 = 0 then Some (1 + Util.Rng.int rng 2) else None
+  in
+  let config =
+    {
+      Mqdp.Serve.default_config with
+      Mqdp.Serve.shards;
+      jobs = 1 + Util.Rng.int rng 2;
+      queue_capacity = capacity;
+      checkpoint_every = Util.Rng.int rng 5;
+      (* Quarantine is a divergence from the crash-free oracle by design;
+         the restart ceiling is effectively infinite here and quarantine
+         gets its own unit tests. *)
+      max_restarts = max_int - 1;
+      overload_budget;
+    }
+  in
+  let serve = Mqdp.Serve.create config in
+  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown serve) @@ fun () ->
+  let seq = ref 0 in
+  let raw line = Mqdp.Serve.exec serve line in
+  let exec fmt =
+    Printf.ksprintf
+      (fun cmd ->
+        incr seq;
+        let line = Printf.sprintf "%d %s" !seq cmd in
+        (line, raw line))
+      fmt
+  in
+  let expect_ok what (line, response) check_body =
+    let prefix = Printf.sprintf "%d OK " !seq in
+    match response with
+    | [ r ] when String.starts_with ~prefix r ->
+      let body = String.sub r (String.length prefix) (String.length r - String.length prefix) in
+      check ~seed (check_body body)
+        (Printf.sprintf "%s: unexpected body %S for %S" what body line);
+      body
+    | _ ->
+      check ~seed false
+        (Printf.sprintf "%s: unexpected response %S for %S" what
+           (String.concat " / " response) line);
+      ""
+  in
+  let labels_csv ls = String.concat "," (List.map string_of_int (Mqdp.Label_set.to_list ls)) in
+  let feed_config = { Mqdp.Feed.default_config with overload_budget } in
+  (* Admit profiles; the oracle mirrors each with a plain Feed. *)
+  let nprof = 2 + Util.Rng.int rng 5 in
+  let oracle =
+    List.init nprof (fun i ->
+        let o_name = Printf.sprintf "p%d" i in
+        let k = 1 + Util.Rng.int rng (min 3 num_labels) in
+        let o_sub =
+          Mqdp.Label_set.of_list (List.init k (fun _ -> Util.Rng.int rng num_labels))
+        in
+        let lambda = float_of_int (1 + Util.Rng.int rng 8) in
+        let mode, mode_str =
+          match Util.Rng.int rng 3 with
+          | 0 -> (Mqdp.Online.Instant, "instant")
+          | plus_tag ->
+            let tau = Util.Rng.float rng lambda in
+            let plus = plus_tag = 2 in
+            ( Mqdp.Online.Delayed { tau; plus },
+              Printf.sprintf "delayed%s:%.17g" (if plus then "+" else "") tau )
+        in
+        let nowindow = Util.Rng.bool rng in
+        ignore
+          (expect_ok "ADD"
+             (exec "ADD %s %.17g %s %s%s" o_name lambda mode_str (labels_csv o_sub)
+                (if nowindow then " nowindow" else ""))
+             (String.equal "added"));
+        {
+          o_name;
+          o_sub;
+          o_shard = Mqdp.Serve.shard_of_name ~shards o_name;
+          o_feed =
+            Mqdp.Feed.create ~config:feed_config ~window:false ~lambda mode;
+          o_seq = 0;
+          o_pending = [];
+          o_unreported = [];
+        })
+  in
+  (* Crash schedule: a small set of application indices at which the chaos
+     hook (called from pool workers, hence the atomic) kills the profile
+     mid-tick. Recovery is checkpoint restore + journal replay, so any
+     schedule must leave the observable stream untouched. *)
+  let crash_counter = Atomic.make 0 in
+  let crash_points =
+    List.init (Util.Rng.int rng 5) (fun _ -> 1 + Util.Rng.int rng 100)
+  in
+  Mqdp.Serve.set_chaos serve
+    (Some
+       (fun () ->
+         let c = Atomic.fetch_and_add crash_counter 1 in
+         if List.mem c crash_points then raise Injected_crash));
+  let backlog = Array.make shards 0 in
+  let oracle_matches post =
+    List.filter
+      (fun op -> not (Mqdp.Label_set.disjoint post.Mqdp.Post.labels op.o_sub))
+      oracle
+  in
+  let deliver post =
+    let expected_delivered = ref 0 and expected_shed = ref 0 in
+    List.iter
+      (fun op ->
+        if backlog.(op.o_shard) >= capacity then incr expected_shed
+        else begin
+          backlog.(op.o_shard) <- backlog.(op.o_shard) + 1;
+          let projected = Mqdp.Label_set.inter post.Mqdp.Post.labels op.o_sub in
+          op.o_pending <-
+            Mqdp.Post.make ~id:post.Mqdp.Post.id ~value:post.Mqdp.Post.value
+              ~labels:projected
+            :: op.o_pending;
+          incr expected_delivered
+        end)
+      (oracle_matches post);
+    let sent =
+      exec "FEED %d %.17g %s" post.Mqdp.Post.id post.Mqdp.Post.value
+        (labels_csv post.Mqdp.Post.labels)
+    in
+    ignore
+      (expect_ok "FEED" sent
+         (String.equal
+            (Printf.sprintf "delivered=%d shed=%d" !expected_delivered !expected_shed)));
+    sent
+  in
+  let oracle_tick () =
+    let applied = ref 0 in
+    List.iter
+      (fun op ->
+        List.iter
+          (fun p ->
+            incr applied;
+            match Mqdp.Feed.push op.o_feed p with
+            | outcome ->
+              List.iter
+                (fun e ->
+                  op.o_seq <- op.o_seq + 1;
+                  op.o_unreported <- (op.o_seq, e) :: op.o_unreported)
+                outcome.Mqdp.Feed.emissions
+            | exception Mqdp.Feed.Rejected _ -> ())
+          (List.rev op.o_pending);
+        op.o_pending <- [])
+      oracle;
+    Array.fill backlog 0 shards 0;
+    !applied
+  in
+  let compare_report op =
+    let _, response = exec "REPORT %s" op.o_name in
+    let expected =
+      List.rev_map
+        (fun (eseq, e) ->
+          Printf.sprintf "%d EMIT %d %d %016Lx" !seq eseq
+            e.Mqdp.Online.post.Mqdp.Post.id
+            (Int64.bits_of_float e.Mqdp.Online.emit_time))
+        op.o_unreported
+      @ [ Printf.sprintf "%d OK %d" !seq (List.length op.o_unreported) ]
+    in
+    op.o_unreported <- [];
+    check ~seed
+      (List.equal String.equal response expected)
+      (Printf.sprintf "REPORT %s diverged from the oracle:\n  got      %s\n  expected %s"
+         op.o_name
+         (String.concat " | " response)
+         (String.concat " | " expected))
+  in
+  let tick_and_compare () =
+    let expected = oracle_tick () in
+    ignore
+      (expect_ok "TICK" (exec "TICK")
+         (String.equal (Printf.sprintf "applied=%d backlog=0" expected)));
+    List.iter compare_report oracle
+  in
+  (* The corrupted stream: drops, duplicates, skew, bursts, plus injected
+     infinities (the Drop policy consumes them identically on both
+     sides). *)
+  let n = 20 + Util.Rng.int rng 40 in
+  let t = ref 0. in
+  let clean =
+    List.init n (fun id ->
+        t := !t +. Util.Rng.exponential rng ~rate:1.;
+        let k = 1 + Util.Rng.int rng (min 3 num_labels) in
+        let labels =
+          Mqdp.Label_set.of_list (List.init k (fun _ -> Util.Rng.int rng num_labels))
+        in
+        Mqdp.Post.make ~id ~value:!t ~labels)
+  in
+  let fault = Util.Fault.create ~seed:(0xFA0C7 + seed) () in
+  let stream =
+    Util.Fault.corrupt fault
+      ~time:(fun p -> p.Mqdp.Post.value)
+      ~retime:(fun p v ->
+        Mqdp.Post.make ~id:p.Mqdp.Post.id ~value:v ~labels:p.Mqdp.Post.labels)
+      clean
+    |> List.map (fun p ->
+           if Util.Rng.int rng 32 = 0 then
+             Mqdp.Post.make ~id:p.Mqdp.Post.id ~value:infinity
+               ~labels:p.Mqdp.Post.labels
+           else p)
+  in
+  let last_feed = ref None in
+  List.iter
+    (fun post ->
+      last_feed := Some (deliver post);
+      (match (!last_feed, Util.Rng.int rng 6) with
+      | Some (line, response), 0 ->
+        (* A client retry: the same line verbatim must replay the cached
+           response without delivering the post a second time. *)
+        check ~seed
+          (List.equal String.equal (raw line) response)
+          (Printf.sprintf "retried %S did not replay its cached response" line)
+      | _ -> ());
+      if Util.Rng.int rng 6 = 0 then tick_and_compare ();
+      if Util.Rng.int rng 10 = 0 then
+        Mqdp.Serve.restart_shard serve (Util.Rng.int rng shards);
+      if Util.Rng.int rng 12 = 0 then begin
+        let op = List.nth oracle (Util.Rng.int rng nprof) in
+        let _, response = exec "QUERY %s" op.o_name in
+        match response with
+        | [ r ] ->
+          check ~seed
+            (String.starts_with ~prefix:(Printf.sprintf "%d OK rung=" !seq) r
+            || String.starts_with ~prefix:(Printf.sprintf "%d ERR no-window" !seq) r)
+            (Printf.sprintf "QUERY %s: unexpected response %S" op.o_name r)
+        | _ -> check ~seed false "QUERY returned multiple lines"
+      end)
+    stream;
+  (* Final sync: drain both sides and audit zero acknowledged-post loss. *)
+  tick_and_compare ();
+  let expected_drained =
+    List.iter
+      (fun op ->
+        List.iter
+          (fun e ->
+            op.o_seq <- op.o_seq + 1;
+            op.o_unreported <- (op.o_seq, e) :: op.o_unreported)
+          (Mqdp.Feed.finish op.o_feed))
+      oracle;
+    nprof
+  in
+  ignore
+    (expect_ok "DRAIN" (exec "DRAIN")
+       (String.equal (Printf.sprintf "drained=%d" expected_drained)));
+  List.iter compare_report oracle;
+  check ~seed (Mqdp.Serve.backlog serve = 0) "acknowledged posts left unapplied";
+  let stats = expect_ok "STATS" (exec "STATS") (String.starts_with ~prefix:"{") in
+  check ~seed
+    (let needle = "\"backlog\":0" in
+     let rec find i =
+       i + String.length needle <= String.length stats
+       && (String.sub stats i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+    "STATS does not report an empty backlog after drain";
+  (* The idempotency window is finite: a sequence number far below the
+     watermark whose cache slot was reused must be refused, not rerun. *)
+  if !seq > Mqdp.Serve.default_config.Mqdp.Serve.seq_cache + 1 then
+    check ~seed
+      (match raw "1 PING" with
+      | [ r ] -> String.starts_with ~prefix:"1 ERR stale-seq" r
+      | _ -> false)
+      "an evicted stale sequence number was not refused"
+
 let fuzz_loop ~seconds ~seed0 ~what round =
   let start = Unix.gettimeofday () in
   let rounds = ref 0 and seed = ref seed0 in
@@ -519,6 +812,7 @@ type mode =
   | Diff
   | Budget
   | Window
+  | Serve
   | Fault of string * Mqdp.Feed.policy option
 
 let () =
@@ -527,6 +821,7 @@ let () =
     | _ :: "--fault" :: p :: rest -> (Fault (p, policy_of_string p), rest)
     | _ :: "--budget" :: rest -> (Budget, rest)
     | _ :: "--window" :: rest -> (Window, rest)
+    | _ :: "--serve" :: rest -> (Serve, rest)
     | _ :: rest -> (Diff, rest)
     | [] -> (Diff, [])
   in
@@ -536,5 +831,6 @@ let () =
   | Diff -> fuzz_loop ~seconds ~seed0 ~what:"diff" one_round
   | Budget -> fuzz_loop ~seconds ~seed0 ~what:"budget" one_budget_round
   | Window -> fuzz_loop ~seconds ~seed0 ~what:"window" one_window_round
+  | Serve -> fuzz_loop ~seconds ~seed0 ~what:"serve" one_serve_round
   | Fault (name, policy) ->
     fuzz_loop ~seconds ~seed0 ~what:("fault:" ^ name) (one_fault_round ~policy)

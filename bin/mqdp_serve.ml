@@ -1,0 +1,182 @@
+(* mqdp_serve — the crash-tolerant multi-tenant streaming daemon over
+   Mqdp.Serve: line protocol on stdin (default) or an iterative TCP
+   accept loop (--port), durable shard snapshots (--state-dir), and bulk
+   ingestion of TSV post files through the streaming reader (--replay).
+
+   usage: mqdp_serve [--port N] [--shards N] [--jobs N]
+                     [--max-profiles N] [--degrade-above N]
+                     [--queue-capacity N] [--tick-steps N] [--deadline S]
+                     [--checkpoint-every N] [--max-restarts N]
+                     [--overload-budget N] [--seq-cache N]
+                     [--state-dir DIR] [--replay FILE]
+                     [--telemetry] [--trace FILE]
+
+   Protocol: one `<seq> VERB args` request per line; responses echo the
+   sequence number and end with `<seq> OK ...` or `<seq> ERR <code> ...`
+   (see Serve's interface, and the ops runbook in README.md). With
+   --state-dir, shard snapshots are written crash-safely (temp + fsync +
+   rename) after every CHECKPOINT command and at shutdown, and reloaded
+   on startup. *)
+
+let state_file dir i = Filename.concat dir (Printf.sprintf "shard-%d.snap" i)
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  | Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "mqdp_serve: cannot create state dir %s: %s\n%!" dir
+      (Unix.error_message e);
+    exit 1
+
+let save_state serve = function
+  | None -> ()
+  | Some dir ->
+    for i = 0 to Mqdp.Serve.shard_count serve - 1 do
+      Util.Fs.atomic_write ~path:(state_file dir i) (Mqdp.Serve.shard_snapshot serve i)
+    done
+
+let load_state serve = function
+  | None -> ()
+  | Some dir ->
+    for i = 0 to Mqdp.Serve.shard_count serve - 1 do
+      let path = state_file dir i in
+      if Sys.file_exists path then
+        match Mqdp.Serve.load_shard serve i (Util.Fs.read path) with
+        | () -> Printf.eprintf "mqdp_serve: restored shard %d from %s\n%!" i path
+        | exception Mqdp.Shard.Corrupt what ->
+          Printf.eprintf "mqdp_serve: shard %d snapshot corrupt (%s), starting empty\n%!"
+            i what
+    done
+
+(* Checkpoints become durable the moment the client asked for them, not
+   at shutdown: a kill between CHECKPOINT and exit must not lose them. *)
+let is_checkpoint line =
+  match String.split_on_char ' ' (String.trim line) with
+  | _ :: "CHECKPOINT" :: _ -> true
+  | _ -> false
+
+let serve_channel serve state_dir ic oc =
+  try
+    while true do
+      let line = input_line ic in
+      List.iter (fun r -> output_string oc (r ^ "\n")) (Mqdp.Serve.exec serve line);
+      flush oc;
+      if is_checkpoint line then save_state serve state_dir
+    done
+  with End_of_file -> ()
+
+let replay serve path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let seq = ref 0 in
+      let exec fmt =
+        Printf.ksprintf
+          (fun cmd ->
+            incr seq;
+            ignore (Mqdp.Serve.exec serve (Printf.sprintf "%d %s" !seq cmd)))
+          fmt
+      in
+      let fed = ref 0 in
+      let skipped =
+        Workload.Post_io.iter_channel ~lenient:true ic ~f:(fun p ->
+            exec "FEED %d %.17g %s" p.Mqdp.Post.id p.Mqdp.Post.value
+              (match Mqdp.Label_set.to_list p.Mqdp.Post.labels with
+              | [] -> "-"
+              | ls -> String.concat "," (List.map string_of_int ls));
+            incr fed;
+            if !fed mod 256 = 0 then exec "TICK")
+      in
+      exec "TICK";
+      Printf.eprintf
+        "mqdp_serve: replayed %d posts from %s (%d skipped); next sequence %d\n%!"
+        !fed path skipped (!seq + 1);
+      !seq)
+
+let tcp_loop serve state_dir port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_any, port));
+  Unix.listen sock 8;
+  Printf.eprintf "mqdp_serve: listening on port %d\n%!" port;
+  while true do
+    let client, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr client
+    and oc = Unix.out_channel_of_descr client in
+    (try serve_channel serve state_dir ic oc
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    (try Unix.close client with Unix.Unix_error _ -> ());
+    save_state serve state_dir
+  done
+
+let () =
+  let config = ref Mqdp.Serve.default_config in
+  let port = ref 0 in
+  let state_dir = ref None in
+  let replay_file = ref None in
+  let trace_file = ref None in
+  let set f = Arg.Int (fun v -> config := f !config v) in
+  let args =
+    [
+      ("--port", Arg.Set_int port, "N  listen on TCP port N (default: stdin)");
+      ("--shards", set (fun c v -> { c with Mqdp.Serve.shards = v }), "N  failure domains");
+      ("--jobs", set (fun c v -> { c with Mqdp.Serve.jobs = v }), "N  pool width for TICK");
+      ( "--max-profiles",
+        set (fun c v -> { c with Mqdp.Serve.max_profiles = v }),
+        "N  hard admission ceiling" );
+      ( "--degrade-above",
+        set (fun c v -> { c with Mqdp.Serve.degrade_above = v }),
+        "N  admit degraded beyond this" );
+      ( "--queue-capacity",
+        set (fun c v -> { c with Mqdp.Serve.queue_capacity = v }),
+        "N  per-shard pending-post bound" );
+      ( "--tick-steps",
+        set (fun c v -> { c with Mqdp.Serve.tick_steps = Some v }),
+        "N  per-shard step budget per TICK" );
+      ( "--deadline",
+        Arg.Float
+          (fun v -> config := { !config with Mqdp.Serve.request_deadline = Some v }),
+        "S  per-request deadline, seconds" );
+      ( "--checkpoint-every",
+        set (fun c v -> { c with Mqdp.Serve.checkpoint_every = v }),
+        "N  per-profile auto-checkpoint period" );
+      ( "--max-restarts",
+        set (fun c v -> { c with Mqdp.Serve.max_restarts = v }),
+        "N  profile crashes before quarantine" );
+      ( "--overload-budget",
+        set (fun c v -> { c with Mqdp.Serve.overload_budget = Some v }),
+        "N  feed degradation threshold" );
+      ( "--seq-cache",
+        set (fun c v -> { c with Mqdp.Serve.seq_cache = v }),
+        "N  retried-response window" );
+      ( "--state-dir",
+        Arg.String (fun d -> state_dir := Some d),
+        "DIR  durable shard snapshots" );
+      ( "--replay",
+        Arg.String (fun f -> replay_file := Some f),
+        "FILE  bulk-feed a TSV post file at startup" );
+      ( "--telemetry",
+        Arg.Unit (fun () -> Util.Telemetry.enable ()),
+        "  enable metrics (STATS reports them)" );
+      ( "--trace",
+        Arg.String (fun f -> trace_file := Some f),
+        "FILE  write a Chrome-trace span log" );
+    ]
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "mqdp_serve [options]";
+  (match !trace_file with
+  | None -> ()
+  | Some f ->
+    Util.Telemetry.enable ();
+    Util.Telemetry.set_sink (Util.Telemetry.Trace.to_channel (open_out f)));
+  let serve = Mqdp.Serve.create !config in
+  Option.iter ensure_dir !state_dir;
+  load_state serve !state_dir;
+  ignore (Option.map (replay serve) !replay_file);
+  (if !port > 0 then tcp_loop serve !state_dir !port
+   else serve_channel serve !state_dir stdin stdout);
+  save_state serve !state_dir;
+  Mqdp.Serve.shutdown serve

@@ -546,9 +546,9 @@ let restore text =
   t.c_shed <- cnt.(9);
   t
 
-let save_checkpoint ~path t =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (checkpoint t))
+(* Crash-safe: temp + fsync + rename, so a process killed mid-write can
+   tear only the ignored temp sibling, never the checkpoint itself. *)
+let save_checkpoint ~path t = Util.Fs.atomic_write ~path (checkpoint t)
 
 let load_checkpoint path =
   let ic = open_in_bin path in

@@ -136,6 +136,10 @@ val checkpoint : t -> string
 
 val restore : string -> t
 
+(** [save_checkpoint ~path t] writes {!checkpoint} crash-safely: the bytes
+    go to a temp sibling, are fsynced, and only then renamed over [path]
+    ({!Util.Fs.atomic_write}) — a crash mid-write leaves the previous
+    checkpoint intact, never a torn one. *)
 val save_checkpoint : path:string -> t -> unit
 
 val load_checkpoint : string -> t

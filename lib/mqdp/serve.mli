@@ -1,0 +1,113 @@
+(** The multi-tenant serving core: a sans-IO line-protocol engine hosting
+    thousands of {!Profile}s hashed onto fixed {!Shard}s, driven by a
+    {!Util.Pool} for parallel ticks. [bin/mqdp_serve] wraps it in
+    stdin/TCP transport; the fuzzer and tests drive {!exec} directly.
+
+    {2 Wire protocol}
+
+    One request per line: [<seq> VERB args...]; one or more response
+    lines, each echoing [<seq>], the last being [<seq> OK ...] or
+    [<seq> ERR <code> <message>]. Sequence numbers must be strictly
+    increasing per engine; the last [seq_cache] responses are kept, so a
+    client that times out retries the {e same} line verbatim and receives
+    the cached response — commands are idempotent under retry (a retried
+    FEED does not deliver twice). A sequence number below the watermark
+    and out of cache is refused with [ERR stale-seq].
+
+    Verbs:
+    - [ADD <name> <lambda> <mode> <labels> [nowindow]] — admit a profile.
+      [mode] is [instant], [delayed:<tau>] or [delayed+:<tau>]; [labels]
+      is comma-separated ints. Over [degrade_above] profiles, admission
+      degrades (forced instant, no window — [OK added degraded]); at
+      [max_profiles], [ERR capacity].
+    - [DEL <name>]
+    - [FEED <id> <value> <labels>] — fan a post out to every subscribed
+      profile (label-inverted index, deduplicated, delivered in name
+      order). Replies [OK delivered=<n> shed=<m>]; shed posts (full shard
+      queue, quarantined profile) are {e not} acknowledged.
+    - [TICK] — drain pending posts on every shard, in parallel on the
+      pool, each shard under its step budget. [OK applied=<n> backlog=<n>].
+    - [REPORT <name>] — unreported emissions as [<seq> EMIT <eseq> <id>
+      <time-hex>] lines, then [<seq> OK <count>].
+    - [QUERY <name>] — solve the profile's live window via {!Supervisor}
+      (GreedySC-rooted ladder, per-profile breaker, request budget).
+      [OK rung=<rung> size=<n> cover=<ids>]; [ERR no-window] for
+      windowless profiles.
+    - [STATS] — one JSON line: serving counters plus the {!Util.Telemetry}
+      snapshot.
+    - [CHECKPOINT [name]], [DRAIN [name]] — refresh checkpoints / finish
+      feeds (one profile or all).
+    - [RESTORE <name>] — revive a quarantined profile via its recovery
+      path.
+    - [PING]
+
+    Error codes: [parse], [unknown-profile], [duplicate-profile],
+    [capacity], [quarantined], [deadline], [stale-seq], [no-window]. *)
+
+type config = {
+  shards : int;
+  jobs : int;  (** pool width for parallel ticks *)
+  max_profiles : int;  (** hard admission ceiling: [ERR capacity] *)
+  degrade_above : int;  (** soft ceiling: admit degraded beyond this *)
+  queue_capacity : int;  (** per-shard acknowledged-post bound *)
+  tick_steps : int option;  (** per-shard step budget per TICK *)
+  request_deadline : float option;  (** seconds; [ERR deadline] past it *)
+  checkpoint_every : int;  (** per-profile auto-checkpoint period *)
+  max_restarts : int;  (** per-profile crashes before quarantine *)
+  overload_budget : int option;  (** {!Feed} degradation threshold *)
+  seq_cache : int;  (** retried-response window *)
+}
+
+(** 4 shards, 1 job, 16384/12288 profile ceilings, 4096-post queues,
+    unlimited ticks, no deadline, checkpoint every 64, 3 restarts, no
+    overload budget, 64 cached responses. *)
+val default_config : config
+
+type t
+
+(** Raises [Invalid_argument] on a non-positive [shards], [jobs],
+    [max_profiles], [queue_capacity] or [seq_cache], or
+    [degrade_above > max_profiles]. *)
+val create : config -> t
+
+val config : t -> config
+
+(** [exec t line] — execute one request, returning the response lines in
+    order. Never raises on bad input: malformed lines produce [ERR parse]
+    responses. *)
+val exec : t -> string -> string list
+
+(** The shard a profile name hashes to (FNV-1a-64 mod [shards]) — exposed
+    so the fuzzer's single-threaded oracle can replicate placement and
+    queue accounting. *)
+val shard_of_name : shards:int -> string -> int
+
+val shard_count : t -> int
+val profile_count : t -> int
+
+(** Total acknowledged-but-unapplied posts. *)
+val backlog : t -> int
+
+(** Shard restarts performed so far ({!restart_shard}). *)
+val restarts : t -> int
+
+(** [set_chaos t hook] installs (or clears) a crash-injection hook run
+    before every post application during ticks. The hook runs on pool
+    workers — it must be thread-safe. *)
+val set_chaos : t -> (unit -> unit) option -> unit
+
+(** [restart_shard t i] — snapshot shard [i] and rebuild it from the
+    snapshot: a simulated process death and recovery. Acknowledged posts
+    and unreported emissions survive by the {!Profile} durability
+    contract. *)
+val restart_shard : t -> int -> unit
+
+(** Durable snapshot of shard [i] (for the daemon's [--state-dir]). *)
+val shard_snapshot : t -> int -> string
+
+(** Replace shard [i] with a restored snapshot (daemon startup). Raises
+    {!Shard.Corrupt} on damage. *)
+val load_shard : t -> int -> string -> unit
+
+(** Shut the pool down. The engine keeps working (ticks run inline). *)
+val shutdown : t -> unit

@@ -1,16 +1,27 @@
 module Breaker = struct
   type entry = { mutable failures : int; mutable opened_at : float }
 
+  (* All state sits behind [lock]: one breaker is shared by every domain
+     that supervises the same resource (a serve shard migrates across
+     pool workers between ticks), so lookups and transitions must be
+     atomic with respect to each other. The critical sections are a few
+     loads and stores — contention is irrelevant next to the solves the
+     breaker is guarding. *)
   type t = {
     threshold : int;
     cooldown : float;
     entries : (string, entry) Hashtbl.t;
+    lock : Mutex.t;
   }
 
   let create ?(threshold = 3) ?(cooldown = 30.) () =
     if threshold < 1 then invalid_arg "Supervisor.Breaker.create: threshold < 1";
     if cooldown < 0. then invalid_arg "Supervisor.Breaker.create: cooldown < 0";
-    { threshold; cooldown; entries = Hashtbl.create 8 }
+    { threshold; cooldown; entries = Hashtbl.create 8; lock = Mutex.create () }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
   let entry t rung =
     match Hashtbl.find_opt t.entries rung with
@@ -21,16 +32,18 @@ module Breaker = struct
       e
 
   let failures t rung =
-    match Hashtbl.find_opt t.entries rung with
-    | Some e -> e.failures
-    | None -> 0
+    locked t (fun () ->
+        match Hashtbl.find_opt t.entries rung with
+        | Some e -> e.failures
+        | None -> 0)
 
   let available t rung =
-    match Hashtbl.find_opt t.entries rung with
-    | None -> true
-    | Some e ->
-      e.failures < t.threshold
-      || Util.Timer.now () -. e.opened_at >= t.cooldown
+    locked t (fun () ->
+        match Hashtbl.find_opt t.entries rung with
+        | None -> true
+        | Some e ->
+          e.failures < t.threshold
+          || Util.Timer.now () -. e.opened_at >= t.cooldown)
 
   (* Rungs currently tripped (at/above the failure threshold), exposed as
      a gauge. Cooldown expiry is not reflected until the next record — the
@@ -45,16 +58,18 @@ module Breaker = struct
            t.entries 0)
 
   let record_success t rung =
-    (entry t rung).failures <- 0;
-    update_open_gauge t
+    locked t (fun () ->
+        (entry t rung).failures <- 0;
+        update_open_gauge t)
 
   (* (Re)arming the cooldown on every failure at or past the threshold
      means a failed half-open trial closes the window again. *)
   let record_failure t rung =
-    let e = entry t rung in
-    e.failures <- e.failures + 1;
-    if e.failures >= t.threshold then e.opened_at <- Util.Timer.now ();
-    update_open_gauge t
+    locked t (fun () ->
+        let e = entry t rung in
+        e.failures <- e.failures + 1;
+        if e.failures >= t.threshold then e.opened_at <- Util.Timer.now ();
+        update_open_gauge t)
 end
 
 type outcome =

@@ -23,8 +23,15 @@
     outright ([Skipped_breaker]) until [cooldown] seconds pass, at which
     point one half-open trial is allowed. *)
 
-(** Per-rung circuit breaker, keyed by algorithm name. Thread-unsafe by
-    design: one breaker belongs to one supervising loop. *)
+(** Per-rung circuit breaker, keyed by algorithm name. Safe to share
+    across domains: every query and transition is mutex-serialized, so a
+    breaker can follow a profile that migrates between {!Util.Pool}
+    workers (the serving layer does exactly that). The classic half-open
+    race remains semantically possible — several domains may each observe
+    [available] during one cooldown window and run a trial concurrently —
+    but the recorded outcomes are applied atomically, so the breaker
+    always lands in a consistent state: any trial failure at/past the
+    threshold re-arms the cooldown, any success closes the circuit. *)
 module Breaker : sig
   type t
 

@@ -1,0 +1,34 @@
+exception Crashed of { path : string; written : int }
+
+let temp_path path = path ^ ".tmp"
+
+(* The crash hook writes the permitted prefix and raises without closing
+   cleanly — the temp file is left torn on disk, which is exactly the
+   state a process killed mid-write leaves behind. Readers never look at
+   the temp sibling, so the destination stays whatever it was. *)
+let atomic_write ?(fsync = true) ?crash_after ~path content =
+  let tmp = temp_path path in
+  let oc = open_out_bin tmp in
+  (match crash_after with
+  | Some n when n < String.length content ->
+    let n = max 0 n in
+    output_substring oc content 0 n;
+    flush oc;
+    close_out_noerr oc;
+    raise (Crashed { path; written = n })
+  | Some _ | None ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc content;
+        flush oc;
+        if fsync then Unix.fsync (Unix.descr_of_out_channel oc)));
+  Sys.rename tmp path
+
+let read path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()

@@ -1,0 +1,35 @@
+(** Crash-safe file persistence primitives.
+
+    [atomic_write] is the write-side half of every durable artifact in the
+    system (feed checkpoints, shard snapshots): the content goes to a
+    temporary file in the destination directory, is flushed and fsynced,
+    and only then renamed over the destination. POSIX rename is atomic, so
+    a reader never observes a half-written destination — a crash at any
+    byte boundary leaves either the previous file intact or a stale
+    [.tmp] sibling that readers ignore.
+
+    The [?crash_after] hook exists for the fault-injection tests: it makes
+    the writer die (raising {!Crashed}) after exactly that many content
+    bytes have reached the temporary file, simulating a process killed
+    mid-write. The destination is untouched; the torn temp file is left
+    behind exactly as a real crash would leave it. *)
+
+(** Raised by the [?crash_after] test hook once the requested number of
+    bytes has been written to the temporary file. *)
+exception Crashed of { path : string; written : int }
+
+(** [atomic_write ?fsync ?crash_after ~path content] — write [content] to
+    [path ^ ".tmp"], optionally fsync (default [true]), then rename onto
+    [path]. With [crash_after:n], raises {!Crashed} after [n] bytes,
+    leaving the torn temp file and never renaming. *)
+val atomic_write : ?fsync:bool -> ?crash_after:int -> path:string -> string -> unit
+
+(** The temp sibling [atomic_write] stages into, for cleanup and tests. *)
+val temp_path : string -> string
+
+(** [read path] — the whole file as a string. Raises [Sys_error]. *)
+val read : string -> string
+
+(** [remove_if_exists path] — unlink [path] when present; never raises on
+    a missing file. *)
+val remove_if_exists : string -> unit

@@ -50,33 +50,53 @@ let save path posts =
           output_char oc '\n')
         posts)
 
-(* Shared reader: [on_error] decides whether a bad line aborts (strict
-   load) or is skipped and counted (lenient load). *)
-let fold_lines path ~on_error =
+(* Streaming reader over an already-open channel: one line is held in
+   memory at a time, so a multi-gigabyte replay file — or a socket feed
+   that never ends — costs O(longest line), not O(file). [on_error]
+   decides whether a bad line aborts (strict load) or is skipped and
+   counted (lenient mode). *)
+let fold_channel_err ic ~on_error ~init ~f =
+  let rec read lineno acc skipped =
+    match input_line ic with
+    | exception End_of_file -> (acc, skipped)
+    | line ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then read (lineno + 1) acc skipped
+      else begin
+        match post_of_line ~line:lineno trimmed with
+        | post -> read (lineno + 1) (f acc post) skipped
+        | exception Parse_error { line; what } ->
+          on_error ~line ~what;
+          read (lineno + 1) acc (skipped + 1)
+      end
+  in
+  read 1 init 0
+
+let fold_channel ?(lenient = false) ic ~init ~f =
+  let on_error =
+    if lenient then fun ~line:_ ~what:_ -> ()
+    else fun ~line ~what -> parse_error ~line "%s" what
+  in
+  fold_channel_err ic ~on_error ~init ~f
+
+let iter_channel ?lenient ic ~f =
+  snd (fold_channel ?lenient ic ~init:() ~f:(fun () p -> f p))
+
+let with_file path k =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec read lineno acc skipped =
-        match input_line ic with
-        | exception End_of_file -> (List.rev acc, skipped)
-        | line ->
-          let trimmed = String.trim line in
-          if trimmed = "" || trimmed.[0] = '#' then read (lineno + 1) acc skipped
-          else begin
-            match post_of_line ~line:lineno trimmed with
-            | post -> read (lineno + 1) (post :: acc) skipped
-            | exception Parse_error { line; what } ->
-              on_error ~line ~what;
-              read (lineno + 1) acc (skipped + 1)
-          end
-      in
-      read 1 [] 0)
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> k ic)
 
 let load path =
-  fst (fold_lines path ~on_error:(fun ~line ~what -> parse_error ~line "%s" what))
+  with_file path (fun ic ->
+      let rev, _ = fold_channel ic ~init:[] ~f:(fun acc p -> p :: acc) in
+      List.rev rev)
 
-let load_lenient path = fold_lines path ~on_error:(fun ~line:_ ~what:_ -> ())
+let load_lenient path =
+  with_file path (fun ic ->
+      let rev, skipped =
+        fold_channel ~lenient:true ic ~init:[] ~f:(fun acc p -> p :: acc)
+      in
+      (List.rev rev, skipped))
 
 let save_cover path instance cover =
   save path (List.map (Mqdp.Instance.post instance) cover)

@@ -26,6 +26,22 @@ val save : string -> Mqdp.Post.t list -> unit
     [Sys_error] on IO problems. *)
 val load : string -> Mqdp.Post.t list
 
+(** [fold_channel ?lenient ic ~init ~f] — streaming fold over an open
+    channel (a file, a pipe, a socket): posts are parsed and folded one
+    line at a time, so memory stays O(longest line) no matter how large —
+    or unbounded — the feed is. Comment ([#]) and blank lines are skipped.
+    Returns the accumulator and the number of malformed lines skipped.
+    With [lenient:false] (the default) the first malformed line raises
+    {!Parse_error} (1-based line numbers, counted from where the channel
+    currently is); with [lenient:true] malformed lines are counted and
+    skipped — the hardened answer to garbage interleaved in a live feed. *)
+val fold_channel :
+  ?lenient:bool -> in_channel -> init:'a -> f:('a -> Mqdp.Post.t -> 'a) -> 'a * int
+
+(** [iter_channel ?lenient ic ~f] — {!fold_channel} for effects; returns
+    the skipped-line count. *)
+val iter_channel : ?lenient:bool -> in_channel -> f:(Mqdp.Post.t -> unit) -> int
+
 (** [load_lenient path] — like {!load} but skips malformed lines instead
     of raising, returning the parsed posts and how many lines were
     skipped. The hardened frontend's answer to garbage in a feed file. *)

@@ -377,6 +377,47 @@ let test_checkpoint_file_roundtrip () =
       Alcotest.check emission_keys "file roundtrip continues identically"
         (run_feed original suffix_posts) (run_feed restored suffix_posts))
 
+let test_atomic_save_survives_torn_writes () =
+  (* A crash injected mid-write (Util.Fault picks the byte boundaries) must
+     never leave a checkpoint that fails checksum on restore: the previous
+     checkpoint survives untouched, and the torn bytes only ever land in
+     the ignored temp sibling. *)
+  let original = busy_feed () in
+  let image = Mqdp.Feed.checkpoint original in
+  let path = Filename.temp_file "mqdp_feed_atomic" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Util.Fs.remove_if_exists (Util.Fs.temp_path path))
+    (fun () ->
+      Mqdp.Feed.save_checkpoint ~path original;
+      let fault = Util.Fault.create ~seed:11 () in
+      let crash_bytes =
+        Util.Fault.crash_points fault ~n:(String.length image - 1) ~max_points:8
+      in
+      List.iter
+        (fun written ->
+          (match Util.Fs.atomic_write ~crash_after:written ~path image with
+          | () -> Alcotest.fail "crash_after did not crash"
+          | exception Util.Fs.Crashed { written = w; _ } ->
+            Alcotest.(check int) "crashed at the requested boundary" written w);
+          (* The destination is still the previous, fully valid checkpoint. *)
+          let restored = Mqdp.Feed.load_checkpoint path in
+          Alcotest.check emission_keys "destination survives a torn write"
+            (run_feed (Mqdp.Feed.restore image) suffix_posts)
+            (run_feed restored suffix_posts);
+          (* The torn temp sibling never passes validation. *)
+          let torn = Util.Fs.read (Util.Fs.temp_path path) in
+          Alcotest.(check int) "temp holds exactly the torn prefix" written
+            (String.length torn);
+          match Mqdp.Feed.restore torn with
+          | _ -> Alcotest.fail "restored a torn checkpoint prefix"
+          | exception Mqdp.Feed.Corrupt _ -> ())
+        crash_bytes;
+      (* An uninterrupted save over the torn debris repairs everything. *)
+      Mqdp.Feed.save_checkpoint ~path original;
+      ignore (Mqdp.Feed.load_checkpoint path))
+
 (* The satellite property: crash anywhere (including before the first push
    and after the last), restore from the checkpoint, continue — the emission
    stream is bit-identical to a run that never died, in every mode. *)
@@ -455,5 +496,7 @@ let suite =
       test_checkpoint_detects_corruption;
     Alcotest.test_case "checkpoint file roundtrip" `Quick
       test_checkpoint_file_roundtrip;
+    Alcotest.test_case "atomic save survives torn writes" `Quick
+      test_atomic_save_survives_torn_writes;
     crash_restore_property;
   ]

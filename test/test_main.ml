@@ -28,6 +28,7 @@ let () =
       ("index", Test_index.suite);
       ("ranked", Test_ranked.suite);
       ("post-io", Test_post_io.suite);
+      ("serve", Test_serve.suite);
       ("lda", Test_lda.suite);
       ("workload", Test_workload.suite);
       ("integration", Test_integration.suite);

@@ -128,9 +128,71 @@ let roundtrip_property =
                  && Mqdp.Label_set.equal a.Mqdp.Post.labels b.Mqdp.Post.labels)
                posts loaded))
 
+(* The malformed fixture a socket feed could deliver: good lines
+   interleaved with garbage, comments, and blanks. *)
+let malformed_fixture =
+  "# header\n1\t1.0\t0\nbroken line\n2\t2.0\t1\n\n3\tnan\t0\n# mid comment\n4\t4.0\t0,2\n5\tx\t1\n"
+
+let with_fixture k =
+  let path = temp_file () in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc malformed_fixture;
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> k ic))
+
+let test_fold_channel_lenient () =
+  (* Streaming lenient mode over the malformed fixture: every good line is
+     folded in order, every bad one is counted — one Parse_error per line,
+     none escaping. *)
+  with_fixture (fun ic ->
+      let ids_rev, skipped =
+        Workload.Post_io.fold_channel ~lenient:true ic ~init:[]
+          ~f:(fun acc p -> p.Mqdp.Post.id :: acc)
+      in
+      Alcotest.(check (list int)) "good lines in order" [ 1; 2; 4 ]
+        (List.rev ids_rev);
+      Alcotest.(check int) "bad lines counted" 3 skipped)
+
+let test_fold_channel_strict_raises () =
+  with_fixture (fun ic ->
+      match
+        Workload.Post_io.fold_channel ic ~init:0 ~f:(fun acc _ -> acc + 1)
+      with
+      | _ -> Alcotest.fail "strict fold accepted garbage"
+      | exception Workload.Post_io.Parse_error { line; _ } ->
+        Alcotest.(check int) "reports the offending line" 3 line)
+
+let test_fold_channel_is_incremental () =
+  (* The reader must consume the channel lazily: fold over a pipe that is
+     written incrementally, proving no whole-file read happens up front. *)
+  let fd_r, fd_w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr fd_r in
+  let oc = Unix.out_channel_of_descr fd_w in
+  output_string oc "1\t1.0\t0\n2\t2.0\t1\n";
+  flush oc;
+  (* First two posts must already be parseable while the writer is open. *)
+  let first = input_line ic in
+  Alcotest.(check int) "first post parsed before EOF" 1
+    (Workload.Post_io.post_of_line first).Mqdp.Post.id;
+  output_string oc "garbage\n3\t3.0\t2\n";
+  close_out oc;
+  let count = Workload.Post_io.iter_channel ~lenient:true ic ~f:(fun _ -> ()) in
+  close_in ic;
+  Alcotest.(check int) "one bad line skipped" 1 count
+
 let suite =
   [
     Alcotest.test_case "line roundtrip" `Quick test_line_roundtrip;
+    Alcotest.test_case "streaming lenient fold over malformed fixture" `Quick
+      test_fold_channel_lenient;
+    Alcotest.test_case "streaming strict fold raises with line" `Quick
+      test_fold_channel_strict_raises;
+    Alcotest.test_case "channel reader is incremental" `Quick
+      test_fold_channel_is_incremental;
     Alcotest.test_case "no labels" `Quick test_no_labels;
     Alcotest.test_case "malformed lines rejected" `Quick test_malformed;
     Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;

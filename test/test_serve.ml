@@ -1,0 +1,331 @@
+(* Serving layer: Profile durability, Shard supervision, Serve protocol.
+
+   The differential fuzzer (mqdp_fuzz --serve) covers the bit-identical
+   report guarantee under random crash/restart/retry interleavings; these
+   tests pin the behaviors the crash-free oracle cannot model — admission
+   control and degradation, quarantine and revival, request deadlines,
+   sequence-cache eviction, and snapshot corruption handling. *)
+
+let post = Helpers.post
+
+exception Boom
+
+(* --- Profile ------------------------------------------------------- *)
+
+let profile ?(config = Mqdp.Profile.default_config) ?(labels = [ 1; 2 ]) name =
+  Mqdp.Profile.create ~name ~subscription:(Mqdp.Label_set.of_list labels) config
+
+let delayed tau = Mqdp.Online.Delayed { tau; plus = false }
+
+let test_profile_offer_process () =
+  let p =
+    profile "alice"
+      ~config:{ Mqdp.Profile.default_config with mode = delayed 2.; window = false }
+  in
+  Mqdp.Profile.offer p (post ~id:1 ~value:1.0 [ 1 ]);
+  Mqdp.Profile.offer p (post ~id:2 ~value:2.0 [ 2 ]);
+  Alcotest.(check int) "pending" 2 (Mqdp.Profile.pending p);
+  Alcotest.(check int) "applied" 2 (Mqdp.Profile.process p);
+  Alcotest.(check int) "drained" 0 (Mqdp.Profile.pending p);
+  Alcotest.(check int) "acked" 2 (Mqdp.Profile.acked p);
+  Mqdp.Profile.drain p;
+  let report = Mqdp.Profile.take_report p in
+  Alcotest.(check (list int)) "emitted ids" [ 1; 2 ]
+    (List.map (fun (_, e) -> e.Mqdp.Online.post.Mqdp.Post.id) report);
+  Alcotest.(check (list int)) "monotone seqs" [ 1; 2 ] (List.map fst report);
+  Alcotest.(check (list pass)) "watermark advanced" []
+    (Mqdp.Profile.take_report p)
+
+let test_profile_quarantine_and_revive () =
+  let config =
+    { Mqdp.Profile.default_config with max_restarts = 2; window = false;
+      mode = Mqdp.Online.Instant }
+  in
+  let p = profile "bob" ~config ~labels:[ 1; 2; 3 ] in
+  List.iter (fun i -> Mqdp.Profile.offer p (post ~id:i ~value:(float_of_int i) [ i ]))
+    [ 1; 2; 3 ];
+  (* A chaos hook that fails every time: each application crashes once,
+     recovers, and retries chaos-free — so progress continues until the
+     crash count passes max_restarts and the profile quarantines. *)
+  ignore (Mqdp.Profile.process ~chaos:(fun () -> raise Boom) p);
+  Alcotest.(check bool) "quarantined" true (Mqdp.Profile.quarantined p);
+  Alcotest.check_raises "offer refused while quarantined"
+    (Invalid_argument "Profile.offer: profile is quarantined") (fun () ->
+      Mqdp.Profile.offer p (post ~id:9 ~value:1.0 [ 1 ]));
+  let pending_before = Mqdp.Profile.pending p in
+  Mqdp.Profile.revive p;
+  Alcotest.(check bool) "revived" false (Mqdp.Profile.quarantined p);
+  Alcotest.(check int) "crash counter reset" 0 (Mqdp.Profile.crashes p);
+  Alcotest.(check int) "pending survived quarantine" pending_before
+    (Mqdp.Profile.pending p);
+  ignore (Mqdp.Profile.process p);
+  Mqdp.Profile.drain p;
+  Alcotest.(check int) "no acknowledged post lost" 3
+    (List.length (Mqdp.Profile.take_report p))
+
+let test_profile_budget_is_not_a_crash () =
+  let p = profile "carol" ~config:{ Mqdp.Profile.default_config with window = false } in
+  List.iter (fun i -> Mqdp.Profile.offer p (post ~id:i ~value:1.0 [ 1 ]))
+    [ 1; 2; 3; 4 ];
+  (* [Budget.step] charges before each application and exhaustion is
+     checked after the charge, so a 3-step budget applies 2 posts. *)
+  let budget = Util.Budget.create ~max_steps:3 () in
+  Alcotest.(check int) "stopped at the budget" 2 (Mqdp.Profile.process ~budget p);
+  Alcotest.(check int) "remainder still pending" 2 (Mqdp.Profile.pending p);
+  Alcotest.(check int) "exhaustion is backpressure, not a crash" 0
+    (Mqdp.Profile.crashes p);
+  Alcotest.(check bool) "not quarantined" false (Mqdp.Profile.quarantined p)
+
+let test_profile_blob_roundtrip () =
+  let config =
+    { Mqdp.Profile.default_config with mode = delayed 5.; window = false;
+      checkpoint_every = 2 }
+  in
+  let p = profile "dave" ~config ~labels:[ 3; 4 ] in
+  List.iteri (fun i v -> Mqdp.Profile.offer p (post ~id:(i + 1) ~value:v [ 3 ]))
+    [ 1.0; 2.5; 0.25 ];
+  ignore (Mqdp.Profile.process p);
+  Mqdp.Profile.offer p (post ~id:7 ~value:3.0 [ 4 ]);
+  let q = Mqdp.Profile.of_blob (Mqdp.Profile.blob p) in
+  Alcotest.(check string) "name" (Mqdp.Profile.name p) (Mqdp.Profile.name q);
+  Alcotest.(check int) "pending" (Mqdp.Profile.pending p) (Mqdp.Profile.pending q);
+  Alcotest.(check int) "acked" (Mqdp.Profile.acked p) (Mqdp.Profile.acked q);
+  Alcotest.(check int) "unreported" (Mqdp.Profile.unreported p)
+    (Mqdp.Profile.unreported q);
+  (* Finishing both incarnations must produce identical reports: the
+     restored feed replays to the same state bit for bit. *)
+  ignore (Mqdp.Profile.process p);
+  ignore (Mqdp.Profile.process q);
+  Mqdp.Profile.drain p;
+  Mqdp.Profile.drain q;
+  let render r =
+    List.map
+      (fun (s, e) ->
+        Printf.sprintf "%d:%d:%Lx" s e.Mqdp.Online.post.Mqdp.Post.id
+          (Int64.bits_of_float e.Mqdp.Online.emit_time))
+      r
+  in
+  Alcotest.(check (list string)) "identical reports"
+    (render (Mqdp.Profile.take_report p))
+    (render (Mqdp.Profile.take_report q))
+
+(* --- Shard --------------------------------------------------------- *)
+
+let test_shard_sheds_at_capacity () =
+  let shard = Mqdp.Shard.create { Mqdp.Shard.queue_capacity = 2; tick_steps = None } in
+  let p =
+    profile "erin" ~config:{ Mqdp.Profile.default_config with window = false }
+  in
+  Mqdp.Shard.add shard p;
+  Alcotest.(check bool) "first accepted" true
+    (Mqdp.Shard.offer shard p (post ~id:1 ~value:1.0 [ 1 ]));
+  Alcotest.(check bool) "second accepted" true
+    (Mqdp.Shard.offer shard p (post ~id:2 ~value:1.0 [ 1 ]));
+  Alcotest.(check bool) "third shed" false
+    (Mqdp.Shard.offer shard p (post ~id:3 ~value:1.0 [ 1 ]));
+  let c = Mqdp.Shard.counters shard in
+  Alcotest.(check int) "acked" 2 c.Mqdp.Shard.acked;
+  Alcotest.(check int) "shed" 1 c.Mqdp.Shard.shed;
+  ignore (Mqdp.Shard.tick shard);
+  Alcotest.(check int) "backlog drained" 0 (Mqdp.Shard.backlog shard);
+  Alcotest.(check bool) "capacity freed" true
+    (Mqdp.Shard.offer shard p (post ~id:4 ~value:1.0 [ 1 ]))
+
+let test_shard_snapshot_roundtrip_and_corruption () =
+  let shard = Mqdp.Shard.create { Mqdp.Shard.queue_capacity = 64; tick_steps = None } in
+  let p =
+    profile "frank" ~config:{ Mqdp.Profile.default_config with window = false }
+  in
+  Mqdp.Shard.add shard p;
+  ignore (Mqdp.Shard.offer shard p (post ~id:1 ~value:1.0 [ 1 ]));
+  ignore (Mqdp.Shard.tick shard);
+  ignore (Mqdp.Shard.offer shard p (post ~id:2 ~value:2.0 [ 2 ]));
+  let snap = Mqdp.Shard.snapshot shard in
+  let restored = Mqdp.Shard.restore snap in
+  Alcotest.(check int) "profiles" 1 (Mqdp.Shard.profile_count restored);
+  Alcotest.(check int) "backlog recomputed" 1 (Mqdp.Shard.backlog restored);
+  let c = Mqdp.Shard.counters restored and c0 = Mqdp.Shard.counters shard in
+  Alcotest.(check int) "acked carried" c0.Mqdp.Shard.acked c.Mqdp.Shard.acked;
+  (* Any flipped byte in the body must fail the checksum. *)
+  let damaged = Bytes.of_string snap in
+  let i = String.length snap / 2 in
+  Bytes.set damaged i (Char.chr (Char.code (Bytes.get damaged i) lxor 1));
+  (match Mqdp.Shard.restore (Bytes.to_string damaged) with
+  | _ -> Alcotest.fail "corrupt snapshot accepted"
+  | exception Mqdp.Shard.Corrupt _ -> ());
+  match Mqdp.Shard.restore "mqdp-shard-snapshot v999\n" with
+  | _ -> Alcotest.fail "bad header accepted"
+  | exception Mqdp.Shard.Corrupt _ -> ()
+
+(* --- Serve --------------------------------------------------------- *)
+
+let serve_config =
+  { Mqdp.Serve.default_config with Mqdp.Serve.shards = 2; seq_cache = 4 }
+
+let with_serve ?(config = serve_config) f =
+  let t = Mqdp.Serve.create config in
+  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown t) (fun () -> f t)
+
+let last t line =
+  match Mqdp.Serve.exec t line with
+  | [] -> Alcotest.fail "no response"
+  | lines -> List.nth lines (List.length lines - 1)
+
+let check_resp what expected t line =
+  Alcotest.(check string) what expected (last t line)
+
+let test_serve_admission () =
+  let config =
+    { serve_config with Mqdp.Serve.max_profiles = 3; degrade_above = 2 }
+  in
+  with_serve ~config @@ fun t ->
+  check_resp "first" "1 OK added" t "1 ADD a 60 delayed:30 1,2";
+  check_resp "duplicate" "2 ERR duplicate-profile profile \"a\" already exists" t
+    "2 ADD a 60 instant 1";
+  check_resp "second" "3 OK added" t "3 ADD b 60 instant 2";
+  (* Beyond the soft ceiling admission degrades; at the hard ceiling it
+     refuses with a typed error the client can act on. *)
+  check_resp "degraded" "4 OK added degraded" t "4 ADD c 60 delayed:30 3";
+  check_resp "full" "5 ERR capacity at 3 profiles" t "5 ADD d 60 instant 4";
+  Alcotest.(check int) "profile count" 3 (Mqdp.Serve.profile_count t)
+
+let test_serve_idempotent_retry_and_stale_seq () =
+  with_serve @@ fun t ->
+  check_resp "add" "1 OK added" t "1 ADD a 60 delayed:2 1";
+  let first = Mqdp.Serve.exec t "2 FEED 10 1.0 1" in
+  Alcotest.(check (list string)) "verbatim retry replays the cache" first
+    (Mqdp.Serve.exec t "2 FEED 10 1.0 1");
+  check_resp "retried FEED did not deliver twice" "3 OK applied=1 backlog=0" t
+    "3 TICK";
+  (* Push the watermark past the cache (seq_cache = 4) and the earliest
+     sequence is refused rather than silently re-executed. *)
+  List.iter (fun s -> ignore (Mqdp.Serve.exec t (Printf.sprintf "%d PING" s)))
+    [ 4; 5; 6; 7; 8 ];
+  check_resp "evicted seq refused" "2 ERR stale-seq sequence 2 below watermark 8"
+    t "2 FEED 10 1.0 1";
+  check_resp "bad seq" "ERR parse bad sequence number" t "zero PING";
+  check_resp "unknown verb" "9 ERR parse unknown or malformed command \"BOGUS\""
+    t "9 BOGUS"
+
+let test_serve_request_deadline () =
+  let config = { serve_config with Mqdp.Serve.request_deadline = Some 0. } in
+  with_serve ~config @@ fun t ->
+  match String.split_on_char ' ' (last t "1 PING") with
+  | "1" :: "ERR" :: "deadline" :: _ -> ()
+  | _ -> Alcotest.fail "expected ERR deadline under a zero request deadline"
+
+let test_serve_feed_fanout_and_shed () =
+  let config = { serve_config with Mqdp.Serve.queue_capacity = 1 } in
+  with_serve ~config @@ fun t ->
+  check_resp "a" "1 OK added" t "1 ADD a 60 instant 1,2";
+  check_resp "b" "2 OK added" t "2 ADD b 60 instant 2,3";
+  check_resp "c" "3 OK added" t "3 ADD c 60 instant 7";
+  (* Label 2 reaches a and b; label 7 reaches only c; label 9 nobody.
+     With per-shard capacity 1, a second post to the same shard sheds. *)
+  let r1 = last t "4 FEED 100 1.0 2" in
+  (match String.split_on_char ' ' r1 with
+  | [ "4"; "OK"; d; s ] ->
+    Scanf.sscanf (d ^ " " ^ s) "delivered=%d shed=%d" (fun d s ->
+        Alcotest.(check int) "delivered+shed covers both subscribers" 2 (d + s))
+  | _ -> Alcotest.fail ("unexpected FEED response " ^ r1));
+  check_resp "no subscriber" "5 OK delivered=0 shed=0" t "5 FEED 101 2.0 9";
+  ignore (Mqdp.Serve.exec t "6 TICK");
+  Alcotest.(check int) "backlog clears" 0 (Mqdp.Serve.backlog t)
+
+let test_serve_restart_preserves_acked () =
+  with_serve @@ fun t ->
+  check_resp "add" "1 OK added" t "1 ADD a 60 delayed:2 1";
+  check_resp "feed" "2 OK delivered=1 shed=0" t "2 FEED 100 1.0 1";
+  (* Restart both shards with the post still acknowledged-but-unapplied:
+     the journal is durable, so nothing is lost. *)
+  Mqdp.Serve.restart_shard t 0;
+  Mqdp.Serve.restart_shard t 1;
+  Alcotest.(check int) "restarts counted" 2 (Mqdp.Serve.restarts t);
+  check_resp "tick applies the journal" "3 OK applied=1 backlog=0" t "3 TICK";
+  check_resp "drain" "4 OK drained=1" t "4 DRAIN a";
+  match Mqdp.Serve.exec t "5 REPORT a" with
+  | [ emit; ok ] ->
+    Alcotest.(check string) "count" "5 OK 1" ok;
+    (match String.split_on_char ' ' emit with
+    | [ "5"; "EMIT"; _; "100"; _ ] -> ()
+    | _ -> Alcotest.fail ("unexpected EMIT line " ^ emit))
+  | lines ->
+    Alcotest.fail (Printf.sprintf "expected EMIT + OK, got %d lines"
+        (List.length lines))
+
+let test_serve_quarantine_restore () =
+  let config = { serve_config with Mqdp.Serve.max_restarts = 1 } in
+  with_serve ~config @@ fun t ->
+  check_resp "add" "1 OK added" t "1 ADD a 60 instant 1,2";
+  check_resp "feed" "2 OK delivered=1 shed=0" t "2 FEED 100 1.0 1";
+  check_resp "feed" "3 OK delivered=1 shed=0" t "3 FEED 101 2.0 2";
+  Mqdp.Serve.set_chaos t (Some (fun () -> raise Boom));
+  (* Every application crashes once (the retry is chaos-free): the first
+     recovery is within max_restarts = 1, the second quarantines the
+     profile with the second post still durably pending. *)
+  check_resp "tick quarantines mid-stream" "4 OK applied=1 backlog=1" t "4 TICK";
+  check_resp "quarantined profiles shed" "5 OK delivered=0 shed=1" t
+    "5 FEED 102 3.0 1";
+  (match String.split_on_char ' ' (last t "6 QUERY a") with
+  | "6" :: "ERR" :: "quarantined" :: _ -> ()
+  | other -> Alcotest.fail ("expected ERR quarantined, got " ^ String.concat " " other));
+  Mqdp.Serve.set_chaos t None;
+  check_resp "restore revives" "7 OK restored" t "7 RESTORE a";
+  check_resp "restore is idempotent" "8 OK restored" t "8 RESTORE a";
+  check_resp "tick applies the surviving journal" "9 OK applied=1 backlog=0" t
+    "9 TICK";
+  check_resp "drain" "10 OK drained=1" t "10 DRAIN a";
+  check_resp "nothing acknowledged was lost" "11 OK 2"
+    t "11 REPORT a"
+
+let test_serve_stats_shape () =
+  with_serve @@ fun t ->
+  check_resp "add" "1 OK added" t "1 ADD a 60 instant 1";
+  check_resp "feed" "2 OK delivered=1 shed=0" t "2 FEED 100 1.0 1";
+  ignore (Mqdp.Serve.exec t "3 TICK");
+  match Mqdp.Serve.exec t "4 STATS" with
+  | [ line ] ->
+    let prefix = "4 OK " in
+    Alcotest.(check bool) "prefixed" true (String.starts_with ~prefix line);
+    let json = String.sub line (String.length prefix)
+        (String.length line - String.length prefix) in
+    let contains needle =
+      let n = String.length needle and m = String.length json in
+      let rec go i = i + n <= m && (String.sub json i n = needle || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) (needle ^ " present") true (contains needle))
+      [ {json|"profiles":1|json}; {json|"acked":1|json}; {json|"applied":1|json};
+        {json|"backlog":0|json}; {json|"telemetry":|json} ]
+  | _ -> Alcotest.fail "STATS must answer in exactly one line"
+
+let suite =
+  [
+    Alcotest.test_case "profile offers, processes, reports" `Quick
+      test_profile_offer_process;
+    Alcotest.test_case "profile quarantines and revives without loss" `Quick
+      test_profile_quarantine_and_revive;
+    Alcotest.test_case "budget exhaustion is backpressure, not a crash" `Quick
+      test_profile_budget_is_not_a_crash;
+    Alcotest.test_case "profile blob round-trips bit-identically" `Quick
+      test_profile_blob_roundtrip;
+    Alcotest.test_case "shard sheds at capacity and frees after tick" `Quick
+      test_shard_sheds_at_capacity;
+    Alcotest.test_case "shard snapshot round-trips; corruption is refused" `Quick
+      test_shard_snapshot_roundtrip_and_corruption;
+    Alcotest.test_case "admission: duplicate, degrade, capacity" `Quick
+      test_serve_admission;
+    Alcotest.test_case "idempotent retry and stale-seq eviction" `Quick
+      test_serve_idempotent_retry_and_stale_seq;
+    Alcotest.test_case "request deadline produces ERR deadline" `Quick
+      test_serve_request_deadline;
+    Alcotest.test_case "feed fanout, shedding, and empty matches" `Quick
+      test_serve_feed_fanout_and_shed;
+    Alcotest.test_case "shard restarts preserve acknowledged posts" `Quick
+      test_serve_restart_preserves_acked;
+    Alcotest.test_case "quarantine sheds; RESTORE revives without loss" `Quick
+      test_serve_quarantine_restore;
+    Alcotest.test_case "STATS answers one JSON line" `Quick test_serve_stats_shape;
+  ]

@@ -305,6 +305,91 @@ let test_breaker_validation () =
     (Invalid_argument "Supervisor.Breaker.create: cooldown < 0") (fun () ->
       ignore (Mqdp.Supervisor.Breaker.create ~cooldown:(-1.) ()))
 
+(* Spawn [n] domains that all start on a shared barrier and run [f i];
+   join them all, re-raising the first failure. *)
+let in_domains n f =
+  let barrier = Atomic.make 0 in
+  let domains =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < n do
+              Domain.cpu_relax ()
+            done;
+            f i))
+  in
+  List.iter Domain.join domains
+
+(* The breaker is shared by every domain supervising the same profile, so
+   concurrent transitions must never tear its state: whatever the
+   interleaving, the failure count stays in range and the circuit is
+   either cleanly closed or cleanly open. *)
+let test_breaker_multi_domain_hammer () =
+  let b = Mqdp.Supervisor.Breaker.create ~threshold:3 ~cooldown:1000. () in
+  let rounds = 2_000 in
+  in_domains 4 (fun i ->
+      for k = 1 to rounds do
+        ignore (Mqdp.Supervisor.Breaker.available b "opt");
+        if (k + i) mod 3 = 0 then Mqdp.Supervisor.Breaker.record_success b "opt"
+        else Mqdp.Supervisor.Breaker.record_failure b "opt";
+        ignore (Mqdp.Supervisor.Breaker.failures b "opt")
+      done);
+  let f = Mqdp.Supervisor.Breaker.failures b "opt" in
+  Alcotest.(check bool)
+    (Printf.sprintf "failure count %d within the recorded range" f)
+    true
+    (f >= 0 && f <= 4 * rounds);
+  (* The breaker still behaves sequentially after the barrage. *)
+  Mqdp.Supervisor.Breaker.record_success b "opt";
+  Alcotest.(check int) "success closes the circuit" 0
+    (Mqdp.Supervisor.Breaker.failures b "opt");
+  Alcotest.(check bool) "available once closed" true
+    (Mqdp.Supervisor.Breaker.available b "opt")
+
+(* The half-open race, driven from multiple domains: after the cooldown
+   elapses, several domains may each observe the rung as available and run
+   a trial concurrently. If every trial fails, the circuit must end up
+   open again with the cooldown re-armed — no interleaving may leave it
+   closed, and no failure may be lost mid-transition. *)
+let test_breaker_half_open_race_multi_domain () =
+  let threshold = 2 in
+  let b =
+    Mqdp.Supervisor.Breaker.create ~threshold ~cooldown:0.02 ()
+  in
+  for _ = 1 to threshold do
+    Mqdp.Supervisor.Breaker.record_failure b "opt"
+  done;
+  (* Wait out the cooldown so every domain sees the half-open window. *)
+  let deadline = Util.Timer.now () +. 5. in
+  while
+    (not (Mqdp.Supervisor.Breaker.available b "opt"))
+    && Util.Timer.now () < deadline
+  do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "half-open after cooldown" true
+    (Mqdp.Supervisor.Breaker.available b "opt");
+  let trials = Atomic.make 0 in
+  in_domains 4 (fun _ ->
+      if Mqdp.Supervisor.Breaker.available b "opt" then begin
+        Atomic.incr trials;
+        Mqdp.Supervisor.Breaker.record_failure b "opt"
+      end);
+  Alcotest.(check bool) "at least one domain ran a half-open trial" true
+    (Atomic.get trials >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "failed trials re-open the circuit (failures=%d)"
+       (Mqdp.Supervisor.Breaker.failures b "opt"))
+    true
+    (Mqdp.Supervisor.Breaker.failures b "opt" >= threshold);
+  Alcotest.(check bool) "cooldown re-armed: circuit closed to callers" false
+    (Mqdp.Supervisor.Breaker.available b "opt");
+  (* One successful trial from any domain closes it for everyone. *)
+  Mqdp.Supervisor.Breaker.record_success b "opt";
+  in_domains 2 (fun _ ->
+      if not (Mqdp.Supervisor.Breaker.available b "opt") then
+        failwith "closed circuit not visible across domains")
+
 (* Breaker integration: a rung that burned its budget once is skipped on
    the next solve (threshold 1, long cooldown), and the report says so. *)
 let test_breaker_skips_failed_rung () =
@@ -420,6 +505,10 @@ let suite =
     Alcotest.test_case "breaker validation" `Quick test_breaker_validation;
     Alcotest.test_case "breaker skips a burned rung" `Quick
       test_breaker_skips_failed_rung;
+    Alcotest.test_case "breaker survives a multi-domain hammer" `Quick
+      test_breaker_multi_domain_hammer;
+    Alcotest.test_case "breaker half-open race across domains" `Quick
+      test_breaker_half_open_race_multi_domain;
     Alcotest.test_case "pool preserves Budget_exceeded payload" `Quick
       test_pool_preserves_budget_payload;
     Alcotest.test_case "compile honours cancellation" `Quick
