@@ -37,6 +37,7 @@ let experiments =
     ("faults", Exp_faults.run);
     ("budget", Exp_budget.run);
     ("serve", Exp_serve.run);
+    ("transport", Exp_transport.run);
   ]
 
 let list_experiments () =

@@ -1,0 +1,55 @@
+(* mqdp_client — retry-safe command-line client for mqdp_serve's TCP
+   transport. Reads bare commands (no sequence numbers) from stdin, lets
+   Mqdp.Client own the sequence space and the retry/backoff discipline,
+   and prints each response. With --hello the client lands on a named
+   server-side session, so killing and restarting mqdp_client (or the
+   connection) keeps idempotent retries working.
+
+   usage: mqdp_client --port N [--hello ID] [--timeout S] [--attempts N]
+
+   Exit status: 0 when every command got a response (server-level ERR
+   responses included — they are answers); 1 when the transport gave up. *)
+
+let () =
+  let port = ref 0 in
+  let hello = ref None in
+  let timeout = ref 10. in
+  let attempts = ref Mqdp.Client.default_config.Mqdp.Client.max_attempts in
+  let args =
+    [
+      ("--port", Arg.Set_int port, "N  daemon TCP port (required)");
+      ( "--hello",
+        Arg.String (fun id -> hello := Some id),
+        "ID  bind the named session ID (survives reconnects)" );
+      ("--timeout", Arg.Set_float timeout, "S  per-exchange socket timeout");
+      ("--attempts", Arg.Set_int attempts, "N  tries per command before giving up");
+    ]
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "mqdp_client --port N [options] < commands";
+  if !port <= 0 then begin
+    prerr_endline "mqdp_client: --port is required";
+    exit 2
+  end;
+  let lc = Net.Line_client.create ?hello:!hello ~timeout:!timeout ~port:!port () in
+  let client =
+    Mqdp.Client.create
+      ~config:{ Mqdp.Client.default_config with Mqdp.Client.max_attempts = !attempts }
+      (Net.Line_client.io lc)
+  in
+  let failed = ref false in
+  (try
+     while true do
+       let line = String.trim (input_line stdin) in
+       if line <> "" then
+         match Mqdp.Client.request client line with
+         | Ok response -> List.iter print_endline response
+         | Error (Mqdp.Client.Gave_up { attempts; line }) ->
+           Printf.eprintf "mqdp_client: gave up on %S after %d attempts\n%!" line
+             attempts;
+           failed := true
+     done
+   with End_of_file -> ());
+  Net.Line_client.close lc;
+  exit (if !failed then 1 else 0)

@@ -4,7 +4,8 @@
    after touching any algorithm.
 
    usage: mqdp_fuzz [--fault <drop|clamp|raise|mixed> | --budget | --window
-                    | --serve] [seconds (default 10)] [start-seed (default 1)]
+                    | --serve | --transport]
+                    [seconds (default 10)] [start-seed (default 1)]
 
    With --fault the tool switches from differential solver checks to the
    hardened-frontend torture loop: every round builds a clean stream,
@@ -789,6 +790,444 @@ let one_serve_round seed =
       | _ -> false)
       "an evicted stale sequence number was not refused"
 
+(* --transport: the concurrent hardened transport, differentially. Every
+   round drives 8 concurrent simulated clients — each with its own named
+   session, profiles, and disjoint label universe — through per-connection
+   Mqdp.Transport state machines under a deterministic Fault.Net chaos
+   schedule: requests arrive re-chunked down to single bytes with
+   scheduling delays interleaving the clients, connections reset at
+   arbitrary byte boundaries (client reconnects, re-HELLOs, retries the
+   same line verbatim), responses are eaten by resets (retry must replay
+   the cached response, never re-execute), and mid-round the engine
+   drain/snapshot/restarts with every session lost. Two hostile clients
+   run alongside: a slowloris trickling bytes without ever completing a
+   request (must be condemned by the idle deadline) and an oversized-line
+   client (must be condemned by the framing cap) — neither may perturb
+   anyone else. The oracle is a clean sequential run of the same scripts
+   against a fresh engine with no transport at all: per-client transcripts
+   must match bit-for-bit (TICK/QUERY/REPORT bodies masked — they are the
+   only interleaving-dependent responses) and each profile's concatenated
+   EMIT stream — sequence numbers, post ids, IEEE-754 emit times — must be
+   identical, which also proves zero acknowledged-post loss across the
+   resets and the restart. *)
+
+let transport_tokens line =
+  String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+
+let response_is_final line =
+  match transport_tokens line with
+  | _ :: ("OK" | "ERR") :: _ -> true
+  | _ -> false
+
+(* Mask the interleaving-dependent response bodies, folding REPORT's EMIT
+   payloads (sans the request's own sequence number) into the per-profile
+   stream first — REPORT batching depends on when other clients ticked,
+   but the concatenated stream cannot. *)
+let transport_mask ~streams line response =
+  match transport_tokens line with
+  | _ :: "REPORT" :: name :: _ ->
+    List.iter
+      (fun r ->
+        match transport_tokens r with
+        | _ :: "EMIT" :: payload ->
+          let prev = try Hashtbl.find streams name with Not_found -> [] in
+          Hashtbl.replace streams name (String.concat " " payload :: prev)
+        | _ -> ())
+      response;
+    [ "<masked>" ]
+  | _ :: ("TICK" | "QUERY") :: _ -> [ "<masked>" ]
+  | _ -> response
+
+type transport_client = {
+  tc_id : string;  (* HELLO identity: the named session *)
+  tc_script : string array;  (* rendered once; retried verbatim *)
+  mutable tc_k : int;  (* next command index *)
+  mutable tc_transcript : (string * string list) list;  (* reverse order *)
+  mutable tc_conn : Mqdp.Transport.t option;
+  mutable tc_session : Mqdp.Serve.session option;
+  mutable tc_sending : Util.Fault.Net.action list;
+  mutable tc_reset_after : bool;  (* the plan ends in a connection reset *)
+  mutable tc_backoff : int;  (* scheduler turns left to sleep *)
+  mutable tc_attempts : int;  (* attempts on the current command *)
+}
+
+let one_transport_round seed =
+  let rng = Util.Rng.create (0x7A45B + seed) in
+  let fault = Util.Fault.create ~seed:(0xC4A05 + seed) () in
+  let net_cfg =
+    {
+      Util.Fault.Net.max_chunk = 1 + Util.Rng.int rng 16;
+      delay_p = 0.15;
+      reset_p = 0.08;
+    }
+  in
+  (* The idle deadline re-arms only on completed requests (the slowloris
+     defense), so it must exceed the worst-case single-command delivery:
+     with 1-byte chunks and delays, a ~60-byte line can take ~80 turns. *)
+  let tconfig =
+    {
+      Mqdp.Transport.max_line = 512;
+      max_pending_out = 1 lsl 16;
+      idle_timeout = Some 250.;
+    }
+  in
+  let nclients = 8 in
+  let config =
+    {
+      Mqdp.Serve.default_config with
+      Mqdp.Serve.shards = 1 + Util.Rng.int rng 4;
+      jobs = 1 + Util.Rng.int rng 2;
+      (* Shedding depends on the global backlog, which depends on the
+         interleaving; a huge queue keeps FEED responses (delivered=n
+         shed=0) a pure function of the sending client's own profiles. *)
+      queue_capacity = 1 lsl 20;
+      checkpoint_every = Util.Rng.int rng 5;
+    }
+  in
+  (* Per-client scripts over disjoint label universes (labels 4i..4i+3),
+     so every per-profile observable is independent of the other clients
+     and any interleaving must produce the oracle's answers. *)
+  let scripts =
+    Array.init nclients (fun i ->
+        let base = 4 * i in
+        let nprof = 1 + Util.Rng.int rng 2 in
+        let profiles = Array.init nprof (fun j -> Printf.sprintf "c%dp%d" i j) in
+        let labels_csv () =
+          let k = 1 + Util.Rng.int rng 3 in
+          List.init k (fun _ -> base + Util.Rng.int rng 4)
+          |> List.sort_uniq Int.compare
+          |> List.map string_of_int |> String.concat ","
+        in
+        let cmds = ref [] in
+        Array.iteri
+          (fun j name ->
+            let lambda = float_of_int (1 + Util.Rng.int rng 8) in
+            let mode =
+              match Util.Rng.int rng 3 with
+              | 0 -> "instant"
+              | plus ->
+                Printf.sprintf "delayed%s:%.17g"
+                  (if plus = 2 then "+" else "")
+                  (Util.Rng.float rng lambda)
+            in
+            let nowindow = j > 0 && Util.Rng.bool rng in
+            cmds :=
+              Printf.sprintf "ADD %s %.17g %s %s%s" name lambda mode (labels_csv ())
+                (if nowindow then " nowindow" else "")
+              :: !cmds)
+          profiles;
+        let t = ref 0. in
+        for n = 0 to 9 + Util.Rng.int rng 15 do
+          t := !t +. Util.Rng.exponential rng ~rate:1.;
+          cmds :=
+            Printf.sprintf "FEED %d %.17g %s" ((i * 100000) + n) !t (labels_csv ())
+            :: !cmds;
+          if Util.Rng.int rng 4 = 0 then cmds := "TICK" :: !cmds;
+          if Util.Rng.int rng 5 = 0 then
+            cmds :=
+              Printf.sprintf "REPORT %s" profiles.(Util.Rng.int rng nprof) :: !cmds;
+          if Util.Rng.int rng 8 = 0 then cmds := "PING" :: !cmds;
+          if Util.Rng.int rng 8 = 0 then
+            cmds :=
+              Printf.sprintf "QUERY %s" profiles.(Util.Rng.int rng nprof) :: !cmds;
+          if Util.Rng.int rng 10 = 0 then
+            cmds :=
+              Printf.sprintf "CHECKPOINT %s" profiles.(Util.Rng.int rng nprof)
+              :: !cmds
+        done;
+        cmds := "TICK" :: !cmds;
+        Array.iter
+          (fun name ->
+            cmds := Printf.sprintf "REPORT %s" name :: Printf.sprintf "DRAIN %s" name :: !cmds)
+          profiles;
+        let bare = List.rev !cmds in
+        Array.of_list (List.mapi (fun k cmd -> Printf.sprintf "%d %s" (k + 1) cmd) bare))
+  in
+  let engine = ref (Mqdp.Serve.create config) in
+  let shutdown_engine () = Mqdp.Serve.shutdown !engine in
+  Fun.protect ~finally:(fun () -> shutdown_engine ()) @@ fun () ->
+  let clients =
+    Array.init nclients (fun i ->
+        {
+          tc_id = Printf.sprintf "c%d" i;
+          tc_script = scripts.(i);
+          tc_k = 0;
+          tc_transcript = [];
+          tc_conn = None;
+          tc_session = None;
+          tc_sending = [];
+          tc_reset_after = false;
+          tc_backoff = 0;
+          tc_attempts = 0;
+        })
+  in
+  let streams = Hashtbl.create 32 in
+  let turn = ref 0 in
+  let now () = float_of_int !turn in
+  (* Drive a connection's state machine exactly the way the event loop
+     does: execute every framed request, queue its response. *)
+  let pump tr session =
+    let rec go () =
+      match Mqdp.Transport.next tr ~now:(now ()) with
+      | Mqdp.Transport.Request line ->
+        (if String.starts_with ~prefix:"HELLO " line then begin
+           let id = String.trim (String.sub line 6 (String.length line - 6)) in
+           Mqdp.Transport.respond tr [ "0 OK hello " ^ id ]
+         end
+         else
+           match session with
+           | Some s -> Mqdp.Transport.respond tr (Mqdp.Serve.exec_on !engine s line)
+           | None -> check ~seed false "request before HELLO in the simulator");
+        go ()
+      | Mqdp.Transport.Wait | Mqdp.Transport.Close _ -> ()
+    in
+    go ()
+  in
+  let take_output tr =
+    match Mqdp.Transport.output tr with
+    | None -> ""
+    | Some (store, pos, len) ->
+      let s = Bytes.sub_string store pos len in
+      Mqdp.Transport.wrote tr len;
+      s
+  in
+  let rec start_send c =
+    let data = c.tc_script.(c.tc_k) ^ "\n" in
+    let actions, reset = Util.Fault.Net.plan fault ~config:net_cfg data in
+    c.tc_sending <- actions;
+    c.tc_reset_after <- reset;
+    (* A reset at byte 0: nothing was delivered; the connection just
+       died. *)
+    if actions = [] && reset then kill_and_retry c
+  and kill_and_retry c =
+    if Sys.getenv_opt "MQDP_FUZZ_DEBUG" <> None then
+      Printf.eprintf "[turn %d] %s retry #%d on %S\n%!" !turn c.tc_id
+        (c.tc_attempts + 1) c.tc_script.(c.tc_k);
+    c.tc_conn <- None;
+    c.tc_session <- None;
+    c.tc_sending <- [];
+    c.tc_attempts <- c.tc_attempts + 1;
+    c.tc_backoff <- 1 + min c.tc_attempts 6;
+    check ~seed (c.tc_attempts < 200)
+      (Printf.sprintf "client %s starved retrying %S" c.tc_id
+         c.tc_script.(c.tc_k))
+  in
+  let deliver_response c tr ~chaos =
+    let out = take_output tr in
+    let condemned =
+      match Mqdp.Transport.next tr ~now:(now ()) with
+      | Mqdp.Transport.Close _ -> true
+      | Mqdp.Transport.Request _ | Mqdp.Transport.Wait -> false
+    in
+    let lines =
+      if out = "" then []
+      else begin
+        check ~seed
+          (out.[String.length out - 1] = '\n')
+          "transport output did not end at a line boundary";
+        String.split_on_char '\n' (String.sub out 0 (String.length out - 1))
+      end
+    in
+    match lines with
+    | [] -> kill_and_retry c
+    | first :: _ when String.starts_with ~prefix:"0 ERR" first ->
+      (* Transport-level rejection: the request never executed. *)
+      kill_and_retry c
+    | _ ->
+      check ~seed
+        (response_is_final (List.nth lines (List.length lines - 1)))
+        "response did not terminate with <seq> OK|ERR";
+      let eaten =
+        chaos && snd (Util.Fault.Net.plan fault ~config:net_cfg out)
+      in
+      if eaten then kill_and_retry c
+      else begin
+        let line = c.tc_script.(c.tc_k) in
+        c.tc_transcript <- (line, transport_mask ~streams line lines) :: c.tc_transcript;
+        c.tc_k <- c.tc_k + 1;
+        c.tc_attempts <- 0;
+        if condemned then kill_and_retry c |> ignore
+      end
+  in
+  let client_done c = c.tc_k >= Array.length c.tc_script in
+  (* One scheduler turn for one client. [quiesce] suppresses new commands
+     (the pre-drain barrier); in-flight ones still run to completion. *)
+  let step_client ~quiesce c =
+    if not (client_done c) then
+      if c.tc_backoff > 0 then c.tc_backoff <- c.tc_backoff - 1
+      else
+        match c.tc_conn with
+        | None ->
+          if not quiesce || c.tc_attempts > 0 then begin
+            let tr = Mqdp.Transport.create ~config:tconfig ~now:(now ()) () in
+            Mqdp.Transport.feed_string tr ("HELLO " ^ c.tc_id ^ "\n");
+            pump tr None;
+            let greeting = take_output tr in
+            check ~seed
+              (greeting = "0 OK hello " ^ c.tc_id ^ "\n")
+              (Printf.sprintf "unexpected greeting %S" greeting);
+            c.tc_conn <- Some tr;
+            c.tc_session <- Some (Mqdp.Serve.session !engine ~id:c.tc_id);
+            start_send c
+          end
+        | Some tr -> (
+          match c.tc_sending with
+          | Util.Fault.Net.Delay :: rest -> c.tc_sending <- rest
+          | Util.Fault.Net.Chunk s :: rest ->
+            Mqdp.Transport.feed_string tr s;
+            pump tr c.tc_session;
+            c.tc_sending <- rest;
+            if rest = [] then
+              if c.tc_reset_after then kill_and_retry c
+              else deliver_response c tr ~chaos:true
+          | [] ->
+            (* Between commands on a live connection. *)
+            pump tr c.tc_session;
+            if not quiesce then start_send c)
+  in
+  (* Hostile client 1: slowloris. One junk byte per turn, never a
+     newline — the idle deadline must condemn it. *)
+  let sl = Mqdp.Transport.create ~config:tconfig ~now:0. () in
+  let sl_closed = ref None in
+  let step_slowloris () =
+    if !sl_closed = None then begin
+      Mqdp.Transport.feed_string sl "x";
+      match Mqdp.Transport.next sl ~now:(now ()) with
+      | Mqdp.Transport.Close r -> sl_closed := Some r
+      | Mqdp.Transport.Wait -> ()
+      | Mqdp.Transport.Request _ ->
+        check ~seed false "slowloris bytes framed a request"
+    end
+  in
+  (* Hostile client 2: an unterminated line far beyond the framing cap. *)
+  let ov = Mqdp.Transport.create ~config:tconfig ~now:0. () in
+  let ov_closed = ref None in
+  let step_oversizer () =
+    if !ov_closed = None then begin
+      Mqdp.Transport.feed_string ov (String.make 64 'A');
+      match Mqdp.Transport.next ov ~now:(now ()) with
+      | Mqdp.Transport.Close r -> ov_closed := Some r
+      | Mqdp.Transport.Wait -> ()
+      | Mqdp.Transport.Request _ ->
+        check ~seed false "oversized bytes framed a request"
+    end
+  in
+  (* Mid-round SIGTERM: quiesce in-flight commands, drain surviving
+     connections, snapshot every shard, boot a fresh engine from the
+     snapshots (sessions are memory-only and die), reconnect everyone. *)
+  let drain_at =
+    if Util.Rng.int rng 2 = 0 then Some (20 + Util.Rng.int rng 200) else None
+  in
+  let restart_engine () =
+    Array.iter
+      (fun c ->
+        match c.tc_conn with
+        | Some tr ->
+          Mqdp.Transport.begin_drain tr;
+          pump tr c.tc_session;
+          check ~seed
+            (match Mqdp.Transport.next tr ~now:(now ()) with
+            (* Idle_timeout: the connection was condemned while the
+               quiesce barrier waited on a slower client — still a clean
+               close with nothing framed left behind. *)
+            | Mqdp.Transport.Close (Mqdp.Transport.Drained | Mqdp.Transport.Idle_timeout)
+              ->
+              true
+            | _ -> false)
+            "an idle connection did not drain to Close Drained";
+          c.tc_conn <- None;
+          c.tc_session <- None
+        | None -> ())
+      clients;
+    let snaps =
+      List.init (Mqdp.Serve.shard_count !engine) (Mqdp.Serve.shard_snapshot !engine)
+    in
+    shutdown_engine ();
+    engine := Mqdp.Serve.create config;
+    List.iteri (fun i s -> Mqdp.Serve.load_shard !engine i s) snaps
+  in
+  let draining = ref false in
+  let drained = ref false in
+  let all_done () = Array.for_all client_done clients in
+  let idle_or_done c =
+    client_done c || (c.tc_sending = [] && c.tc_attempts = 0 && c.tc_backoff = 0)
+  in
+  while
+    (not (all_done ()))
+    || !sl_closed = None
+    || !ov_closed = None
+  do
+    incr turn;
+    check ~seed (!turn < 500_000) "the simulated round did not terminate";
+    (match drain_at with
+    | Some at when (not !drained) && !turn >= at -> draining := true
+    | _ -> ());
+    if !draining && Array.for_all idle_or_done clients then begin
+      restart_engine ();
+      draining := false;
+      drained := true
+    end;
+    Array.iter (step_client ~quiesce:!draining) clients;
+    step_slowloris ();
+    step_oversizer ()
+  done;
+  check ~seed
+    (!sl_closed = Some Mqdp.Transport.Idle_timeout)
+    "the slowloris was not condemned by the idle deadline";
+  check ~seed
+    (String.starts_with ~prefix:"0 ERR idle-timeout" (take_output sl))
+    "the slowloris got no transport-level idle-timeout notice";
+  check ~seed
+    (!ov_closed = Some Mqdp.Transport.Line_too_long)
+    "the oversized line was not condemned by the framing cap";
+  check ~seed
+    (String.starts_with ~prefix:"0 ERR line-too-long" (take_output ov))
+    "the oversized line got no transport-level notice";
+  check ~seed (Mqdp.Serve.backlog !engine = 0)
+    "acknowledged posts left unapplied after the chaos run";
+  (* The oracle: the same scripts, sequentially, no transport, no chaos. *)
+  let clean = Mqdp.Serve.create config in
+  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown clean) @@ fun () ->
+  let clean_streams = Hashtbl.create 32 in
+  Array.iteri
+    (fun i script ->
+      let session = Mqdp.Serve.session clean ~id:(Printf.sprintf "c%d" i) in
+      let transcript =
+        Array.to_list script
+        |> List.map (fun line ->
+               let response = Mqdp.Serve.exec_on clean session line in
+               (line, transport_mask ~streams:clean_streams line response))
+      in
+      let got = List.rev clients.(i).tc_transcript in
+      List.iteri
+        (fun k ((line, masked) : string * string list) ->
+          let exp_line, exp_masked = List.nth transcript k in
+          check ~seed (String.equal line exp_line) "transcript lines diverged";
+          check ~seed
+            (List.equal String.equal masked exp_masked)
+            (Printf.sprintf
+               "client %d diverged from the sequential oracle on %S:\n\
+               \  got      %s\n  expected %s" i line
+               (String.concat " | " masked)
+               (String.concat " | " exp_masked)))
+        got;
+      check ~seed
+        (List.length got = List.length transcript)
+        (Printf.sprintf "client %d transcript length %d, oracle %d" i
+           (List.length got) (List.length transcript)))
+    scripts;
+  check ~seed (Mqdp.Serve.backlog clean = 0) "oracle backlog nonzero";
+  Hashtbl.iter
+    (fun name stream ->
+      let chaos_stream = try Hashtbl.find streams name with Not_found -> [] in
+      check ~seed
+        (List.equal String.equal stream chaos_stream)
+        (Printf.sprintf
+           "profile %s emission stream diverged:\n  chaos %s\n  clean %s" name
+           (String.concat " | " (List.rev chaos_stream))
+           (String.concat " | " (List.rev stream))))
+    clean_streams
+
 let fuzz_loop ~seconds ~seed0 ~what round =
   let start = Unix.gettimeofday () in
   let rounds = ref 0 and seed = ref seed0 in
@@ -813,6 +1252,7 @@ type mode =
   | Budget
   | Window
   | Serve
+  | Transport
   | Fault of string * Mqdp.Feed.policy option
 
 let () =
@@ -822,6 +1262,7 @@ let () =
     | _ :: "--budget" :: rest -> (Budget, rest)
     | _ :: "--window" :: rest -> (Window, rest)
     | _ :: "--serve" :: rest -> (Serve, rest)
+    | _ :: "--transport" :: rest -> (Transport, rest)
     | _ :: rest -> (Diff, rest)
     | [] -> (Diff, [])
   in
@@ -832,5 +1273,6 @@ let () =
   | Budget -> fuzz_loop ~seconds ~seed0 ~what:"budget" one_budget_round
   | Window -> fuzz_loop ~seconds ~seed0 ~what:"window" one_window_round
   | Serve -> fuzz_loop ~seconds ~seed0 ~what:"serve" one_serve_round
+  | Transport -> fuzz_loop ~seconds ~seed0 ~what:"transport" one_transport_round
   | Fault (name, policy) ->
     fuzz_loop ~seconds ~seed0 ~what:("fault:" ^ name) (one_fault_round ~policy)

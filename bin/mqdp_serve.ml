@@ -1,24 +1,34 @@
 (* mqdp_serve — the crash-tolerant multi-tenant streaming daemon over
-   Mqdp.Serve: line protocol on stdin (default) or an iterative TCP
-   accept loop (--port), durable shard snapshots (--state-dir), and bulk
-   ingestion of TSV post files through the streaming reader (--replay).
+   Mqdp.Serve: line protocol on stdin (default) or a concurrent TCP
+   event loop (--port) multiplexing many clients through per-connection
+   Mqdp.Transport state machines, durable shard snapshots (--state-dir),
+   and bulk ingestion of TSV post files through the streaming reader
+   (--replay).
 
    usage: mqdp_serve [--port N] [--shards N] [--jobs N]
                      [--max-profiles N] [--degrade-above N]
                      [--queue-capacity N] [--tick-steps N] [--deadline S]
                      [--checkpoint-every N] [--max-restarts N]
                      [--overload-budget N] [--seq-cache N]
+                     [--max-conns N] [--idle-timeout S] [--max-line N]
                      [--state-dir DIR] [--replay FILE]
                      [--telemetry] [--trace FILE]
 
    Protocol: one `<seq> VERB args` request per line; responses echo the
    sequence number and end with `<seq> OK ...` or `<seq> ERR <code> ...`
-   (see Serve's interface, and the ops runbook in README.md). With
+   (see Serve's interface, and the ops runbook in README.md). Over TCP
+   each connection has its own session (sequence space); opening with
+   `HELLO <id>` binds a named session that survives reconnects. With
    --state-dir, shard snapshots are written crash-safely (temp + fsync +
    rename) after every CHECKPOINT command and at shutdown, and reloaded
-   on startup. *)
+   on startup; a manifest records the shard count and the daemon refuses
+   to load state written under a different --shards.
+
+   SIGTERM/SIGINT trigger a graceful drain: stop accepting, serve every
+   fully-received request, flush, close, write final snapshots, exit 0. *)
 
 let state_file dir i = Filename.concat dir (Printf.sprintf "shard-%d.snap" i)
+let manifest_file dir = Filename.concat dir "manifest"
 
 let ensure_dir dir =
   try Unix.mkdir dir 0o755 with
@@ -31,13 +41,41 @@ let ensure_dir dir =
 let save_state serve = function
   | None -> ()
   | Some dir ->
+    Util.Fs.atomic_write ~path:(manifest_file dir) (Mqdp.Serve.manifest serve);
     for i = 0 to Mqdp.Serve.shard_count serve - 1 do
       Util.Fs.atomic_write ~path:(state_file dir i) (Mqdp.Serve.shard_snapshot serve i)
     done
 
+(* Loading a state dir under the wrong --shards would silently re-hash
+   profile names onto different shards: snapshots would load but every
+   misplaced profile's durable state would be orphaned. Refuse loudly. *)
+let check_manifest serve dir =
+  let path = manifest_file dir in
+  if Sys.file_exists path then
+    match Mqdp.Serve.parse_manifest (Util.Fs.read path) with
+    | Ok n when n = Mqdp.Serve.shard_count serve -> ()
+    | Ok n ->
+      Printf.eprintf
+        "mqdp_serve: state dir %s was written with --shards %d, but this \
+         daemon is running with --shards %d.\n\
+         Loading would misplace every profile whose name hashes to a \
+         different shard. Re-run with --shards %d, or point --state-dir at \
+         a fresh directory.\n%!"
+        dir n (Mqdp.Serve.shard_count serve) n;
+      exit 2
+    | Error why ->
+      Printf.eprintf
+        "mqdp_serve: state dir %s has an unreadable manifest (%s); refusing \
+         to guess its shard count. Remove %s only if you are certain the \
+         snapshots match --shards %d.\n%!"
+        dir why path (Mqdp.Serve.shard_count serve);
+      exit 2
+  else Util.Fs.atomic_write ~path (Mqdp.Serve.manifest serve)
+
 let load_state serve = function
   | None -> ()
   | Some dir ->
+    check_manifest serve dir;
     for i = 0 to Mqdp.Serve.shard_count serve - 1 do
       let path = state_file dir i in
       if Sys.file_exists path then
@@ -48,20 +86,16 @@ let load_state serve = function
             i what
     done
 
-(* Checkpoints become durable the moment the client asked for them, not
-   at shutdown: a kill between CHECKPOINT and exit must not lose them. *)
-let is_checkpoint line =
-  match String.split_on_char ' ' (String.trim line) with
-  | _ :: "CHECKPOINT" :: _ -> true
-  | _ -> false
-
 let serve_channel serve state_dir ic oc =
   try
     while true do
       let line = input_line ic in
       List.iter (fun r -> output_string oc (r ^ "\n")) (Mqdp.Serve.exec serve line);
       flush oc;
-      if is_checkpoint line then save_state serve state_dir
+      (* Checkpoints become durable the moment the client asked for them,
+         not at shutdown: a kill between CHECKPOINT and exit must not lose
+         them. *)
+      if Mqdp.Serve.is_checkpoint_line line then save_state serve state_dir
     done
   with End_of_file -> ()
 
@@ -94,25 +128,40 @@ let replay serve path =
         !fed path skipped (!seq + 1);
       !seq)
 
-let tcp_loop serve state_dir port =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_any, port));
-  Unix.listen sock 8;
-  Printf.eprintf "mqdp_serve: listening on port %d\n%!" port;
-  while true do
-    let client, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr client
-    and oc = Unix.out_channel_of_descr client in
-    (try serve_channel serve state_dir ic oc
-     with Unix.Unix_error _ | Sys_error _ -> ());
-    (try Unix.close client with Unix.Unix_error _ -> ());
-    save_state serve state_dir
-  done
+let tcp_loop serve state_dir ~port ~server_config =
+  let server = Net.Server.create ~config:server_config ~port serve in
+  let request_drain _signal = Net.Server.drain server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_drain);
+  Printf.eprintf
+    "mqdp_serve: listening on port %d (max %d connections, idle timeout %s)\n%!"
+    (Net.Server.port server) server_config.Net.Server.max_connections
+    (match server_config.Net.Server.transport.Mqdp.Transport.idle_timeout with
+    | None -> "off"
+    | Some s -> Printf.sprintf "%gs" s);
+  Net.Server.run ~on_checkpoint:(fun () -> save_state serve state_dir) server;
+  let s = Net.Server.stats server in
+  Printf.eprintf
+    "mqdp_serve: drained (%d requests over %d connections; shed %d, idle %d, \
+     oversized %d, reset %d)\n%!"
+    s.Net.Server.requests s.Net.Server.accepted s.Net.Server.shed
+    s.Net.Server.closed_idle s.Net.Server.closed_too_long s.Net.Server.closed_reset
 
 let () =
+  (* A client vanishing mid-response must cost a write error on its
+     connection, never the process — also covers the stdin transport when
+     the driving pipe closes early. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let config = ref Mqdp.Serve.default_config in
   let port = ref 0 in
+  let max_conns = ref Net.Server.default_config.Net.Server.max_connections in
+  let idle_timeout =
+    ref
+      (match Mqdp.Transport.default_config.Mqdp.Transport.idle_timeout with
+      | Some s -> s
+      | None -> 0.)
+  in
+  let max_line = ref Mqdp.Transport.default_config.Mqdp.Transport.max_line in
   let state_dir = ref None in
   let replay_file = ref None in
   let trace_file = ref None in
@@ -150,6 +199,15 @@ let () =
       ( "--seq-cache",
         set (fun c v -> { c with Mqdp.Serve.seq_cache = v }),
         "N  retried-response window" );
+      ( "--max-conns",
+        Arg.Set_int max_conns,
+        "N  concurrent-connection ceiling (beyond it: 0 ERR capacity)" );
+      ( "--idle-timeout",
+        Arg.Set_float idle_timeout,
+        "S  close connections idle this long (0: never)" );
+      ( "--max-line",
+        Arg.Set_int max_line,
+        "N  request-framing cap, bytes (0 ERR line-too-long beyond it)" );
       ( "--state-dir",
         Arg.String (fun d -> state_dir := Some d),
         "DIR  durable shard snapshots" );
@@ -176,7 +234,19 @@ let () =
   Option.iter ensure_dir !state_dir;
   load_state serve !state_dir;
   ignore (Option.map (replay serve) !replay_file);
-  (if !port > 0 then tcp_loop serve !state_dir !port
+  (if !port > 0 then begin
+     let transport =
+       {
+         Mqdp.Transport.default_config with
+         Mqdp.Transport.max_line = !max_line;
+         idle_timeout = (if !idle_timeout <= 0. then None else Some !idle_timeout);
+       }
+     in
+     let server_config =
+       { Net.Server.default_config with Net.Server.max_connections = !max_conns; transport }
+     in
+     tcp_loop serve !state_dir ~port:!port ~server_config
+   end
    else serve_channel serve !state_dir stdin stdout);
   save_state serve !state_dir;
   Mqdp.Serve.shutdown serve

@@ -1,0 +1,81 @@
+(* Client half of the idempotent-retry contract: one rendered line per
+   sequence number, retried verbatim under exponential backoff with
+   deterministic (seeded) jitter. *)
+
+type config = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default_config =
+  { max_attempts = 5; base_delay = 0.01; max_delay = 1.0; jitter = 0.5 }
+
+type io = {
+  send : string -> string list option;
+  sleep : float -> unit;
+}
+
+type error = Gave_up of { attempts : int; line : string }
+
+type t = {
+  config : config;
+  io : io;
+  rng : Util.Rng.t;
+  mutable seq : int;
+  mutable retries : int;
+}
+
+let validate config =
+  if config.max_attempts < 1 then invalid_arg "Client.create: max_attempts < 1";
+  if config.base_delay < 0. then invalid_arg "Client.create: negative base_delay";
+  if config.max_delay < config.base_delay then
+    invalid_arg "Client.create: max_delay < base_delay";
+  if not (config.jitter >= 0. && config.jitter <= 1.) then
+    invalid_arg "Client.create: jitter outside [0, 1]"
+
+let create ?(config = default_config) ?(seed = 0) io =
+  validate config;
+  { config; io; rng = Util.Rng.create seed; seq = 0; retries = 0 }
+
+let next_seq t = t.seq + 1
+let retries t = t.retries
+
+(* Attempt k (0-based) sleeps base * 2^k, capped, then jittered by a
+   uniform factor in [1 - j/2, 1 + j/2]. *)
+let delay_for config rng attempt =
+  let raw = config.base_delay *. (2. ** float_of_int attempt) in
+  let capped = Float.min raw config.max_delay in
+  let j = config.jitter in
+  capped *. (1. -. (j /. 2.) +. Util.Rng.float rng j)
+
+let backoff_schedule config ~seed ~attempts =
+  validate config;
+  let rng = Util.Rng.create seed in
+  List.init attempts (fun k -> delay_for config rng k)
+
+(* A response is transport-level (the daemon spoke before a request
+   framed: capacity shed, line-too-long, idle close) when its first line
+   echoes sequence 0 — those never correspond to an executed command, so
+   they are retryable exactly like a dead socket. *)
+let transport_rejection = function
+  | first :: _ -> String.starts_with ~prefix:"0 ERR " first
+  | [] -> true
+
+let request t cmd =
+  t.seq <- t.seq + 1;
+  let line = Printf.sprintf "%d %s" t.seq cmd in
+  let rec attempt k =
+    match t.io.send line with
+    | Some response when not (transport_rejection response) -> Ok response
+    | Some _ | None ->
+      if k + 1 >= t.config.max_attempts then
+        Error (Gave_up { attempts = k + 1; line })
+      else begin
+        t.retries <- t.retries + 1;
+        t.io.sleep (delay_for t.config t.rng k);
+        attempt (k + 1)
+      end
+  in
+  attempt 0

@@ -1,0 +1,63 @@
+(** Retry-safe client for the serving wire protocol.
+
+    The engine's idempotency contract ({!Serve}) is: retry the {e same}
+    [<seq> VERB args] line verbatim and the cached response replays
+    without re-executing the command. This module is the client half of
+    that contract — it owns the sequence counter, renders each command
+    into its wire line once, and on a transport failure retries that
+    exact line with exponential backoff and deterministic jitter.
+
+    It is IO-agnostic: the caller supplies {!io}, a [send] that performs
+    one request/response exchange (reconnecting underneath as it
+    pleases) and a [sleep]. The TCP adapter lives in [lib/net]; the
+    chaos fuzzer supplies a simulated [send] and a virtual [sleep], which
+    is why the retry schedule must be a pure function of the seed. *)
+
+type config = {
+  max_attempts : int;  (** total tries per request, >= 1 *)
+  base_delay : float;  (** first backoff, seconds *)
+  max_delay : float;  (** backoff ceiling *)
+  jitter : float;  (** uniform jitter fraction in [0, 1]: delay *= 1 ± jitter/2 *)
+}
+
+(** 5 attempts, 10 ms base, 1 s ceiling, 0.5 jitter. *)
+val default_config : config
+
+type io = {
+  send : string -> string list option;
+      (** one exchange: the request line (no newline) in, the response
+          lines out; [None] when the transport failed (reset, refused,
+          shed) and the request may or may not have executed *)
+  sleep : float -> unit;
+}
+
+type error =
+  | Gave_up of { attempts : int; line : string }
+      (** every attempt failed at the transport level *)
+
+type t
+
+(** [create ?config ?seed io] — a fresh client with its own sequence
+    counter starting at 1. [seed] drives the jitter (default 0).
+    Raises [Invalid_argument] on [max_attempts < 1], negative delays, or
+    jitter outside [0, 1]. *)
+val create : ?config:config -> ?seed:int -> io -> t
+
+(** Next sequence number to be assigned (diagnostics, tests). *)
+val next_seq : t -> int
+
+(** Transport-failure retries performed so far. *)
+val retries : t -> int
+
+(** [request t cmd] — allocate a sequence number, send [<seq> cmd], and
+    return the response lines. Server-level errors ([<seq> ERR ...]) are
+    {e responses}, returned as [Ok]; only transport failures retry. A
+    transport-level rejection (a response whose first line carries
+    sequence [0], e.g. [0 ERR capacity ...]) also counts as retryable:
+    the daemon shed the connection before the request framed. *)
+val request : t -> string -> (string list, error) result
+
+(** The backoff schedule [request] sleeps through for a given config and
+    seed — exposed so tests can pin determinism and the cap without
+    wall-clock time. [attempts] is the number of {e sleeps}. *)
+val backoff_schedule : config -> seed:int -> attempts:int -> float list

@@ -38,6 +38,14 @@ type entry = {
   mutable e_stamp : int;
 }
 
+(* One sequence space: the watermark and the retried-response cache. The
+   engine owns a default session (stdin, replay, legacy callers); the
+   concurrent transport creates one per connection or per HELLO id. *)
+type session = {
+  mutable last_seq : int;
+  s_cache : (int * string list) option array;
+}
+
 type t = {
   config : config;
   pool : Util.Pool.t;
@@ -45,8 +53,8 @@ type t = {
   names : (string, entry) Hashtbl.t;
   by_label : (Label.t, entry list ref) Hashtbl.t;
   mutable stamp : int;
-  mutable last_seq : int;
-  cache : (int * string list) option array;
+  default_session : session;
+  sessions : (string, session) Hashtbl.t;
   mutable chaos : (unit -> unit) option;
   mutable restarts : int;
 }
@@ -89,8 +97,9 @@ let create (config : config) =
     names = Hashtbl.create 1024;
     by_label = Hashtbl.create 256;
     stamp = 0;
-    last_seq = 0;
-    cache = Array.make config.seq_cache None;
+    default_session =
+      { last_seq = 0; s_cache = Array.make config.seq_cache None };
+    sessions = Hashtbl.create 64;
     chaos = None;
     restarts = 0;
   }
@@ -478,38 +487,60 @@ let handle t seq tokens =
   | exception Util.Budget.Exhausted _ ->
     [ err seq "deadline" "request deadline exceeded" ]
 
-let cache_find t seq =
-  let slot = seq mod Array.length t.cache in
-  match t.cache.(slot) with
+let new_session t =
+  { last_seq = 0; s_cache = Array.make t.config.seq_cache None }
+
+let session t ~id =
+  match Hashtbl.find_opt t.sessions id with
+  | Some s -> s
+  | None ->
+    let s = new_session t in
+    Hashtbl.add t.sessions id s;
+    s
+
+let session_count t = Hashtbl.length t.sessions
+
+let cache_find session seq =
+  let slot = seq mod Array.length session.s_cache in
+  match session.s_cache.(slot) with
   | Some (s, response) when s = seq -> Some response
   | _ -> None
 
-let cache_store t seq response =
-  t.cache.(seq mod Array.length t.cache) <- Some (seq, response)
+let cache_store session seq response =
+  session.s_cache.(seq mod Array.length session.s_cache) <- Some (seq, response)
 
-let exec t line =
+(* Tokenization shared by [exec_on] and [is_checkpoint_line]: runs of
+   spaces collapse, so "5  CHECKPOINT" parses the same everywhere. *)
+let tokenize line =
+  String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+
+let is_checkpoint_line line =
+  match tokenize line with
+  | _seq :: "CHECKPOINT" :: _ -> true
+  | _ -> false
+
+let exec_on t session line =
   let t0 = Util.Timer.now_ns () in
-  let tokens =
-    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
-  in
   let response =
-    match tokens with
+    match tokenize line with
     | [] -> [ "ERR parse empty line" ]
     | seq_tok :: rest -> (
       match int_of_string_opt seq_tok with
       | None -> [ "ERR parse bad sequence number" ]
       | Some seq when seq <= 0 -> [ "ERR parse bad sequence number" ]
       | Some seq ->
-        if seq <= t.last_seq then
+        if seq <= session.last_seq then
           (* A retry replays its cached response verbatim — the command
              does not run again, so retried FEEDs cannot double-deliver. *)
-          match cache_find t seq with
+          match cache_find session seq with
           | Some response -> response
-          | None -> [ err seq "stale-seq" "sequence %d below watermark %d" seq t.last_seq ]
+          | None ->
+            [ err seq "stale-seq" "sequence %d below watermark %d" seq
+                session.last_seq ]
         else begin
           let response = handle t seq rest in
-          t.last_seq <- seq;
-          cache_store t seq response;
+          session.last_seq <- seq;
+          cache_store session seq response;
           response
         end)
   in
@@ -520,3 +551,27 @@ let exec t line =
     Util.Telemetry.set m_backlog (backlog t)
   end;
   response
+
+let exec t line = exec_on t t.default_session line
+
+(* {2 State-dir manifest} *)
+
+let manifest t =
+  Printf.sprintf "mqdp-serve state v1\nshards=%d\n" (Array.length t.shards)
+
+let parse_manifest s =
+  match String.split_on_char '\n' s with
+  | "mqdp-serve state v1" :: rest -> (
+    let shard_line =
+      List.find_opt (fun l -> String.starts_with ~prefix:"shards=" l) rest
+    in
+    match shard_line with
+    | None -> Error "manifest lists no shard count"
+    | Some l -> (
+      match int_of_string_opt (String.sub l 7 (String.length l - 7)) with
+      | Some n when n >= 1 -> Ok n
+      | Some n -> Error (Printf.sprintf "manifest shard count %d out of range" n)
+      | None -> Error (Printf.sprintf "unreadable shard count %S" l)))
+  | header :: _ ->
+    Error (Printf.sprintf "unrecognized manifest header %S" header)
+  | [] -> Error "empty manifest"

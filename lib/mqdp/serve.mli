@@ -8,11 +8,22 @@
     One request per line: [<seq> VERB args...]; one or more response
     lines, each echoing [<seq>], the last being [<seq> OK ...] or
     [<seq> ERR <code> <message>]. Sequence numbers must be strictly
-    increasing per engine; the last [seq_cache] responses are kept, so a
-    client that times out retries the {e same} line verbatim and receives
-    the cached response — commands are idempotent under retry (a retried
-    FEED does not deliver twice). A sequence number below the watermark
-    and out of cache is refused with [ERR stale-seq].
+    increasing per {e session}; the last [seq_cache] responses are kept
+    per session, so a client that times out retries the {e same} line
+    verbatim and receives the cached response — commands are idempotent
+    under retry (a retried FEED does not deliver twice). A sequence
+    number below the watermark and out of cache is refused with
+    [ERR stale-seq].
+
+    A session is one client's retry window. {!exec} runs on the engine's
+    default session (the stdin transport, the replay loader, and all
+    pre-existing callers). The concurrent transport gives every
+    connection its own anonymous session ({!new_session}), or — when the
+    client opens with [HELLO <id>] — a named session ({!session}) that
+    survives reconnects, so a client whose connection was reset can
+    reconnect, re-send [HELLO], and retry its last line verbatim with the
+    idempotency guarantee intact. Sessions are serving-side state only:
+    they are not part of shard snapshots.
 
     Verbs:
     - [ADD <name> <lambda> <mode> <labels> [nowindow]] — admit a profile.
@@ -72,10 +83,50 @@ val create : config -> t
 
 val config : t -> config
 
-(** [exec t line] — execute one request, returning the response lines in
-    order. Never raises on bad input: malformed lines produce [ERR parse]
-    responses. *)
+(** [exec t line] — execute one request on the default session, returning
+    the response lines in order. Never raises on bad input: malformed
+    lines produce [ERR parse] responses. *)
 val exec : t -> string -> string list
+
+(** A per-client sequence space: watermark + retried-response cache. *)
+type session
+
+(** A fresh anonymous session (one per plain connection). *)
+val new_session : t -> session
+
+(** [session t ~id] — the named session for client [id], created on first
+    use. Reconnecting clients that [HELLO id] land back on it. *)
+val session : t -> id:string -> session
+
+(** Named sessions currently registered. *)
+val session_count : t -> int
+
+(** [exec_on t s line] — {!exec} against session [s]'s sequence space.
+    All sessions share the engine state (profiles, shards, backlog);
+    only the retry discipline is per-session. *)
+val exec_on : t -> session -> string -> string list
+
+(** [is_checkpoint_line line] — does [line] request a durable checkpoint
+    ([<seq> CHECKPOINT ...])? Tokenization matches {!exec}'s (runs of
+    whitespace collapse), so ["5  CHECKPOINT"] counts — the transport
+    uses this to decide when to flush shard snapshots to disk. *)
+val is_checkpoint_line : string -> bool
+
+(** {2 State-dir manifest}
+
+    A durable state directory records the shard count it was written
+    under; loading it with a different [--shards] would silently orphan
+    (or misplace) every profile whose name hashes elsewhere. The daemon
+    writes {!manifest} next to the snapshots and refuses to boot when
+    {!parse_manifest} disagrees with its configuration. *)
+
+(** The manifest content for this engine ([shards=N] under a versioned
+    header). *)
+val manifest : t -> string
+
+(** [parse_manifest s] — the shard count a manifest records, or a
+    human-readable reason it cannot be trusted. *)
+val parse_manifest : string -> (int, string) result
 
 (** The shard a profile name hashes to (FNV-1a-64 mod [shards]) — exposed
     so the fuzzer's single-threaded oracle can replicate placement and

@@ -1,0 +1,159 @@
+(* Sans-IO connection state machine: framing, deadlines, backpressure.
+   All byte storage is Util.Netio.Buf; no Unix anywhere — the event loop,
+   the chaos simulator, and the unit tests drive identical code. *)
+
+module Buf = Util.Netio.Buf
+
+type config = {
+  max_line : int;
+  max_pending_out : int;
+  idle_timeout : float option;
+}
+
+let default_config =
+  { max_line = 8192; max_pending_out = 1 lsl 20; idle_timeout = Some 30. }
+
+type close_reason = Eof | Line_too_long | Idle_timeout | Output_overflow | Drained
+
+let close_reason_string = function
+  | Eof -> "eof"
+  | Line_too_long -> "line-too-long"
+  | Idle_timeout -> "idle-timeout"
+  | Output_overflow -> "output-overflow"
+  | Drained -> "drained"
+
+type step = Request of string | Wait | Close of close_reason
+
+type t = {
+  config : config;
+  inbuf : Buf.t;
+  outbuf : Buf.t;
+  mutable tail_len : int;  (* bytes fed since the last newline seen *)
+  mutable eof : bool;
+  mutable drain : bool;
+  mutable condemned : close_reason option;  (* fault decided; close after flush *)
+  mutable idle_at : float;  (* absolute deadline; re-armed per request *)
+}
+
+let validate config =
+  if config.max_line < 1 then invalid_arg "Transport.create: max_line < 1";
+  if config.max_pending_out < 1 then
+    invalid_arg "Transport.create: max_pending_out < 1";
+  match config.idle_timeout with
+  | Some s when not (s > 0.) -> invalid_arg "Transport.create: idle_timeout <= 0"
+  | _ -> ()
+
+let arm t now =
+  t.idle_at <-
+    (match t.config.idle_timeout with
+    | None -> infinity
+    | Some s -> now +. s)
+
+let create ?(config = default_config) ~now () =
+  validate config;
+  let t =
+    {
+      config;
+      inbuf = Buf.create ();
+      outbuf = Buf.create ();
+      tail_len = 0;
+      eof = false;
+      drain = false;
+      condemned = None;
+      idle_at = infinity;
+    }
+  in
+  arm t now;
+  t
+
+let config t = t.config
+
+let respond t lines =
+  List.iter
+    (fun line ->
+      Buf.add_string t.outbuf line;
+      Buf.add_string t.outbuf "\n")
+    lines;
+  if Buf.length t.outbuf > t.config.max_pending_out && t.condemned = None then
+    t.condemned <- Some Output_overflow
+
+let condemn t reason message =
+  if t.condemned = None then begin
+    (* The transport-level response carries sequence number 0: the
+       offending input never framed a request, so there is no client
+       sequence to echo. Queue it before condemning or [respond] would
+       refuse the write. *)
+    respond t [ Printf.sprintf "0 ERR %s %s" (close_reason_string reason) message ];
+    t.condemned <- Some reason
+  end
+
+let feed t bytes ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > Bytes.length bytes then
+    invalid_arg "Transport.feed";
+  if (not t.eof) && t.condemned = None && len > 0 then begin
+    Buf.add_subbytes t.inbuf bytes ~pos ~len;
+    (* Track the unterminated tail as bytes arrive: a client pouring an
+       endless line hits the cap immediately, long before extraction. *)
+    (match Bytes.rindex_from_opt bytes (pos + len - 1) '\n' with
+    | Some i when i >= pos -> t.tail_len <- pos + len - 1 - i
+    | Some _ | None -> t.tail_len <- t.tail_len + len);
+    if t.tail_len > t.config.max_line then
+      condemn t Line_too_long
+        (Printf.sprintf "request exceeds %d bytes" t.config.max_line)
+  end
+
+let feed_string t s =
+  feed t (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let feed_eof t = t.eof <- true
+let begin_drain t = t.drain <- true
+let draining t = t.drain
+
+let pop_line t =
+  match Buf.index_from t.inbuf ~from:0 '\n' with
+  | -1 -> None
+  | i ->
+    let len =
+      if i > 0 && Buf.sub_string t.inbuf ~pos:(i - 1) ~len:1 = "\r" then i - 1
+      else i
+    in
+    let line = Buf.sub_string t.inbuf ~pos:0 ~len in
+    Buf.drop t.inbuf (i + 1);
+    Some line
+
+let next t ~now =
+  match t.condemned with
+  | Some reason -> Close reason
+  | None -> (
+    match pop_line t with
+    | Some line ->
+      (* A terminated line can still breach the cap when it arrived in one
+         chunk whose newline reset the tail counter. *)
+      if String.length line > t.config.max_line then begin
+        condemn t Line_too_long
+          (Printf.sprintf "request exceeds %d bytes" t.config.max_line);
+        Close Line_too_long
+      end
+      else begin
+        arm t now;
+        Request line
+      end
+    | None ->
+      if t.eof then Close Eof
+      else if t.drain then Close Drained
+      else if now >= t.idle_at then begin
+        condemn t Idle_timeout "no complete request within the idle deadline";
+        Close Idle_timeout
+      end
+      else Wait)
+
+let output t = Buf.peek t.outbuf
+let wrote t n = Buf.drop t.outbuf n
+let output_length t = Buf.length t.outbuf
+let has_output t = not (Buf.is_empty t.outbuf)
+let input_length t = Buf.length t.inbuf
+
+let idle_deadline t =
+  match t.config.idle_timeout with
+  | None -> None
+  | Some _ -> if t.condemned = None then Some t.idle_at else None

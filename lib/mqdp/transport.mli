@@ -1,0 +1,108 @@
+(** Sans-IO per-connection state machine for the serving transport.
+
+    One {!t} per client connection. The driver (the [select] event loop in
+    [lib/net], the chaos simulator in [mqdp_fuzz --transport], or a unit
+    test) owns the socket; this module owns every policy decision a
+    hostile client can probe:
+
+    - {b bounded line framing} — requests are newline-terminated lines
+      (CRLF tolerated). A line that exceeds [max_line] bytes without a
+      newline is rejected: the connection gets one transport-level
+      [0 ERR line-too-long] response (sequence number [0] — the garbage
+      line never yielded one) and closes. Partial reads are the normal
+      case: bytes accumulate via {!feed} until a newline completes a
+      request.
+    - {b slowloris defense} — the idle deadline arms at creation and
+      re-arms only when a {e complete} request is consumed. Trickling one
+      byte per second never resets it; {!next} reports
+      [Close Idle_timeout] once [now] passes the deadline.
+    - {b bounded output with backpressure} — responses queue in an output
+      buffer the driver flushes as the socket allows. {!output_length}
+      lets the loop stop reading from a client that stops reading from
+      us; if the queue nevertheless exceeds [max_pending_out] the
+      connection is condemned ([Close Output_overflow]).
+    - {b graceful drain} — {!begin_drain} stops request intake after the
+      already-buffered complete lines: they still execute and their
+      responses still flush, then the connection reports
+      [Close Drained]. Partial trailing bytes are abandoned (they never
+      formed a request, so nothing acknowledged is lost).
+
+    The driver contract: push socket bytes in with {!feed} / {!feed_eof},
+    then call {!next} until it returns [Wait] or [Close] — executing each
+    [Request] against the engine and queueing the reply via {!respond} —
+    and flush {!output} as writability allows, acknowledging with
+    {!wrote}. On [Close r], flush what {!output} still holds
+    (best-effort), then close the socket. *)
+
+type config = {
+  max_line : int;  (** request-framing cap, bytes, newline excluded *)
+  max_pending_out : int;  (** output-queue bound before the connection is condemned *)
+  idle_timeout : float option;  (** seconds between completed requests *)
+}
+
+(** 8 KiB lines, 1 MiB output bound, 30 s idle timeout. *)
+val default_config : config
+
+type close_reason =
+  | Eof  (** peer closed cleanly; buffered requests were still served *)
+  | Line_too_long  (** framing cap exceeded — hostile or broken client *)
+  | Idle_timeout  (** no completed request within [idle_timeout] *)
+  | Output_overflow  (** peer stopped reading; output bound exceeded *)
+  | Drained  (** graceful shutdown completed for this connection *)
+
+val close_reason_string : close_reason -> string
+
+type step =
+  | Request of string  (** a complete line, CR/LF stripped — execute it *)
+  | Wait  (** nothing runnable; wait for IO or the idle deadline *)
+  | Close of close_reason  (** flush remaining output, then close *)
+
+type t
+
+(** [create ~now ()] — a fresh connection observed at monotonic time
+    [now] (seconds; any monotone clock, the fuzzer uses a virtual one).
+    Raises [Invalid_argument] on a non-positive [max_line] or
+    [max_pending_out], or a non-positive [idle_timeout]. *)
+val create : ?config:config -> now:float -> unit -> t
+
+val config : t -> config
+
+(** Push bytes read from the socket. Bytes arriving after a condemning
+    fault or {!feed_eof} are ignored. *)
+val feed : t -> Bytes.t -> pos:int -> len:int -> unit
+
+(** Convenience for tests and the simulator. *)
+val feed_string : t -> string -> unit
+
+(** The peer will send no more bytes (orderly EOF). *)
+val feed_eof : t -> unit
+
+(** Drive the state machine. [Request] pops exactly one framed line;
+    callers loop until [Wait] or [Close]. *)
+val next : t -> now:float -> step
+
+(** Queue response lines (newline appended to each). *)
+val respond : t -> string list -> unit
+
+(** Stop accepting new requests; serve what is already framed, flush, and
+    report [Close Drained]. Idempotent. *)
+val begin_drain : t -> unit
+
+val draining : t -> bool
+
+(** Pending output as a contiguous view, or [None] when flushed. *)
+val output : t -> (Bytes.t * int * int) option
+
+(** Acknowledge [n] bytes written to the socket. *)
+val wrote : t -> int -> unit
+
+val output_length : t -> int
+val has_output : t -> bool
+
+(** The absolute time at which {!next} will report [Close Idle_timeout],
+    when an idle timeout is configured — the event loop's select
+    deadline. *)
+val idle_deadline : t -> float option
+
+(** Bytes of input currently buffered (diagnostics). *)
+val input_length : t -> int

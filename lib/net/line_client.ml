@@ -1,0 +1,151 @@
+module Netio = Util.Netio
+
+type t = {
+  addr : Unix.inet_addr;
+  port : int;
+  timeout : float;
+  hello : string option;
+  mutable sock : Unix.file_descr option;
+  mutable connected_once : bool;
+  mutable reconnects : int;
+  inbuf : Netio.Buf.t;
+  scratch : Bytes.t;
+}
+
+let create ?(timeout = 10.) ?hello ?(addr = Unix.inet_addr_loopback) ~port () =
+  {
+    addr;
+    port;
+    timeout;
+    hello;
+    sock = None;
+    connected_once = false;
+    reconnects = 0;
+    inbuf = Netio.Buf.create ();
+    scratch = Bytes.create 8192;
+  }
+
+let reconnects t = t.reconnects
+
+let drop t =
+  (match t.sock with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.sock <- None;
+  Netio.Buf.clear t.inbuf
+
+let close = drop
+
+let send_all fd line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let rec go pos =
+    if pos >= len then true
+    else
+      match Unix.write_substring fd data pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error _ -> false
+  in
+  go 0
+
+(* Read one newline-terminated line, blocking up to the socket timeout
+   per read. [None] on timeout, EOF, or error. *)
+let read_line t fd =
+  let rec go () =
+    match Netio.Buf.index_from t.inbuf ~from:0 '\n' with
+    | i when i >= 0 ->
+      let line = Netio.Buf.sub_string t.inbuf ~pos:0 ~len:i in
+      Netio.Buf.drop t.inbuf (i + 1);
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+    | _ -> (
+      match Netio.read_into fd t.scratch with
+      | `Data n ->
+        Netio.Buf.add_subbytes t.inbuf t.scratch ~pos:0 ~len:n;
+        go ()
+      (* Blocking socket + SO_RCVTIMEO: [`Again] means the deadline
+         elapsed with no data — a transport failure, not a retry-read. *)
+      | `Again | `Eof | `Closed -> None)
+  in
+  go ()
+
+let is_final line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | _seq :: ("OK" | "ERR") :: _ -> true
+  | _ -> false
+
+let read_response t fd =
+  let rec go acc =
+    match read_line t fd with
+    | None -> None
+    | Some line -> if is_final line then Some (List.rev (line :: acc)) else go (line :: acc)
+  in
+  go []
+
+let connect t =
+  match t.sock with
+  | Some fd -> Some fd
+  | None -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout;
+      (* Request/response ping-pong: never wait out Nagle + delayed ACK. *)
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Unix.connect fd (Unix.ADDR_INET (t.addr, t.port))
+    with
+    | () ->
+      t.sock <- Some fd;
+      if t.connected_once then t.reconnects <- t.reconnects + 1;
+      t.connected_once <- true;
+      let greeted =
+        match t.hello with
+        | None -> true
+        | Some id -> (
+          if not (send_all fd ("HELLO " ^ id)) then false
+          else
+            match read_response t fd with
+            | Some (first :: _) -> String.starts_with ~prefix:"0 OK hello" first
+            | Some [] | None -> false)
+      in
+      if greeted then Some fd
+      else begin
+        drop t;
+        None
+      end
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None)
+
+let exchange t line =
+  match connect t with
+  | None -> None
+  | Some fd -> (
+    if not (send_all fd line) then begin
+      drop t;
+      None
+    end
+    else
+      match read_response t fd with
+      | None ->
+        drop t;
+        None
+      | Some response -> (
+        (* A transport-level rejection (seq 0: shed, condemned) doubles as
+           a connection death sentence server-side — reconnect next call. *)
+        match response with
+        | first :: _ when String.starts_with ~prefix:"0 ERR" first ->
+          drop t;
+          Some response
+        | _ -> Some response))
+
+let io t =
+  { Mqdp.Client.send = (fun line -> exchange t line); sleep = Unix.sleepf }

@@ -1,0 +1,36 @@
+(** Blocking TCP line client for the serving wire protocol — the IO half
+    that {!Mqdp.Client} abstracts over.
+
+    One {!t} is a lazily-(re)connecting connection: {!exchange} dials on
+    first use, and after any transport failure (refused, reset, timeout,
+    [0 ERR] shed) it drops the socket so the next call reconnects — and
+    re-greets with [HELLO <id>] when a [hello] identity was given, landing
+    the client back on its named server-side session so a verbatim retry
+    keeps the idempotency contract.
+
+    Every socket operation runs under [timeout] (SO_RCVTIMEO/SO_SNDTIMEO),
+    so a stalled daemon surfaces as a retryable failure instead of a hung
+    client. *)
+
+type t
+
+(** [create ?timeout ?hello ?addr ~port ()] — no IO happens yet.
+    [timeout] defaults to 10 s, [addr] to loopback. [hello], when given,
+    is the durable session id greeted on every (re)connect. *)
+val create :
+  ?timeout:float -> ?hello:string -> ?addr:Unix.inet_addr -> port:int -> unit -> t
+
+(** [exchange t line] — one request/response: send [line] (newline
+    appended), read response lines until the final [<seq> OK|ERR ...]
+    line. [None] on any transport failure — the request may or may not
+    have executed; the socket is dropped and the next call reconnects. *)
+val exchange : t -> string -> string list option
+
+(** Reconnections performed after the first successful dial. *)
+val reconnects : t -> int
+
+val close : t -> unit
+
+(** The {!Mqdp.Client.io} view: [send = exchange t],
+    [sleep = Unix.sleepf]. *)
+val io : t -> Mqdp.Client.io

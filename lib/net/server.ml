@@ -1,0 +1,346 @@
+(* The select event loop. One thread, one engine, many connections; all
+   per-connection policy (framing, deadlines, backpressure) delegated to
+   the sans-IO Mqdp.Transport so it stays testable off the socket. *)
+
+module Transport = Mqdp.Transport
+module Netio = Util.Netio
+
+type config = {
+  max_connections : int;
+  accept_backlog : int;
+  transport : Transport.config;
+  drain_poll : float;
+  linger : float;
+}
+
+let default_config =
+  {
+    max_connections = 512;
+    accept_backlog = 64;
+    transport = Transport.default_config;
+    drain_poll = 0.25;
+    linger = 5.0;
+  }
+
+type stats = {
+  mutable accepted : int;
+  mutable shed : int;
+  mutable requests : int;
+  mutable closed_eof : int;
+  mutable closed_idle : int;
+  mutable closed_too_long : int;
+  mutable closed_overflow : int;
+  mutable closed_drained : int;
+  mutable closed_reset : int;
+}
+
+let m_accepted = Util.Telemetry.counter "transport.accepted"
+let m_shed = Util.Telemetry.counter "transport.shed"
+let m_requests = Util.Telemetry.counter "transport.requests"
+let m_connections = Util.Telemetry.gauge "transport.connections"
+let m_closed = Util.Telemetry.counter "transport.closed"
+
+type conn = {
+  fd : Unix.file_descr;
+  tr : Transport.t;
+  mutable session : Mqdp.Serve.session;
+  mutable closing : Transport.close_reason option;
+  mutable close_by : float;  (* linger deadline once closing *)
+}
+
+type t = {
+  config : config;
+  serve : Mqdp.Serve.t;
+  listen_fd : Unix.file_descr;
+  mutable listening : bool;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  drain_flag : bool Atomic.t;
+  mutable drain_started : bool;
+  stats : stats;
+}
+
+let now_s () = Util.Timer.now ()
+
+let create ?(config = default_config) ?(addr = Unix.inet_addr_any) ~port serve =
+  (* A peer that resets mid-response must cost a write error on that one
+     connection, never the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd config.accept_backlog;
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    config;
+    serve;
+    listen_fd = fd;
+    listening = true;
+    conns = Hashtbl.create 64;
+    drain_flag = Atomic.make false;
+    drain_started = false;
+    stats =
+      {
+        accepted = 0;
+        shed = 0;
+        requests = 0;
+        closed_eof = 0;
+        closed_idle = 0;
+        closed_too_long = 0;
+        closed_overflow = 0;
+        closed_drained = 0;
+        closed_reset = 0;
+      };
+  }
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> invalid_arg "Server.port: not an inet socket"
+
+let stats t = t.stats
+let drain t = Atomic.set t.drain_flag true
+let draining t = Atomic.get t.drain_flag
+
+let count_close t = function
+  | None -> t.stats.closed_reset <- t.stats.closed_reset + 1
+  | Some reason -> (
+    match (reason : Transport.close_reason) with
+    | Transport.Eof -> t.stats.closed_eof <- t.stats.closed_eof + 1
+    | Transport.Idle_timeout -> t.stats.closed_idle <- t.stats.closed_idle + 1
+    | Transport.Line_too_long ->
+      t.stats.closed_too_long <- t.stats.closed_too_long + 1
+    | Transport.Output_overflow ->
+      t.stats.closed_overflow <- t.stats.closed_overflow + 1
+    | Transport.Drained -> t.stats.closed_drained <- t.stats.closed_drained + 1)
+
+let finalize t conn reason =
+  Hashtbl.remove t.conns conn.fd;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  count_close t reason;
+  Util.Telemetry.incr m_closed;
+  Util.Telemetry.set m_connections (Hashtbl.length t.conns)
+
+(* Write as much pending output as the socket accepts. Returns [false]
+   when the connection died under the write. *)
+let flush_conn t conn =
+  let rec go () =
+    match Transport.output conn.tr with
+    | None -> true
+    | Some (store, pos, len) -> (
+      match Netio.write_from conn.fd store ~pos ~len with
+      | `Wrote n ->
+        Transport.wrote conn.tr n;
+        if n = len then go () else true
+      | `Again -> true
+      | `Closed ->
+        finalize t conn None;
+        false)
+  in
+  go ()
+
+let shed_notice = "0 ERR capacity serving limit reached, retry later\n"
+
+let accept_burst t now =
+  let rec go budget =
+    if budget > 0 && t.listening then
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        if Hashtbl.length t.conns >= t.config.max_connections then begin
+          (* Counted shedding with a best-effort transport-level notice:
+             the socket buffer of a fresh connection always has room for
+             one short line. *)
+          (try
+             ignore
+               (Unix.single_write_substring fd shed_notice 0
+                  (String.length shed_notice))
+           with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          t.stats.shed <- t.stats.shed + 1;
+          Util.Telemetry.incr m_shed
+        end
+        else begin
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          let conn =
+            {
+              fd;
+              tr = Transport.create ~config:t.config.transport ~now ();
+              session = Mqdp.Serve.new_session t.serve;
+              closing = None;
+              close_by = infinity;
+            }
+          in
+          Hashtbl.replace t.conns fd conn;
+          t.stats.accepted <- t.stats.accepted + 1;
+          Util.Telemetry.incr m_accepted;
+          Util.Telemetry.set m_connections (Hashtbl.length t.conns)
+        end;
+        go (budget - 1)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> go (budget - 1)
+  in
+  go 64
+
+(* Serve every framed request the connection holds. HELLO is handled at
+   the transport level (no sequence number): it rebinds the connection to
+   a named session that survives reconnects. *)
+let pump t ~on_checkpoint conn now =
+  let rec go () =
+    match Transport.next conn.tr ~now with
+    | Transport.Request line ->
+      (if String.starts_with ~prefix:"HELLO " line then begin
+         let id = String.trim (String.sub line 6 (String.length line - 6)) in
+         if id = "" then Transport.respond conn.tr [ "0 ERR parse empty client id" ]
+         else begin
+           conn.session <- Mqdp.Serve.session t.serve ~id;
+           Transport.respond conn.tr [ "0 OK hello " ^ id ]
+         end
+       end
+       else begin
+         Transport.respond conn.tr (Mqdp.Serve.exec_on t.serve conn.session line);
+         t.stats.requests <- t.stats.requests + 1;
+         Util.Telemetry.incr m_requests;
+         if Mqdp.Serve.is_checkpoint_line line then on_checkpoint ()
+       end);
+      go ()
+    | Transport.Wait -> ()
+    | Transport.Close reason ->
+      conn.closing <- Some reason;
+      conn.close_by <- now +. t.config.linger
+  in
+  if conn.closing = None then go ()
+
+let stop_listening t =
+  if t.listening then begin
+    t.listening <- false;
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+let conn_list t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+
+let run ?(on_checkpoint = fun () -> ()) t =
+  let scratch = Bytes.create 65536 in
+  let read_throttle = t.config.transport.Transport.max_pending_out / 2 in
+  let finished = ref false in
+  let prof = Sys.getenv_opt "MQDP_SERVER_PROF" <> None in
+  let rounds = ref 0 and t_select = ref 0. and t_read = ref 0. and t_pump = ref 0.
+  and n_reads = ref 0 and bytes_read = ref 0 in
+  while not !finished do
+    (* Drain trigger: stop accepting immediately, let every connection
+       serve what it already received, then fall out when the last one
+       closes. *)
+    if Atomic.get t.drain_flag && not t.drain_started then begin
+      t.drain_started <- true;
+      stop_listening t;
+      List.iter (fun c -> Transport.begin_drain c.tr) (conn_list t)
+    end;
+    if t.drain_started && Hashtbl.length t.conns = 0 then finished := true
+    else begin
+      let now = now_s () in
+      (* One snapshot per round: connections accepted mid-round are picked
+         up next round, ones finalized mid-round are membership-checked. *)
+      let conns = conn_list t in
+      let reads =
+        (if
+           t.listening
+           && Hashtbl.length t.conns < t.config.max_connections + 64
+         then [ t.listen_fd ]
+         else [])
+        @ List.filter_map
+            (fun c ->
+              if
+                c.closing = None
+                && (not (Transport.draining c.tr))
+                && Transport.output_length c.tr <= read_throttle
+              then Some c.fd
+              else None)
+            conns
+      in
+      let writes =
+        List.filter_map
+          (fun c -> if Transport.has_output c.tr then Some c.fd else None)
+          conns
+      in
+      let timeout =
+        List.fold_left
+          (fun acc c ->
+            let acc =
+              match Transport.idle_deadline c.tr with
+              | Some d when c.closing = None -> Float.min acc (d -. now)
+              | Some _ | None -> acc
+            in
+            if c.closing <> None then Float.min acc (c.close_by -. now) else acc)
+          t.config.drain_poll conns
+        |> Float.max 0.
+      in
+      incr rounds;
+      let t0 = if prof then now_s () else 0. in
+      let readable, writable, _ =
+        try Unix.select reads writes [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if prof then t_select := !t_select +. (now_s () -. t0);
+      let now = now_s () in
+      if t.listening && List.memq t.listen_fd readable then accept_burst t now;
+      (* Reads first, then a pump over every connection: idle deadlines
+         and drains must fire even on silent sockets. *)
+      let t1 = if prof then now_s () else 0. in
+      List.iter
+        (fun fd ->
+          if fd != t.listen_fd then
+            match Hashtbl.find_opt t.conns fd with
+            | None -> ()
+            | Some conn -> (
+              match Netio.read_into conn.fd scratch with
+              | `Data n ->
+                incr n_reads;
+                bytes_read := !bytes_read + n;
+                Transport.feed conn.tr scratch ~pos:0 ~len:n
+              | `Eof -> Transport.feed_eof conn.tr
+              | `Again -> ()
+              | `Closed -> finalize t conn None))
+        readable;
+      let t2 = if prof then now_s () else 0. in
+      if prof then t_read := !t_read +. (t2 -. t1);
+      List.iter
+        (fun conn ->
+          if Hashtbl.mem t.conns conn.fd then begin
+            pump t ~on_checkpoint conn now;
+            (* Flush opportunistically: responses usually fit the socket
+               buffer, saving a select round trip. *)
+            if Transport.has_output conn.tr then ignore (flush_conn t conn)
+          end)
+        conns;
+      if prof then t_pump := !t_pump +. (now_s () -. t2);
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt t.conns fd with
+          | Some conn -> ignore (flush_conn t conn)
+          | None -> ())
+        writable;
+      (* Condemned connections close once flushed (or once the linger
+         grace expires on a peer that stopped reading). *)
+      List.iter
+        (fun conn ->
+          match conn.closing with
+          | Some reason
+            when Hashtbl.mem t.conns conn.fd
+                 && ((not (Transport.has_output conn.tr)) || now >= conn.close_by)
+            ->
+            finalize t conn (Some reason)
+          | Some _ | None -> ())
+        conns
+    end
+  done;
+  if prof then
+    Printf.eprintf
+      "[server prof] rounds=%d reads=%d bytes=%d select=%.3fs read=%.3fs pump+flush=%.3fs served=%d\n%!"
+      !rounds !n_reads !bytes_read !t_select !t_read !t_pump t.stats.requests;
+  stop_listening t

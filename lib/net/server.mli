@@ -1,0 +1,83 @@
+(** The concurrent hardened TCP transport for {!Mqdp.Serve}: a
+    single-threaded [select] event loop multiplexing many clients onto
+    one engine through per-connection {!Mqdp.Transport} state machines.
+
+    Hardening, in one place:
+    - {b hostile-client defense} — every connection runs the sans-IO
+      framer's caps: max line length, idle (slowloris) deadline, bounded
+      output with read throttling once a client stops consuming
+      responses. One misbehaving connection is condemned and closed; the
+      loop and every other client keep going. [SIGPIPE] is ignored at
+      {!create}, so a peer resetting mid-response costs a [`Closed] write
+      result, never the process.
+    - {b connection ceiling} — beyond [max_connections] concurrent
+      clients, new arrivals are shed with a counted transport-level
+      [0 ERR capacity] line and an immediate close (mirroring the
+      engine's admission control).
+    - {b client multiplexing} — each connection gets its own anonymous
+      {!Mqdp.Serve.session} (its own sequence space), or a durable named
+      one by opening with [HELLO <id>] (answered [0 OK hello <id>]): a
+      client that reconnects after a reset re-sends [HELLO] and retries
+      its last line with the idempotency guarantee intact.
+    - {b graceful drain} — {!drain} (async-signal-safe; the daemon calls
+      it from SIGTERM/SIGINT handlers) stops accepting, serves every
+      fully-received request, flushes responses, closes connections, and
+      makes {!run} return so the daemon can write its final durable
+      snapshot and exit 0.
+
+    The loop is deliberately single-threaded: {!Mqdp.Serve.exec_on} is
+    not thread-safe, and the engine parallelizes where it matters (TICK
+    fans out over the domain pool). The transport's job is to keep the
+    socket work — framing, timeouts, backpressure — off the engine's
+    critical path and survive everything a client can do. *)
+
+type config = {
+  max_connections : int;  (** concurrent-client ceiling; beyond it, shed *)
+  accept_backlog : int;  (** listen(2) backlog *)
+  transport : Mqdp.Transport.config;  (** per-connection framing/deadline caps *)
+  drain_poll : float;  (** max select wait, so {!drain} is noticed promptly *)
+  linger : float;  (** grace period to flush output to a closing connection *)
+}
+
+(** 512 connections, backlog 64, {!Mqdp.Transport.default_config},
+    0.25 s drain poll, 5 s linger. *)
+val default_config : config
+
+type stats = {
+  mutable accepted : int;
+  mutable shed : int;  (** connections refused at the ceiling *)
+  mutable requests : int;  (** requests executed (HELLO excluded) *)
+  mutable closed_eof : int;
+  mutable closed_idle : int;
+  mutable closed_too_long : int;
+  mutable closed_overflow : int;
+  mutable closed_drained : int;
+  mutable closed_reset : int;  (** hard IO failures (peer reset, EPIPE) *)
+}
+
+type t
+
+(** [create ?config ?addr ~port serve] — bind and listen ([port = 0]
+    picks an ephemeral port, see {!port}). [addr] defaults to all
+    interfaces. Ignores [SIGPIPE] process-wide. Raises [Unix.Unix_error]
+    when the bind fails. *)
+val create :
+  ?config:config -> ?addr:Unix.inet_addr -> port:int -> Mqdp.Serve.t -> t
+
+(** The bound TCP port (the actual one when created with [port = 0]). *)
+val port : t -> int
+
+val stats : t -> stats
+
+(** Request a graceful drain. Safe from a signal handler or another
+    domain; {!run} notices within [drain_poll] seconds. *)
+val drain : t -> unit
+
+val draining : t -> bool
+
+(** [run ?on_checkpoint t] — the event loop. Returns after a {!drain}
+    completes (every surviving connection served its buffered requests
+    and flushed). [on_checkpoint] runs after each executed
+    [CHECKPOINT ...] request — the daemon hooks its durable snapshot
+    writes here. The listening socket is closed on return. *)
+val run : ?on_checkpoint:(unit -> unit) -> t -> unit

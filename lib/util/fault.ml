@@ -107,6 +107,45 @@ let corrupt t ~time ~retime items =
   release max_int;
   List.rev !out
 
+module Net = struct
+  type config = {
+    max_chunk : int;
+    delay_p : float;
+    reset_p : float;
+  }
+
+  let default = { max_chunk = 16; delay_p = 0.20; reset_p = 0.15 }
+
+  type action = Chunk of string | Delay
+
+  let validate cfg =
+    if cfg.max_chunk < 1 then invalid_arg "Fault.Net.plan: max_chunk < 1";
+    let prob name p =
+      if not (p >= 0. && p <= 1.) then
+        invalid_arg (Printf.sprintf "Fault.Net.plan: %s outside [0, 1]" name)
+    in
+    prob "delay_p" cfg.delay_p;
+    prob "reset_p" cfg.reset_p
+
+  (* Draw the reset boundary first so the chunking draws that follow stay
+     aligned whether or not the stream survives: [cut] is the number of
+     bytes actually delivered. *)
+  let plan t ~config:cfg data =
+    validate cfg;
+    let len = String.length data in
+    let reset = flip t ~p:cfg.reset_p in
+    let cut = if reset then Rng.int t.rng (len + 1) else len in
+    let actions = ref [] in
+    let pos = ref 0 in
+    while !pos < cut do
+      if flip t ~p:cfg.delay_p then actions := Delay :: !actions;
+      let n = min (cut - !pos) (1 + Rng.int t.rng cfg.max_chunk) in
+      actions := Chunk (String.sub data !pos n) :: !actions;
+      pos := !pos + n
+    done;
+    (List.rev !actions, reset)
+end
+
 let crash_points t ~n ~max_points =
   if n < 0 then invalid_arg "Fault.crash_points: n < 0";
   if max_points < 1 then invalid_arg "Fault.crash_points: max_points < 1";

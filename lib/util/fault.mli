@@ -53,3 +53,34 @@ val crash_points : t -> n:int -> max_points:int -> int list
     "should this pool chunk raise?"). Raises [Invalid_argument] when [p]
     is outside [0, 1]. *)
 val flip : t -> p:float -> bool
+
+(** Deterministic chaos network: turns one side of a byte stream into the
+    hostile delivery schedule a flaky network would impose — partial
+    writes (arbitrary re-chunking down to single bytes), scheduling
+    delays between chunks, and connection resets that truncate the stream
+    at an arbitrary byte boundary (torn mid-line, exactly like a real
+    RST). The plan is a pure function of the injector's state, so a fuzz
+    seed replays the identical chunk/delay/reset schedule. *)
+module Net : sig
+  type config = {
+    max_chunk : int;  (** delivered chunks are 1..max_chunk bytes *)
+    delay_p : float;  (** P(a chunk is preceded by a scheduling delay) *)
+    reset_p : float;  (** P(the stream resets before completing) *)
+  }
+
+  (** 16-byte chunks, 20% delays, 15% resets. *)
+  val default : config
+
+  type action =
+    | Chunk of string  (** deliver these bytes *)
+    | Delay  (** yield the scheduling slot (other connections progress) *)
+
+  (** [plan t ~config data] — the delivery schedule for [data]:
+      [(actions, reset)]. The concatenation of the [Chunk] payloads is
+      [data] itself when [reset] is [false], and a strict prefix (possibly
+      empty, possibly cut mid-byte-sequence) when [reset] is [true] — the
+      connection then dies and the client must reconnect and retry.
+      Raises [Invalid_argument] when [max_chunk < 1] or a probability is
+      outside [0, 1]. *)
+  val plan : t -> config:config -> string -> action list * bool
+end

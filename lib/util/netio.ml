@@ -1,0 +1,107 @@
+(* Byte queue + total non-blocking IO wrappers. The queue keeps its
+   content contiguous (front compaction on demand) so the transport can
+   hand the kernel one iovec-like view and the line scanner can run over
+   plain bytes. *)
+
+module Buf = struct
+  type t = {
+    mutable store : Bytes.t;
+    mutable start : int;  (* first live byte *)
+    mutable len : int;  (* live byte count *)
+  }
+
+  let create ?(initial = 256) () =
+    { store = Bytes.create (max 1 initial); start = 0; len = 0 }
+
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  (* Make room for [extra] more bytes at the back: slide live bytes to the
+     front when the dead prefix suffices, double otherwise. *)
+  let reserve t extra =
+    let cap = Bytes.length t.store in
+    if t.start + t.len + extra > cap then begin
+      if t.len + extra <= cap then begin
+        Bytes.blit t.store t.start t.store 0 t.len;
+        t.start <- 0
+      end
+      else begin
+        let cap' = ref (max 1 cap) in
+        while t.len + extra > !cap' do
+          cap' := !cap' * 2
+        done;
+        let store = Bytes.create !cap' in
+        Bytes.blit t.store t.start store 0 t.len;
+        t.store <- store;
+        t.start <- 0
+      end
+    end
+
+  let add_subbytes t src ~pos ~len =
+    if len < 0 || pos < 0 || pos + len > Bytes.length src then
+      invalid_arg "Netio.Buf.add_subbytes";
+    reserve t len;
+    Bytes.blit src pos t.store (t.start + t.len) len;
+    t.len <- t.len + len
+
+  let add_string t s =
+    let len = String.length s in
+    reserve t len;
+    Bytes.blit_string s 0 t.store (t.start + t.len) len;
+    t.len <- t.len + len
+
+  let peek t = if t.len = 0 then None else Some (t.store, t.start, t.len)
+
+  let drop t n =
+    if n < 0 || n > t.len then invalid_arg "Netio.Buf.drop";
+    t.start <- t.start + n;
+    t.len <- t.len - n;
+    if t.len = 0 then t.start <- 0
+
+  let index_from t ~from c =
+    if from < 0 then invalid_arg "Netio.Buf.index_from";
+    if from >= t.len then -1
+    else
+      match Bytes.index_from_opt t.store (t.start + from) c with
+      | Some i when i < t.start + t.len -> i - t.start
+      | Some _ | None -> -1
+
+  let sub_string t ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > t.len then
+      invalid_arg "Netio.Buf.sub_string";
+    Bytes.sub_string t.store (t.start + pos) len
+
+  let clear t =
+    t.start <- 0;
+    t.len <- 0
+end
+
+(* EINTR is retried inline (the call cannot block, so the retry is
+   bounded); EAGAIN surfaces as [`Again]; everything else a peer can
+   inflict — reset, aborted connect, broken pipe — is a dead connection,
+   not an exceptional program state. *)
+let rec read_into fd scratch =
+  match Unix.read fd scratch 0 (Bytes.length scratch) with
+  | 0 -> `Eof
+  | n -> `Data n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Again
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_into fd scratch
+  | exception Unix.Unix_error _ -> `Closed
+
+let rec write_from fd buf ~pos ~len =
+  match Unix.single_write fd buf pos len with
+  | n -> `Wrote n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Again
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_from fd buf ~pos ~len
+  | exception Unix.Unix_error _ -> `Closed
+
+let rec flush_buf fd buf =
+  match Buf.peek buf with
+  | None -> `Done
+  | Some (store, pos, len) -> (
+    match write_from fd store ~pos ~len with
+    | `Wrote n ->
+      Buf.drop buf n;
+      if n = len then flush_buf fd buf else `Again
+    | `Again -> `Again
+    | `Closed -> `Closed)

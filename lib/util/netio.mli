@@ -1,0 +1,67 @@
+(** Byte-level plumbing for the network transport.
+
+    {!Buf} is a contiguous byte queue — append at the back, consume at the
+    front — used for both sides of a connection: accumulated input waiting
+    for a newline, and rendered responses waiting for the socket to accept
+    them. It is deliberately dumb: no framing, no caps. The framing policy
+    (line extraction, the max-line cap, backpressure bounds) lives in
+    {!Mqdp.Transport}, which is sans-IO and therefore testable without a
+    socket in sight.
+
+    [read_into] and [write_from] wrap the non-blocking [Unix] calls into
+    total functions: every outcome a hostile peer can cause — would-block,
+    clean close, reset mid-transfer, interrupted syscall — comes back as a
+    constructor, never an exception, so the event loop's per-connection
+    handling cannot forget a case. *)
+
+module Buf : sig
+  type t
+
+  (** [create ?initial ()] — an empty queue. [initial] is the starting
+      backing-store size (default 256); it grows by doubling. *)
+  val create : ?initial:int -> unit -> t
+
+  (** Bytes currently queued. *)
+  val length : t -> int
+
+  val is_empty : t -> bool
+  val add_string : t -> string -> unit
+  val add_subbytes : t -> Bytes.t -> pos:int -> len:int -> unit
+
+  (** [peek t] — the queued bytes as a contiguous [(bytes, pos, len)]
+      view, or [None] when empty. Valid until the next mutation. *)
+  val peek : t -> (Bytes.t * int * int) option
+
+  (** [drop t n] — consume the first [n] queued bytes. Raises
+      [Invalid_argument] when [n] exceeds {!length}. *)
+  val drop : t -> int -> unit
+
+  (** [index_from t ~from c] — offset of the first occurrence of [c] at
+      queue offset [>= from], or [-1]. [from] past the end is allowed (so
+      an incremental scanner can remember where it stopped). *)
+  val index_from : t -> from:int -> char -> int
+
+  (** [sub_string t ~pos ~len] — copy of a queued range. Raises
+      [Invalid_argument] out of range. *)
+  val sub_string : t -> pos:int -> len:int -> string
+
+  val clear : t -> unit
+end
+
+(** Outcome of one non-blocking read: [`Data n] filled the first [n] bytes
+    of the scratch buffer, [`Eof] is an orderly shutdown, [`Again] means
+    try later ([EAGAIN]/[EWOULDBLOCK]/[EINTR]), [`Closed] is a hard
+    failure (reset, broken pipe, bad descriptor) — drop the connection. *)
+val read_into :
+  Unix.file_descr -> Bytes.t -> [ `Data of int | `Eof | `Again | `Closed ]
+
+(** Outcome of one non-blocking write of [buf.[pos..pos+len)]. *)
+val write_from :
+  Unix.file_descr -> Bytes.t -> pos:int -> len:int ->
+  [ `Wrote of int | `Again | `Closed ]
+
+(** [flush_buf fd buf] — write as much of [buf] as the socket accepts,
+    dropping written bytes from the queue. [`Again] when the socket
+    stopped accepting with bytes still queued; [`Done] when the queue
+    emptied; [`Closed] on a hard failure. *)
+val flush_buf : Unix.file_descr -> Buf.t -> [ `Done | `Again | `Closed ]
