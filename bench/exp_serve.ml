@@ -131,6 +131,60 @@ let run_regime ~profiles ~posts regime =
     Mqdp.Serve.restarts serve,
     backlog )
 
+(* An unbounded stream of fresh HELLO identities must not leak a session
+   per id: the table stays at the cap, evicting least-recently-touched. *)
+let session_bound_gate () =
+  let cap = 256 in
+  let config =
+    { Mqdp.Serve.default_config with Mqdp.Serve.shards = 2; max_sessions = cap }
+  in
+  let serve = Mqdp.Serve.create config in
+  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown serve) @@ fun () ->
+  let ids = 20_000 in
+  let peak = ref 0 in
+  for i = 1 to ids do
+    let s = Mqdp.Serve.session serve ~id:(Printf.sprintf "tenant-%d" i) in
+    ignore (Mqdp.Serve.exec_on serve s "1 PING");
+    peak := max !peak (Mqdp.Serve.session_count serve)
+  done;
+  Printf.printf "GATE serve.sessions-bounded: %s (peak %d sessions over %d ids, cap %d)\n"
+    (if !peak <= cap then "ok" else "FAIL")
+    !peak ids cap
+
+(* Exactly-once across a hard death: journal a stream of commands, kill
+   the engine with no drain or compaction, boot a fresh one from the
+   journal, and retry the last (unacked) command — it must answer from
+   the recovered cache, with the watermark intact. *)
+let journal_recovery_gate () =
+  let dir = Filename.temp_dir "mqdp_bench" ".state" in
+  Fun.protect ~finally:(fun () -> Util.Fs.remove_tree dir) @@ fun () ->
+  let config = { Mqdp.Serve.default_config with Mqdp.Serve.shards = 2 } in
+  let serve = Mqdp.Serve.create config in
+  Mqdp.Serve.attach_journal ~fsync:false serve ~dir ~covered:0;
+  let s = Mqdp.Serve.session serve ~id:"tenant" in
+  ignore (Mqdp.Serve.exec_on serve s "1 ADD a 60 delayed:30 1");
+  let n = 512 in
+  let last = ref [] in
+  for i = 2 to n do
+    last := Mqdp.Serve.exec_on serve s (Printf.sprintf "%d FEED %d %d.0 1" i i i)
+  done;
+  Mqdp.Serve.shutdown serve;
+  let start = Util.Timer.now_ns () in
+  let serve2 = Mqdp.Serve.create config in
+  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown serve2) @@ fun () ->
+  Mqdp.Serve.attach_journal ~fsync:false serve2 ~dir ~covered:0;
+  let replay_s = Util.Timer.elapsed_since start in
+  let s2 = Mqdp.Serve.session serve2 ~id:"tenant" in
+  let ok =
+    Mqdp.Serve.session_seq s2 = n
+    && List.equal String.equal !last
+         (Mqdp.Serve.exec_on serve2 s2 (Printf.sprintf "%d FEED %d %d.0 1" n n n))
+  in
+  Printf.printf "GATE serve.journal-recovery: %s (%d commands replayed in %.1f ms)\n"
+    (if ok then "ok" else "FAIL")
+    (n - 1)
+    (replay_s *. 1e3)
+
 let run () =
   Harness.section ~id:"serve"
     ~paper:"serving layer (no paper counterpart): mqdp_serve under load"
@@ -167,4 +221,6 @@ let run () =
     Printf.printf "GATE serve.throughput: %s (%.0f deliveries/s, floor 20000)\n"
       (if dps >= 20_000. then "ok" else "FAIL")
       dps
-  | _ -> ())
+  | _ -> ());
+  session_bound_gate ();
+  journal_recovery_gate ()

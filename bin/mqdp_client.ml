@@ -38,17 +38,29 @@ let () =
       ~config:{ Mqdp.Client.default_config with Mqdp.Client.max_attempts = !attempts }
       (Net.Line_client.io lc)
   in
+  (* Greet eagerly so a journal-recovered session's watermark is known
+     before the first request is numbered. *)
+  if !hello <> None then ignore (Net.Line_client.ensure_connected lc);
   let failed = ref false in
   (try
      while true do
        let line = String.trim (input_line stdin) in
-       if line <> "" then
+       if line <> "" then begin
+         (* A daemon restart may have recovered our --hello session from
+            its journal: the greeting's seq=N watermark tells us where its
+            sequence space already reaches, and numbering above it keeps
+            a restarted mqdp_client from colliding with (and being
+            answered stale cached responses for) executed sequences. *)
+         Option.iter
+           (Mqdp.Client.sync_seq client)
+           (Net.Line_client.hello_watermark lc);
          match Mqdp.Client.request client line with
          | Ok response -> List.iter print_endline response
          | Error (Mqdp.Client.Gave_up { attempts; line }) ->
            Printf.eprintf "mqdp_client: gave up on %S after %d attempts\n%!" line
              attempts;
            failed := true
+       end
      done
    with End_of_file -> ());
   Net.Line_client.close lc;

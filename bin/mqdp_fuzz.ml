@@ -509,9 +509,74 @@ let one_window_round seed =
    REPORTs must match the oracle's emissions bit-for-bit (sequence
    numbers, ids, IEEE-754 emit times), FEED acknowledgments must match
    the oracle's shed model, and the final drain must leave zero
-   acknowledged posts unapplied. *)
+   acknowledged posts unapplied.
+
+   Half the rounds additionally run durable: the engine journals every
+   named-session command to a state dir and whole-daemon deaths are
+   injected — after execution but before the response is delivered
+   (retry must replay the recorded response from the recovered cache),
+   mid-journal-append via Util.Fs crash points (torn record truncated,
+   retry re-executes exactly once), between the epoch snapshots and the
+   manifest commit, and mid-compaction. Every death is followed by the
+   daemon's own boot path (sweep temps, manifest epoch + watermark,
+   snapshot load, journal replay); the unchanged oracle comparison then
+   doubles as the audit that no command ever executed twice. *)
 
 exception Injected_crash
+
+(* The daemon's durable-state discipline, replicated for the simulated
+   process deaths: epoch-named shard snapshots committed by one atomic
+   manifest write carrying the journal watermark they cover, then journal
+   compaction (bin/mqdp_serve.ml has the crash-window analysis). The
+   fuzzer drives the exact same file layout so recovery code paths are
+   the ones the real daemon runs. *)
+let sim_manifest_path dir = Filename.concat dir "manifest"
+
+let sim_snap_path dir i epoch =
+  Filename.concat dir (Printf.sprintf "shard-%d.ep%d.snap" i epoch)
+
+let sim_persist ?compact_crash ~dir ~epoch engine =
+  let next = !epoch + 1 in
+  for i = 0 to Mqdp.Serve.shard_count engine - 1 do
+    Util.Fs.atomic_write ~fsync:false ~path:(sim_snap_path dir i next)
+      (Mqdp.Serve.shard_snapshot engine i)
+  done;
+  let covered = Mqdp.Serve.journal_gsn engine in
+  Util.Fs.atomic_write ~fsync:false ~path:(sim_manifest_path dir)
+    (Mqdp.Serve.manifest ~extra:[ ("epoch", next); ("journal", covered) ] engine);
+  (* Raises Util.Fs.Crashed under [compact_crash] — the manifest already
+     committed, so recovery must replay the old journal cache-only. *)
+  Mqdp.Serve.compact_journal ?crash_after:compact_crash engine;
+  let old = !epoch in
+  epoch := next;
+  for i = 0 to Mqdp.Serve.shard_count engine - 1 do
+    Util.Fs.remove_if_exists (sim_snap_path dir i old)
+  done
+
+(* Write the next epoch's snapshots but die before the manifest commits:
+   recovery must ignore the orphans and redo from the old watermark. *)
+let sim_persist_torn ~dir ~epoch engine =
+  for i = 0 to Mqdp.Serve.shard_count engine - 1 do
+    Util.Fs.atomic_write ~fsync:false ~path:(sim_snap_path dir i (!epoch + 1))
+      (Mqdp.Serve.shard_snapshot engine i)
+  done
+
+(* Boot a fresh engine from the durable state, exactly like the daemon:
+   sweep temps, read the manifest's committed epoch + covered watermark,
+   load that epoch's snapshots, attach + replay the journal. *)
+let sim_reboot ~config ~dir ~epoch engine =
+  Mqdp.Serve.shutdown !engine;
+  engine := Mqdp.Serve.create config;
+  ignore (Util.Fs.sweep_temps dir);
+  let m = Util.Fs.read (sim_manifest_path dir) in
+  let on_disk = Option.value ~default:0 (Mqdp.Serve.manifest_field m "epoch") in
+  let covered = Option.value ~default:0 (Mqdp.Serve.manifest_field m "journal") in
+  epoch := on_disk;
+  for i = 0 to Mqdp.Serve.shard_count !engine - 1 do
+    let p = sim_snap_path dir i on_disk in
+    if Sys.file_exists p then Mqdp.Serve.load_shard !engine i (Util.Fs.read p)
+  done;
+  Mqdp.Serve.attach_journal ~fsync:false !engine ~dir ~covered
 
 type oracle_profile = {
   o_name : string;
@@ -545,10 +610,79 @@ let one_serve_round seed =
       overload_budget;
     }
   in
-  let serve = Mqdp.Serve.create config in
-  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown serve) @@ fun () ->
+  (* Half the rounds run durable: journal attached, daemon deaths injected
+     at journal-append and compaction boundaries, recovery via the same
+     snapshot-manifest-journal discipline the real daemon uses. The other
+     half keep the original memory-only engine as a control. *)
+  let durable = Util.Rng.bool rng in
+  let state_dir =
+    if durable then Some (Filename.temp_dir "mqdp_fuzz_serve" ".state") else None
+  in
+  let epoch = ref 0 in
+  let engine = ref (Mqdp.Serve.create config) in
+  (match state_dir with
+  | None -> ()
+  | Some dir ->
+    Util.Fs.atomic_write ~fsync:false ~path:(sim_manifest_path dir)
+      (Mqdp.Serve.manifest ~extra:[ ("epoch", 0); ("journal", 0) ] !engine);
+    Mqdp.Serve.attach_journal ~fsync:false !engine ~dir ~covered:0);
+  Fun.protect
+    ~finally:(fun () ->
+      Mqdp.Serve.shutdown !engine;
+      if Sys.getenv_opt "MQDP_FUZZ_KEEP" = None then Option.iter Util.Fs.remove_tree state_dir)
+  @@ fun () ->
+  (* Crash schedule: a small set of application indices at which the chaos
+     hook (called from pool workers, hence the atomic) kills the profile
+     mid-tick. Recovery is checkpoint restore + journal replay, so any
+     schedule must leave the observable stream untouched. Armed only after
+     the oracle profiles are admitted (as before the journal existed). *)
+  let crash_counter = Atomic.make 0 in
+  let crash_points =
+    List.init (Util.Rng.int rng 5) (fun _ -> 1 + Util.Rng.int rng 100)
+  in
+  let chaos () =
+    let c = Atomic.fetch_and_add crash_counter 1 in
+    if List.mem c crash_points then raise Injected_crash
+  in
+  let chaos_armed = ref false in
+  let reboot () =
+    match state_dir with
+    | None -> ()
+    | Some dir ->
+      sim_reboot ~config ~dir ~epoch engine;
+      (* attach_journal replayed the redo chaos-free on the fresh engine
+         (its hook starts empty); re-arm only for live traffic. *)
+      if !chaos_armed then Mqdp.Serve.set_chaos !engine (Some chaos)
+  in
   let seq = ref 0 in
-  let raw line = Mqdp.Serve.exec serve line in
+  let raw line =
+    if durable && Util.Rng.int rng 24 = 0 then
+      Mqdp.Serve.set_journal_crash_after !engine (Some (Util.Rng.int rng 12));
+    match Mqdp.Serve.exec !engine line with
+    | response ->
+      if durable && Util.Rng.int rng 16 = 0 then begin
+        (* The daemon dies after executing (and journaling) the command but
+           before the response reaches the wire. The client retries the
+           same line against the rebooted daemon and must be answered from
+           the journal-recovered response cache, bit-identically. *)
+        reboot ();
+        let replayed = Mqdp.Serve.exec !engine line in
+        check ~seed
+          (List.equal String.equal replayed response)
+          (Printf.sprintf
+             "retry of %S across a daemon death was not replayed from the \
+              recovered cache" line);
+        replayed
+      end
+      else response
+    | exception Util.Fs.Crashed _ ->
+      (* Death mid-journal-append: the command executed but its record is
+         torn, so it was never acknowledged. Reboot truncates the torn
+         tail and the retry re-executes exactly once — the oracle
+         comparison downstream is the no-double-execution audit. *)
+      reboot ();
+      Mqdp.Serve.exec !engine line
+  in
   let exec fmt =
     Printf.ksprintf
       (fun cmd ->
@@ -609,19 +743,8 @@ let one_serve_round seed =
           o_unreported = [];
         })
   in
-  (* Crash schedule: a small set of application indices at which the chaos
-     hook (called from pool workers, hence the atomic) kills the profile
-     mid-tick. Recovery is checkpoint restore + journal replay, so any
-     schedule must leave the observable stream untouched. *)
-  let crash_counter = Atomic.make 0 in
-  let crash_points =
-    List.init (Util.Rng.int rng 5) (fun _ -> 1 + Util.Rng.int rng 100)
-  in
-  Mqdp.Serve.set_chaos serve
-    (Some
-       (fun () ->
-         let c = Atomic.fetch_and_add crash_counter 1 in
-         if List.mem c crash_points then raise Injected_crash));
+  chaos_armed := true;
+  Mqdp.Serve.set_chaos !engine (Some chaos);
   let backlog = Array.make shards 0 in
   let oracle_matches post =
     List.filter
@@ -741,7 +864,29 @@ let one_serve_round seed =
       | _ -> ());
       if Util.Rng.int rng 6 = 0 then tick_and_compare ();
       if Util.Rng.int rng 10 = 0 then
-        Mqdp.Serve.restart_shard serve (Util.Rng.int rng shards);
+        Mqdp.Serve.restart_shard !engine (Util.Rng.int rng shards);
+      (match (state_dir, Util.Rng.int rng 8) with
+      | Some dir, 0 -> (
+        (* A durability point, with the persist discipline itself under
+           attack: die between the snapshot writes and the manifest commit
+           (recovery ignores the orphan epoch and redoes from the old
+           watermark), die mid-compaction (manifest committed, journal
+           rewrite torn — recovery replays cache-only), or complete
+           cleanly. An armed one-shot journal crash can also fire inside
+           the clean path's compaction, so it reboots too. *)
+        match Util.Rng.int rng 6 with
+        | 0 ->
+          sim_persist_torn ~dir ~epoch !engine;
+          reboot ()
+        | 1 -> (
+          try
+            sim_persist ~compact_crash:(Util.Rng.int rng 20) ~dir ~epoch
+              !engine
+          with Util.Fs.Crashed _ -> reboot ())
+        | _ -> (
+          try sim_persist ~dir ~epoch !engine
+          with Util.Fs.Crashed _ -> reboot ()))
+      | _ -> ());
       if Util.Rng.int rng 12 = 0 then begin
         let op = List.nth oracle (Util.Rng.int rng nprof) in
         let _, response = exec "QUERY %s" op.o_name in
@@ -771,7 +916,7 @@ let one_serve_round seed =
     (expect_ok "DRAIN" (exec "DRAIN")
        (String.equal (Printf.sprintf "drained=%d" expected_drained)));
   List.iter compare_report oracle;
-  check ~seed (Mqdp.Serve.backlog serve = 0) "acknowledged posts left unapplied";
+  check ~seed (Mqdp.Serve.backlog !engine = 0) "acknowledged posts left unapplied";
   let stats = expect_ok "STATS" (exec "STATS") (String.starts_with ~prefix:"{") in
   check ~seed
     (let needle = "\"backlog\":0" in
@@ -809,7 +954,16 @@ let one_serve_round seed =
    only interleaving-dependent responses) and each profile's concatenated
    EMIT stream — sequence numbers, post ids, IEEE-754 emit times — must be
    identical, which also proves zero acknowledged-post loss across the
-   resets and the restart. *)
+   resets and the restart.
+
+   Half the rounds run durable: every named session journals to a state
+   dir, the engine persists at each CHECKPOINT/DRAIN it executes, the
+   graceful restart goes through the daemon's real persist + boot path
+   (sessions survive, HELLO greetings must report the recovered seq=
+   watermark), and one hard kill -9 lands between a command's execution
+   and its response delivery — every client retries its in-flight line
+   verbatim against the rebooted engine, and the bit-identical-transcript
+   oracle proves recovered caches replayed instead of re-executing. *)
 
 let transport_tokens line =
   String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
@@ -945,7 +1099,27 @@ let one_transport_round seed =
   in
   let engine = ref (Mqdp.Serve.create config) in
   let shutdown_engine () = Mqdp.Serve.shutdown !engine in
-  Fun.protect ~finally:(fun () -> shutdown_engine ()) @@ fun () ->
+  (* Half the rounds run durable: sessions journal to a state dir, the
+     graceful mid-round restart goes through the daemon's real persist +
+     boot path, and one extra hard kill -9 lands between a command's
+     execution and its response delivery. *)
+  let durable = Util.Rng.bool rng in
+  let state_dir =
+    if durable then Some (Filename.temp_dir "mqdp_fuzz_transport" ".state")
+    else None
+  in
+  let epoch = ref 0 in
+  (match state_dir with
+  | None -> ()
+  | Some dir ->
+    Util.Fs.atomic_write ~fsync:false ~path:(sim_manifest_path dir)
+      (Mqdp.Serve.manifest ~extra:[ ("epoch", 0); ("journal", 0) ] !engine);
+    Mqdp.Serve.attach_journal ~fsync:false !engine ~dir ~covered:0);
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown_engine ();
+      if Sys.getenv_opt "MQDP_FUZZ_KEEP" = None then Option.iter Util.Fs.remove_tree state_dir)
+  @@ fun () ->
   let clients =
     Array.init nclients (fun i ->
         {
@@ -970,14 +1144,27 @@ let one_transport_round seed =
     let rec go () =
       match Mqdp.Transport.next tr ~now:(now ()) with
       | Mqdp.Transport.Request line ->
-        (if String.starts_with ~prefix:"HELLO " line then begin
-           let id = String.trim (String.sub line 6 (String.length line - 6)) in
-           Mqdp.Transport.respond tr [ "0 OK hello " ^ id ]
-         end
-         else
-           match session with
-           | Some s -> Mqdp.Transport.respond tr (Mqdp.Serve.exec_on !engine s line)
-           | None -> check ~seed false "request before HELLO in the simulator");
+        (match Mqdp.Transport.parse_hello line with
+        | Mqdp.Transport.Hello_empty ->
+          Mqdp.Transport.respond tr [ "0 ERR parse empty client id" ]
+        | Mqdp.Transport.Hello id ->
+          (* Same greeting the real server sends: the session's recovered
+             watermark rides along so reconnecting clients resume their
+             sequence space above everything already executed. *)
+          let s = Mqdp.Serve.session !engine ~id in
+          Mqdp.Transport.respond tr
+            [ Mqdp.Transport.hello_greeting ~id ~seq:(Mqdp.Serve.session_seq s) ]
+        | Mqdp.Transport.Not_hello -> (
+          match session with
+          | Some s ->
+            Mqdp.Transport.respond tr (Mqdp.Serve.exec_on !engine s line);
+            (* The daemon persists at every durability point; the durable
+               rounds replicate that discipline (and its compaction). *)
+            if Mqdp.Serve.is_durability_point_line line then
+              Option.iter
+                (fun dir -> sim_persist ~dir ~epoch !engine)
+                state_dir
+          | None -> check ~seed false "request before HELLO in the simulator"));
         go ()
       | Mqdp.Transport.Wait | Mqdp.Transport.Close _ -> ()
     in
@@ -1050,6 +1237,28 @@ let one_transport_round seed =
       end
   in
   let client_done c = c.tc_k >= Array.length c.tc_script in
+  (* kill -9, durable rounds only: no quiesce, no drain. Every connection
+     dies on the spot — clients mid-script retry their current command
+     verbatim — and the engine reboots through the daemon's boot path, so
+     recovered sessions must answer already-executed retries from the
+     journal cache instead of re-executing them. *)
+  let kill_pending = ref false in
+  let hard_kill () =
+    Array.iter
+      (fun c ->
+        match c.tc_conn with
+        | None -> ()
+        | Some _ ->
+          if client_done c then begin
+            c.tc_conn <- None;
+            c.tc_session <- None
+          end
+          else kill_and_retry c)
+      clients;
+    match state_dir with
+    | Some dir -> sim_reboot ~config ~dir ~epoch engine
+    | None -> assert false
+  in
   (* One scheduler turn for one client. [quiesce] suppresses new commands
      (the pre-drain barrier); in-flight ones still run to completion. *)
   let step_client ~quiesce c =
@@ -1060,14 +1269,23 @@ let one_transport_round seed =
         | None ->
           if not quiesce || c.tc_attempts > 0 then begin
             let tr = Mqdp.Transport.create ~config:tconfig ~now:(now ()) () in
+            (* Bind the session first to know the watermark the greeting
+               must carry — 0 on a fresh engine, the journal-recovered
+               last_seq after a durable reboot. *)
+            let session = Mqdp.Serve.session !engine ~id:c.tc_id in
+            let expected =
+              Mqdp.Transport.hello_greeting ~id:c.tc_id
+                ~seq:(Mqdp.Serve.session_seq session)
+              ^ "\n"
+            in
             Mqdp.Transport.feed_string tr ("HELLO " ^ c.tc_id ^ "\n");
             pump tr None;
             let greeting = take_output tr in
-            check ~seed
-              (greeting = "0 OK hello " ^ c.tc_id ^ "\n")
-              (Printf.sprintf "unexpected greeting %S" greeting);
+            check ~seed (greeting = expected)
+              (Printf.sprintf "unexpected greeting %S (want %S)" greeting
+                 expected);
             c.tc_conn <- Some tr;
-            c.tc_session <- Some (Mqdp.Serve.session !engine ~id:c.tc_id);
+            c.tc_session <- Some session;
             start_send c
           end
         | Some tr -> (
@@ -1078,7 +1296,15 @@ let one_transport_round seed =
             pump tr c.tc_session;
             c.tc_sending <- rest;
             if rest = [] then
-              if c.tc_reset_after then kill_and_retry c
+              if !kill_pending then begin
+                (* The daemon dies right here: the command just executed
+                   (and journaled) but its response never leaves the
+                   transport buffer. *)
+                kill_pending := false;
+                ignore (take_output tr);
+                hard_kill ()
+              end
+              else if c.tc_reset_after then kill_and_retry c
               else deliver_response c tr ~chaos:true
           | [] ->
             (* Between commands on a live connection. *)
@@ -1114,10 +1340,15 @@ let one_transport_round seed =
   in
   (* Mid-round SIGTERM: quiesce in-flight commands, drain surviving
      connections, snapshot every shard, boot a fresh engine from the
-     snapshots (sessions are memory-only and die), reconnect everyone. *)
+     snapshots, reconnect everyone. Memory-only rounds lose every session
+     (clients restart their sequence space against fresh watermarks);
+     durable rounds persist + reboot through the daemon's real paths and
+     sessions survive. *)
   let drain_at =
     if Util.Rng.int rng 2 = 0 then Some (20 + Util.Rng.int rng 200) else None
   in
+  let kill_at = if durable then Some (20 + Util.Rng.int rng 200) else None in
+  let killed = ref false in
   let restart_engine () =
     Array.iter
       (fun c ->
@@ -1139,12 +1370,18 @@ let one_transport_round seed =
           c.tc_session <- None
         | None -> ())
       clients;
-    let snaps =
-      List.init (Mqdp.Serve.shard_count !engine) (Mqdp.Serve.shard_snapshot !engine)
-    in
-    shutdown_engine ();
-    engine := Mqdp.Serve.create config;
-    List.iteri (fun i s -> Mqdp.Serve.load_shard !engine i s) snaps
+    match state_dir with
+    | Some dir ->
+      sim_persist ~dir ~epoch !engine;
+      sim_reboot ~config ~dir ~epoch engine
+    | None ->
+      let snaps =
+        List.init (Mqdp.Serve.shard_count !engine)
+          (Mqdp.Serve.shard_snapshot !engine)
+      in
+      shutdown_engine ();
+      engine := Mqdp.Serve.create config;
+      List.iteri (fun i s -> Mqdp.Serve.load_shard !engine i s) snaps
   in
   let draining = ref false in
   let drained = ref false in
@@ -1161,6 +1398,13 @@ let one_transport_round seed =
     check ~seed (!turn < 500_000) "the simulated round did not terminate";
     (match drain_at with
     | Some at when (not !drained) && !turn >= at -> draining := true
+    | _ -> ());
+    (match kill_at with
+    | Some at when (not !killed) && (not !draining) && !turn >= at ->
+      (* Arm the kill: it fires at the next completed request, between
+         execution and response delivery. *)
+      killed := true;
+      kill_pending := true
     | _ -> ());
     if !draining && Array.for_all idle_or_done clients then begin
       restart_engine ();

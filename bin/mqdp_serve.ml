@@ -10,6 +10,7 @@
                      [--queue-capacity N] [--tick-steps N] [--deadline S]
                      [--checkpoint-every N] [--max-restarts N]
                      [--overload-budget N] [--seq-cache N]
+                     [--max-sessions N] [--session-ttl S]
                      [--max-conns N] [--idle-timeout S] [--max-line N]
                      [--state-dir DIR] [--replay FILE]
                      [--telemetry] [--trace FILE]
@@ -18,17 +19,35 @@
    sequence number and end with `<seq> OK ...` or `<seq> ERR <code> ...`
    (see Serve's interface, and the ops runbook in README.md). Over TCP
    each connection has its own session (sequence space); opening with
-   `HELLO <id>` binds a named session that survives reconnects. With
-   --state-dir, shard snapshots are written crash-safely (temp + fsync +
-   rename) after every CHECKPOINT command and at shutdown, and reloaded
-   on startup; a manifest records the shard count and the daemon refuses
-   to load state written under a different --shards.
+   `HELLO <id>` binds a named session that survives reconnects — and,
+   with --state-dir, daemon restarts: every executed command is appended
+   to a durable session journal before its response leaves the process,
+   so a kill -9 between execution and acknowledgment cannot make a
+   retried command run twice (DESIGN.md §21).
+
+   With --state-dir, durability works in epochs: CHECKPOINT/DRAIN (and
+   clean shutdown) write a fresh epoch of shard snapshot files, then one
+   atomic manifest write (shard count, epoch, journal watermark) commits
+   the whole set, then the journal compacts down to per-session
+   watermark + response-cache records. On boot the manifest picks the
+   snapshot epoch to load and the journal replays on top — re-executing
+   only the commands newer than the snapshots. The daemon refuses to
+   load state written under a different --shards.
 
    SIGTERM/SIGINT trigger a graceful drain: stop accepting, serve every
    fully-received request, flush, close, write final snapshots, exit 0. *)
 
-let state_file dir i = Filename.concat dir (Printf.sprintf "shard-%d.snap" i)
+let state_file dir i epoch =
+  Filename.concat dir
+    (if epoch = 0 then Printf.sprintf "shard-%d.snap" i
+     else Printf.sprintf "shard-%d.ep%d.snap" i epoch)
+
 let manifest_file dir = Filename.concat dir "manifest"
+
+(* The snapshot epoch the manifest last committed. Epoch 0 means "no
+   epoch snapshots yet" (a fresh dir, or one written before epochs
+   existed — its legacy shard-N.snap files still load). *)
+let current_epoch = ref 0
 
 let ensure_dir dir =
   try Unix.mkdir dir 0o755 with
@@ -38,22 +57,47 @@ let ensure_dir dir =
       (Unix.error_message e);
     exit 1
 
-let save_state serve = function
+(* One durability point, crash-safe at every step boundary:
+   1. write the next epoch's shard snapshot files (a crash here leaves
+      orphan files the old manifest never references);
+   2. one atomic manifest write commits the new epoch AND the journal
+      watermark it covers — multiple snapshot files cannot be collectively
+      atomic, so this single rename is the commit point;
+   3. compact the journal (safe now: every journaled command is inside
+      the committed snapshots; a crash mid-compaction leaves the old,
+      larger journal, which replays to the same state);
+   4. remove the previous epoch's files (pure space reclamation). *)
+let persist serve = function
   | None -> ()
   | Some dir ->
-    Util.Fs.atomic_write ~path:(manifest_file dir) (Mqdp.Serve.manifest serve);
+    let next = !current_epoch + 1 in
     for i = 0 to Mqdp.Serve.shard_count serve - 1 do
-      Util.Fs.atomic_write ~path:(state_file dir i) (Mqdp.Serve.shard_snapshot serve i)
+      Util.Fs.atomic_write ~path:(state_file dir i next)
+        (Mqdp.Serve.shard_snapshot serve i)
+    done;
+    let covered = Mqdp.Serve.journal_gsn serve in
+    Util.Fs.atomic_write ~path:(manifest_file dir)
+      (Mqdp.Serve.manifest ~extra:[ ("epoch", next); ("journal", covered) ] serve);
+    Mqdp.Serve.compact_journal serve;
+    let old = !current_epoch in
+    current_epoch := next;
+    for i = 0 to Mqdp.Serve.shard_count serve - 1 do
+      Util.Fs.remove_if_exists (state_file dir i old)
     done
 
 (* Loading a state dir under the wrong --shards would silently re-hash
    profile names onto different shards: snapshots would load but every
    misplaced profile's durable state would be orphaned. Refuse loudly. *)
+(* Returns the (epoch, covered-journal-watermark) pair the manifest
+   committed; writes a fresh epoch-0 manifest into an empty dir. *)
 let check_manifest serve dir =
   let path = manifest_file dir in
-  if Sys.file_exists path then
-    match Mqdp.Serve.parse_manifest (Util.Fs.read path) with
-    | Ok n when n = Mqdp.Serve.shard_count serve -> ()
+  if Sys.file_exists path then begin
+    let content = Util.Fs.read path in
+    match Mqdp.Serve.parse_manifest content with
+    | Ok n when n = Mqdp.Serve.shard_count serve ->
+      ( Option.value ~default:0 (Mqdp.Serve.manifest_field content "epoch"),
+        Option.value ~default:0 (Mqdp.Serve.manifest_field content "journal") )
     | Ok n ->
       Printf.eprintf
         "mqdp_serve: state dir %s was written with --shards %d, but this \
@@ -70,21 +114,49 @@ let check_manifest serve dir =
          snapshots match --shards %d.\n%!"
         dir why path (Mqdp.Serve.shard_count serve);
       exit 2
-  else Util.Fs.atomic_write ~path (Mqdp.Serve.manifest serve)
+  end
+  else begin
+    Util.Fs.atomic_write ~path
+      (Mqdp.Serve.manifest ~extra:[ ("epoch", 0); ("journal", 0) ] serve);
+    (0, 0)
+  end
 
 let load_state serve = function
   | None -> ()
   | Some dir ->
-    check_manifest serve dir;
+    (* Stale temp siblings are debris of a writer killed mid-write; no
+       writer is live yet, so sweeping them is safe exactly here. *)
+    let swept = Util.Fs.sweep_temps dir in
+    if swept > 0 then
+      Printf.eprintf "mqdp_serve: swept %d stale temp file(s) from %s\n%!" swept
+        dir;
+    let epoch, covered = check_manifest serve dir in
+    current_epoch := epoch;
     for i = 0 to Mqdp.Serve.shard_count serve - 1 do
-      let path = state_file dir i in
+      let path = state_file dir i epoch in
       if Sys.file_exists path then
         match Mqdp.Serve.load_shard serve i (Util.Fs.read path) with
         | () -> Printf.eprintf "mqdp_serve: restored shard %d from %s\n%!" i path
         | exception Mqdp.Shard.Corrupt what ->
           Printf.eprintf "mqdp_serve: shard %d snapshot corrupt (%s), starting empty\n%!"
             i what
-    done
+    done;
+    (* Journal replay: rebuild session watermarks + response caches, and
+       redo the commands newer than the snapshots just loaded. *)
+    match Mqdp.Serve.attach_journal serve ~dir ~covered with
+    | () ->
+      if Mqdp.Serve.journal_gsn serve > covered then
+        Printf.eprintf
+          "mqdp_serve: replayed session journal (%d command(s) redone)\n%!"
+          (Mqdp.Serve.journal_gsn serve - covered)
+    | exception Util.Fs.Journal.Corrupt what ->
+      Printf.eprintf
+        "mqdp_serve: session journal corrupt (%s); refusing to guess which \
+         acknowledged commands it held. Remove %s only if duplicate \
+         re-execution of retried commands is acceptable.\n%!"
+        what
+        (Filename.concat dir "sessions.journal");
+      exit 2
 
 let serve_channel serve state_dir ic oc =
   try
@@ -92,10 +164,10 @@ let serve_channel serve state_dir ic oc =
       let line = input_line ic in
       List.iter (fun r -> output_string oc (r ^ "\n")) (Mqdp.Serve.exec serve line);
       flush oc;
-      (* Checkpoints become durable the moment the client asked for them,
-         not at shutdown: a kill between CHECKPOINT and exit must not lose
-         them. *)
-      if Mqdp.Serve.is_checkpoint_line line then save_state serve state_dir
+      (* Durability points become durable the moment the client asked for
+         them, not at shutdown: a kill between CHECKPOINT/DRAIN and exit
+         must not lose them. *)
+      if Mqdp.Serve.is_durability_point_line line then persist serve state_dir
     done
   with End_of_file -> ()
 
@@ -104,7 +176,12 @@ let replay serve path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let seq = ref 0 in
+      (* Number above the default session's recovered watermark: a journal
+         replay may already have executed sequences a previous run's
+         replay or stdin client issued. *)
+      let seq =
+        ref (Mqdp.Serve.session_seq (Mqdp.Serve.default_session serve))
+      in
       let exec fmt =
         Printf.ksprintf
           (fun cmd ->
@@ -139,7 +216,7 @@ let tcp_loop serve state_dir ~port ~server_config =
     (match server_config.Net.Server.transport.Mqdp.Transport.idle_timeout with
     | None -> "off"
     | Some s -> Printf.sprintf "%gs" s);
-  Net.Server.run ~on_checkpoint:(fun () -> save_state serve state_dir) server;
+  Net.Server.run ~on_checkpoint:(fun () -> persist serve state_dir) server;
   let s = Net.Server.stats server in
   Printf.eprintf
     "mqdp_serve: drained (%d requests over %d connections; shed %d, idle %d, \
@@ -199,6 +276,13 @@ let () =
       ( "--seq-cache",
         set (fun c v -> { c with Mqdp.Serve.seq_cache = v }),
         "N  retried-response window" );
+      ( "--max-sessions",
+        set (fun c v -> { c with Mqdp.Serve.max_sessions = v }),
+        "N  named-session ceiling (LRU eviction beyond it)" );
+      ( "--session-ttl",
+        Arg.Float
+          (fun v -> config := { !config with Mqdp.Serve.session_ttl = Some v }),
+        "S  evict named sessions idle this long" );
       ( "--max-conns",
         Arg.Set_int max_conns,
         "N  concurrent-connection ceiling (beyond it: 0 ERR capacity)" );
@@ -248,5 +332,8 @@ let () =
      tcp_loop serve !state_dir ~port:!port ~server_config
    end
    else serve_channel serve !state_dir stdin stdout);
-  save_state serve !state_dir;
+  (* Final durability point: exit snapshots hold everything, and the
+     compaction inside [persist] drops the redo records so the next boot
+     does not re-execute commands the snapshots already contain. *)
+  persist serve !state_dir;
   Mqdp.Serve.shutdown serve

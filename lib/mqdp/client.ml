@@ -42,6 +42,11 @@ let create ?(config = default_config) ?(seed = 0) io =
 let next_seq t = t.seq + 1
 let retries t = t.retries
 
+(* Adopt a server-reported session watermark (the HELLO greeting's
+   [seq=N]). Only ever moves the counter forward: a stale or replayed
+   greeting can never make the client reuse a sequence number. *)
+let sync_seq t watermark = if watermark > t.seq then t.seq <- watermark
+
 (* Attempt k (0-based) sleeps base * 2^k, capped, then jittered by a
    uniform factor in [1 - j/2, 1 + j/2]. *)
 let delay_for config rng attempt =

@@ -49,6 +49,13 @@ val next_seq : t -> int
 (** Transport-failure retries performed so far. *)
 val retries : t -> int
 
+(** [sync_seq t watermark] — adopt a server-reported session watermark
+    (from the [HELLO] greeting's [seq=N]): subsequent requests number
+    above it. Monotone — never lowers the counter — so a fresh client
+    process resuming a journal-recovered session cannot collide with
+    sequence numbers the session already executed. *)
+val sync_seq : t -> int -> unit
+
 (** [request t cmd] — allocate a sequence number, send [<seq> cmd], and
     return the response lines. Server-level errors ([<seq> ERR ...]) are
     {e responses}, returned as [Ok]; only transport failures retry. A

@@ -10,6 +10,8 @@ type config = {
   max_restarts : int;
   overload_budget : int option;
   seq_cache : int;
+  max_sessions : int;
+  session_ttl : float option;
 }
 
 let default_config =
@@ -25,6 +27,8 @@ let default_config =
     max_restarts = 3;
     overload_budget = None;
     seq_cache = 64;
+    max_sessions = 4096;
+    session_ttl = None;
   }
 
 (* One record per live profile, shared between the name table and the
@@ -40,10 +44,17 @@ type entry = {
 
 (* One sequence space: the watermark and the retried-response cache. The
    engine owns a default session (stdin, replay, legacy callers); the
-   concurrent transport creates one per connection or per HELLO id. *)
+   concurrent transport creates one per connection or per HELLO id.
+   [s_id] is the durable identity: [Some ""] is the default session,
+   [Some id] a named (HELLO) session — both are journaled when a journal
+   is attached — and [None] an anonymous per-connection session that dies
+   with the process by design. [s_touched] drives idle-TTL/LRU
+   eviction. *)
 type session = {
   mutable last_seq : int;
   s_cache : (int * string list) option array;
+  s_id : string option;
+  mutable s_touched : float;
 }
 
 type t = {
@@ -57,6 +68,15 @@ type t = {
   sessions : (string, session) Hashtbl.t;
   mutable chaos : (unit -> unit) option;
   mutable restarts : int;
+  (* Durable session journal (DESIGN.md §21). [gsn] is the global
+     sequence number of the last journaled command — monotone across
+     compactions and restarts, never reset, so a manifest's covered
+     watermark stays comparable forever. [journal_crash] is the one-shot
+     crash-injection byte count consumed by the next append. *)
+  mutable journal : Util.Fs.Journal.t option;
+  mutable journal_fsync : bool;
+  mutable gsn : int;
+  mutable journal_crash : int option;
 }
 
 let m_acked = Util.Telemetry.counter "serve.acked"
@@ -64,6 +84,7 @@ let m_shed = Util.Telemetry.counter "serve.shed"
 let m_applied = Util.Telemetry.counter "serve.applied"
 let m_restarts = Util.Telemetry.counter "serve.restarts"
 let m_profiles = Util.Telemetry.gauge "serve.profiles"
+let m_sessions = Util.Telemetry.gauge "serve.sessions"
 let m_backlog = Util.Telemetry.gauge "serve.backlog"
 let m_request = Util.Telemetry.histogram "serve.request"
 let m_report = Util.Telemetry.histogram "serve.report"
@@ -87,6 +108,10 @@ let create (config : config) =
     invalid_arg "Serve.create: degrade_above > max_profiles";
   if config.queue_capacity < 1 then invalid_arg "Serve.create: queue_capacity < 1";
   if config.seq_cache < 1 then invalid_arg "Serve.create: seq_cache < 1";
+  if config.max_sessions < 1 then invalid_arg "Serve.create: max_sessions < 1";
+  (match config.session_ttl with
+  | Some ttl when not (ttl > 0.) -> invalid_arg "Serve.create: session_ttl <= 0"
+  | Some _ | None -> ());
   let shard_config =
     { Shard.queue_capacity = config.queue_capacity; tick_steps = config.tick_steps }
   in
@@ -98,10 +123,19 @@ let create (config : config) =
     by_label = Hashtbl.create 256;
     stamp = 0;
     default_session =
-      { last_seq = 0; s_cache = Array.make config.seq_cache None };
+      {
+        last_seq = 0;
+        s_cache = Array.make config.seq_cache None;
+        s_id = Some "";
+        s_touched = Util.Timer.now ();
+      };
     sessions = Hashtbl.create 64;
     chaos = None;
     restarts = 0;
+    journal = None;
+    journal_fsync = true;
+    gsn = 0;
+    journal_crash = None;
   }
 
 let config t = t.config
@@ -110,7 +144,14 @@ let profile_count t = Hashtbl.length t.names
 let backlog t = Array.fold_left (fun acc s -> acc + Shard.backlog s) 0 t.shards
 let restarts t = t.restarts
 let set_chaos t hook = t.chaos <- hook
-let shutdown t = Util.Pool.shutdown t.pool
+
+let shutdown t =
+  (match t.journal with
+  | Some j ->
+    Util.Fs.Journal.close j;
+    t.journal <- None
+  | None -> ());
+  Util.Pool.shutdown t.pool
 
 let alive t entry =
   match Hashtbl.find_opt t.names entry.e_name with
@@ -487,18 +528,70 @@ let handle t seq tokens =
   | exception Util.Budget.Exhausted _ ->
     [ err seq "deadline" "request deadline exceeded" ]
 
-let new_session t =
-  { last_seq = 0; s_cache = Array.make t.config.seq_cache None }
+let make_session t s_id =
+  {
+    last_seq = 0;
+    s_cache = Array.make t.config.seq_cache None;
+    s_id;
+    s_touched = Util.Timer.now ();
+  }
+
+let new_session t = make_session t None
+let set_sessions_gauge t = Util.Telemetry.set m_sessions (Hashtbl.length t.sessions)
+
+(* Idle-TTL eviction: drop every named session untouched for longer than
+   [session_ttl]. Runs on every named-session creation and is exposed for
+   operators/tests; [?now] pins the clock so tests need not sleep. *)
+let sweep_sessions ?now t =
+  match t.config.session_ttl with
+  | None -> 0
+  | Some ttl ->
+    let now = match now with Some n -> n | None -> Util.Timer.now () in
+    let stale =
+      Hashtbl.fold
+        (fun id s acc -> if now -. s.s_touched > ttl then id :: acc else acc)
+        t.sessions []
+    in
+    List.iter (Hashtbl.remove t.sessions) stale;
+    set_sessions_gauge t;
+    List.length stale
+
+(* LRU eviction: the named-session table never exceeds [max_sessions], so
+   a daemon facing an unbounded stream of fresh HELLO ids stays bounded
+   instead of leaking a session + seq cache per id forever. An evicted
+   session that returns starts a fresh sequence space — its retries
+   beyond the cache answer [stale-seq], the documented contract. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun id s acc ->
+        match acc with
+        | Some (_, best) when best.s_touched <= s.s_touched -> acc
+        | _ -> Some (id, s))
+      t.sessions None
+  in
+  match victim with
+  | Some (id, _) -> Hashtbl.remove t.sessions id
+  | None -> ()
 
 let session t ~id =
   match Hashtbl.find_opt t.sessions id with
-  | Some s -> s
+  | Some s ->
+    s.s_touched <- Util.Timer.now ();
+    s
   | None ->
-    let s = new_session t in
+    ignore (sweep_sessions t);
+    while Hashtbl.length t.sessions >= t.config.max_sessions do
+      evict_lru t
+    done;
+    let s = make_session t (Some id) in
     Hashtbl.add t.sessions id s;
+    set_sessions_gauge t;
     s
 
 let session_count t = Hashtbl.length t.sessions
+let session_seq s = s.last_seq
+let default_session t = t.default_session
 
 let cache_find session seq =
   let slot = seq mod Array.length session.s_cache in
@@ -519,8 +612,65 @@ let is_checkpoint_line line =
   | _seq :: "CHECKPOINT" :: _ -> true
   | _ -> false
 
+(* The durability points: lines after which the daemon persists shard
+   snapshots + manifest and compacts the session journal. DRAIN counts
+   because compaction on DRAIN is part of the journal's bounded-size
+   contract, and compacting is only safe at a fresh durable state. *)
+let is_durability_point_line line =
+  match tokenize line with
+  | _seq :: ("CHECKPOINT" | "DRAIN") :: _ -> true
+  | _ -> false
+
+(* {2 Session journal records}
+
+   Payloads are tab-separated [String.escaped] fields (escaping removes
+   raw tabs and newlines), checksummed and framed by [Util.Fs.Journal]:
+
+   - [C gsn id seq line resp...] — one executed command: the request line
+     for redo and the response it produced for verbatim retry replay.
+   - [W id last_seq] — a session watermark (written by compaction).
+   - [R id seq resp...] — one cached response (written by compaction). *)
+
+let enc_fields fields = String.concat "\t" (List.map String.escaped fields)
+
+let journal_corrupt fmt =
+  Printf.ksprintf (fun s -> raise (Util.Fs.Journal.Corrupt s)) fmt
+
+let dec_fields payload =
+  List.map
+    (fun f ->
+      try Scanf.unescaped f
+      with Scanf.Scan_failure _ | Failure _ ->
+        journal_corrupt "undecodable session journal field %S" f)
+    (String.split_on_char '\t' payload)
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> journal_corrupt "bad %s %S in session journal" what s
+
+(* Append the C record for a freshly executed command. Only sessions with
+   a durable identity journal; anonymous per-connection sessions die with
+   the process by design. A [Util.Fs.Crashed] raised here propagates to
+   the driver: the command executed but was never durably acknowledged,
+   which is exactly the window crash injection wants to probe. *)
+let journal_command t session seq line response =
+  match (t.journal, session.s_id) with
+  | None, _ | _, None -> ()
+  | Some j, Some id ->
+    t.gsn <- t.gsn + 1;
+    let payload =
+      enc_fields
+        ("C" :: string_of_int t.gsn :: id :: string_of_int seq :: line
+       :: response)
+    in
+    let crash = t.journal_crash in
+    t.journal_crash <- None;
+    Util.Fs.Journal.append ~fsync:t.journal_fsync ?crash_after:crash j payload
+
 let exec_on t session line =
   let t0 = Util.Timer.now_ns () in
+  session.s_touched <- Util.Timer.now ();
   let response =
     match tokenize line with
     | [] -> [ "ERR parse empty line" ]
@@ -531,7 +681,9 @@ let exec_on t session line =
       | Some seq ->
         if seq <= session.last_seq then
           (* A retry replays its cached response verbatim — the command
-             does not run again, so retried FEEDs cannot double-deliver. *)
+             does not run again, so retried FEEDs cannot double-deliver.
+             Nothing is journaled either: the journal only carries fresh
+             executions, so its C records stay strictly increasing. *)
           match cache_find session seq with
           | Some response -> response
           | None ->
@@ -541,6 +693,11 @@ let exec_on t session line =
           let response = handle t seq rest in
           session.last_seq <- seq;
           cache_store session seq response;
+          (* After execution, before the transport sees the response: a
+             crash in this window leaves the command either journaled
+             (retry replays the cache) or torn/absent (retry re-executes
+             against pre-command shard state) — exactly once both ways. *)
+          journal_command t session seq line response;
           response
         end)
   in
@@ -554,10 +711,123 @@ let exec_on t session line =
 
 let exec t line = exec_on t t.default_session line
 
+(* {2 Durable session journal} *)
+
+let journal_file = "sessions.journal"
+let journal_kind = "serve-sessions"
+let journal_attached t = t.journal <> None
+let journal_gsn t = t.gsn
+let set_journal_crash_after t n = t.journal_crash <- n
+
+(* The default session's durable identity is the empty id — the transport
+   rejects [HELLO] with an empty id, so it can never collide with a named
+   session. *)
+let session_of_id t id = if id = "" then t.default_session else session t ~id
+
+let apply_record t ~covered payload =
+  match dec_fields payload with
+  | [ "W"; id; last ] ->
+    let s = session_of_id t id in
+    s.last_seq <- max s.last_seq (int_field "watermark" last)
+  | "R" :: id :: seq :: resp ->
+    let s = session_of_id t id in
+    let seq = int_field "seq" seq in
+    cache_store s seq resp;
+    s.last_seq <- max s.last_seq seq
+  | "C" :: gsn :: id :: seq :: line :: resp ->
+    let gsn = int_field "gsn" gsn and seq = int_field "seq" seq in
+    let s = session_of_id t id in
+    (* Redo: re-execute only the commands whose effects postdate the shard
+       snapshots this boot restored from ([gsn > covered]); commands at or
+       below the covered watermark are already inside the snapshots, and
+       re-running them would be exactly the double execution this journal
+       exists to prevent. Either way the *recorded* response wins the
+       cache slot: a replayed STATS/QUERY may legitimately diverge, and
+       retries must see the bytes the original execution produced. *)
+    if gsn > covered then ignore (exec_on t s line);
+    s.last_seq <- max s.last_seq seq;
+    cache_store s seq resp;
+    t.gsn <- max t.gsn gsn
+  | _ -> journal_corrupt "unrecognized session journal record %S" payload
+
+let attach_journal ?(fsync = true) t ~dir ~covered =
+  if journal_attached t then invalid_arg "Serve.attach_journal: already attached";
+  let path = Filename.concat dir journal_file in
+  (* [open_] validates the header, truncates a torn tail (a crash
+     mid-append — that record was never acknowledged) and returns the
+     surviving payloads; replay happens with [t.journal] still unset so
+     redone commands are not re-journaled. *)
+  let j, payloads = Util.Fs.Journal.open_ ~fsync ~kind:journal_kind path in
+  t.journal_fsync <- fsync;
+  List.iter (apply_record t ~covered) payloads;
+  t.journal <- Some j;
+  t.gsn <- max t.gsn covered;
+  set_sessions_gauge t
+
+let detach_journal t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    Util.Fs.Journal.close j;
+    t.journal <- None
+
+(* Rewrite the journal as pure session snapshots: one W watermark and the
+   live R cache entries per durable session, no C records. Only safe
+   immediately after the shard snapshots + manifest covering every
+   journaled command became durable — dropping a C record whose effects
+   are not in a snapshot would lose it. The daemon therefore compacts
+   exactly at durability points ({!is_durability_point_line}) and at
+   clean shutdown. Keeps the journal bounded by the per-session response
+   cache, per the §21 contract. *)
+let compact_journal ?crash_after t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    let session_records id s acc =
+      let acc = enc_fields [ "W"; id; string_of_int s.last_seq ] :: acc in
+      Array.fold_left
+        (fun acc slot ->
+          match slot with
+          | Some (seq, resp) ->
+            enc_fields ("R" :: id :: string_of_int seq :: resp) :: acc
+          | None -> acc)
+        acc s.s_cache
+    in
+    let ids =
+      Hashtbl.fold (fun id _ acc -> id :: acc) t.sessions []
+      |> List.sort String.compare
+    in
+    let payloads =
+      List.fold_left
+        (fun acc id -> session_records id (Hashtbl.find t.sessions id) acc)
+        (session_records "" t.default_session [])
+        ids
+    in
+    let crash =
+      match crash_after with Some _ -> crash_after | None -> t.journal_crash
+    in
+    t.journal_crash <- None;
+    Util.Fs.Journal.rewrite ~fsync:t.journal_fsync ?crash_after:crash j
+      (List.rev payloads)
+
 (* {2 State-dir manifest} *)
 
-let manifest t =
-  Printf.sprintf "mqdp-serve state v1\nshards=%d\n" (Array.length t.shards)
+let manifest ?(extra = []) t =
+  Printf.sprintf "mqdp-serve state v1\nshards=%d\n%s" (Array.length t.shards)
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d\n" k v) extra))
+
+(* Extra key lookup for the daemon's epoch/journal watermarks; unknown
+   manifests (no such key) read as [None] so older state dirs load. *)
+let manifest_field s key =
+  let prefix = key ^ "=" in
+  String.split_on_char '\n' s
+  |> List.find_map (fun l ->
+         if String.starts_with ~prefix l then
+           int_of_string_opt
+             (String.sub l (String.length prefix)
+                (String.length l - String.length prefix))
+         else None)
 
 let parse_manifest s =
   match String.split_on_char '\n' s with

@@ -22,8 +22,22 @@
     client opens with [HELLO <id>] — a named session ({!session}) that
     survives reconnects, so a client whose connection was reset can
     reconnect, re-send [HELLO], and retry its last line verbatim with the
-    idempotency guarantee intact. Sessions are serving-side state only:
-    they are not part of shard snapshots.
+    idempotency guarantee intact.
+
+    Named sessions and the default session are additionally {e durable}
+    when a journal is attached ({!attach_journal}): every fresh execution
+    appends a checksummed [(gsn, id, seq, line, response)] record before
+    the response reaches the transport, and a rebooted daemon replays the
+    journal so watermarks and response caches — and, via redo of the
+    commands newer than the shard snapshots, the engine state they
+    acknowledged — survive process death (DESIGN.md §21). Anonymous
+    sessions stay memory-only by design: with no identity there is
+    nothing for a reconnecting client to rebind to.
+
+    The named-session table is bounded: sessions idle past [session_ttl]
+    are swept, and past [max_sessions] the least-recently-used is evicted
+    (gauge [serve.sessions]). An evicted or expired session that returns
+    starts a fresh sequence space.
 
     Verbs:
     - [ADD <name> <lambda> <mode> <labels> [nowindow]] — admit a profile.
@@ -67,18 +81,21 @@ type config = {
   max_restarts : int;  (** per-profile crashes before quarantine *)
   overload_budget : int option;  (** {!Feed} degradation threshold *)
   seq_cache : int;  (** retried-response window *)
+  max_sessions : int;  (** named-session ceiling: LRU eviction past it *)
+  session_ttl : float option;  (** idle seconds before a named session is swept *)
 }
 
 (** 4 shards, 1 job, 16384/12288 profile ceilings, 4096-post queues,
     unlimited ticks, no deadline, checkpoint every 64, 3 restarts, no
-    overload budget, 64 cached responses. *)
+    overload budget, 64 cached responses, 4096 named sessions, no idle
+    TTL. *)
 val default_config : config
 
 type t
 
 (** Raises [Invalid_argument] on a non-positive [shards], [jobs],
-    [max_profiles], [queue_capacity] or [seq_cache], or
-    [degrade_above > max_profiles]. *)
+    [max_profiles], [queue_capacity], [seq_cache], [max_sessions] or
+    [session_ttl], or [degrade_above > max_profiles]. *)
 val create : config -> t
 
 val config : t -> config
@@ -95,11 +112,27 @@ type session
 val new_session : t -> session
 
 (** [session t ~id] — the named session for client [id], created on first
-    use. Reconnecting clients that [HELLO id] land back on it. *)
+    use (sweeping expired sessions and evicting LRU past [max_sessions]
+    first). Reconnecting clients that [HELLO id] land back on it. The
+    empty id is reserved for the default session's durable identity; the
+    transport rejects [HELLO] with an empty id. *)
 val session : t -> id:string -> session
 
 (** Named sessions currently registered. *)
 val session_count : t -> int
+
+(** [sweep_sessions ?now t] — drop every named session idle longer than
+    [session_ttl] (no-op without a TTL); returns how many were dropped.
+    [?now] overrides the monotonic clock reading, for tests. *)
+val sweep_sessions : ?now:float -> t -> int
+
+(** A session's sequence watermark — the highest seq it has executed.
+    The transport reports it in the [HELLO] greeting so a reconnecting
+    client can resume numbering above it. *)
+val session_seq : session -> int
+
+(** The engine's default session (stdin transport, {!exec}). *)
+val default_session : t -> session
 
 (** [exec_on t s line] — {!exec} against session [s]'s sequence space.
     All sessions share the engine state (profiles, shards, backlog);
@@ -112,6 +145,56 @@ val exec_on : t -> session -> string -> string list
     uses this to decide when to flush shard snapshots to disk. *)
 val is_checkpoint_line : string -> bool
 
+(** [is_durability_point_line line] — [CHECKPOINT] or [DRAIN]: the lines
+    after which the daemon persists snapshots + manifest and compacts the
+    session journal. *)
+val is_durability_point_line : string -> bool
+
+(** {2 Durable session journal}
+
+    The journal lives at [<state-dir>/sessions.journal]: a versioned,
+    per-record-checksummed {!Util.Fs.Journal} of executed commands
+    ([C gsn id seq line response]) and compacted session snapshots
+    ([W]/[R] records). [gsn] — the global sequence number — counts
+    journaled commands monotonically across compactions and restarts;
+    the daemon's manifest records the gsn its shard snapshots cover, and
+    boot-time replay re-executes only the commands above it (installing
+    every recorded response in the caches either way). See DESIGN.md §21
+    for the crash-window analysis. *)
+
+(** [attach_journal ?fsync t ~dir ~covered] — open (or create) the
+    session journal under [dir], truncate a torn tail, replay the
+    surviving records against [t] (redoing commands with gsn above
+    [covered], the manifest's covered watermark), and start journaling
+    subsequent fresh executions. Call exactly once, right after shard
+    snapshots are restored and before serving. [fsync:false] trades
+    power-loss durability for speed (benchmarks). Raises
+    [Invalid_argument] when already attached, {!Util.Fs.Journal.Corrupt}
+    on mid-file damage. *)
+val attach_journal : ?fsync:bool -> t -> dir:string -> covered:int -> unit
+
+(** Close the journal and stop journaling. Idempotent. *)
+val detach_journal : t -> unit
+
+val journal_attached : t -> bool
+
+(** The gsn of the last journaled command — what the daemon writes into
+    the manifest as [journal=] when its snapshots are durable. *)
+val journal_gsn : t -> int
+
+(** [compact_journal ?crash_after t] — atomically rewrite the journal as
+    per-session [W]/[R] snapshots, dropping every [C] record. Only safe
+    immediately after shard snapshots and a manifest covering
+    {!journal_gsn} became durable — the daemon compacts exactly at
+    durability points and clean shutdown. No-op when detached.
+    [crash_after] injects a crash into the rewrite. *)
+val compact_journal : ?crash_after:int -> t -> unit
+
+(** [set_journal_crash_after t (Some n)] — arm a one-shot fault: the next
+    journal append dies ({!Util.Fs.Crashed}) after [n] bytes, propagating
+    out of {!exec}/{!exec_on} as a simulated process death mid-append. *)
+val set_journal_crash_after : t -> int option -> unit
+
 (** {2 State-dir manifest}
 
     A durable state directory records the shard count it was written
@@ -121,12 +204,21 @@ val is_checkpoint_line : string -> bool
     {!parse_manifest} disagrees with its configuration. *)
 
 (** The manifest content for this engine ([shards=N] under a versioned
-    header). *)
-val manifest : t -> string
+    header). [extra] appends further [key=value] integer lines — the
+    daemon records [epoch] (which snapshot generation is current) and
+    [journal] (the gsn those snapshots cover), making the
+    multi-file snapshot set + journal watermark switch atomic: one
+    {!Util.Fs.atomic_write} of the manifest commits all of it. *)
+val manifest : ?extra:(string * int) list -> t -> string
 
 (** [parse_manifest s] — the shard count a manifest records, or a
-    human-readable reason it cannot be trusted. *)
+    human-readable reason it cannot be trusted. Unknown extra lines are
+    ignored. *)
 val parse_manifest : string -> (int, string) result
+
+(** [manifest_field s key] — the integer [key=] line of a manifest, if
+    present ([epoch], [journal]); [None] on older manifests. *)
+val manifest_field : string -> string -> int option
 
 (** The shard a profile name hashes to (FNV-1a-64 mod [shards]) — exposed
     so the fuzzer's single-threaded oracle can replicate placement and

@@ -157,3 +157,18 @@ let idle_deadline t =
   match t.config.idle_timeout with
   | None -> None
   | Some _ -> if t.condemned = None then Some t.idle_at else None
+
+(* HELLO parsing shared by every driver (the event loop, the fuzzer's
+   simulated server): one place decides what counts as a session-binding
+   request, so the drivers cannot drift apart. *)
+type hello = Not_hello | Hello_empty | Hello of string
+
+let parse_hello line =
+  if String.starts_with ~prefix:"HELLO " line then begin
+    let id = String.trim (String.sub line 6 (String.length line - 6)) in
+    if id = "" then Hello_empty else Hello id
+  end
+  else Not_hello
+
+let hello_greeting ~id ~seq =
+  Printf.sprintf "0 OK hello %s seq=%d" id seq

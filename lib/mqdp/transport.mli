@@ -106,3 +106,24 @@ val idle_deadline : t -> float option
 
 (** Bytes of input currently buffered (diagnostics). *)
 val input_length : t -> int
+
+(** {2 Session binding}
+
+    [HELLO <id>] is handled at the transport level (no sequence number):
+    it rebinds a connection to the named {!Serve.session} [id]. The
+    greeting answers with the session's sequence watermark so a client
+    that reconnects — possibly to a freshly restarted daemon that
+    recovered the session from its journal — can resume numbering above
+    every sequence the session has already executed. *)
+
+type hello =
+  | Not_hello  (** an ordinary [<seq> VERB] request *)
+  | Hello_empty  (** [HELLO] with a blank id — answer [0 ERR parse] *)
+  | Hello of string
+
+(** Classify one framed request line. *)
+val parse_hello : string -> hello
+
+(** [hello_greeting ~id ~seq] — the [0 OK hello <id> seq=<seq>] greeting
+    for a session whose watermark is [seq]. *)
+val hello_greeting : id:string -> seq:int -> string

@@ -8,6 +8,7 @@ type t = {
   mutable sock : Unix.file_descr option;
   mutable connected_once : bool;
   mutable reconnects : int;
+  mutable hello_seq : int option;
   inbuf : Netio.Buf.t;
   scratch : Bytes.t;
 }
@@ -21,11 +22,22 @@ let create ?(timeout = 10.) ?hello ?(addr = Unix.inet_addr_loopback) ~port () =
     sock = None;
     connected_once = false;
     reconnects = 0;
+    hello_seq = None;
     inbuf = Netio.Buf.create ();
     scratch = Bytes.create 8192;
   }
 
 let reconnects t = t.reconnects
+let hello_watermark t = t.hello_seq
+
+(* The greeting is [0 OK hello <id> seq=<watermark>]; older daemons omit
+   the watermark, which reads as "nothing known". *)
+let parse_hello_seq line =
+  String.split_on_char ' ' line
+  |> List.find_map (fun tok ->
+         if String.starts_with ~prefix:"seq=" tok then
+           int_of_string_opt (String.sub tok 4 (String.length tok - 4))
+         else None)
 
 let drop t =
   (match t.sock with
@@ -113,8 +125,13 @@ let connect t =
           if not (send_all fd ("HELLO " ^ id)) then false
           else
             match read_response t fd with
-            | Some (first :: _) -> String.starts_with ~prefix:"0 OK hello" first
-            | Some [] | None -> false)
+            | Some (first :: _) when String.starts_with ~prefix:"0 OK hello" first
+              ->
+              (match parse_hello_seq first with
+              | Some seq -> t.hello_seq <- Some seq
+              | None -> ());
+              true
+            | Some _ | None -> false)
       in
       if greeted then Some fd
       else begin
@@ -124,6 +141,8 @@ let connect t =
     | exception Unix.Unix_error _ ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       None)
+
+let ensure_connected t = connect t <> None
 
 let exchange t line =
   match connect t with

@@ -29,6 +29,18 @@ val exchange : t -> string -> string list option
 (** Reconnections performed after the first successful dial. *)
 val reconnects : t -> int
 
+(** [ensure_connected t] — dial and greet now instead of lazily at the
+    first {!exchange}; [false] on transport failure (the next call
+    retries). Lets a client learn {!hello_watermark} before numbering
+    its first request. *)
+val ensure_connected : t -> bool
+
+(** The session watermark the most recent [HELLO] greeting reported
+    ([seq=N]), if any — feed it to {!Mqdp.Client.sync_seq} so a fresh
+    client process resumes numbering above everything its
+    journal-recovered session already executed. *)
+val hello_watermark : t -> int option
+
 val close : t -> unit
 
 (** The {!Mqdp.Client.io} view: [send = exchange t],

@@ -195,20 +195,22 @@ let pump t ~on_checkpoint conn now =
   let rec go () =
     match Transport.next conn.tr ~now with
     | Transport.Request line ->
-      (if String.starts_with ~prefix:"HELLO " line then begin
-         let id = String.trim (String.sub line 6 (String.length line - 6)) in
-         if id = "" then Transport.respond conn.tr [ "0 ERR parse empty client id" ]
-         else begin
-           conn.session <- Mqdp.Serve.session t.serve ~id;
-           Transport.respond conn.tr [ "0 OK hello " ^ id ]
-         end
-       end
-       else begin
-         Transport.respond conn.tr (Mqdp.Serve.exec_on t.serve conn.session line);
-         t.stats.requests <- t.stats.requests + 1;
-         Util.Telemetry.incr m_requests;
-         if Mqdp.Serve.is_checkpoint_line line then on_checkpoint ()
-       end);
+      (match Transport.parse_hello line with
+      | Transport.Hello_empty ->
+        Transport.respond conn.tr [ "0 ERR parse empty client id" ]
+      | Transport.Hello id ->
+        let session = Mqdp.Serve.session t.serve ~id in
+        conn.session <- session;
+        (* The greeting carries the session watermark: a reconnecting
+           client resumes numbering above everything this session — which
+           may have just been recovered from the journal — already ran. *)
+        Transport.respond conn.tr
+          [ Transport.hello_greeting ~id ~seq:(Mqdp.Serve.session_seq session) ]
+      | Transport.Not_hello ->
+        Transport.respond conn.tr (Mqdp.Serve.exec_on t.serve conn.session line);
+        t.stats.requests <- t.stats.requests + 1;
+        Util.Telemetry.incr m_requests;
+        if Mqdp.Serve.is_durability_point_line line then on_checkpoint ());
       go ()
     | Transport.Wait -> ()
     | Transport.Close reason ->

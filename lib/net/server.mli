@@ -16,8 +16,10 @@
       engine's admission control).
     - {b client multiplexing} — each connection gets its own anonymous
       {!Mqdp.Serve.session} (its own sequence space), or a durable named
-      one by opening with [HELLO <id>] (answered [0 OK hello <id>]): a
-      client that reconnects after a reset re-sends [HELLO] and retries
+      one by opening with [HELLO <id>] (answered
+      [0 OK hello <id> seq=<watermark>]): a client that reconnects after
+      a reset — or after a daemon restart that recovered the session from
+      its journal — re-sends [HELLO], learns the watermark, and retries
       its last line with the idempotency guarantee intact.
     - {b graceful drain} — {!drain} (async-signal-safe; the daemon calls
       it from SIGTERM/SIGINT handlers) stops accepting, serves every
@@ -77,7 +79,8 @@ val draining : t -> bool
 
 (** [run ?on_checkpoint t] — the event loop. Returns after a {!drain}
     completes (every surviving connection served its buffered requests
-    and flushed). [on_checkpoint] runs after each executed
-    [CHECKPOINT ...] request — the daemon hooks its durable snapshot
-    writes here. The listening socket is closed on return. *)
+    and flushed). [on_checkpoint] runs after each executed durability
+    point ([CHECKPOINT]/[DRAIN], {!Mqdp.Serve.is_durability_point_line})
+    — the daemon hooks its durable snapshot + journal-compaction writes
+    here. The listening socket is closed on return. *)
 val run : ?on_checkpoint:(unit -> unit) -> t -> unit

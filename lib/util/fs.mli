@@ -1,35 +1,119 @@
 (** Crash-safe file persistence primitives.
 
     [atomic_write] is the write-side half of every durable artifact in the
-    system (feed checkpoints, shard snapshots): the content goes to a
-    temporary file in the destination directory, is flushed and fsynced,
-    and only then renamed over the destination. POSIX rename is atomic, so
-    a reader never observes a half-written destination — a crash at any
-    byte boundary leaves either the previous file intact or a stale
-    [.tmp] sibling that readers ignore.
+    system (feed checkpoints, shard snapshots, serve manifests): the
+    content goes to a uniquely named temporary file in the destination
+    directory, is flushed and fsynced, renamed over the destination, and
+    the parent directory is fsynced so the rename itself is power-loss
+    durable. POSIX rename is atomic, so a reader never observes a
+    half-written destination — a crash at any byte boundary leaves either
+    the previous file intact or a stale temp sibling that readers ignore
+    and {!sweep_temps} removes at the next boot.
 
-    The [?crash_after] hook exists for the fault-injection tests: it makes
-    the writer die (raising {!Crashed}) after exactly that many content
-    bytes have reached the temporary file, simulating a process killed
-    mid-write. The destination is untouched; the torn temp file is left
-    behind exactly as a real crash would leave it. *)
+    Temp names are [<path>.tmp.<pid>.<counter>]: unique per writer, so two
+    concurrent writers to the same destination never stage into the same
+    file (last rename wins, each rename is whole).
 
-(** Raised by the [?crash_after] test hook once the requested number of
-    bytes has been written to the temporary file. *)
-exception Crashed of { path : string; written : int }
+    {!Journal} layers an append-only, per-record-checksummed record log on
+    top: the durable-session-journal substrate of [Mqdp.Serve]
+    (DESIGN.md §21), versioned and torn-tail tolerant like [Feed]
+    checkpoints.
+
+    The [?crash_after] hooks exist for the fault-injection tests: they
+    make the writer die (raising {!Crashed}) after exactly that many bytes
+    have reached the disk, simulating a process killed mid-write. *)
+
+(** Raised by the [?crash_after] test hooks once the requested number of
+    bytes has been written. [temp] is the file holding the torn bytes:
+    the staging sibling for {!atomic_write} (destination untouched), the
+    journal file itself for {!Journal.append} (torn tail truncated on the
+    next open). *)
+exception Crashed of { path : string; temp : string; written : int }
 
 (** [atomic_write ?fsync ?crash_after ~path content] — write [content] to
-    [path ^ ".tmp"], optionally fsync (default [true]), then rename onto
-    [path]. With [crash_after:n], raises {!Crashed} after [n] bytes,
-    leaving the torn temp file and never renaming. *)
+    a fresh temp sibling, optionally fsync (default [true]), rename onto
+    [path], then fsync the parent directory. With [crash_after:n], raises
+    {!Crashed} after [n] bytes, leaving the torn temp file and never
+    renaming. *)
 val atomic_write : ?fsync:bool -> ?crash_after:int -> path:string -> string -> unit
 
-(** The temp sibling [atomic_write] stages into, for cleanup and tests. *)
+(** [temp_path path] — a fresh, never-before-returned temp sibling name
+    for [path]. Each call returns a distinct name. *)
 val temp_path : string -> string
+
+(** [is_temp name] — does [name] (a basename or path) look like a temp
+    sibling produced by {!temp_path}? *)
+val is_temp : string -> bool
+
+(** [sweep_temps dir] — unlink every stale temp sibling directly under
+    [dir]; returns how many were removed. Call once at boot, before any
+    writer is live: a temp file that survived to the next process start
+    is by definition the debris of a crashed writer. Returns [0] when
+    [dir] is unreadable. *)
+val sweep_temps : string -> int
 
 (** [read path] — the whole file as a string. Raises [Sys_error]. *)
 val read : string -> string
 
+(** [remove_tree path] — recursively delete a file or directory tree.
+    Missing paths and undeletable entries are skipped silently. *)
+val remove_tree : string -> unit
+
 (** [remove_if_exists path] — unlink [path] when present; never raises on
     a missing file. *)
 val remove_if_exists : string -> unit
+
+(** Append-only record journals: a versioned header line followed by one
+    line per record, each carrying an FNV-1a-64 checksum of its payload.
+
+    Durability contract: {!append} is write + flush + fsync, so an
+    acknowledged record survives process death. A crash mid-append leaves
+    a torn tail; {!open_} and {!load} truncate it (a torn record was never
+    acknowledged, so dropping it is correct). Any damage {e before} the
+    tail — a checksum mismatch with intact records after it — is real
+    corruption and raises {!Corrupt} rather than silently dropping
+    acknowledged history.
+
+    Payloads are single lines (no ['\n']); encode multi-line data with
+    [String.escaped] or similar before appending. *)
+module Journal : sig
+  (** Raised on a bad header, a mid-file checksum mismatch, or a version
+      this build does not understand. *)
+  exception Corrupt of string
+
+  type t
+
+  (** [open_ ?fsync ~kind path] — open [path] for appending, creating it
+      (header only) when missing or empty, validating the header and
+      repairing a torn tail otherwise. Returns the handle and the
+      surviving payloads in append order, so the caller rebuilds its
+      state in the same pass. [kind] names the journal's schema and is
+      embedded in the header; opening with the wrong kind raises
+      {!Corrupt}. *)
+  val open_ : ?fsync:bool -> kind:string -> string -> t * string list
+
+  (** [load ~kind path] — read-only scan: the good payloads in append
+      order, plus the byte offset of the first torn byte (equal to the
+      file size when the tail is clean). Raises {!Corrupt} on mid-file
+      damage, [Sys_error] on a missing file. *)
+  val load : kind:string -> string -> string list * int
+
+  (** [append ?fsync ?crash_after t payload] — durably append one record
+      (write, flush, fsync unless [fsync:false]). With [crash_after:n],
+      raises {!Crashed} after [n] bytes of the record reached the file,
+      leaving the torn tail a real crash would leave. Raises
+      [Invalid_argument] if [payload] contains a newline. *)
+  val append : ?fsync:bool -> ?crash_after:int -> t -> string -> unit
+
+  (** [rewrite ?fsync ?crash_after t payloads] — atomically replace the
+      whole journal with [payloads] (compaction). A crash leaves either
+      the old journal or the new one, never a mixture. *)
+  val rewrite : ?fsync:bool -> ?crash_after:int -> t -> string list -> unit
+
+  (** [close t] — close the append channel. The handle may be reused;
+      appending re-opens it. *)
+  val close : t -> unit
+
+  (** The journal's on-disk path. *)
+  val path : t -> string
+end

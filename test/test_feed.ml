@@ -385,10 +385,11 @@ let test_atomic_save_survives_torn_writes () =
   let original = busy_feed () in
   let image = Mqdp.Feed.checkpoint original in
   let path = Filename.temp_file "mqdp_feed_atomic" ".ckpt" in
+  let torn_temps = ref [] in
   Fun.protect
     ~finally:(fun () ->
       Sys.remove path;
-      Util.Fs.remove_if_exists (Util.Fs.temp_path path))
+      List.iter Util.Fs.remove_if_exists !torn_temps)
     (fun () ->
       Mqdp.Feed.save_checkpoint ~path original;
       let fault = Util.Fault.create ~seed:11 () in
@@ -397,17 +398,23 @@ let test_atomic_save_survives_torn_writes () =
       in
       List.iter
         (fun written ->
-          (match Util.Fs.atomic_write ~crash_after:written ~path image with
-          | () -> Alcotest.fail "crash_after did not crash"
-          | exception Util.Fs.Crashed { written = w; _ } ->
-            Alcotest.(check int) "crashed at the requested boundary" written w);
+          let temp =
+            match Util.Fs.atomic_write ~crash_after:written ~path image with
+            | () -> Alcotest.fail "crash_after did not crash"
+            | exception Util.Fs.Crashed { written = w; temp; _ } ->
+              Alcotest.(check int) "crashed at the requested boundary" written w;
+              torn_temps := temp :: !torn_temps;
+              temp
+          in
           (* The destination is still the previous, fully valid checkpoint. *)
           let restored = Mqdp.Feed.load_checkpoint path in
           Alcotest.check emission_keys "destination survives a torn write"
             (run_feed (Mqdp.Feed.restore image) suffix_posts)
             (run_feed restored suffix_posts);
           (* The torn temp sibling never passes validation. *)
-          let torn = Util.Fs.read (Util.Fs.temp_path path) in
+          Alcotest.(check bool) "temp sibling is recognizably temporary" true
+            (Util.Fs.is_temp temp);
+          let torn = Util.Fs.read temp in
           Alcotest.(check int) "temp holds exactly the torn prefix" written
             (String.length torn);
           match Mqdp.Feed.restore torn with

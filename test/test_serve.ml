@@ -301,6 +301,225 @@ let test_serve_stats_shape () =
         {json|"backlog":0|json}; {json|"telemetry":|json} ]
   | _ -> Alcotest.fail "STATS must answer in exactly one line"
 
+(* --- Sessions: bounds and durability -------------------------------- *)
+
+let with_state_dir f =
+  let dir = Filename.temp_dir "mqdp_serve" ".state" in
+  Fun.protect ~finally:(fun () -> Util.Fs.remove_tree dir) (fun () -> f dir)
+
+let sessions_gauge () =
+  List.find_map
+    (function
+      | Util.Telemetry.Gauge_entry ("serve.sessions", v) -> Some v
+      | _ -> None)
+    (Util.Telemetry.snapshot ())
+
+let test_serve_session_bounds () =
+  (* Telemetry is process-global: enable for the gauge assertions and
+     restore the disabled resting state (same idiom as test_telemetry). *)
+  Util.Telemetry.reset ();
+  Util.Telemetry.enable ();
+  Fun.protect ~finally:(fun () ->
+      Util.Telemetry.disable ();
+      Util.Telemetry.reset ())
+  @@ fun () ->
+  let config =
+    { serve_config with Mqdp.Serve.max_sessions = 3; session_ttl = Some 60. }
+  in
+  with_serve ~config @@ fun t ->
+  let a = Mqdp.Serve.session t ~id:"a" in
+  ignore (Mqdp.Serve.exec_on t a "5 PING");
+  Unix.sleepf 0.002;
+  ignore (Mqdp.Serve.exec_on t (Mqdp.Serve.session t ~id:"b") "1 PING");
+  Unix.sleepf 0.002;
+  ignore (Mqdp.Serve.exec_on t (Mqdp.Serve.session t ~id:"c") "1 PING");
+  Unix.sleepf 0.002;
+  (* The table is at the cap: a fourth id evicts the least recently
+     touched ("a"), never growing past max_sessions. *)
+  let d = Mqdp.Serve.session t ~id:"d" in
+  Alcotest.(check int) "table stays at the cap" 3 (Mqdp.Serve.session_count t);
+  Alcotest.(check int) "new session starts fresh" 0 (Mqdp.Serve.session_seq d);
+  Alcotest.(check (option int)) "serve.sessions gauge tracks the table"
+    (Some 3) (sessions_gauge ());
+  let a' = Mqdp.Serve.session t ~id:"a" in
+  Alcotest.(check bool) "the evicted LRU came back as a fresh session" false
+    (a == a');
+  Alcotest.(check int) "its watermark was reset" 0 (Mqdp.Serve.session_seq a');
+  Alcotest.(check int) "still at the cap" 3 (Mqdp.Serve.session_count t);
+  (* Idle-TTL: pinning the clock past the deadline sweeps everything
+     idle; the gauge follows. *)
+  let now = Util.Timer.now () in
+  Alcotest.(check int) "nothing is idle yet" 0
+    (Mqdp.Serve.sweep_sessions ~now t);
+  Alcotest.(check int) "everything idle past the TTL is swept" 3
+    (Mqdp.Serve.sweep_sessions ~now:(now +. 61.) t);
+  Alcotest.(check int) "table empty after the sweep" 0
+    (Mqdp.Serve.session_count t);
+  Alcotest.(check (option int)) "gauge back to zero" (Some 0)
+    (sessions_gauge ())
+
+let test_serve_journal_recovery () =
+  with_state_dir @@ fun dir ->
+  let t = Mqdp.Serve.create serve_config in
+  Mqdp.Serve.attach_journal ~fsync:false t ~dir ~covered:0;
+  let s = Mqdp.Serve.session t ~id:"k" in
+  ignore (Mqdp.Serve.exec_on t s "1 ADD a 60 delayed:2 1");
+  let feed = Mqdp.Serve.exec_on t s "2 FEED 100 1.0 1" in
+  (* kill -9: no drain, no snapshot, no compaction. *)
+  Mqdp.Serve.shutdown t;
+  let t2 = Mqdp.Serve.create serve_config in
+  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown t2) @@ fun () ->
+  Mqdp.Serve.attach_journal ~fsync:false t2 ~dir ~covered:0;
+  let s2 = Mqdp.Serve.session t2 ~id:"k" in
+  Alcotest.(check int) "watermark survives the restart" 2
+    (Mqdp.Serve.session_seq s2);
+  Alcotest.(check (list string))
+    "the unacked FEED retry replays the recorded response" feed
+    (Mqdp.Serve.exec_on t2 s2 "2 FEED 100 1.0 1");
+  (* applied=1, not 2: the replayed redo executed the FEED exactly once
+     and the retry came from the cache. *)
+  Alcotest.(check (list string)) "no double delivery"
+    [ "3 OK applied=1 backlog=0" ]
+    (Mqdp.Serve.exec_on t2 s2 "3 TICK")
+
+(* Every byte boundary of the journal append, plus a crash inside
+   compaction: whatever the death leaves on disk, reboot + verbatim retry
+   must execute the command exactly once. *)
+let test_serve_journal_crash_points () =
+  let try_crash_at k =
+    with_state_dir @@ fun dir ->
+    let t = Mqdp.Serve.create serve_config in
+    Mqdp.Serve.attach_journal ~fsync:false t ~dir ~covered:0;
+    let s = Mqdp.Serve.session t ~id:"k" in
+    ignore (Mqdp.Serve.exec_on t s "1 ADD a 60 delayed:2 1");
+    Mqdp.Serve.set_journal_crash_after t (Some k);
+    let crashed =
+      match Mqdp.Serve.exec_on t s "2 FEED 100 1.0 1" with
+      | _ -> false
+      | exception Util.Fs.Crashed _ -> true
+    in
+    Mqdp.Serve.shutdown t;
+    let t2 = Mqdp.Serve.create serve_config in
+    Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown t2) @@ fun () ->
+    Mqdp.Serve.attach_journal ~fsync:false t2 ~dir ~covered:0;
+    let s2 = Mqdp.Serve.session t2 ~id:"k" in
+    Alcotest.(check (list string))
+      (Printf.sprintf "retry after a tear at byte %d answers once" k)
+      [ "2 OK delivered=1 shed=0" ]
+      (Mqdp.Serve.exec_on t2 s2 "2 FEED 100 1.0 1");
+    Alcotest.(check (list string))
+      (Printf.sprintf "exactly one delivery after a tear at byte %d" k)
+      [ "3 OK applied=1 backlog=0" ]
+      (Mqdp.Serve.exec_on t2 s2 "3 TICK");
+    crashed
+  in
+  (* Small offsets always tear (the record is far longer); a huge one
+     writes the record whole and must not crash. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "crash_after %d tears the append" k)
+        true (try_crash_at k))
+    [ 0; 1; 2; 17; 18; 19; 30 ];
+  Alcotest.(check bool) "a crash point past the record is a clean append"
+    false
+    (try_crash_at 1_000_000)
+
+let test_serve_compaction_crash () =
+  with_state_dir @@ fun dir ->
+  let t = Mqdp.Serve.create serve_config in
+  Mqdp.Serve.attach_journal ~fsync:false t ~dir ~covered:0;
+  let s = Mqdp.Serve.session t ~id:"k" in
+  ignore (Mqdp.Serve.exec_on t s "1 ADD a 60 delayed:2 1");
+  ignore (Mqdp.Serve.exec_on t s "2 FEED 100 1.0 1");
+  let covered = Mqdp.Serve.journal_gsn t in
+  (* The compaction rewrite dies mid-write: the old journal must be
+     intact, and a reboot from it loses nothing. *)
+  (match Mqdp.Serve.compact_journal ~crash_after:9 t with
+  | () -> Alcotest.fail "compaction crash_after did not crash"
+  | exception Util.Fs.Crashed _ -> ());
+  Mqdp.Serve.shutdown t;
+  let t2 = Mqdp.Serve.create serve_config in
+  Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown t2) @@ fun () ->
+  ignore (Util.Fs.sweep_temps dir);
+  Mqdp.Serve.attach_journal ~fsync:false t2 ~dir ~covered:0;
+  let s2 = Mqdp.Serve.session t2 ~id:"k" in
+  Alcotest.(check int) "watermark intact after the compaction crash" 2
+    (Mqdp.Serve.session_seq s2);
+  Alcotest.(check int) "gsn intact after the compaction crash" covered
+    (Mqdp.Serve.journal_gsn t2);
+  Alcotest.(check (list string)) "no delivery was lost or doubled"
+    [ "3 OK applied=1 backlog=0" ]
+    (Mqdp.Serve.exec_on t2 s2 "3 TICK")
+
+(* Property: a session that lived through a daemon death and journal
+   replay is bit-identical — every response, including the retried one —
+   to the same script against an engine that never crashed (and never
+   journaled). The seed drives both the script shape and where the death
+   lands; half the deaths also tear the journal append itself. *)
+let serve_replay_equiv =
+  Helpers.qtest ~count:60 "journal replay is bit-identical to no crash"
+    QCheck.(int_range 0 1_000_000)
+  @@ fun seed ->
+  let script_of rng =
+    let n = 6 + Util.Rng.int rng 10 in
+    List.init n (fun i ->
+        let body =
+          match Util.Rng.int rng 5 with
+          | 0 when i = 0 -> "ADD a 60 delayed:2 1"
+          | 0 -> Printf.sprintf "ADD p%d 60 instant 1,2" i
+          | 1 | 2 ->
+            Printf.sprintf "FEED %d %d.5 %d" (100 + i) i (1 + Util.Rng.int rng 2)
+          | 3 -> "TICK"
+          | _ -> if Util.Rng.bool rng then "REPORT a" else "PING"
+        in
+        Printf.sprintf "%d %s" (i + 1) body)
+  in
+  let rng = Util.Rng.create (0x5EED + seed) in
+  let script = "1 ADD a 60 delayed:2 1" :: List.tl (script_of rng) in
+  let die_at = Util.Rng.int rng (List.length script) in
+  let tear = Util.Rng.bool rng in
+  let baseline =
+    let t = Mqdp.Serve.create serve_config in
+    Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown t) @@ fun () ->
+    let s = Mqdp.Serve.session t ~id:"q" in
+    List.map (Mqdp.Serve.exec_on t s) script
+  in
+  let crashed =
+    with_state_dir @@ fun dir ->
+    let engine = ref (Mqdp.Serve.create serve_config) in
+    Fun.protect ~finally:(fun () -> Mqdp.Serve.shutdown !engine) @@ fun () ->
+    Mqdp.Serve.attach_journal ~fsync:false !engine ~dir ~covered:0;
+    let session = ref (Mqdp.Serve.session !engine ~id:"q") in
+    let reboot () =
+      Mqdp.Serve.shutdown !engine;
+      engine := Mqdp.Serve.create serve_config;
+      ignore (Util.Fs.sweep_temps dir);
+      Mqdp.Serve.attach_journal ~fsync:false !engine ~dir ~covered:0;
+      session := Mqdp.Serve.session !engine ~id:"q"
+    in
+    List.mapi
+      (fun i line ->
+        if i = die_at && tear then
+          Mqdp.Serve.set_journal_crash_after !engine (Some (Util.Rng.int rng 8));
+        match Mqdp.Serve.exec_on !engine !session line with
+        | response ->
+          if i = die_at then begin
+            (* Death between execution and acknowledgment: the retry must
+               replay the recorded response. *)
+            reboot ();
+            Mqdp.Serve.exec_on !engine !session line
+          end
+          else response
+        | exception Util.Fs.Crashed _ ->
+          (* The append tore: reboot truncates it and the retry
+             re-executes against replayed pre-command state. *)
+          reboot ();
+          Mqdp.Serve.exec_on !engine !session line)
+      script
+  in
+  List.for_all2 (List.equal String.equal) baseline crashed
+
 let suite =
   [
     Alcotest.test_case "profile offers, processes, reports" `Quick
@@ -328,4 +547,13 @@ let suite =
     Alcotest.test_case "quarantine sheds; RESTORE revives without loss" `Quick
       test_serve_quarantine_restore;
     Alcotest.test_case "STATS answers one JSON line" `Quick test_serve_stats_shape;
+    Alcotest.test_case "session table: LRU cap, idle TTL, gauge" `Quick
+      test_serve_session_bounds;
+    Alcotest.test_case "journal recovery: watermark + cached responses" `Quick
+      test_serve_journal_recovery;
+    Alcotest.test_case "journal crash points: exactly-once at every byte"
+      `Quick test_serve_journal_crash_points;
+    Alcotest.test_case "compaction crash leaves the journal usable" `Quick
+      test_serve_compaction_crash;
+    serve_replay_equiv;
   ]

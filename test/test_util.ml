@@ -483,6 +483,163 @@ let test_pool_survives_injected_faults () =
           (Util.Pool.parallel_map pool ~f:(fun x -> 2 * x) [| 0; 1; 2; 3 |])
       done)
 
+(* {2 Fs: atomic-write temp hygiene and append-only journals} *)
+
+let fs_temp_dir () = Filename.temp_dir "mqdp_fs" ".d"
+
+let test_fs_unique_temps_and_sweep () =
+  let dir = fs_temp_dir () in
+  Fun.protect ~finally:(fun () -> Util.Fs.remove_tree dir) @@ fun () ->
+  let path = Filename.concat dir "target" in
+  (* Two writers crash mid-write: their torn temps must not collide (a
+     fixed suffix would make the second clobber the first). *)
+  let temps =
+    List.map
+      (fun n ->
+        match
+          Util.Fs.atomic_write ~fsync:false ~crash_after:n ~path "0123456789"
+        with
+        | () -> Alcotest.fail "crash_after did not crash"
+        | exception Util.Fs.Crashed { temp; written; _ } ->
+          Alcotest.(check int) "wrote exactly the permitted prefix" n written;
+          Alcotest.(check bool) "temp is recognizably temporary" true
+            (Util.Fs.is_temp (Filename.basename temp));
+          Alcotest.(check string) "torn prefix on disk"
+            (String.sub "0123456789" 0 n)
+            (Util.Fs.read temp);
+          temp)
+      [ 3; 5 ]
+  in
+  (match temps with
+  | [ a; b ] -> Alcotest.(check bool) "distinct temp names" true (a <> b)
+  | _ -> assert false);
+  Util.Fs.atomic_write ~fsync:false ~path "final";
+  Alcotest.(check int) "boot sweep removes exactly the torn temps" 2
+    (Util.Fs.sweep_temps dir);
+  Alcotest.(check string) "destination intact after sweep" "final"
+    (Util.Fs.read path);
+  Alcotest.(check int) "sweep is idempotent" 0 (Util.Fs.sweep_temps dir)
+
+let test_fs_is_temp () =
+  List.iter
+    (fun (name, want) ->
+      Alcotest.(check bool) name want (Util.Fs.is_temp name))
+    [
+      ("x.tmp.123.4", true);
+      (".tmp.1.2", true);
+      ("x.tmp", false);
+      ("x.tmp.12", false);
+      ("x.tmp.a.4", false);
+      ("x.tmp.12.", false);
+      ("manifest", false);
+      ("shard-0.ep3.snap", false);
+      ("sessions.journal", false);
+    ]
+
+let test_journal_roundtrip () =
+  let dir = fs_temp_dir () in
+  Fun.protect ~finally:(fun () -> Util.Fs.remove_tree dir) @@ fun () ->
+  let path = Filename.concat dir "j" in
+  let j, initial = Util.Fs.Journal.open_ ~fsync:false ~kind:"test" path in
+  Alcotest.(check (list string)) "fresh journal is empty" [] initial;
+  let payloads = [ "alpha"; "beta with spaces"; "tab\tand\\esc"; "" ] in
+  List.iter (Util.Fs.Journal.append ~fsync:false j) payloads;
+  Util.Fs.Journal.close j;
+  let _, recovered = Util.Fs.Journal.open_ ~fsync:false ~kind:"test" path in
+  Alcotest.(check (list string)) "payloads survive reopen" payloads recovered;
+  let loaded, good = Util.Fs.Journal.load ~kind:"test" path in
+  Alcotest.(check (list string)) "load agrees with open_" payloads loaded;
+  Alcotest.(check int) "a clean tail ends at the file length"
+    (Unix.stat path).Unix.st_size good
+
+let test_journal_torn_tail_truncated () =
+  let dir = fs_temp_dir () in
+  Fun.protect ~finally:(fun () -> Util.Fs.remove_tree dir) @@ fun () ->
+  let path = Filename.concat dir "j" in
+  let j, _ = Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path in
+  Util.Fs.Journal.append ~fsync:false j "keep me";
+  let good_len = (Unix.stat path).Unix.st_size in
+  (* Tear the next append at every byte boundary ("R " tag, checksum,
+     separator, payload, missing newline): recovery must always come back
+     to exactly the good prefix. "torn" renders as 24 bytes. *)
+  for k = 0 to 23 do
+    (match Util.Fs.Journal.append ~fsync:false ~crash_after:k j "torn" with
+    | () -> Alcotest.fail "crash_after did not crash"
+    | exception Util.Fs.Crashed _ -> ());
+    let _, survivors = Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path in
+    Alcotest.(check (list string))
+      (Printf.sprintf "torn at byte %d truncated" k)
+      [ "keep me" ] survivors;
+    Alcotest.(check int)
+      (Printf.sprintf "file repaired to the good prefix after tear at %d" k)
+      good_len
+      (Unix.stat path).Unix.st_size
+  done
+
+let test_journal_rejects_damage () =
+  let dir = fs_temp_dir () in
+  Fun.protect ~finally:(fun () -> Util.Fs.remove_tree dir) @@ fun () ->
+  let path = Filename.concat dir "j" in
+  let fresh () =
+    Util.Fs.remove_if_exists path;
+    let j, _ = Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path in
+    Util.Fs.Journal.append ~fsync:false j "first";
+    Util.Fs.Journal.append ~fsync:false j "second";
+    Util.Fs.Journal.close j;
+    Util.Fs.read path
+  in
+  let expect_corrupt what content =
+    Util.Fs.atomic_write ~fsync:false ~path content;
+    match Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path with
+    | _ -> Alcotest.fail (what ^ ": damaged journal accepted")
+    | exception Util.Fs.Journal.Corrupt _ -> ()
+  in
+  let content = fresh () in
+  let hlen = String.index content '\n' + 1 in
+  (* A flipped checksum digit mid-file (intact records after it) is
+     corruption, not a torn tail — it must refuse, not silently drop. *)
+  let flipped = Bytes.of_string content in
+  Bytes.set flipped (hlen + 2) 'z';
+  expect_corrupt "bad checksum mid-file" (Bytes.to_string flipped);
+  (* Wrong kind and wrong version both refuse up front. *)
+  expect_corrupt "wrong kind"
+    ("mqdp-journal v1 other\n" ^ String.sub content hlen (String.length content - hlen));
+  expect_corrupt "wrong version"
+    ("mqdp-journal v99 t\n" ^ String.sub content hlen (String.length content - hlen));
+  (* The same flip in the LAST record is indistinguishable from a torn
+     append and is truncated away. *)
+  let content = fresh () in
+  let last = Bytes.of_string content in
+  Bytes.set last (String.length content - 3) '!';
+  Util.Fs.atomic_write ~fsync:false ~path (Bytes.to_string last);
+  let _, survivors = Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path in
+  Alcotest.(check (list string)) "damaged tail record dropped" [ "first" ]
+    survivors
+
+let test_journal_rewrite_compacts () =
+  let dir = fs_temp_dir () in
+  Fun.protect ~finally:(fun () -> Util.Fs.remove_tree dir) @@ fun () ->
+  let path = Filename.concat dir "j" in
+  let j, _ = Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path in
+  List.iter (Util.Fs.Journal.append ~fsync:false j) [ "a"; "b"; "c" ];
+  Util.Fs.Journal.rewrite ~fsync:false j [ "summary" ];
+  (* Appends after a rewrite land in the new inode, not the old one. *)
+  Util.Fs.Journal.append ~fsync:false j "d";
+  Util.Fs.Journal.close j;
+  let _, payloads = Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path in
+  Alcotest.(check (list string)) "compacted then appended" [ "summary"; "d" ]
+    payloads;
+  (* A crash inside the rewrite leaves the old journal intact. *)
+  let j, _ = Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path in
+  (match Util.Fs.Journal.rewrite ~fsync:false ~crash_after:5 j [ "lost" ] with
+  | () -> Alcotest.fail "rewrite crash_after did not crash"
+  | exception Util.Fs.Crashed _ -> ());
+  Alcotest.(check int) "crashed rewrite left its torn temp" 1
+    (Util.Fs.sweep_temps dir);
+  let _, payloads = Util.Fs.Journal.open_ ~fsync:false ~kind:"t" path in
+  Alcotest.(check (list string)) "old journal intact after rewrite crash"
+    [ "summary"; "d" ] payloads
+
 let test_fault_deterministic () =
   let corrupt seed =
     let f = Util.Fault.create ~seed () in
@@ -815,6 +972,16 @@ let suite =
     Alcotest.test_case "budget child step floor" `Quick
       test_budget_child_step_floor;
     Alcotest.test_case "budget spend attrs" `Quick test_budget_spend_attrs;
+    Alcotest.test_case "fs unique temps & boot sweep" `Quick
+      test_fs_unique_temps_and_sweep;
+    Alcotest.test_case "fs is_temp classification" `Quick test_fs_is_temp;
+    Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal torn tail truncated at every byte" `Quick
+      test_journal_torn_tail_truncated;
+    Alcotest.test_case "journal rejects mid-file damage" `Quick
+      test_journal_rejects_damage;
+    Alcotest.test_case "journal rewrite compacts atomically" `Quick
+      test_journal_rewrite_compacts;
     Alcotest.test_case "fault injector determinism" `Quick test_fault_deterministic;
     Alcotest.test_case "fault clean config is identity" `Quick
       test_fault_clean_is_identity;
